@@ -1,0 +1,81 @@
+"""Block-size sweep: bus cycles per reference vs block size.
+
+Smith (1982), whose data underpins the paper's Features 3-5 estimates,
+established the canonical trade-off: larger blocks amortize the address/
+latency overhead while locality holds, then waste transfer cycles on
+words never used.  The bench sweeps block size at fixed cache capacity
+on a Smith-parameterized stream and on the lock workload (where Section
+D.3's fragmentation effect makes large blocks strictly worse without
+transfer units)."""
+
+from repro import CacheConfig, SystemConfig, run_workload
+from repro.analysis.queueing import bus_queueing_point
+from repro.analysis.report import render_table
+from repro.workloads import SmithParameters, lock_contention, smith_stream
+
+from benchmarks.conftest import bench_run
+
+CAPACITY_WORDS = 128
+
+
+def run_block_sweep():
+    rows = []
+    for wpb in (2, 4, 8, 16):
+        config = SystemConfig(
+            num_processors=4, protocol="bitar-despain",
+            cache=CacheConfig(words_per_block=wpb,
+                              num_blocks=CAPACITY_WORDS // wpb),
+        )
+        programs = smith_stream(
+            config, references=1200,
+            params=SmithParameters(working_set_blocks=CAPACITY_WORDS // wpb // 2),
+        )
+        stats = run_workload(config, programs, check_interval=0)
+        refs = stats.total_reads + stats.total_writes
+        config2 = SystemConfig(
+            num_processors=4, protocol="bitar-despain",
+            cache=CacheConfig(words_per_block=wpb,
+                              num_blocks=CAPACITY_WORDS // wpb),
+        )
+        lock_stats = run_workload(
+            config2, lock_contention(config2, rounds=5, atom_words=2),
+            check_interval=0,
+        )
+        point = bus_queueing_point(stats)
+        rows.append([
+            wpb,
+            round(stats.bus_busy_cycles / refs, 2),
+            round(lock_stats.bus_busy_cycles
+                  / lock_stats.total_lock_acquisitions, 1),
+            f"{point.utilization:.0%}",
+            round(point.measured_wait, 1),
+            round(point.predicted_wait, 1),
+        ])
+    return rows
+
+
+def test_block_size_sweep(benchmark):
+    rows = bench_run(benchmark, run_block_sweep)
+    print("\nBlock-size sweep at fixed capacity "
+          f"({CAPACITY_WORDS} words, 4 processors)")
+    print(render_table(
+        ["words/block", "bus cyc/ref (smith)", "bus cyc/lock handoff",
+         "bus util", "measured wait", "M/D/1 wait"],
+        rows, align_left_first=False,
+    ))
+    # Section D.3's point: the per-handoff cost of a small atom grows
+    # monotonically with block size (no transfer units here)...
+    handoffs = [r[2] for r in rows]
+    assert handoffs == sorted(handoffs)
+    # ...while per-reference traffic falls (amortization): the classic
+    # Smith trade-off.
+    per_ref = [r[1] for r in rows]
+    assert per_ref == sorted(per_ref, reverse=True)
+    # The open-system M/D/1 model is a lower bound for this closed,
+    # bursty system; it stays within a small factor of the measured
+    # arbitration wait across the sweep.
+    measured = [r[4] for r in rows]
+    predicted = [r[5] for r in rows]
+    for m, p in zip(measured, predicted):
+        assert p > 0
+        assert 0.5 * p <= m <= 6 * p

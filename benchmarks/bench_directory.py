@@ -1,0 +1,105 @@
+"""F3f: directory duality (Feature 3, Table 1).
+
+Bitar (1985) estimates the frequency of write hits to clean blocks --
+the events whose status update interferes with bus snoops under
+identical-dual directories -- at 0.2%-1.2% of references, concluding
+non-identical directories "are probably not warranted".  The bench
+measures the frequency on Smith-parameterized streams, compares with the
+analytic formula, and measures actual interference per directory kind.
+"""
+
+from repro import CacheConfig, DirectoryKind, SystemConfig, run_workload
+from repro.analysis.formulas import smith_frequency_range, write_hit_to_clean_frequency
+from repro.analysis.report import render_table
+from repro.workloads import SmithParameters, smith_stream
+
+from benchmarks.conftest import bench_run
+
+
+def run_frequency():
+    rows = []
+    for name, params in [
+        ("low (read-mostly, long runs)", SmithParameters(
+            write_fraction=0.10, locality_escape=0.005,
+            working_set_blocks=12, run_length=10.0)),
+        ("mid", SmithParameters(
+            write_fraction=0.30, locality_escape=0.02,
+            working_set_blocks=24, run_length=5.0)),
+        ("high (write-heavy, churny)", SmithParameters(
+            write_fraction=0.35, locality_escape=0.04,
+            working_set_blocks=32, run_length=3.0)),
+    ]:
+        config = SystemConfig(
+            num_processors=4, protocol="bitar-despain",
+            cache=CacheConfig(words_per_block=4, num_blocks=64),
+        )
+        programs = smith_stream(config, references=3000, params=params)
+        stats = run_workload(config, programs, check_interval=0)
+        measured = stats.write_hit_to_clean_frequency
+        refs = stats.total_reads + stats.total_writes
+        miss_ratio = (stats.read_misses + stats.write_misses) / refs
+        analytic = write_hit_to_clean_frequency(
+            miss_ratio, params.write_fraction + 0.2
+        )
+        rows.append([name, f"{measured:.3%}", f"{analytic:.3%}",
+                     f"{miss_ratio:.1%}"])
+    return rows
+
+
+def test_write_hit_clean_frequency(benchmark):
+    rows = bench_run(benchmark, run_frequency)
+    low, high = smith_frequency_range()
+    print("\nFeature 3: frequency of write hits to clean blocks "
+          f"(paper's range from Smith's data: {low:.1%}-{high:.1%})")
+    print(render_table(
+        ["stream", "measured", "analytic", "miss ratio"], rows,
+    ))
+    measured = [float(r[1].rstrip("%")) / 100 for r in rows]
+    # Shape: fractions of a percent, straddling the paper's 0.2%-1.2%
+    # band (our synthetic high end lands slightly above it).
+    assert all(f < 0.02 for f in measured)
+    assert min(measured) < 0.008
+    assert max(measured) > 0.002
+
+
+def run_interference_detailed():
+    from repro import Simulator
+    from repro.workloads import interleaved_sharing
+
+    rows = []
+    for kind in DirectoryKind:
+        config = SystemConfig(
+            num_processors=8, protocol="bitar-despain",
+            cache=CacheConfig(words_per_block=4, num_blocks=32,
+                              directory=kind),
+        )
+        programs = interleaved_sharing(
+            config, references=1500, shared_fraction=0.6, shared_blocks=12,
+        )
+        sim = Simulator(config, programs)
+        stats = sim.run()
+        status_writes = sum(c.directory.status_writes for c in sim.caches)
+        rows.append([
+            kind.value, status_writes,
+            stats.directory_interference_cycles, stats.cycles,
+        ])
+    return rows
+
+
+def test_directory_interference(benchmark):
+    rows = bench_run(benchmark, run_interference_detailed)
+    print("\nFeature 3: directory interference by organization "
+          "(heavy sharing, 8 processors)")
+    print(render_table(
+        ["directory", "status writes", "interference cycles", "run cycles"],
+        rows,
+    ))
+    by_kind = {r[0]: r for r in rows}
+    # NID eliminates interference entirely (dirty status lives only in the
+    # processor directory)...
+    assert by_kind["NID"][2] == 0
+    # ...but even under identical-dual directories the interference is a
+    # vanishing fraction of the run: the paper's conclusion that NID is
+    # probably not warranted on this ground.
+    for r in rows:
+        assert r[2] <= r[3] * 0.01

@@ -1,0 +1,54 @@
+"""D2b: the Dubois-Briggs sharing model degrades write-in (§D.2).
+
+"The model of sharing under write-in that was introduced by Dubois and
+Briggs (1982) fails to appreciate the first two points, so degrades the
+performance of write-in."  Same logical work, two layouts: blocks devoted
+to atoms vs hot private data packed into the atom's blocks.
+"""
+
+from repro import SystemConfig, run_workload
+from repro.analysis.report import render_table
+from repro.workloads.false_sharing import (
+    disciplined_sharing,
+    dubois_briggs_sharing,
+)
+
+from benchmarks.conftest import bench_run
+
+
+def run_layouts():
+    rows = []
+    for n in (2, 4, 8):
+        config = SystemConfig(num_processors=n)
+        good = run_workload(config, disciplined_sharing(config, rounds=5),
+                            check_interval=0)
+        config2 = SystemConfig(num_processors=n)
+        bad = run_workload(config2, dubois_briggs_sharing(config2, rounds=5),
+                           check_interval=0)
+        rows.append([
+            n, good.cycles, bad.cycles,
+            round(bad.cycles / good.cycles, 2),
+            good.lock_waits_started, bad.lock_waits_started,
+        ])
+    return rows
+
+
+def test_dubois_briggs_model_degrades_write_in(benchmark):
+    rows = bench_run(benchmark, run_layouts)
+    print("\nSection D.2: block-per-atom discipline vs the Dubois-Briggs "
+          "layout (same logical work)")
+    print(render_table(
+        ["procs", "disciplined cycles", "dubois cycles", "slowdown",
+         "waits (disc.)", "waits (dubois)"],
+        rows, align_left_first=False,
+    ))
+    for row in rows:
+        n, good, bad, slowdown, waits_good, waits_bad = row
+        assert slowdown > 1.0
+        # The undisciplined layout manufactures extra lock waits out of
+        # unrelated accesses (false sharing with the locked block) once
+        # there is real contention.
+        if n >= 4:
+            assert waits_bad >= waits_good
+    # The degradation grows with processor count.
+    assert rows[-1][3] > rows[0][3]

@@ -1,0 +1,12 @@
+"""F10: enumerate the full state-transition diagram by driving the
+implementation, and verify it against the paper's figure."""
+
+from repro.analysis.transitions import render_figure10, verify_figure10
+
+from benchmarks.conftest import bench_run
+
+
+def test_fig10_transitions(benchmark):
+    mismatches = bench_run(benchmark, verify_figure10)
+    print("\n" + render_figure10())
+    assert mismatches == []

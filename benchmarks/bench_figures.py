@@ -1,0 +1,161 @@
+"""F1-F9: replay each protocol-mechanics figure and report the bus
+activity it depicts."""
+
+from repro.analysis.report import render_table
+from repro.cache.state import CacheState
+from repro.processor import isa
+from repro.sim.harness import ManualSystem
+
+from benchmarks.conftest import bench_run
+
+B = 0
+
+
+def test_fig1_unshared_read_miss(benchmark):
+    def scenario():
+        sys = ManualSystem(n_caches=2)
+        sys.run_op(0, isa.read(B))
+        return sys
+
+    sys = bench_run(benchmark, scenario)
+    print("\nFigure 1: read miss, no hit -> write privilege assumed")
+    print(render_table(["metric", "value"], [
+        ["fill state", sys.line_state(0, B).value],
+        ["transactions", sys.stats.total_transactions],
+    ]))
+    assert sys.line_state(0, B) is CacheState.WRITE_CLEAN
+
+
+def test_fig2_fig3_no_source_cache(benchmark):
+    def scenario():
+        sys = ManualSystem(n_caches=3)
+        sys.run_op(1, isa.read(B))
+        sys.run_op(2, isa.read(B))
+        sys.caches[2].line_for(B).state = CacheState.INVALID  # source purged
+        sys.run_op(0, isa.read(B))
+        return sys
+
+    sys = bench_run(benchmark, scenario)
+    print("\nFigures 2/3: source lost -> memory provides; hit line -> read fill")
+    print(render_table(["metric", "value"], [
+        ["memory fetches", sys.stats.memory_fetches],
+        ["requester state", sys.line_state(0, B).value],
+        ["source losses", sys.stats.source_losses],
+    ]))
+    assert sys.line_state(0, B) is CacheState.READ_SOURCE_CLEAN
+    assert sys.stats.source_losses == 1
+
+
+def test_fig4_cache_to_cache(benchmark):
+    def scenario():
+        sys = ManualSystem(n_caches=2)
+        sys.run_op(1, isa.write(B))
+        sys.run_op(0, isa.read(B))
+        return sys
+
+    sys = bench_run(benchmark, scenario)
+    print("\nFigure 4: source supplies block + dirty status, no flush")
+    print(render_table(["metric", "value"], [
+        ["c2c transfers", sys.stats.cache_to_cache_transfers],
+        ["flushes", sys.stats.flushes],
+        ["requester state", sys.line_state(0, B).value],
+        ["old source state", sys.line_state(1, B).value],
+    ]))
+    assert sys.line_state(0, B) is CacheState.READ_SOURCE_DIRTY
+    assert sys.stats.flushes == 0
+
+
+def test_fig5_privilege_only_request(benchmark):
+    def scenario():
+        sys = ManualSystem(n_caches=2)
+        sys.run_op(1, isa.read(B))
+        sys.run_op(0, isa.read(B))
+        sys.run_op(0, isa.write(B))
+        return sys
+
+    sys = bench_run(benchmark, scenario)
+    upgrade_cycles = sys.stats.txn_cycles["UPGRADE"]
+    print("\nFigure 5: write hit with valid copy -> one-cycle upgrade")
+    print(render_table(["metric", "value"], [
+        ["upgrade transactions", sys.stats.txn_counts["UPGRADE"]],
+        ["upgrade bus cycles", upgrade_cycles],
+    ]))
+    assert upgrade_cycles == 1
+
+
+def test_fig6_locking(benchmark):
+    def scenario():
+        sys = ManualSystem(n_caches=2)
+        sys.run_op(0, isa.lock(B))
+        return sys
+
+    sys = bench_run(benchmark, scenario)
+    print("\nFigure 6: lock concurrent with fetch (one transaction)")
+    print(render_table(["metric", "value"], [
+        ["transactions", sys.stats.total_transactions],
+        ["state", sys.line_state(0, B).value],
+    ]))
+    assert sys.stats.total_transactions == 1
+    assert sys.line_state(0, B) is CacheState.LOCK
+
+
+def test_fig7_waiter_recorded(benchmark):
+    def scenario():
+        sys = ManualSystem(n_caches=2)
+        sys.run_op(0, isa.lock(B))
+        sys.submit(1, isa.lock(B))
+        sys.drain()
+        return sys
+
+    sys = bench_run(benchmark, scenario)
+    print("\nFigure 7: refused lock request -> waiter recorded, register armed")
+    print(render_table(["metric", "value"], [
+        ["holder state", sys.line_state(0, B).value],
+        ["register armed", sys.caches[1].busy_wait.active],
+        ["lock waits started", sys.stats.lock_waits_started],
+    ]))
+    assert sys.line_state(0, B) is CacheState.LOCK_WAITER
+
+
+def test_fig8_unlock(benchmark):
+    def scenario():
+        sys = ManualSystem(n_caches=2)
+        sys.run_op(0, isa.lock(B))
+        sys.submit(1, isa.lock(B))
+        sys.drain()
+        sys.submit(0, isa.unlock(B))
+        sys.drain()
+        return sys
+
+    sys = bench_run(benchmark, scenario)
+    print("\nFigure 8: unlock = final write; broadcast because a waiter exists")
+    print(render_table(["metric", "value"], [
+        ["unlock broadcasts", sys.stats.unlock_broadcasts],
+        ["broadcast cycles", sys.stats.txn_cycles["UNLOCK_BROADCAST"]],
+    ]))
+    assert sys.stats.unlock_broadcasts == 1
+    assert sys.stats.txn_cycles["UNLOCK_BROADCAST"] == 1
+
+
+def test_fig9_end_busy_wait(benchmark):
+    def scenario():
+        sys = ManualSystem(n_caches=3)
+        sys.run_op(0, isa.lock(B))
+        sys.submit(1, isa.lock(B))
+        sys.drain()
+        sys.submit(2, isa.lock(B))
+        sys.drain()
+        sys.submit(0, isa.unlock(B))
+        sys.drain()
+        return sys
+
+    sys = bench_run(benchmark, scenario)
+    winner = next(i for i in (1, 2) if sys.line_state(i, B).locked)
+    print("\nFigure 9: one waiter wins at high priority; the loser stays off the bus")
+    print(render_table(["metric", "value"], [
+        ["winner", f"cache{winner}"],
+        ["winner state", sys.line_state(winner, B).value],
+        ["failed attempts", sys.stats.failed_lock_attempts],
+    ]))
+    assert sys.line_state(winner, B) is CacheState.LOCK_WAITER
+    assert sys.stats.failed_lock_attempts == 0

@@ -1,0 +1,64 @@
+"""D3: internal fragmentation under write-in and sub-block transfer units.
+
+A lock-protected atom smaller than its block forces the whole block to
+move on every handoff; transfer units move only the dirty/requested
+units.  The bench sweeps block size for a fixed 2-word atom and reports
+bus cycles per lock handoff, with and without 2-word transfer units, and
+cross-checks the analytic model.
+"""
+
+from repro import CacheConfig, SystemConfig, run_workload
+from repro.analysis.formulas import fragmentation_transfer_cost
+from repro.analysis.report import render_table
+from repro.workloads import lock_contention
+
+from benchmarks.conftest import bench_run
+
+
+def run_sweep():
+    rows = []
+    for wpb in (4, 8, 16):
+        cycles = {}
+        for tu in (None, 2):
+            config = SystemConfig(
+                num_processors=4,
+                protocol="bitar-despain",
+                cache=CacheConfig(words_per_block=wpb, num_blocks=64,
+                                  transfer_unit_words=tu),
+            )
+            programs = lock_contention(
+                config, rounds=5, critical_writes=1, critical_reads=1,
+                atom_words=2,
+            )
+            stats = run_workload(config, programs, check_interval=0)
+            acq = stats.total_lock_acquisitions
+            cycles[tu] = stats.bus_busy_cycles / acq
+        analytic_whole = fragmentation_transfer_cost(
+            words_per_block=wpb, atom_words=2, transfer_unit_words=None)
+        analytic_unit = fragmentation_transfer_cost(
+            words_per_block=wpb, atom_words=2, transfer_unit_words=2)
+        rows.append([
+            wpb, round(cycles[None], 1), round(cycles[2], 1),
+            analytic_whole, analytic_unit,
+        ])
+    return rows
+
+
+def test_fragmentation(benchmark):
+    rows = bench_run(benchmark, run_sweep)
+    print("\nSection D.3: bus cycles per lock handoff of a 2-word atom")
+    print(render_table(
+        ["words/block", "whole-block (sim)", "2-word units (sim)",
+         "whole (analytic)", "units (analytic)"],
+        rows, align_left_first=False,
+    ))
+    for row in rows:
+        wpb, whole, unit = row[0], row[1], row[2]
+        if wpb > 2:
+            assert unit < whole  # units always cheaper for a small atom
+    # Fragmentation worsens with block size for whole-block transfers...
+    whole_costs = [r[1] for r in rows]
+    assert whole_costs == sorted(whole_costs)
+    # ...while the unit-transfer cost stays roughly flat.
+    unit_costs = [r[2] for r in rows]
+    assert max(unit_costs) - min(unit_costs) < (whole_costs[-1] - whole_costs[0])

@@ -1,0 +1,91 @@
+"""F6f: the four atomic read-modify-write methods (Feature 6) on a
+contended shared counter."""
+
+from repro import Program, RmwMethod, SystemConfig, run_workload
+from repro.analysis.report import render_table
+from repro.processor import isa
+from repro.processor.isa import fetch_and_add
+
+from benchmarks.conftest import bench_run
+
+COUNTER = 0
+
+
+def run_methods():
+    rows = []
+    for method, protocol in [
+        (RmwMethod.MEMORY_HOLD, "illinois"),
+        (RmwMethod.CACHE_HOLD, "illinois"),
+        (RmwMethod.BUS_HOLD, "illinois"),
+        (RmwMethod.OPTIMISTIC, "illinois"),
+        (RmwMethod.LOCK_STATE, "bitar-despain"),
+    ]:
+        config = SystemConfig(
+            num_processors=4, protocol=protocol, rmw_method=method,
+        )
+        ops_per_proc = 8
+        programs = [
+            Program([op for _ in range(ops_per_proc)
+                     for op in (isa.rmw(COUNTER, fetch_and_add(1)),
+                                isa.compute(3))])
+            for _ in range(4)
+        ]
+        stats = run_workload(config, programs, check_interval=0)
+        rows.append([
+            method.value, protocol, stats.cycles, stats.bus_busy_cycles,
+            stats.rmw_aborts,
+            round(stats.bus_busy_cycles / (4 * ops_per_proc), 1),
+        ])
+    return rows
+
+
+def test_rmw_methods(benchmark):
+    rows = bench_run(benchmark, run_methods)
+    print("\nFeature 6: contended fetch-and-add, four serialization methods")
+    print(render_table(
+        ["method", "protocol", "cycles", "bus cycles", "aborts", "bus/rmw"],
+        rows,
+    ))
+    by_method = {r[0]: r for r in rows}
+    # Memory-hold pays the memory round-trip on every RMW: the most bus
+    # cycles per operation of the non-aborting methods.
+    assert (by_method["memory-hold"][5]
+            >= by_method["cache-hold"][5])
+    # Bus-hold holds the bus longer than cache-hold (the paper's critique
+    # of the P&P variant).
+    assert by_method["bus-hold"][3] >= by_method["cache-hold"][3]
+    # Only the optimistic method aborts.
+    for name, row in by_method.items():
+        if name != "optimistic":
+            assert row[4] == 0, name
+
+
+def run_correctness():
+    """All methods agree on the final counter value."""
+    finals = {}
+    for method, protocol in [
+        (RmwMethod.MEMORY_HOLD, "illinois"),
+        (RmwMethod.CACHE_HOLD, "illinois"),
+        (RmwMethod.OPTIMISTIC, "illinois"),
+        (RmwMethod.LOCK_STATE, "bitar-despain"),
+    ]:
+        config = SystemConfig(num_processors=4, protocol=protocol,
+                              rmw_method=method)
+        programs = [
+            Program([isa.rmw(COUNTER, fetch_and_add(1)) for _ in range(6)])
+            for _ in range(4)
+        ]
+        from repro import Simulator
+
+        sim = Simulator(config, programs, check_interval=16)
+        stats = sim.run()
+        finals[method.value] = sim.stamp_clock.value_of(
+            sim.oracle.latest(COUNTER)
+        )
+    return finals
+
+
+def test_rmw_methods_agree(benchmark):
+    finals = bench_run(benchmark, run_correctness)
+    print("\nFinal counter value per method:", finals)
+    assert all(v == 24 for v in finals.values()), finals

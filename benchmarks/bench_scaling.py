@@ -1,0 +1,77 @@
+"""Scalability series: contended locking vs processor count, all lock
+disciplines, with seed-averaged sharing traffic as a control.
+
+Not a single paper figure, but the quantity Section G anticipates for the
+Aquarius evaluation: "an improvement in the efficiency of busy-wait
+locking and waiting may offer a significant improvement in performance
+since the resulting traffic will constitute a relatively large fraction
+of the whole."
+"""
+
+from repro import LockStyle, run_workload
+from repro.analysis.report import render_table
+from repro.analysis.sweeps import Sweep, over_seeds
+from repro.workloads import interleaved_sharing, lock_contention
+
+from benchmarks.conftest import bench_run, config_for
+
+PROCS = [2, 4, 8, 12]
+
+
+def run_lock_scaling():
+    series = {}
+    for label, protocol, style in [
+        ("cache-lock", "bitar-despain", LockStyle.CACHE_LOCK),
+        ("ttas", "illinois", LockStyle.TTAS),
+        ("tas", "illinois", LockStyle.TAS),
+    ]:
+        def run(n, protocol=protocol, style=style):
+            config = config_for(protocol, n=int(n))
+            return run_workload(
+                config, lock_contention(config, rounds=4, lock_style=style),
+                check_interval=0,
+            )
+
+        series[label] = Sweep(
+            xs=PROCS, run=run,
+            metrics={"cycles": lambda s: s.cycles},
+        ).execute()["cycles"]
+    return series
+
+
+def test_lock_scaling(benchmark):
+    series = bench_run(benchmark, run_lock_scaling)
+    rows = [
+        [n] + [int(series[label].values[i])
+               for label in ("cache-lock", "ttas", "tas")]
+        for i, n in enumerate(PROCS)
+    ]
+    print("\nContended-lock run length vs processor count")
+    print(render_table(["procs", "cache-lock", "ttas", "tas"], rows,
+                       align_left_first=False))
+    cache_lock, ttas, tas = (series["cache-lock"], series["ttas"],
+                             series["tas"])
+    assert cache_lock.monotone_increasing  # linear in total acquisitions
+    # The proposal's advantage grows with contention.
+    ratios = tas.ratio_to(cache_lock)
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 5
+
+
+def run_sharing_over_seeds():
+    def run(seed):
+        config = config_for("bitar-despain", n=4, seed=seed)
+        return run_workload(
+            config, interleaved_sharing(config, references=150, seed=seed),
+            check_interval=0,
+        )
+
+    return over_seeds(range(5), run, lambda s: s.bus_utilization)
+
+
+def test_sharing_utilization_stable_across_seeds(benchmark):
+    stats = bench_run(benchmark, run_sharing_over_seeds)
+    print(f"\nBus utilization over 5 seeds: mean={stats.mean:.2f} "
+          f"std={stats.std:.3f} range=[{stats.minimum:.2f}, {stats.maximum:.2f}]")
+    assert stats.within(0.3, 1.0)
+    assert stats.std < 0.2  # the workload generator is well-behaved

@@ -1,0 +1,55 @@
+"""D2: write-in vs write-through for actively shared data (Section D.2).
+
+The paper's analysis: once an atom is locked, write-in lets the holder
+write its blocks any number of times with no bus access, while
+write-through pays a word-granularity bus transaction per write to every
+cache holding a copy.  Sweeping writes-per-lock-hold shows write-through's
+cost growing linearly while write-in stays flat -- and the update
+predictions mostly update caches that are not the next reader.
+"""
+
+from repro import LockStyle, run_workload
+from repro.analysis.report import render_table
+from repro.workloads import lock_contention
+
+from benchmarks.conftest import bench_run, config_for
+
+
+def run_sweep():
+    rows = []
+    for writes_per_hold in (1, 2, 4, 8, 16):
+        row = [writes_per_hold]
+        for protocol in ("bitar-despain", "dragon", "firefly"):
+            config = config_for(protocol, n=4)
+            style = (LockStyle.CACHE_LOCK if protocol == "bitar-despain"
+                     else LockStyle.TTAS)
+            programs = lock_contention(
+                config, rounds=4, critical_writes=writes_per_hold,
+                critical_reads=1, atom_words=4, lock_style=style,
+            )
+            stats = run_workload(config, programs, check_interval=0)
+            writes = sum(p.writes for p in stats.processors.values())
+            row.append(round(stats.bus_busy_cycles / max(writes, 1), 1))
+        rows.append(row)
+    return rows
+
+
+def test_shared_data_write_in_vs_write_through(benchmark):
+    rows = bench_run(benchmark, run_sweep)
+    print("\nSection D.2: bus cycles per shared-data write, "
+          "as writes per lock hold grow")
+    print(render_table(
+        ["writes/hold", "write-in (proposal)", "dragon (update)",
+         "firefly (update)"],
+        rows, align_left_first=False,
+    ))
+    # Shape: write-in's per-write bus cost falls as the holder batches
+    # writes under one lock acquisition; write-update's stays roughly flat
+    # (every write is a bus transaction), so the gap widens.
+    first, last = rows[0], rows[-1]
+    writein_improvement = first[1] / last[1]
+    dragon_improvement = first[2] / last[2]
+    assert writein_improvement > dragon_improvement
+    # At high writes-per-hold, write-in clearly wins.
+    assert last[1] < last[2]
+    assert last[1] < last[3]

@@ -1,0 +1,55 @@
+"""B2: sleep wait implemented over busy wait.
+
+"The primary importance of efficient waiting is to serve the second
+reason for busy wait" -- the software queues that implement sleep wait
+are themselves guarded by busy-wait locks and see high contention.  The
+bench runs the sleep-wait system (sleep queue + ready queue + a long-held
+resource) under the proposal and under TTAS, and shows where the queue
+traffic goes.
+"""
+
+from repro import LockStyle, run_workload
+from repro.analysis.report import render_table
+from repro.workloads import sleep_wait
+
+from benchmarks.conftest import bench_run, config_for
+
+
+def run_comparison():
+    rows = []
+    for n in (3, 6):
+        for protocol, style in [
+            ("bitar-despain", LockStyle.CACHE_LOCK),
+            ("illinois", LockStyle.TTAS),
+        ]:
+            config = config_for(protocol, n=n)
+            programs = sleep_wait(config, blocking_sections=4)
+            if style is not LockStyle.CACHE_LOCK:
+                programs = [p.lowered(style) for p in programs]
+            stats = run_workload(config, programs, check_interval=0)
+            rows.append([
+                n, protocol, stats.cycles,
+                stats.total_lock_acquisitions,
+                stats.failed_lock_attempts,
+                stats.fetches_avoided,
+            ])
+    return rows
+
+
+def test_sleep_wait_system(benchmark):
+    rows = bench_run(benchmark, run_comparison)
+    print("\nSection B.2: sleep wait over busy-wait queues")
+    print(render_table(
+        ["procs", "protocol", "cycles", "queue+resource locks",
+         "failed attempts", "state-save fetches avoided"],
+        rows, align_left_first=False,
+    ))
+    by_key = {(r[0], r[1]): r for r in rows}
+    for n in (3, 6):
+        proposal = by_key[(n, "bitar-despain")]
+        ttas = by_key[(n, "illinois")]
+        assert proposal[4] == 0  # no retries on the queue descriptors
+        assert proposal[2] < ttas[2]
+        assert proposal[5] > 0  # write-no-fetch state saves
+        # Queue-manager locking dominates resource locking.
+        assert proposal[3] > 3 * 4

@@ -1,0 +1,78 @@
+"""F8f: number of sources for a read-privilege block (Feature 8).
+
+ARB (Illinois): any holder supplies, after arbitration -- never loses the
+source but pays arbitration cycles on every read-shared supply.
+MEM (Katz): single source; a purge sends the next fetch to (slower)
+memory.
+LRU,MEM (proposal): the last fetcher becomes the source, so the source
+sits in the most-recently-active cache and survives LRU replacement
+longest.
+"""
+
+from repro import CacheConfig, SystemConfig, run_workload
+from repro.analysis.report import render_table
+from repro.common.rng import derive_rng
+from repro import Program
+from repro.processor import isa
+
+from benchmarks.conftest import bench_run
+
+
+def read_shared_workload(config: SystemConfig, churn_blocks: int = 48):
+    """All processors re-read a small set of shared blocks while churning
+    through private data that forces LRU replacement."""
+    shared = [i * 4 for i in range(4)]
+    programs = []
+    for pid in range(config.num_processors):
+        rng = derive_rng(7, "sources", pid)
+        private_base = 4 * (16 + pid * churn_blocks)
+        ops = []
+        for round_no in range(30):
+            ops.append(isa.read(rng.choice(shared)))
+            for _ in range(3):
+                block = private_base + 4 * rng.randrange(churn_blocks)
+                ops.append(isa.read(block))
+        programs.append(Program(ops))
+    return programs
+
+
+def run_policies():
+    rows = []
+    for protocol in ("illinois", "berkeley", "bitar-despain"):
+        config = SystemConfig(
+            num_processors=4, protocol=protocol,
+            cache=CacheConfig(words_per_block=4, num_blocks=16),
+        )
+        stats = run_workload(config, read_shared_workload(config),
+                             check_interval=0)
+        policy = {"illinois": "ARB", "berkeley": "MEM",
+                  "bitar-despain": "LRU,MEM"}[protocol]
+        rows.append([
+            policy, protocol,
+            stats.cache_to_cache_transfers,
+            stats.memory_fetches,
+            stats.source_losses,
+            stats.source_arbitrations,
+            stats.bus_busy_cycles,
+        ])
+    return rows
+
+
+def test_source_policies(benchmark):
+    rows = bench_run(benchmark, run_policies)
+    print("\nFeature 8: read-source policy under LRU churn")
+    print(render_table(
+        ["policy", "protocol", "c2c", "memory fetches", "source losses",
+         "arbitrations", "bus cycles"],
+        rows,
+    ))
+    by_policy = {r[0]: r for r in rows}
+    # ARB never loses a source (any holder supplies) but arbitrates.
+    assert by_policy["ARB"][4] == 0
+    assert by_policy["ARB"][5] > 0
+    # MEM and LRU never arbitrate.
+    assert by_policy["MEM"][5] == 0
+    assert by_policy["LRU,MEM"][5] == 0
+    # LRU keeps the source alive better than MEM's fixed owner: fewer
+    # fetches fall back to memory.
+    assert by_policy["LRU,MEM"][4] <= by_policy["MEM"][4]

@@ -1,0 +1,21 @@
+"""T1: regenerate Table 1 (the evolution matrix) from the protocol
+implementations and check it against the publication."""
+
+from repro.analysis.table1 import (
+    EXPECTED_FEATURES,
+    EXPECTED_STATES,
+    FEATURE_LABELS,
+    build_table1,
+)
+from repro.protocols.features import TABLE1_STATE_LABELS, TABLE1_STATE_ROWS
+
+from benchmarks.conftest import bench_run
+
+
+def test_table1(benchmark):
+    table = bench_run(benchmark, build_table1)
+    print("\n" + table.render())
+    for i, state in enumerate(TABLE1_STATE_ROWS):
+        assert table.states[i] == EXPECTED_STATES[TABLE1_STATE_LABELS[state]]
+    for i, label in enumerate(FEATURE_LABELS):
+        assert table.feature_rows[i] == EXPECTED_FEATURES[label]

@@ -1,0 +1,16 @@
+"""T2: regenerate Table 2 (innovation summary)."""
+
+from repro.analysis.table2 import TABLE2, derived_innovations, render_table2
+from repro.protocols import PROTOCOLS
+
+from benchmarks.conftest import bench_run
+
+
+def test_table2(benchmark):
+    text = bench_run(benchmark, render_table2)
+    print("\n" + text)
+    listed = {e.protocol for e in TABLE2 if e.protocol}
+    assert listed | {"firefly"} == set(PROTOCOLS)
+    # Feature-shaped claims in the summary must agree with the code.
+    assert any("busy wait" in d for d in derived_innovations("bitar-despain"))
+    assert any("arbitrated" in d for d in derived_innovations("illinois"))

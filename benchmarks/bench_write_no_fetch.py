@@ -1,0 +1,52 @@
+"""F9f: writing without fetch on a write miss (Feature 9).
+
+Saving process state writes every word of the state blocks, so the
+blocks need not be fetched: one 1-cycle invalidation replaces a full
+block fetch per state block.  "In the Aquarius system we anticipate
+frequent process switching, hence the switching must be very efficient."
+"""
+
+from repro import SystemConfig, run_workload
+from repro.analysis.report import render_table
+from repro.workloads import process_switch
+
+from benchmarks.conftest import bench_run
+
+
+def run_comparison():
+    rows = []
+    for switches in (4, 8, 16):
+        cells = [switches]
+        for use_wnf in (True, False):
+            config = SystemConfig(num_processors=4, protocol="bitar-despain")
+            programs = process_switch(
+                config, switches=switches, state_blocks=4,
+                use_write_no_fetch=use_wnf,
+            )
+            stats = run_workload(config, programs, check_interval=0)
+            cells.extend([stats.cycles, stats.memory_fetches
+                          + stats.cache_to_cache_transfers])
+            if use_wnf:
+                avoided = stats.fetches_avoided
+        cells.append(avoided)
+        rows.append(cells)
+    return rows
+
+
+def test_write_no_fetch(benchmark):
+    rows = bench_run(benchmark, run_comparison)
+    print("\nFeature 9: process-state save with vs without write-no-fetch")
+    print(render_table(
+        ["switches", "WNF cycles", "WNF fetches", "plain cycles",
+         "plain fetches", "fetches avoided"],
+        rows, align_left_first=False,
+    ))
+    for row in rows:
+        switches, wnf_cycles, wnf_fetches, plain_cycles, plain_fetches, avoided = row
+        assert wnf_fetches == 0  # no fetches for state blocks at all
+        assert plain_fetches > 0
+        assert wnf_cycles < plain_cycles
+        assert avoided == switches * 4 * 4  # per processor x blocks
+    # The advantage holds (and grows in absolute terms) with switch rate.
+    saved = [r[3] - r[1] for r in rows]
+    assert saved == sorted(saved)

@@ -1,0 +1,31 @@
+"""Regenerate the paper's Table 1, Table 2, and Figure 10 from the
+protocol implementations.
+
+Run:  python examples/evolution_table.py
+"""
+
+from repro.analysis import (
+    build_table1,
+    render_figure10,
+    render_table2,
+    verify_figure10,
+)
+
+
+def main() -> None:
+    print(build_table1().render())
+    print()
+    print(render_table2())
+    print()
+    print(render_figure10())
+    mismatches = verify_figure10()
+    if mismatches:
+        print("\nFIGURE 10 MISMATCHES:")
+        for m in mismatches:
+            print(" ", m)
+    else:
+        print("\nFigure 10: every arc of the implementation matches the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Extending the simulator with a new protocol.
+
+Defines a minimal MSI protocol (Modified/Shared/Invalid -- the textbook
+reduction of the Table-1 family: no clean-exclusive state, no source for
+clean blocks, flush on transfer), registers it, validates it with the
+conformance battery, and races it against its descendants.
+
+This is the template for adding any protocol: subclass
+``CoherenceProtocol``, declare the Table-1 feature column, override the
+policy hooks, register, and run ``check_conformance``.
+
+Run:  python examples/extend_protocol.py
+"""
+
+from repro import LockStyle, SystemConfig, run_workload
+from repro.analysis import render_table
+from repro.bus.transaction import BusTransaction
+from repro.cache.state import CacheState
+from repro.protocols import PROTOCOLS
+from repro.protocols.base import CoherenceProtocol
+from repro.protocols.features import (
+    DirectoryDuality,
+    FlushPolicy,
+    ProtocolFeatures,
+    ReadSourcePolicy,
+    SharingDetermination,
+)
+from repro.verify.conformance import check_conformance
+from repro.workloads import lock_contention
+
+_FEATURES = ProtocolFeatures(
+    name="Minimal MSI (example)",
+    citation="textbook MSI",
+    year=1983,
+    distributed_state="RWDS",
+    directory=DirectoryDuality.UNSPECIFIED,
+    bus_invalidate_signal=True,
+    fetch_for_write_on_read_miss=SharingDetermination.NONE,
+    atomic_rmw=True,
+    flush_policy=FlushPolicy.FLUSH,
+    read_source_policy=ReadSourcePolicy.NONE,
+    state_roles={
+        CacheState.INVALID: "N",
+        CacheState.READ: "N",  # Shared
+        CacheState.WRITE_DIRTY: "S",  # Modified
+    },
+)
+
+
+class MsiProtocol(CoherenceProtocol):
+    """Three states; every exclusive fetch lands Modified; dirty blocks
+    flush when transferred.  Everything else is the base-class write-in
+    machinery."""
+
+    name = "msi-example"
+
+    @classmethod
+    def features(cls) -> ProtocolFeatures:
+        return _FEATURES
+
+    def fill_state(self, txn: BusTransaction, response) -> CacheState:
+        from repro.bus.transaction import BusOp
+
+        if txn.op is BusOp.READ_BLOCK:
+            return CacheState.READ
+        return CacheState.WRITE_DIRTY  # no clean write state
+
+    def upgrade_state(self, txn: BusTransaction, response) -> CacheState:
+        return CacheState.WRITE_DIRTY
+
+
+def main() -> None:
+    PROTOCOLS[MsiProtocol.name] = MsiProtocol
+    try:
+        findings = check_conformance(MsiProtocol.name)
+        if findings:
+            for finding in findings:
+                print("FAIL:", finding)
+            raise SystemExit(1)
+        print("msi-example passes the conformance battery.\n")
+
+        rows = []
+        for protocol, style in [
+            ("msi-example", LockStyle.TTAS),
+            ("illinois", LockStyle.TTAS),
+            ("bitar-despain", LockStyle.CACHE_LOCK),
+        ]:
+            config = SystemConfig(num_processors=4, protocol=protocol)
+            stats = run_workload(
+                config, lock_contention(config, rounds=4, lock_style=style),
+                check_interval=16,
+            )
+            rows.append([protocol, stats.cycles, stats.bus_busy_cycles,
+                         stats.failed_lock_attempts])
+        print(render_table(
+            ["protocol", "cycles", "bus cycles", "failed attempts"],
+            rows, title="The new protocol vs its descendants",
+        ))
+    finally:
+        PROTOCOLS.pop(MsiProtocol.name, None)
+
+
+if __name__ == "__main__":
+    main()

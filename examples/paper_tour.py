@@ -1,0 +1,102 @@
+"""A guided tour of the paper's claims, each demonstrated live.
+
+Run:  python examples/paper_tour.py
+"""
+
+from repro import LockStyle, SystemConfig, run_workload
+from repro.analysis import render_table, state_bits
+from repro.processor import isa
+from repro.sim.harness import ManualSystem
+from repro.workloads import lock_contention
+
+B = 0
+
+
+def section(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def claim_f1_non_serialization() -> None:
+    section("F.1 -- the classic write-through scheme does not serialize "
+            "conflicting accesses")
+    sys = ManualSystem(protocol="write-through", n_caches=2, strict=False)
+    sys.run_op(0, isa.read(B))
+    sys.run_op(1, isa.read(B))
+    sys.submit(0, isa.write(B, value=5))  # visible in cache0 immediately
+    sys.run_op(1, isa.read(B))  # cache1 still sees the old value
+    print(f"stale reads observed in the window: {sys.stats.stale_reads}")
+    assert sys.stats.stale_reads == 1
+
+
+def claim_e3_zero_time_locking() -> None:
+    section("E.3 -- locking and unlocking usually occur in zero time")
+    sys = ManualSystem(n_caches=2)
+    sys.run_op(0, isa.lock(B))
+    fetch_txns = sys.stats.total_transactions
+    sys.run_op(0, isa.write(B + 1, value=1))
+    sys.run_op(0, isa.write(B + 2, value=2))
+    sys.submit(0, isa.unlock(B))
+    sys.drain()
+    print(f"bus transactions for lock + 2 writes + unlock: "
+          f"{sys.stats.total_transactions} (the single fetch-with-lock)")
+    assert sys.stats.total_transactions == fetch_txns == 1
+
+
+def claim_e4_zero_retries() -> None:
+    section("E.4 -- the busy-wait register eliminates unsuccessful retries")
+    rows = []
+    for style, protocol in [
+        (LockStyle.CACHE_LOCK, "bitar-despain"),
+        (LockStyle.TAS, "illinois"),
+    ]:
+        config = SystemConfig(num_processors=8, protocol=protocol)
+        stats = run_workload(
+            config, lock_contention(config, rounds=4, lock_style=style),
+        )
+        rows.append([style.value, stats.cycles, stats.failed_lock_attempts])
+    print(render_table(["discipline", "cycles", "failed attempts"], rows))
+    assert rows[0][2] == 0
+
+
+def claim_fig1_dynamic_write_privilege() -> None:
+    section("Figure 1 -- a lone read miss takes write privilege")
+    sys = ManualSystem(n_caches=2)
+    sys.run_op(0, isa.read(B))
+    before = sys.stats.total_transactions
+    sys.run_op(0, isa.write(B))  # no bus needed
+    print(f"fill state after lone read: write-clean; "
+          f"bus transactions for the following write: "
+          f"{sys.stats.total_transactions - before}")
+    assert sys.stats.total_transactions == before
+
+
+def claim_feature2_state_bits() -> None:
+    section("Feature 2 -- state consolidates into ceil(log2 #states) bits")
+    rows = [[name, state_bits(name)] for name in
+            ("write-through", "goodman", "synapse", "berkeley",
+             "bitar-despain")]
+    print(render_table(["protocol", "bits/frame"], rows))
+
+
+def claim_feature9_write_no_fetch() -> None:
+    section("Feature 9 -- saving process state without fetching")
+    sys = ManualSystem(n_caches=2)
+    sys.run_op(1, isa.read(B))  # someone else holds a copy
+    sys.run_op(0, isa.save_block(B, value=3))
+    print(f"transactions: {dict(sys.stats.txn_counts)} "
+          f"(one 1-cycle claim, no data fetched)")
+    assert sys.stats.txn_counts["WRITE_NO_FETCH"] == 1
+
+
+def main() -> None:
+    claim_f1_non_serialization()
+    claim_e3_zero_time_locking()
+    claim_e4_zero_retries()
+    claim_fig1_dynamic_write_privilege()
+    claim_feature2_state_bits()
+    claim_feature9_write_no_fetch()
+    print("\nAll demonstrated claims held.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Quickstart: simulate a 4-processor single-bus system running a
+producer/consumer workload under the paper's proposed protocol.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SystemConfig, run_workload
+from repro.analysis import lock_metrics, traffic_metrics
+from repro.workloads import producer_consumer
+
+
+def main() -> None:
+    config = SystemConfig(num_processors=4, protocol="bitar-despain")
+    programs = producer_consumer(config, items=32)
+    stats = run_workload(config, programs, check_interval=64)
+
+    print("Producer/consumer on the Bitar-Despain protocol")
+    print("-" * 48)
+    for key, value in stats.to_dict().items():
+        print(f"  {key:20s} {value}")
+
+    locks = lock_metrics(stats)
+    traffic = traffic_metrics(stats)
+    print(f"\n  lock acquisitions     : {locks.acquisitions}")
+    print(f"  bus cycles/acquisition: {locks.bus_cycles_per_acquisition:.1f}")
+    print(f"  failed lock attempts  : {stats.failed_lock_attempts} "
+          f"(the busy-wait register eliminates retries)")
+    print(f"  bus utilization       : {traffic.bus_utilization:.1%}")
+    assert stats.stale_reads == 0, "coherence violated!"
+    print("\n  all reads returned the latest serialized write (oracle clean)")
+
+
+if __name__ == "__main__":
+    main()

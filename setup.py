@@ -1,0 +1,6 @@
+"""Legacy entry point: this environment has no `wheel`, so editable
+installs go through `pip install -e . --no-use-pep517`."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""State-encoding costs (Feature 2 and Section D.3).
+
+Feature 2: fully-distributed state information "is consolidated in just a
+few bits per block frame (ceil(log2 #states))".
+
+Section D.3: with sub-block transfer units, either valid+dirty bits are
+stored per unit (2 bits) with full state per block, or the full state is
+stored per unit -- "this appears simpler, but will require three, rather
+than just two, state bits per transfer unit if the protocol has more than
+four states".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.protocols import get_protocol
+
+
+def state_bits(protocol_name: str) -> int:
+    """Bits per block frame to encode the protocol's states (Feature 2)."""
+    n_states = len(get_protocol(protocol_name).states())
+    return max(1, math.ceil(math.log2(n_states)))
+
+
+@dataclass(frozen=True)
+class TransferUnitEncoding:
+    """Per-transfer-unit storage for the two D.3 options."""
+
+    protocol: str
+    units_per_block: int
+    #: Option 1: valid+dirty per unit, full state once per block.
+    per_unit_bits_option1: int
+    block_bits_option1: int
+    #: Option 2: full state per unit.
+    per_unit_bits_option2: int
+    block_bits_option2: int
+
+    @property
+    def option2_simpler_but_bigger(self) -> bool:
+        return self.block_bits_option2 >= self.block_bits_option1
+
+
+def transfer_unit_encoding(protocol_name: str,
+                           units_per_block: int) -> TransferUnitEncoding:
+    """Compare D.3's two transfer-unit state-storage options."""
+    if units_per_block <= 0:
+        raise ValueError("units_per_block must be positive")
+    full = state_bits(protocol_name)
+    option1_unit = 2  # valid + dirty
+    option1_block = full + option1_unit * units_per_block
+    option2_block = full * units_per_block
+    return TransferUnitEncoding(
+        protocol=protocol_name,
+        units_per_block=units_per_block,
+        per_unit_bits_option1=option1_unit,
+        block_bits_option1=option1_block,
+        per_unit_bits_option2=full,
+        block_bits_option2=option2_block,
+    )

@@ -1,0 +1,138 @@
+"""Analytic formulas from Bitar (1985), as cited by the paper.
+
+The paper quotes three quantitative results derived from A.J. Smith's
+trace statistics:
+
+* **Feature 3** -- the frequency of *changing* a block's dirty status (a
+  write hit to a clean block) is 0.2% to 1.2% of memory references, so
+  non-identical directories "are probably not warranted";
+* **Feature 4** -- the fractional bus-traffic increase of gaining write
+  privilege by a word write-through instead of a one-cycle invalidation
+  "appears to be much less than 1/n" for n-word blocks;
+* **Feature 5** -- likewise for not fetching unshared data with write
+  privilege on a read miss.
+
+Smith's traces are not available; these formulas reproduce the *analysis*
+and the benches additionally measure the same quantities on synthetic
+streams with Smith's published aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import TimingConfig
+
+
+def write_hit_to_clean_frequency(miss_ratio: float,
+                                 written_block_fraction: float) -> float:
+    """Frequency of clean->dirty status changes per memory reference.
+
+    A resident block changes status from clean to dirty at most once per
+    residency (every later write hit finds it already dirty), so the
+    frequency of status *changes* is bounded by the miss ratio times the
+    fraction of block residencies that get written at all:
+
+        f = m * w_b
+
+    With Smith's data (miss ratios of roughly 1%-3% and 20%-40% of
+    resident blocks written) this yields the paper's 0.2%-1.2% range.
+    """
+    if not 0 <= miss_ratio <= 1:
+        raise ValueError("miss_ratio must be in [0, 1]")
+    if not 0 <= written_block_fraction <= 1:
+        raise ValueError("written_block_fraction must be in [0, 1]")
+    return miss_ratio * written_block_fraction
+
+
+def smith_frequency_range() -> tuple[float, float]:
+    """The 0.2%-1.2% range Bitar (1985) derives from Smith's data."""
+    low = write_hit_to_clean_frequency(miss_ratio=0.01, written_block_fraction=0.2)
+    high = write_hit_to_clean_frequency(miss_ratio=0.03, written_block_fraction=0.4)
+    return (low, high)
+
+
+@dataclass(frozen=True)
+class TrafficIncrease:
+    """Fractional bus-cycle increase of a design option, with the paper's
+    1/n bound for comparison."""
+
+    fraction: float
+    bound: float  # 1/n
+
+    @property
+    def well_under_bound(self) -> bool:
+        return self.fraction < self.bound
+
+
+def invalidation_signal_saving(
+    *,
+    words_per_block: int,
+    upgrades_per_reference: float,
+    references_per_fetch: float,
+    timing: TimingConfig | None = None,
+) -> TrafficIncrease:
+    """Feature 4: extra traffic of write-through upgrades vs a one-cycle
+    invalidate signal, as a fraction of fetch traffic.
+
+    A protocol without the invalidate signal pays a word write
+    (``word_write_cycles``) where one with it pays ``invalidate_cycles``;
+    amortized over the block fetches that dominate traffic, the fraction
+    is much less than 1/n for n-word blocks because upgrades are far
+    rarer than fetches.
+    """
+    t = timing or TimingConfig()
+    extra_per_upgrade = t.word_write_cycles() - t.invalidate_cycles
+    fetch_cycles = t.memory_block_cycles(words_per_block)
+    extra_per_fetch = (
+        upgrades_per_reference * references_per_fetch * extra_per_upgrade
+    )
+    return TrafficIncrease(
+        fraction=extra_per_fetch / fetch_cycles,
+        bound=1.0 / words_per_block,
+    )
+
+
+def fetch_for_write_saving(
+    *,
+    words_per_block: int,
+    read_miss_then_write_fraction: float,
+    timing: TimingConfig | None = None,
+) -> TrafficIncrease:
+    """Feature 5: extra traffic of *not* fetching unshared data for write
+    privilege on a read miss.
+
+    Without the feature, a read miss later written costs one extra
+    invalidation/upgrade transaction; with it, nothing.  As a fraction of
+    the block fetch itself this is (upgrade cycles / fetch cycles) times
+    the probability the fetched block is written, which is well under 1/n.
+    """
+    t = timing or TimingConfig()
+    fetch_cycles = t.memory_block_cycles(words_per_block)
+    extra = read_miss_then_write_fraction * t.invalidate_cycles
+    return TrafficIncrease(
+        fraction=extra / fetch_cycles,
+        bound=1.0 / words_per_block,
+    )
+
+
+def fragmentation_transfer_cost(
+    *,
+    words_per_block: int,
+    atom_words: int,
+    transfer_unit_words: int | None,
+    timing: TimingConfig | None = None,
+) -> int:
+    """Section D.3: bus cycles to move an atom between caches.
+
+    With whole-block transfers the entire block moves even when the atom
+    is smaller; with transfer units only the units covering the atom (and
+    dirty units) move.
+    """
+    t = timing or TimingConfig()
+    if transfer_unit_words is None:
+        words = words_per_block
+    else:
+        units = -(-atom_words // transfer_unit_words)
+        words = min(units * transfer_unit_words, words_per_block)
+    return t.bus_address_cycles + t.cache_supply_latency + words * t.word_transfer_cycles

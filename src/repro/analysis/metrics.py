@@ -1,0 +1,78 @@
+"""Derived metrics over :class:`~repro.sim.stats.SimStats`.
+
+Each bench reports through these helpers so the definitions of
+"bus cycles per acquisition" etc. live in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.stats import SimStats
+
+
+@dataclass(frozen=True)
+class LockMetrics:
+    acquisitions: int
+    bus_cycles_per_acquisition: float
+    failed_attempts_per_acquisition: float
+    mean_wait_cycles: float
+    wait_work_fraction: float  # fraction of wait time spent productive
+
+
+def lock_metrics(stats: SimStats) -> LockMetrics:
+    acq = stats.total_lock_acquisitions
+    waits = stats.total_wait_cycles
+    work = sum(p.wait_work_cycles for p in stats.processors.values())
+    return LockMetrics(
+        acquisitions=acq,
+        bus_cycles_per_acquisition=stats.bus_busy_cycles / acq if acq else 0.0,
+        failed_attempts_per_acquisition=(
+            stats.failed_lock_attempts / acq if acq else 0.0
+        ),
+        mean_wait_cycles=waits / acq if acq else 0.0,
+        wait_work_fraction=work / waits if waits else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class TrafficMetrics:
+    total_transactions: int
+    bus_busy_cycles: int
+    bus_utilization: float
+    cycles_per_reference: float
+    word_write_transactions: int
+    fetch_transactions: int
+
+
+def traffic_metrics(stats: SimStats) -> TrafficMetrics:
+    refs = stats.total_reads + stats.total_writes
+    word_writes = stats.txn_counts.get("WRITE_WORD", 0) + stats.txn_counts.get(
+        "UPDATE_WORD", 0
+    )
+    fetches = (
+        stats.txn_counts.get("READ_BLOCK", 0)
+        + stats.txn_counts.get("READ_EXCL", 0)
+        + stats.txn_counts.get("READ_LOCK", 0)
+    )
+    return TrafficMetrics(
+        total_transactions=stats.total_transactions,
+        bus_busy_cycles=stats.bus_busy_cycles,
+        bus_utilization=stats.bus_utilization,
+        cycles_per_reference=stats.bus_busy_cycles / refs if refs else 0.0,
+        word_write_transactions=word_writes,
+        fetch_transactions=fetches,
+    )
+
+
+def processor_utilization(stats: SimStats) -> float:
+    """Fraction of processor cycles spent doing useful work."""
+    total = sum(p.total_cycles for p in stats.processors.values())
+    busy = stats.total_processor_busy_cycles
+    return busy / total if total else 0.0
+
+
+def speedup(baseline_cycles: int, cycles: int) -> float:
+    if cycles == 0:
+        return float("inf")
+    return baseline_cycles / cycles

@@ -1,0 +1,54 @@
+"""Analytic bus-queueing model.
+
+Bitar (1985) is an analytical treatment; in that spirit this module
+provides a simple M/D/1 approximation of the single bus -- deterministic
+service (block transfers have fixed duration), Poisson-ish arrivals from
+many independent processors -- to cross-check the simulator's measured
+arbitration delays (``SimStats.mean_bus_wait``):
+
+    W = rho * S / (2 * (1 - rho))        (mean wait in queue, M/D/1)
+
+with utilization ``rho = lambda * S``.  The approximation is crude for a
+closed system of few processors (arrivals stall while waiting), so the
+bench asserts only the shape: waits grow slowly at low utilization and
+blow up as the bus saturates, with the model tracking the simulation
+within a small factor in the mid-range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.stats import SimStats
+
+
+@dataclass(frozen=True)
+class BusQueueingPoint:
+    utilization: float
+    mean_service: float
+    predicted_wait: float
+    measured_wait: float
+
+
+def md1_mean_wait(utilization: float, mean_service: float) -> float:
+    """Mean queueing delay of an M/D/1 server."""
+    if not 0 <= utilization < 1:
+        raise ValueError("utilization must be in [0, 1)")
+    if mean_service <= 0:
+        raise ValueError("mean_service must be positive")
+    return utilization * mean_service / (2.0 * (1.0 - utilization))
+
+
+def bus_queueing_point(stats: SimStats) -> BusQueueingPoint:
+    """Build a model-vs-measurement point from one run's statistics."""
+    grants = stats.total_transactions
+    if grants == 0:
+        raise ValueError("no bus transactions in the run")
+    mean_service = stats.bus_busy_cycles / grants
+    rho = min(stats.bus_utilization, 0.999)
+    return BusQueueingPoint(
+        utilization=stats.bus_utilization,
+        mean_service=mean_service,
+        predicted_wait=md1_mean_wait(rho, mean_service),
+        measured_wait=stats.mean_bus_wait,
+    )

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for bench output.
+
+The benches print the paper's tables as monospace grids; these helpers
+keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    align_left_first: bool = True,
+) -> str:
+    """Render a list of rows as an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def fmt(row: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            if i == 0 and align_left_first:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(cells[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def render_series(name: str, points: Sequence[tuple[object, object]]) -> str:
+    """Render an (x, y) series the way the paper's figures would tabulate."""
+    lines = [name]
+    for x, y in points:
+        lines.append(f"  {x!s:>12} : {y}")
+    return "\n".join(lines)
+
+
+def format_ratio(numerator: float, denominator: float) -> str:
+    if denominator == 0:
+        return "n/a"
+    return f"{numerator / denominator:.2f}x"

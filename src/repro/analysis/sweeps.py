@@ -1,0 +1,96 @@
+"""Parameter-sweep utilities (numpy-backed).
+
+The figure-style benches all share a shape: vary one parameter, run a
+deterministic simulation per point (optionally over several seeds), and
+extract metrics.  These helpers centralize that, with seed statistics for
+the stochastic workload generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.sim.stats import SimStats
+
+
+@dataclass
+class SweepSeries:
+    """One metric's values along a sweep."""
+
+    name: str
+    xs: np.ndarray
+    values: np.ndarray
+
+    def ratio_to(self, other: "SweepSeries") -> np.ndarray:
+        if not np.array_equal(self.xs, other.xs):
+            raise ValueError("series sampled at different points")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(other.values != 0,
+                            self.values / other.values, np.inf)
+
+    @property
+    def monotone_increasing(self) -> bool:
+        return bool(np.all(np.diff(self.values) >= 0))
+
+    @property
+    def monotone_decreasing(self) -> bool:
+        return bool(np.all(np.diff(self.values) <= 0))
+
+
+@dataclass
+class Sweep:
+    """Run a simulation per x value and collect named metrics."""
+
+    xs: Sequence
+    run: Callable[[object], SimStats]
+    metrics: dict[str, Callable[[SimStats], float]] = field(default_factory=dict)
+
+    def execute(self) -> dict[str, SweepSeries]:
+        if not self.metrics:
+            raise ValueError("no metrics to collect")
+        collected: dict[str, list[float]] = {name: [] for name in self.metrics}
+        for x in self.xs:
+            stats = self.run(x)
+            for name, extract in self.metrics.items():
+                collected[name].append(float(extract(stats)))
+        xs = np.asarray(list(self.xs), dtype=float)
+        return {
+            name: SweepSeries(name=name, xs=xs,
+                              values=np.asarray(vals, dtype=float))
+            for name, vals in collected.items()
+        }
+
+
+@dataclass(frozen=True)
+class SeedStatistics:
+    """Mean/spread of one metric across seeds."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+    def within(self, low: float, high: float) -> bool:
+        return low <= self.mean <= high
+
+
+def over_seeds(
+    seeds: Sequence[int],
+    run: Callable[[int], SimStats],
+    extract: Callable[[SimStats], float],
+) -> SeedStatistics:
+    """Run once per seed and summarize the extracted metric."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values = np.asarray([float(extract(run(seed))) for seed in seeds])
+    return SeedStatistics(
+        mean=float(values.mean()),
+        std=float(values.std(ddof=1)) if len(values) > 1 else 0.0,
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+        n=len(values),
+    )

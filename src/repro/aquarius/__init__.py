@@ -1,0 +1,12 @@
+"""The Aquarius two-switch architecture (Figure 11)."""
+
+from repro.aquarius.crossbar import CROSSBAR_BASE, Crossbar, CrossbarStats
+from repro.aquarius.system import AquariusSimulator, aquarius_workload
+
+__all__ = [
+    "AquariusSimulator",
+    "CROSSBAR_BASE",
+    "Crossbar",
+    "CrossbarStats",
+    "aquarius_workload",
+]

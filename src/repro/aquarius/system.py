@@ -1,0 +1,85 @@
+"""The Aquarius two-switch system (Figure 11, Section G.1).
+
+Program (Prolog) processors, a floating-point processor, and an I/O
+processor share two switch-memory systems: the single **synchronization
+bus** (the upper system -- all hard atoms, running the full-broadcast
+protocol under study) and a **banked crossbar** (the lower system --
+instructions and non-synchronization data, needing only latest-version
+semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.aquarius.crossbar import CROSSBAR_BASE, Crossbar
+from repro.common.config import SystemConfig
+from repro.common.rng import derive_rng
+from repro.processor import isa
+from repro.processor.program import Program
+from repro.sim.engine import Simulator
+from repro.sync.queue import SoftwareQueue
+from repro.workloads.base import layout_for
+
+
+class AquariusSimulator(Simulator):
+    """A :class:`~repro.sim.engine.Simulator` with the lower crossbar
+    system attached to every processor."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        programs: Sequence[Program],
+        *,
+        crossbar_banks: int = 8,
+        crossbar_latency: int = 3,
+        **kwargs,
+    ) -> None:
+        super().__init__(config, programs, **kwargs)
+        self.crossbar = Crossbar(n_banks=crossbar_banks,
+                                 latency=crossbar_latency)
+        for processor in self.processors:
+            processor.crossbar = self.crossbar
+
+
+def aquarius_workload(
+    config: SystemConfig,
+    *,
+    tasks_per_processor: int = 8,
+    crossbar_refs_per_task: int = 6,
+    service_cycles: int = 4,
+    seed: int | None = None,
+) -> list[Program]:
+    """Medium-grained lightweight Prolog tasks (Section G.1).
+
+    Each program processor repeatedly: reads/writes its code and local
+    data through the crossbar (goal reduction), then enqueues a service
+    request on the synchronization bus for the server processor
+    (processor ``n-1``, standing in for the FPP/IOP of Figure 11), which
+    dequeues and services it.
+    """
+    layout = layout_for(config)
+    queue = SoftwareQueue.allocate(layout, capacity=16)
+    base_seed = config.seed if seed is None else seed
+    n = config.num_processors
+    if n < 2:
+        raise ValueError("Aquarius needs at least one worker and one server")
+    programs: list[Program] = []
+    server_ops: list[isa.Op] = []
+    for pid in range(n - 1):
+        rng = derive_rng(base_seed, "aquarius", pid)
+        code_base = CROSSBAR_BASE + pid * 4096
+        ops: list[isa.Op] = []
+        for task in range(tasks_per_processor):
+            for _ in range(crossbar_refs_per_task):
+                addr = code_base + rng.randrange(1024)
+                if rng.random() < 0.3:
+                    ops.append(isa.write(addr, value=pid + 1))
+                else:
+                    ops.append(isa.read(addr))
+            ops += queue.enqueue_ops(pid * 100 + task, ready_work=4)
+            server_ops += queue.dequeue_ops(ready_work=4)
+            server_ops.append(isa.compute(service_cycles))
+        programs.append(Program(ops, name=f"prolog-p{pid}"))
+    programs.append(Program(server_ops, name=f"server-p{n - 1}"))
+    return programs

@@ -1,0 +1,62 @@
+"""Bus arbitration.
+
+Round-robin among equal-priority requesters, with one most-significant
+priority bit reserved for busy-wait registers (Section E.4): after an
+unlock broadcast, waiting caches assert the bit so one of them wins the
+very next arbitration; if no waiter asserts it, arbitration proceeds
+normally "with no wasted time".
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.common.types import CacheId
+
+
+class ArbitrationRequest(Protocol):
+    """What the arbiter needs to know about a standing request."""
+
+    @property
+    def high_priority(self) -> bool: ...
+
+
+class Arbiter:
+    """Priority + round-robin arbiter over cache ids."""
+
+    def __init__(self, ports: list[CacheId]) -> None:
+        if not ports:
+            raise ValueError("arbiter needs at least one port")
+        self._ports = list(ports)
+        self._order = {cid: i for i, cid in enumerate(self._ports)}
+        self._last_winner_index = len(self._ports) - 1
+
+    def arbitrate(
+        self, requests: dict[CacheId, ArbitrationRequest]
+    ) -> CacheId | None:
+        """Pick the winning requester, or ``None`` if there are none.
+
+        High-priority requests always beat normal ones; ties within a
+        priority class are broken round-robin starting after the previous
+        winner.
+        """
+        if not requests:
+            return None
+        high = [cid for cid, req in requests.items() if req.high_priority]
+        pool = high if high else list(requests)
+        winner = self._next_in_order(pool)
+        self._last_winner_index = self._order[winner]
+        return winner
+
+    def _next_in_order(self, candidates: list[CacheId]) -> CacheId:
+        n = len(self._ports)
+        for step in range(1, n + 1):
+            cid = self._ports[(self._last_winner_index + step) % n]
+            if cid in candidates:
+                return cid
+        # Candidates must be registered ports.
+        raise ValueError(f"unknown requesters: {candidates}")
+
+    @property
+    def ports(self) -> list[CacheId]:
+        return list(self._ports)

@@ -1,0 +1,310 @@
+"""The single broadcast bus (Section A.2).
+
+At most one transaction occupies the bus at a time.  A grant is atomic:
+the winning requester's transaction is broadcast, every other port snoops
+and changes state immediately, memory is consulted, and the requester
+completes -- all at the grant cycle.  The transaction then *occupies* the
+bus for a duration derived from :class:`~repro.common.config.TimingConfig`,
+and the requesting processor resumes when the bus frees.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+from repro.bus.arbiter import Arbiter
+from repro.bus.signals import BusResponse, SnoopReply
+from repro.bus.transaction import BusOp, BusTransaction
+from repro.common.config import TimingConfig
+from repro.common.types import CacheId, Stamp
+from repro.protocols.base import Outcome
+from repro.protocols.features import ReadSourcePolicy
+from repro.sim.events import EventKind
+
+if TYPE_CHECKING:
+    from repro.memory.main_memory import MainMemory
+    from repro.sim.clock import Clock
+    from repro.sim.events import TraceLog
+    from repro.sim.stats import SimStats
+
+
+class BusPort(Protocol):
+    """What the bus requires of anything attached to it (caches, I/O)."""
+
+    id: CacheId
+
+    def has_bus_request(self) -> bool: ...
+
+    def bus_request_priority(self) -> bool: ...
+
+    def take_bus_transaction(self) -> BusTransaction: ...
+
+    def on_txn_granted(self, txn: BusTransaction, response: BusResponse,
+                       data: list[Stamp] | None): ...
+
+    def snoop(self, txn: BusTransaction) -> SnoopReply: ...
+
+    def finish_bus_release(self) -> None: ...
+
+
+class Bus:
+    """Single bus with snoop broadcast and a busy-cycle occupancy model."""
+
+    def __init__(
+        self,
+        memory: "MainMemory",
+        timing: TimingConfig,
+        clock: "Clock",
+        stats: "SimStats",
+        trace: "TraceLog",
+    ) -> None:
+        self.memory = memory
+        self.timing = timing
+        self.clock = clock
+        self.stats = stats
+        self.trace = trace
+        self._ports: dict[CacheId, BusPort] = {}
+        self._arbiter: Arbiter | None = None
+        self._busy_until = 0
+        self._active_port: BusPort | None = None
+        #: Retries forced by cache-hold RMW snOop refusals.
+        self.retries = 0
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach(self, port: BusPort) -> None:
+        if port.id in self._ports:
+            raise ValueError(f"port {port.id} already attached")
+        self._ports[port.id] = port
+        self._arbiter = Arbiter(list(self._ports))
+
+    def port(self, cache_id: CacheId) -> BusPort:
+        return self._ports[cache_id]
+
+    @property
+    def busy(self) -> bool:
+        return self.clock.cycle < self._busy_until
+
+    @property
+    def pending_release(self) -> bool:
+        """An expired occupancy whose requester has not been released yet."""
+        return not self.busy and self._active_port is not None
+
+    # -- per-cycle driver ------------------------------------------------------
+
+    def step(self) -> bool:
+        """Advance one cycle; returns True if the bus did anything."""
+        if self.busy:
+            return True
+        if self._active_port is not None:
+            # The occupancy just expired: release the requester.
+            self._active_port.finish_bus_release()
+            self._active_port = None
+        winner = self._arbitrate()
+        if winner is None:
+            return False
+        port = self._ports[winner]
+        txn = port.take_bus_transaction()
+        self._execute(port, txn)
+        return True
+
+    def _arbitrate(self) -> CacheId | None:
+        assert self._arbiter is not None
+        requests = {
+            cid: _PriorityProbe(port.bus_request_priority())
+            for cid, port in self._ports.items()
+            if port.has_bus_request()
+        }
+        if not requests:
+            return None
+        return self._arbiter.arbitrate(requests)  # type: ignore[arg-type]
+
+    # -- transaction execution --------------------------------------------------
+
+    def _execute(self, port: BusPort, txn: BusTransaction) -> None:
+        now = self.clock.cycle
+        self.trace.emit(now, EventKind.BUS_TXN, txn=str(txn))
+
+        replies = self._snoop_all(port, txn)
+        response = BusResponse.combine(replies)
+
+        self._absorb_flushes(txn, replies)
+        data = self._resolve_data(port, txn, response, replies)
+        self._memory_side_effects(txn, response)
+
+        info = port.on_txn_granted(txn, response, data)
+        if info.outcome is Outcome.REBUS and response.retry:
+            self.retries += 1
+
+        duration = self._duration(txn, response, replies, info)
+        self.stats.record_txn(txn.op.name, duration)
+        self._count_events(txn, response)
+        self._busy_until = now + duration
+        self._active_port = port
+
+    def _snoop_all(
+        self, requester: BusPort, txn: BusTransaction
+    ) -> dict[CacheId, SnoopReply]:
+        replies: dict[CacheId, SnoopReply] = {}
+        for cid, port in self._ports.items():
+            if cid == requester.id:
+                continue
+            replies[cid] = port.snoop(txn)
+        return replies
+
+    def _absorb_flushes(
+        self, txn: BusTransaction, replies: dict[CacheId, SnoopReply]
+    ) -> None:
+        for reply in replies.values():
+            if reply.flush_words is not None:
+                self.memory.write_block(txn.block, reply.flush_words)
+                self.stats.flushes += 1
+
+    def _resolve_data(
+        self,
+        port: BusPort,
+        txn: BusTransaction,
+        response: BusResponse,
+        replies: dict[CacheId, SnoopReply],
+    ) -> list[Stamp] | None:
+        if not (txn.op.fetches_block or txn.op is BusOp.IO_OUTPUT_READ):
+            return None
+        if response.locked:
+            return None
+
+        # Purged-lock tags in memory (Section E.3 minor modification).
+        tag = self.memory.lock_tag(txn.block)
+        if tag is not None:
+            if tag.owner == txn.requester:
+                cleared = self.memory.clear_lock_tag(txn.block)
+                assert cleared is not None
+                response.memory_lock_owner = True
+                response.memory_lock_waiter = cleared.waiter
+            else:
+                response.memory_locked = True
+                self.memory.mark_lock_waiter(txn.block)
+                return None
+
+        if response.supplier is not None:
+            reply = replies[response.supplier]
+            assert reply.data is not None
+            self.stats.cache_to_cache_transfers += 1
+            if response.arbitration_candidates:
+                self.stats.source_arbitrations += 1
+            self.trace.emit(self.clock.cycle, EventKind.SUPPLY,
+                            block=txn.block, by=f"cache{response.supplier}",
+                            dirty=response.supplier_dirty)
+            return list(reply.data)
+
+        data = self.memory.read_block(txn.block)
+        self.stats.memory_fetches += 1
+        if response.shared_hit and self._tracks_source_loss(port):
+            self.stats.source_losses += 1
+        self.trace.emit(self.clock.cycle, EventKind.SUPPLY,
+                        block=txn.block, by="memory", dirty=False)
+        return data
+
+    def _tracks_source_loss(self, port: BusPort) -> bool:
+        protocol = getattr(port, "protocol", None)
+        if protocol is None:
+            return False
+        policy = protocol.features().read_source_policy
+        return policy in (ReadSourcePolicy.MEMORY, ReadSourcePolicy.LRU)
+
+    def _memory_side_effects(self, txn: BusTransaction, response: BusResponse) -> None:
+        # Word writes to memory are applied by the requesting protocol in
+        # after_txn (a write whose copy was invalidated while queued must
+        # not blindly reach memory -- it retries as a miss instead).
+        return None
+
+    # -- timing -----------------------------------------------------------------
+
+    def _duration(
+        self,
+        txn: BusTransaction,
+        response: BusResponse,
+        replies: dict[CacheId, SnoopReply],
+        info,
+    ) -> int:
+        t = self.timing
+        wpb = self.memory.words_per_block
+        base = self._base_duration(txn, response, replies, t, wpb)
+        if info.victim_flush_words:
+            base += (
+                t.bus_address_cycles
+                + t.memory_latency
+                + info.victim_flush_words * t.word_transfer_cycles
+            )
+        if info.lock_spilled:
+            base += t.invalidate_cycles
+        base += txn.extra_hold_cycles
+        return max(1, base)
+
+    def _base_duration(self, txn, response, replies, t: TimingConfig, wpb: int) -> int:
+        op = txn.op
+        if response.retry:
+            return t.invalidate_cycles
+        if op in (
+            BusOp.UPGRADE,
+            BusOp.WRITE_NO_FETCH,
+            BusOp.MEMORY_LOCK_WRITE,
+            BusOp.UNLOCK_BROADCAST,
+            BusOp.IO_INPUT,
+        ):
+            return t.invalidate_cycles
+        if op in (BusOp.WRITE_WORD, BusOp.UPDATE_WORD):
+            cycles = t.word_write_cycles()
+            if any(r.flush_words is not None for r in replies.values()):
+                cycles += t.flush_cycles(wpb)
+            return cycles
+        if op is BusOp.MEMORY_RMW:
+            return (
+                t.bus_address_cycles
+                + t.memory_latency
+                + 2 * t.word_transfer_cycles
+            )
+        if op is BusOp.FLUSH_BLOCK:
+            return t.flush_cycles(wpb)
+        if op.fetches_block or op is BusOp.IO_OUTPUT_READ:
+            if response.locked or response.memory_locked:
+                # The refused request consumed only its address cycle.
+                return t.invalidate_cycles
+            if response.supplier is not None:
+                reply = replies[response.supplier]
+                words = reply.supply_words_moved or wpb
+                cycles = (
+                    t.bus_address_cycles
+                    + t.cache_supply_latency
+                    + words * t.word_transfer_cycles
+                    + t.status_transfer_cycles
+                )
+                if response.arbitration_candidates:
+                    cycles += t.source_arbitration_cycles
+                if reply.flush_words is not None and not t.flush_concurrent:
+                    cycles += t.flush_cycles(wpb)
+                return cycles
+            words = txn.words_moved or wpb
+            cycles = t.bus_address_cycles + t.memory_latency
+            cycles += words * t.word_transfer_cycles
+            # A snooper that had to flush before memory could serve the
+            # request (Synapse's read of a dirty-elsewhere block) costs a
+            # full memory write first.
+            if any(r.flush_words is not None for r in replies.values()):
+                cycles += t.flush_cycles(wpb)
+            return cycles
+        raise ValueError(f"no duration rule for {op}")
+
+    def _count_events(self, txn: BusTransaction, response: BusResponse) -> None:
+        if txn.op is BusOp.UNLOCK_BROADCAST:
+            self.stats.unlock_broadcasts += 1
+            if not response.shared_hit:
+                self.stats.spurious_unlock_broadcasts += 1
+
+
+class _PriorityProbe:
+    """Minimal arbiter-request adapter (only priority is consulted)."""
+
+    __slots__ = ("high_priority",)
+
+    def __init__(self, high_priority: bool) -> None:
+        self.high_priority = high_priority

@@ -1,0 +1,115 @@
+"""Dual/multi-bus broadcast systems.
+
+Section A.2: "broadcast is currently seen only in single or dual bus
+systems, because this limits the number of simultaneous broadcasters to
+one or two."  This module provides the dual (generally k-bus) variant:
+blocks are interleaved across buses by block number, each bus arbitrates
+independently, and every cache snoops every bus -- so up to k broadcasts
+proceed per cycle on disjoint address partitions.
+
+Coherence is unaffected: all transactions for one block serialize on that
+block's bus, which is all the single-writer argument needs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.bus.bus import Bus, BusPort
+from repro.bus.signals import SnoopReply
+from repro.bus.transaction import BusTransaction
+from repro.common.config import TimingConfig
+from repro.common.types import BlockAddr, CacheId, Stamp
+
+if TYPE_CHECKING:
+    from repro.memory.main_memory import MainMemory
+    from repro.sim.clock import Clock
+    from repro.sim.events import TraceLog
+    from repro.sim.stats import SimStats
+
+
+class _BusPortView:
+    """One cache's face toward one of the buses: offers the cache's
+    current request only when this bus owns the request's block."""
+
+    def __init__(self, port: BusPort, system: "MultiBusSystem",
+                 bus_index: int) -> None:
+        self._port = port
+        self._system = system
+        self._bus_index = bus_index
+        self.id: CacheId = port.id
+
+    def has_bus_request(self) -> bool:
+        if not self._port.has_bus_request():
+            return False
+        block = getattr(self._port, "current_request_block", lambda: None)()
+        if block is None:
+            # Ports without routing info (e.g. the I/O processor) default
+            # to bus 0.
+            return self._bus_index == 0
+        return self._system.bus_of(block) == self._bus_index
+
+    def bus_request_priority(self) -> bool:
+        return self._port.bus_request_priority()
+
+    def take_bus_transaction(self) -> BusTransaction:
+        return self._port.take_bus_transaction()
+
+    def on_txn_granted(self, txn: BusTransaction, response,
+                       data: list[Stamp] | None):
+        return self._port.on_txn_granted(txn, response, data)
+
+    def snoop(self, txn: BusTransaction) -> SnoopReply:
+        return self._port.snoop(txn)
+
+    def finish_bus_release(self) -> None:
+        self._port.finish_bus_release()
+
+    # The single-bus Bus peeks at `protocol` for source-loss accounting.
+    @property
+    def protocol(self):
+        return getattr(self._port, "protocol", None)
+
+
+class MultiBusSystem:
+    """k independent buses over block-interleaved address partitions."""
+
+    def __init__(
+        self,
+        n_buses: int,
+        memory: "MainMemory",
+        timing: TimingConfig,
+        clock: "Clock",
+        stats: "SimStats",
+        trace: "TraceLog",
+    ) -> None:
+        if n_buses < 1:
+            raise ValueError("need at least one bus")
+        self.n_buses = n_buses
+        self.memory = memory
+        self.buses = [
+            Bus(memory, timing, clock, stats, trace) for _ in range(n_buses)
+        ]
+
+    def bus_of(self, block: BlockAddr) -> int:
+        block_number = block // self.memory.words_per_block
+        return block_number % self.n_buses
+
+    def attach(self, port: BusPort) -> None:
+        for index, bus in enumerate(self.buses):
+            bus.attach(_BusPortView(port, self, index))
+
+    def step(self) -> bool:
+        active = False
+        for bus in self.buses:
+            if bus.step():
+                active = True
+        return active
+
+    @property
+    def busy(self) -> bool:
+        return any(bus.busy for bus in self.buses)
+
+    @property
+    def pending_release(self) -> bool:
+        return any(bus.pending_release for bus in self.buses)

@@ -1,0 +1,23 @@
+"""Snooping caches: states, lines, organization, busy-wait register."""
+
+from repro.cache.busy_wait import BusyWaitRegister, WaitPhase
+from repro.cache.cache import AccessStatus, PendingAccess, SnoopingCache
+from repro.cache.directory import DirectoryModel
+from repro.cache.line import CacheLine
+from repro.cache.organization import CacheArray
+from repro.cache.state import EXCLUSIVE_STATES, READ_STATES, CacheState, Privilege
+
+__all__ = [
+    "AccessStatus",
+    "BusyWaitRegister",
+    "CacheArray",
+    "CacheLine",
+    "CacheState",
+    "DirectoryModel",
+    "EXCLUSIVE_STATES",
+    "PendingAccess",
+    "Privilege",
+    "READ_STATES",
+    "SnoopingCache",
+    "WaitPhase",
+]

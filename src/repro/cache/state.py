@@ -1,0 +1,102 @@
+"""Cache-line states.
+
+This is the union of the state vocabularies of every protocol in Table 1,
+named after the paper's Section E.1 decomposition: privilege (invalid /
+read / write / lock), source, clean/dirty, waiter.  Each protocol uses a
+subset (its ``states()``) and decides which of its states carry source
+status (Table 1 marks the same state ``N`` in one column and ``S`` in
+another -- e.g. Write-Clean is non-source under Yen but source under
+Papamarcos & Patel).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Privilege(enum.Enum):
+    INVALID = 0
+    READ = 1  # shared-access privilege
+    WRITE = 2  # sole-access privilege
+    LOCK = 3  # sole-access privilege, locked by this cache
+
+
+class CacheState(enum.Enum):
+    """Union state space over all protocols reproduced here."""
+
+    INVALID = "I"
+    #: Read privilege, non-source, clean (Goodman's Valid).
+    READ = "R"
+    #: Read privilege, source, clean (the proposal; last fetcher is source).
+    READ_SOURCE_CLEAN = "RSC"
+    #: Read privilege, source, dirty (Katz et al.'s dirty-read state).
+    READ_SOURCE_DIRTY = "RSD"
+    #: Write privilege, clean (Goodman's Reserved / Illinois' Exclusive).
+    WRITE_CLEAN = "WC"
+    #: Write privilege, dirty (Modified).
+    WRITE_DIRTY = "WD"
+    #: Lock privilege, source, dirty (the proposal, Section E.3).
+    LOCK = "L"
+    #: Lock privilege with a recorded waiter (Figure 7).
+    LOCK_WAITER = "LW"
+
+    @property
+    def privilege(self) -> Privilege:
+        return _PRIVILEGE[self]
+
+    @property
+    def valid(self) -> bool:
+        return self is not CacheState.INVALID
+
+    @property
+    def readable(self) -> bool:
+        return self.privilege is not Privilege.INVALID
+
+    @property
+    def writable(self) -> bool:
+        """The processor may write without a bus transaction."""
+        return self.privilege in (Privilege.WRITE, Privilege.LOCK)
+
+    @property
+    def locked(self) -> bool:
+        return self.privilege is Privilege.LOCK
+
+    @property
+    def dirty(self) -> bool:
+        return self in (
+            CacheState.READ_SOURCE_DIRTY,
+            CacheState.WRITE_DIRTY,
+            CacheState.LOCK,
+            CacheState.LOCK_WAITER,
+        )
+
+    @property
+    def waiter(self) -> bool:
+        return self is CacheState.LOCK_WAITER
+
+
+_PRIVILEGE = {
+    CacheState.INVALID: Privilege.INVALID,
+    CacheState.READ: Privilege.READ,
+    CacheState.READ_SOURCE_CLEAN: Privilege.READ,
+    CacheState.READ_SOURCE_DIRTY: Privilege.READ,
+    CacheState.WRITE_CLEAN: Privilege.WRITE,
+    CacheState.WRITE_DIRTY: Privilege.WRITE,
+    CacheState.LOCK: Privilege.LOCK,
+    CacheState.LOCK_WAITER: Privilege.LOCK,
+}
+
+#: States a snooping cache may legally hold while *another* cache holds
+#: write or lock privilege: none but INVALID (single-writer invariant).
+EXCLUSIVE_STATES = frozenset(
+    {
+        CacheState.WRITE_CLEAN,
+        CacheState.WRITE_DIRTY,
+        CacheState.LOCK,
+        CacheState.LOCK_WAITER,
+    }
+)
+
+READ_STATES = frozenset(
+    {CacheState.READ, CacheState.READ_SOURCE_CLEAN, CacheState.READ_SOURCE_DIRTY}
+)

@@ -1,0 +1,288 @@
+"""Command-line interface: ``python -m repro``.
+
+Runs a named workload on a chosen protocol and prints the statistics, the
+regenerated Table 1/Table 2, or the Figure-10 transition enumeration.
+
+Examples::
+
+    python -m repro run --protocol bitar-despain --workload lock-contention
+    python -m repro run --protocol illinois --workload sharing -n 8
+    python -m repro table1
+    python -m repro figure10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro import CacheConfig, LockStyle, SystemConfig, run_workload
+from repro.analysis import (
+    build_table1,
+    lock_metrics,
+    render_figure10,
+    render_table,
+    render_table2,
+    traffic_metrics,
+)
+from repro.common.config import WaitMode
+from repro.protocols import PROTOCOLS
+from repro.workloads import (
+    interleaved_sharing,
+    lock_contention,
+    migration,
+    process_switch,
+    producer_consumer,
+    prolog_and_parallel,
+    request_queue,
+    sleep_wait,
+    smith_stream,
+)
+
+
+def _lowered(programs, style: LockStyle):
+    return [p.lowered(style) for p in programs]
+
+
+WORKLOADS: dict[str, Callable] = {
+    "lock-contention": lambda cfg, style: lock_contention(cfg, lock_style=style),
+    "producer-consumer": lambda cfg, style: producer_consumer(cfg, lock_style=style),
+    "request-queue": lambda cfg, style: request_queue(cfg, lock_style=style),
+    "sharing": lambda cfg, style: interleaved_sharing(cfg),
+    "migration": lambda cfg, style: migration(cfg),
+    "process-switch": lambda cfg, style: process_switch(cfg),
+    "smith": lambda cfg, style: smith_stream(cfg),
+    "prolog": lambda cfg, style: _lowered(prolog_and_parallel(cfg), style),
+    "sleep-wait": lambda cfg, style: _lowered(sleep_wait(cfg), style),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Simulate the cache-synchronization protocols of Bitar & "
+            "Despain (ISCA 1986)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a workload and print statistics")
+    run.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                     default="bitar-despain")
+    run.add_argument("--workload", choices=sorted(WORKLOADS),
+                     default="lock-contention")
+    run.add_argument("-n", "--processors", type=int, default=4)
+    run.add_argument("--buses", type=int, default=1,
+                     help="broadcast buses (1 or 2; blocks interleave)")
+    run.add_argument("--words-per-block", type=int, default=None,
+                     help="block size in words (default 4; 1 for rudolph-segall)")
+    run.add_argument("--cache-blocks", type=int, default=64)
+    run.add_argument("--lock-style",
+                     choices=[s.value for s in LockStyle], default=None,
+                     help="defaults to cache-lock on the proposal, ttas elsewhere")
+    run.add_argument("--work-while-waiting", action="store_true",
+                     help="execute ready sections while busy-waiting (E.4)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--verify-every", type=int, default=0, metavar="N",
+                     help="run the invariant checker every N cycles")
+    run.add_argument("--trace", metavar="FILE", default=None,
+                     help="drive the simulator from a trace file instead "
+                          "of a named workload")
+    run.add_argument("--dump-trace", metavar="FILE", default=None,
+                     help="write the generated workload to a trace file")
+    run.add_argument("--json", action="store_true",
+                     help="emit the full statistics as JSON")
+
+    sweep = sub.add_parser(
+        "sweep", help="sweep processor count and print cycles/utilization"
+    )
+    sweep.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                       default="bitar-despain")
+    sweep.add_argument("--workload", choices=sorted(WORKLOADS),
+                       default="lock-contention")
+    sweep.add_argument("--processors", nargs="+", type=int,
+                       default=[2, 4, 8])
+
+    compare = sub.add_parser(
+        "compare", help="run one workload across the whole protocol field"
+    )
+    compare.add_argument("--workload", choices=sorted(WORKLOADS),
+                         default="lock-contention")
+    compare.add_argument("-n", "--processors", type=int, default=4)
+    compare.add_argument("--protocols", nargs="+", default=None,
+                         choices=sorted(PROTOCOLS),
+                         help="defaults to the six Table-1 protocols")
+
+    conform = sub.add_parser(
+        "conformance", help="run the protocol conformance battery"
+    )
+    conform.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                         required=True)
+
+    sub.add_parser("table1", help="print the regenerated Table 1")
+    sub.add_parser("table2", help="print the regenerated Table 2")
+    sub.add_parser("figure10", help="print the state-transition enumeration")
+    sub.add_parser("protocols", help="list the implemented protocols")
+    return parser
+
+
+def _default_wpb(protocol: str) -> int:
+    return 1 if protocol == "rudolph-segall" else 4
+
+
+def _default_style(protocol: str) -> LockStyle:
+    return LockStyle.CACHE_LOCK if protocol == "bitar-despain" else LockStyle.TTAS
+
+
+def command_run(args: argparse.Namespace) -> int:
+    wpb = args.words_per_block or _default_wpb(args.protocol)
+    style = (LockStyle(args.lock_style) if args.lock_style
+             else _default_style(args.protocol))
+    config = SystemConfig(
+        num_processors=args.processors,
+        protocol=args.protocol,
+        num_buses=args.buses,
+        strict_verify=args.protocol != "write-through",
+        wait_mode=WaitMode.WORK if args.work_while_waiting else WaitMode.SPIN,
+        cache=CacheConfig(words_per_block=wpb, num_blocks=args.cache_blocks),
+        seed=args.seed,
+    )
+    if args.trace:
+        from repro.workloads.trace import load_trace
+
+        programs = load_trace(args.trace, num_processors=args.processors)
+    else:
+        programs = WORKLOADS[args.workload](config, style)
+    if args.dump_trace:
+        from repro.workloads.trace import dump_trace
+
+        with open(args.dump_trace, "w", encoding="utf-8") as handle:
+            handle.write(dump_trace(programs))
+    stats = run_workload(config, programs, check_interval=args.verify_every)
+
+    if args.json:
+        print(stats.to_json())
+        return 0
+    rows = [[k, v] for k, v in stats.to_dict().items()]
+    print(render_table(["metric", "value"], rows,
+                       title=f"{args.workload} on {args.protocol} "
+                             f"({args.processors} processors)"))
+    locks = lock_metrics(stats)
+    if locks.acquisitions:
+        print(f"\nlock acquisitions       : {locks.acquisitions}")
+        print(f"bus cycles/acquisition  : {locks.bus_cycles_per_acquisition:.1f}")
+        print(f"failed attempts/acq     : {locks.failed_attempts_per_acquisition:.2f}")
+    traffic = traffic_metrics(stats)
+    print(f"bus cycles/reference    : {traffic.cycles_per_reference:.2f}")
+    return 0
+
+
+def command_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sweeps import Sweep
+
+    def run(n):
+        wpb = _default_wpb(args.protocol)
+        config = SystemConfig(
+            num_processors=int(n),
+            protocol=args.protocol,
+            strict_verify=args.protocol != "write-through",
+            cache=CacheConfig(words_per_block=wpb, num_blocks=64),
+        )
+        programs = WORKLOADS[args.workload](
+            config, _default_style(args.protocol)
+        )
+        return run_workload(config, programs)
+
+    series = Sweep(
+        xs=args.processors,
+        run=run,
+        metrics={
+            "cycles": lambda s: s.cycles,
+            "bus utilization": lambda s: s.bus_utilization,
+            "failed lock attempts": lambda s: s.failed_lock_attempts,
+        },
+    ).execute()
+    rows = [
+        [n,
+         int(series["cycles"].values[i]),
+         f"{series['bus utilization'].values[i]:.0%}",
+         int(series["failed lock attempts"].values[i])]
+        for i, n in enumerate(args.processors)
+    ]
+    print(render_table(
+        ["processors", "cycles", "bus utilization", "failed attempts"],
+        rows,
+        title=f"{args.workload} on {args.protocol}",
+        align_left_first=False,
+    ))
+    return 0
+
+
+def command_compare(args: argparse.Namespace) -> int:
+    from repro import TABLE1_PROTOCOLS
+    from repro.analysis.comparison import compare_protocols, render_comparison
+
+    protocols = args.protocols or list(TABLE1_PROTOCOLS)
+    rows = compare_protocols(
+        protocols,
+        lambda cfg, style: WORKLOADS[args.workload](cfg, style),
+        num_processors=args.processors,
+    )
+    print(render_comparison(
+        rows, title=f"{args.workload} ({args.processors} processors)"
+    ))
+    return 0
+
+
+def command_conformance(args: argparse.Namespace) -> int:
+    from repro.verify.conformance import check_conformance
+
+    findings = check_conformance(
+        args.protocol, serializing=args.protocol != "write-through"
+    )
+    if findings:
+        for finding in findings:
+            print(f"FAIL {finding}")
+        return 1
+    print(f"{args.protocol}: conformant "
+          f"(all applicable checks passed)")
+    return 0
+
+
+def command_protocols(args: argparse.Namespace) -> int:
+    rows = [
+        [name, cls.features().citation, len(cls.states())]
+        for name, cls in sorted(PROTOCOLS.items())
+    ]
+    print(render_table(["name", "citation", "states"], rows))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return command_run(args)
+    if args.command == "sweep":
+        return command_sweep(args)
+    if args.command == "compare":
+        return command_compare(args)
+    if args.command == "conformance":
+        return command_conformance(args)
+    if args.command == "table1":
+        print(build_table1().render())
+        return 0
+    if args.command == "table2":
+        print(render_table2())
+        return 0
+    if args.command == "figure10":
+        print(render_figure10())
+        return 0
+    if args.command == "protocols":
+        return command_protocols(args)
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

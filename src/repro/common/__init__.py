@@ -1,0 +1,57 @@
+"""Shared value types, configuration, and errors."""
+
+from repro.common.config import (
+    CacheConfig,
+    DirectoryKind,
+    RmwMethod,
+    SystemConfig,
+    TimingConfig,
+    WaitMode,
+)
+from repro.common.errors import (
+    CoherenceViolation,
+    ConfigError,
+    DeadlockError,
+    ProgramError,
+    ProtocolError,
+    ReproError,
+    SerializationViolation,
+    UnknownProtocolError,
+)
+from repro.common.types import (
+    AddressRange,
+    BlockAddr,
+    CacheId,
+    Cycle,
+    ProcessorId,
+    Stamp,
+    WordAddr,
+    block_of,
+    word_offset,
+)
+
+__all__ = [
+    "AddressRange",
+    "BlockAddr",
+    "CacheConfig",
+    "CacheId",
+    "CoherenceViolation",
+    "ConfigError",
+    "Cycle",
+    "DeadlockError",
+    "DirectoryKind",
+    "ProcessorId",
+    "ProgramError",
+    "ProtocolError",
+    "ReproError",
+    "RmwMethod",
+    "SerializationViolation",
+    "Stamp",
+    "SystemConfig",
+    "TimingConfig",
+    "UnknownProtocolError",
+    "WaitMode",
+    "WordAddr",
+    "block_of",
+    "word_offset",
+]

@@ -1,0 +1,212 @@
+"""Configuration objects for the simulated system.
+
+Timing defaults are modeling choices, not paper numbers (the paper reports
+none); they are chosen so that the *relative* costs the paper argues about
+are represented: a one-cycle invalidation / unlock broadcast (Feature 4 and
+Section E.4), cache-to-cache transfer faster than a memory fetch
+(Papamarcos & Patel's motivation, Section F.2), and a per-word bus
+occupancy so that block size matters (Sections D.3, F.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+
+
+class DirectoryKind(enum.Enum):
+    """Feature 3 of Table 1: how the cache directory is organized.
+
+    * ``IDENTICAL_DUAL`` -- two identical copies, one for the processor and
+      one for the bus; processor status writes (dirty updates) interfere
+      with bus snoops.
+    * ``NON_IDENTICAL_DUAL`` -- clean/dirty status lives only in the
+      processor directory (and waiter status only in the bus directory),
+      eliminating the interference.
+    * ``DUAL_PORTED_READ`` -- a single directory with dual-ported reads
+      (Katz et al.); writes still interfere.
+    """
+
+    IDENTICAL_DUAL = "ID"
+    NON_IDENTICAL_DUAL = "NID"
+    DUAL_PORTED_READ = "DPR"
+
+
+class RmwMethod(enum.Enum):
+    """Feature 6 of Table 1: the four atomic read-modify-write methods."""
+
+    MEMORY_HOLD = "memory-hold"  # hold the memory unit throughout (Rudolph/Segall)
+    CACHE_HOLD = "cache-hold"  # fetch exclusive, hold the cache (Frank)
+    BUS_HOLD = "bus-hold"  # P&P variant: hold the bus through to the write
+    OPTIMISTIC = "optimistic"  # fetch at the write; abort on steal
+    LOCK_STATE = "lock-state"  # use the cache lock state (the proposal)
+
+
+class WaitMode(enum.Enum):
+    """How a processor behaves while busy-waiting for a lock (Section E.4)."""
+
+    SPIN = "spin"  # idle (or loop in cache) until the lock is free
+    WORK = "work"  # execute a ready section while waiting
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Bus/memory/cache latencies, in bus cycles."""
+
+    cache_hit_cycles: int = 1
+    #: Cycles for the address/arbitration phase of any bus transaction.
+    bus_address_cycles: int = 1
+    #: Additional cycles per word moved over the bus.
+    word_transfer_cycles: int = 1
+    #: Memory access latency before the first word is available.
+    memory_latency: int = 6
+    #: Cache lookup latency before a cache-to-cache transfer starts.
+    cache_supply_latency: int = 1
+    #: Extra cycles when multiple read sources must arbitrate (Illinois,
+    #: Feature 8 ``ARB``).
+    source_arbitration_cycles: int = 2
+    #: Extra bus cycles to carry clean/dirty status with a block when the
+    #: protocol transfers it (Feature 7 ``S``); 0 models a spare bus line.
+    status_transfer_cycles: int = 0
+    #: True if a flush-on-transfer proceeds concurrently with the
+    #: cache-to-cache transfer (Feature 7 discussion); if False the flush
+    #: costs an extra memory write on the bus.
+    flush_concurrent: bool = True
+    #: One-cycle invalidation / unlock broadcast (Feature 4, Section E.4).
+    invalidate_cycles: int = 1
+    #: Modify-phase cycles an atomic RMW holds the bus under the bus-hold
+    #: method (Feature 6, Papamarcos & Patel variant).
+    rmw_modify_cycles: int = 2
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cache_hit_cycles",
+            "bus_address_cycles",
+            "word_transfer_cycles",
+            "memory_latency",
+            "cache_supply_latency",
+            "source_arbitration_cycles",
+            "status_transfer_cycles",
+            "invalidate_cycles",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigError(f"{name} must be non-negative, got {value}")
+
+    def memory_block_cycles(self, words_per_block: int) -> int:
+        """Bus occupancy of a block fetch serviced by main memory."""
+        return (
+            self.bus_address_cycles
+            + self.memory_latency
+            + self.word_transfer_cycles * words_per_block
+        )
+
+    def cache_block_cycles(self, words_per_block: int, *, arbitrate: bool = False) -> int:
+        """Bus occupancy of a cache-to-cache block transfer."""
+        cycles = (
+            self.bus_address_cycles
+            + self.cache_supply_latency
+            + self.word_transfer_cycles * words_per_block
+            + self.status_transfer_cycles
+        )
+        if arbitrate:
+            cycles += self.source_arbitration_cycles
+        return cycles
+
+    def word_write_cycles(self) -> int:
+        """Bus occupancy of a write-through / update of a single word."""
+        return self.bus_address_cycles + self.word_transfer_cycles
+
+    def flush_cycles(self, words_per_block: int) -> int:
+        """Bus occupancy of a block flush (write-back) to memory."""
+        return (
+            self.bus_address_cycles
+            + self.memory_latency
+            + self.word_transfer_cycles * words_per_block
+        )
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of one processor cache."""
+
+    words_per_block: int = 4
+    #: Number of block frames in the cache.
+    num_blocks: int = 64
+    #: Associativity; ``None`` means fully associative (the paper's default
+    #: assumption in Section E.3).
+    assoc: int | None = None
+    #: Transfer-unit size in words (Section D.3); ``None`` means whole-block
+    #: transfers.
+    transfer_unit_words: int | None = None
+    directory: DirectoryKind = DirectoryKind.IDENTICAL_DUAL
+
+    def __post_init__(self) -> None:
+        if self.words_per_block <= 0:
+            raise ConfigError("words_per_block must be positive")
+        if self.num_blocks <= 0:
+            raise ConfigError("num_blocks must be positive")
+        if self.assoc is not None:
+            if self.assoc <= 0:
+                raise ConfigError("assoc must be positive or None")
+            if self.num_blocks % self.assoc != 0:
+                raise ConfigError(
+                    f"num_blocks ({self.num_blocks}) must be divisible by "
+                    f"assoc ({self.assoc})"
+                )
+        if self.transfer_unit_words is not None:
+            if self.transfer_unit_words <= 0:
+                raise ConfigError("transfer_unit_words must be positive or None")
+            if self.words_per_block % self.transfer_unit_words != 0:
+                raise ConfigError(
+                    "words_per_block must be a multiple of transfer_unit_words"
+                )
+
+    @property
+    def fully_associative(self) -> bool:
+        return self.assoc is None
+
+    @property
+    def num_sets(self) -> int:
+        if self.assoc is None:
+            return 1
+        return self.num_blocks // self.assoc
+
+    @property
+    def ways(self) -> int:
+        return self.num_blocks if self.assoc is None else self.assoc
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete description of a simulated system."""
+
+    num_processors: int = 4
+    protocol: str = "bitar-despain"
+    #: Broadcast buses (Section A.2: "single or dual bus systems").
+    #: Blocks are interleaved across buses by block number.
+    num_buses: int = 1
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    timing: TimingConfig = field(default_factory=TimingConfig)
+    rmw_method: RmwMethod = RmwMethod.LOCK_STATE
+    wait_mode: WaitMode = WaitMode.SPIN
+    #: Include an I/O processor port on the bus.
+    with_io: bool = False
+    #: Raise :class:`~repro.common.errors.CoherenceViolation` immediately on
+    #: an invariant failure instead of counting it (the classic write-through
+    #: scheme legitimately produces stale reads -- Section F.1 -- so its
+    #: benches run with ``strict_verify=False``).
+    strict_verify: bool = True
+    #: Cycles without any progress before declaring deadlock.
+    deadlock_horizon: int = 100_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_processors <= 0:
+            raise ConfigError("num_processors must be positive")
+        if self.num_buses <= 0:
+            raise ConfigError("num_buses must be positive")
+        if self.deadlock_horizon <= 0:
+            raise ConfigError("deadlock_horizon must be positive")

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the reproduction library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class ProtocolError(ReproError):
+    """A coherence protocol reached a state/transition the paper forbids.
+
+    Figure 10 of the paper states "arcs not shown would be bugs"; this
+    exception is the simulator's rendering of such a bug.
+    """
+
+
+class CoherenceViolation(ReproError):
+    """A coherence invariant was violated during simulation (verify layer)."""
+
+
+class SerializationViolation(ReproError):
+    """A conflicting read/write pair was not serialized (hard-atom check)."""
+
+
+class DeadlockError(ReproError):
+    """The simulation made no progress for an implausibly long interval."""
+
+
+class ProgramError(ReproError):
+    """A processor program is malformed (e.g. unlock without a lock)."""
+
+
+class UnknownProtocolError(ReproError, KeyError):
+    """A protocol name is not present in the registry."""

@@ -1,0 +1,73 @@
+"""Address-space layout: block-aligned allocation and atoms.
+
+Placement follows the paper's Section D.2 rule for write-in systems:
+*blocks are devoted to atoms* -- each lock-protected atom starts at a
+block boundary and no unrelated data shares its blocks, so that when a
+process locks an atom no other process contends for its blocks.
+
+(Lives under ``common`` because both the synchronization library and the
+workload generators build on it.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import SystemConfig
+from repro.common.types import BlockAddr, WordAddr
+
+
+@dataclass
+class Layout:
+    """Sequential allocator of block-aligned regions."""
+
+    words_per_block: int
+    _next_block: int = 0
+
+    def block(self) -> BlockAddr:
+        """Allocate one block; returns its base word address."""
+        addr = self._next_block * self.words_per_block
+        self._next_block += 1
+        return addr
+
+    def blocks(self, n: int) -> list[BlockAddr]:
+        return [self.block() for _ in range(n)]
+
+    def region(self, n_words: int) -> list[WordAddr]:
+        """Allocate ``n_words`` words spanning whole blocks."""
+        n_blocks = -(-n_words // self.words_per_block)
+        base = self.block()
+        for _ in range(n_blocks - 1):
+            self.block()
+        return [base + i for i in range(n_words)]
+
+
+@dataclass
+class Atom:
+    """A lock-protected shared object: a lock word plus data words.
+
+    The lock word is the first word of the atom's first block, matching
+    Section E.3 ("the first read and last write of the atom will probably
+    be to the first block").
+    """
+
+    base: WordAddr
+    n_words: int
+
+    @property
+    def lock_word(self) -> WordAddr:
+        return self.base
+
+    def data_words(self) -> list[WordAddr]:
+        return [self.base + 1 + i for i in range(self.n_words - 1)]
+
+    @staticmethod
+    def allocate(layout: Layout, n_words: int) -> "Atom":
+        if n_words < 1:
+            raise ValueError("an atom needs at least its lock word")
+        words = layout.region(n_words)
+        return Atom(base=words[0], n_words=n_words)
+
+
+def layout_for(config: SystemConfig) -> Layout:
+    return Layout(words_per_block=config.cache.words_per_block)

@@ -1,0 +1,5 @@
+"""The paper's primary contribution: the lock-integrated protocol."""
+
+from repro.core.lock_protocol import BitarDespainProtocol
+
+__all__ = ["BitarDespainProtocol"]

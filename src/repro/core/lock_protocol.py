@@ -1,0 +1,228 @@
+"""The paper's proposed protocol (Sections E and F, Table 1 last column).
+
+Eight states (Section E.1), cache-state locking in zero time (E.3),
+efficient busy wait via the lock-waiter state and busy-wait register
+(E.4), dynamic fetch-for-write on read miss (Figure 1, Feature 5 ``D``),
+no flush on cache-to-cache transfer with status carried along (Feature 7
+``NF,S``), last-fetcher-becomes-source (Feature 8 ``LRU,MEM``), and
+write-without-fetch (Feature 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from repro.bus.signals import SnoopReply
+from repro.bus.transaction import BusOp, BusTransaction
+from repro.cache.state import CacheState
+from repro.common.errors import ProgramError
+from repro.common.types import Stamp, WordAddr
+from repro.processor.isa import OpKind
+from repro.protocols.base import (
+    Action,
+    CoherenceProtocol,
+    Done,
+    NeedBus,
+    Outcome,
+    TxnResult,
+)
+from repro.protocols.features import (
+    DirectoryDuality,
+    FlushPolicy,
+    ProtocolFeatures,
+    ReadSourcePolicy,
+    SharingDetermination,
+)
+from repro.sim.events import EventKind
+
+if TYPE_CHECKING:
+    from repro.cache.cache import PendingAccess
+    from repro.cache.line import CacheLine
+
+_FEATURES = ProtocolFeatures(
+    name="Our proposal (Bitar & Despain)",
+    citation="Bitar, Despain 1986",
+    year=1986,
+    distributed_state="RWLDS",
+    directory=DirectoryDuality.NON_IDENTICAL_DUAL,
+    bus_invalidate_signal=True,
+    fetch_for_write_on_read_miss=SharingDetermination.DYNAMIC,
+    atomic_rmw=True,
+    flush_policy=FlushPolicy.NO_FLUSH_WITH_STATUS,
+    read_source_policy=ReadSourcePolicy.LRU,
+    write_without_fetch=True,
+    efficient_busy_wait=True,
+    state_roles={
+        CacheState.INVALID: "N",
+        CacheState.READ: "N",
+        CacheState.READ_SOURCE_CLEAN: "S",
+        CacheState.READ_SOURCE_DIRTY: "S",
+        CacheState.WRITE_CLEAN: "S",
+        CacheState.WRITE_DIRTY: "S",
+        CacheState.LOCK: "S",
+        CacheState.LOCK_WAITER: "S",
+    },
+)
+
+
+class BitarDespainProtocol(CoherenceProtocol):
+    """Full-broadcast write-in protocol with lock and lock-waiter states."""
+
+    name = "bitar-despain"
+
+    @classmethod
+    def features(cls) -> ProtocolFeatures:
+        return _FEATURES
+
+    # -- processor side ---------------------------------------------------
+
+    def processor_read(
+        self, line: "CacheLine | None", addr: WordAddr, private_hint: bool = False
+    ) -> Action:
+        if line is not None and line.state.readable:
+            return Done(value=line.read_word(self.cache.offset(addr)))
+        # Figure 1: the fill state is decided dynamically by the hit line.
+        return NeedBus(op=BusOp.READ_BLOCK)
+
+    def processor_lock(self, line: "CacheLine | None", addr: WordAddr) -> Action:
+        """The lock instruction: a special read that locks the block
+        (Figure 6).  With write privilege in hand, locking is zero-time."""
+        if line is not None and line.state.locked:
+            raise ProgramError(
+                f"cache {self.cache.id}: lock of already-locked block "
+                f"{line.block} (nested locks on one block are not supported)"
+            )
+        if line is not None and line.state.writable:
+            line.state = CacheState.LOCK
+            self.cache.trace.emit(self.cache.now(), EventKind.LOCK,
+                                  cache=self.cache.id, block=line.block,
+                                  action="locked-in-place")
+            return Done(value=line.read_word(self.cache.offset(addr)))
+        if line is not None and line.state.readable:
+            return NeedBus(op=BusOp.UPGRADE, lock_intent=True)
+        return NeedBus(op=BusOp.READ_LOCK, lock_intent=True)
+
+    def processor_unlock(
+        self, line: "CacheLine | None", addr: WordAddr, stamp: Stamp
+    ) -> Action:
+        """The unlock instruction: the final write to the locked block
+        (Figure 8).  Broadcasts the unlock only if a waiter was recorded."""
+        if line is None:
+            # The locked block was purged; its lock tag is in memory.
+            # Refetch with lock, then unlock (multi-phase).
+            return NeedBus(op=BusOp.READ_LOCK, lock_intent=True)
+        if not line.state.locked:
+            raise ProgramError(
+                f"cache {self.cache.id}: unlock of block {line.block} "
+                f"which is not locked here (state {line.state})"
+            )
+        self.cache.apply_write(line, addr, stamp)
+        self._release(line)
+        return Done(write_applied=True)
+
+    def _release(self, line: "CacheLine") -> None:
+        if line.state is CacheState.LOCK_WAITER:
+            self.cache.queue_detached(
+                NeedBus(op=BusOp.UNLOCK_BROADCAST), line.block
+            )
+        line.state = CacheState.WRITE_DIRTY
+        self.cache.trace.emit(self.cache.now(), EventKind.LOCK,
+                              cache=self.cache.id, block=line.block,
+                              action="unlocked")
+
+    def processor_write_block(self, line: "CacheLine | None", addr: WordAddr) -> Action:
+        """Feature 9: write-without-fetch on a write miss (save state)."""
+        if line is not None and line.state.writable:
+            return Done()
+        return NeedBus(op=BusOp.WRITE_NO_FETCH)
+
+    # -- requester side -----------------------------------------------------
+
+    def after_txn(
+        self,
+        pending: "PendingAccess",
+        txn: BusTransaction,
+        response,
+        data: list[Stamp] | None,
+    ) -> TxnResult:
+        if txn.op is BusOp.WRITE_NO_FETCH:
+            blank = [0] * self.cache.config.words_per_block
+            self.cache.install_block(txn.block, CacheState.WRITE_CLEAN, blank)
+            return TxnResult(Outcome.DONE)
+
+        if txn.op is BusOp.UPGRADE:
+            line = self.cache.line_for(txn.block)
+            if line is None:
+                op = BusOp.READ_LOCK if txn.lock_intent else BusOp.READ_EXCL
+                return TxnResult(
+                    Outcome.REBUS, NeedBus(op=op, lock_intent=txn.lock_intent)
+                )
+            if response.locked:  # cannot happen: we held a valid copy
+                return TxnResult(Outcome.WAIT_LOCK)
+            line.state = CacheState.LOCK if txn.lock_intent else CacheState.WRITE_CLEAN
+            return TxnResult(Outcome.DONE)
+
+        if txn.op.fetches_block:
+            if response.locked or response.memory_locked:
+                return TxnResult(Outcome.WAIT_LOCK)
+            assert data is not None
+            state = self.fill_state(txn, response)
+            line = self.cache.install_block(txn.block, state, data)
+            if pending.op.kind is OpKind.UNLOCK:
+                # Refetched a spilled lock in order to unlock it.
+                assert pending.op.stamp is not None and pending.op.addr is not None
+                self.cache.apply_write(line, pending.op.addr, pending.op.stamp)
+                self._release(line)
+                pending.write_applied = True
+            return TxnResult(Outcome.DONE)
+
+        return super().after_txn(pending, txn, response, data)
+
+    def fill_state(self, txn: BusTransaction, response) -> CacheState:
+        if response.memory_lock_owner:
+            # The owner touched a block whose lock had been spilled to
+            # memory (E.3): re-establish the in-cache lock state.
+            return (
+                CacheState.LOCK_WAITER
+                if response.memory_lock_waiter
+                else CacheState.LOCK
+            )
+        if txn.op is BusOp.READ_LOCK:
+            # A busy-wait win or a recorded memory waiter means more waiters
+            # probably exist: enter lock-waiter (Figure 9, "since that will
+            # probably be appropriate").
+            if txn.high_priority or response.memory_lock_waiter:
+                return CacheState.LOCK_WAITER
+            return CacheState.LOCK
+        if txn.op is BusOp.READ_EXCL:
+            return (
+                CacheState.WRITE_DIRTY
+                if response.supplier_dirty
+                else CacheState.WRITE_CLEAN
+            )
+        # READ_BLOCK: Figure 1 -- no other holder means take write privilege.
+        if not response.shared_hit:
+            return CacheState.WRITE_CLEAN
+        # The last fetcher becomes the source (Feature 8 LRU).
+        if response.supplier_dirty:
+            return CacheState.READ_SOURCE_DIRTY
+        return CacheState.READ_SOURCE_CLEAN
+
+    # -- snooper side ----------------------------------------------------------
+
+    def snoop(self, line: "CacheLine", txn: BusTransaction) -> SnoopReply:
+        if line.state.locked and (
+            txn.op.fetches_block or txn.op is BusOp.UPGRADE
+        ):
+            # Figure 7: refuse and record the waiter.
+            line.state = CacheState.LOCK_WAITER
+            self.cache.trace.emit(self.cache.now(), EventKind.LOCK,
+                                  cache=self.cache.id, block=line.block,
+                                  action="waiter-recorded")
+            return SnoopReply(hit=True, locked=True)
+        return super().snoop(line, txn)
+
+    def read_downgrade_state(self, line: "CacheLine", flushed: bool) -> CacheState:
+        # The fetcher takes over source status (LRU across caches).
+        return CacheState.READ

@@ -1,0 +1,5 @@
+"""Main memory and the I/O processor."""
+
+from repro.memory.main_memory import MainMemory, MemoryLockTag
+
+__all__ = ["MainMemory", "MemoryLockTag"]

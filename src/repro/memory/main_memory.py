@@ -1,0 +1,113 @@
+"""Main memory model.
+
+Memory in a full-broadcast system is deliberately simple (Section A.2): it
+holds block contents and services a fetch only when no cache claims to be
+the source.  Two optional per-block tags support specific schemes:
+
+* a **source bit** (Frank / Synapse, Feature 2): set when memory holds the
+  latest version; cleared when a cache becomes the source;
+* a **lock tag** (Section E.3, "minor modification"): written when a locked
+  block must be purged from a set-associative cache, so the lock survives
+  eviction.
+
+Word contents are modeled as *write stamps* (monotonically increasing ints
+assigned per processor write), which lets the verifier check that every
+read returns the latest serialized value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import NEVER_WRITTEN, BlockAddr, CacheId, Stamp
+
+
+@dataclass
+class MemoryLockTag:
+    """Lock state spilled to memory when a locked block is purged."""
+
+    owner: CacheId
+    waiter: bool = False
+
+
+class MainMemory:
+    """Block storage addressed by block address, holding per-word stamps."""
+
+    def __init__(self, words_per_block: int) -> None:
+        if words_per_block <= 0:
+            raise ValueError("words_per_block must be positive")
+        self.words_per_block = words_per_block
+        self._blocks: dict[BlockAddr, list[Stamp]] = {}
+        self._lock_tags: dict[BlockAddr, MemoryLockTag] = {}
+        #: Frank's per-block source bit; ``True`` (default) means memory is
+        #: the source.  Only the Synapse protocol consults it.
+        self._source_bits: dict[BlockAddr, bool] = {}
+        self.fetches_served = 0
+        self.flushes_absorbed = 0
+        self.word_writes_absorbed = 0
+
+    # Block data ---------------------------------------------------------
+
+    def read_block(self, block: BlockAddr) -> list[Stamp]:
+        """Return a copy of the block's word stamps (fetch service)."""
+        self.fetches_served += 1
+        return list(self._words(block))
+
+    def peek_block(self, block: BlockAddr) -> list[Stamp]:
+        """Return the block contents without counting a fetch (verifier)."""
+        return list(self._words(block))
+
+    def write_block(self, block: BlockAddr, words: list[Stamp]) -> None:
+        """Absorb a flush (write-back) of a whole block."""
+        if len(words) != self.words_per_block:
+            raise ValueError(
+                f"flush of {len(words)} words into {self.words_per_block}-word block"
+            )
+        self._blocks[block] = list(words)
+        self.flushes_absorbed += 1
+
+    def read_word(self, block: BlockAddr, offset: int) -> Stamp:
+        """Read one word (memory-hold RMW, Feature 6 first method)."""
+        if not 0 <= offset < self.words_per_block:
+            raise ValueError(f"offset {offset} out of range")
+        return self._words(block)[offset]
+
+    def write_word(self, block: BlockAddr, offset: int, stamp: Stamp) -> None:
+        """Absorb a write-through of a single word."""
+        words = self._words(block)
+        if not 0 <= offset < self.words_per_block:
+            raise ValueError(f"offset {offset} out of range")
+        words[offset] = stamp
+        self.word_writes_absorbed += 1
+
+    def _words(self, block: BlockAddr) -> list[Stamp]:
+        if block not in self._blocks:
+            self._blocks[block] = [NEVER_WRITTEN] * self.words_per_block
+        return self._blocks[block]
+
+    # Frank's source bit ---------------------------------------------------
+
+    def memory_is_source(self, block: BlockAddr) -> bool:
+        return self._source_bits.get(block, True)
+
+    def set_memory_source(self, block: BlockAddr, is_source: bool) -> None:
+        self._source_bits[block] = is_source
+
+    # Lock tags (purged-lock fallback) -------------------------------------
+
+    def lock_tag(self, block: BlockAddr) -> MemoryLockTag | None:
+        return self._lock_tags.get(block)
+
+    def write_lock_tag(self, block: BlockAddr, owner: CacheId) -> None:
+        existing = self._lock_tags.get(block)
+        waiter = existing.waiter if existing else False
+        self._lock_tags[block] = MemoryLockTag(owner=owner, waiter=waiter)
+
+    def mark_lock_waiter(self, block: BlockAddr) -> None:
+        tag = self._lock_tags.get(block)
+        if tag is None:
+            raise KeyError(f"no lock tag for block {block}")
+        tag.waiter = True
+
+    def clear_lock_tag(self, block: BlockAddr) -> MemoryLockTag | None:
+        return self._lock_tags.pop(block, None)

@@ -1,0 +1,41 @@
+"""Processor model: ISA, programs, the in-order core, RMW methods."""
+
+from repro.processor.isa import (
+    Op,
+    OpKind,
+    compute,
+    fetch_and_add,
+    lock,
+    read,
+    release,
+    rmw,
+    save_block,
+    tas_acquire,
+    test_and_set,
+    ttas_acquire,
+    unlock,
+    write,
+)
+from repro.processor.processor import Processor
+from repro.processor.program import LockStyle, Program, lower_locks
+
+__all__ = [
+    "LockStyle",
+    "Op",
+    "OpKind",
+    "Processor",
+    "Program",
+    "compute",
+    "fetch_and_add",
+    "lock",
+    "lower_locks",
+    "read",
+    "release",
+    "rmw",
+    "save_block",
+    "tas_acquire",
+    "test_and_set",
+    "ttas_acquire",
+    "unlock",
+    "write",
+]

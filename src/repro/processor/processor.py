@@ -1,0 +1,294 @@
+"""The processor model.
+
+A simple in-order processor executing a :class:`~repro.processor.program.
+Program` against its blocking cache.  It expands the spin-acquire macro
+ops (TAS / TTAS) into retry loops, retries aborted optimistic RMWs, and
+implements the two busy-wait behaviours of Section E.4: idle spinning, or
+working through a bounded "ready section" until the busy-wait register
+interrupts it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.common.config import WaitMode
+from repro.common.errors import ProgramError
+from repro.processor.isa import Op, OpKind, test_and_set
+from repro.processor.program import Program
+
+if TYPE_CHECKING:
+    from repro.cache.cache import SnoopingCache
+    from repro.sim.clock import StampClock
+    from repro.sim.stats import ProcessorStats
+
+from repro.cache.cache import AccessStatus
+
+
+class _State(enum.Enum):
+    READY = "ready"
+    COMPUTING = "computing"
+    STALLED = "stalled"  # waiting for the cache/bus
+    DONE = "done"
+
+
+class _SpinKind(enum.Enum):
+    NONE = "none"
+    TAS = "tas"  # retry test-and-set over the bus
+    TTAS_READ = "ttas-read"  # spinning on the cached copy
+    TTAS_TAS = "ttas-tas"  # saw it free; attempting the test-and-set
+
+
+class Processor:
+    """One in-order processor attached to one cache."""
+
+    def __init__(
+        self,
+        pid: int,
+        cache: "SnoopingCache",
+        program: Program,
+        stamp_clock: "StampClock",
+        stats: "ProcessorStats",
+        wait_mode: WaitMode = WaitMode.SPIN,
+    ) -> None:
+        self.pid = pid
+        self.cache = cache
+        self.program = program
+        self.stamp_clock = stamp_clock
+        self.stats = stats
+        self.wait_mode = wait_mode
+        self._pc = 0
+        self._state = _State.READY if program.ops else _State.DONE
+        self._compute_left = 0
+        self._spin = _SpinKind.NONE
+        self._spin_op: Op | None = None  # the macro op being expanded
+        self._ready_work_left = 0
+        #: Optional Aquarius crossbar port (Figure 11): reads/writes at or
+        #: above CROSSBAR_BASE bypass the cache and the bus.
+        self.crossbar = None
+        self._crossbar_until: int | None = None
+        self._crossbar_op: Op | None = None
+        #: A spin sub-op that completed as a hit; processed next cycle so
+        #: every spin iteration consumes at least one processor cycle.
+        self._pending_spin_result: Op | None = None
+        #: Set while a user-level lock is held, for hold-time statistics.
+        self._lock_held_since: dict[int, int] = {}
+        self._now = 0
+
+    # -- public surface -----------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._state is _State.DONE
+
+    @property
+    def pc(self) -> int:
+        return self._pc
+
+    def tick(self, cycle: int) -> None:
+        """Advance one cycle."""
+        self._now = cycle
+        if self._state is _State.DONE:
+            self.stats.done_cycles += 1
+            return
+        if self._state is _State.COMPUTING:
+            self._compute_left -= 1
+            self.stats.compute_cycles += 1
+            if self._compute_left <= 0:
+                self._retire(self.program.ops[self._pc])
+            return
+        if self._state is _State.STALLED:
+            self._tick_stalled()
+            return
+        if self._pending_spin_result is not None:
+            op = self._pending_spin_result
+            self._pending_spin_result = None
+            self.stats.compute_cycles += 1
+            self._continue_spin(op)
+            return
+        # READY: issue the next operation.
+        self._issue_next()
+
+    # -- stalled handling ---------------------------------------------------------
+
+    def _tick_stalled(self) -> None:
+        if self._crossbar_op is not None:
+            assert self._crossbar_until is not None
+            if self._now >= self._crossbar_until:
+                op = self._crossbar_op
+                self._crossbar_op = None
+                self._crossbar_until = None
+                self.stats.compute_cycles += 1
+                self._retire(op)
+            else:
+                self.stats.stall_cycles += 1
+            return
+        completed = self.cache.take_completion()
+        if completed is not None:
+            self._on_completed(completed)
+            return
+        if self.cache.waiting_for_lock:
+            if self.wait_mode is WaitMode.WORK and self._ready_work_left > 0:
+                self._ready_work_left -= 1
+                self.stats.wait_work_cycles += 1
+            else:
+                self.stats.wait_idle_cycles += 1
+        else:
+            self.stats.stall_cycles += 1
+
+    def _on_completed(self, op: Op) -> None:
+        self.stats.compute_cycles += 1  # the completing access cycle
+        if op.aborted:
+            # Optimistic RMW lost the block: retry the instruction.
+            op.aborted = False
+            op.result = None
+            self._start_access(op)
+            return
+        if self._spin is not _SpinKind.NONE:
+            self._continue_spin(op)
+            return
+        self._retire(op)
+
+    # -- issue logic -----------------------------------------------------------------
+
+    def _issue_next(self) -> None:
+        op = self.program.ops[self._pc]
+        if op.kind is OpKind.COMPUTE:
+            self._state = _State.COMPUTING
+            self._compute_left = op.cycles - 1
+            self.stats.compute_cycles += 1
+            if self._compute_left <= 0:
+                self._retire(op)
+            return
+        if op.kind in (OpKind.TAS_ACQUIRE, OpKind.TTAS_ACQUIRE):
+            self._begin_spin(op)
+        else:
+            self._start_access(op)
+        # The issue cycle lands in exactly one bucket: compute if the
+        # access completed (or a spin iteration was queued), stall if the
+        # processor is now blocked on the cache.
+        if self._state is _State.STALLED:
+            self.stats.stall_cycles += 1
+        else:
+            self.stats.compute_cycles += 1
+
+    def _begin_spin(self, op: Op) -> None:
+        self._spin_op = op
+        self._ready_work_left = op.ready_work
+        if op.kind is OpKind.TAS_ACQUIRE:
+            self._spin = _SpinKind.TAS
+            self._start_access(self._make_tas(op))
+        else:
+            self._spin = _SpinKind.TTAS_READ
+            self._start_access(Op(OpKind.READ, op.addr))
+
+    def _make_tas(self, macro: Op) -> Op:
+        assert macro.addr is not None
+        return Op(OpKind.RMW, macro.addr, rmw=test_and_set(macro.value), value=macro.value)
+
+    def _continue_spin(self, op: Op) -> None:
+        macro = self._spin_op
+        assert macro is not None
+        if self._spin in (_SpinKind.TAS, _SpinKind.TTAS_TAS):
+            if op.result == 1:
+                self._end_spin(acquired=True)
+                return
+            # Lost the race: fall back per the spin discipline.
+            if self._spin is _SpinKind.TAS:
+                self._start_access(self._make_tas(macro))
+            else:
+                self._spin = _SpinKind.TTAS_READ
+                self._start_access(Op(OpKind.READ, macro.addr))
+            return
+        # TTAS_READ: examine the value we read.
+        assert op.result is not None
+        value = self.stamp_clock.value_of(op.result)
+        if value == 0:
+            self._spin = _SpinKind.TTAS_TAS
+            self._start_access(self._make_tas(macro))
+        else:
+            # Still held: keep looping on the cached copy (local hits).
+            self._start_access(Op(OpKind.READ, macro.addr))
+
+    def _end_spin(self, acquired: bool) -> None:
+        macro = self._spin_op
+        assert macro is not None
+        self._spin = _SpinKind.NONE
+        self._spin_op = None
+        if acquired:
+            self.stats.lock_acquisitions += 1
+            assert macro.addr is not None
+            self._lock_held_since[macro.addr] = self._now
+        self._retire(macro)
+
+    # -- access plumbing ----------------------------------------------------------------
+
+    def _start_access(self, op: Op) -> None:
+        if op.kind in (OpKind.WRITE, OpKind.UNLOCK, OpKind.RELEASE, OpKind.SAVE_BLOCK):
+            op.stamp = self.stamp_clock.next_stamp(op.value)
+        if op.kind is OpKind.LOCK:
+            self._ready_work_left = op.ready_work
+        if self._routes_to_crossbar(op):
+            self._start_crossbar(op)
+            return
+        status = self.cache.access(op)
+        if status is AccessStatus.DONE:
+            if self._spin is not _SpinKind.NONE:
+                # Defer to the next cycle so each spin iteration costs one.
+                self._pending_spin_result = op
+                self._state = _State.READY
+            else:
+                self._retire(op)
+            return
+        self._state = _State.STALLED
+
+    def _routes_to_crossbar(self, op: Op) -> bool:
+        if self.crossbar is None or op.addr is None:
+            return False
+        from repro.aquarius.crossbar import CROSSBAR_BASE
+
+        if op.addr < CROSSBAR_BASE:
+            return False
+        if op.kind not in (OpKind.READ, OpKind.WRITE):
+            raise ProgramError(
+                f"{op.kind} at crossbar address {op.addr}: hard atoms "
+                "reside on the synchronization bus (Section G.1)"
+            )
+        return True
+
+    def _start_crossbar(self, op: Op) -> None:
+        assert self.crossbar is not None and op.addr is not None
+        done_at, stamp = self.crossbar.access(
+            op.addr, self._now, stamp=op.stamp
+        )
+        op.result = stamp
+        self._crossbar_op = op
+        self._crossbar_until = done_at
+        self._state = _State.STALLED
+
+    def _retire(self, op: Op) -> None:
+        self.stats.ops_completed += 1
+        if op.kind in (OpKind.READ,):
+            self.stats.reads += 1
+        elif op.kind in (OpKind.WRITE, OpKind.SAVE_BLOCK):
+            self.stats.writes += 1
+        if op.kind is OpKind.LOCK:
+            self.stats.lock_acquisitions += 1
+            assert op.addr is not None
+            self._lock_held_since[op.addr] = self._now
+        if op.kind in (OpKind.UNLOCK, OpKind.RELEASE):
+            assert op.addr is not None
+            since = self._lock_held_since.pop(op.addr, None)
+            if since is not None:
+                self.stats.lock_hold_cycles += self._now - since
+        self._advance()
+
+    def _advance(self) -> None:
+        self._pc += 1
+        self._state = _State.READY if self._pc < len(self.program.ops) else _State.DONE
+        if self._state is _State.DONE and self._lock_held_since:
+            raise ProgramError(
+                f"processor {self.pid} finished holding locks: "
+                f"{sorted(self._lock_held_since)}"
+            )

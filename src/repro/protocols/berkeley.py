@@ -1,0 +1,103 @@
+"""Katz, Eggers, Wood, Perkins & Sheldon (1985): the Berkeley / SPUR
+snooping protocol.
+
+Introduces the *dirty read* state: a dirty source answers a read request
+by supplying the block without flushing (Feature 7 ``NF,S`` -- clean/dirty
+status travels with the block) and converts write-dirty-source to
+read-dirty-source, keeping ownership.  A single dual-ported-read directory
+(Feature 3 ``DPR``).  If the single source purges the block, the next
+fetch is serviced by memory (Feature 8 ``MEM``).  Unshared status is
+determined statically (Feature 5 ``S``).  The clean write state carries
+source status -- entered only on a read miss to unshared data -- which the
+paper notes is inconsistent (no clean *read* source state exists), so its
+source status is lost as soon as the block is shared.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.bus.transaction import BusOp, BusTransaction
+from repro.cache.state import CacheState
+from repro.common.types import WordAddr
+from repro.protocols.base import Action, CoherenceProtocol, Done, NeedBus
+from repro.protocols.features import (
+    DirectoryDuality,
+    FlushPolicy,
+    ProtocolFeatures,
+    ReadSourcePolicy,
+    SharingDetermination,
+)
+
+if TYPE_CHECKING:
+    from repro.cache.line import CacheLine
+
+_FEATURES = ProtocolFeatures(
+    name="Katz et al. (Berkeley)",
+    citation="Katz et al. 1985",
+    year=1985,
+    distributed_state="RWDS",
+    directory=DirectoryDuality.DUAL_PORTED_READ,
+    bus_invalidate_signal=True,
+    fetch_for_write_on_read_miss=SharingDetermination.STATIC,
+    atomic_rmw=True,
+    flush_policy=FlushPolicy.NO_FLUSH_WITH_STATUS,
+    read_source_policy=ReadSourcePolicy.MEMORY,
+    state_roles={
+        CacheState.INVALID: "N",
+        CacheState.READ: "N",
+        CacheState.READ_SOURCE_DIRTY: "S",
+        CacheState.WRITE_CLEAN: "S",
+        CacheState.WRITE_DIRTY: "S",
+    },
+)
+
+
+class BerkeleyProtocol(CoherenceProtocol):
+    """Berkeley ownership protocol with the dirty-read state."""
+
+    name = "berkeley"
+
+    @classmethod
+    def features(cls) -> ProtocolFeatures:
+        return _FEATURES
+
+    # -- processor side ---------------------------------------------------
+
+    def processor_read(
+        self, line: "CacheLine | None", addr: WordAddr, private_hint: bool = False
+    ) -> Action:
+        if line is not None and line.state.readable:
+            return Done(value=line.read_word(self.cache.offset(addr)))
+        if private_hint:
+            return NeedBus(op=BusOp.READ_EXCL)
+        return NeedBus(op=BusOp.READ_BLOCK)
+
+    # -- requester side ------------------------------------------------------
+
+    def read_fill_state(self, txn: BusTransaction, response) -> CacheState:
+        # The owner keeps ownership on a read fetch; the requester is a
+        # plain reader regardless of the hit line (static determination).
+        return CacheState.READ
+
+    def fill_state(self, txn: BusTransaction, response) -> CacheState:
+        if txn.op is BusOp.READ_BLOCK:
+            return self.read_fill_state(txn, response)
+        # Exclusive fetch: dirtiness must survive (no flush on transfer).
+        if response.supplier_dirty:
+            return CacheState.WRITE_DIRTY
+        return CacheState.WRITE_CLEAN
+
+    def upgrade_state(self, txn: BusTransaction, response) -> CacheState:
+        # The invalidated owner may have been dirty; memory was never
+        # updated, so the writer must take dirty ownership.
+        return CacheState.WRITE_DIRTY
+
+    # -- snooper side -----------------------------------------------------------
+
+    def read_downgrade_state(self, line: "CacheLine", flushed: bool) -> CacheState:
+        if line.state in (CacheState.WRITE_DIRTY, CacheState.READ_SOURCE_DIRTY):
+            return CacheState.READ_SOURCE_DIRTY  # ownership retained
+        # WRITE_CLEAN: source status is lost (the paper's noted
+        # inconsistency -- there is no clean read source state).
+        return CacheState.READ

@@ -1,0 +1,159 @@
+"""The Xerox Dragon write-update protocol (McCreight 1984; Section D.1).
+
+Write-in for unshared data, write-through *to other caches* for actively
+shared data: a write to a shared block broadcasts the word, updating every
+valid copy; main memory is not updated (the writer becomes the shared-
+dirty owner).  Shared status is determined dynamically by the bus hit
+line.  This is the family the paper's Section D argues against for
+atom-style sharing: word granularity, on every write, to all copies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.bus.signals import SnoopReply
+from repro.bus.transaction import BusOp, BusTransaction
+from repro.cache.state import CacheState
+from repro.common.types import Stamp, WordAddr
+from repro.processor.isa import OpKind
+from repro.protocols.base import (
+    Action,
+    CoherenceProtocol,
+    Done,
+    NeedBus,
+    Outcome,
+    TxnResult,
+)
+from repro.protocols.features import (
+    DirectoryDuality,
+    FlushPolicy,
+    ProtocolFeatures,
+    ReadSourcePolicy,
+    SharingDetermination,
+)
+
+if TYPE_CHECKING:
+    from repro.cache.cache import PendingAccess
+    from repro.cache.line import CacheLine
+
+_FEATURES = ProtocolFeatures(
+    name="Dragon (write-update)",
+    citation="McCreight 1984",
+    year=1984,
+    distributed_state="RWDS",
+    directory=DirectoryDuality.UNSPECIFIED,
+    bus_invalidate_signal=False,  # shared writes update, never invalidate
+    fetch_for_write_on_read_miss=SharingDetermination.DYNAMIC,
+    atomic_rmw=False,
+    flush_policy=FlushPolicy.NO_FLUSH_WITH_STATUS,
+    read_source_policy=ReadSourcePolicy.MEMORY,
+    state_roles={
+        CacheState.INVALID: "N",
+        CacheState.READ: "N",  # shared clean
+        CacheState.READ_SOURCE_DIRTY: "S",  # shared dirty (owner)
+        CacheState.WRITE_CLEAN: "S",  # valid exclusive
+        CacheState.WRITE_DIRTY: "S",  # dirty exclusive
+    },
+)
+
+
+class DragonProtocol(CoherenceProtocol):
+    """Write-update; memory not updated on shared writes."""
+
+    name = "dragon"
+
+    @classmethod
+    def features(cls) -> ProtocolFeatures:
+        return _FEATURES
+
+    #: Whether a shared write also updates main memory (Firefly overrides).
+    updates_memory = False
+
+    # -- processor side -----------------------------------------------------
+
+    def processor_write(
+        self, line: "CacheLine | None", addr: WordAddr, stamp: Stamp
+    ) -> Action:
+        if line is not None and line.state.writable:
+            return Done()
+        if line is not None and line.state.readable:
+            # Shared block: broadcast the word (write-through to caches).
+            return NeedBus(op=BusOp.UPDATE_WORD, word=addr, stamp=stamp)
+        # Write miss: fetch first, then update if still shared.
+        return NeedBus(op=BusOp.READ_BLOCK)
+
+    # -- requester side ----------------------------------------------------------
+
+    def after_txn(self, pending: "PendingAccess", txn: BusTransaction,
+                  response, data) -> TxnResult:
+        writish = pending.op.kind in (OpKind.WRITE, OpKind.RELEASE)
+        if txn.op is BusOp.READ_BLOCK and writish:
+            assert data is not None
+            state = self.read_fill_state(txn, response)
+            self.cache.install_block(txn.block, state, data)
+            if response.shared_hit:
+                assert pending.op.addr is not None and pending.op.stamp is not None
+                return TxnResult(
+                    Outcome.REBUS,
+                    NeedBus(op=BusOp.UPDATE_WORD, word=pending.op.addr,
+                            stamp=pending.op.stamp),
+                )
+            return TxnResult(Outcome.DONE)  # exclusive: plain local write
+        if txn.op is BusOp.UPDATE_WORD:
+            return self._complete_update(pending, txn, response)
+        return super().after_txn(pending, txn, response, data)
+
+    def _complete_update(self, pending: "PendingAccess", txn: BusTransaction,
+                         response) -> TxnResult:
+        line = self.cache.line_for(txn.block)
+        assert txn.word is not None and txn.stamp is not None
+        if line is None:
+            # Purged while the update waited; refetch.
+            return TxnResult(Outcome.REBUS, NeedBus(op=BusOp.READ_BLOCK))
+        line.write_word(self.cache.offset(txn.word), txn.stamp)
+        if self.cache.oracle is not None:
+            self.cache.oracle.record_write(txn.word, txn.stamp)
+        if response.shared_hit:
+            line.state = self.shared_writer_state()
+        else:
+            # No copies left: revert to write-in.
+            line.state = CacheState.WRITE_DIRTY
+        if self.updates_memory and self.cache.memory is not None:
+            offset = txn.word - txn.block
+            self.cache.memory.write_word(txn.block, offset, txn.stamp)
+        pending.write_applied = True
+        return TxnResult(Outcome.DONE)
+
+    def shared_writer_state(self) -> CacheState:
+        return CacheState.READ_SOURCE_DIRTY  # Dragon's SharedDirty owner
+
+    def read_fill_state(self, txn: BusTransaction, response) -> CacheState:
+        if not response.shared_hit:
+            return CacheState.WRITE_CLEAN  # valid exclusive
+        if response.supplier_dirty:
+            return CacheState.READ  # owner keeps shared-dirty ownership
+        return CacheState.READ
+
+    def revalidate_request(self, need: NeedBus, block) -> NeedBus:
+        if need.op is BusOp.UPDATE_WORD and self.cache.line_for(block) is None:
+            return NeedBus(op=BusOp.READ_BLOCK)
+        return super().revalidate_request(need, block)
+
+    # -- snooper side ----------------------------------------------------------------
+
+    def snoop_word_write(self, line: "CacheLine", txn: BusTransaction) -> SnoopReply:
+        if txn.op is BusOp.UPDATE_WORD:
+            assert txn.word is not None and txn.stamp is not None
+            self.cache.apply_foreign_update(line, txn.word, txn.stamp)
+            if line.state in (CacheState.READ_SOURCE_DIRTY, CacheState.WRITE_DIRTY,
+                              CacheState.WRITE_CLEAN):
+                # Ownership moves to the writer.
+                line.state = CacheState.READ
+            return SnoopReply(hit=True)
+        return super().snoop_word_write(line, txn)
+
+    def read_downgrade_state(self, line: "CacheLine", flushed: bool) -> CacheState:
+        if line.state in (CacheState.WRITE_DIRTY, CacheState.READ_SOURCE_DIRTY):
+            return CacheState.READ_SOURCE_DIRTY if not flushed else CacheState.READ
+        return CacheState.READ

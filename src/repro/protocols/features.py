@@ -1,0 +1,116 @@
+"""Feature descriptors for Table 1 of the paper.
+
+Every protocol class exposes a :class:`ProtocolFeatures` instance; the
+Table-1 bench renders the evolution matrix directly from these descriptors
+so the table is generated from the *implementations*, not hand-copied.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.cache.state import CacheState
+
+
+class FlushPolicy(enum.Enum):
+    """Feature 7: flushing on cache-to-cache transfer."""
+
+    FLUSH = "F"
+    NO_FLUSH = "NF"
+    NO_FLUSH_WITH_STATUS = "NF,S"
+    NOT_APPLICABLE = "-"
+
+
+class SharingDetermination(enum.Enum):
+    """Feature 5: how unshared status is determined for fetch-for-write."""
+
+    NONE = "-"
+    DYNAMIC = "D"  # bus hit line (Papamarcos & Patel, the proposal)
+    STATIC = "S"  # compiler-declared read-for-write instruction (Yen, Katz)
+
+
+class ReadSourcePolicy(enum.Enum):
+    """Feature 8: number of sources for a read-privilege block."""
+
+    NONE = "-"  # only dirty/exclusive blocks have a cache source
+    ARBITRATE = "ARB"  # multiple sources, arbitration picks one (Illinois)
+    MEMORY = "MEM"  # single source; lost on purge, memory serves after
+    LRU = "LRU,MEM"  # last fetcher becomes source (the proposal)
+
+
+class DirectoryDuality(enum.Enum):
+    """Feature 3: directory organization."""
+
+    UNSPECIFIED = "-"
+    IDENTICAL_DUAL = "ID"
+    IDENTICAL_DUAL_ASSUMED = "ID*"  # Table 1 note 2: assumed, not stated
+    DUAL_PORTED_READ = "DPR"
+    NON_IDENTICAL_DUAL = "NID"
+
+
+@dataclass(frozen=True)
+class ProtocolFeatures:
+    """One column of Table 1."""
+
+    name: str
+    citation: str
+    year: int
+    #: Feature 2 -- which status letters are fully distributed in the
+    #: caches (R/W/L/D/S).  Frank keeps the source bit in memory: "RWD".
+    distributed_state: str = "RWDS"
+    directory: DirectoryDuality = DirectoryDuality.UNSPECIFIED
+    #: Feature 1 -- all Table-1 protocols have it.
+    cache_to_cache_transfer: bool = True
+    #: Feature 4 -- explicit bus invalidate signal (vs Goodman's
+    #: invalidation write-through).
+    bus_invalidate_signal: bool = True
+    #: Feature 5.
+    fetch_for_write_on_read_miss: SharingDetermination = SharingDetermination.NONE
+    #: Feature 6 -- serialized processor atomic read-modify-write.
+    atomic_rmw: bool = False
+    #: Feature 7.
+    flush_policy: FlushPolicy = FlushPolicy.FLUSH
+    #: Feature 8.
+    read_source_policy: ReadSourcePolicy = ReadSourcePolicy.NONE
+    #: Feature 9.
+    write_without_fetch: bool = False
+    #: Feature 10.
+    efficient_busy_wait: bool = False
+    #: Which states the protocol uses, and whether each carries source
+    #: status ('S') or not ('N') -- the upper half of Table 1.
+    state_roles: dict[CacheState, str] = field(default_factory=dict)
+    #: Free-text table footnotes.
+    notes: tuple[str, ...] = ()
+
+    def state_role(self, state: CacheState) -> str:
+        """Return 'S', 'N', or '-' (state not used) for the states matrix."""
+        return self.state_roles.get(state, "-")
+
+    def uses_state(self, state: CacheState) -> bool:
+        return state in self.state_roles
+
+
+#: Row order of the states matrix in Table 1.
+TABLE1_STATE_ROWS: tuple[CacheState, ...] = (
+    CacheState.INVALID,
+    CacheState.READ,
+    CacheState.READ_SOURCE_CLEAN,
+    CacheState.READ_SOURCE_DIRTY,
+    CacheState.WRITE_CLEAN,
+    CacheState.WRITE_DIRTY,
+    CacheState.LOCK,
+    CacheState.LOCK_WAITER,
+)
+
+#: Human labels for the states matrix rows, as printed in the paper.
+TABLE1_STATE_LABELS: dict[CacheState, str] = {
+    CacheState.INVALID: "Invalid",
+    CacheState.READ: "Read",
+    CacheState.READ_SOURCE_CLEAN: "Read, Clean (source)",
+    CacheState.READ_SOURCE_DIRTY: "Read, Dirty",
+    CacheState.WRITE_CLEAN: "Write, Clean",
+    CacheState.WRITE_DIRTY: "Write, Dirty",
+    CacheState.LOCK: "Lock, Dirty",
+    CacheState.LOCK_WAITER: "Lock, Dirty, Waiter",
+}

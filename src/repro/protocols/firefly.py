@@ -1,0 +1,56 @@
+"""The DEC Firefly write-update protocol (Section D.1).
+
+Like Dragon, but a shared write updates *main memory* as well as the other
+caches, so shared blocks are always clean and there is no shared-dirty
+state.  When the hit line shows no sharers remain, the writer reverts to
+write-in.
+"""
+
+from __future__ import annotations
+
+from repro.bus.transaction import BusTransaction
+from repro.cache.state import CacheState
+from repro.protocols.dragon import DragonProtocol
+from repro.protocols.features import (
+    DirectoryDuality,
+    FlushPolicy,
+    ProtocolFeatures,
+    ReadSourcePolicy,
+    SharingDetermination,
+)
+
+_FEATURES = ProtocolFeatures(
+    name="Firefly (write-update)",
+    citation="reported by Archibald & Baer 1985",
+    year=1985,
+    distributed_state="RWDS",
+    directory=DirectoryDuality.UNSPECIFIED,
+    bus_invalidate_signal=False,
+    fetch_for_write_on_read_miss=SharingDetermination.DYNAMIC,
+    atomic_rmw=False,
+    flush_policy=FlushPolicy.FLUSH,
+    read_source_policy=ReadSourcePolicy.NONE,
+    state_roles={
+        CacheState.INVALID: "N",
+        CacheState.READ: "N",  # shared, memory current
+        CacheState.WRITE_CLEAN: "N",  # valid exclusive, memory current
+        CacheState.WRITE_DIRTY: "S",
+    },
+)
+
+
+class FireflyProtocol(DragonProtocol):
+    """Write-update with memory updated on shared writes."""
+
+    name = "firefly"
+    updates_memory = True
+
+    @classmethod
+    def features(cls) -> ProtocolFeatures:
+        return _FEATURES
+
+    def shared_writer_state(self) -> CacheState:
+        return CacheState.READ  # memory was updated: shared and clean
+
+    def read_downgrade_state(self, line, flushed: bool) -> CacheState:
+        return CacheState.READ

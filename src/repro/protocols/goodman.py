@@ -1,0 +1,131 @@
+"""Goodman (1983): write-once.
+
+Identical dual directories; fully-distributed read/write/dirty/source
+status; cache-to-cache transfer for *dirty* blocks with flush on transfer.
+No bus invalidate signal: the original Multibus could not invalidate while
+fetching, so the first write to a block goes *through* to memory
+(invalidating other copies) and leaves the block clean ("Reserved"); only
+the second write makes it dirty, at which point the cache becomes the
+block's source (Section F.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.bus.transaction import BusOp, BusTransaction
+from repro.cache.state import CacheState
+from repro.common.types import Stamp, WordAddr
+from repro.processor.isa import OpKind
+from repro.protocols.base import (
+    Action,
+    CoherenceProtocol,
+    Done,
+    NeedBus,
+    Outcome,
+    TxnResult,
+)
+from repro.protocols.features import (
+    DirectoryDuality,
+    FlushPolicy,
+    ProtocolFeatures,
+    ReadSourcePolicy,
+    SharingDetermination,
+)
+
+if TYPE_CHECKING:
+    from repro.cache.cache import PendingAccess
+    from repro.cache.line import CacheLine
+
+_FEATURES = ProtocolFeatures(
+    name="Goodman (write-once)",
+    citation="Goodman 1983",
+    year=1983,
+    distributed_state="RWDS",
+    directory=DirectoryDuality.IDENTICAL_DUAL,
+    bus_invalidate_signal=False,
+    fetch_for_write_on_read_miss=SharingDetermination.NONE,
+    atomic_rmw=False,
+    flush_policy=FlushPolicy.FLUSH,
+    read_source_policy=ReadSourcePolicy.NONE,
+    state_roles={
+        CacheState.INVALID: "N",
+        CacheState.READ: "N",  # Valid
+        CacheState.WRITE_CLEAN: "N",  # Reserved: memory is current
+        CacheState.WRITE_DIRTY: "S",  # Dirty: sole latest copy
+    },
+)
+
+
+class GoodmanProtocol(CoherenceProtocol):
+    """Write-once."""
+
+    name = "goodman"
+
+    @classmethod
+    def features(cls) -> ProtocolFeatures:
+        return _FEATURES
+
+    # -- processor side -----------------------------------------------------
+
+    def processor_write(
+        self, line: "CacheLine | None", addr: WordAddr, stamp: Stamp
+    ) -> Action:
+        if line is not None and line.state.writable:
+            # Second or later write: purely local, block becomes dirty.
+            return Done()
+        if line is not None and line.state.readable:
+            # First write: write through to memory; the broadcast of the
+            # written address invalidates other copies.
+            return NeedBus(op=BusOp.WRITE_WORD, word=addr, stamp=stamp)
+        # Write miss: fetch for read, then write through (two transactions;
+        # the Multibus allowed no invalidation during the fetch).
+        return NeedBus(op=BusOp.READ_BLOCK)
+
+    # -- requester side --------------------------------------------------------
+
+    def after_txn(
+        self,
+        pending: "PendingAccess",
+        txn: BusTransaction,
+        response,
+        data: list[Stamp] | None,
+    ) -> TxnResult:
+        writish = pending.op.kind in (OpKind.WRITE, OpKind.RELEASE)
+        if txn.op is BusOp.READ_BLOCK and writish:
+            assert data is not None
+            self.cache.install_block(txn.block, CacheState.READ, data)
+            assert pending.op.addr is not None and pending.op.stamp is not None
+            return TxnResult(
+                Outcome.REBUS,
+                NeedBus(op=BusOp.WRITE_WORD, word=pending.op.addr,
+                        stamp=pending.op.stamp),
+            )
+        if txn.op is BusOp.WRITE_WORD:
+            line = self.cache.line_for(txn.block)
+            if line is None:
+                # Invalidated while waiting for the bus: the buffered
+                # write-through converts to a miss -- refetch and retry.
+                return TxnResult(Outcome.REBUS, NeedBus(op=BusOp.READ_BLOCK))
+            assert txn.word is not None and txn.stamp is not None
+            line.write_word(self.cache.offset(txn.word), txn.stamp)
+            line.state = CacheState.WRITE_CLEAN  # Reserved; memory has it too
+            if self.cache.memory is not None:
+                self.cache.memory.write_word(
+                    txn.block, self.cache.offset(txn.word), txn.stamp
+                )
+            if self.cache.oracle is not None:
+                self.cache.oracle.record_write(txn.word, txn.stamp)
+            pending.write_applied = True
+            return TxnResult(Outcome.DONE)
+        return super().after_txn(pending, txn, response, data)
+
+    def read_fill_state(self, txn: BusTransaction, response) -> CacheState:
+        return CacheState.READ
+
+    def revalidate_request(self, need: NeedBus, block) -> NeedBus:
+        if need.op is BusOp.WRITE_WORD and self.cache.line_for(block) is None:
+            # The copy vanished while the write-through was queued: the
+            # buffered write converts to a miss (fetch, then write through).
+            return NeedBus(op=BusOp.READ_BLOCK)
+        return super().revalidate_request(need, block)

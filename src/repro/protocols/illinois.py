@@ -1,0 +1,91 @@
+"""Papamarcos & Patel (1984): the Illinois protocol.
+
+Every cache holding a copy is a potential source: if a block is in any
+cache it is fetched from a cache, with read-privilege holders arbitrating
+to pick the actual supplier (Feature 8 ``ARB``).  Unshared data is fetched
+for write privilege on a read miss, determined dynamically by the bus hit
+line (Feature 5 ``D``); the clean write state avoids a flush if the block
+is never written.  Dirty blocks are flushed on transfer (Feature 7 ``F``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.bus.signals import SnoopReply
+from repro.bus.transaction import BusOp, BusTransaction
+from repro.cache.state import CacheState
+from repro.protocols.base import CoherenceProtocol
+from repro.protocols.features import (
+    DirectoryDuality,
+    FlushPolicy,
+    ProtocolFeatures,
+    ReadSourcePolicy,
+    SharingDetermination,
+)
+
+if TYPE_CHECKING:
+    from repro.cache.line import CacheLine
+
+_FEATURES = ProtocolFeatures(
+    name="Papamarcos & Patel (Illinois)",
+    citation="Papamarcos, Patel 1984",
+    year=1984,
+    distributed_state="RWDS",
+    directory=DirectoryDuality.IDENTICAL_DUAL_ASSUMED,
+    bus_invalidate_signal=True,
+    fetch_for_write_on_read_miss=SharingDetermination.DYNAMIC,
+    atomic_rmw=True,
+    flush_policy=FlushPolicy.FLUSH,
+    read_source_policy=ReadSourcePolicy.ARBITRATE,
+    state_roles={
+        CacheState.INVALID: "N",
+        CacheState.READ: "S",  # any holder may supply, after arbitration
+        CacheState.WRITE_CLEAN: "S",
+        CacheState.WRITE_DIRTY: "S",
+    },
+    notes=("Directory duality assumed; the article does not say (note 2).",),
+)
+
+
+class IllinoisProtocol(CoherenceProtocol):
+    """Illinois / MESI ancestor."""
+
+    name = "illinois"
+
+    @classmethod
+    def features(cls) -> ProtocolFeatures:
+        return _FEATURES
+
+    # -- requester side -------------------------------------------------------
+
+    def read_fill_state(self, txn: BusTransaction, response) -> CacheState:
+        if not response.shared_hit:
+            # Feature 5 (dynamic): unshared data arrives with write
+            # privilege, clean.
+            return CacheState.WRITE_CLEAN
+        return CacheState.READ
+
+    # -- snooper side -----------------------------------------------------------
+
+    def snoop_read(self, line: "CacheLine", txn: BusTransaction) -> SnoopReply:
+        if line.state in (CacheState.WRITE_CLEAN, CacheState.WRITE_DIRTY):
+            reply = SnoopReply(
+                hit=True,
+                supplies=True,
+                dirty=False,  # flushed on transfer, arrives clean
+                data=line.snapshot(),
+                supply_words_moved=self.cache.supply_words_moved(line),
+            )
+            if line.state is CacheState.WRITE_DIRTY:
+                reply.flush_words = line.snapshot()
+            line.state = CacheState.READ
+            return reply
+        # Read-privilege holder: potential source, must arbitrate.
+        return SnoopReply(
+            hit=True,
+            arbitrates=True,
+            dirty=False,
+            data=line.snapshot(),
+            supply_words_moved=self.cache.supply_words_moved(line),
+        )

@@ -1,0 +1,153 @@
+"""Rudolph & Segall (1984): dynamic decentralized cache scheme.
+
+Block size is one word.  Sharing is determined by the *interleaving* of
+accesses: a processor's first write to a block after another processor has
+accessed it is a write-through (an UPDATE that also updates *invalid*
+copies -- the mechanism that notifies spinning test-and-set waiters,
+Section E.4); subsequent writes with no intervening foreign access are
+write-in (the copy turns exclusive-dirty after a one-cycle invalidation).
+Atomic read-modify-writes hold the memory unit throughout (Feature 6,
+first method) -- the engine configures ``RmwMethod.MEMORY_HOLD`` for this
+protocol.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.bus.signals import SnoopReply
+from repro.bus.transaction import BusOp, BusTransaction
+from repro.cache.state import CacheState
+from repro.common.types import Stamp, WordAddr
+from repro.processor.isa import OpKind
+from repro.protocols.base import (
+    Action,
+    CoherenceProtocol,
+    Done,
+    NeedBus,
+    Outcome,
+    TxnResult,
+)
+from repro.protocols.features import (
+    DirectoryDuality,
+    FlushPolicy,
+    ProtocolFeatures,
+    ReadSourcePolicy,
+    SharingDetermination,
+)
+
+if TYPE_CHECKING:
+    from repro.cache.cache import PendingAccess
+    from repro.cache.line import CacheLine
+
+_FEATURES = ProtocolFeatures(
+    name="Rudolph & Segall",
+    citation="Rudolph, Segall 1984",
+    year=1984,
+    distributed_state="RWD",
+    directory=DirectoryDuality.UNSPECIFIED,
+    bus_invalidate_signal=True,
+    fetch_for_write_on_read_miss=SharingDetermination.NONE,
+    atomic_rmw=True,  # via memory-hold
+    flush_policy=FlushPolicy.FLUSH,
+    read_source_policy=ReadSourcePolicy.NONE,
+    state_roles={
+        CacheState.INVALID: "N",
+        CacheState.READ: "N",
+        CacheState.WRITE_DIRTY: "S",
+    },
+    notes=("One-word blocks; write-throughs update invalid copies too.",),
+)
+
+
+class RudolphSegallProtocol(CoherenceProtocol):
+    """Interleaving-determined write-through/write-in hybrid."""
+
+    name = "rudolph-segall"
+
+    @classmethod
+    def features(cls) -> ProtocolFeatures:
+        return _FEATURES
+
+    # -- scratch bookkeeping ---------------------------------------------------
+
+    def _wrote_last(self, block) -> bool:
+        return self.cache.scratch.get(("rs-wrote", block), False)
+
+    def _set_wrote(self, block, value: bool) -> None:
+        self.cache.scratch[("rs-wrote", block)] = value
+
+    # -- processor side ------------------------------------------------------
+
+    def processor_write(
+        self, line: "CacheLine | None", addr: WordAddr, stamp: Stamp
+    ) -> Action:
+        block = self.cache.block_of(addr)
+        if line is not None and line.state.writable:
+            return Done()  # already exclusive: write-in continues
+        if line is not None and line.state.readable:
+            if self._wrote_last(block):
+                # Second consecutive write: switch to write-in (invalidate).
+                return NeedBus(op=BusOp.UPGRADE)
+            # First write after a foreign access: write through, updating
+            # valid *and invalid* copies.
+            return NeedBus(
+                op=BusOp.UPDATE_WORD, word=addr, stamp=stamp, update_invalid=True
+            )
+        return NeedBus(op=BusOp.READ_BLOCK)
+
+    # -- requester side ------------------------------------------------------------
+
+    def after_txn(self, pending: "PendingAccess", txn: BusTransaction,
+                  response, data) -> TxnResult:
+        writish = pending.op.kind in (OpKind.WRITE, OpKind.RELEASE)
+        if txn.op is BusOp.READ_BLOCK and writish:
+            assert data is not None
+            self.cache.install_block(txn.block, CacheState.READ, data)
+            assert pending.op.addr is not None and pending.op.stamp is not None
+            return TxnResult(
+                Outcome.REBUS,
+                NeedBus(op=BusOp.UPDATE_WORD, word=pending.op.addr,
+                        stamp=pending.op.stamp, update_invalid=True),
+            )
+        if txn.op is BusOp.UPDATE_WORD:
+            line = self.cache.line_for(txn.block)
+            if line is None:
+                return TxnResult(Outcome.REBUS, NeedBus(op=BusOp.READ_BLOCK))
+            assert txn.word is not None and txn.stamp is not None
+            line.write_word(self.cache.offset(txn.word), txn.stamp)
+            if self.cache.oracle is not None:
+                self.cache.oracle.record_write(txn.word, txn.stamp)
+            if self.cache.memory is not None:
+                self.cache.memory.write_word(
+                    txn.block, txn.word - txn.block, txn.stamp
+                )
+            self._set_wrote(txn.block, True)
+            pending.write_applied = True
+            return TxnResult(Outcome.DONE)
+        return super().after_txn(pending, txn, response, data)
+
+    def upgrade_state(self, txn: BusTransaction, response) -> CacheState:
+        return CacheState.WRITE_DIRTY  # write-in mode: exclusive and dirty
+
+    def read_fill_state(self, txn: BusTransaction, response) -> CacheState:
+        return CacheState.READ
+
+    def revalidate_request(self, need: NeedBus, block) -> NeedBus:
+        if need.op is BusOp.UPDATE_WORD and self.cache.line_for(block) is None:
+            return NeedBus(op=BusOp.READ_BLOCK)
+        return super().revalidate_request(need, block)
+
+    # -- snooper side -----------------------------------------------------------------
+
+    def snoop(self, line: "CacheLine", txn: BusTransaction) -> SnoopReply:
+        # Any foreign access to the block resets the interleaving tracker.
+        self._set_wrote(line.block, False)
+        return super().snoop(line, txn)
+
+    def snoop_word_write(self, line: "CacheLine", txn: BusTransaction) -> SnoopReply:
+        if txn.op is BusOp.UPDATE_WORD:
+            assert txn.word is not None and txn.stamp is not None
+            self.cache.apply_foreign_update(line, txn.word, txn.stamp)
+            return SnoopReply(hit=True)
+        return super().snoop_word_write(line, txn)

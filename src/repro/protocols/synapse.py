@@ -1,0 +1,109 @@
+"""Frank (1984): the Synapse computer.
+
+A proprietary bus provides an explicit invalidate signal, so invalidation
+is concurrent with a block fetch and the clean write state disappears
+(Section F.2).  Source status is *not* fully distributed: main memory
+keeps a per-block source bit (Feature 2: ``RWD``).  A dirty source
+supplies data only for a write-privilege request (Table 1 note 1); a
+*read*-privilege request to a dirty-elsewhere block forces the holder to
+flush, after which memory services the request -- the expensive path the
+paper contrasts with Goodman's.  No flush on cache-to-cache transfer
+(Feature 7 ``NF``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.bus.signals import SnoopReply
+from repro.bus.transaction import BusOp, BusTransaction
+from repro.cache.state import CacheState
+from repro.common.types import Stamp, WordAddr
+from repro.protocols.base import CoherenceProtocol, TxnResult
+from repro.protocols.features import (
+    DirectoryDuality,
+    FlushPolicy,
+    ProtocolFeatures,
+    ReadSourcePolicy,
+    SharingDetermination,
+)
+
+if TYPE_CHECKING:
+    from repro.cache.cache import PendingAccess
+    from repro.cache.line import CacheLine
+
+_FEATURES = ProtocolFeatures(
+    name="Frank (Synapse)",
+    citation="Frank 1984",
+    year=1984,
+    distributed_state="RWD",  # source bit lives in main memory
+    directory=DirectoryDuality.IDENTICAL_DUAL,
+    bus_invalidate_signal=True,
+    fetch_for_write_on_read_miss=SharingDetermination.NONE,
+    atomic_rmw=True,
+    flush_policy=FlushPolicy.NO_FLUSH,
+    read_source_policy=ReadSourcePolicy.NONE,
+    state_roles={
+        CacheState.INVALID: "N",
+        CacheState.READ: "N",
+        CacheState.WRITE_DIRTY: "S",
+    },
+    notes=(
+        "Source cache provides data only for a write-privilege request, "
+        "not a read-privilege request (Table 1 note 1).",
+    ),
+)
+
+
+class SynapseProtocol(CoherenceProtocol):
+    """Synapse N+1 style protocol."""
+
+    name = "synapse"
+
+    @classmethod
+    def features(cls) -> ProtocolFeatures:
+        return _FEATURES
+
+    # -- requester side -------------------------------------------------------
+
+    def fill_state(self, txn: BusTransaction, response) -> CacheState:
+        if txn.op is BusOp.READ_BLOCK:
+            return CacheState.READ
+        # No clean write state: any exclusive fetch lands dirty.
+        return CacheState.WRITE_DIRTY
+
+    def upgrade_state(self, txn: BusTransaction, response) -> CacheState:
+        return CacheState.WRITE_DIRTY
+
+    def after_txn(self, pending: "PendingAccess", txn: BusTransaction,
+                  response, data) -> TxnResult:
+        result = super().after_txn(pending, txn, response, data)
+        self._maintain_memory_source_bit(txn)
+        return result
+
+    def _maintain_memory_source_bit(self, txn: BusTransaction) -> None:
+        memory = self.cache.memory
+        if memory is None:
+            return
+        line = self.cache.line_for(txn.block)
+        if line is not None and line.state is CacheState.WRITE_DIRTY:
+            memory.set_memory_source(txn.block, False)
+
+    # -- snooper side -----------------------------------------------------------
+
+    def snoop_read(self, line: "CacheLine", txn: BusTransaction) -> SnoopReply:
+        if line.state is CacheState.WRITE_DIRTY:
+            # Note 1: do not supply for a read-privilege request.  Flush so
+            # memory can service it (charged as flush + memory fetch).
+            reply = SnoopReply(hit=True, flush_words=line.snapshot())
+            line.state = CacheState.READ
+            if self.cache.memory is not None:
+                self.cache.memory.set_memory_source(line.block, True)
+            return reply
+        return SnoopReply(hit=True)
+
+    def purge_needs_flush(self, line: "CacheLine") -> bool:
+        needs = line.state is CacheState.WRITE_DIRTY
+        if needs and self.cache.memory is not None:
+            self.cache.memory.set_memory_source(line.block, True)
+        return needs

@@ -1,0 +1,117 @@
+"""The classic (pre-1978) write-through scheme (Section F.1).
+
+Identical dual directories; every write goes through to main memory and
+its address is broadcast on the invalidation bus, invalidating other
+valid copies.  Censier & Feautrier point out that this does *not*
+guarantee that conflicting single reads and writes are serialized: the
+writer's own copy (and the written value) is visible locally before the
+invalidation is serialized on the bus, so another processor can read a
+stale copy in the window.  The simulator reproduces that window: the
+local write applies (and the oracle records it) at issue time, while
+other caches are invalidated only at bus grant -- runs under this
+protocol therefore use ``strict_verify=False`` and *count* stale reads.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.bus.transaction import BusOp, BusTransaction
+from repro.cache.state import CacheState
+from repro.common.types import Stamp, WordAddr
+from repro.protocols.base import (
+    Action,
+    CoherenceProtocol,
+    NeedBus,
+    Outcome,
+    TxnResult,
+)
+from repro.protocols.features import (
+    DirectoryDuality,
+    FlushPolicy,
+    ProtocolFeatures,
+    ReadSourcePolicy,
+    SharingDetermination,
+)
+
+if TYPE_CHECKING:
+    from repro.cache.cache import PendingAccess
+    from repro.cache.line import CacheLine
+
+_FEATURES = ProtocolFeatures(
+    name="Classic write-through",
+    citation="pre-1978; described by Censier & Feautrier 1978",
+    year=1978,
+    distributed_state="RW",
+    directory=DirectoryDuality.IDENTICAL_DUAL,
+    cache_to_cache_transfer=False,
+    bus_invalidate_signal=False,
+    fetch_for_write_on_read_miss=SharingDetermination.NONE,
+    atomic_rmw=False,
+    flush_policy=FlushPolicy.NOT_APPLICABLE,
+    read_source_policy=ReadSourcePolicy.NONE,
+    state_roles={
+        CacheState.INVALID: "N",
+        CacheState.READ: "N",
+    },
+)
+
+
+class ClassicWriteThroughProtocol(CoherenceProtocol):
+    """Dual-directory write-through with invalidation broadcast."""
+
+    name = "write-through"
+
+    @classmethod
+    def features(cls) -> ProtocolFeatures:
+        return _FEATURES
+
+    # -- processor side ---------------------------------------------------
+
+    def processor_write(
+        self, line: "CacheLine | None", addr: WordAddr, stamp: Stamp
+    ) -> Action:
+        if line is not None and line.state.readable:
+            # The write is visible locally (and to the oracle) before the
+            # bus serializes the invalidation: the non-serialization window.
+            line.write_word(self.cache.offset(addr), stamp)
+            if self.cache.oracle is not None:
+                self.cache.oracle.record_write(addr, stamp)
+        need = NeedBus(op=BusOp.WRITE_WORD, word=addr, stamp=stamp)
+        return need
+
+    # -- requester side ------------------------------------------------------
+
+    def after_txn(self, pending: "PendingAccess", txn: BusTransaction,
+                  response, data) -> TxnResult:
+        if txn.op is BusOp.WRITE_WORD:
+            assert txn.word is not None and txn.stamp is not None
+            # Memory takes the write in bus order -- a buffered write whose
+            # copy was invalidated can regress memory past a newer write
+            # (the write-write conflict Censier & Feautrier describe); the
+            # oracle counts it as a lost update instead of re-ordering.
+            if self.cache.memory is not None:
+                self.cache.memory.write_word(
+                    txn.block, self.cache.offset(txn.word), txn.stamp
+                )
+            line = self.cache.line_for(txn.block)
+            if line is None and self.cache.oracle is not None:
+                # Write miss (no allocation on write): serializes here.
+                self.cache.oracle.record_write(txn.word, txn.stamp)
+            pending.write_applied = True
+            return TxnResult(Outcome.DONE)
+        return super().after_txn(pending, txn, response, data)
+
+    def read_fill_state(self, txn: BusTransaction, response) -> CacheState:
+        return CacheState.READ
+
+    def processor_write_block(self, line, addr: WordAddr):
+        from repro.common.errors import ProgramError
+
+        raise ProgramError(
+            "the classic write-through scheme has no block-write operation; "
+            "lower SAVE_BLOCK to per-word writes for this protocol"
+        )
+
+    def purge_needs_flush(self, line: "CacheLine") -> bool:
+        return False  # memory is always current

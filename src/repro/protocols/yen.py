@@ -1,0 +1,71 @@
+"""Yen, Yen & Fu (1985).
+
+The states are Goodman's, but with an explicit bus invalidate signal
+(Feature 4) and *static* determination of unshared data: the compiler
+emits a read-for-write-privilege instruction for reads of unshared data,
+which takes effect on a miss (Feature 5 ``S``).  The clean write state is
+non-source -- memory remains the source of a clean block (Table 1).
+Dirty blocks are flushed on transfer (Feature 7 ``F``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.bus.transaction import BusOp, BusTransaction
+from repro.cache.state import CacheState
+from repro.common.types import WordAddr
+from repro.protocols.base import Action, CoherenceProtocol, Done, NeedBus
+from repro.protocols.features import (
+    DirectoryDuality,
+    FlushPolicy,
+    ProtocolFeatures,
+    ReadSourcePolicy,
+    SharingDetermination,
+)
+
+if TYPE_CHECKING:
+    from repro.cache.line import CacheLine
+
+_FEATURES = ProtocolFeatures(
+    name="Yen, Yen & Fu",
+    citation="Yen et al. 1985",
+    year=1985,
+    distributed_state="RWDS",
+    directory=DirectoryDuality.UNSPECIFIED,
+    bus_invalidate_signal=True,
+    fetch_for_write_on_read_miss=SharingDetermination.STATIC,
+    atomic_rmw=False,
+    flush_policy=FlushPolicy.FLUSH,
+    read_source_policy=ReadSourcePolicy.NONE,
+    state_roles={
+        CacheState.INVALID: "N",
+        CacheState.READ: "N",
+        CacheState.WRITE_CLEAN: "N",  # memory remains the source
+        CacheState.WRITE_DIRTY: "S",
+    },
+)
+
+
+class YenProtocol(CoherenceProtocol):
+    """Goodman states + invalidate signal + static fetch-for-write."""
+
+    name = "yen"
+
+    @classmethod
+    def features(cls) -> ProtocolFeatures:
+        return _FEATURES
+
+    def processor_read(
+        self, line: "CacheLine | None", addr: WordAddr, private_hint: bool = False
+    ) -> Action:
+        if line is not None and line.state.readable:
+            return Done(value=line.read_word(self.cache.offset(addr)))
+        if private_hint:
+            # The compiler declared this data unshared: fetch for write
+            # privilege (affects the access only on a miss).
+            return NeedBus(op=BusOp.READ_EXCL)
+        return NeedBus(op=BusOp.READ_BLOCK)
+
+    def read_fill_state(self, txn: BusTransaction, response) -> CacheState:
+        return CacheState.READ

@@ -1,0 +1,38 @@
+"""Global cycle counter and write-stamp source."""
+
+from __future__ import annotations
+
+
+class Clock:
+    """The system-wide bus-cycle counter."""
+
+    def __init__(self) -> None:
+        self.cycle = 0
+
+    def tick(self) -> int:
+        self.cycle += 1
+        return self.cycle
+
+
+class StampClock:
+    """Issues globally-unique, monotonically-increasing write stamps.
+
+    Stamps double as the verifier's serialization handles: the word value
+    written with each stamp is recorded so value-dependent operations
+    (test-and-set) can be evaluated at their serialization point.
+    """
+
+    def __init__(self) -> None:
+        self._next = 0
+        self._values: dict[int, int] = {}
+
+    def next_stamp(self, value: int) -> int:
+        self._next += 1
+        self._values[self._next] = value
+        return self._next
+
+    def value_of(self, stamp: int) -> int:
+        """Value carried by ``stamp``; stamp 0 (never written) reads 0."""
+        if stamp == 0:
+            return 0
+        return self._values[stamp]

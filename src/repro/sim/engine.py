@@ -1,0 +1,192 @@
+"""The simulator: wires processors, caches, bus, and memory, and runs.
+
+Cycle order: bus first (grants/releases), then every processor (issue or
+collect), then the cycle counter.  A processor therefore sees a bus
+completion on the cycle the occupancy expires, and a request posted this
+cycle arbitrates next cycle -- a one-cycle arbitration latency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bus.bus import Bus
+from repro.cache.cache import SnoopingCache
+from repro.common.config import RmwMethod, SystemConfig
+from repro.common.errors import ConfigError, DeadlockError
+from repro.memory.io_processor import IOProcessor
+from repro.memory.main_memory import MainMemory
+from repro.processor.processor import Processor
+from repro.processor.program import Program
+from repro.protocols import get_protocol
+from repro.sim.clock import Clock, StampClock
+from repro.sim.events import TraceLog
+from repro.sim.stats import SimStats
+from repro.verify.invariants import InvariantChecker
+from repro.verify.oracle import WriteOracle
+
+
+class Simulator:
+    """A complete simulated system executing one program per processor."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        programs: Sequence[Program],
+        *,
+        trace: bool = False,
+        check_interval: int = 0,
+    ) -> None:
+        if len(programs) != config.num_processors:
+            raise ConfigError(
+                f"{config.num_processors} processors but {len(programs)} programs"
+            )
+        if config.protocol == "rudolph-segall" and config.cache.words_per_block != 1:
+            raise ConfigError(
+                "Rudolph-Segall requires one-word blocks (Section E.4); "
+                "set cache.words_per_block=1"
+            )
+        self.config = config
+        self.clock = Clock()
+        self.stamp_clock = StampClock()
+        self.stats = SimStats()
+        self.trace = TraceLog(enabled=trace)
+        self.memory = MainMemory(config.cache.words_per_block)
+        if config.num_buses > 1:
+            from repro.bus.multibus import MultiBusSystem
+
+            self.bus = MultiBusSystem(
+                config.num_buses, self.memory, config.timing,
+                self.clock, self.stats, self.trace,
+            )
+        else:
+            self.bus = Bus(self.memory, config.timing, self.clock,
+                           self.stats, self.trace)
+        self.oracle = WriteOracle(self.stats, strict=config.strict_verify)
+
+        protocol_cls = get_protocol(config.protocol)
+        effective_rmw = config.rmw_method
+        if (
+            config.rmw_method is RmwMethod.LOCK_STATE
+            and not protocol_cls.supports_lock_state()
+        ):
+            # Sensible per-protocol defaults when the configured method is
+            # unavailable: the classic scheme and Rudolph-Segall serialize
+            # RMWs through the memory unit (Feature 6, first method);
+            # everything else holds the block in the cache.
+            if config.protocol in ("write-through", "rudolph-segall"):
+                effective_rmw = RmwMethod.MEMORY_HOLD
+            else:
+                effective_rmw = RmwMethod.CACHE_HOLD
+        self.caches: list[SnoopingCache] = []
+        for i in range(config.num_processors):
+            cache = SnoopingCache(
+                cache_id=i,
+                config=config.cache,
+                clock=self.clock,
+                stamp_clock=self.stamp_clock,
+                stats=self.stats,
+                trace=self.trace,
+            )
+            cache.protocol = protocol_cls(cache)
+            cache.memory = self.memory
+            cache.oracle = self.oracle
+            cache.rmw_method = effective_rmw
+            cache.rmw_modify_cycles = config.timing.rmw_modify_cycles
+            self.caches.append(cache)
+            self.bus.attach(cache)
+
+        self.io: IOProcessor | None = None
+        if config.with_io:
+            self.io = IOProcessor(self.memory, self.stamp_clock, self.stats)
+            self.io.oracle = self.oracle
+            self.bus.attach(self.io)
+
+        self.processors: list[Processor] = [
+            Processor(
+                pid=i,
+                cache=self.caches[i],
+                program=programs[i],
+                stamp_clock=self.stamp_clock,
+                stats=self.stats.processor(i),
+                wait_mode=config.wait_mode,
+            )
+            for i in range(config.num_processors)
+        ]
+
+        self.checker = InvariantChecker.for_system(
+            self.caches, self.memory, self.oracle,
+            serialized=config.strict_verify,
+        )
+        self._check_interval = check_interval
+        self._last_progress_sig: tuple = ()
+        self._last_progress_cycle = 0
+
+    # -- running ----------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        if not all(p.done for p in self.processors):
+            return False
+        if self.bus.busy or any(c.has_bus_request() for c in self.caches):
+            return False
+        if self.io is not None and not self.io.idle:
+            return False
+        return True
+
+    def step(self) -> None:
+        """Advance the whole system by one bus cycle."""
+        for cache in self.caches:
+            cache.directory.begin_cycle()
+        self.bus.step()
+        for processor in self.processors:
+            processor.tick(self.clock.cycle)
+        self.stats.cycles += 1
+        self.clock.tick()
+        if self._check_interval and self.stats.cycles % self._check_interval == 0:
+            self.checker.check_all()
+
+    def run(self, max_cycles: int | None = None) -> SimStats:
+        """Run to completion (or ``max_cycles``); returns the statistics."""
+        horizon = self.config.deadlock_horizon
+        while not self.done:
+            if max_cycles is not None and self.stats.cycles >= max_cycles:
+                break
+            self.step()
+            self._watch_progress(horizon)
+        if self._check_interval:
+            self.checker.check_all()
+        self.stats.directory_interference_cycles = sum(
+            c.directory.interference_cycles for c in self.caches
+        )
+        return self.stats
+
+    def _watch_progress(self, horizon: int) -> None:
+        signature = (
+            sum(p.stats.ops_completed for p in self.processors),
+            sum(p.stats.compute_cycles for p in self.processors),
+            self.stats.total_transactions,
+            self.stats.read_hits + self.stats.write_hits,
+        )
+        if signature != self._last_progress_sig:
+            self._last_progress_sig = signature
+            self._last_progress_cycle = self.stats.cycles
+        elif self.stats.cycles - self._last_progress_cycle > horizon:
+            waiting = [p.pid for p in self.processors if not p.done]
+            raise DeadlockError(
+                f"no progress for {horizon} cycles at cycle "
+                f"{self.stats.cycles}; processors not done: {waiting}"
+            )
+
+
+def run_workload(
+    config: SystemConfig,
+    programs: Sequence[Program],
+    *,
+    max_cycles: int | None = None,
+    check_interval: int = 0,
+    trace: bool = False,
+) -> SimStats:
+    """Build a simulator, run it to completion, and return its stats."""
+    sim = Simulator(config, programs, trace=trace, check_interval=check_interval)
+    return sim.run(max_cycles=max_cycles)

@@ -1,0 +1,76 @@
+"""Event tracing.
+
+A :class:`TraceLog` records what happened and when; the figure benches
+(Figures 1-9 of the paper) replay small scenarios and print/assert on the
+resulting event sequences.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+class EventKind(enum.Enum):
+    PROC_OP = "proc-op"  # processor issued/completed an operation
+    BUS_TXN = "bus-txn"  # bus transaction granted
+    STATE_CHANGE = "state"  # cache line changed state
+    SUPPLY = "supply"  # who supplied data (cache id or memory)
+    LOCK = "lock"  # lock acquired / waiter recorded / unlock broadcast
+    WAIT = "wait"  # busy-wait register armed / fired
+    PURGE = "purge"  # line replaced
+    VERIFY = "verify"  # verifier observation (stale read etc.)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    cycle: int
+    kind: EventKind
+    detail: dict[str, Any]
+
+    def __str__(self) -> str:
+        fields = ", ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.cycle:>6}] {self.kind.value}: {fields}"
+
+
+class TraceLog:
+    """An append-only event log, disabled by default for speed."""
+
+    def __init__(self, enabled: bool = False, capacity: int | None = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self._events: list[TraceEvent] = []
+        #: Optional live listeners (the verifier subscribes here).
+        self._listeners: list[Callable[[TraceEvent], None]] = []
+
+    def emit(self, cycle: int, kind: EventKind, **detail: Any) -> None:
+        if not self.enabled and not self._listeners:
+            return
+        event = TraceEvent(cycle, kind, detail)
+        for listener in self._listeners:
+            listener(event)
+        if self.enabled:
+            if self.capacity is not None and len(self._events) >= self.capacity:
+                return
+            self._events.append(event)
+
+    def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        self._listeners.append(listener)
+
+    def events(self, kind: EventKind | None = None) -> list[TraceEvent]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def render(self) -> str:
+        return "\n".join(str(e) for e in self._events)

@@ -1,0 +1,13 @@
+"""Synchronization library: spinlocks, cache-state locks, software queues."""
+
+from repro.sync.cache_lock import CacheLock
+from repro.sync.queue import SoftwareQueue
+from repro.sync.spinlock import TasLock, TtasLock, critical_section
+
+__all__ = [
+    "CacheLock",
+    "SoftwareQueue",
+    "TasLock",
+    "TtasLock",
+    "critical_section",
+]

@@ -1,0 +1,32 @@
+"""The proposal's cache-state lock (Section E.3).
+
+Locking is a special read of the atom's first word that locks its block
+concurrently with the fetch; unlocking is the final write.  Locking and
+unlocking therefore "usually occur in zero time": no lock bit, no
+test-and-set, no block devoted to a lock word.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import WordAddr
+from repro.processor import isa
+from repro.processor.isa import Op
+
+
+@dataclass(frozen=True)
+class CacheLock:
+    """Lock identified by the first word of the atom's first block."""
+
+    lock_word: WordAddr
+
+    def acquire(self, *, ready_work: int = 0) -> list[Op]:
+        """The lock instruction: a read that locks (Figure 6).  With
+        ``ready_work`` > 0 and ``WaitMode.WORK``, the processor executes
+        that many cycles of independent work while waiting (Section E.4)."""
+        return [isa.lock(self.lock_word, ready_work=ready_work)]
+
+    def release(self, value: int = 1) -> list[Op]:
+        """The unlock instruction: the final write to the block (Figure 8)."""
+        return [isa.unlock(self.lock_word, value=value)]

@@ -1,0 +1,110 @@
+"""Software queues on busy-wait locks (Section B.2).
+
+"If the hardware in a multiprocessor system does not itself implement
+queuing, then by default the software must implement it using busy wait.
+...a queue-manager procedure will busy wait for access to software-
+implemented queues, and when it gains access to a queue, will insert or
+delete a process."
+
+A :class:`SoftwareQueue` is a bounded circular buffer whose descriptor
+(head, tail, count -- the semaphore state) and slots live in
+block-aligned atoms.  The builders emit the exact reference pattern a
+queue manager performs: lock the descriptor, read head/tail, read or
+write a slot, write the updated indices, unlock.  The queue's logical
+state is tracked generator-side (the simulator's ISA has no
+data-dependent branches), so programs built from interleaved
+enqueue/dequeue fragments touch the same words a real manager would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ProgramError
+from repro.processor import isa
+from repro.processor.isa import Op
+from repro.sync.cache_lock import CacheLock
+from repro.common.layout import Atom, Layout
+
+
+@dataclass
+class SoftwareQueue:
+    """A lock-protected bounded queue: descriptor atom + slot region.
+
+    Descriptor layout (one block): word 0 = lock word, word 1 = head,
+    word 2 = tail, word 3+ = count/semaphore.
+    """
+
+    descriptor: Atom
+    slots: list[int]  # word addresses of the entry slots
+    capacity: int
+    _head: int = 0
+    _tail: int = 0
+    _count: int = 0
+    _lock: CacheLock = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1 or self.capacity > len(self.slots):
+            raise ProgramError("capacity must fit in the slot region")
+        self._lock = CacheLock(self.descriptor.lock_word)
+
+    @staticmethod
+    def allocate(layout: Layout, capacity: int = 4,
+                 descriptor_words: int = 4) -> "SoftwareQueue":
+        descriptor = Atom.allocate(layout, descriptor_words)
+        slots = layout.region(capacity)
+        return SoftwareQueue(descriptor=descriptor, slots=slots, capacity=capacity)
+
+    # -- state (generator side) -------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def full(self) -> bool:
+        return self._count >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return self._count == 0
+
+    # -- program fragments ----------------------------------------------------
+
+    def _descriptor_reads(self) -> list[Op]:
+        words = self.descriptor.data_words()
+        return [isa.read(w) for w in words[:2]]  # head, tail
+
+    def enqueue_ops(self, value: int, *, ready_work: int = 0) -> list[Op]:
+        """Insert ``value``: lock, read indices, write slot, update tail,
+        unlock (the unlock doubles as the count update)."""
+        if self.full:
+            raise ProgramError("enqueue on a full queue")
+        slot = self.slots[self._tail]
+        self._tail = (self._tail + 1) % self.capacity
+        self._count += 1
+        words = self.descriptor.data_words()
+        ops: list[Op] = []
+        ops += self._lock.acquire(ready_work=ready_work)
+        ops += self._descriptor_reads()
+        ops.append(isa.write(slot, value=value))
+        ops.append(isa.write(words[1], value=self._tail))  # new tail
+        ops += self._lock.release(value=self._count)
+        return ops
+
+    def dequeue_ops(self, *, ready_work: int = 0) -> list[Op]:
+        """Remove the head entry: lock, read indices, read slot, update
+        head, unlock."""
+        if self.empty:
+            raise ProgramError("dequeue on an empty queue")
+        slot = self.slots[self._head]
+        self._head = (self._head + 1) % self.capacity
+        self._count -= 1
+        words = self.descriptor.data_words()
+        ops: list[Op] = []
+        ops += self._lock.acquire(ready_work=ready_work)
+        ops += self._descriptor_reads()
+        ops.append(isa.read(slot))
+        ops.append(isa.write(words[0], value=self._head))  # new head
+        ops += self._lock.release(value=self._count)
+        return ops

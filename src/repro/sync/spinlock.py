@@ -1,0 +1,57 @@
+"""Busy-wait spinlocks (Sections B.2, E.3, E.4).
+
+Program-fragment builders for the three lock disciplines the benches
+compare:
+
+* :class:`TasLock` -- test-and-set retried over the bus (every retry is a
+  bus transaction: the traffic the busy-wait register eliminates);
+* :class:`TtasLock` -- test-and-test-and-set: spin reading the cached
+  copy, going to the bus only when the lock reads free (the "loop on a
+  one in its cache" of Censier & Feautrier);
+* :class:`CacheLock` (in :mod:`repro.sync.cache_lock`) -- the proposal's
+  cache-state lock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import WordAddr
+from repro.processor import isa
+from repro.processor.isa import Op
+
+
+@dataclass(frozen=True)
+class TasLock:
+    """Test-and-set spinlock over a lock word."""
+
+    lock_word: WordAddr
+    token: int = 1
+
+    def acquire(self, *, ready_work: int = 0) -> list[Op]:
+        return [isa.Op(isa.OpKind.TAS_ACQUIRE, self.lock_word,
+                       value=self.token, ready_work=ready_work)]
+
+    def release(self) -> list[Op]:
+        return [isa.release(self.lock_word)]
+
+
+@dataclass(frozen=True)
+class TtasLock:
+    """Test-and-test-and-set spinlock over a lock word."""
+
+    lock_word: WordAddr
+    token: int = 1
+
+    def acquire(self, *, ready_work: int = 0) -> list[Op]:
+        return [isa.Op(isa.OpKind.TTAS_ACQUIRE, self.lock_word,
+                       value=self.token, ready_work=ready_work)]
+
+    def release(self) -> list[Op]:
+        return [isa.release(self.lock_word)]
+
+
+def critical_section(lock, body: list[Op], *, ready_work: int = 0) -> list[Op]:
+    """Wrap ``body`` in acquire/release of ``lock`` (any lock class here
+    or :class:`~repro.sync.cache_lock.CacheLock`)."""
+    return [*lock.acquire(ready_work=ready_work), *body, *lock.release()]

@@ -1,0 +1,13 @@
+"""Verification: write-stamp oracle, coherence invariants, conformance."""
+
+from repro.verify.conformance import Finding, check_conformance
+from repro.verify.invariants import InvariantChecker
+from repro.verify.oracle import StaleRead, WriteOracle
+
+__all__ = [
+    "Finding",
+    "InvariantChecker",
+    "StaleRead",
+    "WriteOracle",
+    "check_conformance",
+]

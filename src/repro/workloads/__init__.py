@@ -1,0 +1,37 @@
+"""Workload generators: one per scenario the paper motivates."""
+
+from repro.workloads.base import Atom, Layout, layout_for
+from repro.workloads.lock_contention import lock_contention, uncontended_locks
+from repro.workloads.multiprogramming import (
+    multiprogram,
+    multiprogrammed_contention,
+)
+from repro.workloads.process_switch import process_switch
+from repro.workloads.producer_consumer import producer_consumer
+from repro.workloads.prolog import prolog_and_parallel
+from repro.workloads.request_queue import request_queue
+from repro.workloads.sharing import interleaved_sharing, migration
+from repro.workloads.sleep_wait import sleep_wait
+from repro.workloads.synthetic import SmithParameters, smith_stream
+from repro.workloads.trace import dump_trace, load_trace
+
+__all__ = [
+    "Atom",
+    "Layout",
+    "SmithParameters",
+    "dump_trace",
+    "interleaved_sharing",
+    "layout_for",
+    "load_trace",
+    "sleep_wait",
+    "lock_contention",
+    "migration",
+    "multiprogram",
+    "multiprogrammed_contention",
+    "process_switch",
+    "prolog_and_parallel",
+    "producer_consumer",
+    "request_queue",
+    "smith_stream",
+    "uncontended_locks",
+]

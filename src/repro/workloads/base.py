@@ -1,0 +1,10 @@
+"""Workload-generation helpers.
+
+The layout primitives live in :mod:`repro.common.layout` (the
+synchronization library uses them too); this module re-exports them for
+the workload generators.
+"""
+
+from repro.common.layout import Atom, Layout, layout_for
+
+__all__ = ["Atom", "Layout", "layout_for"]

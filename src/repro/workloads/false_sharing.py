@@ -1,0 +1,85 @@
+"""The Dubois-Briggs sharing model vs the paper's atom discipline (§D.2).
+
+"The model of sharing under write-in that was introduced by Dubois and
+Briggs (1982) fails to appreciate the first two points [a process does
+not access an atom until it is unlocked; blocks should be devoted to
+atoms], so degrades the performance of write-in."
+
+Two generators produce the *same logical work* -- lock-protected updates
+of an atom plus independent per-processor hot data -- under two layouts:
+
+* **disciplined** (the paper): the atom owns its blocks; each processor's
+  hot private data lives in its own blocks; nobody touches the atom's
+  blocks while it is locked (the lock refusal enforces it anyway);
+* **dubois-briggs**: the atom *shares its block* with the other
+  processors' hot data, so every private access collides with the locked
+  block (false sharing), and the critical-section writes ping-pong the
+  block even though the other processors never read the atom itself.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import SystemConfig
+from repro.common.layout import Atom, layout_for
+from repro.processor import isa
+from repro.processor.isa import Op
+from repro.processor.program import LockStyle, Program
+
+
+def _work(pid: int, rounds: int, atom_lock: int, atom_data: list[int],
+          hot_word: int, hot_accesses: int) -> list[Op]:
+    ops: list[Op] = []
+    for _ in range(rounds):
+        ops.append(isa.lock(atom_lock))
+        for word in atom_data:
+            ops.append(isa.write(word, value=pid + 1))
+        ops.append(isa.unlock(atom_lock, value=pid + 1))
+        for i in range(hot_accesses):
+            if i % 3 == 0:
+                ops.append(isa.write(hot_word, value=pid + 1))
+            else:
+                ops.append(isa.read(hot_word))
+    return ops
+
+
+def disciplined_sharing(
+    config: SystemConfig,
+    *,
+    rounds: int = 5,
+    hot_accesses: int = 6,
+    lock_style: LockStyle = LockStyle.CACHE_LOCK,
+) -> list[Program]:
+    """Blocks devoted to the atom; private hot data in private blocks."""
+    layout = layout_for(config)
+    atom = Atom.allocate(layout, 3)
+    programs = []
+    for pid in range(config.num_processors):
+        hot_word = layout.block()  # own block per processor
+        ops = _work(pid, rounds, atom.lock_word, atom.data_words(),
+                    hot_word, hot_accesses)
+        programs.append(Program(ops, name=f"disciplined-p{pid}").lowered(lock_style))
+    return programs
+
+
+def dubois_briggs_sharing(
+    config: SystemConfig,
+    *,
+    rounds: int = 5,
+    hot_accesses: int = 6,
+    lock_style: LockStyle = LockStyle.CACHE_LOCK,
+) -> list[Program]:
+    """The criticized layout: everybody's hot word shares the atom's
+    block(s), so unrelated accesses contend with the locked atom."""
+    wpb = config.cache.words_per_block
+    layout = layout_for(config)
+    # Allocate a two-block region: atom at the front, hot words packed in
+    # behind it (sharing the atom's blocks as far as capacity allows).
+    region = layout.region(2 * wpb)
+    atom = Atom(base=region[0], n_words=3)
+    programs = []
+    for pid in range(config.num_processors):
+        hot_word = region[(3 + pid) % len(region)]
+        ops = _work(pid, rounds, atom.lock_word, atom.data_words(),
+                    hot_word, hot_accesses)
+        programs.append(Program(ops, name=f"dubois-p{pid}").lowered(lock_style))
+    return programs

@@ -1,0 +1,134 @@
+"""Multiprogramming: process switching with state saves.
+
+Two of the paper's points meet here:
+
+* Feature 9 -- "in saving state at a process switch... the compiler must
+  know when a processor will write all of the data in a block": every
+  switch writes the outgoing process's state blocks with
+  write-without-fetch;
+* Section E.3 -- "it is important to preclude the switching of processes
+  while a lock is held": the scheduler never switches inside a
+  lock/unlock region.
+
+The schedule is built at generation time (deterministic round-robin with
+an op quantum), producing one merged program per processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ProgramError
+from repro.processor import isa
+from repro.processor.isa import Op, OpKind
+from repro.processor.program import Program
+from repro.workloads.base import Layout, layout_for
+
+
+def _lock_regions(ops: list[Op]) -> list[bool]:
+    """For each op index, whether a lock is held *after* executing it."""
+    held: set[int] = set()
+    result = []
+    for op in ops:
+        if op.kind is OpKind.LOCK:
+            held.add(op.addr)  # type: ignore[arg-type]
+        elif op.kind is OpKind.UNLOCK:
+            held.discard(op.addr)  # type: ignore[arg-type]
+        result.append(bool(held))
+    return result
+
+
+def multiprogram(
+    processes: list[Program],
+    *,
+    quantum_ops: int = 6,
+    state_blocks: int = 2,
+    layout: Layout,
+    use_write_no_fetch: bool = True,
+    words_per_block: int = 4,
+) -> Program:
+    """Interleave ``processes`` on one processor with round-robin
+    scheduling, inserting a state save at every switch.
+
+    Switches happen at op boundaries once the quantum is consumed, but
+    never while the outgoing process holds a lock -- the region runs to
+    its unlock first.
+    """
+    if not processes:
+        raise ProgramError("need at least one process")
+    # Per-process state-save region (fresh context area per process).
+    state_bases = [
+        [layout.block() for _ in range(state_blocks)] for _ in processes
+    ]
+    cursors = [0] * len(processes)
+    holding = [_lock_regions(p.ops) for p in processes]
+    merged: list[Op] = []
+    current = 0
+    while any(cursors[i] < len(processes[i].ops) for i in range(len(processes))):
+        program = processes[current]
+        if cursors[current] >= len(program.ops):
+            current = (current + 1) % len(processes)
+            continue
+        consumed = 0
+        idx = cursors[current]
+        while idx < len(program.ops):
+            merged.append(replace(program.ops[idx]))
+            idx += 1
+            consumed += 1
+            # Switch once the quantum is consumed -- but never while the
+            # process still holds a lock (Section E.3).
+            if consumed >= quantum_ops and not holding[current][idx - 1]:
+                break
+        cursors[current] = idx
+        # Context switch: save the outgoing process's state.
+        if any(cursors[i] < len(processes[i].ops)
+               for i in range(len(processes))):
+            for block in state_bases[current]:
+                if use_write_no_fetch:
+                    merged.append(isa.save_block(block, value=current + 1))
+                else:
+                    for offset in range(words_per_block):
+                        merged.append(isa.write(block + offset,
+                                                value=current + 1))
+            current = (current + 1) % len(processes)
+    return Program(merged, name="multiprogrammed")
+
+
+def multiprogrammed_contention(
+    config: SystemConfig,
+    *,
+    processes_per_cpu: int = 2,
+    rounds: int = 3,
+    quantum_ops: int = 5,
+    state_blocks: int = 2,
+    use_write_no_fetch: bool = True,
+) -> list[Program]:
+    """Each processor multiprograms several lock-using processes over one
+    shared atom -- frequent switching, never inside a critical section."""
+    from repro.workloads.base import Atom
+
+    layout = layout_for(config)
+    atom = Atom.allocate(layout, 4)
+    programs = []
+    for pid in range(config.num_processors):
+        processes = []
+        for proc_no in range(processes_per_cpu):
+            ops: list[isa.Op] = []
+            for _ in range(rounds):
+                ops.append(isa.lock(atom.lock_word))
+                for word in atom.data_words():
+                    ops.append(isa.write(word, value=pid * 10 + proc_no + 1))
+                ops.append(isa.unlock(atom.lock_word))
+                ops.append(isa.compute(3))
+            processes.append(Program(ops, name=f"p{pid}.proc{proc_no}"))
+        merged = multiprogram(
+            processes,
+            quantum_ops=quantum_ops,
+            state_blocks=state_blocks,
+            layout=layout,
+            use_write_no_fetch=use_write_no_fetch,
+            words_per_block=config.cache.words_per_block,
+        )
+        programs.append(merged)
+    return programs

@@ -1,0 +1,44 @@
+"""Process-switch state saving (Feature 9).
+
+"In the Aquarius system... we anticipate frequent process switching,
+hence the switching must be very efficient."  Saving state writes *all*
+of the data in each state block, so under write-without-fetch the blocks
+need not be fetched on the (certain) write misses.  The comparison
+workload writes the same state word-by-word, paying a fetch per block.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import SystemConfig
+from repro.processor import isa
+from repro.processor.program import Program
+from repro.workloads.base import layout_for
+
+
+def process_switch(
+    config: SystemConfig,
+    *,
+    switches: int = 8,
+    state_blocks: int = 4,
+    compute_between: int = 10,
+    use_write_no_fetch: bool = True,
+) -> list[Program]:
+    """Each processor alternately computes and saves its process state."""
+    layout = layout_for(config)
+    wpb = config.cache.words_per_block
+    programs: list[Program] = []
+    for pid in range(config.num_processors):
+        # Fresh state blocks per switch: a saved context goes to a new
+        # frame, guaranteeing write misses (the Feature-9 case).
+        ops: list[isa.Op] = []
+        for switch in range(switches):
+            ops.append(isa.compute(compute_between))
+            for _ in range(state_blocks):
+                block = layout.block()
+                if use_write_no_fetch:
+                    ops.append(isa.save_block(block, value=pid + 1))
+                else:
+                    for offset in range(wpb):
+                        ops.append(isa.write(block + offset, value=pid + 1))
+        programs.append(Program(ops, name=f"switch-p{pid}"))
+    return programs

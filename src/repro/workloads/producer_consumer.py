@@ -1,0 +1,56 @@
+"""Producer/consumer sharing (Section B.1).
+
+"One process produces a value, say a variable binding, for another
+process, and that process, in turn, reads the value and uses it."
+Processors are paired; each pair shares one lock-protected channel atom.
+The producer locks the channel, writes the item, and unlocks; the
+consumer locks, reads, and unlocks.  Lock contention provides the
+ordering (the paper's schemes do not include condition variables; a
+consumer that reads an empty slot simply retries, which exercises the
+busy-wait machinery).
+"""
+
+from __future__ import annotations
+
+from repro.common.config import SystemConfig
+from repro.processor import isa
+from repro.processor.program import LockStyle, Program
+from repro.workloads.base import Atom, layout_for
+
+
+def producer_consumer(
+    config: SystemConfig,
+    *,
+    items: int = 16,
+    item_words: int = 2,
+    think_cycles: int = 3,
+    lock_style: LockStyle = LockStyle.CACHE_LOCK,
+) -> list[Program]:
+    """Pair processors (0,1), (2,3), ...; odd counts leave the last
+    processor with an empty program."""
+    layout = layout_for(config)
+    programs: list[Program] = [Program(ops=[], name=f"idle-p{i}")
+                               for i in range(config.num_processors)]
+    for producer_pid in range(0, config.num_processors - 1, 2):
+        consumer_pid = producer_pid + 1
+        atom = Atom.allocate(layout, 1 + item_words)
+        data = atom.data_words()
+        produce: list[isa.Op] = []
+        consume: list[isa.Op] = []
+        for item in range(items):
+            produce.append(isa.lock(atom.lock_word))
+            for word in data:
+                produce.append(isa.write(word, value=item + 1))
+            produce.append(isa.unlock(atom.lock_word, value=item + 1))
+            if think_cycles:
+                produce.append(isa.compute(think_cycles))
+
+            consume.append(isa.lock(atom.lock_word))
+            for word in data:
+                consume.append(isa.read(word))
+            consume.append(isa.unlock(atom.lock_word, value=item + 1))
+            if think_cycles:
+                consume.append(isa.compute(think_cycles))
+        programs[producer_pid] = Program(produce, name=f"producer-p{producer_pid}")
+        programs[consumer_pid] = Program(consume, name=f"consumer-p{consumer_pid}")
+    return [p.lowered(lock_style) for p in programs]

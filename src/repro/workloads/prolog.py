@@ -1,0 +1,100 @@
+"""Prolog-style AND-parallel execution (Sections A.1, B.1, G.1).
+
+The paper's motivating domain: "we intend to implement Prolog predicates
+(procedures) as lightweight processes, thereby generating many medium-
+grained, lightweight processes and many synchronization operations."  And
+from B.1: "one process produces a value, say a *variable binding*, for
+another process, and that process, in turn, reads the value and uses it."
+
+The generator models one parent and ``n-1`` workers:
+
+* the parent pushes goals onto a lock-protected **goal stack** (the
+  service-request pattern of B.1);
+* workers pop goals, reduce them (compute), and publish **variable
+  bindings** into lock-protected binding cells;
+* a worker occasionally fails and **backtracks**: it re-locks its binding
+  cells, unbinds (writes 0), re-reduces, and rebinds;
+* the parent reads every binding back (the consumer side of B.1).
+
+All schedules are resolved at generation time with the config's seed, so
+runs are deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import SystemConfig
+from repro.common.rng import derive_rng
+from repro.processor import isa
+from repro.processor.isa import Op
+from repro.processor.program import Program
+from repro.sync.queue import SoftwareQueue
+from repro.workloads.base import Atom, layout_for
+
+
+def prolog_and_parallel(
+    config: SystemConfig,
+    *,
+    goals: int = 9,
+    bindings_per_goal: int = 2,
+    backtrack_probability: float = 0.25,
+    reduce_cycles: int = 6,
+    seed: int | None = None,
+) -> list[Program]:
+    """One parent (processor 0) and ``n-1`` workers reducing goals."""
+    n = config.num_processors
+    if n < 2:
+        raise ValueError("AND-parallelism needs a parent and a worker")
+    if not 0.0 <= backtrack_probability <= 1.0:
+        raise ValueError("backtrack_probability must be in [0, 1]")
+    layout = layout_for(config)
+    goal_stack = SoftwareQueue.allocate(layout, capacity=max(goals, 4))
+    # One binding-cell atom per goal: the lock word plus the bindings.
+    cells = [Atom.allocate(layout, 1 + bindings_per_goal)
+             for _ in range(goals)]
+    rng = derive_rng(config.seed if seed is None else seed, "prolog")
+
+    parent: list[Op] = []
+    workers: list[list[Op]] = [[] for _ in range(n - 1)]
+
+    for goal in range(goals):
+        worker = goal % (n - 1)
+        cell = cells[goal]
+        # Parent enqueues the goal (with a ready section: it still has
+        # other goals to prepare while waiting for the stack lock).
+        parent += goal_stack.enqueue_ops(goal + 1, ready_work=4)
+        # Worker takes the goal and reduces it.
+        workers[worker] += goal_stack.dequeue_ops(ready_work=4)
+        workers[worker].append(isa.compute(reduce_cycles))
+        # Publish the bindings.
+        workers[worker].append(isa.lock(cell.lock_word))
+        for b, word in enumerate(cell.data_words()):
+            workers[worker].append(
+                isa.write(word, value=100 * (goal + 1) + b)
+            )
+        workers[worker].append(isa.unlock(cell.lock_word, value=goal + 1))
+        # Occasionally fail and backtrack: unbind, re-reduce, rebind.
+        if rng.random() < backtrack_probability:
+            workers[worker].append(isa.compute(2))
+            workers[worker].append(isa.lock(cell.lock_word))
+            for word in cell.data_words():
+                workers[worker].append(isa.write(word, value=0))  # unbind
+            workers[worker].append(isa.unlock(cell.lock_word, value=0))
+            workers[worker].append(isa.compute(reduce_cycles))
+            workers[worker].append(isa.lock(cell.lock_word))
+            for b, word in enumerate(cell.data_words()):
+                workers[worker].append(
+                    isa.write(word, value=200 * (goal + 1) + b)
+                )
+            workers[worker].append(isa.unlock(cell.lock_word, value=goal + 1))
+
+    # The parent consumes every binding (lock, read, unlock).
+    for goal, cell in enumerate(cells):
+        parent.append(isa.lock(cell.lock_word, ready_work=2))
+        for word in cell.data_words():
+            parent.append(isa.read(word))
+        parent.append(isa.unlock(cell.lock_word, value=goal + 1))
+
+    programs = [Program(parent, name="parent-p0")]
+    programs += [Program(ops, name=f"worker-p{i + 1}")
+                 for i, ops in enumerate(workers)]
+    return programs

@@ -1,0 +1,66 @@
+"""Service-request queues (Sections B.1, B.2, E.4).
+
+"One process leaves a service request for another process in the latter's
+request queue" -- e.g. a program interpreter sending work to a floating-
+point or I/O processor (the Aquarius organization, Figure 11).  The queue
+descriptor is a lock-protected atom; clients lock it to insert, the
+server locks it to drain.  This is the second reason for busy wait: the
+software queues that implement sleep wait are themselves guarded by
+busy-wait locks, and "there may be quite a few processes that access each
+queue", generating high contention.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import SystemConfig
+from repro.processor import isa
+from repro.processor.program import LockStyle, Program
+from repro.workloads.base import Atom, layout_for
+
+
+def request_queue(
+    config: SystemConfig,
+    *,
+    servers: int = 1,
+    requests_per_client: int = 6,
+    descriptor_words: int = 4,
+    service_cycles: int = 8,
+    lock_style: LockStyle = LockStyle.CACHE_LOCK,
+) -> list[Program]:
+    """Processors 0..servers-1 are servers; the rest are clients that
+    round-robin their requests over the servers' queues."""
+    if servers >= config.num_processors:
+        raise ValueError("need at least one client processor")
+    layout = layout_for(config)
+    queues = [Atom.allocate(layout, descriptor_words) for _ in range(servers)]
+    n_clients = config.num_processors - servers
+    total_requests = n_clients * requests_per_client
+    # Requests per server queue (clients round-robin by request index).
+    per_queue = [0] * servers
+    for client in range(n_clients):
+        for r in range(requests_per_client):
+            per_queue[(client + r) % servers] += 1
+
+    programs: list[Program] = []
+    for server in range(servers):
+        atom = queues[server]
+        ops: list[isa.Op] = []
+        for _ in range(per_queue[server]):
+            ops.append(isa.lock(atom.lock_word))
+            for word in atom.data_words():
+                ops.append(isa.read(word))  # take the request out
+            ops.append(isa.unlock(atom.lock_word, value=0))
+            ops.append(isa.compute(service_cycles))  # perform the service
+        programs.append(Program(ops, name=f"server-p{server}"))
+    for client in range(n_clients):
+        pid = servers + client
+        ops = []
+        for r in range(requests_per_client):
+            atom = queues[(client + r) % servers]
+            ops.append(isa.lock(atom.lock_word))
+            for word in atom.data_words():
+                ops.append(isa.write(word, value=pid * 100 + r))
+            ops.append(isa.unlock(atom.lock_word, value=pid * 100 + r))
+            ops.append(isa.compute(2))
+        programs.append(Program(ops, name=f"client-p{pid}"))
+    return [p.lowered(lock_style) for p in programs]

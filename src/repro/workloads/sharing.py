@@ -1,0 +1,94 @@
+"""Interleaved read/write sharing of unlocked data (Sections C.3, D).
+
+Random reference streams over a mix of private and shared blocks, with a
+configurable write fraction -- the regime where the write-in vs
+write-through-for-shared-data debate of Section D plays out, and the
+Dubois & Briggs style of sharing model the paper criticizes (interleaved
+accesses with no atom/block discipline).
+"""
+
+from __future__ import annotations
+
+from repro.common.config import SystemConfig
+from repro.common.rng import derive_rng, zipf_weights
+from repro.processor import isa
+from repro.processor.program import Program
+from repro.workloads.base import layout_for
+
+
+def interleaved_sharing(
+    config: SystemConfig,
+    *,
+    references: int = 200,
+    shared_blocks: int = 8,
+    private_blocks: int = 16,
+    write_fraction: float = 0.35,
+    shared_fraction: float = 0.3,
+    zipf_skew: float = 0.8,
+    seed: int | None = None,
+) -> list[Program]:
+    """Each processor issues ``references`` random reads/writes.
+
+    ``write_fraction`` defaults to 0.35, the upper bound the paper quotes
+    from Smith (1985) for the frequency of writes.
+    """
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError("write_fraction must be in [0, 1]")
+    if not 0.0 <= shared_fraction <= 1.0:
+        raise ValueError("shared_fraction must be in [0, 1]")
+    layout = layout_for(config)
+    wpb = config.cache.words_per_block
+    shared = layout.blocks(shared_blocks)
+    weights = zipf_weights(len(shared), zipf_skew) if shared else []
+    programs: list[Program] = []
+    base_seed = config.seed if seed is None else seed
+    for pid in range(config.num_processors):
+        rng = derive_rng(base_seed, "sharing", pid)
+        private = layout.blocks(private_blocks)
+        ops: list[isa.Op] = []
+        for _ in range(references):
+            if shared and rng.random() < shared_fraction:
+                block = rng.choices(shared, weights=weights, k=1)[0]
+            else:
+                block = rng.choice(private)
+            addr = block + rng.randrange(wpb)
+            if rng.random() < write_fraction:
+                ops.append(isa.write(addr, value=pid + 1))
+            else:
+                ops.append(isa.read(addr))
+        programs.append(Program(ops, name=f"sharing-p{pid}"))
+    return programs
+
+
+def migration(
+    config: SystemConfig,
+    *,
+    working_set_blocks: int = 8,
+    passes: int = 3,
+    write_fraction: float = 0.4,
+    seed: int | None = None,
+) -> list[Program]:
+    """One logical process's working set touched by each processor in
+    turn -- 'one process on two different processors (due to migration)
+    accesses the same writable, shared or unshared, data' (Section C.3)."""
+    layout = layout_for(config)
+    wpb = config.cache.words_per_block
+    blocks = layout.blocks(working_set_blocks)
+    base_seed = config.seed if seed is None else seed
+    programs: list[Program] = []
+    for pid in range(config.num_processors):
+        rng = derive_rng(base_seed, "migration", pid)
+        ops: list[isa.Op] = []
+        # Stagger so processors run roughly one after another: the process
+        # "migrates" across caches.
+        if pid:
+            ops.append(isa.compute(pid * working_set_blocks * wpb * 4))
+        for _ in range(passes):
+            for block in blocks:
+                for offset in range(wpb):
+                    if rng.random() < write_fraction:
+                        ops.append(isa.write(block + offset, value=pid + 1))
+                    else:
+                        ops.append(isa.read(block + offset))
+        programs.append(Program(ops, name=f"migration-p{pid}"))
+    return programs

@@ -1,0 +1,82 @@
+"""Sleep wait implemented over busy wait (Section B.2).
+
+"If the hardware... does not itself implement queuing, then by default
+the software must implement it using busy wait.  In this case, a
+queue-manager procedure will busy wait for access to software-implemented
+queues, and when it gains access to a queue, will insert or delete a
+process, as appropriate.  If semaphores are used, they will be part of
+the queue descriptor."
+
+The generator models a system of processes blocking on a contended
+resource: a process that would wait long *sleeps* -- its processor runs
+the queue-manager ops (lock the sleep-queue descriptor, enqueue the
+process record, unlock), switches to another process (saving state,
+Feature 9), and the releaser later dequeues and wakes it.  The schedule
+is resolved at generation time; what the simulator executes is exactly
+the memory-reference pattern such a system produces, dominated by
+busy-wait traffic on the queue descriptors -- "the primary importance of
+efficient waiting" (Section E.4).
+"""
+
+from __future__ import annotations
+
+from repro.common.config import SystemConfig
+from repro.processor import isa
+from repro.processor.isa import Op
+from repro.processor.program import Program
+from repro.sync.queue import SoftwareQueue
+from repro.workloads.base import Atom, layout_for
+
+
+def sleep_wait(
+    config: SystemConfig,
+    *,
+    blocking_sections: int = 4,
+    resource_hold_cycles: int = 20,
+    state_blocks: int = 2,
+    ready_queue_capacity: int = 16,
+) -> list[Program]:
+    """Processors contend for one long-held resource; losers sleep.
+
+    Each round, processor ``r = round % n`` takes the resource; every
+    other processor, instead of busy-waiting through the long hold,
+    enqueues itself on the sleep queue (a lock-protected soft atom),
+    saves its state, and later gets dequeued onto the ready queue by the
+    releaser and resumes (restoring state).
+    """
+    n = config.num_processors
+    if n < 2:
+        raise ValueError("sleep wait needs contention: >= 2 processors")
+    layout = layout_for(config)
+    resource = Atom.allocate(layout, 2)
+    sleep_queue = SoftwareQueue.allocate(layout, capacity=ready_queue_capacity)
+    ready_queue = SoftwareQueue.allocate(layout, capacity=ready_queue_capacity)
+    state = [[layout.block() for _ in range(state_blocks)] for _ in range(n)]
+
+    ops: list[list[Op]] = [[] for _ in range(n)]
+    for round_no in range(blocking_sections):
+        holder = round_no % n
+        # The holder takes the resource and works.
+        ops[holder].append(isa.lock(resource.lock_word))
+        ops[holder].append(isa.write(resource.data_words()[0],
+                                     value=holder + 1))
+        # Sleepers: enqueue on the sleep queue, save state, "switch out".
+        sleepers = [p for p in range(n) if p != holder]
+        for sleeper in sleepers:
+            ops[sleeper] += sleep_queue.enqueue_ops(sleeper + 1)
+            for block in state[sleeper]:
+                ops[sleeper].append(isa.save_block(block, value=round_no + 1))
+        # The holder finishes, releases, and wakes every sleeper: dequeue
+        # from the sleep queue, enqueue on the ready queue.
+        ops[holder].append(isa.compute(resource_hold_cycles))
+        ops[holder].append(isa.unlock(resource.lock_word, value=0))
+        for _ in sleepers:
+            ops[holder] += sleep_queue.dequeue_ops()
+            ops[holder] += ready_queue.enqueue_ops(round_no + 1)
+        # Sleepers wake: dequeue themselves from the ready queue and
+        # restore state (reads of their saved context).
+        for sleeper in sleepers:
+            ops[sleeper] += ready_queue.dequeue_ops()
+            for block in state[sleeper]:
+                ops[sleeper].append(isa.read(block))
+    return [Program(ops[p], name=f"sleep-wait-p{p}") for p in range(n)]

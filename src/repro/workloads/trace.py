@@ -1,0 +1,141 @@
+"""Reference-trace input/output.
+
+A simple line-oriented trace format so externally captured (or hand-
+written) reference streams can drive the simulator, and simulator
+workloads can be exported for other tools:
+
+    # comment
+    P0 R 0x40          processor 0 reads word 0x40
+    P1 W 0x44 7        processor 1 writes value 7
+    P0 L 0x80          lock   (cache-state lock instruction)
+    P0 U 0x80 1        unlock (final write, value 1)
+    P2 C 12            compute 12 cycles
+    P0 S 0x100 3       save-block (write-without-fetch), value 3
+    P1 T 0x80          test-and-set acquire (spin)
+    P1 F 0x80          free / release (write 0)
+
+Addresses may be decimal or 0x-hex.  Each processor's lines form its
+program, in file order.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.common.errors import ProgramError
+from repro.processor import isa
+from repro.processor.isa import Op, OpKind
+from repro.processor.program import Program
+
+_OP_CODES = {
+    "R": OpKind.READ,
+    "W": OpKind.WRITE,
+    "L": OpKind.LOCK,
+    "U": OpKind.UNLOCK,
+    "C": OpKind.COMPUTE,
+    "S": OpKind.SAVE_BLOCK,
+    "T": OpKind.TAS_ACQUIRE,
+    "F": OpKind.RELEASE,
+}
+
+_CODE_OF = {v: k for k, v in _OP_CODES.items()}
+
+
+def _parse_int(token: str) -> int:
+    return int(token, 16) if token.lower().startswith("0x") else int(token)
+
+
+def parse_trace_line(line: str, line_no: int) -> tuple[int, Op] | None:
+    """Parse one line; returns (processor id, op) or None for blanks."""
+    stripped = line.split("#", 1)[0].strip()
+    if not stripped:
+        return None
+    tokens = stripped.split()
+    if len(tokens) < 2 or not tokens[0].upper().startswith("P"):
+        raise ProgramError(f"trace line {line_no}: malformed: {line!r}")
+    try:
+        pid = int(tokens[0][1:])
+    except ValueError:
+        raise ProgramError(f"trace line {line_no}: bad processor {tokens[0]!r}")
+    code = tokens[1].upper()
+    if code not in _OP_CODES:
+        raise ProgramError(f"trace line {line_no}: unknown op {code!r}")
+    kind = _OP_CODES[code]
+    if kind is OpKind.COMPUTE:
+        if len(tokens) != 3:
+            raise ProgramError(f"trace line {line_no}: C needs a cycle count")
+        return pid, isa.compute(_parse_int(tokens[2]))
+    if len(tokens) < 3:
+        raise ProgramError(f"trace line {line_no}: {code} needs an address")
+    addr = _parse_int(tokens[2])
+    value = _parse_int(tokens[3]) if len(tokens) > 3 else 1
+    if kind is OpKind.READ:
+        return pid, isa.read(addr)
+    if kind is OpKind.WRITE:
+        return pid, isa.write(addr, value=value)
+    if kind is OpKind.LOCK:
+        return pid, isa.lock(addr)
+    if kind is OpKind.UNLOCK:
+        return pid, isa.unlock(addr, value=value)
+    if kind is OpKind.SAVE_BLOCK:
+        return pid, isa.save_block(addr, value=value)
+    if kind is OpKind.TAS_ACQUIRE:
+        return pid, isa.tas_acquire(addr, token=value)
+    if kind is OpKind.RELEASE:
+        return pid, isa.release(addr)
+    raise ProgramError(f"trace line {line_no}: unhandled op {code}")
+
+
+def load_trace(source: TextIO | str | Path, *,
+               num_processors: int | None = None) -> list[Program]:
+    """Load a trace into one program per processor.
+
+    ``num_processors`` pads with empty programs (and validates the trace
+    does not reference higher processor ids).
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = source.readlines()
+    per_pid: dict[int, list[Op]] = {}
+    for line_no, line in enumerate(lines, start=1):
+        parsed = parse_trace_line(line, line_no)
+        if parsed is None:
+            continue
+        pid, op = parsed
+        per_pid.setdefault(pid, []).append(op)
+    max_pid = max(per_pid, default=-1)
+    count = num_processors if num_processors is not None else max_pid + 1
+    if max_pid >= count:
+        raise ProgramError(
+            f"trace references processor {max_pid} but only "
+            f"{count} processors requested"
+        )
+    return [
+        Program(per_pid.get(pid, []), name=f"trace-p{pid}")
+        for pid in range(count)
+    ]
+
+
+def dump_trace(programs: Iterable[Program]) -> str:
+    """Render programs back into trace text (round-trips with
+    :func:`load_trace` for the supported op kinds)."""
+    lines: list[str] = []
+    for pid, program in enumerate(programs):
+        for op in program.ops:
+            code = _CODE_OF.get(op.kind)
+            if code is None:
+                raise ProgramError(
+                    f"op kind {op.kind} has no trace encoding"
+                )
+            if op.kind is OpKind.COMPUTE:
+                lines.append(f"P{pid} C {op.cycles}")
+            elif op.kind is OpKind.READ:
+                lines.append(f"P{pid} R {op.addr:#x}")
+            elif op.kind in (OpKind.LOCK, OpKind.RELEASE, OpKind.TAS_ACQUIRE):
+                lines.append(f"P{pid} {code} {op.addr:#x}")
+            else:
+                lines.append(f"P{pid} {code} {op.addr:#x} {op.value}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,40 @@
+"""The protocol comparison runner."""
+
+from repro.analysis.comparison import (
+    ComparisonRow,
+    compare_protocols,
+    default_style,
+    render_comparison,
+)
+from repro.processor.program import LockStyle
+from repro.workloads import lock_contention
+
+
+class TestCompare:
+    def test_runs_field(self):
+        rows = compare_protocols(
+            ["illinois", "bitar-despain"],
+            lambda cfg, style: lock_contention(cfg, rounds=2,
+                                               lock_style=style),
+            num_processors=2,
+        )
+        assert [r.protocol for r in rows] == ["illinois", "bitar-despain"]
+        assert all(r.lock_acquisitions == 4 for r in rows)
+
+    def test_rudolph_segall_gets_one_word_blocks(self):
+        rows = compare_protocols(
+            ["rudolph-segall"],
+            lambda cfg, style: lock_contention(cfg, rounds=1,
+                                               lock_style=style),
+            num_processors=2,
+        )
+        assert rows[0].cycles > 0
+
+    def test_default_style(self):
+        assert default_style("bitar-despain") is LockStyle.CACHE_LOCK
+        assert default_style("goodman") is LockStyle.TTAS
+
+    def test_render(self):
+        rows = [ComparisonRow("x", 10, 5, 0.5, 0, 2, 0)]
+        text = render_comparison(rows, title="T")
+        assert "T" in text and "50%" in text

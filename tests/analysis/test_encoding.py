@@ -1,0 +1,47 @@
+"""State-encoding costs (Feature 2, Section D.3)."""
+
+import pytest
+
+from repro.analysis.encoding import (
+    state_bits,
+    transfer_unit_encoding,
+)
+
+
+class TestStateBits:
+    def test_proposal_needs_three_bits(self):
+        """Eight states -> 3 bits per frame (Feature 2)."""
+        assert state_bits("bitar-despain") == 3
+
+    def test_goodman_needs_two(self):
+        assert state_bits("goodman") == 2
+
+    def test_synapse_needs_two(self):
+        assert state_bits("synapse") == 2  # 3 states
+
+    def test_classic_needs_one(self):
+        assert state_bits("write-through") == 1
+
+    def test_berkeley_needs_three(self):
+        assert state_bits("berkeley") == 3  # 5 states
+
+
+class TestTransferUnitEncoding:
+    def test_paper_claim_three_bits_over_four_states(self):
+        """'...will require three, rather than just two, state bits per
+        transfer unit if the protocol has more than four states.'"""
+        enc = transfer_unit_encoding("bitar-despain", units_per_block=4)
+        assert enc.per_unit_bits_option2 == 3
+        assert enc.per_unit_bits_option1 == 2
+
+    def test_four_state_protocols_need_only_two(self):
+        enc = transfer_unit_encoding("goodman", units_per_block=4)
+        assert enc.per_unit_bits_option2 == 2
+
+    def test_option2_bigger_for_many_states(self):
+        enc = transfer_unit_encoding("bitar-despain", units_per_block=8)
+        assert enc.block_bits_option2 > enc.block_bits_option1
+
+    def test_rejects_bad_units(self):
+        with pytest.raises(ValueError):
+            transfer_unit_encoding("goodman", units_per_block=0)

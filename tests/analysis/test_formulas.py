@@ -1,0 +1,92 @@
+"""Bitar (1985) analytic formulas."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.formulas import (
+    fetch_for_write_saving,
+    fragmentation_transfer_cost,
+    invalidation_signal_saving,
+    smith_frequency_range,
+    write_hit_to_clean_frequency,
+)
+
+
+class TestWriteHitCleanFrequency:
+    def test_smith_range_is_02_to_12_percent(self):
+        """The paper: 'Bitar (1985) derives estimates of .2% to 1.2%'."""
+        low, high = smith_frequency_range()
+        assert abs(low - 0.002) < 1e-12
+        assert abs(high - 0.012) < 1e-12
+
+    def test_formula(self):
+        assert write_hit_to_clean_frequency(0.02, 0.3) == pytest.approx(0.006)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            write_hit_to_clean_frequency(1.5, 0.3)
+        with pytest.raises(ValueError):
+            write_hit_to_clean_frequency(0.02, -0.1)
+
+    @given(m=st.floats(0, 1), w=st.floats(0, 1))
+    def test_frequency_bounded_by_miss_ratio(self, m, w):
+        assert write_hit_to_clean_frequency(m, w) <= m
+
+
+class TestTrafficBounds:
+    def test_invalidation_saving_well_under_1_over_n(self):
+        """Feature 4: 'much less than 1/n'."""
+        result = invalidation_signal_saving(
+            words_per_block=4,
+            upgrades_per_reference=0.01,
+            references_per_fetch=50,  # ~2% miss ratio
+        )
+        assert result.well_under_bound
+        assert result.bound == 0.25
+
+    def test_fetch_for_write_saving_under_bound(self):
+        """Feature 5: likewise."""
+        for n in (2, 4, 8, 16):
+            result = fetch_for_write_saving(
+                words_per_block=n, read_miss_then_write_fraction=0.3,
+            )
+            assert result.well_under_bound, n
+
+    def test_bound_shrinks_with_block_size(self):
+        small = fetch_for_write_saving(words_per_block=2,
+                                       read_miss_then_write_fraction=0.3)
+        big = fetch_for_write_saving(words_per_block=16,
+                                     read_miss_then_write_fraction=0.3)
+        assert big.bound < small.bound
+
+
+class TestFragmentation:
+    def test_transfer_units_cheaper_for_small_atoms(self):
+        """Section D.3: a small atom on a large block moves less with
+        sub-block transfer units."""
+        whole = fragmentation_transfer_cost(
+            words_per_block=16, atom_words=2, transfer_unit_words=None,
+        )
+        unit = fragmentation_transfer_cost(
+            words_per_block=16, atom_words=2, transfer_unit_words=2,
+        )
+        assert unit < whole
+
+    def test_no_benefit_when_atom_fills_block(self):
+        whole = fragmentation_transfer_cost(
+            words_per_block=4, atom_words=4, transfer_unit_words=None,
+        )
+        unit = fragmentation_transfer_cost(
+            words_per_block=4, atom_words=4, transfer_unit_words=2,
+        )
+        assert unit == whole
+
+    def test_units_rounded_up(self):
+        cost3 = fragmentation_transfer_cost(
+            words_per_block=16, atom_words=3, transfer_unit_words=2,
+        )
+        cost4 = fragmentation_transfer_cost(
+            words_per_block=16, atom_words=4, transfer_unit_words=2,
+        )
+        assert cost3 == cost4  # 3 words still need 2 units

@@ -1,0 +1,73 @@
+"""Derived metrics and the report renderer."""
+
+from repro import SystemConfig, run_workload
+from repro.analysis.metrics import (
+    lock_metrics,
+    processor_utilization,
+    speedup,
+    traffic_metrics,
+)
+from repro.analysis.report import format_ratio, render_series, render_table
+from repro.workloads import lock_contention
+
+
+class TestLockMetrics:
+    def test_from_real_run(self):
+        config = SystemConfig(num_processors=4)
+        stats = run_workload(config, lock_contention(config, rounds=3),
+                             check_interval=16)
+        m = lock_metrics(stats)
+        assert m.acquisitions == 12
+        assert m.failed_attempts_per_acquisition == 0.0
+        assert m.bus_cycles_per_acquisition > 0
+        assert m.mean_wait_cycles >= 0
+
+    def test_empty_stats(self):
+        from repro.sim.stats import SimStats
+
+        m = lock_metrics(SimStats())
+        assert m.acquisitions == 0
+        assert m.bus_cycles_per_acquisition == 0.0
+
+
+class TestTrafficMetrics:
+    def test_from_real_run(self):
+        config = SystemConfig(num_processors=2)
+        stats = run_workload(config, lock_contention(config, rounds=2),
+                             check_interval=16)
+        t = traffic_metrics(stats)
+        assert t.total_transactions == stats.total_transactions
+        assert 0 < t.bus_utilization <= 1
+        assert t.fetch_transactions > 0
+
+
+class TestUtilizationAndSpeedup:
+    def test_utilization_bounded(self):
+        config = SystemConfig(num_processors=2)
+        stats = run_workload(config, lock_contention(config, rounds=2),
+                             check_interval=16)
+        assert 0 < processor_utilization(stats) <= 1
+
+    def test_speedup(self):
+        assert speedup(200, 100) == 2.0
+        assert speedup(100, 0) == float("inf")
+
+
+class TestReport:
+    def test_render_table_aligns(self):
+        text = render_table(["name", "x"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert len({len(l) for l in lines[0:1]}) == 1
+        assert "bb" in text
+
+    def test_render_table_title(self):
+        text = render_table(["h"], [["v"]], title="My Title")
+        assert text.startswith("My Title\n========")
+
+    def test_render_series(self):
+        text = render_series("s", [(1, "a"), (2, "b")])
+        assert "s" in text and ": a" in text
+
+    def test_format_ratio(self):
+        assert format_ratio(3, 2) == "1.50x"
+        assert format_ratio(1, 0) == "n/a"

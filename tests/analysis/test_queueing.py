@@ -1,0 +1,53 @@
+"""The M/D/1 bus model."""
+
+import pytest
+
+from repro import SystemConfig, run_workload
+from repro.analysis.queueing import bus_queueing_point, md1_mean_wait
+from repro.sim.stats import SimStats
+from repro.workloads import interleaved_sharing
+
+
+class TestMd1:
+    def test_zero_load_zero_wait(self):
+        assert md1_mean_wait(0.0, 10.0) == 0.0
+
+    def test_wait_grows_with_load(self):
+        waits = [md1_mean_wait(rho, 10.0) for rho in (0.2, 0.5, 0.8, 0.95)]
+        assert waits == sorted(waits)
+
+    def test_blows_up_near_saturation(self):
+        assert md1_mean_wait(0.99, 10.0) > 30 * md1_mean_wait(0.5, 10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            md1_mean_wait(1.0, 10.0)
+        with pytest.raises(ValueError):
+            md1_mean_wait(0.5, 0.0)
+
+
+class TestAgainstSimulation:
+    def test_point_from_run(self):
+        config = SystemConfig(num_processors=4)
+        stats = run_workload(config,
+                             interleaved_sharing(config, references=200))
+        point = bus_queueing_point(stats)
+        assert point.mean_service > 0
+        assert point.measured_wait >= 0
+        assert point.predicted_wait >= 0
+
+    def test_empty_run_rejected(self):
+        with pytest.raises(ValueError):
+            bus_queueing_point(SimStats())
+
+    def test_measured_wait_grows_with_processors(self):
+        """The closed-system analogue of the M/D/1 shape: more clients,
+        more queueing."""
+        waits = []
+        for n in (2, 4, 8):
+            config = SystemConfig(num_processors=n)
+            stats = run_workload(
+                config, interleaved_sharing(config, references=120)
+            )
+            waits.append(stats.mean_bus_wait)
+        assert waits[0] < waits[-1]

@@ -1,0 +1,85 @@
+"""Sweep utilities."""
+
+import numpy as np
+import pytest
+
+from repro import SystemConfig, run_workload
+from repro.analysis.sweeps import SeedStatistics, Sweep, SweepSeries, over_seeds
+from repro.workloads import interleaved_sharing, lock_contention
+
+
+class TestSweep:
+    def test_collects_metrics_along_x(self):
+        def run(n):
+            config = SystemConfig(num_processors=int(n))
+            return run_workload(config, lock_contention(config, rounds=2))
+
+        result = Sweep(
+            xs=[2, 4],
+            run=run,
+            metrics={
+                "cycles": lambda s: s.cycles,
+                "acquisitions": lambda s: s.total_lock_acquisitions,
+            },
+        ).execute()
+        assert set(result) == {"cycles", "acquisitions"}
+        assert list(result["acquisitions"].values) == [4.0, 8.0]
+        assert result["cycles"].monotone_increasing
+
+    def test_no_metrics_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep(xs=[1], run=lambda x: None, metrics={}).execute()
+
+
+class TestSweepSeries:
+    def test_ratio(self):
+        xs = np.array([1.0, 2.0])
+        a = SweepSeries("a", xs, np.array([2.0, 4.0]))
+        b = SweepSeries("b", xs, np.array([1.0, 2.0]))
+        assert list(a.ratio_to(b)) == [2.0, 2.0]
+
+    def test_ratio_guards_zero(self):
+        xs = np.array([1.0])
+        a = SweepSeries("a", xs, np.array([2.0]))
+        b = SweepSeries("b", xs, np.array([0.0]))
+        assert a.ratio_to(b)[0] == np.inf
+
+    def test_mismatched_xs_rejected(self):
+        a = SweepSeries("a", np.array([1.0]), np.array([2.0]))
+        b = SweepSeries("b", np.array([2.0]), np.array([2.0]))
+        with pytest.raises(ValueError):
+            a.ratio_to(b)
+
+    def test_monotone_flags(self):
+        xs = np.array([1.0, 2.0, 3.0])
+        up = SweepSeries("u", xs, np.array([1.0, 2.0, 3.0]))
+        down = SweepSeries("d", xs, np.array([3.0, 2.0, 1.0]))
+        assert up.monotone_increasing and not up.monotone_decreasing
+        assert down.monotone_decreasing
+
+
+class TestOverSeeds:
+    def test_statistics(self):
+        def run(seed):
+            config = SystemConfig(num_processors=2, seed=seed)
+            return run_workload(
+                config, interleaved_sharing(config, references=60, seed=seed)
+            )
+
+        stats = over_seeds([1, 2, 3], run, lambda s: s.cycles)
+        assert stats.n == 3
+        assert stats.minimum <= stats.mean <= stats.maximum
+        assert stats.std >= 0
+
+    def test_single_seed(self):
+        stats = over_seeds([1], lambda seed: None,
+                           lambda s: 5.0)
+        assert stats.mean == 5.0 and stats.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            over_seeds([], lambda s: None, lambda s: 0.0)
+
+    def test_within(self):
+        assert SeedStatistics(5.0, 0.1, 4.9, 5.1, 3).within(4.0, 6.0)
+        assert not SeedStatistics(5.0, 0.1, 4.9, 5.1, 3).within(6.0, 7.0)

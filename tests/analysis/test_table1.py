@@ -1,0 +1,49 @@
+"""The generated Table 1 must match the publication."""
+
+from repro.analysis.table1 import (
+    EXPECTED_FEATURES,
+    EXPECTED_STATES,
+    FEATURE_LABELS,
+    build_table1,
+)
+from repro.protocols.features import TABLE1_STATE_LABELS, TABLE1_STATE_ROWS
+
+
+class TestStatesMatrix:
+    def test_matches_paper(self):
+        table = build_table1()
+        for i, state in enumerate(TABLE1_STATE_ROWS):
+            label = TABLE1_STATE_LABELS[state]
+            assert table.states[i] == EXPECTED_STATES[label], label
+
+    def test_every_column_has_invalid_and_write_dirty(self):
+        table = build_table1()
+        invalid_row = table.states[0]
+        assert all(cell == "N" for cell in invalid_row)
+        wd_row = table.states[5]
+        assert all(cell == "S" for cell in wd_row)
+
+    def test_lock_states_only_in_proposal(self):
+        table = build_table1()
+        for row in table.states[6:]:
+            assert row[:5] == ["-"] * 5
+            assert row[5] == "S"
+
+
+class TestFeaturesMatrix:
+    def test_matches_paper(self):
+        table = build_table1()
+        for i, label in enumerate(FEATURE_LABELS):
+            assert table.feature_rows[i] == EXPECTED_FEATURES[label], label
+
+    def test_render_contains_citations(self):
+        text = build_table1().render()
+        for citation in ("Goodman 1983", "Frank 1984", "Katz et al. 1985",
+                         "Bitar, Despain 1986"):
+            assert citation in text
+
+    def test_render_contains_feature_values(self):
+        text = build_table1().render()
+        assert "LRU,MEM" in text
+        assert "RWLDS" in text
+        assert "NF,S" in text

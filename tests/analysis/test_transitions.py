@@ -1,0 +1,42 @@
+"""Figure 10: the implementation's transition arcs match the paper."""
+
+from repro.analysis.transitions import (
+    EXPECTED_BUS_ARCS,
+    EXPECTED_PROCESSOR_ARCS,
+    enumerate_bus_arcs,
+    enumerate_processor_arcs,
+    render_figure10,
+    verify_figure10,
+)
+from repro.cache.state import CacheState
+
+
+class TestFigure10:
+    def test_no_mismatches(self):
+        assert verify_figure10() == []
+
+    def test_processor_arc_count(self):
+        arcs = enumerate_processor_arcs()
+        assert len(arcs) == len(EXPECTED_PROCESSOR_ARCS)
+
+    def test_bus_arc_count(self):
+        arcs = enumerate_bus_arcs()
+        assert len(arcs) == len(EXPECTED_BUS_ARCS)
+
+    def test_lock_refusal_arc_present(self):
+        """The figure's note 1: a refused lock request busy-waits."""
+        arcs = enumerate_processor_arcs()
+        wait_arcs = [a for a in arcs if a.end == "wait"]
+        assert len(wait_arcs) == 1
+        assert wait_arcs[0].start is CacheState.INVALID
+
+    def test_all_lock_snoops_record_waiter(self):
+        arcs = enumerate_bus_arcs()
+        for a in arcs:
+            if a.start in (CacheState.LOCK, CacheState.LOCK_WAITER):
+                assert a.end is CacheState.LOCK_WAITER
+
+    def test_render(self):
+        text = render_figure10()
+        assert "processor-induced" in text
+        assert "bus-induced" in text

@@ -1,0 +1,43 @@
+"""Unit tests for bus transaction vocabulary."""
+
+from repro.bus.transaction import BusOp, BusTransaction
+
+
+class TestBusOpProperties:
+    def test_fetching_ops(self):
+        assert BusOp.READ_BLOCK.fetches_block
+        assert BusOp.READ_EXCL.fetches_block
+        assert BusOp.READ_LOCK.fetches_block
+
+    def test_non_fetching_ops(self):
+        for op in (BusOp.UPGRADE, BusOp.WRITE_WORD, BusOp.UPDATE_WORD,
+                   BusOp.FLUSH_BLOCK, BusOp.UNLOCK_BROADCAST,
+                   BusOp.WRITE_NO_FETCH, BusOp.MEMORY_LOCK_WRITE,
+                   BusOp.IO_INPUT, BusOp.IO_OUTPUT_READ, BusOp.MEMORY_RMW):
+            assert not op.fetches_block, op
+
+    def test_exclusive_ops(self):
+        for op in (BusOp.READ_EXCL, BusOp.READ_LOCK, BusOp.UPGRADE,
+                   BusOp.WRITE_NO_FETCH, BusOp.IO_INPUT):
+            assert op.wants_exclusive, op
+
+    def test_read_not_exclusive(self):
+        assert not BusOp.READ_BLOCK.wants_exclusive
+        assert not BusOp.IO_OUTPUT_READ.wants_exclusive
+        assert not BusOp.UNLOCK_BROADCAST.wants_exclusive
+
+
+class TestBusTransaction:
+    def test_ids_unique(self):
+        a = BusTransaction(op=BusOp.READ_BLOCK, block=0, requester=0)
+        b = BusTransaction(op=BusOp.READ_BLOCK, block=0, requester=0)
+        assert a.txn_id != b.txn_id
+
+    def test_str_mentions_op_and_block(self):
+        t = BusTransaction(op=BusOp.READ_EXCL, block=16, requester=2)
+        assert "read-excl" in str(t)
+        assert "16" in str(t)
+
+    def test_word_in_str(self):
+        t = BusTransaction(op=BusOp.WRITE_WORD, block=0, requester=1, word=3)
+        assert "word=3" in str(t)

@@ -1,0 +1,62 @@
+"""Unit tests for the busy-wait register (Section E.4)."""
+
+import pytest
+
+from repro.cache.busy_wait import BusyWaitRegister, WaitPhase
+
+
+class TestArming:
+    def test_starts_idle(self):
+        reg = BusyWaitRegister()
+        assert not reg.active
+        assert reg.phase is WaitPhase.IDLE
+
+    def test_arm(self):
+        reg = BusyWaitRegister()
+        reg.arm(16, cycle=100)
+        assert reg.active
+        assert reg.block == 16
+        assert reg.armed_at == 100
+
+    def test_double_arm_rejected(self):
+        """The paper proposes one register: a process waits on at most
+        one lock at a time."""
+        reg = BusyWaitRegister()
+        reg.arm(16, cycle=1)
+        with pytest.raises(RuntimeError):
+            reg.arm(20, cycle=2)
+
+
+class TestFiring:
+    def test_fires_on_matching_unlock(self):
+        reg = BusyWaitRegister()
+        reg.arm(16, cycle=1)
+        assert reg.notice_unlock(16)
+        assert reg.phase is WaitPhase.FIRED
+
+    def test_ignores_other_blocks(self):
+        reg = BusyWaitRegister()
+        reg.arm(16, cycle=1)
+        assert not reg.notice_unlock(20)
+        assert reg.phase is WaitPhase.ARMED
+
+    def test_idle_register_never_fires(self):
+        reg = BusyWaitRegister()
+        assert not reg.notice_unlock(16)
+
+    def test_lost_arbitration_rearms(self):
+        """Figure 9: losers make no attempt to fetch the block again and
+        keep waiting for the next unlock broadcast."""
+        reg = BusyWaitRegister()
+        reg.arm(16, cycle=1)
+        reg.notice_unlock(16)
+        reg.lost_arbitration()
+        assert reg.phase is WaitPhase.ARMED
+        assert reg.notice_unlock(16)  # fires again next time
+
+    def test_clear(self):
+        reg = BusyWaitRegister()
+        reg.arm(16, cycle=1)
+        reg.clear()
+        assert not reg.active
+        assert reg.block is None

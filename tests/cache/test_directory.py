@@ -1,0 +1,51 @@
+"""Unit tests for directory-duality interference (Feature 3)."""
+
+from repro.cache.directory import DirectoryModel
+from repro.common.config import DirectoryKind
+
+
+def collide(kind: DirectoryKind) -> DirectoryModel:
+    d = DirectoryModel(kind=kind)
+    d.begin_cycle()
+    d.record_status_write()
+    d.record_snoop()
+    return d
+
+
+class TestInterference:
+    def test_identical_dual_interferes(self):
+        assert collide(DirectoryKind.IDENTICAL_DUAL).interference_cycles == 1
+
+    def test_dual_ported_read_interferes_on_writes(self):
+        """DPR has dual-ported *reads*; a status write still blocks."""
+        assert collide(DirectoryKind.DUAL_PORTED_READ).interference_cycles == 1
+
+    def test_non_identical_dual_never_interferes(self):
+        """NID keeps dirty status only in the processor directory."""
+        assert collide(DirectoryKind.NON_IDENTICAL_DUAL).interference_cycles == 0
+
+    def test_no_collision_without_status_write(self):
+        d = DirectoryModel(kind=DirectoryKind.IDENTICAL_DUAL)
+        d.begin_cycle()
+        d.record_snoop()
+        assert d.interference_cycles == 0
+
+    def test_cycle_boundary_resets(self):
+        d = DirectoryModel(kind=DirectoryKind.IDENTICAL_DUAL)
+        d.begin_cycle()
+        d.record_status_write()
+        d.begin_cycle()  # new cycle: the write is no longer in flight
+        d.record_snoop()
+        assert d.interference_cycles == 0
+
+    def test_interference_rate(self):
+        d = DirectoryModel(kind=DirectoryKind.IDENTICAL_DUAL)
+        d.begin_cycle()
+        d.record_status_write()
+        d.record_snoop()
+        d.begin_cycle()
+        d.record_snoop()
+        assert d.interference_rate == 0.5
+
+    def test_rate_zero_without_snoops(self):
+        assert DirectoryModel(kind=DirectoryKind.IDENTICAL_DUAL).interference_rate == 0.0

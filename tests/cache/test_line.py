@@ -1,0 +1,44 @@
+"""Cache lines."""
+
+from repro.cache.line import CacheLine
+from repro.cache.state import CacheState
+
+
+class TestLine:
+    def test_empty_line(self):
+        line = CacheLine.empty(16, 4)
+        assert not line.valid
+        assert line.words == [0, 0, 0, 0]
+
+    def test_fill_copies(self):
+        line = CacheLine.empty(0, 2)
+        data = [5, 6]
+        line.fill(data)
+        data[0] = 99
+        assert line.words == [5, 6]
+
+    def test_snapshot_is_a_copy(self):
+        line = CacheLine.empty(0, 2)
+        snap = line.snapshot()
+        snap[0] = 99
+        assert line.words[0] == 0
+
+    def test_word_access(self):
+        line = CacheLine.empty(0, 4)
+        line.write_word(2, 7)
+        assert line.read_word(2) == 7
+
+    def test_state_properties(self):
+        line = CacheLine.empty(0, 4)
+        line.state = CacheState.LOCK
+        assert line.valid and line.dirty and line.locked
+        line.state = CacheState.READ
+        assert line.valid and not line.dirty and not line.locked
+
+    def test_fill_resets_unit_bits(self):
+        line = CacheLine.empty(0, 4)
+        line.unit_valid = [False, True]
+        line.unit_dirty = [True, False]
+        line.fill([1, 2, 3, 4])
+        assert line.unit_valid == [True, True]
+        assert line.unit_dirty == [False, False]

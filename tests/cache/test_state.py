@@ -1,0 +1,57 @@
+"""Unit tests for the cache-state vocabulary."""
+
+from repro.cache.state import (
+    EXCLUSIVE_STATES,
+    READ_STATES,
+    CacheState,
+    Privilege,
+)
+
+
+class TestPrivileges:
+    def test_invalid(self):
+        s = CacheState.INVALID
+        assert s.privilege is Privilege.INVALID
+        assert not s.valid and not s.readable and not s.writable
+
+    def test_read_states(self):
+        for s in READ_STATES:
+            assert s.privilege is Privilege.READ
+            assert s.readable and not s.writable and not s.locked
+
+    def test_write_states(self):
+        for s in (CacheState.WRITE_CLEAN, CacheState.WRITE_DIRTY):
+            assert s.privilege is Privilege.WRITE
+            assert s.readable and s.writable and not s.locked
+
+    def test_lock_states(self):
+        for s in (CacheState.LOCK, CacheState.LOCK_WAITER):
+            assert s.privilege is Privilege.LOCK
+            assert s.writable and s.locked
+
+
+class TestDirtiness:
+    def test_dirty_states(self):
+        """Section E.1: lock states are dirty by definition."""
+        dirty = {CacheState.READ_SOURCE_DIRTY, CacheState.WRITE_DIRTY,
+                 CacheState.LOCK, CacheState.LOCK_WAITER}
+        for s in CacheState:
+            assert s.dirty == (s in dirty), s
+
+    def test_waiter_only_on_lock_waiter(self):
+        for s in CacheState:
+            assert s.waiter == (s is CacheState.LOCK_WAITER)
+
+
+class TestStateSets:
+    def test_exclusive_states(self):
+        assert CacheState.WRITE_CLEAN in EXCLUSIVE_STATES
+        assert CacheState.LOCK in EXCLUSIVE_STATES
+        assert CacheState.READ not in EXCLUSIVE_STATES
+
+    def test_partition(self):
+        """Every valid state is exactly one of read / exclusive."""
+        for s in CacheState:
+            if s is CacheState.INVALID:
+                continue
+            assert (s in READ_STATES) != (s in EXCLUSIVE_STATES)

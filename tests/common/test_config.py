@@ -1,0 +1,91 @@
+"""Unit tests for repro.common.config."""
+
+import pytest
+
+from repro.common.config import (
+    CacheConfig,
+    DirectoryKind,
+    SystemConfig,
+    TimingConfig,
+)
+from repro.common.errors import ConfigError
+
+
+class TestTimingConfig:
+    def test_defaults_valid(self):
+        TimingConfig()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            TimingConfig(memory_latency=-1)
+        with pytest.raises(ConfigError):
+            TimingConfig(word_transfer_cycles=-2)
+
+    def test_memory_block_cycles(self):
+        t = TimingConfig(bus_address_cycles=1, memory_latency=6,
+                         word_transfer_cycles=1)
+        assert t.memory_block_cycles(4) == 1 + 6 + 4
+
+    def test_cache_faster_than_memory(self):
+        """The premise of Papamarcos & Patel's clean source states."""
+        t = TimingConfig()
+        assert t.cache_block_cycles(4) < t.memory_block_cycles(4)
+
+    def test_arbitration_adds_cycles(self):
+        t = TimingConfig()
+        assert (t.cache_block_cycles(4, arbitrate=True)
+                > t.cache_block_cycles(4))
+
+    def test_word_write_cheap(self):
+        t = TimingConfig()
+        assert t.word_write_cycles() < t.memory_block_cycles(4)
+
+
+class TestCacheConfig:
+    def test_fully_associative_default(self):
+        c = CacheConfig()
+        assert c.fully_associative
+        assert c.num_sets == 1
+        assert c.ways == c.num_blocks
+
+    def test_set_associative(self):
+        c = CacheConfig(num_blocks=64, assoc=4)
+        assert not c.fully_associative
+        assert c.num_sets == 16
+        assert c.ways == 4
+
+    def test_assoc_must_divide(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(num_blocks=10, assoc=4)
+
+    def test_bad_block_size(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(words_per_block=0)
+
+    def test_transfer_unit_must_divide_block(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(words_per_block=4, transfer_unit_words=3)
+        CacheConfig(words_per_block=4, transfer_unit_words=2)
+
+    def test_directory_default(self):
+        assert CacheConfig().directory is DirectoryKind.IDENTICAL_DUAL
+
+
+class TestSystemConfig:
+    def test_defaults(self):
+        c = SystemConfig()
+        assert c.num_processors == 4
+        assert c.protocol == "bitar-despain"
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(num_processors=0)
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(deadlock_horizon=0)
+
+    def test_frozen(self):
+        c = SystemConfig()
+        with pytest.raises(AttributeError):
+            c.num_processors = 8  # type: ignore[misc]

@@ -1,0 +1,56 @@
+"""Unit tests for repro.common.rng."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.rng import derive_rng, weighted_choice, zipf_weights
+
+
+class TestDeriveRng:
+    def test_deterministic(self):
+        a = derive_rng(7, "processor", 3)
+        b = derive_rng(7, "processor", 3)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_independent(self):
+        a = derive_rng(7, "processor", 3)
+        b = derive_rng(7, "processor", 4)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_seed_changes_stream(self):
+        a = derive_rng(7, "x")
+        b = derive_rng(8, "x")
+        assert a.random() != b.random()
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        w = zipf_weights(10, 0.8)
+        assert abs(sum(w) - 1.0) < 1e-12
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(10, 1.0)
+        assert all(w[i] >= w[i + 1] for i in range(len(w) - 1))
+
+    def test_zero_skew_uniform(self):
+        w = zipf_weights(4, 0.0)
+        assert all(abs(x - 0.25) < 1e-12 for x in w)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -0.1)
+
+    @given(n=st.integers(1, 50), skew=st.floats(0, 3))
+    def test_always_normalized(self, n, skew):
+        assert abs(sum(zipf_weights(n, skew)) - 1.0) < 1e-9
+
+
+class TestWeightedChoice:
+    def test_respects_zero_weight(self):
+        rng = derive_rng(1, "t")
+        items = [10, 20]
+        for _ in range(50):
+            assert weighted_choice(rng, items, [1.0, 0.0]) == 10

@@ -1,0 +1,77 @@
+"""Unit tests for repro.common.types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.types import AddressRange, block_of, word_offset
+
+
+class TestBlockOf:
+    def test_start_of_block(self):
+        assert block_of(0, 4) == 0
+        assert block_of(4, 4) == 4
+
+    def test_middle_of_block(self):
+        assert block_of(5, 4) == 4
+        assert block_of(7, 4) == 4
+
+    def test_one_word_blocks(self):
+        assert block_of(17, 1) == 17
+
+    def test_rejects_non_positive_block_size(self):
+        with pytest.raises(ValueError):
+            block_of(3, 0)
+        with pytest.raises(ValueError):
+            block_of(3, -4)
+
+    @given(addr=st.integers(min_value=0, max_value=10**9),
+           wpb=st.integers(min_value=1, max_value=64))
+    def test_block_contains_addr(self, addr, wpb):
+        base = block_of(addr, wpb)
+        assert base <= addr < base + wpb
+        assert base % wpb == 0
+
+    @given(addr=st.integers(min_value=0, max_value=10**9),
+           wpb=st.integers(min_value=1, max_value=64))
+    def test_offset_plus_base_is_addr(self, addr, wpb):
+        assert block_of(addr, wpb) + word_offset(addr, wpb) == addr
+
+
+class TestAddressRange:
+    def test_contains(self):
+        r = AddressRange(start=8, length=4)
+        assert 8 in r
+        assert 11 in r
+        assert 12 not in r
+        assert 7 not in r
+
+    def test_words(self):
+        assert list(AddressRange(2, 3).words()) == [2, 3, 4]
+
+    def test_empty_range(self):
+        r = AddressRange(5, 0)
+        assert list(r.words()) == []
+        assert r.blocks(4) == []
+        assert 5 not in r
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            AddressRange(0, -1)
+
+    def test_blocks_single(self):
+        assert AddressRange(1, 2).blocks(4) == [0]
+
+    def test_blocks_spanning(self):
+        assert AddressRange(2, 5).blocks(4) == [0, 4]
+
+    def test_end(self):
+        assert AddressRange(3, 4).end == 7
+
+    @given(start=st.integers(0, 1000), length=st.integers(1, 100),
+           wpb=st.sampled_from([1, 2, 4, 8, 16]))
+    def test_every_word_in_some_listed_block(self, start, length, wpb):
+        r = AddressRange(start, length)
+        blocks = r.blocks(wpb)
+        for w in r.words():
+            assert block_of(w, wpb) in blocks

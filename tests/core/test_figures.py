@@ -1,0 +1,306 @@
+"""Scenario tests for Figures 1-9: the proposal's protocol mechanics.
+
+Each test class reproduces one figure of the paper with a manually-driven
+two/three-cache system and asserts the states, suppliers, and bus
+activity the figure depicts.
+"""
+
+import pytest
+
+from repro.bus.transaction import BusOp
+from repro.cache.cache import AccessStatus
+from repro.cache.state import CacheState
+from repro.processor import isa
+from repro.sim.harness import ManualSystem
+
+B = 0  # the block under test (word 0 is its first word)
+
+
+class TestFigure1:
+    """Read miss to unshared data: no cache signals hit, so the requester
+    assumes *write* privilege."""
+
+    def test_alone_read_gives_write_privilege(self, two_caches):
+        two_caches.run_op(0, isa.read(B))
+        assert two_caches.line_state(0, B) is CacheState.WRITE_CLEAN
+
+    def test_subsequent_write_needs_no_bus(self, two_caches):
+        two_caches.run_op(0, isa.read(B))
+        before = two_caches.stats.total_transactions
+        status = two_caches.submit(0, isa.write(B))
+        assert status is AccessStatus.DONE
+        assert two_caches.stats.total_transactions == before
+
+
+class TestFigures2And3:
+    """Fetch with no source cache: memory provides the block even though
+    another cache has a copy; the hit line decides read vs write fill."""
+
+    def _lose_source(self, sys: ManualSystem) -> None:
+        """cache1 and cache2 hold read copies; the source (cache2) purges
+        its line, leaving copies but no source."""
+        sys.run_op(1, isa.read(B))  # cache1: WRITE_CLEAN
+        sys.run_op(2, isa.read(B))  # cache2 becomes source (RSC); cache1 READ
+        line = sys.caches[2].line_for(B)
+        line.state = CacheState.INVALID  # silent purge of a clean block
+
+    def test_memory_provides_when_source_lost(self):
+        sys = ManualSystem(n_caches=3)
+        self._lose_source(sys)
+        fetches_before = sys.stats.memory_fetches
+        sys.run_op(0, isa.read(B))
+        assert sys.stats.memory_fetches == fetches_before + 1
+
+    def test_requester_becomes_new_source(self):
+        """Feature 8 LRU: the last fetcher becomes the source."""
+        sys = ManualSystem(n_caches=3)
+        self._lose_source(sys)
+        sys.run_op(0, isa.read(B))
+        assert sys.line_state(0, B) is CacheState.READ_SOURCE_CLEAN
+
+    def test_hit_line_prevents_write_privilege(self):
+        sys = ManualSystem(n_caches=3)
+        self._lose_source(sys)
+        sys.run_op(0, isa.read(B))
+        assert sys.line_state(0, B) is not CacheState.WRITE_CLEAN
+
+    def test_source_loss_counted(self):
+        sys = ManualSystem(n_caches=3)
+        self._lose_source(sys)
+        sys.run_op(0, isa.read(B))
+        assert sys.stats.source_losses == 1
+
+
+class TestFigure4:
+    """Cache-to-cache transfer: the source provides the block along with
+    its clean/dirty status."""
+
+    def test_source_supplies_dirty_block(self, two_caches):
+        two_caches.run_op(1, isa.write(B))  # cache1 dirty source
+        fetches = two_caches.stats.memory_fetches
+        two_caches.run_op(0, isa.read(B))
+        assert two_caches.stats.cache_to_cache_transfers == 1
+        assert two_caches.stats.memory_fetches == fetches  # memory untouched
+
+    def test_dirty_status_transferred_not_flushed(self, two_caches):
+        """Feature 7 NF,S: the block arrives dirty, memory stays stale."""
+        op = two_caches.run_op(1, isa.write(B))
+        two_caches.run_op(0, isa.read(B))
+        assert two_caches.line_state(0, B) is CacheState.READ_SOURCE_DIRTY
+        assert two_caches.stats.flushes == 0
+        assert two_caches.memory.peek_block(B)[0] != op.stamp
+
+    def test_old_source_keeps_read_copy(self, two_caches):
+        two_caches.run_op(1, isa.write(B))
+        two_caches.run_op(0, isa.read(B))
+        assert two_caches.line_state(1, B) is CacheState.READ
+
+    def test_reader_sees_latest_value(self, two_caches):
+        wrote = two_caches.run_op(1, isa.write(B, value=7))
+        got = two_caches.run_op(0, isa.read(B))
+        assert got.result == wrote.stamp
+
+
+class TestFigure5:
+    """Write hit with read privilege: request write privilege only (a
+    one-cycle upgrade), not the block itself."""
+
+    def _share(self, sys) -> None:
+        sys.run_op(1, isa.read(B))
+        sys.run_op(0, isa.read(B))  # both hold read copies
+
+    def test_upgrade_not_fetch(self, two_caches):
+        self._share(two_caches)
+        c2c = two_caches.stats.cache_to_cache_transfers
+        fetches = two_caches.stats.memory_fetches
+        two_caches.run_op(0, isa.write(B))
+        assert two_caches.stats.txn_counts["UPGRADE"] == 1
+        assert two_caches.stats.cache_to_cache_transfers == c2c
+        assert two_caches.stats.memory_fetches == fetches
+
+    def test_upgrade_is_one_cycle(self, two_caches):
+        self._share(two_caches)
+        two_caches.run_op(0, isa.write(B))
+        assert two_caches.stats.txn_cycles["UPGRADE"] == 1
+
+    def test_other_copy_invalidated(self, two_caches):
+        self._share(two_caches)
+        two_caches.run_op(0, isa.write(B))
+        assert two_caches.line_state(1, B) is CacheState.INVALID
+        assert two_caches.line_state(0, B) is CacheState.WRITE_DIRTY
+
+
+class TestFigure6:
+    """Locking a block is concurrent with fetching it: no extra bus
+    traffic, and the lock instruction returns the target word."""
+
+    def test_lock_fetch_is_one_transaction(self, two_caches):
+        two_caches.run_op(0, isa.lock(B))
+        assert two_caches.stats.total_transactions == 1
+        assert two_caches.stats.txn_counts["READ_LOCK"] == 1
+        assert two_caches.line_state(0, B) is CacheState.LOCK
+
+    def test_lock_returns_word_like_a_read(self, two_caches):
+        wrote = two_caches.run_op(1, isa.write(B, value=3))
+        two_caches.run_op(1, isa.write(B + 1, value=4))
+        # cache1 must release exclusivity; fetch-with-lock takes it over.
+        got = two_caches.run_op(0, isa.lock(B))
+        assert got.result == wrote.stamp
+
+    def test_lock_in_place_zero_time(self, two_caches):
+        """With write privilege in hand, locking needs no bus at all."""
+        two_caches.run_op(0, isa.write(B))
+        before = two_caches.stats.total_transactions
+        status = two_caches.submit(0, isa.lock(B))
+        assert status is AccessStatus.DONE
+        assert two_caches.stats.total_transactions == before
+        assert two_caches.line_state(0, B) is CacheState.LOCK
+
+    def test_lock_counted(self, two_caches):
+        two_caches.run_op(0, isa.lock(B))
+        assert two_caches.stats.lock_acquisitions == 1
+
+
+class TestFigure7:
+    """Requesting a locked block: the holder records the waiter; the
+    requester enters the address in its busy-wait register."""
+
+    def test_holder_records_waiter(self, two_caches):
+        two_caches.run_op(0, isa.lock(B))
+        two_caches.submit(1, isa.lock(B))
+        two_caches.drain()
+        assert two_caches.line_state(0, B) is CacheState.LOCK_WAITER
+
+    def test_requester_arms_register(self, two_caches):
+        two_caches.run_op(0, isa.lock(B))
+        two_caches.submit(1, isa.lock(B))
+        two_caches.drain()
+        assert two_caches.caches[1].busy_wait.active
+        assert two_caches.caches[1].busy_wait.block == B
+        assert two_caches.caches[1].waiting_for_lock
+
+    def test_refusal_is_one_bus_transaction(self, two_caches):
+        two_caches.run_op(0, isa.lock(B))
+        before = two_caches.stats.total_transactions
+        two_caches.submit(1, isa.lock(B))
+        two_caches.drain()
+        assert two_caches.stats.total_transactions == before + 1
+
+    def test_no_data_transferred_on_refusal(self, two_caches):
+        two_caches.run_op(0, isa.lock(B))
+        two_caches.submit(1, isa.lock(B))
+        two_caches.drain()
+        assert two_caches.stats.cache_to_cache_transfers == 0
+        assert two_caches.line_state(1, B) is CacheState.INVALID
+
+    def test_waiting_generates_no_bus_traffic(self, two_caches):
+        """The core claim of E.4: zero unsuccessful retries."""
+        two_caches.run_op(0, isa.lock(B))
+        two_caches.submit(1, isa.lock(B))
+        two_caches.drain()
+        before = two_caches.stats.total_transactions
+        for _ in range(200):
+            two_caches.step()
+        assert two_caches.stats.total_transactions == before
+
+
+class TestFigure8:
+    """Unlocking: the final write to the block; broadcast only if a
+    waiter was recorded."""
+
+    def test_unlock_without_waiter_is_silent(self, two_caches):
+        two_caches.run_op(0, isa.lock(B))
+        before = two_caches.stats.total_transactions
+        status = two_caches.submit(0, isa.unlock(B))
+        assert status is AccessStatus.DONE  # zero time
+        two_caches.drain()
+        assert two_caches.stats.total_transactions == before
+        assert two_caches.stats.unlock_broadcasts == 0
+        assert two_caches.line_state(0, B) is CacheState.WRITE_DIRTY
+
+    def test_unlock_with_waiter_broadcasts(self, two_caches):
+        two_caches.run_op(0, isa.lock(B))
+        two_caches.submit(1, isa.lock(B))
+        two_caches.drain()
+        two_caches.submit(0, isa.unlock(B))
+        two_caches.drain()
+        assert two_caches.stats.unlock_broadcasts == 1
+
+    def test_unlock_is_the_final_write(self, two_caches):
+        wrote = two_caches.run_op(0, isa.lock(B))
+        done = two_caches.submit(0, isa.unlock(B, value=9))
+        assert done is AccessStatus.DONE
+        line = two_caches.caches[0].line_for(B)
+        assert two_caches.stamp_clock.value_of(line.read_word(0)) == 9
+
+
+class TestFigure9:
+    """End busy wait: the winner fetches at high priority, locks with the
+    lock-waiter state, and interrupts its processor; losers stay off the
+    bus."""
+
+    def _contend(self, sys: ManualSystem):
+        sys.run_op(0, isa.lock(B))
+        sys.submit(1, isa.lock(B))
+        sys.drain()
+        sys.submit(2, isa.lock(B))
+        sys.drain()
+
+    def test_winner_takes_lock_with_waiter_state(self, three_caches):
+        self._contend(three_caches)
+        three_caches.submit(0, isa.unlock(B))
+        three_caches.drain()
+        states = {three_caches.line_state(i, B) for i in (1, 2)}
+        assert CacheState.LOCK_WAITER in states  # the winner
+
+    def test_exactly_one_winner(self, three_caches):
+        self._contend(three_caches)
+        three_caches.submit(0, isa.unlock(B))
+        three_caches.drain()
+        winners = [i for i in (1, 2)
+                   if three_caches.caches[i].take_completion() is not None]
+        assert len(winners) == 1
+
+    def test_loser_keeps_waiting_silently(self, three_caches):
+        self._contend(three_caches)
+        three_caches.submit(0, isa.unlock(B))
+        three_caches.drain()
+        losers = [i for i in (1, 2) if three_caches.caches[i].waiting_for_lock]
+        assert len(losers) == 1
+        before = three_caches.stats.total_transactions
+        for _ in range(100):
+            three_caches.step()
+        assert three_caches.stats.total_transactions == before
+
+    def test_chain_completes(self, three_caches):
+        """Unlock -> winner locks -> unlock -> second waiter locks."""
+        self._contend(three_caches)
+        three_caches.submit(0, isa.unlock(B))
+        three_caches.drain()
+        winner = next(i for i in (1, 2)
+                      if three_caches.line_state(i, B).locked)
+        assert three_caches.caches[winner].take_completion() is not None
+        three_caches.submit(winner, isa.unlock(B))
+        three_caches.drain()
+        loser = 3 - winner
+        assert three_caches.line_state(loser, B).locked
+        assert three_caches.caches[loser].take_completion() is not None
+
+    def test_final_broadcast_is_spurious(self, three_caches):
+        self._contend(three_caches)
+        for unlocker in self._unlock_chain(three_caches):
+            pass
+        assert three_caches.stats.spurious_unlock_broadcasts == 1
+
+    def _unlock_chain(self, sys: ManualSystem):
+        holder = 0
+        for _ in range(3):
+            sys.caches[holder].take_completion()  # collect any finished op
+            sys.submit(holder, isa.unlock(B))
+            sys.drain()
+            sys.caches[holder].take_completion()
+            yield holder
+            candidates = [i for i in range(3) if sys.line_state(i, B).locked]
+            if not candidates:
+                return
+            holder = candidates[0]

@@ -1,0 +1,118 @@
+"""Additional lock-protocol paths beyond the figure scenarios."""
+
+import pytest
+
+from repro.cache.state import CacheState
+from repro.common.errors import ProgramError
+from repro.processor import isa
+from repro.sim.harness import ManualSystem
+
+B = 0
+
+
+class TestNonLockRequestsAlsoWait:
+    """A lock means *sole access*: plain reads and writes to a locked
+    block are refused and busy-wait too, resuming with their original
+    request at high priority after the unlock broadcast."""
+
+    def test_reader_waits_and_wakes(self, two_caches):
+        two_caches.run_op(0, isa.lock(B))
+        wrote = two_caches.submit(0, isa.write(B + 1, value=5))
+        two_caches.submit(1, isa.read(B + 1))
+        two_caches.drain()
+        assert two_caches.caches[1].waiting_for_lock
+        two_caches.submit(0, isa.unlock(B))
+        two_caches.drain()
+        done = two_caches.caches[1].take_completion()
+        assert done is not None
+        # The reader sees the value written inside the critical section.
+        assert two_caches.stamp_clock.value_of(done.result) == 5
+        # It fetched for READ (its original request), not with a lock.
+        assert not two_caches.line_state(1, B).locked
+
+    def test_writer_waits_and_wakes(self, two_caches):
+        two_caches.run_op(0, isa.lock(B))
+        two_caches.submit(1, isa.write(B + 2, value=9))
+        two_caches.drain()
+        assert two_caches.caches[1].waiting_for_lock
+        two_caches.submit(0, isa.unlock(B))
+        two_caches.drain()
+        assert two_caches.caches[1].take_completion() is not None
+        assert two_caches.line_state(1, B) is CacheState.WRITE_DIRTY
+
+    def test_mixed_waiters_all_complete(self, three_caches):
+        three_caches.run_op(0, isa.lock(B))
+        three_caches.submit(1, isa.read(B))
+        three_caches.drain()
+        three_caches.submit(2, isa.lock(B))
+        three_caches.drain()
+        three_caches.submit(0, isa.unlock(B))
+        three_caches.drain()
+        # Pump until both waiters complete (the reader's win does not
+        # lock, so the locker may need the subsequent free block).
+        for _ in range(300):
+            three_caches.step()
+            if (not three_caches.caches[1].waiting_for_lock
+                    and not three_caches.caches[2].waiting_for_lock):
+                break
+        done1 = three_caches.caches[1].take_completion()
+        done2 = three_caches.caches[2].take_completion()
+        assert done1 is not None or three_caches.caches[1].pending is None
+        assert done2 is not None
+        three_caches.submit(2, isa.unlock(B))
+
+
+class TestUpgradeLock:
+    def test_lock_on_read_copy_upgrades(self, two_caches):
+        two_caches.run_op(1, isa.read(B))
+        two_caches.run_op(0, isa.read(B))  # both share the block
+        two_caches.run_op(0, isa.lock(B))
+        assert two_caches.stats.txn_counts["UPGRADE"] == 1
+        assert two_caches.line_state(0, B) is CacheState.LOCK
+        assert two_caches.line_state(1, B) is CacheState.INVALID
+
+    def test_lock_on_own_source_copy(self, two_caches):
+        two_caches.run_op(1, isa.write(B))
+        two_caches.run_op(0, isa.read(B))  # cache0 becomes RSD
+        assert two_caches.line_state(0, B) is CacheState.READ_SOURCE_DIRTY
+        before = two_caches.stats.cache_to_cache_transfers
+        two_caches.run_op(0, isa.lock(B))
+        # Privilege-only: no data moved, dirty data retained.
+        assert two_caches.stats.cache_to_cache_transfers == before
+        assert two_caches.line_state(0, B) is CacheState.LOCK
+        two_caches.submit(0, isa.unlock(B))
+
+
+class TestIoInteraction:
+    def test_output_read_does_not_steal_lock_source(self):
+        from repro.memory.io_processor import IOProcessor, IoOp
+
+        sys = ManualSystem(n_caches=2)
+        io = IOProcessor(sys.memory, sys.stamp_clock, sys.stats)
+        sys.bus.attach(io)
+        sys.run_op(0, isa.write(B))
+        io.submit(IoOp.OUTPUT, B)
+        for _ in range(100):
+            if io.completed:
+                break
+            sys.step()
+        assert io.completed
+        assert sys.line_state(0, B) is CacheState.WRITE_DIRTY
+
+
+class TestErrorPaths:
+    def test_lock_while_waiting_impossible(self, two_caches):
+        """A blocking cache refuses a second op while one waits."""
+        two_caches.run_op(0, isa.lock(B))
+        two_caches.submit(1, isa.lock(B))
+        two_caches.drain()
+        with pytest.raises(ProgramError):
+            two_caches.submit(1, isa.read(B + 64))
+        two_caches.submit(0, isa.unlock(B))
+
+    def test_relock_after_unlock_ok(self, two_caches):
+        two_caches.run_op(0, isa.lock(B))
+        two_caches.submit(0, isa.unlock(B))
+        two_caches.run_op(0, isa.lock(B))
+        assert two_caches.line_state(0, B) is CacheState.LOCK
+        two_caches.submit(0, isa.unlock(B))

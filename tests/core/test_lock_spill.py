@@ -1,0 +1,97 @@
+"""Purging a locked block (Section E.3, the 'minor modification').
+
+In a set-associative cache a locked block can be forced out; the lock is
+then written to memory as a lock tag and recovered on the owner's next
+access to the block.
+"""
+
+import pytest
+
+from repro.cache.state import CacheState
+from repro.common.config import CacheConfig
+from repro.processor import isa
+from repro.sim.harness import ManualSystem
+
+B = 0
+WPB = 4
+
+
+def small_set_assoc(n_caches=2) -> ManualSystem:
+    """Direct-mapped 4-frame cache: easy to force conflict evictions."""
+    return ManualSystem(
+        protocol="bitar-despain",
+        n_caches=n_caches,
+        cache_config=CacheConfig(words_per_block=WPB, num_blocks=4, assoc=1),
+    )
+
+
+def conflict_addr(i: int) -> int:
+    """Block addresses that map to the same set as block B (4 sets)."""
+    return B + i * 4 * WPB
+
+
+class TestSpill:
+    def test_lock_spills_to_memory_tag(self):
+        sys = small_set_assoc()
+        sys.run_op(0, isa.lock(B))
+        sys.run_op(0, isa.read(conflict_addr(1)))  # evicts the locked block
+        tag = sys.memory.lock_tag(B)
+        assert tag is not None and tag.owner == 0
+        assert sys.stats.memory_lock_writes == 1
+        assert sys.line_state(0, B) is CacheState.INVALID
+
+    def test_spill_flushes_block_contents(self):
+        sys = small_set_assoc()
+        got = sys.run_op(0, isa.lock(B))
+        op = sys.run_op(0, isa.write(B + 1, value=7))
+        sys.run_op(0, isa.read(conflict_addr(1)))
+        assert sys.memory.peek_block(B)[1] == op.stamp
+
+    def test_fully_associative_never_spills(self):
+        sys = ManualSystem(protocol="bitar-despain", n_caches=2)
+        sys.run_op(0, isa.lock(B))
+        for i in range(1, sys.caches[0].config.num_blocks):
+            sys.run_op(0, isa.read(i * WPB))
+        assert sys.memory.lock_tag(B) is None
+        assert sys.line_state(0, B) is CacheState.LOCK
+
+
+class TestRecovery:
+    def test_owner_refetch_restores_lock_state(self):
+        sys = small_set_assoc()
+        sys.run_op(0, isa.lock(B))
+        sys.run_op(0, isa.read(conflict_addr(1)))
+        sys.run_op(0, isa.read(B))  # owner touches the block again
+        assert sys.line_state(0, B) is CacheState.LOCK
+        assert sys.memory.lock_tag(B) is None
+
+    def test_owner_unlock_after_spill(self):
+        sys = small_set_assoc()
+        sys.run_op(0, isa.lock(B))
+        sys.run_op(0, isa.read(conflict_addr(1)))
+        sys.run_op(0, isa.unlock(B))
+        assert sys.line_state(0, B) is CacheState.WRITE_DIRTY
+        assert sys.memory.lock_tag(B) is None
+
+    def test_non_owner_request_busy_waits_on_memory_tag(self):
+        sys = small_set_assoc()
+        sys.run_op(0, isa.lock(B))
+        sys.run_op(0, isa.read(conflict_addr(1)))
+        sys.submit(1, isa.lock(B))
+        sys.drain()
+        assert sys.caches[1].waiting_for_lock
+        assert sys.memory.lock_tag(B).waiter
+
+    def test_unlock_broadcast_reaches_memory_waiter(self):
+        sys = small_set_assoc()
+        sys.run_op(0, isa.lock(B))
+        sys.run_op(0, isa.read(conflict_addr(1)))
+        sys.submit(1, isa.lock(B))
+        sys.drain()
+        # The owner unlocks: refetch restores LOCK_WAITER (the tag recorded
+        # a waiter), then the unlock broadcasts and the waiter wins.
+        sys.submit(0, isa.unlock(B))
+        sys.drain()
+        assert sys.caches[1].take_completion() is not None
+        assert sys.line_state(1, B).locked
+        assert sys.stats.unlock_broadcasts == 1

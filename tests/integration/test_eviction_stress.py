@@ -1,0 +1,129 @@
+"""Eviction stress: tiny caches force purges, victim flushes, source
+losses, and lock spills on every protocol.
+
+The default test caches (64 blocks) rarely evict; these runs use 2-4
+frame caches so replacement machinery is constantly exercised while the
+oracle and invariant checker watch every cycle.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import CacheConfig, Program, SystemConfig, run_workload
+from repro.processor import isa
+from tests.conftest import ALL_PROTOCOLS
+
+N_BLOCKS = 10  # address footprint far exceeds the cache
+
+
+def tiny_config(protocol: str, strict: bool, assoc) -> SystemConfig:
+    wpb = 1 if protocol == "rudolph-segall" else 4
+    return SystemConfig(
+        num_processors=3,
+        protocol=protocol,
+        strict_verify=strict,
+        cache=CacheConfig(words_per_block=wpb, num_blocks=4, assoc=assoc),
+    )
+
+
+@st.composite
+def churn_programs(draw, wpb: int):
+    programs = []
+    for _ in range(3):
+        ops = []
+        for _ in range(draw(st.integers(10, 30))):
+            addr = draw(st.integers(0, N_BLOCKS * wpb - 1))
+            if draw(st.booleans()):
+                ops.append(isa.read(addr))
+            else:
+                ops.append(isa.write(addr, value=draw(st.integers(1, 3))))
+        programs.append(Program(ops))
+    return programs
+
+
+@pytest.mark.parametrize("protocol,wpb,strict", ALL_PROTOCOLS,
+                         ids=[p for p, _, _ in ALL_PROTOCOLS])
+@pytest.mark.parametrize("assoc", [None, 1], ids=["FA", "DM"])
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_churn_stays_coherent(protocol, wpb, strict, assoc, data):
+    config = tiny_config(protocol, strict, assoc)
+    programs = data.draw(churn_programs(config.cache.words_per_block))
+    stats = run_workload(config, programs, check_interval=2)
+    if strict:
+        assert stats.stale_reads == 0
+
+
+@pytest.mark.parametrize("protocol,wpb,strict", ALL_PROTOCOLS,
+                         ids=[p for p, _, _ in ALL_PROTOCOLS])
+def test_deterministic_churn_evicts(protocol, wpb, strict):
+    """Deterministic companion: a full sweep of the footprint definitely
+    evicts, and coherence holds under per-cycle checking."""
+    config = tiny_config(protocol, strict, assoc=1)
+    wpb = config.cache.words_per_block
+    programs = []
+    for pid in range(3):
+        ops = []
+        for sweep in range(2):
+            for block in range(N_BLOCKS):
+                addr = block * wpb
+                ops.append(isa.write(addr, value=pid + 1)
+                           if (block + pid) % 2 else isa.read(addr))
+        programs.append(Program(ops))
+    stats = run_workload(config, programs, check_interval=1)
+    assert stats.purges > 0
+    if strict:
+        assert stats.stale_reads == 0
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_lock_spill_churn(data):
+    """Locks held across heavy eviction pressure in a direct-mapped cache:
+    the spilled-lock machinery must preserve mutual exclusion."""
+    config = SystemConfig(
+        num_processors=2,
+        protocol="bitar-despain",
+        cache=CacheConfig(words_per_block=4, num_blocks=2, assoc=1),
+    )
+    wpb = 4
+    atom = 0  # lock word at address 0
+    programs = []
+    for pid in range(2):
+        ops = []
+        for _ in range(data.draw(st.integers(1, 3))):
+            ops.append(isa.lock(atom))
+            # Churn inside the critical section: may evict the locked block.
+            for _ in range(data.draw(st.integers(1, 6))):
+                addr = wpb * data.draw(st.integers(1, N_BLOCKS))
+                ops.append(isa.read(addr))
+            ops.append(isa.write(atom + 1, value=pid + 1))
+            ops.append(isa.unlock(atom, value=pid + 1))
+        programs.append(Program(ops))
+    stats = run_workload(config, programs, check_interval=1)
+    assert stats.stale_reads == 0
+    assert stats.lost_updates == 0
+    assert stats.failed_lock_attempts == 0
+
+
+def test_spill_happens_under_forced_conflict():
+    """Deterministic companion: the churn above can spill; this run must."""
+    config = SystemConfig(
+        num_processors=2,
+        protocol="bitar-despain",
+        cache=CacheConfig(words_per_block=4, num_blocks=2, assoc=1),
+    )
+    ops0 = [isa.lock(0)]
+    # Read two blocks mapping to set 0 (block numbers 0, 2, 4 -> set 0):
+    # with the lock resident in set 0 and only one other frame, the
+    # second conflicting read must evict the locked block.
+    ops0 += [isa.read(8 * 4), isa.read(16 * 4)]
+    ops0 += [isa.unlock(0)]
+    programs = [Program(ops0), Program([isa.compute(200), isa.lock(0),
+                                        isa.unlock(0)])]
+    stats = run_workload(config, programs, check_interval=1)
+    assert stats.memory_lock_writes >= 1
+    assert stats.total_lock_acquisitions == 2

@@ -1,0 +1,59 @@
+"""Full-system integration: everything at once.
+
+16 processors, the Aquarius two-switch organization, an I/O processor
+doing transfers mid-run, multiprogrammed lock workloads with state saves,
+per-cycle invariant checking for the first stretch -- the closest the
+suite gets to the machine the paper describes.
+"""
+
+from repro import CacheConfig, SystemConfig, WaitMode
+from repro.aquarius import AquariusSimulator, aquarius_workload
+from repro.memory.io_processor import IoOp
+from repro.workloads import multiprogrammed_contention
+
+
+class TestBigAquarius:
+    def test_sixteen_processor_run(self):
+        config = SystemConfig(
+            num_processors=16,
+            protocol="bitar-despain",
+            wait_mode=WaitMode.WORK,
+            with_io=True,
+            cache=CacheConfig(words_per_block=4, num_blocks=64),
+        )
+        programs = aquarius_workload(config, tasks_per_processor=4)
+        sim = AquariusSimulator(config, programs, check_interval=16)
+        assert sim.io is not None
+        sim.io.submit(IoOp.INPUT, block=8192)
+        sim.io.submit(IoOp.PAGE_OUT, block=8192)
+        sim.io.submit(IoOp.OUTPUT, block=8192)
+        stats = sim.run()
+        assert stats.stale_reads == 0
+        assert stats.lost_updates == 0
+        assert stats.failed_lock_attempts == 0
+        assert stats.coherence_violations == 0
+        assert len(sim.io.completed) == 3
+        assert sim.crossbar.stats.accesses > 0
+        # Everybody's cycle accounting balances.
+        for pid in range(16):
+            assert stats.processor(pid).total_cycles == stats.cycles
+
+
+class TestBigMultiprogrammed:
+    def test_eight_processors_multiprogrammed(self):
+        config = SystemConfig(
+            num_processors=8,
+            protocol="bitar-despain",
+            cache=CacheConfig(words_per_block=4, num_blocks=4),
+        )
+        programs = multiprogrammed_contention(
+            config, processes_per_cpu=3, rounds=2,
+        )
+        from repro import run_workload
+
+        stats = run_workload(config, programs, check_interval=8)
+        assert stats.stale_reads == 0
+        assert stats.failed_lock_attempts == 0
+        assert stats.total_lock_acquisitions == 8 * 3 * 2
+        # Small caches: state saves + the shared atom force real traffic.
+        assert stats.purges > 0

@@ -1,0 +1,123 @@
+"""The paper's headline claims, asserted directly (fast versions of the
+bench shapes)."""
+
+import pytest
+
+from repro import LockStyle, WaitMode, run_workload
+from repro.processor import isa
+from repro.sim.harness import ManualSystem
+from repro.workloads import lock_contention, producer_consumer
+from tests.conftest import config_for
+
+B = 0
+
+
+class TestZeroRetries:
+    """E.4 purpose 1: 'eliminate unsuccessful retries from the bus.'"""
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_no_failed_attempts_at_any_contention(self, n):
+        config = config_for("bitar-despain", n=n)
+        stats = run_workload(config, lock_contention(config, rounds=4),
+                             check_interval=0)
+        assert stats.failed_lock_attempts == 0
+
+    def test_waiting_cache_is_bus_silent(self):
+        sys = ManualSystem(n_caches=2)
+        sys.run_op(0, isa.lock(B))
+        sys.submit(1, isa.lock(B))
+        sys.drain()
+        before = sys.stats.total_transactions
+        for _ in range(500):
+            sys.step()
+        assert sys.stats.total_transactions == before
+
+
+class TestZeroTimeLocking:
+    """E.3: 'locking and unlocking will usually occur in zero time.'"""
+
+    def test_lock_with_privilege_is_free(self):
+        sys = ManualSystem(n_caches=1)
+        sys.run_op(0, isa.read(B))  # Figure 1: write privilege
+        before = sys.stats.total_transactions
+        sys.run_op(0, isa.lock(B))
+        sys.run_op(0, isa.write(B + 1))
+        sys.run_op(0, isa.unlock(B))
+        assert sys.stats.total_transactions == before
+
+    def test_critical_section_is_one_fetch(self):
+        """Lock + body + unlock on a cold atom = exactly one bus
+        transaction (the fetch that also locks)."""
+        sys = ManualSystem(n_caches=2)
+        sys.run_op(0, isa.lock(B))
+        sys.run_op(0, isa.write(B + 1))
+        sys.run_op(0, isa.write(B + 2))
+        sys.run_op(0, isa.unlock(B))
+        assert sys.stats.total_transactions == 1
+
+
+class TestProposalWinsLockWorkloads:
+    @pytest.mark.parametrize("workload", [lock_contention, producer_consumer])
+    def test_beats_ttas_on_illinois(self, workload):
+        config_a = config_for("bitar-despain", n=4)
+        a = run_workload(config_a, workload(config_a,
+                                            lock_style=LockStyle.CACHE_LOCK),
+                         check_interval=0)
+        config_b = config_for("illinois", n=4)
+        b = run_workload(config_b, workload(config_b,
+                                            lock_style=LockStyle.TTAS),
+                         check_interval=0)
+        assert a.cycles < b.cycles
+        assert a.bus_busy_cycles < b.bus_busy_cycles
+
+
+class TestWorkWhileWaiting:
+    def test_ready_sections_recover_wait_time(self):
+        config = config_for("bitar-despain", n=4, wait_mode=WaitMode.WORK)
+        stats = run_workload(
+            config,
+            lock_contention(config, rounds=4, ready_work=1000),
+            check_interval=0,
+        )
+        idle = sum(p.wait_idle_cycles for p in stats.processors.values())
+        work = sum(p.wait_work_cycles for p in stats.processors.values())
+        assert idle == 0  # unlimited ready work: every wait cycle productive
+        assert work > 0
+
+
+class TestWriteInBeatsUpdateOnAtoms:
+    """D.2: under block-per-atom discipline, write-in wins and the gap
+    grows with writes per lock hold."""
+
+    def test_gap_grows(self):
+        def cycles(protocol, style, writes):
+            config = config_for(protocol, n=4)
+            programs = lock_contention(
+                config, rounds=3, critical_writes=writes, lock_style=style,
+            )
+            return run_workload(config, programs, check_interval=0).cycles
+
+        gap_small = (cycles("dragon", LockStyle.TTAS, 1)
+                     / cycles("bitar-despain", LockStyle.CACHE_LOCK, 1))
+        gap_large = (cycles("dragon", LockStyle.TTAS, 12)
+                     / cycles("bitar-despain", LockStyle.CACHE_LOCK, 12))
+        assert gap_large > gap_small
+        assert gap_large > 1.5
+
+
+class TestUnlockBroadcastEconomy:
+    """E.4: broadcast only when a waiter may exist; exactly one winner."""
+
+    def test_uncontended_unlocks_never_broadcast(self):
+        config = config_for("bitar-despain", n=1)
+        from repro.workloads import uncontended_locks
+
+        stats = run_workload(config, uncontended_locks(config, rounds=5),
+                             check_interval=0)
+        assert stats.unlock_broadcasts == 0
+
+    def test_contended_broadcasts_bounded_by_acquisitions(self):
+        config = config_for("bitar-despain", n=6)
+        stats = run_workload(config, lock_contention(config, rounds=4),
+                             check_interval=0)
+        assert stats.unlock_broadcasts <= stats.total_lock_acquisitions

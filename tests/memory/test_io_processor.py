@@ -1,0 +1,93 @@
+"""I/O transfer operations (Section E.2, Feature 11)."""
+
+from repro.cache.state import CacheState
+from repro.memory.io_processor import IOProcessor, IoOp
+from repro.processor import isa
+from repro.sim.harness import ManualSystem
+
+B = 0
+
+
+def with_io(n_caches=2) -> tuple[ManualSystem, IOProcessor]:
+    sys = ManualSystem(protocol="bitar-despain", n_caches=n_caches)
+    io = IOProcessor(sys.memory, sys.stamp_clock, sys.stats)
+    io.oracle = sys.oracle
+    sys.bus.attach(io)
+    return sys, io
+
+
+def pump(sys: ManualSystem, io: IOProcessor, max_cycles: int = 500) -> None:
+    for _ in range(max_cycles):
+        if io.idle and not sys.bus.busy and not sys.bus.pending_release:
+            return
+        sys.step()
+    raise AssertionError("I/O did not complete")
+
+
+class TestInput:
+    def test_input_writes_memory(self):
+        sys, io = with_io()
+        io.submit(IoOp.INPUT, B)
+        pump(sys, io)
+        assert all(w != 0 for w in sys.memory.peek_block(B))
+        assert len(io.completed) == 1
+
+    def test_input_invalidates_cached_copies(self):
+        """'An I/O processor will simply invalidate the block in all
+        caches as it writes to memory.'"""
+        sys, io = with_io()
+        sys.run_op(0, isa.read(B))
+        sys.run_op(1, isa.read(B))
+        io.submit(IoOp.INPUT, B)
+        pump(sys, io)
+        assert sys.line_state(0, B) is CacheState.INVALID
+        assert sys.line_state(1, B) is CacheState.INVALID
+
+    def test_readers_see_device_data(self):
+        sys, io = with_io()
+        io.submit(IoOp.INPUT, B)
+        pump(sys, io)
+        got = sys.run_op(0, isa.read(B))
+        assert got.result == sys.oracle.latest(B)
+        assert sys.stats.stale_reads == 0
+
+
+class TestPageOut:
+    def test_page_out_fetches_and_invalidates(self):
+        sys, io = with_io()
+        op = sys.run_op(0, isa.write(B))
+        io.submit(IoOp.PAGE_OUT, B)
+        pump(sys, io)
+        request = io.completed[0]
+        assert request.data is not None and request.data[0] == op.stamp
+        assert sys.line_state(0, B) is CacheState.INVALID
+
+    def test_page_out_of_locked_block_retries(self):
+        sys, io = with_io()
+        sys.run_op(0, isa.lock(B))
+        io.submit(IoOp.PAGE_OUT, B)
+        for _ in range(50):
+            sys.step()
+        assert not io.completed  # refused while locked
+        sys.caches[0].take_completion()
+        sys.submit(0, isa.unlock(B))
+        pump(sys, io)
+        assert len(io.completed) == 1
+
+
+class TestOutput:
+    def test_output_read_preserves_source(self):
+        """The special read notifies the source cache NOT to give up
+        source status."""
+        sys, io = with_io()
+        op = sys.run_op(0, isa.write(B))
+        io.submit(IoOp.OUTPUT, B)
+        pump(sys, io)
+        assert io.completed[0].data[0] == op.stamp
+        assert sys.line_state(0, B) is CacheState.WRITE_DIRTY  # unchanged
+
+    def test_output_from_memory_when_uncached(self):
+        sys, io = with_io()
+        io.submit(IoOp.OUTPUT, B)
+        pump(sys, io)
+        assert io.completed[0].data == [0] * 4

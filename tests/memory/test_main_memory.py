@@ -1,0 +1,109 @@
+"""Unit tests for main memory."""
+
+import pytest
+
+from repro.memory.main_memory import MainMemory
+
+
+class TestBlockStorage:
+    def test_unwritten_block_reads_zero_stamps(self):
+        m = MainMemory(4)
+        assert m.read_block(0) == [0, 0, 0, 0]
+
+    def test_read_counts_fetches(self):
+        m = MainMemory(4)
+        m.read_block(0)
+        m.read_block(4)
+        assert m.fetches_served == 2
+
+    def test_peek_does_not_count(self):
+        m = MainMemory(4)
+        m.peek_block(0)
+        assert m.fetches_served == 0
+
+    def test_flush_roundtrip(self):
+        m = MainMemory(4)
+        m.write_block(8, [1, 2, 3, 4])
+        assert m.peek_block(8) == [1, 2, 3, 4]
+        assert m.flushes_absorbed == 1
+
+    def test_flush_wrong_size_rejected(self):
+        m = MainMemory(4)
+        with pytest.raises(ValueError):
+            m.write_block(0, [1, 2])
+
+    def test_read_returns_copy(self):
+        m = MainMemory(2)
+        words = m.read_block(0)
+        words[0] = 99
+        assert m.peek_block(0)[0] == 0
+
+
+class TestWordAccess:
+    def test_write_word(self):
+        m = MainMemory(4)
+        m.write_word(0, 2, 7)
+        assert m.peek_block(0) == [0, 0, 7, 0]
+        assert m.word_writes_absorbed == 1
+
+    def test_read_word(self):
+        m = MainMemory(4)
+        m.write_word(0, 1, 5)
+        assert m.read_word(0, 1) == 5
+
+    def test_offset_bounds(self):
+        m = MainMemory(4)
+        with pytest.raises(ValueError):
+            m.write_word(0, 4, 1)
+        with pytest.raises(ValueError):
+            m.read_word(0, -1)
+
+
+class TestSourceBit:
+    """Frank's per-block memory source bit (Feature 2)."""
+
+    def test_default_memory_is_source(self):
+        m = MainMemory(4)
+        assert m.memory_is_source(0)
+
+    def test_set_and_clear(self):
+        m = MainMemory(4)
+        m.set_memory_source(0, False)
+        assert not m.memory_is_source(0)
+        m.set_memory_source(0, True)
+        assert m.memory_is_source(0)
+
+
+class TestLockTags:
+    """Section E.3's purged-lock fallback."""
+
+    def test_no_tag_by_default(self):
+        m = MainMemory(4)
+        assert m.lock_tag(0) is None
+
+    def test_write_and_clear(self):
+        m = MainMemory(4)
+        m.write_lock_tag(0, owner=3)
+        tag = m.lock_tag(0)
+        assert tag is not None and tag.owner == 3 and not tag.waiter
+        cleared = m.clear_lock_tag(0)
+        assert cleared is not None and cleared.owner == 3
+        assert m.lock_tag(0) is None
+
+    def test_mark_waiter(self):
+        m = MainMemory(4)
+        m.write_lock_tag(0, owner=1)
+        m.mark_lock_waiter(0)
+        assert m.lock_tag(0).waiter
+
+    def test_waiter_survives_rewrite(self):
+        m = MainMemory(4)
+        m.write_lock_tag(0, owner=1)
+        m.mark_lock_waiter(0)
+        m.write_lock_tag(0, owner=1)
+        assert m.lock_tag(0).waiter
+
+    def test_mark_waiter_without_tag_raises(self):
+        m = MainMemory(4)
+        with pytest.raises(KeyError):
+            m.mark_lock_waiter(0)

@@ -1,0 +1,58 @@
+"""Unit tests for the processor ISA."""
+
+import pytest
+
+from repro.processor import isa
+from repro.processor.isa import Op, OpKind, fetch_and_add, test_and_set as tas
+
+
+class TestOpValidation:
+    def test_memory_op_requires_address(self):
+        with pytest.raises(ValueError):
+            Op(OpKind.READ)
+
+    def test_compute_requires_cycles(self):
+        with pytest.raises(ValueError):
+            Op(OpKind.COMPUTE, cycles=0)
+
+    def test_rmw_requires_function(self):
+        with pytest.raises(ValueError):
+            Op(OpKind.RMW, addr=0)
+
+    def test_compute_needs_no_address(self):
+        Op(OpKind.COMPUTE, cycles=5)
+
+
+class TestConstructors:
+    def test_read(self):
+        op = isa.read(12)
+        assert op.kind is OpKind.READ and op.addr == 12
+        assert not op.private_hint
+
+    def test_private_read(self):
+        assert isa.read(12, private=True).private_hint
+
+    def test_write_value(self):
+        op = isa.write(3, value=9)
+        assert op.value == 9
+
+    def test_lock_ready_work(self):
+        assert isa.lock(0, ready_work=16).ready_work == 16
+
+    def test_release_writes_zero(self):
+        assert isa.release(0).value == 0
+
+    def test_unlock(self):
+        op = isa.unlock(4, value=2)
+        assert op.kind is OpKind.UNLOCK and op.value == 2
+
+
+class TestRmwFunctions:
+    def test_test_and_set_grabs_free(self):
+        assert tas(7)(0) == 7
+
+    def test_test_and_set_refuses_held(self):
+        assert tas(7)(3) is None
+
+    def test_fetch_and_add(self):
+        assert fetch_and_add(2)(5) == 7

@@ -1,0 +1,113 @@
+"""Unit tests for the processor model (via single-processor simulators)."""
+
+import pytest
+
+from repro.common.config import SystemConfig, WaitMode
+from repro.common.errors import ProgramError
+from repro.processor import isa
+from repro.processor.program import Program
+from repro.sim.engine import Simulator, run_workload
+
+
+def run_one(ops, *, protocol="bitar-despain", **kwargs):
+    config = SystemConfig(num_processors=1, protocol=protocol, **kwargs)
+    return run_workload(config, [Program(list(ops))], check_interval=8)
+
+
+class TestCompute:
+    def test_compute_takes_exact_cycles(self):
+        stats = run_one([isa.compute(10)])
+        assert stats.processor(0).compute_cycles == 10
+
+    def test_programs_advance_past_compute(self):
+        stats = run_one([isa.compute(3), isa.compute(2)])
+        assert stats.processor(0).ops_completed == 2
+        assert stats.processor(0).compute_cycles == 5
+
+    def test_single_cycle_compute(self):
+        stats = run_one([isa.compute(1), isa.compute(1)])
+        assert stats.processor(0).ops_completed == 2
+
+
+class TestMemoryOps:
+    def test_read_write_counts(self):
+        stats = run_one([isa.read(0), isa.write(0), isa.read(4)])
+        p = stats.processor(0)
+        assert p.reads == 2
+        assert p.writes == 1
+        assert p.ops_completed == 3
+
+    def test_misses_stall(self):
+        stats = run_one([isa.read(0)])
+        assert stats.processor(0).stall_cycles > 0
+
+    def test_hits_do_not_stall(self):
+        stats = run_one([isa.read(0), isa.read(1), isa.read(2)])
+        p = stats.processor(0)
+        # Only the first access (the miss) stalls.
+        first_stall = p.stall_cycles
+        stats2 = run_one([isa.read(0)])
+        assert first_stall == stats2.processor(0).stall_cycles
+
+
+class TestSpinLocks:
+    def test_uncontended_tas_acquires_first_try(self):
+        stats = run_one(
+            [isa.tas_acquire(0), isa.release(0)], protocol="illinois"
+        )
+        assert stats.processor(0).lock_acquisitions == 1
+        assert stats.failed_lock_attempts == 0
+
+    def test_ttas_acquires(self):
+        stats = run_one(
+            [isa.ttas_acquire(0), isa.release(0)], protocol="illinois"
+        )
+        assert stats.processor(0).lock_acquisitions == 1
+
+    def test_lock_hold_cycles_recorded(self):
+        stats = run_one([isa.lock(0), isa.compute(10), isa.unlock(0)])
+        assert stats.processor(0).lock_hold_cycles >= 10
+
+
+class TestLockAccounting:
+    def test_finishing_with_held_lock_raises(self):
+        with pytest.raises(ProgramError):
+            run_one([isa.lock(0)])
+
+    def test_wait_mode_work_counts_ready_section(self):
+        config = SystemConfig(num_processors=2, protocol="bitar-despain",
+                              wait_mode=WaitMode.WORK)
+        programs = [
+            Program([isa.lock(0), isa.compute(40), isa.unlock(0)]),
+            Program([isa.compute(2), isa.lock(0, ready_work=100),
+                     isa.unlock(0)]),
+        ]
+        stats = run_workload(config, programs, check_interval=8)
+        assert stats.processor(1).wait_work_cycles > 0
+        assert stats.processor(1).wait_idle_cycles == 0  # enough ready work
+
+    def test_wait_mode_spin_counts_idle(self):
+        config = SystemConfig(num_processors=2, protocol="bitar-despain",
+                              wait_mode=WaitMode.SPIN)
+        programs = [
+            Program([isa.lock(0), isa.compute(40), isa.unlock(0)]),
+            Program([isa.compute(2), isa.lock(0, ready_work=100),
+                     isa.unlock(0)]),
+        ]
+        stats = run_workload(config, programs, check_interval=8)
+        assert stats.processor(1).wait_idle_cycles > 0
+        assert stats.processor(1).wait_work_cycles == 0
+
+
+class TestCycleAccounting:
+    def test_cycles_partition(self):
+        """Every processor cycle lands in exactly one bucket."""
+        config = SystemConfig(num_processors=2, protocol="bitar-despain")
+        programs = [
+            Program([isa.lock(0), isa.compute(5), isa.unlock(0)]),
+            Program([isa.lock(0), isa.compute(5), isa.unlock(0)]),
+        ]
+        stats = run_workload(config, programs, check_interval=8)
+        for pid in (0, 1):
+            p = stats.processor(pid)
+            assert p.total_cycles == stats.cycles

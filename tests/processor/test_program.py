@@ -1,0 +1,78 @@
+"""Unit tests for programs and lock lowering."""
+
+import pytest
+
+from repro.common.errors import ProgramError
+from repro.processor import isa
+from repro.processor.isa import OpKind
+from repro.processor.program import LockStyle, Program, lower_locks
+
+
+def lock_program() -> Program:
+    return Program([
+        isa.lock(0, ready_work=8),
+        isa.write(1),
+        isa.unlock(0),
+    ])
+
+
+class TestValidate:
+    def test_balanced_ok(self):
+        lock_program().validate()
+
+    def test_unlock_without_lock(self):
+        with pytest.raises(ProgramError):
+            Program([isa.unlock(0)]).validate()
+
+    def test_dangling_lock(self):
+        with pytest.raises(ProgramError):
+            Program([isa.lock(0)]).validate()
+
+    def test_nested_same_lock(self):
+        with pytest.raises(ProgramError):
+            Program([isa.lock(0), isa.lock(0)]).validate()
+
+    def test_two_different_locks_ok(self):
+        Program([
+            isa.lock(0), isa.lock(4),
+            isa.unlock(4), isa.unlock(0),
+        ]).validate()
+
+
+class TestLowering:
+    def test_cache_lock_style_is_identity(self):
+        p = lock_program()
+        lowered = p.lowered(LockStyle.CACHE_LOCK)
+        assert [op.kind for op in lowered.ops] == [op.kind for op in p.ops]
+
+    def test_tas_lowering(self):
+        ops = lower_locks(lock_program().ops, LockStyle.TAS)
+        assert [op.kind for op in ops] == [
+            OpKind.TAS_ACQUIRE, OpKind.WRITE, OpKind.RELEASE,
+        ]
+
+    def test_ttas_lowering(self):
+        ops = lower_locks(lock_program().ops, LockStyle.TTAS)
+        assert ops[0].kind is OpKind.TTAS_ACQUIRE
+
+    def test_ready_work_preserved(self):
+        ops = lower_locks(lock_program().ops, LockStyle.TAS)
+        assert ops[0].ready_work == 8
+
+    def test_release_writes_zero(self):
+        ops = lower_locks(lock_program().ops, LockStyle.TAS)
+        assert ops[-1].value == 0
+
+    def test_op_count_preserved(self):
+        """Fair comparison: one synchronizing op in, one out."""
+        ops = lower_locks(lock_program().ops, LockStyle.TTAS)
+        assert len(ops) == len(lock_program().ops)
+
+    def test_lowering_copies_ops(self):
+        """Programs must not share mutable Op objects (stamps are
+        assigned at issue)."""
+        p = lock_program()
+        a = p.lowered(LockStyle.TAS)
+        b = p.lowered(LockStyle.TAS)
+        assert a.ops[1] is not b.ops[1]
+        assert a.ops[1] is not p.ops[1]

@@ -1,0 +1,91 @@
+"""Katz et al. (1985) / Berkeley semantics."""
+
+from repro.cache.state import CacheState
+from repro.processor import isa
+from tests.conftest import manual
+
+B = 0
+
+
+class TestDirtyReadState:
+    def test_read_of_dirty_block_keeps_ownership(self):
+        """The write-dirty-source state converts to read-dirty-source when
+        another cache requests read privilege; the block stays dirty (no
+        flush, Feature 7 NF,S)."""
+        sys = manual("berkeley")
+        sys.run_op(0, isa.write(B))
+        sys.run_op(1, isa.read(B))
+        assert sys.line_state(0, B) is CacheState.READ_SOURCE_DIRTY
+        assert sys.line_state(1, B) is CacheState.READ
+        assert sys.stats.flushes == 0
+
+    def test_owner_keeps_supplying(self):
+        sys = manual("berkeley", n=3)
+        sys.run_op(0, isa.write(B))
+        sys.run_op(1, isa.read(B))
+        sys.run_op(2, isa.read(B))
+        assert sys.stats.cache_to_cache_transfers == 2
+        assert sys.line_state(0, B) is CacheState.READ_SOURCE_DIRTY
+
+    def test_memory_stale_while_owned(self):
+        sys = manual("berkeley")
+        op = sys.run_op(0, isa.write(B))
+        sys.run_op(1, isa.read(B))
+        assert sys.memory.peek_block(B)[0] != op.stamp
+
+    def test_owner_purge_flushes_then_memory_serves(self):
+        """Feature 8 MEM: if the single source purges, the next fetch is
+        serviced by memory."""
+        sys = manual("berkeley", n=3)
+        op = sys.run_op(0, isa.write(B))
+        sys.run_op(1, isa.read(B))
+        # Purge the owner's line by filling its cache.
+        n_blocks = sys.caches[0].config.num_blocks
+        for i in range(1, n_blocks + 1):
+            sys.run_op(0, isa.read(i * 4, private=True))
+        assert sys.stats.flushes >= 1
+        assert sys.memory.peek_block(B)[0] == op.stamp
+        fetches = sys.stats.memory_fetches
+        sys.run_op(2, isa.read(B))
+        assert sys.stats.memory_fetches == fetches + 1
+        assert sys.stats.source_losses >= 1
+
+
+class TestCleanWriteSourceInconsistency:
+    """The paper's critique: Write-Clean has source status but there is no
+    clean read source state, so sharing the block loses the source."""
+
+    def test_write_clean_supplies_once(self):
+        sys = manual("berkeley")
+        sys.run_op(0, isa.read(B, private=True))  # WRITE_CLEAN (static hint)
+        sys.run_op(1, isa.read(B))
+        assert sys.stats.cache_to_cache_transfers == 1
+        assert sys.line_state(0, B) is CacheState.READ  # source lost
+
+    def test_source_lost_after_sharing(self):
+        sys = manual("berkeley", n=3)
+        sys.run_op(0, isa.read(B, private=True))
+        sys.run_op(1, isa.read(B))
+        fetches = sys.stats.memory_fetches
+        sys.run_op(2, isa.read(B))  # nobody supplies: memory serves
+        assert sys.stats.memory_fetches == fetches + 1
+
+
+class TestExclusiveTransfers:
+    def test_dirty_ownership_moves_on_write_fetch(self):
+        sys = manual("berkeley")
+        sys.run_op(0, isa.write(B))
+        sys.run_op(1, isa.write(B + 1))
+        assert sys.line_state(1, B) is CacheState.WRITE_DIRTY
+        assert sys.line_state(0, B) is CacheState.INVALID
+        assert sys.stats.flushes == 0
+
+    def test_upgrade_takes_dirty_ownership(self):
+        """Invalidating a dirty owner via an upgrade must leave the writer
+        dirty (memory was never updated)."""
+        sys = manual("berkeley")
+        sys.run_op(0, isa.write(B))
+        sys.run_op(1, isa.read(B))  # owner -> RSD, cache1 READ
+        sys.run_op(1, isa.write(B))  # upgrade
+        assert sys.line_state(1, B) is CacheState.WRITE_DIRTY
+        assert sys.line_state(0, B) is CacheState.INVALID

@@ -1,0 +1,131 @@
+"""Dragon and Firefly write-update semantics (Section D.1)."""
+
+import pytest
+
+from repro.cache.state import CacheState
+from repro.processor import isa
+from tests.conftest import manual
+
+B = 0
+
+
+class TestDragon:
+    def test_exclusive_write_is_local(self):
+        sys = manual("dragon")
+        sys.run_op(0, isa.read(B))  # alone: WRITE_CLEAN (valid exclusive)
+        assert sys.line_state(0, B) is CacheState.WRITE_CLEAN
+        before = sys.stats.total_transactions
+        sys.run_op(0, isa.write(B))
+        assert sys.stats.total_transactions == before
+        assert sys.line_state(0, B) is CacheState.WRITE_DIRTY
+
+    def test_shared_write_updates_other_copies(self):
+        sys = manual("dragon")
+        sys.run_op(0, isa.read(B))
+        sys.run_op(1, isa.read(B))
+        op = sys.run_op(0, isa.write(B, value=9))
+        assert sys.stats.txn_counts["UPDATE_WORD"] == 1
+        line1 = sys.caches[1].line_for(B)
+        assert line1 is not None and line1.read_word(0) == op.stamp
+        assert sys.line_state(1, B).readable
+
+    def test_writer_becomes_shared_dirty_owner(self):
+        sys = manual("dragon")
+        sys.run_op(0, isa.read(B))
+        sys.run_op(1, isa.read(B))
+        sys.run_op(0, isa.write(B))
+        assert sys.line_state(0, B) is CacheState.READ_SOURCE_DIRTY
+
+    def test_memory_not_updated_on_shared_write(self):
+        sys = manual("dragon")
+        sys.run_op(0, isa.read(B))
+        sys.run_op(1, isa.read(B))
+        op = sys.run_op(0, isa.write(B))
+        assert sys.memory.peek_block(B)[0] != op.stamp
+
+    def test_every_shared_write_costs_a_bus_transaction(self):
+        """The cost Section D.2 criticizes: the processor waits for the
+        bus on every write to actively shared data."""
+        sys = manual("dragon")
+        sys.run_op(0, isa.read(B))
+        sys.run_op(1, isa.read(B))
+        for _ in range(5):
+            sys.run_op(0, isa.write(B))
+        assert sys.stats.txn_counts["UPDATE_WORD"] == 5
+
+    def test_reader_of_shared_dirty_gets_data_from_owner(self):
+        sys = manual("dragon", n=3)
+        sys.run_op(0, isa.read(B))
+        sys.run_op(1, isa.read(B))
+        op = sys.run_op(0, isa.write(B))
+        got = sys.run_op(2, isa.read(B))
+        assert got.result == op.stamp
+
+    def test_owner_purge_flushes(self):
+        sys = manual("dragon")
+        sys.run_op(0, isa.read(B))
+        sys.run_op(1, isa.read(B))
+        op = sys.run_op(0, isa.write(B))  # shared-dirty owner
+        blocks = sys.caches[0].config.num_blocks
+        for i in range(1, blocks + 1):
+            sys.run_op(0, isa.read(i * 4))
+        assert sys.memory.peek_block(B)[0] == op.stamp
+
+
+class TestFirefly:
+    def test_shared_write_updates_memory_too(self):
+        sys = manual("firefly")
+        sys.run_op(0, isa.read(B))
+        sys.run_op(1, isa.read(B))
+        op = sys.run_op(0, isa.write(B))
+        assert sys.memory.peek_block(B)[0] == op.stamp
+
+    def test_writer_stays_shared_clean(self):
+        """No shared-dirty state: memory absorbed the write."""
+        sys = manual("firefly")
+        sys.run_op(0, isa.read(B))
+        sys.run_op(1, isa.read(B))
+        sys.run_op(0, isa.write(B))
+        assert sys.line_state(0, B) is CacheState.READ
+
+    def test_update_reaches_sharers(self):
+        sys = manual("firefly", n=3)
+        sys.run_op(0, isa.read(B))
+        sys.run_op(1, isa.read(B))
+        sys.run_op(2, isa.read(B))
+        op = sys.run_op(0, isa.write(B))
+        for i in (1, 2):
+            assert sys.caches[i].line_for(B).read_word(0) == op.stamp
+        assert sys.stats.updates_received == 2
+
+    def test_exclusive_write_local(self):
+        sys = manual("firefly")
+        sys.run_op(0, isa.read(B))
+        before = sys.stats.total_transactions
+        sys.run_op(0, isa.write(B))
+        assert sys.stats.total_transactions == before
+        assert sys.line_state(0, B) is CacheState.WRITE_DIRTY
+
+    def test_dirty_supply_flushes(self):
+        sys = manual("firefly")
+        sys.run_op(0, isa.read(B))
+        op = sys.run_op(0, isa.write(B))  # exclusive dirty
+        sys.run_op(1, isa.read(B))
+        assert sys.memory.peek_block(B)[0] == op.stamp  # Feature 7 F
+        assert sys.line_state(0, B) is CacheState.READ
+
+
+class TestUpdateSpinlock:
+    """E.4's write-through busy-wait approach: waiters spin on cached
+    copies that are *updated* (not invalidated) when the lock clears."""
+
+    @pytest.mark.parametrize("protocol", ["dragon", "firefly"])
+    def test_release_updates_waiters_copy(self, protocol):
+        sys = manual(protocol)
+        sys.run_op(0, isa.read(B))
+        sys.run_op(1, isa.read(B))
+        rel = sys.run_op(0, isa.release(B))  # write 0 = unlock
+        line1 = sys.caches[1].line_for(B)
+        assert line1 is not None
+        assert sys.stamp_clock.value_of(line1.read_word(0)) == 0
+        assert sys.line_state(1, B).readable  # still valid: no refetch

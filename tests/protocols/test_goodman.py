@@ -1,0 +1,108 @@
+"""Goodman (1983) write-once semantics."""
+
+from repro.cache.cache import AccessStatus
+from repro.cache.state import CacheState
+from repro.processor import isa
+from tests.conftest import manual
+
+B = 0
+
+
+class TestWriteOnce:
+    def test_read_miss_fills_read_even_alone(self):
+        """Goodman has no Feature 5: a read miss never takes write
+        privilege."""
+        sys = manual("goodman")
+        sys.run_op(0, isa.read(B))
+        assert sys.line_state(0, B) is CacheState.READ
+
+    def test_first_write_goes_through_to_memory(self):
+        sys = manual("goodman")
+        sys.run_op(0, isa.read(B))
+        op = sys.run_op(0, isa.write(B))
+        assert sys.stats.txn_counts["WRITE_WORD"] == 1
+        assert sys.memory.peek_block(B)[0] == op.stamp
+        assert sys.line_state(0, B) is CacheState.WRITE_CLEAN  # Reserved
+
+    def test_first_write_invalidates_other_copies(self):
+        sys = manual("goodman")
+        sys.run_op(0, isa.read(B))
+        sys.run_op(1, isa.read(B))
+        sys.run_op(0, isa.write(B))
+        assert sys.line_state(1, B) is CacheState.INVALID
+
+    def test_second_write_is_local_and_dirties(self):
+        sys = manual("goodman")
+        sys.run_op(0, isa.read(B))
+        sys.run_op(0, isa.write(B))
+        before = sys.stats.total_transactions
+        status = sys.submit(0, isa.write(B))
+        assert status is AccessStatus.DONE
+        assert sys.stats.total_transactions == before
+        assert sys.line_state(0, B) is CacheState.WRITE_DIRTY
+
+    def test_write_miss_takes_two_transactions(self):
+        """Fetch for read, then write through (the Multibus could not
+        invalidate during a fetch)."""
+        sys = manual("goodman")
+        sys.run_op(0, isa.write(B))
+        assert sys.stats.txn_counts["READ_BLOCK"] == 1
+        assert sys.stats.txn_counts["WRITE_WORD"] == 1
+
+
+class TestSourceFunction:
+    def test_dirty_cache_supplies_and_flushes(self):
+        """A dirty block is flushed to memory when transferred, so it
+        arrives clean (Section F.2)."""
+        sys = manual("goodman")
+        sys.run_op(0, isa.read(B))
+        sys.run_op(0, isa.write(B))
+        op2 = sys.run_op(0, isa.write(B))  # now WRITE_DIRTY
+        sys.run_op(1, isa.read(B))
+        assert sys.stats.cache_to_cache_transfers == 1
+        assert sys.stats.flushes == 1
+        assert sys.memory.peek_block(B)[0] == op2.stamp
+        assert sys.line_state(1, B) is CacheState.READ
+        assert sys.line_state(0, B) is CacheState.READ
+
+    def test_clean_block_served_by_memory(self):
+        sys = manual("goodman")
+        sys.run_op(0, isa.read(B))
+        fetches = sys.stats.memory_fetches
+        sys.run_op(1, isa.read(B))
+        assert sys.stats.memory_fetches == fetches + 1
+        assert sys.stats.cache_to_cache_transfers == 0
+
+    def test_reserved_block_served_by_memory(self):
+        """Write-once's point: after the write-through, memory is current,
+        so the Reserved holder need not supply."""
+        sys = manual("goodman")
+        sys.run_op(0, isa.read(B))
+        sys.run_op(0, isa.write(B))  # Reserved
+        sys.run_op(1, isa.read(B))
+        assert sys.stats.cache_to_cache_transfers == 0
+        assert sys.line_state(0, B) is CacheState.READ
+
+
+class TestBufferedWriteRace:
+    def test_queued_write_through_converts_to_miss(self):
+        """A write-through whose copy is invalidated while queued must
+        refetch rather than destroy the new exclusive copy."""
+        sys = manual("goodman", n=3)
+        sys.run_op(0, isa.read(B))
+        sys.run_op(1, isa.read(B))
+        # Both post first-writes; one is granted first and invalidates the
+        # other's copy while its WRITE_WORD waits for the bus.
+        sys.submit(0, isa.write(B, value=10))
+        sys.submit(1, isa.write(B, value=20))
+        sys.drain()
+        for idx in (0, 1):
+            sys.caches[idx].take_completion()
+        # The last serialized write must be what memory and the oracle see.
+        assert sys.stats.stale_reads == 0
+        latest = sys.oracle.latest(B)
+        assert sys.memory.peek_block(B)[0] == latest or any(
+            sys.caches[i].line_for(B) is not None
+            and sys.caches[i].line_for(B).read_word(0) == latest
+            for i in (0, 1)
+        )

@@ -1,0 +1,93 @@
+"""Papamarcos & Patel (1984) / Illinois semantics."""
+
+from repro.cache.state import CacheState
+from repro.processor import isa
+from tests.conftest import manual
+
+B = 0
+
+
+class TestFetchForWriteDynamic:
+    def test_read_miss_alone_takes_write_clean(self):
+        """Feature 5 D: unshared data fetched for write privilege, clean
+        (Exclusive)."""
+        sys = manual("illinois")
+        sys.run_op(0, isa.read(B))
+        assert sys.line_state(0, B) is CacheState.WRITE_CLEAN
+
+    def test_read_miss_shared_takes_read(self):
+        sys = manual("illinois")
+        sys.run_op(1, isa.read(B))
+        sys.run_op(0, isa.read(B))
+        assert sys.line_state(0, B) is CacheState.READ
+
+    def test_unwritten_exclusive_purges_without_flush(self):
+        """The clean write state avoids a flush if never written."""
+        sys = manual("illinois")
+        sys.run_op(0, isa.read(B))  # WRITE_CLEAN
+        # Fill the cache to force a purge of block B.
+        blocks = sys.caches[0].config.num_blocks
+        for i in range(1, blocks + 1):
+            sys.run_op(0, isa.read(i * 4))
+        assert sys.stats.flushes == 0
+
+
+class TestCacheSupplies:
+    def test_block_in_cache_fetched_from_cache(self):
+        """'If a block is in any cache, it is fetched from a cache, rather
+        than from memory.'"""
+        sys = manual("illinois")
+        sys.run_op(0, isa.read(B))
+        fetches = sys.stats.memory_fetches
+        sys.run_op(1, isa.read(B))
+        assert sys.stats.memory_fetches == fetches
+        assert sys.stats.cache_to_cache_transfers == 1
+
+    def test_read_sources_arbitrate(self):
+        """Feature 8 ARB: read-privilege holders arbitrate to supply."""
+        sys = manual("illinois", n=4)
+        sys.run_op(0, isa.read(B))
+        sys.run_op(1, isa.read(B))  # both now READ
+        sys.run_op(2, isa.read(B))
+        assert sys.stats.source_arbitrations >= 1
+
+    def test_arbitration_costs_cycles(self):
+        with_arb = manual("illinois", n=3)
+        with_arb.run_op(0, isa.read(B))
+        with_arb.run_op(1, isa.read(B))
+        base = with_arb.stats.txn_cycles["READ_BLOCK"]
+        with_arb.run_op(2, isa.read(B))  # supplied by an arbitrated reader
+        total = with_arb.stats.txn_cycles["READ_BLOCK"]
+        first_fetch = base / 2  # two fetches so far... compute per txn below
+        # The arbitrated supply must cost more than a direct one.
+        assert total - base > 0
+
+    def test_dirty_supply_flushes(self):
+        """Feature 7 F: dirty blocks are flushed on transfer and arrive
+        clean."""
+        sys = manual("illinois")
+        sys.run_op(0, isa.write(B))
+        op = sys.run_op(0, isa.write(B + 1))
+        sys.run_op(1, isa.read(B))
+        assert sys.stats.flushes == 1
+        assert sys.memory.peek_block(B)[1] == op.stamp
+        assert sys.line_state(1, B) is CacheState.READ
+        assert sys.line_state(0, B) is CacheState.READ
+
+
+class TestInvalidation:
+    def test_write_hit_on_shared_invalidates(self):
+        sys = manual("illinois")
+        sys.run_op(1, isa.read(B))
+        sys.run_op(0, isa.read(B))
+        sys.run_op(0, isa.write(B))
+        assert sys.line_state(1, B) is CacheState.INVALID
+        assert sys.line_state(0, B) is CacheState.WRITE_DIRTY
+        assert sys.stats.txn_counts["UPGRADE"] == 1
+
+    def test_write_miss_invalidates_while_fetching(self):
+        sys = manual("illinois")
+        sys.run_op(1, isa.read(B))
+        sys.run_op(0, isa.write(B))
+        assert sys.line_state(1, B) is CacheState.INVALID
+        assert sys.stats.txn_counts["READ_EXCL"] == 1

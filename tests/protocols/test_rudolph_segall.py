@@ -1,0 +1,110 @@
+"""Rudolph & Segall (1984): interleaving-determined WT/WI hybrid."""
+
+import pytest
+
+from repro.cache.state import CacheState
+from repro.common.config import CacheConfig
+from repro.common.errors import ConfigError
+from repro.processor import isa
+from repro import Program, SystemConfig, Simulator
+from tests.conftest import manual
+
+B = 0
+
+
+class TestOneWordBlocks:
+    def test_engine_rejects_multiword_blocks(self):
+        config = SystemConfig(
+            num_processors=1, protocol="rudolph-segall",
+            cache=CacheConfig(words_per_block=4),
+        )
+        with pytest.raises(ConfigError):
+            Simulator(config, [Program([])])
+
+
+class TestInterleavingRule:
+    def test_first_write_is_write_through(self):
+        sys = manual("rudolph-segall")
+        sys.run_op(0, isa.read(B))
+        sys.run_op(0, isa.write(B))
+        assert sys.stats.txn_counts["UPDATE_WORD"] == 1
+        assert sys.line_state(0, B) is CacheState.READ  # still WT mode
+
+    def test_first_write_updates_memory(self):
+        sys = manual("rudolph-segall")
+        sys.run_op(0, isa.read(B))
+        op = sys.run_op(0, isa.write(B))
+        assert sys.memory.peek_block(B)[0] == op.stamp
+
+    def test_second_write_switches_to_write_in(self):
+        """'a block is unshared if a processor writes it twice while no
+        other processor accesses it.'"""
+        sys = manual("rudolph-segall")
+        sys.run_op(0, isa.read(B))
+        sys.run_op(0, isa.write(B))
+        sys.run_op(0, isa.write(B))
+        assert sys.stats.txn_counts["UPGRADE"] == 1
+        assert sys.line_state(0, B) is CacheState.WRITE_DIRTY
+
+    def test_third_write_is_local(self):
+        sys = manual("rudolph-segall")
+        sys.run_op(0, isa.read(B))
+        sys.run_op(0, isa.write(B))
+        sys.run_op(0, isa.write(B))
+        before = sys.stats.total_transactions
+        sys.run_op(0, isa.write(B))
+        assert sys.stats.total_transactions == before
+
+    def test_foreign_access_resets_to_write_through(self):
+        sys = manual("rudolph-segall")
+        sys.run_op(0, isa.read(B))
+        sys.run_op(0, isa.write(B))
+        sys.run_op(1, isa.read(B))  # foreign access resets the tracker
+        sys.run_op(0, isa.write(B))
+        assert sys.stats.txn_counts["UPDATE_WORD"] == 2
+        assert sys.stats.txn_counts.get("UPGRADE", 0) == 0
+
+
+class TestUpdateInvalidCopies:
+    """E.4: write-throughs update invalid, as well as valid, copies --
+    this is what notifies spinning waiters whose copies were invalidated
+    by the lock holder's write-in."""
+
+    def test_invalid_copy_revalidated_by_update(self):
+        sys = manual("rudolph-segall")
+        sys.run_op(1, isa.read(B))  # cache1 holds a copy
+        sys.run_op(0, isa.read(B))
+        sys.run_op(0, isa.write(B))  # WT
+        sys.run_op(0, isa.write(B))  # WI: invalidates cache1
+        assert sys.line_state(1, B) is CacheState.INVALID
+        # cache1 accesses it -> foreign access; cache0's next write is WT
+        # again and updates cache1's invalid copy... but first bring
+        # cache0 back: the snooped read flushes and downgrades it.
+        sys.run_op(1, isa.read(B))
+        op = sys.run_op(0, isa.write(B))  # WT again, updates cache1
+        line1 = sys.caches[1].line_for(B)
+        assert line1.read_word(0) == op.stamp
+
+    def test_update_revalidates_truly_invalid_line(self):
+        """Directly: a tag-matching invalid line is updated and becomes
+        readable again."""
+        sys = manual("rudolph-segall")
+        sys.run_op(1, isa.read(B))
+        sys.run_op(0, isa.read(B))
+        # Invalidate cache1's copy by hand (as the WI switch would).
+        line1 = sys.caches[1].line_for(B)
+        line1.state = CacheState.INVALID
+        op = sys.run_op(0, isa.write(B))  # first write -> WT, update_invalid
+        assert line1.state is CacheState.READ
+        assert line1.read_word(0) == op.stamp
+        assert sys.stats.updates_received >= 1
+
+    def test_snooped_read_of_dirty_flushes(self):
+        sys = manual("rudolph-segall")
+        sys.run_op(0, isa.read(B))
+        sys.run_op(0, isa.write(B))
+        op = sys.run_op(0, isa.write(B))  # WRITE_DIRTY
+        got = sys.run_op(1, isa.read(B))
+        assert got.result == op.stamp
+        assert sys.memory.peek_block(B)[0] == op.stamp
+        assert sys.line_state(0, B) is CacheState.READ

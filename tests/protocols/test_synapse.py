@@ -1,0 +1,100 @@
+"""Frank (1984) / Synapse semantics."""
+
+from repro.cache.state import CacheState
+from repro.processor import isa
+from tests.conftest import manual
+
+B = 0
+
+
+class TestNoCleanWriteState:
+    def test_write_miss_lands_dirty(self):
+        """No clean write state: any exclusive fetch arrives dirty, even
+        before the write (Section F.2)."""
+        sys = manual("synapse")
+        sys.run_op(0, isa.write(B))
+        assert sys.line_state(0, B) is CacheState.WRITE_DIRTY
+
+    def test_read_miss_lands_read(self):
+        sys = manual("synapse")
+        sys.run_op(0, isa.read(B))
+        assert sys.line_state(0, B) is CacheState.READ
+
+
+class TestNote1:
+    """Table 1 note 1: the source provides data only for a write-privilege
+    request, not a read-privilege request."""
+
+    def test_read_request_forces_flush_then_memory(self):
+        sys = manual("synapse")
+        sys.run_op(0, isa.write(B))
+        op = sys.run_op(0, isa.write(B + 1))
+        sys.run_op(1, isa.read(B))
+        assert sys.stats.cache_to_cache_transfers == 0
+        assert sys.stats.flushes == 1
+        assert sys.stats.memory_fetches >= 1
+        assert sys.memory.peek_block(B)[1] == op.stamp
+
+    def test_write_request_supplied_cache_to_cache(self):
+        sys = manual("synapse")
+        sys.run_op(0, isa.write(B))
+        sys.run_op(1, isa.write(B + 1))
+        assert sys.stats.cache_to_cache_transfers == 1
+        assert sys.stats.flushes == 0  # Feature 7 NF
+        assert sys.line_state(1, B) is CacheState.WRITE_DIRTY
+        assert sys.line_state(0, B) is CacheState.INVALID
+
+    def test_read_request_cost_exceeds_write_request_cost(self):
+        """The flush + memory-fetch path is the expensive one."""
+        a = manual("synapse")
+        a.run_op(0, isa.write(B))
+        a.run_op(1, isa.read(B))
+        read_cycles = a.stats.bus_busy_cycles
+
+        b = manual("synapse")
+        b.run_op(0, isa.write(B))
+        b.run_op(1, isa.write(B))
+        write_cycles = b.stats.bus_busy_cycles
+        assert read_cycles > write_cycles
+
+
+class TestMemorySourceBit:
+    """Feature 2: Frank keeps the source bit in main memory (RWD)."""
+
+    def test_bit_cleared_when_cache_becomes_dirty(self):
+        sys = manual("synapse")
+        sys.run_op(0, isa.write(B))
+        assert not sys.memory.memory_is_source(B)
+
+    def test_bit_set_after_flush(self):
+        sys = manual("synapse")
+        sys.run_op(0, isa.write(B))
+        sys.run_op(1, isa.read(B))  # forces the flush
+        assert sys.memory.memory_is_source(B)
+
+    def test_bit_default_true(self):
+        sys = manual("synapse")
+        sys.run_op(0, isa.read(B))
+        assert sys.memory.memory_is_source(B)
+
+    def test_bit_tracks_dirty_holder_invariantly(self):
+        sys = manual("synapse", n=3)
+        sys.run_op(0, isa.write(B))
+        sys.run_op(1, isa.write(B))  # dirty ownership moves c2c
+        assert not sys.memory.memory_is_source(B)
+        dirty_holders = [
+            i for i in range(3)
+            if sys.line_state(i, B) is CacheState.WRITE_DIRTY
+        ]
+        assert len(dirty_holders) == 1
+
+
+class TestUpgrade:
+    def test_write_hit_on_read_upgrades_to_dirty(self):
+        sys = manual("synapse")
+        sys.run_op(0, isa.read(B))
+        sys.run_op(1, isa.read(B))
+        sys.run_op(0, isa.write(B))
+        assert sys.line_state(0, B) is CacheState.WRITE_DIRTY
+        assert sys.line_state(1, B) is CacheState.INVALID
+        assert not sys.memory.memory_is_source(B)

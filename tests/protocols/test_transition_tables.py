@@ -1,0 +1,135 @@
+"""Table-driven state-transition matrices for the historical protocols.
+
+Each case drives a fresh system through a setup sequence, applies one
+stimulus, and asserts the resulting states in every cache -- the same
+methodology as the Figure-10 enumeration, applied to the Table-1 columns.
+Cases are written from each source paper's published diagram as
+summarized in Section F.2.
+"""
+
+import pytest
+
+from repro.cache.state import CacheState as S
+from repro.processor import isa
+from tests.conftest import manual
+
+B = 0
+
+# Each case: (protocol, name, setup=[(cache, op)...], stimulus=(cache, op),
+#             expected={cache: state})
+CASES = [
+    # ---- Goodman (write-once) -------------------------------------------
+    ("goodman", "read miss fills Valid",
+     [], (0, isa.read(B)), {0: S.READ}),
+    ("goodman", "first write -> Reserved",
+     [(0, isa.read(B))], (0, isa.write(B)), {0: S.WRITE_CLEAN}),
+    ("goodman", "second write -> Dirty",
+     [(0, isa.read(B)), (0, isa.write(B))],
+     (0, isa.write(B)), {0: S.WRITE_DIRTY}),
+    ("goodman", "write-through invalidates sharer",
+     [(0, isa.read(B)), (1, isa.read(B))],
+     (0, isa.write(B)), {0: S.WRITE_CLEAN, 1: S.INVALID}),
+    ("goodman", "read of Dirty flushes and shares",
+     [(0, isa.read(B)), (0, isa.write(B)), (0, isa.write(B))],
+     (1, isa.read(B)), {0: S.READ, 1: S.READ}),
+    ("goodman", "read of Reserved shares (memory serves)",
+     [(0, isa.read(B)), (0, isa.write(B))],
+     (1, isa.read(B)), {0: S.READ, 1: S.READ}),
+
+    # ---- Frank (Synapse) -------------------------------------------------
+    ("synapse", "read miss fills Valid",
+     [], (0, isa.read(B)), {0: S.READ}),
+    ("synapse", "write miss fills Dirty directly",
+     [], (0, isa.write(B)), {0: S.WRITE_DIRTY}),
+    ("synapse", "write hit on shared invalidates",
+     [(0, isa.read(B)), (1, isa.read(B))],
+     (0, isa.write(B)), {0: S.WRITE_DIRTY, 1: S.INVALID}),
+    ("synapse", "read of Dirty forces flush (note 1)",
+     [(0, isa.write(B))],
+     (1, isa.read(B)), {0: S.READ, 1: S.READ}),
+    ("synapse", "write steals Dirty cache-to-cache",
+     [(0, isa.write(B))],
+     (1, isa.write(B)), {0: S.INVALID, 1: S.WRITE_DIRTY}),
+
+    # ---- Papamarcos & Patel (Illinois) -------------------------------------
+    ("illinois", "read miss alone -> Exclusive",
+     [], (0, isa.read(B)), {0: S.WRITE_CLEAN}),
+    ("illinois", "read miss shared -> Shared (both)",
+     [(1, isa.read(B))], (0, isa.read(B)), {0: S.READ, 1: S.READ}),
+    ("illinois", "write on Exclusive -> Modified, silent",
+     [(0, isa.read(B))], (0, isa.write(B)), {0: S.WRITE_DIRTY}),
+    ("illinois", "write on Shared invalidates",
+     [(1, isa.read(B)), (0, isa.read(B))],
+     (0, isa.write(B)), {0: S.WRITE_DIRTY, 1: S.INVALID}),
+    ("illinois", "read of Modified flushes, both Shared",
+     [(0, isa.write(B))], (1, isa.read(B)), {0: S.READ, 1: S.READ}),
+    ("illinois", "write miss steals Modified",
+     [(0, isa.write(B))], (1, isa.write(B)),
+     {0: S.INVALID, 1: S.WRITE_DIRTY}),
+
+    # ---- Yen, Yen & Fu -----------------------------------------------------
+    ("yen", "plain read miss -> Valid",
+     [], (0, isa.read(B)), {0: S.READ}),
+    ("yen", "declared-unshared read -> Write-Clean",
+     [], (0, isa.read(B, private=True)), {0: S.WRITE_CLEAN}),
+    ("yen", "write on Valid upgrades with the signal",
+     [(0, isa.read(B)), (1, isa.read(B))],
+     (0, isa.write(B)), {0: S.WRITE_DIRTY, 1: S.INVALID}),
+    ("yen", "write on Write-Clean dirties silently",
+     [(0, isa.read(B, private=True))],
+     (0, isa.write(B)), {0: S.WRITE_DIRTY}),
+    ("yen", "read of Dirty flushes",
+     [(0, isa.write(B))], (1, isa.read(B)), {0: S.READ, 1: S.READ}),
+
+    # ---- Katz et al. (Berkeley) ----------------------------------------------
+    ("berkeley", "read miss -> UnOwned",
+     [], (0, isa.read(B)), {0: S.READ}),
+    ("berkeley", "declared-unshared read -> clean ownership",
+     [], (0, isa.read(B, private=True)), {0: S.WRITE_CLEAN}),
+    ("berkeley", "read of Dirty -> owner keeps dirty-read state",
+     [(0, isa.write(B))], (1, isa.read(B)),
+     {0: S.READ_SOURCE_DIRTY, 1: S.READ}),
+    ("berkeley", "owner supplies again without flushing",
+     [(0, isa.write(B)), (1, isa.read(B))],
+     (2, isa.read(B)),
+     {0: S.READ_SOURCE_DIRTY, 1: S.READ, 2: S.READ}),
+    ("berkeley", "upgrade takes dirty ownership",
+     [(0, isa.write(B)), (1, isa.read(B))],
+     (1, isa.write(B)), {0: S.INVALID, 1: S.WRITE_DIRTY}),
+    ("berkeley", "write miss steals dirty ownership",
+     [(0, isa.write(B))], (1, isa.write(B)),
+     {0: S.INVALID, 1: S.WRITE_DIRTY}),
+
+    # ---- Dragon / Firefly (write-update) ---------------------------------------
+    ("dragon", "read miss alone -> valid-exclusive",
+     [], (0, isa.read(B)), {0: S.WRITE_CLEAN}),
+    ("dragon", "shared write -> shared-dirty owner, sharer kept",
+     [(0, isa.read(B)), (1, isa.read(B))],
+     (0, isa.write(B)), {0: S.READ_SOURCE_DIRTY, 1: S.READ}),
+    ("dragon", "ownership follows the writer",
+     [(0, isa.read(B)), (1, isa.read(B)), (0, isa.write(B))],
+     (1, isa.write(B)), {0: S.READ, 1: S.READ_SOURCE_DIRTY}),
+    ("firefly", "shared write stays clean (memory updated)",
+     [(0, isa.read(B)), (1, isa.read(B))],
+     (0, isa.write(B)), {0: S.READ, 1: S.READ}),
+    ("firefly", "exclusive write dirties silently",
+     [(0, isa.read(B))], (0, isa.write(B)), {0: S.WRITE_DIRTY}),
+]
+
+
+@pytest.mark.parametrize(
+    "protocol,name,setup,stimulus,expected",
+    CASES,
+    ids=[f"{c[0]}:{c[1]}" for c in CASES],
+)
+def test_transition(protocol, name, setup, stimulus, expected):
+    sys = manual(protocol, n=3)
+    for cache_idx, op in setup:
+        sys.run_op(cache_idx, op)
+    cache_idx, op = stimulus
+    sys.run_op(cache_idx, op)
+    for idx, state in expected.items():
+        assert sys.line_state(idx, B) is state, (
+            f"{protocol}/{name}: cache{idx} is "
+            f"{sys.line_state(idx, B)}, expected {state}"
+        )

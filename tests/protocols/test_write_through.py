@@ -1,0 +1,95 @@
+"""Classic write-through (Section F.1): the scheme that does NOT
+serialize conflicting accesses."""
+
+from repro.cache.state import CacheState
+from repro.processor import isa
+from tests.conftest import manual
+
+B = 0
+
+
+def wt(n=2):
+    return manual("write-through", n=n, strict=False)
+
+
+class TestBasics:
+    def test_every_write_goes_to_the_bus(self):
+        sys = wt()
+        sys.run_op(0, isa.read(B))
+        for i in range(3):
+            sys.run_op(0, isa.write(B))
+        assert sys.stats.txn_counts["WRITE_WORD"] == 3
+
+    def test_memory_always_current_after_drain(self):
+        sys = wt()
+        sys.run_op(0, isa.read(B))
+        op = sys.run_op(0, isa.write(B))
+        assert sys.memory.peek_block(B)[0] == op.stamp
+
+    def test_no_write_allocate(self):
+        sys = wt()
+        sys.run_op(0, isa.write(B))
+        assert sys.line_state(0, B) is CacheState.INVALID
+
+    def test_invalidation_broadcast(self):
+        sys = wt()
+        sys.run_op(0, isa.read(B))
+        sys.run_op(1, isa.read(B))
+        sys.run_op(0, isa.write(B))
+        assert sys.line_state(1, B) is CacheState.INVALID
+
+    def test_no_cache_to_cache(self):
+        sys = wt()
+        sys.run_op(0, isa.read(B))
+        sys.run_op(1, isa.read(B))
+        assert sys.stats.cache_to_cache_transfers == 0
+
+    def test_purge_never_flushes(self):
+        sys = wt()
+        sys.run_op(0, isa.read(B))
+        blocks = sys.caches[0].config.num_blocks
+        for i in range(1, blocks + 1):
+            sys.run_op(0, isa.read(i * 4))
+        assert sys.stats.flushes == 0
+
+
+class TestNonSerialization:
+    """Censier & Feautrier: conflicting single reads and writes are not
+    guaranteed to be serialized -- the writer's value is visible locally
+    before the invalidation reaches the bus."""
+
+    def test_stale_read_in_the_window(self):
+        sys = wt()
+        sys.run_op(0, isa.read(B))
+        sys.run_op(1, isa.read(B))
+        # cache0 writes: the value is visible in cache0 (and to the
+        # oracle) immediately, but cache1's copy is only invalidated when
+        # the bus grants the write-through.
+        sys.submit(0, isa.write(B, value=5))
+        # Before any bus cycle runs, cache1 reads its stale copy.
+        stale_before = sys.stats.stale_reads
+        sys.run_op(1, isa.read(B))
+        assert sys.stats.stale_reads == stale_before + 1
+
+    def test_serialized_when_reads_wait(self):
+        """Once the write-through is on the bus, readers see the new
+        value: no staleness outside the window."""
+        sys = wt()
+        sys.run_op(0, isa.read(B))
+        sys.run_op(1, isa.read(B))
+        sys.run_op(0, isa.write(B, value=5))  # completes fully
+        stale_before = sys.stats.stale_reads
+        sys.run_op(1, isa.read(B))
+        assert sys.stats.stale_reads == stale_before
+
+    def test_write_in_protocol_has_no_window(self):
+        """The same interleaving under a write-in protocol: the write
+        cannot apply before gaining exclusivity, so the read is never
+        stale."""
+        sys = manual("illinois")
+        sys.run_op(0, isa.read(B))
+        sys.run_op(1, isa.read(B))
+        sys.submit(0, isa.write(B, value=5))
+        sys.run_op(1, isa.read(B))
+        sys.drain()
+        assert sys.stats.stale_reads == 0

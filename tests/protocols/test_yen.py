@@ -1,0 +1,54 @@
+"""Yen, Yen & Fu (1985) semantics."""
+
+from repro.cache.state import CacheState
+from repro.processor import isa
+from tests.conftest import manual
+
+B = 0
+
+
+class TestStaticFetchForWrite:
+    def test_plain_read_miss_stays_read(self):
+        """Without the compiler hint, a read miss never takes write
+        privilege (static determination, Feature 5 S)."""
+        sys = manual("yen")
+        sys.run_op(0, isa.read(B))
+        assert sys.line_state(0, B) is CacheState.READ
+
+    def test_hinted_read_takes_write_clean(self):
+        sys = manual("yen")
+        sys.run_op(0, isa.read(B, private=True))
+        assert sys.line_state(0, B) is CacheState.WRITE_CLEAN
+
+    def test_hint_only_affects_misses(self):
+        """'...will affect a cache access only if the access is a miss.'"""
+        sys = manual("yen")
+        sys.run_op(0, isa.read(B))  # READ resident
+        sys.run_op(0, isa.read(B, private=True))  # hit: no effect
+        assert sys.line_state(0, B) is CacheState.READ
+
+    def test_hinted_fetch_invalidates_others(self):
+        sys = manual("yen")
+        sys.run_op(1, isa.read(B))
+        sys.run_op(0, isa.read(B, private=True))
+        assert sys.line_state(1, B) is CacheState.INVALID
+
+
+class TestWriteCleanNonSource:
+    def test_write_clean_does_not_supply(self):
+        """Table 1: Yen's Write-Clean is 'N' -- memory remains the source
+        of a clean block."""
+        sys = manual("yen")
+        sys.run_op(0, isa.read(B, private=True))  # WRITE_CLEAN
+        fetches = sys.stats.memory_fetches
+        sys.run_op(1, isa.read(B))
+        assert sys.stats.memory_fetches == fetches + 1
+        assert sys.stats.cache_to_cache_transfers == 0
+
+    def test_write_dirty_supplies_with_flush(self):
+        sys = manual("yen")
+        sys.run_op(0, isa.write(B))
+        sys.run_op(1, isa.read(B))
+        assert sys.stats.cache_to_cache_transfers == 1
+        assert sys.stats.flushes == 1  # Feature 7 F
+        assert sys.line_state(0, B) is CacheState.READ

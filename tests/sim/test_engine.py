@@ -1,0 +1,87 @@
+"""The simulation engine: wiring, termination, determinism, deadlock."""
+
+import pytest
+
+from repro import Program, Simulator, SystemConfig
+from repro.common.config import CacheConfig
+from repro.common.errors import ConfigError, DeadlockError
+from repro.processor import isa
+from repro.sim.engine import run_workload
+from repro.workloads import lock_contention
+
+
+class TestConstruction:
+    def test_program_count_must_match(self):
+        with pytest.raises(ConfigError):
+            Simulator(SystemConfig(num_processors=2), [Program([])])
+
+    def test_empty_programs_finish_immediately(self):
+        stats = run_workload(SystemConfig(num_processors=2),
+                             [Program([]), Program([])])
+        assert stats.cycles == 0
+
+    def test_io_port_attached(self):
+        sim = Simulator(SystemConfig(num_processors=1, with_io=True),
+                        [Program([])])
+        assert sim.io is not None
+
+
+class TestTermination:
+    def test_done_when_all_programs_finish(self):
+        config = SystemConfig(num_processors=2)
+        sim = Simulator(config, [
+            Program([isa.read(0)]), Program([isa.compute(5)]),
+        ])
+        sim.run()
+        assert sim.done
+
+    def test_max_cycles_stops_early(self):
+        config = SystemConfig(num_processors=1)
+        sim = Simulator(config, [Program([isa.compute(1000)])])
+        sim.run(max_cycles=10)
+        assert not sim.done
+        assert sim.stats.cycles == 10
+
+
+class TestDeterminism:
+    def test_same_config_same_stats(self):
+        config = SystemConfig(num_processors=4, seed=3)
+        a = run_workload(config, lock_contention(config, rounds=3))
+        b = run_workload(config, lock_contention(config, rounds=3))
+        assert a.cycles == b.cycles
+        assert a.txn_counts == b.txn_counts
+        assert a.bus_busy_cycles == b.bus_busy_cycles
+
+
+class TestDeadlockDetection:
+    def test_lock_order_cycle_reported(self):
+        """Classic ABBA deadlock: both processors wait forever."""
+        config = SystemConfig(num_processors=2, deadlock_horizon=500)
+        a, b = 0, 64
+        programs = [
+            Program([isa.lock(a), isa.compute(30), isa.lock(b),
+                     isa.unlock(b), isa.unlock(a)]),
+            Program([isa.lock(b), isa.compute(30), isa.lock(a),
+                     isa.unlock(a), isa.unlock(b)]),
+        ]
+        sim = Simulator(config, programs)
+        with pytest.raises(DeadlockError):
+            sim.run(max_cycles=200000)
+
+    def test_long_compute_is_not_deadlock(self):
+        config = SystemConfig(num_processors=1, deadlock_horizon=100)
+        stats = run_workload(config, [Program([isa.compute(5000)])])
+        assert stats.processor(0).compute_cycles == 5000
+
+
+class TestCycleAccounting:
+    def test_stats_cycles_match_clock(self):
+        config = SystemConfig(num_processors=1)
+        sim = Simulator(config, [Program([isa.read(0), isa.write(0)])])
+        sim.run()
+        assert sim.stats.cycles == sim.clock.cycle
+
+    def test_bus_busy_bounded_by_cycles(self):
+        config = SystemConfig(num_processors=4)
+        stats = run_workload(config, lock_contention(config, rounds=3))
+        assert stats.bus_busy_cycles <= stats.cycles

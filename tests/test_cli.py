@@ -1,0 +1,116 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import WORKLOADS, build_parser, main
+from repro.protocols import PROTOCOLS
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "bitar-despain"
+        assert args.workload == "lock-contention"
+        assert args.processors == 4
+
+    def test_all_protocols_accepted(self):
+        for protocol in PROTOCOLS:
+            args = build_parser().parse_args(["run", "--protocol", protocol])
+            assert args.protocol == protocol
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "mesi"])
+
+
+class TestCommands:
+    def test_run_prints_stats(self, capsys):
+        assert main(["run", "-n", "2", "--workload", "lock-contention"]) == 0
+        out = capsys.readouterr().out
+        assert "lock acquisitions" in out
+        assert "cycles" in out
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_every_workload_runs(self, workload, capsys):
+        assert main(["run", "-n", "2", "--workload", workload,
+                     "--verify-every", "32"]) == 0
+
+    def test_run_write_through(self, capsys):
+        assert main(["run", "--protocol", "write-through", "-n", "2"]) == 0
+
+    def test_run_rudolph_segall_defaults_block_size(self, capsys):
+        assert main(["run", "--protocol", "rudolph-segall", "-n", "2"]) == 0
+
+    def test_work_while_waiting_flag(self, capsys):
+        assert main(["run", "-n", "2", "--work-while-waiting"]) == 0
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "RWLDS" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "Innovation Summary" in capsys.readouterr().out
+
+    def test_figure10(self, capsys):
+        assert main(["figure10"]) == 0
+        assert "bus-induced" in capsys.readouterr().out
+
+    def test_trace_roundtrip_via_cli(self, tmp_path, capsys):
+        trace = tmp_path / "w.trace"
+        assert main(["run", "-n", "2", "--workload", "producer-consumer",
+                     "--dump-trace", str(trace)]) == 0
+        assert trace.exists()
+        capsys.readouterr()
+        assert main(["run", "-n", "2", "--trace", str(trace)]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_protocols(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        for protocol in PROTOCOLS:
+            assert protocol in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["run", "-n", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "txn_counts" in payload
+        assert "processors" in payload and "0" in payload["processors"]
+
+    def test_dual_bus_flag(self, capsys):
+        assert main(["run", "-n", "4", "--buses", "2",
+                     "--workload", "sharing"]) == 0
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--processors", "2", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "processors" in out and "failed attempts" in out
+
+    def test_sweep_other_protocol(self, capsys):
+        assert main(["sweep", "--protocol", "illinois",
+                     "--processors", "2"]) == 0
+
+    def test_compare(self, capsys):
+        assert main(["compare", "-n", "2",
+                     "--protocols", "illinois", "bitar-despain"]) == 0
+        out = capsys.readouterr().out
+        assert "illinois" in out and "bitar-despain" in out
+
+    def test_compare_defaults_to_table1_field(self, capsys):
+        assert main(["compare", "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        for protocol in ("goodman", "synapse", "yen", "berkeley"):
+            assert protocol in out
+
+    def test_conformance_pass(self, capsys):
+        assert main(["conformance", "--protocol", "bitar-despain"]) == 0
+        assert "conformant" in capsys.readouterr().out
+
+    def test_conformance_write_through(self, capsys):
+        assert main(["conformance", "--protocol", "write-through"]) == 0

@@ -1,0 +1,33 @@
+"""The conformance battery: all ten built-ins pass; broken ones don't."""
+
+import pytest
+
+from repro.bus.signals import SnoopReply
+from repro.verify.conformance import check_conformance
+from tests.conftest import ALL_PROTOCOLS
+
+
+@pytest.mark.parametrize("protocol,wpb,strict", ALL_PROTOCOLS,
+                         ids=[p for p, _, _ in ALL_PROTOCOLS])
+def test_builtin_protocols_conform(protocol, wpb, strict):
+    findings = check_conformance(protocol, serializing=strict)
+    assert findings == [], [str(f) for f in findings]
+
+
+def test_broken_protocol_is_flagged(monkeypatch):
+    """Sanity: a protocol that refuses to invalidate fails the battery."""
+    from repro.protocols.illinois import IllinoisProtocol
+
+    monkeypatch.setattr(
+        IllinoisProtocol, "snoop_exclusive",
+        lambda self, line, txn: SnoopReply(hit=True),
+    )
+    findings = check_conformance("illinois")
+    assert findings, "the battery failed to flag a broken protocol"
+
+
+def test_findings_render():
+    from repro.verify.conformance import Finding
+
+    f = Finding("some-check", "went wrong")
+    assert "some-check" in str(f) and "went wrong" in str(f)

@@ -1,0 +1,133 @@
+"""Fault injection: break the protocol on purpose, assert detection.
+
+The verification layer is only worth trusting if it actually catches
+protocol bugs.  Each test monkeypatches one cache's protocol to
+misbehave in a specific way and asserts that the oracle or the invariant
+checker flags the run -- the same checks that pass on the unbroken
+implementations.
+"""
+
+import pytest
+
+from repro.bus.signals import SnoopReply
+from repro.cache.state import CacheState
+from repro.common.errors import CoherenceViolation, SerializationViolation
+from repro.processor import isa
+from repro.sim.harness import ManualSystem
+from repro.verify.invariants import InvariantChecker
+
+B = 0
+
+
+def checker(sys: ManualSystem) -> InvariantChecker:
+    return InvariantChecker.for_system(sys.caches, sys.memory, sys.oracle)
+
+
+class TestDroppedInvalidation:
+    def test_oracle_catches_stale_copy(self):
+        """A snooper that ignores exclusive requests keeps a stale copy;
+        the next read of it is flagged."""
+        sys = ManualSystem(protocol="illinois", n_caches=2)
+        sys.run_op(1, isa.read(B))
+        sys.run_op(0, isa.read(B))  # both shared
+
+        protocol1 = sys.caches[1].protocol
+        protocol1.snoop_exclusive = (  # type: ignore[method-assign]
+            lambda line, txn: SnoopReply(hit=True)  # refuses to invalidate
+        )
+        sys.run_op(0, isa.write(B, value=5))  # cache1 keeps its stale copy
+        with pytest.raises(SerializationViolation):
+            sys.run_op(1, isa.read(B))
+
+    def test_invariant_catches_writer_plus_reader(self):
+        sys = ManualSystem(protocol="illinois", n_caches=2)
+        sys.run_op(1, isa.read(B))
+        sys.run_op(0, isa.read(B))
+        sys.caches[1].protocol.snoop_exclusive = (  # type: ignore
+            lambda line, txn: SnoopReply(hit=True)
+        )
+        sys.run_op(0, isa.write(B, value=5))
+        with pytest.raises(CoherenceViolation, match="exclusive"):
+            checker(sys).check_all()
+
+
+class TestDroppedFlush:
+    def test_latest_unreachable_detected(self):
+        """A protocol that claims dirty purges need no flush silently
+        drops the only copy of written data."""
+        from repro.common.config import CacheConfig
+
+        sys = ManualSystem(
+            protocol="illinois", n_caches=1,
+            cache_config=CacheConfig(words_per_block=4, num_blocks=1),
+        )
+        sys.caches[0].protocol.purge_needs_flush = (  # type: ignore
+            lambda line: False
+        )
+        sys.run_op(0, isa.write(B, value=5))
+        sys.run_op(0, isa.read(64))  # evicts the dirty block, no flush
+        with pytest.raises(CoherenceViolation, match="no cache"):
+            checker(sys).check_all()
+
+
+class TestBrokenLockRefusal:
+    def test_granting_a_locked_block_detected(self):
+        """A holder that supplies a locked block instead of refusing lets
+        two caches hold lock privilege: the single-writer invariant
+        fires."""
+        sys = ManualSystem(n_caches=2)
+        sys.run_op(0, isa.lock(B))
+        holder = sys.caches[0]
+        # Sabotage: answer snoops as if the block were merely dirty.
+        original = holder.protocol.snoop
+
+        def no_refusal(line, txn):
+            line.state = CacheState.WRITE_DIRTY  # pretend not locked
+            reply = original(line, txn)
+            line.state = CacheState.LOCK
+            return reply
+
+        holder.protocol.snoop = no_refusal  # type: ignore[method-assign]
+        sys.run_op(1, isa.lock(B))  # wrongly granted
+        with pytest.raises(CoherenceViolation, match="multiple writers"):
+            checker(sys).check_all()
+        # Clean up so teardown doesn't trip on held locks.
+        sys.caches[0].line_for(B).state = CacheState.WRITE_DIRTY
+
+
+class TestStaleSupply:
+    def test_supplier_sending_old_data_detected(self):
+        """A source that supplies stale words is caught at the reader."""
+        sys = ManualSystem(n_caches=2)
+        sys.run_op(0, isa.write(B, value=3))
+        source = sys.caches[0]
+        stale = [0, 0, 0, 0]
+        original = source.protocol.snoop_read
+
+        def bad_supply(line, txn):
+            reply = original(line, txn)
+            if reply.data is not None:
+                reply.data = list(stale)
+            return reply
+
+        source.protocol.snoop_read = bad_supply  # type: ignore[method-assign]
+        with pytest.raises(SerializationViolation):
+            sys.run_op(1, isa.read(B))
+
+
+class TestForgottenWaiter:
+    def test_stranded_register_detected(self):
+        """A holder that refuses without recording the waiter leaves the
+        requester's register unmatched: waiter liveness fires."""
+        sys = ManualSystem(n_caches=2)
+        sys.run_op(0, isa.lock(B))
+        holder = sys.caches[0]
+
+        def refuse_without_recording(line, txn):
+            return SnoopReply(hit=True, locked=True)  # no LW transition
+
+        holder.protocol.snoop = refuse_without_recording  # type: ignore
+        sys.submit(1, isa.lock(B))
+        sys.drain()
+        with pytest.raises(CoherenceViolation, match="busy-waits"):
+            checker(sys).check_all()

@@ -1,0 +1,68 @@
+"""The Dubois-Briggs layout critique (§D.2)."""
+
+from repro import SystemConfig, run_workload
+from repro.common.types import block_of
+from repro.processor.isa import OpKind
+from repro.workloads.false_sharing import (
+    disciplined_sharing,
+    dubois_briggs_sharing,
+)
+
+
+class TestLayouts:
+    def test_disciplined_hot_words_outside_atom_blocks(self):
+        config = SystemConfig(num_processors=4)
+        programs = disciplined_sharing(config)
+        wpb = config.cache.words_per_block
+        lock_word = next(op.addr for op in programs[0].ops
+                         if op.kind is OpKind.LOCK)
+        atom_block = block_of(lock_word, wpb)
+        for p in programs:
+            hot_words = {op.addr for op in p.ops
+                         if op.kind in (OpKind.READ, OpKind.WRITE)
+                         and op.addr is not None
+                         and block_of(op.addr, wpb) == atom_block
+                         and op.addr > lock_word + 2}
+            assert not hot_words
+
+    def test_dubois_hot_words_share_atom_blocks(self):
+        config = SystemConfig(num_processors=4)
+        programs = dubois_briggs_sharing(config)
+        wpb = config.cache.words_per_block
+        lock_word = next(op.addr for op in programs[0].ops
+                         if op.kind is OpKind.LOCK)
+        atom_blocks = {block_of(lock_word, wpb),
+                       block_of(lock_word, wpb) + wpb}
+        shared = 0
+        for p in programs:
+            for op in p.ops:
+                if (op.addr is not None
+                        and block_of(op.addr, wpb) in atom_blocks
+                        and op.kind in (OpKind.READ, OpKind.WRITE)):
+                    shared += 1
+        assert shared > 0
+
+    def test_same_logical_work(self):
+        config = SystemConfig(num_processors=4)
+        a = disciplined_sharing(config)
+        b = dubois_briggs_sharing(config)
+        assert [len(p.ops) for p in a] == [len(p.ops) for p in b]
+
+
+class TestDegradation:
+    def test_both_run_clean(self):
+        config = SystemConfig(num_processors=4)
+        s1 = run_workload(config, disciplined_sharing(config),
+                          check_interval=8)
+        config2 = SystemConfig(num_processors=4)
+        s2 = run_workload(config2, dubois_briggs_sharing(config2),
+                          check_interval=8)
+        assert s1.stale_reads == s2.stale_reads == 0
+
+    def test_dubois_layout_slower(self):
+        """The paper's point: the undisciplined layout degrades write-in."""
+        config = SystemConfig(num_processors=4)
+        good = run_workload(config, disciplined_sharing(config)).cycles
+        config2 = SystemConfig(num_processors=4)
+        bad = run_workload(config2, dubois_briggs_sharing(config2)).cycles
+        assert bad > good

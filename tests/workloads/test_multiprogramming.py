@@ -1,0 +1,123 @@
+"""Multiprogramming: quantum scheduling, lock preclusion, state saves."""
+
+import pytest
+
+from repro import SystemConfig, run_workload
+from repro.common.errors import ProgramError
+from repro.processor import isa
+from repro.processor.isa import OpKind
+from repro.processor.program import Program
+from repro.workloads.base import Layout
+from repro.workloads.multiprogramming import (
+    multiprogram,
+    multiprogrammed_contention,
+)
+
+
+def layout() -> Layout:
+    return Layout(words_per_block=4)
+
+
+def simple_process(n_ops: int, tag: int) -> Program:
+    return Program([isa.write(tag * 100 + i, value=tag) for i in range(n_ops)],
+                   name=f"proc{tag}")
+
+
+class TestScheduling:
+    def test_round_robin_interleaving(self):
+        merged = multiprogram(
+            [simple_process(4, 1), simple_process(4, 2)],
+            quantum_ops=2, state_blocks=1, layout=layout(),
+        )
+        writes = [op for op in merged.ops if op.kind is OpKind.WRITE]
+        tags = [op.value for op in writes]
+        # Two ops of process 1, then two of process 2, alternating.
+        assert tags[:2] == [1, 1]
+        assert tags[2:4] == [2, 2]
+
+    def test_all_ops_preserved(self):
+        a, b = simple_process(5, 1), simple_process(7, 2)
+        merged = multiprogram([a, b], quantum_ops=3, state_blocks=1,
+                              layout=layout())
+        writes = [op for op in merged.ops if op.kind is OpKind.WRITE]
+        assert len(writes) == 12
+
+    def test_state_save_at_every_switch(self):
+        merged = multiprogram(
+            [simple_process(4, 1), simple_process(4, 2)],
+            quantum_ops=2, state_blocks=2, layout=layout(),
+        )
+        saves = [op for op in merged.ops if op.kind is OpKind.SAVE_BLOCK]
+        # 4 switches happen (last process runs out without switching).
+        assert len(saves) == 2 * 3
+
+    def test_plain_write_save_variant(self):
+        merged = multiprogram(
+            [simple_process(4, 1), simple_process(4, 2)],
+            quantum_ops=2, state_blocks=1, layout=layout(),
+            use_write_no_fetch=False, words_per_block=4,
+        )
+        assert not any(op.kind is OpKind.SAVE_BLOCK for op in merged.ops)
+
+    def test_requires_processes(self):
+        with pytest.raises(ProgramError):
+            multiprogram([], quantum_ops=2, state_blocks=1, layout=layout())
+
+
+class TestLockPreclusion:
+    def test_never_switches_inside_critical_section(self):
+        """Section E.3: no process switching while a lock is held."""
+        critical = Program([
+            isa.write(100),
+            isa.lock(0),
+            isa.write(1), isa.write(2), isa.write(3),
+            isa.unlock(0),
+            isa.write(101),
+        ])
+        other = simple_process(6, 9)
+        merged = multiprogram([critical, other], quantum_ops=2,
+                              state_blocks=1, layout=layout())
+        held = set()
+        for op in merged.ops:
+            if op.kind is OpKind.LOCK:
+                held.add(op.addr)
+            elif op.kind is OpKind.UNLOCK:
+                held.discard(op.addr)
+            elif op.kind is OpKind.SAVE_BLOCK:
+                assert not held, "switched while holding a lock!"
+
+    def test_merged_program_validates(self):
+        critical = Program([
+            isa.lock(0), isa.write(1), isa.unlock(0),
+            isa.lock(0), isa.write(2), isa.unlock(0),
+        ])
+        merged = multiprogram([critical, simple_process(3, 9)],
+                              quantum_ops=1, state_blocks=1, layout=layout())
+        merged.validate()
+
+
+class TestEndToEnd:
+    def test_runs_clean_on_the_proposal(self):
+        config = SystemConfig(num_processors=4)
+        programs = multiprogrammed_contention(config, processes_per_cpu=2,
+                                              rounds=2)
+        stats = run_workload(config, programs, check_interval=16)
+        assert stats.stale_reads == 0
+        assert stats.failed_lock_attempts == 0
+        assert stats.fetches_avoided > 0  # the WNF state saves
+        assert stats.total_lock_acquisitions == 4 * 2 * 2
+
+    def test_write_no_fetch_speeds_up_switching(self):
+        config = SystemConfig(num_processors=4)
+        fast = run_workload(
+            config,
+            multiprogrammed_contention(config, use_write_no_fetch=True),
+            check_interval=0,
+        )
+        config2 = SystemConfig(num_processors=4)
+        slow = run_workload(
+            config2,
+            multiprogrammed_contention(config2, use_write_no_fetch=False),
+            check_interval=0,
+        )
+        assert fast.cycles < slow.cycles

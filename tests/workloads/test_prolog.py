@@ -1,0 +1,72 @@
+"""The Prolog AND-parallel workload."""
+
+import pytest
+
+from repro import LockStyle, SystemConfig, run_workload
+from repro.processor.isa import OpKind
+from repro.workloads.prolog import prolog_and_parallel
+
+
+class TestGeneration:
+    def test_needs_a_worker(self):
+        with pytest.raises(ValueError):
+            prolog_and_parallel(SystemConfig(num_processors=1))
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            prolog_and_parallel(SystemConfig(num_processors=2),
+                                backtrack_probability=1.5)
+
+    def test_programs_validate(self):
+        config = SystemConfig(num_processors=4)
+        for p in prolog_and_parallel(config):
+            p.validate()
+
+    def test_goal_conservation(self):
+        """Every enqueued goal is dequeued by exactly one worker."""
+        config = SystemConfig(num_processors=4)
+        programs = prolog_and_parallel(config, goals=9)
+        # Goal-stack locks: parent does 9 enqueues (+ 9 binding reads);
+        # workers do 9 dequeues between them.
+        parent_locks = sum(1 for op in programs[0].ops
+                           if op.kind is OpKind.LOCK)
+        assert parent_locks == 9 + 9
+
+    def test_deterministic_for_seed(self):
+        config = SystemConfig(num_processors=3, seed=7)
+        a = prolog_and_parallel(config, seed=7)
+        b = prolog_and_parallel(config, seed=7)
+        assert [len(p.ops) for p in a] == [len(p.ops) for p in b]
+
+    def test_backtracking_adds_rebinding(self):
+        config = SystemConfig(num_processors=3)
+        none = prolog_and_parallel(config, backtrack_probability=0.0, seed=1)
+        always = prolog_and_parallel(config, backtrack_probability=1.0, seed=1)
+        assert (sum(len(p.ops) for p in always)
+                > sum(len(p.ops) for p in none))
+
+
+class TestEndToEnd:
+    def test_runs_clean_on_the_proposal(self):
+        config = SystemConfig(num_processors=4)
+        programs = prolog_and_parallel(config)
+        stats = run_workload(config, programs, check_interval=16)
+        assert stats.stale_reads == 0
+        assert stats.lost_updates == 0
+        assert stats.failed_lock_attempts == 0
+
+    def test_parent_reads_final_bindings(self):
+        """Every binding the parent reads is the latest serialized value
+        (the oracle enforces it); the run completing under strict
+        verification IS the correctness statement."""
+        config = SystemConfig(num_processors=3)
+        programs = prolog_and_parallel(config, backtrack_probability=1.0)
+        stats = run_workload(config, programs, check_interval=8)
+        assert stats.stale_reads == 0
+
+    def test_runs_on_ttas_protocols(self):
+        config = SystemConfig(num_processors=4, protocol="berkeley")
+        programs = [p.lowered(LockStyle.TTAS)
+                    for p in prolog_and_parallel(config)]
+        stats = run_workload(config, programs, check_interval=16)
+        assert stats.stale_reads == 0

@@ -1,0 +1,103 @@
+"""Trace-file input/output."""
+
+import io
+
+import pytest
+
+from repro import SystemConfig, run_workload
+from repro.common.errors import ProgramError
+from repro.processor.isa import OpKind
+from repro.workloads.trace import dump_trace, load_trace, parse_trace_line
+
+SAMPLE = """\
+# a tiny two-processor trace
+P0 L 0x0
+P0 W 0x1 5
+P0 U 0x0 1
+P1 L 0x0
+P1 R 0x1
+P1 U 0x0 2
+P1 C 4
+"""
+
+
+class TestParsing:
+    def test_comment_and_blank_lines_skipped(self):
+        assert parse_trace_line("# hello", 1) is None
+        assert parse_trace_line("   ", 2) is None
+
+    def test_read_line(self):
+        pid, op = parse_trace_line("P3 R 0x40", 1)
+        assert pid == 3 and op.kind is OpKind.READ and op.addr == 0x40
+
+    def test_write_with_value(self):
+        _, op = parse_trace_line("P0 W 16 9", 1)
+        assert op.kind is OpKind.WRITE and op.addr == 16 and op.value == 9
+
+    def test_decimal_and_hex(self):
+        _, a = parse_trace_line("P0 R 32", 1)
+        _, b = parse_trace_line("P0 R 0x20", 1)
+        assert a.addr == b.addr
+
+    def test_inline_comment(self):
+        parsed = parse_trace_line("P0 R 4  # fetch header", 1)
+        assert parsed is not None and parsed[1].addr == 4
+
+    @pytest.mark.parametrize("bad", [
+        "X0 R 4", "P0 Q 4", "P0 R", "P0 C", "Pz R 4",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ProgramError):
+            parse_trace_line(bad, 7)
+
+
+class TestLoad:
+    def test_programs_per_processor(self):
+        programs = load_trace(io.StringIO(SAMPLE))
+        assert len(programs) == 2
+        assert len(programs[0].ops) == 3
+        assert len(programs[1].ops) == 4
+
+    def test_padding_to_processor_count(self):
+        programs = load_trace(io.StringIO(SAMPLE), num_processors=4)
+        assert len(programs) == 4
+        assert programs[3].ops == []
+
+    def test_too_few_processors_rejected(self):
+        with pytest.raises(ProgramError):
+            load_trace(io.StringIO(SAMPLE), num_processors=1)
+
+    def test_loaded_trace_runs(self):
+        programs = load_trace(io.StringIO(SAMPLE))
+        config = SystemConfig(num_processors=2)
+        stats = run_workload(config, programs, check_interval=4)
+        assert stats.total_lock_acquisitions == 2
+        assert stats.stale_reads == 0
+
+    def test_load_from_path(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text(SAMPLE)
+        programs = load_trace(path)
+        assert len(programs) == 2
+
+
+class TestRoundTrip:
+    def test_dump_then_load(self):
+        original = load_trace(io.StringIO(SAMPLE))
+        text = dump_trace(original)
+        reloaded = load_trace(io.StringIO(text))
+        for a, b in zip(original, reloaded):
+            assert [(o.kind, o.addr, o.value) for o in a.ops] == [
+                (o.kind, o.addr, o.value) for o in b.ops
+            ]
+
+    def test_generated_workload_dumps(self):
+        from repro.workloads import lock_contention
+
+        config = SystemConfig(num_processors=2)
+        programs = lock_contention(config, rounds=2)
+        text = dump_trace(programs)
+        assert "P0 L" in text and "P1 U" in text
+        reloaded = load_trace(io.StringIO(text))
+        stats = run_workload(config, reloaded, check_interval=8)
+        assert stats.stale_reads == 0

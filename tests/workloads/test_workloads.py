@@ -1,0 +1,193 @@
+"""Workload generators produce structurally valid, parameterized programs."""
+
+import pytest
+
+from repro import LockStyle, SystemConfig
+from repro.processor.isa import OpKind
+from repro.workloads import (
+    Atom,
+    Layout,
+    SmithParameters,
+    interleaved_sharing,
+    lock_contention,
+    migration,
+    process_switch,
+    producer_consumer,
+    request_queue,
+    smith_stream,
+    uncontended_locks,
+)
+
+
+def cfg(n=4) -> SystemConfig:
+    return SystemConfig(num_processors=n)
+
+
+class TestLayout:
+    def test_blocks_are_aligned_and_distinct(self):
+        layout = Layout(words_per_block=4)
+        blocks = layout.blocks(5)
+        assert len(set(blocks)) == 5
+        assert all(b % 4 == 0 for b in blocks)
+
+    def test_region_spans_whole_blocks(self):
+        layout = Layout(words_per_block=4)
+        words = layout.region(6)
+        assert len(words) == 6
+        assert words[0] % 4 == 0
+        next_block = layout.block()
+        assert next_block >= words[0] + 8  # two blocks consumed
+
+
+class TestAtom:
+    def test_lock_word_is_first(self):
+        atom = Atom.allocate(Layout(words_per_block=4), 3)
+        assert atom.lock_word == atom.base
+        assert atom.data_words() == [atom.base + 1, atom.base + 2]
+
+    def test_needs_at_least_lock_word(self):
+        with pytest.raises(ValueError):
+            Atom.allocate(Layout(words_per_block=4), 0)
+
+
+class TestLockContention:
+    def test_program_per_processor(self):
+        programs = lock_contention(cfg(6))
+        assert len(programs) == 6
+
+    def test_all_programs_validate(self):
+        for p in lock_contention(cfg()):
+            p.validate()
+
+    def test_rounds_scale_ops(self):
+        small = lock_contention(cfg(), rounds=2)
+        big = lock_contention(cfg(), rounds=8)
+        assert len(big[0].ops) == 4 * len(small[0].ops)
+
+    def test_lock_style_lowering(self):
+        tas = lock_contention(cfg(), lock_style=LockStyle.TAS)
+        assert any(op.kind is OpKind.TAS_ACQUIRE for op in tas[0].ops)
+        assert not any(op.kind is OpKind.LOCK for op in tas[0].ops)
+
+    def test_uncontended_uses_distinct_atoms(self):
+        programs = uncontended_locks(cfg())
+        lock_words = {
+            next(op.addr for op in p.ops if op.kind is OpKind.LOCK)
+            for p in programs
+        }
+        assert len(lock_words) == 4
+
+
+class TestProducerConsumer:
+    def test_pairing(self):
+        programs = producer_consumer(cfg(4), items=3)
+        assert "producer" in programs[0].name
+        assert "consumer" in programs[1].name
+
+    def test_odd_processor_idle(self):
+        programs = producer_consumer(cfg(5) if False else SystemConfig(num_processors=5), items=2)
+        assert len(programs[4].ops) == 0
+
+    def test_validates(self):
+        for p in producer_consumer(cfg(), items=4):
+            p.validate()
+
+
+class TestRequestQueue:
+    def test_server_and_clients(self):
+        programs = request_queue(cfg(4), servers=1, requests_per_client=2)
+        assert "server" in programs[0].name
+        assert all("client" in p.name for p in programs[1:])
+
+    def test_request_conservation(self):
+        """Servers drain exactly what clients enqueue."""
+        programs = request_queue(cfg(5), servers=2, requests_per_client=3)
+        server_locks = sum(
+            1 for p in programs[:2] for op in p.ops if op.kind is OpKind.LOCK
+        )
+        client_locks = sum(
+            1 for p in programs[2:] for op in p.ops if op.kind is OpKind.LOCK
+        )
+        assert server_locks == client_locks == 9
+
+    def test_needs_a_client(self):
+        with pytest.raises(ValueError):
+            request_queue(cfg(2), servers=2)
+
+
+class TestSharing:
+    def test_reference_count(self):
+        programs = interleaved_sharing(cfg(), references=50)
+        assert all(len(p.ops) == 50 for p in programs)
+
+    def test_write_fraction_respected(self):
+        programs = interleaved_sharing(cfg(), references=400,
+                                       write_fraction=0.35)
+        writes = sum(1 for p in programs for op in p.ops
+                     if op.kind is OpKind.WRITE)
+        total = sum(len(p.ops) for p in programs)
+        assert 0.25 < writes / total < 0.45
+
+    def test_deterministic_for_seed(self):
+        a = interleaved_sharing(cfg(), references=30, seed=5)
+        b = interleaved_sharing(cfg(), references=30, seed=5)
+        assert [(op.kind, op.addr) for op in a[0].ops] == [
+            (op.kind, op.addr) for op in b[0].ops
+        ]
+
+    def test_seed_changes_streams(self):
+        a = interleaved_sharing(cfg(), references=30, seed=5)
+        b = interleaved_sharing(cfg(), references=30, seed=6)
+        assert [(op.kind, op.addr) for op in a[0].ops] != [
+            (op.kind, op.addr) for op in b[0].ops
+        ]
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            interleaved_sharing(cfg(), write_fraction=1.5)
+        with pytest.raises(ValueError):
+            interleaved_sharing(cfg(), shared_fraction=-0.1)
+
+
+class TestMigration:
+    def test_staggered_starts(self):
+        programs = migration(cfg())
+        assert programs[0].ops[0].kind is not OpKind.COMPUTE
+        assert programs[1].ops[0].kind is OpKind.COMPUTE
+
+    def test_same_working_set(self):
+        programs = migration(cfg(2), working_set_blocks=4)
+        addrs = [
+            {op.addr for op in p.ops if op.addr is not None}
+            for p in programs
+        ]
+        assert addrs[0] == addrs[1]
+
+
+class TestProcessSwitch:
+    def test_save_block_ops(self):
+        programs = process_switch(cfg(), switches=2, state_blocks=3)
+        saves = [op for op in programs[0].ops if op.kind is OpKind.SAVE_BLOCK]
+        assert len(saves) == 6
+
+    def test_plain_write_variant(self):
+        programs = process_switch(cfg(), switches=2, state_blocks=3,
+                                  use_write_no_fetch=False)
+        assert not any(op.kind is OpKind.SAVE_BLOCK for p in programs
+                       for op in p.ops)
+        writes = [op for op in programs[0].ops if op.kind is OpKind.WRITE]
+        assert len(writes) == 6 * 4  # words per block
+
+
+class TestSmithStream:
+    def test_parameters_respected(self):
+        params = SmithParameters(write_fraction=0.2)
+        programs = smith_stream(cfg(1), references=500, params=params)
+        writes = sum(1 for op in programs[0].ops if op.kind is OpKind.WRITE)
+        assert 0.12 < writes / 500 < 0.28
+
+    def test_private_streams_do_not_overlap(self):
+        programs = smith_stream(cfg(2), references=100)
+        a = {op.addr for op in programs[0].ops}
+        b = {op.addr for op in programs[1].ops}
+        assert not (a & b)
