@@ -1,0 +1,170 @@
+"""Engine benchmark: stepped vs fast-forward execution, sweep scaling.
+
+Unlike the figure benches, this one measures the *simulator*, not the
+simulated system: wall-clock for the cycle-stepped reference engine vs
+the event-skip engine on the same coarse-grain locking workload (short
+critical sections separated by long parallel compute, the regime the
+paper's Section F cost model assumes), plus process-parallel sweep
+scaling.  Both engines must produce identical statistics; the timings
+land in ``BENCH_engine.json`` for ``scripts/perf_guard.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import CacheConfig, SystemConfig
+from repro.analysis.report import render_table
+from repro.analysis.sweeps import Sweep, run_sweep_parallel
+from repro.sim.engine import Simulator
+from repro.workloads import lock_contention
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: bench_locking-scale contention, coarse grain: 16 processors handing
+#: one lock around between 4000-cycle think sections.
+ENGINE_PARAMS = dict(processors=16, rounds=40, think_cycles=4000)
+SWEEP_JOBS = 4
+SWEEP_POINTS = [2, 4, 6, 8, 10, 12, 14, 16]
+
+
+def _config(n: int) -> SystemConfig:
+    return SystemConfig(
+        num_processors=n,
+        protocol="bitar-despain",
+        cache=CacheConfig(words_per_block=4, num_blocks=128),
+    )
+
+
+def _snapshot(stats, n: int) -> dict:
+    d = dict(stats.to_dict())
+    d["txn_counts"] = dict(stats.txn_counts)
+    d["txn_cycles"] = dict(stats.txn_cycles)
+    d["procs"] = [dataclasses.asdict(stats.processor(i)) for i in range(n)]
+    return d
+
+
+def _time_run(config, programs, fast_forward: bool, repeats: int = 3):
+    """Best-of-``repeats`` wall clock and the final stats."""
+    best = None
+    stats = None
+    for _ in range(repeats):
+        sim = Simulator(config, programs, fast_forward=fast_forward)
+        t0 = time.perf_counter()
+        stats = sim.run()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, stats
+
+
+def run_engine_comparison() -> dict:
+    n = ENGINE_PARAMS["processors"]
+    config = _config(n)
+    programs = lock_contention(
+        config,
+        rounds=ENGINE_PARAMS["rounds"],
+        think_cycles=ENGINE_PARAMS["think_cycles"],
+    )
+    stepped_s, stepped_stats = _time_run(config, programs, fast_forward=False)
+    ff_s, ff_stats = _time_run(config, programs, fast_forward=True)
+    assert _snapshot(stepped_stats, n) == _snapshot(ff_stats, n), (
+        "fast-forward diverged from the stepped engine"
+    )
+    cycles = stepped_stats.cycles
+    return {
+        **ENGINE_PARAMS,
+        "protocol": "bitar-despain",
+        "workload": "lock_contention",
+        "cycles": cycles,
+        "stepped_seconds": stepped_s,
+        "stepped_cycles_per_sec": cycles / stepped_s,
+        "fast_forward_seconds": ff_s,
+        "fast_forward_cycles_per_sec": cycles / ff_s,
+        "speedup": stepped_s / ff_s,
+    }
+
+
+def _sweep_run(n) -> object:
+    """Module-level so the process pool can pickle it."""
+    config = _config(int(n))
+    programs = lock_contention(config, rounds=20, think_cycles=1000)
+    return Simulator(config, programs).run()
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run_sweep_scaling() -> dict:
+    sweep = Sweep(xs=SWEEP_POINTS, run=_sweep_run,
+                  metrics={"cycles": lambda s: s.cycles})
+    t0 = time.perf_counter()
+    serial = sweep.execute()
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_sweep_parallel(sweep, jobs=SWEEP_JOBS)
+    parallel_s = time.perf_counter() - t0
+    assert list(serial["cycles"].values) == list(parallel["cycles"].values), (
+        "parallel sweep changed the results"
+    )
+    return {
+        "points": len(SWEEP_POINTS),
+        "jobs": SWEEP_JOBS,
+        "available_cpus": _available_cpus(),
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "scaling": serial_s / parallel_s,
+    }
+
+
+def test_fast_forward_speedup(benchmark):
+    result = benchmark.pedantic(run_engine_comparison, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print("\nEngine: stepped vs fast-forward "
+          f"({result['processors']} processors, "
+          f"think={result['think_cycles']}, {result['cycles']} cycles)")
+    print(render_table(
+        ["engine", "seconds", "cycles/sec"],
+        [["stepped", f"{result['stepped_seconds']:.3f}",
+          f"{result['stepped_cycles_per_sec']:,.0f}"],
+         ["fast-forward", f"{result['fast_forward_seconds']:.3f}",
+          f"{result['fast_forward_cycles_per_sec']:,.0f}"]],
+    ))
+    print(f"speedup: {result['speedup']:.1f}x")
+    assert result["speedup"] >= 5.0, (
+        f"fast-forward speedup {result['speedup']:.1f}x below the 5x target"
+    )
+    _merge_result("engine", result)
+
+
+def test_parallel_sweep_scaling(benchmark):
+    result = benchmark.pedantic(run_sweep_scaling, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    print(f"\nSweep: {result['points']} points, "
+          f"serial {result['serial_seconds']:.2f}s vs "
+          f"{result['jobs']} jobs {result['parallel_seconds']:.2f}s "
+          f"({result['scaling']:.1f}x, "
+          f"{result['available_cpus']} cpus available)")
+    if result["available_cpus"] >= 2:
+        # Speedup needs real cores; on a single-cpu box only demand that
+        # the pool's overhead stays bounded.
+        assert result["scaling"] > 1.0, "parallel sweep slower than serial"
+    else:
+        assert result["scaling"] > 0.5, "process-pool overhead excessive"
+    _merge_result("sweep", result)
+
+
+def _merge_result(key: str, value: dict) -> None:
+    data = {}
+    if RESULT_PATH.exists():
+        data = json.loads(RESULT_PATH.read_text())
+    data[key] = value
+    RESULT_PATH.write_text(json.dumps(data, indent=2) + "\n")

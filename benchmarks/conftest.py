@@ -10,6 +10,20 @@ the timing model, not the authors' testbed.
 from __future__ import annotations
 
 from repro import CacheConfig, LockStyle, SystemConfig
+from repro.sim.engine import set_fast_forward_default
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fast-forward", action="store_true", default=False,
+        help="run every bench simulation in event-skip mode "
+             "(identical statistics; faster on quiet-span workloads)",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--fast-forward", default=False):
+        set_fast_forward_default(True)
 
 
 def config_for(protocol: str, *, n: int = 4, wpb: int = 4,

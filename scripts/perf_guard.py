@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Guard against engine performance regressions.
+
+Compares the fast-forward speedup just measured by ``pytest
+benchmarks/bench_engine.py`` (written to ``BENCH_engine.json``) against
+the recorded baseline (``benchmarks/BENCH_engine.baseline.json``) and
+fails if it fell below ``RATIO_FLOOR`` of the baseline.  Wall-clock
+numbers vary with the host, but the *ratio* of the two engines on the
+same host is stable -- that is what is guarded.
+
+Usage::
+
+    python scripts/perf_guard.py [--update]
+
+``--update`` rewrites the baseline from the current measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+RESULT = REPO / "BENCH_engine.json"
+BASELINE = REPO / "benchmarks" / "BENCH_engine.baseline.json"
+
+#: Current speedup may drop to this fraction of the baseline before the
+#: guard fails.
+RATIO_FLOOR = 0.8
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="record the current measurement as baseline")
+    args = parser.parse_args(argv)
+
+    if not RESULT.exists():
+        print(f"perf_guard: no {RESULT.name}; run "
+              f"'pytest benchmarks/bench_engine.py' first", file=sys.stderr)
+        return 2
+    current = json.loads(RESULT.read_text())["engine"]["speedup"]
+
+    if args.update or not BASELINE.exists():
+        BASELINE.write_text(json.dumps({"speedup": current}, indent=2) + "\n")
+        print(f"perf_guard: baseline recorded (speedup {current:.1f}x)")
+        return 0
+
+    baseline = json.loads(BASELINE.read_text())["speedup"]
+    floor = RATIO_FLOOR * baseline
+    verdict = "OK" if current >= floor else "FAIL"
+    print(f"perf_guard: speedup {current:.1f}x vs baseline {baseline:.1f}x "
+          f"(floor {floor:.1f}x) -- {verdict}")
+    return 0 if current >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

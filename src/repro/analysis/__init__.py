@@ -28,6 +28,7 @@ from repro.analysis.sweeps import (
     Sweep,
     SweepSeries,
     over_seeds,
+    run_sweep_parallel,
 )
 from repro.analysis.table1 import Table1, build_table1
 from repro.analysis.table2 import TABLE2, derived_innovations, render_table2
@@ -43,6 +44,7 @@ __all__ = [
     "LockMetrics",
     "SeedStatistics",
     "Sweep",
+    "run_sweep_parallel",
     "SweepSeries",
     "TABLE2",
     "Table1",

@@ -16,7 +16,7 @@ from repro.bus.arbiter import Arbiter
 from repro.bus.signals import BusResponse, SnoopReply
 from repro.bus.transaction import BusOp, BusTransaction
 from repro.common.config import TimingConfig
-from repro.common.types import CacheId, Stamp
+from repro.common.types import NEVER, CacheId, Stamp
 from repro.protocols.base import Outcome
 from repro.protocols.features import ReadSourcePolicy
 from repro.sim.events import EventKind
@@ -90,6 +90,26 @@ class Bus:
         """An expired occupancy whose requester has not been released yet."""
         return not self.busy and self._active_port is not None
 
+    def next_event_cycle(self) -> int:
+        """Earliest cycle at which :meth:`step` does anything.
+
+        While occupied the bus is inert until ``_busy_until`` (the release
+        and the following arbitration happen on that cycle).  When free it
+        acts immediately if a release is owed or any port has a grantable
+        request; otherwise it stays idle until a processor posts one --
+        which requires a processor event, so the caller takes the minimum
+        with the processors' own next events.
+        """
+        now = self.clock.cycle
+        if now < self._busy_until:
+            return self._busy_until
+        if self._active_port is not None:
+            return now
+        for port in self._ports.values():
+            if port.has_bus_request():
+                return now
+        return NEVER
+
     # -- per-cycle driver ------------------------------------------------------
 
     def step(self) -> bool:
@@ -123,7 +143,8 @@ class Bus:
 
     def _execute(self, port: BusPort, txn: BusTransaction) -> None:
         now = self.clock.cycle
-        self.trace.emit(now, EventKind.BUS_TXN, txn=str(txn))
+        if self.trace.active:
+            self.trace.emit(now, EventKind.BUS_TXN, txn=str(txn))
 
         replies = self._snoop_all(port, txn)
         response = BusResponse.combine(replies)
@@ -191,17 +212,19 @@ class Bus:
             self.stats.cache_to_cache_transfers += 1
             if response.arbitration_candidates:
                 self.stats.source_arbitrations += 1
-            self.trace.emit(self.clock.cycle, EventKind.SUPPLY,
-                            block=txn.block, by=f"cache{response.supplier}",
-                            dirty=response.supplier_dirty)
+            if self.trace.active:
+                self.trace.emit(self.clock.cycle, EventKind.SUPPLY,
+                                block=txn.block, by=f"cache{response.supplier}",
+                                dirty=response.supplier_dirty)
             return list(reply.data)
 
         data = self.memory.read_block(txn.block)
         self.stats.memory_fetches += 1
         if response.shared_hit and self._tracks_source_loss(port):
             self.stats.source_losses += 1
-        self.trace.emit(self.clock.cycle, EventKind.SUPPLY,
-                        block=txn.block, by="memory", dirty=False)
+        if self.trace.active:
+            self.trace.emit(self.clock.cycle, EventKind.SUPPLY,
+                            block=txn.block, by="memory", dirty=False)
         return data
 
     def _tracks_source_loss(self, port: BusPort) -> bool:

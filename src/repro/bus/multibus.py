@@ -106,6 +106,10 @@ class MultiBusSystem:
                 active = True
         return active
 
+    def next_event_cycle(self) -> int:
+        """Earliest cycle at which any constituent bus does anything."""
+        return min(bus.next_event_cycle() for bus in self.buses)
+
     @property
     def busy(self) -> bool:
         return any(bus.busy for bus in self.buses)

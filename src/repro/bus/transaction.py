@@ -70,7 +70,7 @@ class BusOp(enum.Enum):
 _txn_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class BusTransaction:
     """One granted bus transaction."""
 

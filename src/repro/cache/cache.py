@@ -24,7 +24,7 @@ from repro.cache.organization import CacheArray
 from repro.cache.state import CacheState
 from repro.common.config import CacheConfig, RmwMethod
 from repro.common.errors import ProgramError, ProtocolError
-from repro.common.types import BlockAddr, CacheId, Stamp, WordAddr, block_of
+from repro.common.types import NEVER, BlockAddr, CacheId, Stamp, WordAddr, block_of
 from repro.processor.isa import Op, OpKind
 from repro.protocols.base import Done, NeedBus, Outcome, TxnResult
 from repro.sim.events import EventKind
@@ -292,6 +292,19 @@ class SnoopingCache:
     def waiting_for_lock(self) -> bool:
         return self._pending is not None and self._pending.lock_wait
 
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest cycle at which this cache can initiate activity on its
+        own: a grantable bus request (detached or pending) or a completed
+        operation the processor may collect.  A busy-wait park returns
+        :data:`~repro.common.types.NEVER` -- its wake is driven by another
+        cache's unlock broadcast, i.e. by a bus event."""
+        if self.has_bus_request():
+            return now
+        pending = self._pending
+        if pending is not None and (pending.completed or pending.ready):
+            return now
+        return NEVER
+
     # -- bus interface: requesting -------------------------------------------
 
     def has_bus_request(self) -> bool:
@@ -450,8 +463,9 @@ class SnoopingCache:
             # Re-arm after losing post-unlock arbitration to a new locker.
             self.busy_wait.lost_arbitration()
         self.stats.lock_waits_started += 1
-        self.trace.emit(self.now(), EventKind.WAIT, cache=self.id, block=txn.block,
-                        action="armed")
+        if self.trace.active:
+            self.trace.emit(self.now(), EventKind.WAIT, cache=self.id,
+                            block=txn.block, action="armed")
 
     def _finish_pending(self, pending: PendingAccess, txn: BusTransaction,
                         response) -> None:
@@ -566,8 +580,9 @@ class SnoopingCache:
             pending.lock_wait = False
             pending.request = replace(pending.retry_request, high_priority=True)
             pending.posted_at = self.now()  # bus-wait measured from the wakeup
-            self.trace.emit(self.now(), EventKind.WAIT, cache=self.id,
-                            block=txn.block, action="fired")
+            if self.trace.active:
+                self.trace.emit(self.now(), EventKind.WAIT, cache=self.id,
+                                block=txn.block, action="fired")
             return SnoopReply(hit=True)  # tells the bus the unlock was taken up
         return SnoopReply.miss()
 
@@ -599,15 +614,17 @@ class SnoopingCache:
         if victim.valid:
             self._purge(victim)
         line = self.array.install(victim, block, state, words, self.now())
-        self.trace.emit(self.now(), EventKind.STATE_CHANGE, cache=self.id,
-                        block=block, state=state.value)
+        if self.trace.active:
+            self.trace.emit(self.now(), EventKind.STATE_CHANGE, cache=self.id,
+                            block=block, state=state.value)
         return line
 
     def _purge(self, victim: CacheLine) -> None:
         assert self.protocol is not None and self.memory is not None
         self.stats.purges += 1
-        self.trace.emit(self.now(), EventKind.PURGE, cache=self.id,
-                        block=victim.block, state=victim.state.value)
+        if self.trace.active:
+            self.trace.emit(self.now(), EventKind.PURGE, cache=self.id,
+                            block=victim.block, state=victim.state.value)
         if victim.locked:
             # Section E.3 "minor modification": spill the lock to memory.
             self.memory.write_lock_tag(victim.block, self.id)

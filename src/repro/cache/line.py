@@ -8,7 +8,7 @@ from repro.cache.state import CacheState
 from repro.common.types import NEVER_WRITTEN, BlockAddr, Stamp
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """One block frame: tag, state, per-word write stamps, LRU clock."""
 

@@ -27,6 +27,13 @@ class CacheArray:
             [CacheLine.empty(-1, config.words_per_block) for _ in range(config.ways)]
             for _ in range(config.num_sets)
         ]
+        # Tag index: block -> frames currently *tagged* with it, valid or
+        # not.  Tags change only in install(), so the index stays exact
+        # while validity flips freely on the lines themselves; lookup()
+        # filters by state.  Every snoop performs a lookup, making this
+        # the simulator's hottest data structure -- the index turns the
+        # per-snoop set scan into a dict probe.
+        self._tagged: dict[BlockAddr, list[CacheLine]] = {}
 
     def _set_index(self, block: BlockAddr) -> int:
         block_number = block // self.config.words_per_block
@@ -34,8 +41,11 @@ class CacheArray:
 
     def lookup(self, block: BlockAddr) -> CacheLine | None:
         """Return the valid line holding ``block``, if present."""
-        for line in self._sets[self._set_index(block)]:
-            if line.valid and line.block == block:
+        lines = self._tagged.get(block)
+        if lines is None:
+            return None
+        for line in lines:
+            if line.state.valid:
                 return line
         return None
 
@@ -56,6 +66,13 @@ class CacheArray:
     def install(self, victim: CacheLine, block: BlockAddr, state: CacheState,
                 words: list[int], cycle: int) -> CacheLine:
         """Overwrite ``victim`` in place with a new resident block."""
+        if victim.block != block:
+            old = self._tagged.get(victim.block)
+            if old is not None:
+                old.remove(victim)
+                if not old:
+                    del self._tagged[victim.block]
+            self._tagged.setdefault(block, []).append(victim)
         victim.block = block
         victim.state = state
         victim.fill(words)

@@ -94,6 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the generated workload to a trace file")
     run.add_argument("--json", action="store_true",
                      help="emit the full statistics as JSON")
+    run.add_argument("--fast-forward", action="store_true",
+                     help="event-skip execution (identical statistics, "
+                          "much faster on workloads with quiet spans)")
 
     sweep = sub.add_parser(
         "sweep", help="sweep processor count and print cycles/utilization"
@@ -104,6 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default="lock-contention")
     sweep.add_argument("--processors", nargs="+", type=int,
                        default=[2, 4, 8])
+    sweep.add_argument("--fast-forward", action="store_true",
+                       help="event-skip execution for every sweep point")
+    sweep.add_argument("-j", "--jobs", type=int, default=1,
+                       help="worker processes for the sweep points")
 
     compare = sub.add_parser(
         "compare", help="run one workload across the whole protocol field"
@@ -160,7 +167,8 @@ def command_run(args: argparse.Namespace) -> int:
 
         with open(args.dump_trace, "w", encoding="utf-8") as handle:
             handle.write(dump_trace(programs))
-    stats = run_workload(config, programs, check_interval=args.verify_every)
+    stats = run_workload(config, programs, check_interval=args.verify_every,
+                         fast_forward=args.fast_forward)
 
     if args.json:
         print(stats.to_json())
@@ -179,22 +187,32 @@ def command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_point(n, *, protocol: str, workload: str,
+                 fast_forward: bool = False):
+    """One sweep point; module-level so ``--jobs`` can pickle it (the
+    workload is looked up by name inside the worker process)."""
+    config = SystemConfig(
+        num_processors=int(n),
+        protocol=protocol,
+        strict_verify=protocol != "write-through",
+        cache=CacheConfig(words_per_block=_default_wpb(protocol),
+                          num_blocks=64),
+    )
+    programs = WORKLOADS[workload](config, _default_style(protocol))
+    return run_workload(config, programs, fast_forward=fast_forward)
+
+
 def command_sweep(args: argparse.Namespace) -> int:
+    import functools
+
     from repro.analysis.sweeps import Sweep
 
-    def run(n):
-        wpb = _default_wpb(args.protocol)
-        config = SystemConfig(
-            num_processors=int(n),
-            protocol=args.protocol,
-            strict_verify=args.protocol != "write-through",
-            cache=CacheConfig(words_per_block=wpb, num_blocks=64),
-        )
-        programs = WORKLOADS[args.workload](
-            config, _default_style(args.protocol)
-        )
-        return run_workload(config, programs)
-
+    run = functools.partial(
+        _sweep_point,
+        protocol=args.protocol,
+        workload=args.workload,
+        fast_forward=args.fast_forward,
+    )
     series = Sweep(
         xs=args.processors,
         run=run,
@@ -203,7 +221,7 @@ def command_sweep(args: argparse.Namespace) -> int:
             "bus utilization": lambda s: s.bus_utilization,
             "failed lock attempts": lambda s: s.failed_lock_attempts,
         },
-    ).execute()
+    ).execute(jobs=args.jobs)
     rows = [
         [n,
          int(series["cycles"].values[i]),

@@ -24,6 +24,13 @@ IO_CACHE_ID: CacheId = -1
 #: Stamp value of a word that has never been written.
 NEVER_WRITTEN: Stamp = 0
 
+#: Sentinel cycle number meaning "no self-initiated event will ever
+#: occur" -- returned by ``next_event_cycle()`` implementations for
+#: components that can only be woken by someone else (e.g. a processor
+#: parked on a lock waits for another cache's unlock broadcast).  A large
+#: int rather than ``math.inf`` so arithmetic stays in the fast int path.
+NEVER: Cycle = 1 << 62
+
 
 def block_of(addr: WordAddr, words_per_block: int) -> BlockAddr:
     """Return the block address containing word ``addr``."""

@@ -60,7 +60,7 @@ def fetch_and_add(delta: int) -> RmwFunc:
     return func
 
 
-@dataclass
+@dataclass(slots=True)
 class Op:
     kind: OpKind
     addr: WordAddr | None = None

@@ -4,6 +4,20 @@ Cycle order: bus first (grants/releases), then every processor (issue or
 collect), then the cycle counter.  A processor therefore sees a bus
 completion on the cycle the occupancy expires, and a request posted this
 cycle arbitrates next cycle -- a one-cycle arbitration latency.
+
+Two execution modes produce bit-identical statistics:
+
+* **stepped** -- :meth:`Simulator.step` once per bus cycle (the reference
+  semantics above);
+* **fast-forward** -- the engine asks every component for its next
+  *interesting* cycle (bus occupancy expiry, compute completion, crossbar
+  return) and advances the clock and all per-cycle counters in bulk
+  across the quiet span.  Skipped cycles are exactly those in which the
+  stepped engine would only have incremented counters: the bus is inert
+  until its occupancy expires, and a parked or computing processor cannot
+  issue.  Arbitration order is therefore unaffected -- every cycle in
+  which a grant, snoop, issue, retire, or wake could occur is still
+  executed by the ordinary :meth:`step`.
 """
 
 from __future__ import annotations
@@ -20,10 +34,23 @@ from repro.processor.processor import Processor
 from repro.processor.program import Program
 from repro.protocols import get_protocol
 from repro.sim.clock import Clock, StampClock
-from repro.sim.events import TraceLog
+from repro.sim.events import NULL_TRACE, TraceLog
 from repro.sim.stats import SimStats
 from repro.verify.invariants import InvariantChecker
 from repro.verify.oracle import WriteOracle
+
+#: Process-wide default execution mode, used when neither the Simulator
+#: nor the run() call specifies one.  The CLI's ``--fast-forward`` flag
+#: and the benchmark harness's ``--fast-forward`` option set this.
+FAST_FORWARD_DEFAULT = False
+
+
+def set_fast_forward_default(value: bool) -> bool:
+    """Set the process-wide default execution mode; returns the old one."""
+    global FAST_FORWARD_DEFAULT
+    old = FAST_FORWARD_DEFAULT
+    FAST_FORWARD_DEFAULT = bool(value)
+    return old
 
 
 class Simulator:
@@ -36,6 +63,7 @@ class Simulator:
         *,
         trace: bool = False,
         check_interval: int = 0,
+        fast_forward: bool | None = None,
     ) -> None:
         if len(programs) != config.num_processors:
             raise ConfigError(
@@ -47,10 +75,12 @@ class Simulator:
                 "set cache.words_per_block=1"
             )
         self.config = config
+        #: None defers to the module-level FAST_FORWARD_DEFAULT at run().
+        self.fast_forward = fast_forward
         self.clock = Clock()
         self.stamp_clock = StampClock()
         self.stats = SimStats()
-        self.trace = TraceLog(enabled=trace)
+        self.trace = TraceLog(enabled=True) if trace else NULL_TRACE
         self.memory = MainMemory(config.cache.words_per_block)
         if config.num_buses > 1:
             from repro.bus.multibus import MultiBusSystem
@@ -121,6 +151,7 @@ class Simulator:
         self._check_interval = check_interval
         self._last_progress_sig: tuple = ()
         self._last_progress_cycle = 0
+        self._directories = [cache.directory for cache in self.caches]
 
     # -- running ----------------------------------------------------------
 
@@ -136,24 +167,105 @@ class Simulator:
 
     def step(self) -> None:
         """Advance the whole system by one bus cycle."""
-        for cache in self.caches:
-            cache.directory.begin_cycle()
+        for directory in self._directories:
+            directory.begin_cycle()
         self.bus.step()
+        cycle = self.clock.cycle
         for processor in self.processors:
-            processor.tick(self.clock.cycle)
+            processor.tick(cycle)
         self.stats.cycles += 1
-        self.clock.tick()
+        self.clock.cycle = cycle + 1
         if self._check_interval and self.stats.cycles % self._check_interval == 0:
             self.checker.check_all()
 
-    def run(self, max_cycles: int | None = None) -> SimStats:
-        """Run to completion (or ``max_cycles``); returns the statistics."""
+    def run(self, max_cycles: int | None = None,
+            fast_forward: bool | None = None) -> SimStats:
+        """Run to completion (or ``max_cycles``); returns the statistics.
+
+        ``fast_forward`` overrides the Simulator's mode for this run; both
+        modes produce identical statistics (see the module docstring).
+        """
+        if fast_forward is None:
+            fast_forward = self.fast_forward
+        if fast_forward is None:
+            fast_forward = FAST_FORWARD_DEFAULT
+        if fast_forward:
+            return self._run_fast(max_cycles)
         horizon = self.config.deadlock_horizon
+        step = self.step
+        watch = self._watch_progress
+        stats = self.stats
         while not self.done:
-            if max_cycles is not None and self.stats.cycles >= max_cycles:
+            if max_cycles is not None and stats.cycles >= max_cycles:
                 break
-            self.step()
-            self._watch_progress(horizon)
+            step()
+            watch(horizon)
+        return self._finish()
+
+    def _run_fast(self, max_cycles: int | None) -> SimStats:
+        """The event-skip loop: equivalent to the stepped loop, but quiet
+        spans are applied in bulk instead of cycle-by-cycle."""
+        horizon = self.config.deadlock_horizon
+        check = self._check_interval
+        stats = self.stats
+        clock = self.clock
+        bus = self.bus
+        processors = self.processors
+        step = self.step
+        watch = self._watch_progress
+        while not self.done:
+            now = stats.cycles
+            if max_cycles is not None and now >= max_cycles:
+                break
+            target = bus.next_event_cycle()
+            if target > now:
+                for processor in processors:
+                    t = processor.next_event_cycle(now)
+                    if t < target:
+                        target = t
+            # Never jump past a cycle where the stepped engine would act:
+            # the deadlock horizon fires on simulated cycles regardless of
+            # how they were advanced, the invariant checker observes every
+            # check_interval boundary, and max_cycles is a hard stop.
+            limit = self._last_progress_cycle + horizon + 1
+            if target > limit:
+                target = limit
+            if check:
+                boundary = now + check - now % check
+                if target > boundary:
+                    target = boundary
+            if max_cycles is not None and target > max_cycles:
+                target = max_cycles
+            if target > now:
+                skip = target - now
+                stats.cycles = target
+                clock.cycle = target
+                for processor in processors:
+                    processor.advance_quiet(skip)
+                if check and target % check == 0:
+                    self.checker.check_all()
+                # Every signature component is monotonic, so comparing
+                # endpoints sees exactly the changes the stepped engine
+                # would have seen cycle-by-cycle.  A mid-span check can
+                # therefore only matter on the one cycle the stepped
+                # engine could raise at -- the horizon limit.
+                at_max = max_cycles is not None and target >= max_cycles
+                if target == limit or at_max:
+                    watch(horizon)
+                if at_max:
+                    break
+                # ``done`` can flip inside a quiet span purely by time
+                # passing (the final occupancy expiring with every
+                # processor finished); neither engine executes that
+                # release cycle.
+                if self.done:
+                    break
+            # Execute the event cycle (or the capped boundary) normally.
+            step()
+            watch(horizon)
+        return self._finish()
+
+    def _finish(self) -> SimStats:
         if self._check_interval:
             self.checker.check_all()
         self.stats.directory_interference_cycles = sum(
@@ -186,7 +298,9 @@ def run_workload(
     max_cycles: int | None = None,
     check_interval: int = 0,
     trace: bool = False,
+    fast_forward: bool | None = None,
 ) -> SimStats:
     """Build a simulator, run it to completion, and return its stats."""
-    sim = Simulator(config, programs, trace=trace, check_interval=check_interval)
+    sim = Simulator(config, programs, trace=trace,
+                    check_interval=check_interval, fast_forward=fast_forward)
     return sim.run(max_cycles=max_cycles)

@@ -35,28 +35,45 @@ class TraceEvent:
 
 
 class TraceLog:
-    """An append-only event log, disabled by default for speed."""
+    """An append-only event log, disabled by default for speed.
+
+    ``active`` is a plain attribute kept in sync with ``enabled`` and the
+    listener list so hot paths can skip argument construction entirely
+    (``if trace.active: trace.emit(...)``) without a property call.
+    """
 
     def __init__(self, enabled: bool = False, capacity: int | None = None) -> None:
-        self.enabled = enabled
+        self._enabled = enabled
         self.capacity = capacity
         self._events: list[TraceEvent] = []
         #: Optional live listeners (the verifier subscribes here).
         self._listeners: list[Callable[[TraceEvent], None]] = []
+        #: True when emit() would record or forward anything.
+        self.active = enabled
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = value
+        self.active = value or bool(self._listeners)
 
     def emit(self, cycle: int, kind: EventKind, **detail: Any) -> None:
-        if not self.enabled and not self._listeners:
+        if not self.active:
             return
         event = TraceEvent(cycle, kind, detail)
         for listener in self._listeners:
             listener(event)
-        if self.enabled:
+        if self._enabled:
             if self.capacity is not None and len(self._events) >= self.capacity:
                 return
             self._events.append(event)
 
     def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
         self._listeners.append(listener)
+        self.active = True
 
     def events(self, kind: EventKind | None = None) -> list[TraceEvent]:
         if kind is None:
@@ -74,3 +91,30 @@ class TraceLog:
 
     def render(self) -> str:
         return "\n".join(str(e) for e in self._events)
+
+
+class NullTraceLog(TraceLog):
+    """A trace log that can never record anything.
+
+    The engine hands this singleton to every component when tracing is
+    off, so the disabled-tracing hot path costs exactly one attribute
+    check (``trace.active`` is always False).  It is shared across
+    simulators, hence it refuses listeners: subscribe to an enabled
+    per-run :class:`TraceLog` instead.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def emit(self, cycle: int, kind: EventKind, **detail: Any) -> None:
+        return None
+
+    def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        raise RuntimeError(
+            "cannot subscribe to the shared null trace; construct the "
+            "simulator with trace=True"
+        )
+
+
+#: Module-level null object used whenever tracing is disabled.
+NULL_TRACE = NullTraceLog()

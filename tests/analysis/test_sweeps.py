@@ -4,8 +4,20 @@ import numpy as np
 import pytest
 
 from repro import SystemConfig, run_workload
-from repro.analysis.sweeps import SeedStatistics, Sweep, SweepSeries, over_seeds
+from repro.analysis.sweeps import (
+    SeedStatistics,
+    Sweep,
+    SweepSeries,
+    over_seeds,
+    run_sweep_parallel,
+)
 from repro.workloads import interleaved_sharing, lock_contention
+
+
+def _lock_contention_point(n):
+    """Module-level so the parallel sweep's process pool can pickle it."""
+    config = SystemConfig(num_processors=int(n))
+    return run_workload(config, lock_contention(config, rounds=2))
 
 
 class TestSweep:
@@ -29,6 +41,33 @@ class TestSweep:
     def test_no_metrics_rejected(self):
         with pytest.raises(ValueError):
             Sweep(xs=[1], run=lambda x: None, metrics={}).execute()
+
+
+class TestParallelSweep:
+    def _sweep(self):
+        return Sweep(
+            xs=[2, 3, 4, 5],
+            run=_lock_contention_point,
+            metrics={
+                "cycles": lambda s: s.cycles,
+                "acquisitions": lambda s: s.total_lock_acquisitions,
+            },
+        )
+
+    def test_parallel_matches_serial(self):
+        serial = self._sweep().execute()
+        parallel = run_sweep_parallel(self._sweep(), jobs=2)
+        for name in serial:
+            assert list(serial[name].values) == list(parallel[name].values)
+            assert list(serial[name].xs) == list(parallel[name].xs)
+
+    def test_jobs_one_stays_serial(self):
+        result = run_sweep_parallel(self._sweep(), jobs=1)
+        assert list(result["acquisitions"].values) == [4.0, 6.0, 8.0, 10.0]
+
+    def test_execute_jobs_kwarg(self):
+        result = self._sweep().execute(jobs=2)
+        assert result["cycles"].monotone_increasing
 
 
 class TestSweepSeries:
