@@ -41,14 +41,25 @@ def main(argv: list[str] | None = None) -> int:
         print(f"perf_guard: no {RESULT.name}; run "
               f"'pytest benchmarks/bench_engine.py' first", file=sys.stderr)
         return 2
-    current = json.loads(RESULT.read_text())["engine"]["speedup"]
+    # Both files may carry keys beyond the guarded ratio (wall times, new
+    # bench metrics); tolerate their absence rather than KeyError so a
+    # half-populated result file yields a diagnosable exit.
+    current = json.loads(RESULT.read_text()).get("engine", {}).get("speedup")
+    if current is None:
+        print(f"perf_guard: {RESULT.name} has no engine.speedup entry; run "
+              f"'pytest benchmarks/bench_engine.py' first", file=sys.stderr)
+        return 2
 
     if args.update or not BASELINE.exists():
         BASELINE.write_text(json.dumps({"speedup": current}, indent=2) + "\n")
         print(f"perf_guard: baseline recorded (speedup {current:.1f}x)")
         return 0
 
-    baseline = json.loads(BASELINE.read_text())["speedup"]
+    baseline = json.loads(BASELINE.read_text()).get("speedup")
+    if baseline is None:
+        print(f"perf_guard: {BASELINE.name} has no speedup entry; "
+              f"rerun with --update to record one", file=sys.stderr)
+        return 2
     floor = RATIO_FLOOR * baseline
     verdict = "OK" if current >= floor else "FAIL"
     print(f"perf_guard: speedup {current:.1f}x vs baseline {baseline:.1f}x "

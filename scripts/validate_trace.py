@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Validate Chrome trace-event JSON files produced by ``repro run --timeline``.
+
+Checks each file against the schema subset Perfetto/chrome://tracing
+actually require (see :func:`repro.obs.export.validate_chrome_trace`):
+a ``traceEvents`` list whose entries carry the mandatory ``ph``/``name``/
+``pid``/``tid`` fields, non-negative timestamps on complete events, and
+an ``args`` dict on metadata events.
+
+Usage::
+
+    PYTHONPATH=src python scripts/validate_trace.py trace.json [more.json...]
+
+Exit status 0 when every file validates, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.export import validate_chrome_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="trace JSON files to check")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        errors = validate_chrome_trace(payload)
+        if errors:
+            failures += 1
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            n = len(payload["traceEvents"])
+            print(f"{path}: OK ({n} trace events)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,13 @@ out over a :class:`~concurrent.futures.ProcessPoolExecutor`.  The ``run``
 callable must then be picklable -- a module-level function, not a lambda
 or closure; metric extraction always happens in the parent process, so
 the ``metrics`` callables are unconstrained.
+
+Per-point observability: a ``run`` callable may return an
+:class:`ObservedPoint` instead of bare stats, carrying the point's
+:class:`~repro.obs.core.ObsResult` (sample series, metric snapshot,
+timeline).  ``ObsResult`` is plain data, so it survives pickling back
+from the worker processes; after ``execute()`` the per-point results are
+on :attr:`Sweep.observations` in sweep order.
 """
 
 from __future__ import annotations
@@ -21,7 +28,16 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.obs.core import ObsResult
 from repro.sim.stats import SimStats
+
+
+@dataclass(frozen=True)
+class ObservedPoint:
+    """One sweep point's stats plus its observability payload."""
+
+    stats: SimStats
+    obs: ObsResult | None = None
 
 
 @dataclass
@@ -53,8 +69,11 @@ class Sweep:
     """Run a simulation per x value and collect named metrics."""
 
     xs: Sequence
-    run: Callable[[object], SimStats]
+    run: Callable[[object], "SimStats | ObservedPoint"]
     metrics: dict[str, Callable[[SimStats], float]] = field(default_factory=dict)
+    #: Per-point ObsResults (sweep order) after execute(); None for points
+    #: whose run callable returned bare stats.
+    observations: list = field(default_factory=list, init=False, repr=False)
 
     def execute(self, jobs: int = 1) -> dict[str, SweepSeries]:
         if not self.metrics:
@@ -66,13 +85,22 @@ class Sweep:
             results = [self.run(x) for x in self.xs]
         return self._collect(results)
 
-    def _collect(self, results: Sequence[SimStats]) -> dict[str, SweepSeries]:
+    def _collect(
+        self, results: "Sequence[SimStats | ObservedPoint]"
+    ) -> dict[str, SweepSeries]:
         """Extract every metric from the per-point stats, in sweep order."""
+        stats_list = [
+            r.stats if isinstance(r, ObservedPoint) else r for r in results
+        ]
+        self.observations = [
+            r.obs if isinstance(r, ObservedPoint) else None for r in results
+        ]
         xs = np.asarray(list(self.xs), dtype=float)
         return {
             name: SweepSeries(
                 name=name, xs=xs,
-                values=np.asarray([float(extract(stats)) for stats in results],
+                values=np.asarray([float(extract(stats))
+                                   for stats in stats_list],
                                   dtype=float),
             )
             for name, extract in self.metrics.items()

@@ -21,8 +21,11 @@ from repro.protocols.base import Outcome
 from repro.protocols.features import ReadSourcePolicy
 from repro.sim.events import EventKind
 
+from repro.obs.core import NULL_OBS
+
 if TYPE_CHECKING:
     from repro.memory.main_memory import MainMemory
+    from repro.obs.core import Observability
     from repro.sim.clock import Clock
     from repro.sim.events import TraceLog
     from repro.sim.stats import SimStats
@@ -57,12 +60,17 @@ class Bus:
         clock: "Clock",
         stats: "SimStats",
         trace: "TraceLog",
+        obs: "Observability" = NULL_OBS,
+        index: int = 0,
     ) -> None:
         self.memory = memory
         self.timing = timing
         self.clock = clock
         self.stats = stats
         self.trace = trace
+        self.obs = obs
+        #: Position in a multi-bus system (labels this bus's metrics).
+        self.index = index
         self._ports: dict[CacheId, BusPort] = {}
         self._arbiter: Arbiter | None = None
         self._busy_until = 0
@@ -160,6 +168,9 @@ class Bus:
         duration = self._duration(txn, response, replies, info)
         self.stats.record_txn(txn.op.name, duration)
         self._count_events(txn, response)
+        if self.obs.active:
+            self.obs.record_bus_txn(now, duration, txn.op.name, txn.block,
+                                    txn.requester, bus=self.index)
         self._busy_until = now + duration
         self._active_port = port
 
@@ -210,6 +221,8 @@ class Bus:
             reply = replies[response.supplier]
             assert reply.data is not None
             self.stats.cache_to_cache_transfers += 1
+            if self.obs.active:
+                self.obs.record_c2c(txn.block, response.supplier)
             if response.arbitration_candidates:
                 self.stats.source_arbitrations += 1
             if self.trace.active:
@@ -222,6 +235,8 @@ class Bus:
         self.stats.memory_fetches += 1
         if response.shared_hit and self._tracks_source_loss(port):
             self.stats.source_losses += 1
+            if self.obs.active:
+                self.obs.record_source_loss(txn.block)
         if self.trace.active:
             self.trace.emit(self.clock.cycle, EventKind.SUPPLY,
                             block=txn.block, by="memory", dirty=False)
@@ -322,6 +337,9 @@ class Bus:
             self.stats.unlock_broadcasts += 1
             if not response.shared_hit:
                 self.stats.spurious_unlock_broadcasts += 1
+            if self.obs.active:
+                self.obs.record_unlock_broadcast(
+                    txn.block, spurious=not response.shared_hit)
 
 
 class _PriorityProbe:

@@ -20,9 +20,11 @@ from repro.bus.signals import SnoopReply
 from repro.bus.transaction import BusTransaction
 from repro.common.config import TimingConfig
 from repro.common.types import BlockAddr, CacheId, Stamp
+from repro.obs.core import NULL_OBS
 
 if TYPE_CHECKING:
     from repro.memory.main_memory import MainMemory
+    from repro.obs.core import Observability
     from repro.sim.clock import Clock
     from repro.sim.events import TraceLog
     from repro.sim.stats import SimStats
@@ -82,13 +84,15 @@ class MultiBusSystem:
         clock: "Clock",
         stats: "SimStats",
         trace: "TraceLog",
+        obs: "Observability" = NULL_OBS,
     ) -> None:
         if n_buses < 1:
             raise ValueError("need at least one bus")
         self.n_buses = n_buses
         self.memory = memory
         self.buses = [
-            Bus(memory, timing, clock, stats, trace) for _ in range(n_buses)
+            Bus(memory, timing, clock, stats, trace, obs=obs, index=i)
+            for i in range(n_buses)
         ]
 
     def bus_of(self, block: BlockAddr) -> int:

@@ -25,12 +25,14 @@ from repro.cache.state import CacheState
 from repro.common.config import CacheConfig, RmwMethod
 from repro.common.errors import ProgramError, ProtocolError
 from repro.common.types import NEVER, BlockAddr, CacheId, Stamp, WordAddr, block_of
+from repro.obs.core import NULL_OBS
 from repro.processor.isa import Op, OpKind
 from repro.protocols.base import Done, NeedBus, Outcome, TxnResult
 from repro.sim.events import EventKind
 
 if TYPE_CHECKING:
     from repro.memory.main_memory import MainMemory
+    from repro.obs.core import Observability
     from repro.protocols.base import CoherenceProtocol
     from repro.sim.clock import Clock, StampClock
     from repro.sim.events import TraceLog
@@ -91,6 +93,7 @@ class SnoopingCache:
         stamp_clock: "StampClock",
         stats: "SimStats",
         trace: "TraceLog",
+        obs: "Observability" = NULL_OBS,
     ) -> None:
         self.id = cache_id
         self.config = config
@@ -98,6 +101,7 @@ class SnoopingCache:
         self.stamp_clock = stamp_clock
         self.stats = stats
         self.trace = trace
+        self.obs = obs
         self.array = CacheArray(config)
         self.busy_wait = BusyWaitRegister()
         self.directory = DirectoryModel(kind=config.directory)
@@ -287,6 +291,8 @@ class SnoopingCache:
             raise ProgramError("no lock wait to cancel")
         self.busy_wait.clear()
         self._pending = None
+        if self.obs.active:
+            self.obs.record_wait_cancelled(self.id, self.now())
 
     @property
     def waiting_for_lock(self) -> bool:
@@ -463,6 +469,8 @@ class SnoopingCache:
             # Re-arm after losing post-unlock arbitration to a new locker.
             self.busy_wait.lost_arbitration()
         self.stats.lock_waits_started += 1
+        if self.obs.active:
+            self.obs.record_wait_start(self.id, txn.block, self.now())
         if self.trace.active:
             self.trace.emit(self.now(), EventKind.WAIT, cache=self.id,
                             block=txn.block, action="armed")
@@ -654,6 +662,8 @@ class SnoopingCache:
             )
         line.state = CacheState.INVALID
         self.stats.invalidations_received += 1
+        if self.obs.active:
+            self.obs.record_invalidation(line.block, self.id)
 
     def apply_write(self, line: CacheLine, addr: WordAddr, stamp: Stamp) -> None:
         """Apply a stamped write to a line the processor may write, marking

@@ -97,6 +97,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fast-forward", action="store_true",
                      help="event-skip execution (identical statistics, "
                           "much faster on workloads with quiet spans)")
+    run.add_argument("--metrics-out", metavar="FILE", default=None,
+                     help="write the interval sample series and metric "
+                          "registry (.jsonl lines, .csv, or .json full dump)")
+    run.add_argument("--timeline", metavar="FILE", default=None,
+                     help="write a Chrome trace-event timeline (load in "
+                          "ui.perfetto.dev): bus occupancy and lock "
+                          "hold/wait slices")
+    run.add_argument("--heatmap", nargs="?", const="-", default=None,
+                     metavar="FILE",
+                     help="print the per-block heatmap (invalidations, "
+                          "c2c transfers, lock handoffs); with FILE, also "
+                          "write it as JSON")
+    run.add_argument("--sample-interval", type=int, default=100, metavar="N",
+                     help="observability sampling interval in cycles "
+                          "(default 100)")
 
     sweep = sub.add_parser(
         "sweep", help="sweep processor count and print cycles/utilization"
@@ -111,6 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="event-skip execution for every sweep point")
     sweep.add_argument("-j", "--jobs", type=int, default=1,
                        help="worker processes for the sweep points")
+    sweep.add_argument("--metrics-out", metavar="DIR", default=None,
+                       help="collect per-point observability and write one "
+                            "sample-series JSONL per sweep point into DIR")
+    sweep.add_argument("--sample-interval", type=int, default=100,
+                       metavar="N",
+                       help="observability sampling interval in cycles "
+                            "(default 100)")
 
     compare = sub.add_parser(
         "compare", help="run one workload across the whole protocol field"
@@ -167,8 +189,15 @@ def command_run(args: argparse.Namespace) -> int:
 
         with open(args.dump_trace, "w", encoding="utf-8") as handle:
             handle.write(dump_trace(programs))
+    obs = None
+    if args.metrics_out or args.timeline or args.heatmap:
+        from repro.obs import Observability
+
+        obs = Observability(interval=args.sample_interval)
     stats = run_workload(config, programs, check_interval=args.verify_every,
-                         fast_forward=args.fast_forward)
+                         fast_forward=args.fast_forward, obs=obs)
+    if obs is not None:
+        _write_observability(obs, args)
 
     if args.json:
         print(stats.to_json())
@@ -187,10 +216,35 @@ def command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_observability(obs, args: argparse.Namespace) -> None:
+    from repro.obs import build_heatmap, write_chrome_trace, write_samples
+
+    if args.metrics_out:
+        write_samples(obs, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    if args.timeline:
+        write_chrome_trace(obs, args.timeline)
+        print(f"timeline written to {args.timeline} "
+              f"(load in ui.perfetto.dev)")
+    if args.heatmap:
+        heatmap = build_heatmap(obs)
+        print()
+        print(heatmap.render())
+        if args.heatmap != "-":
+            import json as _json
+
+            with open(args.heatmap, "w", encoding="utf-8") as handle:
+                _json.dump(heatmap.to_dict(), handle, indent=2)
+            print(f"heatmap written to {args.heatmap}")
+
+
 def _sweep_point(n, *, protocol: str, workload: str,
-                 fast_forward: bool = False):
+                 fast_forward: bool = False, sample_interval: int = 0):
     """One sweep point; module-level so ``--jobs`` can pickle it (the
-    workload is looked up by name inside the worker process)."""
+    workload is looked up by name inside the worker process).  With a
+    ``sample_interval``, the point runs observed and returns an
+    :class:`~repro.analysis.sweeps.ObservedPoint` whose plain-data
+    ObsResult pickles back from the worker."""
     config = SystemConfig(
         num_processors=int(n),
         protocol=protocol,
@@ -199,7 +253,15 @@ def _sweep_point(n, *, protocol: str, workload: str,
                           num_blocks=64),
     )
     programs = WORKLOADS[workload](config, _default_style(protocol))
-    return run_workload(config, programs, fast_forward=fast_forward)
+    if not sample_interval:
+        return run_workload(config, programs, fast_forward=fast_forward)
+    from repro.analysis.sweeps import ObservedPoint
+    from repro.obs import Observability
+
+    obs = Observability(interval=sample_interval)
+    stats = run_workload(config, programs, fast_forward=fast_forward,
+                         obs=obs)
+    return ObservedPoint(stats=stats, obs=obs.result())
 
 
 def command_sweep(args: argparse.Namespace) -> int:
@@ -212,8 +274,9 @@ def command_sweep(args: argparse.Namespace) -> int:
         protocol=args.protocol,
         workload=args.workload,
         fast_forward=args.fast_forward,
+        sample_interval=args.sample_interval if args.metrics_out else 0,
     )
-    series = Sweep(
+    sweep = Sweep(
         xs=args.processors,
         run=run,
         metrics={
@@ -221,7 +284,19 @@ def command_sweep(args: argparse.Namespace) -> int:
             "bus utilization": lambda s: s.bus_utilization,
             "failed lock attempts": lambda s: s.failed_lock_attempts,
         },
-    ).execute(jobs=args.jobs)
+    )
+    series = sweep.execute(jobs=args.jobs)
+    if args.metrics_out:
+        import os
+
+        from repro.obs import samples_jsonl
+
+        os.makedirs(args.metrics_out, exist_ok=True)
+        for n, result in zip(args.processors, sweep.observations):
+            path = os.path.join(args.metrics_out, f"point_n{n}.jsonl")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(samples_jsonl(result))
+        print(f"per-point sample series written to {args.metrics_out}/")
     rows = [
         [n,
          int(series["cycles"].values[i]),

@@ -1,0 +1,58 @@
+"""Time-resolved observability: registry, sampler, heatmaps, exporters.
+
+Quickstart::
+
+    from repro import SystemConfig, Simulator
+    from repro.obs import Observability, build_heatmap, write_chrome_trace
+    from repro.workloads import lock_contention
+
+    config = SystemConfig(num_processors=4, protocol="bitar-despain")
+    obs = Observability(interval=100)
+    sim = Simulator(config, lock_contention(config), obs=obs)
+    sim.run()
+    print(build_heatmap(obs).render())
+    write_chrome_trace(obs, "trace.json")   # load in ui.perfetto.dev
+"""
+
+from repro.obs.core import NULL_OBS, NullObservability, Observability, ObsResult
+from repro.obs.export import (
+    assert_valid_chrome_trace,
+    chrome_trace,
+    metrics_json,
+    samples_csv,
+    samples_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_samples,
+)
+from repro.obs.heatmap import HEATMAP_METRICS, Heatmap, build_heatmap
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+from repro.obs.sampler import IntervalSampler
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "HEATMAP_METRICS",
+    "Heatmap",
+    "Histogram",
+    "IntervalSampler",
+    "MetricRegistry",
+    "NULL_OBS",
+    "NullObservability",
+    "ObsResult",
+    "Observability",
+    "assert_valid_chrome_trace",
+    "build_heatmap",
+    "chrome_trace",
+    "metrics_json",
+    "samples_csv",
+    "samples_jsonl",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_samples",
+]

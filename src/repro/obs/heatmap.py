@@ -1,0 +1,93 @@
+"""Per-address attribution: heatmaps over blocks.
+
+Reduces the labeled counters of an observed run into per-block heat
+tables so hot atoms and false sharing are visible: invalidations,
+cache-to-cache transfers, source losses, and lock handoffs per block.
+The paper's contention arguments (Sections D-F) are all claims about
+*which block* the traffic concentrates on; this is the pass that answers
+that question for a simulated run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.core import Observability, ObsResult
+
+#: registry metric name -> short column title, in display order.
+HEATMAP_METRICS = (
+    ("invalidations_total", "invalidations"),
+    ("c2c_transfers_total", "c2c transfers"),
+    ("source_losses_total", "source losses"),
+    ("lock_handoffs_total", "lock handoffs"),
+    ("lock_acquisitions_total", "lock acquisitions"),
+    ("unlock_broadcasts_total", "unlock broadcasts"),
+)
+
+
+@dataclass
+class Heatmap:
+    """Per-block counts for each attribution metric."""
+
+    per_metric: dict[str, dict[int, float]] = field(default_factory=dict)
+
+    def blocks(self) -> list[int]:
+        seen: set[int] = set()
+        for counts in self.per_metric.values():
+            seen.update(counts)
+        return sorted(seen)
+
+    def top(self, metric: str, n: int = 10) -> list[tuple[int, float]]:
+        """The ``n`` hottest blocks for one metric, hottest first (ties
+        broken by block address for determinism)."""
+        counts = self.per_metric.get(metric, {})
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:n]
+
+    def hottest_block(self, metric: str) -> int | None:
+        top = self.top(metric, 1)
+        return top[0][0] if top else None
+
+    def to_dict(self) -> dict:
+        return {
+            metric: {str(block): count for block, count in sorted(counts.items())}
+            for metric, counts in self.per_metric.items()
+        }
+
+    def render(self, n: int = 10) -> str:
+        """A per-block table of every attribution metric, hottest blocks
+        (by total heat) first."""
+        from repro.analysis.report import render_table
+
+        titles = [title for _name, title in HEATMAP_METRICS]
+        names = [name for name, _title in HEATMAP_METRICS]
+        heat = {
+            block: sum(self.per_metric.get(name, {}).get(block, 0)
+                       for name in names)
+            for block in self.blocks()
+        }
+        ranked = sorted(heat.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+        rows = [
+            [block] + [int(self.per_metric.get(name, {}).get(block, 0))
+                       for name in names]
+            for block, _total in ranked
+        ]
+        return render_table(["block"] + titles, rows,
+                            title=f"per-block heatmap (top {len(rows)})")
+
+
+def build_heatmap(obs: "Observability | ObsResult") -> Heatmap:
+    """Aggregate an observed run's labeled counters per block."""
+    from repro.obs.core import _as_result
+
+    metrics = _as_result(obs).metrics
+    per_metric: dict[str, dict[int, float]] = {}
+    for name, _title in HEATMAP_METRICS:
+        counts: dict[int, float] = {}
+        for entry in metrics.get(name, {}).get("values", []):
+            block = entry["labels"]["block"]
+            counts[block] = counts.get(block, 0) + entry["value"]
+        per_metric[name] = counts
+    return Heatmap(per_metric=per_metric)

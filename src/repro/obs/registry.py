@@ -1,0 +1,214 @@
+"""Label-aware metric registry.
+
+Components publish counters, gauges, and histograms here; the exporters
+and heatmap passes read the registry back out as plain data.  The design
+follows the Prometheus data model in miniature: a metric has a name, a
+help string, and a fixed tuple of label *names*; every observation
+carries one value per label name, and the registry keys the stored
+values by the label-value tuple.
+
+Everything a snapshot returns is plain JSON-serializable (and therefore
+picklable) data, so registries survive the ``ProcessPoolExecutor`` sweep
+path by being reduced to their snapshots in the worker.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterable
+
+#: Default histogram bucket upper bounds (cycles); chosen to resolve the
+#: bus occupancy and lock hold/wait durations the timing model produces.
+DEFAULT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
+
+LabelKey = tuple
+
+
+class _Metric:
+    """Shared plumbing: name, help, and label-key construction."""
+
+    kind = "abstract"
+    __slots__ = ("name", "help", "label_names")
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Iterable[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+
+    def _key(self, labels: dict) -> LabelKey:
+        if len(labels) != len(self.label_names):
+            raise ValueError(
+                f"metric {self.name} takes labels {self.label_names}, "
+                f"got {sorted(labels)}"
+            )
+        try:
+            return tuple(labels[n] for n in self.label_names)
+        except KeyError as exc:
+            raise ValueError(
+                f"metric {self.name} takes labels {self.label_names}, "
+                f"got {sorted(labels)}"
+            ) from exc
+
+    def _labels_of(self, key: LabelKey) -> dict:
+        return dict(zip(self.label_names, key))
+
+
+class Counter(_Metric):
+    """A monotonically increasing value per label set."""
+
+    kind = "counter"
+    __slots__ = ("values",)
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Iterable[str] = ()) -> None:
+        super().__init__(name, help, label_names)
+        self.values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = self._key(labels)
+        self.values[key] = self.values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self.values.get(self._key(labels), 0)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values.values())
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "label_names": list(self.label_names),
+            "values": [
+                {"labels": self._labels_of(key), "value": value}
+                for key, value in sorted(self.values.items(),
+                                         key=lambda kv: repr(kv[0]))
+            ],
+        }
+
+
+class Gauge(Counter):
+    """A value that can move both ways (waiter counts, queue depths)."""
+
+    kind = "gauge"
+    __slots__ = ()
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        key = self._key(labels)
+        self.values[key] = self.values.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def set(self, value: float, **labels: Any) -> None:
+        self.values[self._key(labels)] = value
+
+
+class Histogram(_Metric):
+    """Bucketed distribution per label set (cumulative bucket counts)."""
+
+    kind = "histogram"
+    __slots__ = ("buckets", "_series")
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Iterable[str] = (),
+                 buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help, label_names)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError(f"histogram {self.name} needs buckets")
+        self._series: dict[LabelKey, list] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            # [bucket counts..., +Inf count, sum, count]
+            series = self._series[key] = [0] * (len(self.buckets) + 1) + [0.0, 0]
+        index = bisect_left(self.buckets, value)
+        series[index] += 1
+        series[-2] += value
+        series[-1] += 1
+
+    def count(self, **labels: Any) -> int:
+        series = self._series.get(self._key(labels))
+        return series[-1] if series else 0
+
+    def sum(self, **labels: Any) -> float:
+        series = self._series.get(self._key(labels))
+        return series[-2] if series else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "label_names": list(self.label_names),
+            "buckets": list(self.buckets),
+            "values": [
+                {
+                    "labels": self._labels_of(key),
+                    "bucket_counts": list(series[:-2]),
+                    "sum": series[-2],
+                    "count": series[-1],
+                }
+                for key, series in sorted(self._series.items(),
+                                          key=lambda kv: repr(kv[0]))
+            ],
+        }
+
+
+class MetricRegistry:
+    """The collection every component publishes into.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking for an
+    existing name returns the existing metric (label names must match),
+    so independent components can share a metric safely.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       label_names: Iterable[str], **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls) or (
+                existing.label_names != tuple(label_names)
+            ):
+                raise ValueError(
+                    f"metric {name} already registered with a different "
+                    f"type or label set"
+                )
+            return existing
+        metric = cls(name, help, label_names, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                label_names: Iterable[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, label_names)
+
+    def gauge(self, name: str, help: str = "",
+              label_names: Iterable[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, label_names)
+
+    def histogram(self, name: str, help: str = "",
+                  label_names: Iterable[str] = (),
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, label_names,
+                                   buckets=buckets)
+
+    def get(self, name: str) -> _Metric | None:
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict:
+        """The whole registry as plain, picklable, JSON-able data."""
+        return {name: metric.snapshot()
+                for name, metric in sorted(self._metrics.items())}

@@ -32,6 +32,7 @@ from repro.memory.io_processor import IOProcessor
 from repro.memory.main_memory import MainMemory
 from repro.processor.processor import Processor
 from repro.processor.program import Program
+from repro.obs.core import NULL_OBS, Observability
 from repro.protocols import get_protocol
 from repro.sim.clock import Clock, StampClock
 from repro.sim.events import NULL_TRACE, TraceLog
@@ -64,6 +65,7 @@ class Simulator:
         trace: bool = False,
         check_interval: int = 0,
         fast_forward: bool | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if len(programs) != config.num_processors:
             raise ConfigError(
@@ -81,17 +83,23 @@ class Simulator:
         self.stamp_clock = StampClock()
         self.stats = SimStats()
         self.trace = TraceLog(enabled=True) if trace else NULL_TRACE
+        #: Observability rides the trace listener hook, so enabling it
+        #: promotes the shared null trace to a private (storage-disabled)
+        #: log that forwards events to the sampler.
+        self.obs = obs if obs is not None else NULL_OBS
+        if self.obs.active and self.trace is NULL_TRACE:
+            self.trace = TraceLog(enabled=False)
         self.memory = MainMemory(config.cache.words_per_block)
         if config.num_buses > 1:
             from repro.bus.multibus import MultiBusSystem
 
             self.bus = MultiBusSystem(
                 config.num_buses, self.memory, config.timing,
-                self.clock, self.stats, self.trace,
+                self.clock, self.stats, self.trace, obs=self.obs,
             )
         else:
             self.bus = Bus(self.memory, config.timing, self.clock,
-                           self.stats, self.trace)
+                           self.stats, self.trace, obs=self.obs)
         self.oracle = WriteOracle(self.stats, strict=config.strict_verify)
 
         protocol_cls = get_protocol(config.protocol)
@@ -117,6 +125,7 @@ class Simulator:
                 stamp_clock=self.stamp_clock,
                 stats=self.stats,
                 trace=self.trace,
+                obs=self.obs,
             )
             cache.protocol = protocol_cls(cache)
             cache.memory = self.memory
@@ -140,9 +149,12 @@ class Simulator:
                 stamp_clock=self.stamp_clock,
                 stats=self.stats.processor(i),
                 wait_mode=config.wait_mode,
+                obs=self.obs,
             )
             for i in range(config.num_processors)
         ]
+        if self.obs.active:
+            self.obs.bind(self.trace, self.stats)
 
         self.checker = InvariantChecker.for_system(
             self.caches, self.memory, self.oracle,
@@ -175,6 +187,9 @@ class Simulator:
             processor.tick(cycle)
         self.stats.cycles += 1
         self.clock.cycle = cycle + 1
+        obs = self.obs
+        if obs.active:
+            obs.on_advance(self.stats.cycles)
         if self._check_interval and self.stats.cycles % self._check_interval == 0:
             self.checker.check_all()
 
@@ -242,6 +257,11 @@ class Simulator:
                 clock.cycle = target
                 for processor in processors:
                     processor.advance_quiet(skip)
+                # Quiet-span fill: every interval boundary inside the
+                # span is sampled here with the (unchanged) counters the
+                # stepped engine would have seen on that cycle.
+                if self.obs.active:
+                    self.obs.on_advance(target)
                 if check and target % check == 0:
                     self.checker.check_all()
                 # Every signature component is monotonic, so comparing
@@ -271,6 +291,8 @@ class Simulator:
         self.stats.directory_interference_cycles = sum(
             c.directory.interference_cycles for c in self.caches
         )
+        if self.obs.active:
+            self.obs.on_run_end(self.stats.cycles)
         return self.stats
 
     def _watch_progress(self, horizon: int) -> None:
@@ -299,8 +321,10 @@ def run_workload(
     check_interval: int = 0,
     trace: bool = False,
     fast_forward: bool | None = None,
+    obs: Observability | None = None,
 ) -> SimStats:
     """Build a simulator, run it to completion, and return its stats."""
     sim = Simulator(config, programs, trace=trace,
-                    check_interval=check_interval, fast_forward=fast_forward)
+                    check_interval=check_interval, fast_forward=fast_forward,
+                    obs=obs)
     return sim.run(max_cycles=max_cycles)

@@ -45,6 +45,9 @@ class TraceLog:
     def __init__(self, enabled: bool = False, capacity: int | None = None) -> None:
         self._enabled = enabled
         self.capacity = capacity
+        #: Events emit() could not store because ``capacity`` was reached
+        #: (listeners still saw them; only the stored log is truncated).
+        self.dropped_events = 0
         self._events: list[TraceEvent] = []
         #: Optional live listeners (the verifier subscribes here).
         self._listeners: list[Callable[[TraceEvent], None]] = []
@@ -68,6 +71,7 @@ class TraceLog:
             listener(event)
         if self._enabled:
             if self.capacity is not None and len(self._events) >= self.capacity:
+                self.dropped_events += 1
                 return
             self._events.append(event)
 
@@ -75,7 +79,32 @@ class TraceLog:
         self._listeners.append(listener)
         self.active = True
 
+    def unsubscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Detach a listener; ``active`` is recomputed so the hot path
+        goes quiet again once the last listener of a disabled log leaves.
+        Raises ``ValueError`` for a listener that was never subscribed."""
+        self._listeners.remove(listener)
+        self.active = self._enabled or bool(self._listeners)
+
+    @property
+    def truncated(self) -> bool:
+        """True when the capacity cap dropped at least one event."""
+        return self.dropped_events > 0
+
     def events(self, kind: EventKind | None = None) -> list[TraceEvent]:
+        """The stored events (optionally filtered by kind).
+
+        A truncated log (see ``dropped_events``) is announced with a
+        ``UserWarning`` rather than silently passed off as complete.
+        """
+        if self.truncated:
+            import warnings
+
+            warnings.warn(
+                f"trace log truncated: {self.dropped_events} events "
+                f"dropped at capacity {self.capacity}",
+                stacklevel=2,
+            )
         if kind is None:
             return list(self._events)
         return [e for e in self._events if e.kind == kind]
@@ -90,7 +119,13 @@ class TraceLog:
         self._events.clear()
 
     def render(self) -> str:
-        return "\n".join(str(e) for e in self._events)
+        lines = [str(e) for e in self._events]
+        if self.truncated:
+            lines.append(
+                f"... {self.dropped_events} further events dropped "
+                f"(capacity {self.capacity})"
+            )
+        return "\n".join(lines)
 
 
 class NullTraceLog(TraceLog):

@@ -1,0 +1,70 @@
+"""Per-address attribution: the heatmap names the contended block."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import HEATMAP_METRICS, Heatmap, build_heatmap
+
+#: The lock-contention workload's single atom is the first allocation, so
+#: its lock word -- and the block all the contention lands on -- is
+#: address 0.
+LOCK_BLOCK = 0
+
+
+class TestContendedLockAttribution:
+    def test_invalidation_protocol_names_the_lock_block(self, observed_run):
+        """Under a TTAS spin on an invalidation protocol, the contended
+        lock block must be the top invalidation source."""
+        obs, stats = observed_run("illinois")
+        heat = build_heatmap(obs)
+        assert stats.invalidations_received > 0
+        assert heat.hottest_block("invalidations_total") == LOCK_BLOCK
+
+    def test_cache_lock_protocol_names_the_lock_block(self, observed):
+        obs, _stats = observed
+        heat = build_heatmap(obs)
+        assert heat.hottest_block("lock_acquisitions_total") == LOCK_BLOCK
+        assert heat.hottest_block("lock_handoffs_total") == LOCK_BLOCK
+        # 4 processors x 5 rounds, all on the one atom.
+        assert heat.per_metric["lock_acquisitions_total"][LOCK_BLOCK] == 20
+
+    def test_handoffs_bounded_by_acquisitions(self, observed):
+        obs, _stats = observed
+        heat = build_heatmap(obs)
+        acq = heat.per_metric["lock_acquisitions_total"][LOCK_BLOCK]
+        handoffs = heat.per_metric["lock_handoffs_total"][LOCK_BLOCK]
+        assert 0 < handoffs < acq
+
+
+class TestHeatmapShape:
+    def test_every_attribution_metric_present(self, observed):
+        obs, _stats = observed
+        heat = build_heatmap(obs)
+        assert set(heat.per_metric) == {name for name, _ in HEATMAP_METRICS}
+
+    def test_top_ranks_hottest_first_with_deterministic_ties(self):
+        heat = Heatmap(per_metric={"m": {4: 2.0, 0: 2.0, 8: 5.0}})
+        assert heat.top("m") == [(8, 5.0), (0, 2.0), (4, 2.0)]
+        assert heat.top("m", 1) == [(8, 5.0)]
+        assert heat.hottest_block("m") == 8
+        assert heat.hottest_block("absent") is None
+
+    def test_blocks_union_over_metrics(self):
+        heat = Heatmap(per_metric={"a": {0: 1}, "b": {64: 1, 0: 2}})
+        assert heat.blocks() == [0, 64]
+
+    def test_to_dict_json_round_trip(self, observed):
+        obs, _stats = observed
+        d = build_heatmap(obs).to_dict()
+        assert json.loads(json.dumps(d)) == d
+        assert str(LOCK_BLOCK) in d["lock_acquisitions_total"]
+
+    def test_render_mentions_the_hot_block(self, observed):
+        obs, _stats = observed
+        text = build_heatmap(obs).render(n=3)
+        assert "per-block heatmap" in text
+        assert "invalidations" in text
+        lines = [line for line in text.splitlines() if line.strip()]
+        # first data row is the hottest block
+        assert any(line.split()[0] == str(LOCK_BLOCK) for line in lines)

@@ -1,0 +1,137 @@
+"""Metric registry: counters, gauges, histograms, and label discipline."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value_per_label_set(self):
+        c = Counter("txns", label_names=("op",))
+        c.inc(op="READ")
+        c.inc(3, op="READ")
+        c.inc(op="WRITE")
+        assert c.value(op="READ") == 4
+        assert c.value(op="WRITE") == 1
+        assert c.value(op="FLUSH") == 0
+        assert c.total == 5
+
+    def test_counter_rejects_decrease(self):
+        c = Counter("n")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_wrong_label_names_rejected(self):
+        c = Counter("txns", label_names=("op",))
+        with pytest.raises(ValueError):
+            c.inc(bus=0)
+        with pytest.raises(ValueError):
+            c.inc(op="READ", bus=0)
+        with pytest.raises(ValueError):
+            c.inc()
+
+    def test_snapshot_is_plain_sorted_data(self):
+        c = Counter("txns", help="transactions", label_names=("op",))
+        c.inc(op="WRITE")
+        c.inc(2, op="READ")
+        snap = c.snapshot()
+        assert snap["kind"] == "counter"
+        assert snap["help"] == "transactions"
+        assert snap["label_names"] == ["op"]
+        assert snap["values"] == [
+            {"labels": {"op": "READ"}, "value": 2},
+            {"labels": {"op": "WRITE"}, "value": 1},
+        ]
+        json.dumps(snap)  # JSON-able throughout
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        g = Gauge("waiters")
+        g.inc()
+        g.inc(2)
+        g.dec()
+        assert g.value() == 2
+        g.set(7)
+        assert g.value() == 7
+
+    def test_snapshot_kind(self):
+        g = Gauge("waiters")
+        g.set(1)
+        assert g.snapshot()["kind"] == "gauge"
+
+
+class TestHistogram:
+    def test_bucketing_sum_count(self):
+        h = Histogram("lat", buckets=(1, 10, 100))
+        for value in (0, 1, 5, 10, 99, 1000):
+            h.observe(value)
+        assert h.count() == 6
+        assert h.sum() == 1115.0
+        snap = h.snapshot()["values"][0]
+        # bucket counts: <=1, <=10, <=100, +Inf
+        assert snap["bucket_counts"] == [2, 2, 1, 1]
+        assert snap["count"] == 6
+        assert snap["sum"] == 1115.0
+
+    def test_labelled_series_independent(self):
+        h = Histogram("hold", label_names=("block",))
+        h.observe(4, block=0)
+        h.observe(8, block=64)
+        assert h.count(block=0) == 1
+        assert h.count(block=64) == 1
+        assert h.count(block=128) == 0
+        assert h.sum(block=64) == 8.0
+
+    def test_buckets_sorted_and_required(self):
+        h = Histogram("x", buckets=(100, 1, 10))
+        assert h.buckets == (1, 10, 100)
+        with pytest.raises(ValueError):
+            Histogram("y", buckets=())
+
+    def test_default_buckets_ascending(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestMetricRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricRegistry()
+        a = reg.counter("txns", label_names=("op",))
+        b = reg.counter("txns", label_names=("op",))
+        assert a is b
+
+    def test_mismatched_reregistration_raises(self):
+        reg = MetricRegistry()
+        reg.counter("txns", label_names=("op",))
+        with pytest.raises(ValueError):
+            reg.counter("txns", label_names=("bus",))
+        with pytest.raises(ValueError):
+            reg.gauge("txns", label_names=("op",))
+
+    def test_names_and_get(self):
+        reg = MetricRegistry()
+        reg.gauge("b")
+        reg.counter("a")
+        assert reg.names() == ["a", "b"]
+        assert reg.get("a").kind == "counter"
+        assert reg.get("missing") is None
+
+    def test_snapshot_round_trips_through_json_and_pickle(self):
+        reg = MetricRegistry()
+        reg.counter("txns", label_names=("op",)).inc(op="READ")
+        reg.histogram("lat").observe(17)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert pickle.loads(pickle.dumps(snap)) == snap
+        assert set(snap) == {"txns", "lat"}

@@ -14,6 +14,7 @@ import pytest
 
 from repro import CacheConfig, SystemConfig, run_workload
 from repro.common.errors import DeadlockError
+from repro.obs import Observability
 from repro.processor import isa
 from repro.processor.program import LockStyle, Program
 from repro.protocols import PROTOCOLS
@@ -61,11 +62,20 @@ class TestEquivalenceMatrix:
     @pytest.mark.parametrize("workload", sorted(WORKLOADS))
     @pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
     def test_identical_stats(self, protocol, workload):
+        """Stats AND the observability layer's outputs -- the interval
+        sample series, metric snapshot, and timeline slices -- must be
+        bit-identical across the two engines."""
         config = _config(protocol)
         programs = WORKLOADS[workload](config, _style(protocol))
-        stepped = Simulator(config, programs).run(fast_forward=False)
-        fast = Simulator(config, programs).run(fast_forward=True)
+        stepped_obs = Observability(interval=64)
+        fast_obs = Observability(interval=64)
+        stepped_sim = Simulator(config, programs, obs=stepped_obs)
+        fast_sim = Simulator(config, programs, obs=fast_obs)
+        stepped = stepped_sim.run(fast_forward=False)
+        fast = fast_sim.run(fast_forward=True)
         assert _snapshot(stepped, 4) == _snapshot(fast, 4)
+        assert stepped_obs.result() == fast_obs.result()
+        assert len(stepped_obs.result().samples) > 0
 
     def test_checker_interval_equivalent(self):
         config = _config("bitar-despain")

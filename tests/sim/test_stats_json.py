@@ -1,0 +1,98 @@
+"""SimStats JSON export: schema, round-trip, and cycle accounting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import CacheConfig, SystemConfig, run_workload
+from repro.processor.program import LockStyle
+from repro.workloads import lock_contention, producer_consumer
+
+#: Headline counters to_dict()/to_json() must always carry.
+HEADLINE_KEYS = {
+    "cycles", "bus_busy_cycles", "bus_utilization", "transactions",
+    "read_hits", "read_misses", "write_hits", "write_misses",
+    "c2c_transfers", "memory_fetches", "flushes", "invalidations",
+    "updates", "lock_acquisitions", "failed_lock_attempts",
+    "unlock_broadcasts", "stale_reads",
+}
+
+#: Extra sections/fields only the full JSON dump carries.
+JSON_ONLY_KEYS = {
+    "txn_counts", "txn_cycles", "mean_bus_wait", "lost_updates",
+    "write_hits_to_clean", "fetches_avoided", "source_losses", "processors",
+}
+
+PROC_KEYS = {
+    "ops_completed", "reads", "writes", "compute_cycles", "stall_cycles",
+    "wait_idle_cycles", "wait_work_cycles", "done_cycles",
+    "lock_acquisitions", "lock_hold_cycles",
+}
+
+
+def _run(n: int = 4, workload=lock_contention, **kwargs):
+    config = SystemConfig(
+        num_processors=n,
+        protocol="bitar-despain",
+        cache=CacheConfig(words_per_block=4, num_blocks=64),
+    )
+    kwargs.setdefault("lock_style", LockStyle.CACHE_LOCK)
+    programs = workload(config, **kwargs)
+    return run_workload(config, programs)
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return _run(rounds=4, think_cycles=9)
+
+
+class TestToJsonSchema:
+    def test_documented_keys_present_and_json_parseable(self, stats):
+        payload = json.loads(stats.to_json())
+        assert HEADLINE_KEYS <= set(payload)
+        assert JSON_ONLY_KEYS <= set(payload)
+        for proc in payload["processors"].values():
+            assert set(proc) == PROC_KEYS
+
+    def test_round_trip_matches_live_counters(self, stats):
+        payload = json.loads(stats.to_json())
+        assert payload["cycles"] == stats.cycles
+        assert payload["transactions"] == stats.total_transactions
+        assert payload["txn_counts"] == dict(stats.txn_counts)
+        assert payload["txn_cycles"] == dict(stats.txn_cycles)
+        assert payload["lock_acquisitions"] == stats.lock_acquisitions
+        assert payload["mean_bus_wait"] == round(stats.mean_bus_wait, 3)
+        assert len(payload["processors"]) == 4
+
+    def test_to_dict_is_a_subset_of_to_json(self, stats):
+        payload = json.loads(stats.to_json())
+        for key, value in stats.to_dict().items():
+            assert payload[key] == value
+
+    def test_indent_none_is_compact_single_line(self, stats):
+        assert "\n" not in stats.to_json(indent=None)
+
+
+class TestCycleAccounting:
+    @pytest.mark.parametrize("workload,kwargs", [
+        (lock_contention, dict(rounds=4, think_cycles=9)),
+        (producer_consumer, dict(items=4, think_cycles=7)),
+    ])
+    def test_per_processor_cycles_sum_to_run_length(self, workload, kwargs):
+        """Every processor is doing exactly one thing each cycle, so the
+        per-processor buckets partition the run."""
+        stats = _run(workload=workload, **kwargs)
+        assert stats.cycles > 0
+        for pid in range(4):
+            proc = stats.processor(pid)
+            assert proc.total_cycles == stats.cycles, f"processor {pid}"
+
+    def test_json_buckets_sum_to_run_length(self, stats):
+        payload = json.loads(stats.to_json())
+        buckets = ("compute_cycles", "stall_cycles", "wait_idle_cycles",
+                   "wait_work_cycles", "done_cycles")
+        for pid, proc in payload["processors"].items():
+            total = sum(proc[b] for b in buckets)
+            assert total == payload["cycles"], f"processor {pid}"
