@@ -163,8 +163,10 @@ def test_parallel_sweep_scaling(benchmark):
 
 
 def _merge_result(key: str, value: dict) -> None:
+    from repro.common.schema import stamp
+
     data = {}
     if RESULT_PATH.exists():
         data = json.loads(RESULT_PATH.read_text())
     data[key] = value
-    RESULT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    RESULT_PATH.write_text(json.dumps(stamp(data), indent=2) + "\n")

@@ -26,6 +26,13 @@ REPO = Path(__file__).resolve().parent.parent
 RESULT = REPO / "BENCH_engine.json"
 BASELINE = REPO / "benchmarks" / "BENCH_engine.baseline.json"
 
+if str(REPO / "src") not in sys.path:  # runnable without an install
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.common.schema import SchemaError  # noqa: E402
+from repro.common.schema import check as check_schema  # noqa: E402
+from repro.common.schema import stamp  # noqa: E402
+
 #: Current speedup may drop to this fraction of the baseline before the
 #: guard fails.
 RATIO_FLOOR = 0.8
@@ -44,18 +51,33 @@ def main(argv: list[str] | None = None) -> int:
     # Both files may carry keys beyond the guarded ratio (wall times, new
     # bench metrics); tolerate their absence rather than KeyError so a
     # half-populated result file yields a diagnosable exit.
-    current = json.loads(RESULT.read_text()).get("engine", {}).get("speedup")
+    result_data = json.loads(RESULT.read_text())
+    try:
+        check_schema(result_data, where=RESULT.name)
+    except SchemaError as exc:
+        print(f"perf_guard: {exc}; re-run "
+              f"'pytest benchmarks/bench_engine.py'", file=sys.stderr)
+        return 2
+    current = result_data.get("engine", {}).get("speedup")
     if current is None:
         print(f"perf_guard: {RESULT.name} has no engine.speedup entry; run "
               f"'pytest benchmarks/bench_engine.py' first", file=sys.stderr)
         return 2
 
     if args.update or not BASELINE.exists():
-        BASELINE.write_text(json.dumps({"speedup": current}, indent=2) + "\n")
+        BASELINE.write_text(
+            json.dumps(stamp({"speedup": current}), indent=2) + "\n")
         print(f"perf_guard: baseline recorded (speedup {current:.1f}x)")
         return 0
 
-    baseline = json.loads(BASELINE.read_text()).get("speedup")
+    baseline_data = json.loads(BASELINE.read_text())
+    try:
+        check_schema(baseline_data, where=BASELINE.name)
+    except SchemaError as exc:
+        print(f"perf_guard: {exc}; rerun with --update to re-record it",
+              file=sys.stderr)
+        return 2
+    baseline = baseline_data.get("speedup")
     if baseline is None:
         print(f"perf_guard: {BASELINE.name} has no speedup entry; "
               f"rerun with --update to record one", file=sys.stderr)

@@ -19,7 +19,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
+try:
+    from repro.common.schema import SchemaError
+except ModuleNotFoundError:  # running from a checkout without install
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.common.schema import SchemaError
+
+from repro.common.schema import check as check_schema
 from repro.obs.export import validate_chrome_trace
 
 
@@ -38,6 +46,10 @@ def main(argv: list[str] | None = None) -> int:
             failures += 1
             continue
         errors = validate_chrome_trace(payload)
+        try:
+            check_schema(payload, where=path)
+        except SchemaError as exc:
+            errors = [*errors, str(exc)]
         if errors:
             failures += 1
             for error in errors:

@@ -42,7 +42,19 @@ from repro.protocols import PROTOCOLS, TABLE1_PROTOCOLS, get_protocol
 from repro.sim.engine import Simulator, run_workload
 from repro.sim.stats import ProcessorStats, SimStats
 
+def __getattr__(name: str):
+    # ``repro.api`` (and ``repro.mc``) import the simulator internals, so
+    # they load lazily to keep ``import repro`` light and cycle-free.
+    if name in ("api", "mc"):
+        import importlib
+
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
 __all__ = [
+    "api",
+    "mc",
     "CacheConfig",
     "CoherenceViolation",
     "ConfigError",

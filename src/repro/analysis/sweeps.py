@@ -74,6 +74,8 @@ class Sweep:
     #: Per-point ObsResults (sweep order) after execute(); None for points
     #: whose run callable returned bare stats.
     observations: list = field(default_factory=list, init=False, repr=False)
+    #: Per-point SimStats (sweep order) after execute().
+    results: list = field(default_factory=list, init=False, repr=False)
 
     def execute(self, jobs: int = 1) -> dict[str, SweepSeries]:
         if not self.metrics:
@@ -92,6 +94,7 @@ class Sweep:
         stats_list = [
             r.stats if isinstance(r, ObservedPoint) else r for r in results
         ]
+        self.results = stats_list
         self.observations = [
             r.obs if isinstance(r, ObservedPoint) else None for r in results
         ]

@@ -1,0 +1,296 @@
+"""The unified programmatic entry point: ``repro.api``.
+
+Four verbs cover everything the CLI can do, each returning a typed
+result object with a stamped ``to_dict()``:
+
+* :func:`simulate` -- run one workload -> :class:`RunResult`;
+* :func:`sweep` -- run a workload over processor counts ->
+  :class:`SweepResult`;
+* :func:`conform` -- the protocol conformance battery ->
+  :class:`ConformanceReport`;
+* :func:`check` -- the schedule-space model checker / fuzzer ->
+  :class:`repro.mc.CheckReport`.
+
+The CLI subcommands (``repro run``, ``repro sweep``, ``repro
+conformance``, ``repro check``) are thin wrappers over these functions;
+anything they print comes out of the result objects below.
+
+Example::
+
+    from repro import api
+
+    result = api.simulate(protocol="bitar-despain",
+                          workload="lock-contention", processors=8)
+    print(result.stats.cycles, result.stats.bus_utilization)
+
+    report = api.check(["bitar-despain"], mutations=True)
+    assert report.ok
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import CacheConfig, SystemConfig, WaitMode
+from repro.common.schema import stamp
+from repro.mc.check import CheckReport
+from repro.mc.check import check as _mc_check
+from repro.obs.core import ObsResult
+from repro.processor.program import LockStyle, Program
+from repro.sim.stats import SimStats
+from repro.workloads.registry import (WORKLOADS, build_workload,
+                                      default_lock_style,
+                                      default_words_per_block)
+
+__all__ = [
+    "RunResult",
+    "SweepResult",
+    "ConformanceReport",
+    "CheckReport",
+    "simulate",
+    "sweep",
+    "conform",
+    "check",
+    "WORKLOADS",
+]
+
+
+# -- result types -----------------------------------------------------------
+
+
+@dataclass
+class RunResult:
+    """One simulated run: what was run, how, and what it produced."""
+
+    protocol: str
+    workload: str
+    config: SystemConfig
+    stats: SimStats
+    #: Present when the run was observed (``sample_interval > 0``).
+    obs: ObsResult | None = None
+
+    def to_dict(self) -> dict:
+        return stamp({
+            "kind": "run-result",
+            "protocol": self.protocol,
+            "workload": self.workload,
+            "config": self.config.to_dict(),
+            "stats": self.stats.to_payload(),
+            "obs": self.obs.to_dict() if self.obs is not None else None,
+        })
+
+
+@dataclass
+class SweepResult:
+    """A workload swept over processor counts."""
+
+    protocol: str
+    workload: str
+    xs: list[int]
+    #: Metric name -> one value per sweep point.
+    series: dict[str, list[float]]
+    stats: list[SimStats] = field(default_factory=list)
+    #: Per-point observability, when sampled.
+    observations: list[ObsResult] | None = None
+
+    def to_dict(self) -> dict:
+        return stamp({
+            "kind": "sweep-result",
+            "protocol": self.protocol,
+            "workload": self.workload,
+            "xs": list(self.xs),
+            "series": {name: list(values)
+                       for name, values in self.series.items()},
+            "points": [s.to_payload() for s in self.stats],
+        })
+
+
+@dataclass
+class ConformanceReport:
+    """Findings of the conformance battery for one protocol."""
+
+    protocol: str
+    serializing: bool
+    findings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return stamp({
+            "kind": "conformance-report",
+            "protocol": self.protocol,
+            "serializing": self.serializing,
+            "ok": self.ok,
+            "findings": list(self.findings),
+        })
+
+
+# -- config assembly --------------------------------------------------------
+
+
+def _build_config(
+    protocol: str,
+    *,
+    processors: int = 4,
+    buses: int = 1,
+    words_per_block: int | None = None,
+    num_blocks: int = 64,
+    work_while_waiting: bool = False,
+    seed: int = 0,
+) -> SystemConfig:
+    """The CLI's defaulting rules, shared by every facade verb."""
+    return SystemConfig(
+        num_processors=processors,
+        protocol=protocol,
+        num_buses=buses,
+        strict_verify=protocol != "write-through",
+        wait_mode=WaitMode.WORK if work_while_waiting else WaitMode.SPIN,
+        cache=CacheConfig(
+            words_per_block=words_per_block
+            or default_words_per_block(protocol),
+            num_blocks=num_blocks,
+        ),
+        seed=seed,
+    )
+
+
+# -- the verbs --------------------------------------------------------------
+
+
+def simulate(
+    protocol: str = "bitar-despain",
+    workload: str = "lock-contention",
+    *,
+    processors: int = 4,
+    config: SystemConfig | None = None,
+    programs: list[Program] | None = None,
+    lock_style: LockStyle | None = None,
+    buses: int = 1,
+    words_per_block: int | None = None,
+    num_blocks: int = 64,
+    work_while_waiting: bool = False,
+    seed: int = 0,
+    check_interval: int = 0,
+    fast_forward: bool = False,
+    sample_interval: int = 0,
+) -> RunResult:
+    """Run one workload on one protocol.
+
+    Pass ``config`` and/or ``programs`` for full control; otherwise the
+    convenience keywords assemble them with the CLI's defaulting rules
+    (four-word blocks except Rudolph-Segall, strict verification except
+    classic write-through, cache-lock style on the proposal).
+    ``sample_interval > 0`` attaches the observability layer and returns
+    its result alongside the statistics.
+    """
+    from repro.sim.engine import run_workload
+
+    if config is None:
+        config = _build_config(
+            protocol, processors=processors, buses=buses,
+            words_per_block=words_per_block, num_blocks=num_blocks,
+            work_while_waiting=work_while_waiting, seed=seed,
+        )
+    else:
+        protocol = config.protocol
+    if programs is None:
+        programs = build_workload(workload, config, lock_style)
+    obs = None
+    if sample_interval:
+        from repro.obs import Observability
+
+        obs = Observability(interval=sample_interval)
+    stats = run_workload(config, programs, check_interval=check_interval,
+                         fast_forward=fast_forward, obs=obs)
+    return RunResult(
+        protocol=protocol,
+        workload=workload,
+        config=config,
+        stats=stats,
+        obs=obs.result() if obs is not None else None,
+    )
+
+
+#: Metrics reported for every sweep point.
+_SWEEP_METRICS = {
+    "cycles": lambda s: s.cycles,
+    "bus utilization": lambda s: s.bus_utilization,
+    "failed lock attempts": lambda s: s.failed_lock_attempts,
+}
+
+
+def _sweep_point(n, *, protocol: str, workload: str,
+                 fast_forward: bool = False, sample_interval: int = 0):
+    """One sweep point; module-level so ``jobs > 1`` can pickle it (the
+    workload is looked up by name inside the worker process).  With a
+    ``sample_interval``, the point runs observed and returns an
+    :class:`~repro.analysis.sweeps.ObservedPoint` whose plain-data
+    ObsResult pickles back from the worker."""
+    from repro.sim.engine import run_workload
+
+    config = _build_config(protocol, processors=int(n))
+    programs = build_workload(workload, config)
+    if not sample_interval:
+        return run_workload(config, programs, fast_forward=fast_forward)
+    from repro.analysis.sweeps import ObservedPoint
+    from repro.obs import Observability
+
+    obs = Observability(interval=sample_interval)
+    stats = run_workload(config, programs, fast_forward=fast_forward,
+                         obs=obs)
+    return ObservedPoint(stats=stats, obs=obs.result())
+
+
+def sweep(
+    protocol: str = "bitar-despain",
+    workload: str = "lock-contention",
+    *,
+    processors: list[int] | tuple[int, ...] = (2, 4, 8),
+    fast_forward: bool = False,
+    jobs: int = 1,
+    sample_interval: int = 0,
+) -> SweepResult:
+    """Run ``workload`` at each processor count (optionally in parallel
+    worker processes) and collect the scaling series."""
+    import functools
+
+    from repro.analysis.sweeps import Sweep
+
+    run = functools.partial(
+        _sweep_point, protocol=protocol, workload=workload,
+        fast_forward=fast_forward, sample_interval=sample_interval,
+    )
+    plan = Sweep(xs=list(processors), run=run, metrics=dict(_SWEEP_METRICS))
+    series = plan.execute(jobs=jobs)
+    return SweepResult(
+        protocol=protocol,
+        workload=workload,
+        xs=list(processors),
+        series={name: list(s.values) for name, s in series.items()},
+        stats=list(plan.results),
+        observations=(list(plan.observations) if sample_interval else None),
+    )
+
+
+def conform(protocol: str, *, serializing: bool | None = None) -> ConformanceReport:
+    """Run the conformance battery; ``serializing`` defaults to False
+    only for classic write-through (whose stale reads are expected)."""
+    from repro.verify.conformance import check_conformance
+
+    if serializing is None:
+        serializing = protocol != "write-through"
+    findings = check_conformance(protocol, serializing=serializing)
+    return ConformanceReport(
+        protocol=protocol,
+        serializing=serializing,
+        findings=[str(finding) for finding in findings],
+    )
+
+
+def check(protocols=None, **kwargs) -> CheckReport:
+    """Model-check protocols: exhaustive exploration of the small
+    scenarios, fuzzing of the rest, optional mutation testing.  See
+    :func:`repro.mc.check.check` for the keyword reference."""
+    return _mc_check(protocols, **kwargs)

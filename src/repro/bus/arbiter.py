@@ -40,22 +40,40 @@ class Arbiter:
         priority class are broken round-robin starting after the previous
         winner.
         """
-        if not requests:
+        candidates = self.ordered_candidates(requests)
+        if not candidates:
             return None
-        high = [cid for cid, req in requests.items() if req.high_priority]
-        pool = high if high else list(requests)
-        winner = self._next_in_order(pool)
-        self._last_winner_index = self._order[winner]
-        return winner
+        return self.commit(candidates[0])
 
-    def _next_in_order(self, candidates: list[CacheId]) -> CacheId:
+    def ordered_candidates(
+        self, requests: dict[CacheId, ArbitrationRequest]
+    ) -> list[CacheId]:
+        """The grantable requesters in arbitration-preference order.
+
+        The winning priority class only (high beats normal), rotated so
+        the round-robin winner comes first.  Any entry is a legal grant a
+        hardware arbiter could make; :meth:`commit` records the one taken.
+        """
+        if not requests:
+            return []
+        high = [cid for cid, req in requests.items() if req.high_priority]
+        pool = set(high if high else requests)
         n = len(self._ports)
+        ordered = []
         for step in range(1, n + 1):
             cid = self._ports[(self._last_winner_index + step) % n]
-            if cid in candidates:
-                return cid
-        # Candidates must be registered ports.
-        raise ValueError(f"unknown requesters: {candidates}")
+            if cid in pool:
+                ordered.append(cid)
+                pool.discard(cid)
+        if pool:
+            # Candidates must be registered ports.
+            raise ValueError(f"unknown requesters: {sorted(pool)}")
+        return ordered
+
+    def commit(self, winner: CacheId) -> CacheId:
+        """Record ``winner`` as the grant for round-robin fairness."""
+        self._last_winner_index = self._order[winner]
+        return winner
 
     @property
     def ports(self) -> list[CacheId]:

@@ -69,6 +69,10 @@ class Bus:
         self.stats = stats
         self.trace = trace
         self.obs = obs
+        #: Optional :class:`~repro.sim.schedule.Scheduler` resolving
+        #: arbitration and read-source ties; ``None`` keeps the built-in
+        #: deterministic tie-breaks (round-robin, lowest id).
+        self.scheduler = None
         #: Position in a multi-bus system (labels this bus's metrics).
         self.index = index
         self._ports: dict[CacheId, BusPort] = {}
@@ -145,7 +149,20 @@ class Bus:
         }
         if not requests:
             return None
-        return self._arbiter.arbitrate(requests)  # type: ignore[arg-type]
+        candidates = self._arbiter.ordered_candidates(requests)  # type: ignore[arg-type]
+        index = 0
+        if self.scheduler is not None and len(candidates) > 1:
+            from repro.sim.schedule import ChoiceKind
+
+            # A multi-way arbitration among high-priority requests is the
+            # post-unlock waiter wakeup of Section E.4 -- its own named
+            # choice point, since lock fairness lives there.
+            kind = (ChoiceKind.WAITER_WAKE
+                    if requests[candidates[0]].high_priority
+                    else ChoiceKind.BUS_ARB)
+            index = self.scheduler.choose(kind, candidates,
+                                          cycle=self.clock.cycle)
+        return self._arbiter.commit(candidates[index])
 
     # -- transaction execution --------------------------------------------------
 
@@ -155,7 +172,7 @@ class Bus:
             self.trace.emit(now, EventKind.BUS_TXN, txn=str(txn))
 
         replies = self._snoop_all(port, txn)
-        response = BusResponse.combine(replies)
+        response = BusResponse.combine(replies, choose=self._choose_source)
 
         self._absorb_flushes(txn, replies)
         data = self._resolve_data(port, txn, response, replies)
@@ -173,6 +190,17 @@ class Bus:
                                     txn.requester, bus=self.index)
         self._busy_until = now + duration
         self._active_port = port
+
+    def _choose_source(self, candidates: list[CacheId]) -> CacheId:
+        """Resolve a multi-candidate read-source arbitration (Illinois,
+        Feature 8 ``ARB``); the default tie-break is the lowest id."""
+        if self.scheduler is None or len(candidates) < 2:
+            return candidates[0]
+        from repro.sim.schedule import ChoiceKind
+
+        index = self.scheduler.choose(ChoiceKind.READ_SOURCE, candidates,
+                                      cycle=self.clock.cycle)
+        return candidates[index]
 
     def _snoop_all(
         self, requester: BusPort, txn: BusTransaction

@@ -95,6 +95,15 @@ class MultiBusSystem:
             for i in range(n_buses)
         ]
 
+    @property
+    def scheduler(self):
+        return self.buses[0].scheduler
+
+    @scheduler.setter
+    def scheduler(self, value) -> None:
+        for bus in self.buses:
+            bus.scheduler = value
+
     def bus_of(self, block: BlockAddr) -> int:
         block_number = block // self.memory.words_per_block
         return block_number % self.n_buses

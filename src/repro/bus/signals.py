@@ -81,8 +81,15 @@ class BusResponse:
         return self.supplier is not None
 
     @staticmethod
-    def combine(replies: dict[CacheId, SnoopReply]) -> "BusResponse":
-        """Fold individual snoop replies into the bus-visible aggregate."""
+    def combine(replies: dict[CacheId, SnoopReply],
+                choose=None) -> "BusResponse":
+        """Fold individual snoop replies into the bus-visible aggregate.
+
+        ``choose`` resolves a multi-candidate read-source arbitration
+        (called with the candidate ids sorted ascending, so the default
+        tie-break -- lowest id wins -- is the first entry; the paper only
+        requires that *some* single cache win).
+        """
         response = BusResponse()
         candidates: list[CacheId] = []
         for cache_id, reply in replies.items():
@@ -100,9 +107,10 @@ class BusResponse:
             if reply.arbitrates:
                 candidates.append(cache_id)
         if response.supplier is None and candidates:
-            # Illinois-style source arbitration: lowest id wins (the paper
-            # only requires that *some* single cache win).
-            response.supplier = min(candidates)
+            candidates.sort()
+            response.supplier = (
+                candidates[0] if choose is None else choose(candidates)
+            )
             response.arbitration_candidates = len(candidates)
             response.supplier_dirty = replies[response.supplier].dirty
         return response

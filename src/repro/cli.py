@@ -1,12 +1,17 @@
 """Command-line interface: ``python -m repro``.
 
-Runs a named workload on a chosen protocol and prints the statistics, the
-regenerated Table 1/Table 2, or the Figure-10 transition enumeration.
+Every data-producing subcommand is a thin wrapper over the
+:mod:`repro.api` facade -- ``run`` over :func:`repro.api.simulate`,
+``sweep`` over :func:`repro.api.sweep`, ``conformance`` over
+:func:`repro.api.conform`, and ``check`` over :func:`repro.api.check`
+(the schedule-space model checker).  The CLI owns only argument parsing
+and rendering.
 
 Examples::
 
     python -m repro run --protocol bitar-despain --workload lock-contention
     python -m repro run --protocol illinois --workload sharing -n 8
+    python -m repro check --protocol bitar-despain --mutate
     python -m repro table1
     python -m repro figure10
 """
@@ -15,9 +20,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Sequence
+from typing import Sequence
 
-from repro import CacheConfig, LockStyle, SystemConfig, run_workload
+from repro import LockStyle
 from repro.analysis import (
     build_table1,
     lock_metrics,
@@ -26,35 +31,15 @@ from repro.analysis import (
     render_table2,
     traffic_metrics,
 )
-from repro.common.config import WaitMode
 from repro.protocols import PROTOCOLS
-from repro.workloads import (
-    interleaved_sharing,
-    lock_contention,
-    migration,
-    process_switch,
-    producer_consumer,
-    prolog_and_parallel,
-    request_queue,
-    sleep_wait,
-    smith_stream,
-)
+from repro.workloads.registry import (WORKLOADS, default_lock_style,
+                                      default_words_per_block)
 
-
-def _lowered(programs, style: LockStyle):
-    return [p.lowered(style) for p in programs]
-
-
-WORKLOADS: dict[str, Callable] = {
-    "lock-contention": lambda cfg, style: lock_contention(cfg, lock_style=style),
-    "producer-consumer": lambda cfg, style: producer_consumer(cfg, lock_style=style),
-    "request-queue": lambda cfg, style: request_queue(cfg, lock_style=style),
-    "sharing": lambda cfg, style: interleaved_sharing(cfg),
-    "migration": lambda cfg, style: migration(cfg),
-    "process-switch": lambda cfg, style: process_switch(cfg),
-    "smith": lambda cfg, style: smith_stream(cfg),
-    "prolog": lambda cfg, style: _lowered(prolog_and_parallel(cfg), style),
-    "sleep-wait": lambda cfg, style: _lowered(sleep_wait(cfg), style),
+#: Flags renamed in the ``repro.api`` redesign: old spelling -> new
+#: spelling.  The old ones keep working with a deprecation warning.
+DEPRECATED_FLAGS = {
+    "--verify-every": "--check-interval",
+    "--cache-blocks": "--num-blocks",
 }
 
 
@@ -78,15 +63,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="broadcast buses (1 or 2; blocks interleave)")
     run.add_argument("--words-per-block", type=int, default=None,
                      help="block size in words (default 4; 1 for rudolph-segall)")
-    run.add_argument("--cache-blocks", type=int, default=64)
+    run.add_argument("--num-blocks", type=int, default=None,
+                     help="block frames per cache (default 64)")
+    run.add_argument("--cache-blocks", type=int, default=None,
+                     help="deprecated alias for --num-blocks")
     run.add_argument("--lock-style",
                      choices=[s.value for s in LockStyle], default=None,
                      help="defaults to cache-lock on the proposal, ttas elsewhere")
     run.add_argument("--work-while-waiting", action="store_true",
                      help="execute ready sections while busy-waiting (E.4)")
     run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--verify-every", type=int, default=0, metavar="N",
+    run.add_argument("--check-interval", type=int, default=None, metavar="N",
                      help="run the invariant checker every N cycles")
+    run.add_argument("--verify-every", type=int, default=None, metavar="N",
+                     help="deprecated alias for --check-interval")
     run.add_argument("--trace", metavar="FILE", default=None,
                      help="drive the simulator from a trace file instead "
                           "of a named workload")
@@ -150,6 +140,38 @@ def build_parser() -> argparse.ArgumentParser:
     conform.add_argument("--protocol", choices=sorted(PROTOCOLS),
                          required=True)
 
+    check = sub.add_parser(
+        "check",
+        help="model-check schedule space: exhaustive interleaving "
+             "exploration, fuzzing, and seeded-bug mutation testing",
+    )
+    check.add_argument("--protocol", choices=[*sorted(PROTOCOLS), "all"],
+                       default="all",
+                       help="protocol to check (default: all ten)")
+    check.add_argument("--scenario", nargs="+", default=None,
+                       metavar="NAME",
+                       help="restrict to named scenarios (default: the "
+                            "whole battery; see docs/model_checking.md)")
+    check.add_argument("--fuzz-seeds", type=int, default=32, metavar="N",
+                       help="random schedules per fuzzed scenario "
+                            "(default 32)")
+    check.add_argument("--fuzz-budget", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock cap shared by all fuzzing")
+    check.add_argument("--max-schedules", type=int, default=20_000,
+                       metavar="N",
+                       help="exploration budget per (scenario, protocol)")
+    check.add_argument("--mutate", nargs="*", default=None, metavar="NAME",
+                       help="run the mutation-testing harness (no names = "
+                            "all seeded bugs)")
+    check.add_argument("--replay", metavar="FILE", default=None,
+                       help="replay a saved counterexample trace instead "
+                            "of checking")
+    check.add_argument("--out", metavar="DIR", default=None,
+                       help="write shrunk counterexample traces into DIR")
+    check.add_argument("--json", action="store_true",
+                       help="emit the full check report as JSON")
+
     sub.add_parser("table1", help="print the regenerated Table 1")
     sub.add_parser("table2", help="print the regenerated Table 2")
     sub.add_parser("figure10", help="print the state-transition enumeration")
@@ -157,47 +179,75 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _default_wpb(protocol: str) -> int:
-    return 1 if protocol == "rudolph-segall" else 4
+# Deprecated aliases kept for callers of the old helper names.
+_default_wpb = default_words_per_block
+_default_style = default_lock_style
 
 
-def _default_style(protocol: str) -> LockStyle:
-    return LockStyle.CACHE_LOCK if protocol == "bitar-despain" else LockStyle.TTAS
+def _warn_deprecated(old: str, new: str) -> None:
+    print(f"repro: warning: {old} is deprecated; use {new}",
+          file=sys.stderr)
+
+
+def _resolve_renamed(args: argparse.Namespace) -> None:
+    """Fold deprecated flag spellings into their replacements (new
+    spelling wins when both are given)."""
+    if args.verify_every is not None:
+        _warn_deprecated("--verify-every", "--check-interval")
+        if args.check_interval is None:
+            args.check_interval = args.verify_every
+    if args.check_interval is None:
+        args.check_interval = 0
+    if args.cache_blocks is not None:
+        _warn_deprecated("--cache-blocks", "--num-blocks")
+        if args.num_blocks is None:
+            args.num_blocks = args.cache_blocks
+    if args.num_blocks is None:
+        args.num_blocks = 64
 
 
 def command_run(args: argparse.Namespace) -> int:
-    wpb = args.words_per_block or _default_wpb(args.protocol)
-    style = (LockStyle(args.lock_style) if args.lock_style
-             else _default_style(args.protocol))
-    config = SystemConfig(
-        num_processors=args.processors,
-        protocol=args.protocol,
-        num_buses=args.buses,
-        strict_verify=args.protocol != "write-through",
-        wait_mode=WaitMode.WORK if args.work_while_waiting else WaitMode.SPIN,
-        cache=CacheConfig(words_per_block=wpb, num_blocks=args.cache_blocks),
-        seed=args.seed,
-    )
+    from repro import api
+
+    _resolve_renamed(args)
+    programs = None
     if args.trace:
         from repro.workloads.trace import load_trace
 
         programs = load_trace(args.trace, num_processors=args.processors)
-    else:
-        programs = WORKLOADS[args.workload](config, style)
+    style = LockStyle(args.lock_style) if args.lock_style else None
     if args.dump_trace:
         from repro.workloads.trace import dump_trace
 
+        if programs is None:
+            config = api._build_config(
+                args.protocol, processors=args.processors, buses=args.buses,
+                words_per_block=args.words_per_block,
+                num_blocks=args.num_blocks,
+                work_while_waiting=args.work_while_waiting, seed=args.seed,
+            )
+            programs = api.build_workload(args.workload, config, style)
         with open(args.dump_trace, "w", encoding="utf-8") as handle:
             handle.write(dump_trace(programs))
-    obs = None
-    if args.metrics_out or args.timeline or args.heatmap:
-        from repro.obs import Observability
-
-        obs = Observability(interval=args.sample_interval)
-    stats = run_workload(config, programs, check_interval=args.verify_every,
-                         fast_forward=args.fast_forward, obs=obs)
-    if obs is not None:
-        _write_observability(obs, args)
+    observe = bool(args.metrics_out or args.timeline or args.heatmap)
+    result = api.simulate(
+        args.protocol,
+        args.workload,
+        processors=args.processors,
+        programs=programs,
+        lock_style=style,
+        buses=args.buses,
+        words_per_block=args.words_per_block,
+        num_blocks=args.num_blocks,
+        work_while_waiting=args.work_while_waiting,
+        seed=args.seed,
+        check_interval=args.check_interval,
+        fast_forward=args.fast_forward,
+        sample_interval=args.sample_interval if observe else 0,
+    )
+    stats = result.stats
+    if result.obs is not None:
+        _write_observability(result.obs, args)
 
     if args.json:
         print(stats.to_json())
@@ -238,71 +288,34 @@ def _write_observability(obs, args: argparse.Namespace) -> None:
             print(f"heatmap written to {args.heatmap}")
 
 
-def _sweep_point(n, *, protocol: str, workload: str,
-                 fast_forward: bool = False, sample_interval: int = 0):
-    """One sweep point; module-level so ``--jobs`` can pickle it (the
-    workload is looked up by name inside the worker process).  With a
-    ``sample_interval``, the point runs observed and returns an
-    :class:`~repro.analysis.sweeps.ObservedPoint` whose plain-data
-    ObsResult pickles back from the worker."""
-    config = SystemConfig(
-        num_processors=int(n),
-        protocol=protocol,
-        strict_verify=protocol != "write-through",
-        cache=CacheConfig(words_per_block=_default_wpb(protocol),
-                          num_blocks=64),
-    )
-    programs = WORKLOADS[workload](config, _default_style(protocol))
-    if not sample_interval:
-        return run_workload(config, programs, fast_forward=fast_forward)
-    from repro.analysis.sweeps import ObservedPoint
-    from repro.obs import Observability
-
-    obs = Observability(interval=sample_interval)
-    stats = run_workload(config, programs, fast_forward=fast_forward,
-                         obs=obs)
-    return ObservedPoint(stats=stats, obs=obs.result())
-
-
 def command_sweep(args: argparse.Namespace) -> int:
-    import functools
+    from repro import api
 
-    from repro.analysis.sweeps import Sweep
-
-    run = functools.partial(
-        _sweep_point,
-        protocol=args.protocol,
-        workload=args.workload,
+    result = api.sweep(
+        args.protocol,
+        args.workload,
+        processors=args.processors,
         fast_forward=args.fast_forward,
+        jobs=args.jobs,
         sample_interval=args.sample_interval if args.metrics_out else 0,
     )
-    sweep = Sweep(
-        xs=args.processors,
-        run=run,
-        metrics={
-            "cycles": lambda s: s.cycles,
-            "bus utilization": lambda s: s.bus_utilization,
-            "failed lock attempts": lambda s: s.failed_lock_attempts,
-        },
-    )
-    series = sweep.execute(jobs=args.jobs)
     if args.metrics_out:
         import os
 
         from repro.obs import samples_jsonl
 
         os.makedirs(args.metrics_out, exist_ok=True)
-        for n, result in zip(args.processors, sweep.observations):
+        for n, point in zip(result.xs, result.observations or []):
             path = os.path.join(args.metrics_out, f"point_n{n}.jsonl")
             with open(path, "w", encoding="utf-8") as handle:
-                handle.write(samples_jsonl(result))
+                handle.write(samples_jsonl(point))
         print(f"per-point sample series written to {args.metrics_out}/")
     rows = [
         [n,
-         int(series["cycles"].values[i]),
-         f"{series['bus utilization'].values[i]:.0%}",
-         int(series["failed lock attempts"].values[i])]
-        for i, n in enumerate(args.processors)
+         int(result.series["cycles"][i]),
+         f"{result.series['bus utilization'][i]:.0%}",
+         int(result.series["failed lock attempts"][i])]
+        for i, n in enumerate(result.xs)
     ]
     print(render_table(
         ["processors", "cycles", "bus utilization", "failed attempts"],
@@ -330,18 +343,94 @@ def command_compare(args: argparse.Namespace) -> int:
 
 
 def command_conformance(args: argparse.Namespace) -> int:
-    from repro.verify.conformance import check_conformance
+    from repro import api
 
-    findings = check_conformance(
-        args.protocol, serializing=args.protocol != "write-through"
-    )
-    if findings:
-        for finding in findings:
+    report = api.conform(args.protocol)
+    if not report.ok:
+        for finding in report.findings:
             print(f"FAIL {finding}")
         return 1
     print(f"{args.protocol}: conformant "
           f"(all applicable checks passed)")
     return 0
+
+
+def _command_replay(path: str, as_json: bool) -> int:
+    from repro.mc import Counterexample
+
+    ce = Counterexample.load(path)
+    outcome = ce.replay()
+    reproduced = (outcome.failure is not None
+                  and outcome.failure.kind == ce.failure.kind)
+    if as_json:
+        import json as _json
+
+        print(_json.dumps({
+            **ce.to_dict(),
+            "replayed_failure": (outcome.failure.to_dict()
+                                 if outcome.failure else None),
+            "reproduced": reproduced,
+        }, indent=2))
+    else:
+        where = f"{ce.scenario} on {ce.protocol}"
+        if ce.mutation:
+            where += f" (mutation {ce.mutation})"
+        print(f"replaying {where}: schedule {ce.schedule}")
+        if outcome.failure is None:
+            print("no failure reproduced "
+                  "(was the bug fixed since the trace was saved?)")
+        else:
+            print(f"{outcome.failure.kind}: {outcome.failure.message}")
+        print("reproduced" if reproduced else "NOT reproduced")
+    return 0 if reproduced else 1
+
+
+def command_check(args: argparse.Namespace) -> int:
+    from repro import api
+
+    if args.replay:
+        return _command_replay(args.replay, args.json)
+    protocols = None if args.protocol == "all" else [args.protocol]
+    mutations: bool | list[str] = False
+    if args.mutate is not None:
+        mutations = args.mutate if args.mutate else True
+    report = api.check(
+        protocols,
+        scenarios=args.scenario,
+        max_schedules=args.max_schedules,
+        fuzz_seeds=args.fuzz_seeds,
+        fuzz_budget=args.fuzz_budget,
+        mutations=mutations,
+        counterexample_dir=args.out,
+    )
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(report.to_dict(), indent=2))
+        return 0 if report.ok else 1
+    for r in report.explorations:
+        status = "ok" if r.ok else f"FAIL ({r.failure.kind})"
+        bound = "" if r.complete else " [budget hit]"
+        print(f"explore {r.protocol:16s} {r.scenario:16s} "
+              f"{r.schedules:5d} schedules, {r.states:5d} states: "
+              f"{status}{bound}")
+    for r in report.fuzz_sessions:
+        status = "ok" if r.ok else f"FAIL (seed {r.failing_seed})"
+        print(f"fuzz    {r.protocol:16s} {r.scenario:16s} "
+              f"{r.runs:5d} runs: {status}")
+    for r in report.mutation_results:
+        verdict = "caught" if r.caught else "MISSED"
+        detail = ""
+        if r.counterexample is not None:
+            detail = (f" (schedule {r.counterexample.schedule}, "
+                      f"{r.counterexample.failure.kind})")
+        print(f"mutate  {r.mutation:28s} {verdict}{detail}")
+    for path in report.saved_paths:
+        print(f"counterexample written to {path}")
+    print(f"{'OK' if report.ok else 'FAIL'}: "
+          f"{report.schedules_explored} schedules in "
+          f"{report.elapsed_seconds:.1f}s")
+    return 0 if report.ok else 1
 
 
 def command_protocols(args: argparse.Namespace) -> int:
@@ -363,6 +452,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return command_compare(args)
     if args.command == "conformance":
         return command_conformance(args)
+    if args.command == "check":
+        return command_check(args)
     if args.command == "table1":
         print(build_table1().render())
         return 0

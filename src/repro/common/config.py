@@ -11,9 +11,54 @@ occupancy so that block size matters (Sections D.3, F.4).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.common.errors import ConfigError
+
+
+def _config_to_dict(obj) -> dict:
+    """Flatten a config dataclass; enums by value, nested configs recurse."""
+    out: dict = {}
+    for spec in fields(obj):
+        value = getattr(obj, spec.name)
+        if isinstance(value, enum.Enum):
+            value = value.value
+        elif hasattr(value, "to_dict"):
+            value = value.to_dict()
+        out[spec.name] = value
+    return out
+
+
+def _config_from_dict(cls, data: dict, *, where: str):
+    """Rebuild ``cls`` from :func:`_config_to_dict` output, naming the
+    offending field in every error."""
+    if not isinstance(data, dict):
+        raise ConfigError(f"{where}: expected a mapping, got "
+                          f"{type(data).__name__}")
+    specs = {spec.name: spec for spec in fields(cls)}
+    unknown = sorted(set(data) - set(specs))
+    if unknown:
+        raise ConfigError(f"{where}: unknown field(s) {', '.join(unknown)}")
+    kwargs: dict = {}
+    for name, value in data.items():
+        kind = specs[name].type
+        try:
+            if name in _NESTED_CONFIG_FIELDS:
+                value = _NESTED_CONFIG_FIELDS[name].from_dict(value)
+            elif isinstance(kind, str) and kind in _ENUM_FIELD_TYPES:
+                value = _ENUM_FIELD_TYPES[kind](value)
+        except ConfigError:
+            raise
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ConfigError(f"{where}.{name}: invalid value "
+                              f"{value!r} ({exc})") from None
+        kwargs[name] = value
+    try:
+        return cls(**kwargs)
+    except ConfigError as exc:
+        raise ConfigError(f"{where}: {exc}") from None
+    except TypeError as exc:
+        raise ConfigError(f"{where}: {exc}") from None
 
 
 class DirectoryKind(enum.Enum):
@@ -127,6 +172,13 @@ class TimingConfig:
             + self.word_transfer_cycles * words_per_block
         )
 
+    def to_dict(self) -> dict:
+        return _config_to_dict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "TimingConfig":
+        return _config_from_dict(TimingConfig, data, where="timing")
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -178,6 +230,13 @@ class CacheConfig:
     def ways(self) -> int:
         return self.num_blocks if self.assoc is None else self.assoc
 
+    def to_dict(self) -> dict:
+        return _config_to_dict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "CacheConfig":
+        return _config_from_dict(CacheConfig, data, where="cache")
+
 
 @dataclass(frozen=True)
 class SystemConfig:
@@ -210,3 +269,26 @@ class SystemConfig:
             raise ConfigError("num_buses must be positive")
         if self.deadlock_horizon <= 0:
             raise ConfigError("deadlock_horizon must be positive")
+
+    def to_dict(self) -> dict:
+        """Serialize to plain data (enums by value, nested configs as
+        dicts); :meth:`from_dict` round-trips the result exactly."""
+        return _config_to_dict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "SystemConfig":
+        """Rebuild from :meth:`to_dict` output.  Unknown keys, bad enum
+        values, and constraint violations raise :class:`ConfigError`
+        naming the offending field (``system.cache.assoc``-style)."""
+        return _config_from_dict(SystemConfig, data, where="system")
+
+
+#: Fields of any config dataclass holding a nested config, and the enum
+#: types referenced by (string) field annotations -- both consumed by
+#: :func:`_config_from_dict` when rebuilding values.
+_NESTED_CONFIG_FIELDS = {"cache": CacheConfig, "timing": TimingConfig}
+_ENUM_FIELD_TYPES = {
+    "DirectoryKind": DirectoryKind,
+    "RmwMethod": RmwMethod,
+    "WaitMode": WaitMode,
+}

@@ -1,0 +1,57 @@
+"""Versioning of every JSON artifact the library emits.
+
+All exported payloads -- run statistics, observability metrics and
+heatmaps, Chrome traces, sweep outputs, benchmark results, and model-
+checker counterexamples -- carry a top-level ``schema_version`` key so
+downstream tooling (``scripts/validate_trace.py``, ``scripts/
+perf_guard.py``, CI artifact consumers) can refuse payloads it does not
+understand instead of mis-parsing them.
+
+The version is a single integer bumped on any backwards-incompatible
+change to any exported payload shape.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ReproError
+
+#: Current version of all exported JSON payload shapes.
+SCHEMA_VERSION = 1
+
+#: Key under which the version is stamped.
+SCHEMA_KEY = "schema_version"
+
+
+class SchemaError(ReproError):
+    """A JSON payload is missing or carries an unusable schema version."""
+
+
+def stamp(payload: dict) -> dict:
+    """Stamp ``payload`` (in place) with the current schema version."""
+    payload[SCHEMA_KEY] = SCHEMA_VERSION
+    return payload
+
+
+def check(payload: dict, *, where: str = "payload") -> int:
+    """Validate ``payload``'s schema version; returns the version found.
+
+    Raises :class:`SchemaError` when the key is missing, non-integer, or
+    newer than this library understands.  Older (smaller) versions are
+    accepted -- readers stay backwards compatible.
+    """
+    if not isinstance(payload, dict):
+        raise SchemaError(f"{where}: expected a JSON object, got "
+                          f"{type(payload).__name__}")
+    version = payload.get(SCHEMA_KEY)
+    if version is None:
+        raise SchemaError(f"{where}: missing {SCHEMA_KEY!r} "
+                          f"(expected {SCHEMA_VERSION})")
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise SchemaError(f"{where}: {SCHEMA_KEY!r} must be an integer, "
+                          f"got {version!r}")
+    if version > SCHEMA_VERSION:
+        raise SchemaError(
+            f"{where}: {SCHEMA_KEY} {version} is newer than this library "
+            f"understands (max {SCHEMA_VERSION}); upgrade the tooling"
+        )
+    return version

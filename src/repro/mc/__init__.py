@@ -1,0 +1,57 @@
+"""Schedule-space model checker and interleaving fuzzer.
+
+``repro.mc`` treats every nondeterministic engine decision (bus
+arbitration, waiter wake order, processor issue order, read-source
+arbitration) as an explicit choice point, then drives the simulator
+through schedule space three ways:
+
+* :func:`explore` -- exhaustive DFS over all interleavings of a small
+  scenario, with canonical state hashing to prune converged branches;
+* :func:`fuzz` -- seeded random schedules with delta-debugging
+  shrinking of any failure into a minimal replayable trace;
+* :func:`check` -- the orchestration the CLI/API expose: exploration +
+  fuzzing + the seeded-bug mutation harness, in one report.
+
+See ``docs/model_checking.md`` for the full story.
+"""
+
+from repro.mc.check import CheckReport, MutationResult, check, test_mutation
+from repro.mc.counterexample import Counterexample, from_outcome
+from repro.mc.explore import ExploreResult, explore
+from repro.mc.fuzz import FuzzResult, fuzz
+from repro.mc.hashing import fingerprint, state_signature
+from repro.mc.mutations import MUTATIONS, Mutation, get_mutation
+from repro.mc.runner import (DEFAULT_MAX_CYCLES, Failure, ScheduleOutcome,
+                             build_sim, run_schedule)
+from repro.mc.scenarios import (SCENARIOS, ExpectationError, Scenario,
+                                get_scenario)
+from repro.mc.shrink import ShrinkResult, shrink
+
+__all__ = [
+    "CheckReport",
+    "MutationResult",
+    "check",
+    "test_mutation",
+    "Counterexample",
+    "from_outcome",
+    "ExploreResult",
+    "explore",
+    "FuzzResult",
+    "fuzz",
+    "fingerprint",
+    "state_signature",
+    "MUTATIONS",
+    "Mutation",
+    "get_mutation",
+    "DEFAULT_MAX_CYCLES",
+    "Failure",
+    "ScheduleOutcome",
+    "build_sim",
+    "run_schedule",
+    "SCENARIOS",
+    "ExpectationError",
+    "Scenario",
+    "get_scenario",
+    "ShrinkResult",
+    "shrink",
+]

@@ -1,0 +1,147 @@
+"""Replayable counterexample traces.
+
+A counterexample pins down one failing run completely: the scenario and
+protocol that were driven, the mutation (if any) that was active, the
+choice-index schedule, and the failure observed.  Replaying the schedule
+through :class:`~repro.sim.schedule.ReplayScheduler` reproduces the run
+bit-for-bit, so a saved trace is a self-contained bug report.
+
+Traces serialize to versioned JSON (``schema_version``), and can be
+re-exported as a Chrome/Perfetto trace via the existing observability
+exporter -- load the JSON, call :meth:`Counterexample.to_chrome_trace`,
+and open the result in ``ui.perfetto.dev``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.schema import check as check_schema
+from repro.common.schema import stamp
+from repro.mc.runner import Failure, ScheduleOutcome, run_schedule
+from repro.mc.scenarios import Scenario, get_scenario
+from repro.sim.schedule import Choice
+
+
+@dataclass
+class Counterexample:
+    """One minimal failing schedule, ready to save/load/replay."""
+
+    protocol: str
+    scenario: str
+    schedule: list[int]
+    failure: Failure
+    mutation: str | None = None
+    cycles: int = 0
+    #: Decision record of the confirming run (for humans reading the
+    #: trace: which arbitration/issue/source choices the indices mean).
+    choices: list[Choice] = field(default_factory=list)
+    #: Fuzzer seed that first found it, if any.
+    seed: int | None = None
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return stamp({
+            "kind": "counterexample",
+            "protocol": self.protocol,
+            "scenario": self.scenario,
+            "mutation": self.mutation,
+            "schedule": list(self.schedule),
+            "failure": self.failure.to_dict(),
+            "cycles": self.cycles,
+            "seed": self.seed,
+            "choices": [choice.to_dict() for choice in self.choices],
+        })
+
+    @staticmethod
+    def from_dict(data: dict) -> "Counterexample":
+        check_schema(data, where="counterexample")
+        return Counterexample(
+            protocol=data["protocol"],
+            scenario=data["scenario"],
+            mutation=data.get("mutation"),
+            schedule=[int(i) for i in data["schedule"]],
+            failure=Failure.from_dict(data["failure"]),
+            cycles=int(data.get("cycles", 0)),
+            seed=data.get("seed"),
+            choices=[Choice.from_dict(c) for c in data.get("choices", [])],
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @staticmethod
+    def load(path: str | Path) -> "Counterexample":
+        return Counterexample.from_dict(json.loads(Path(path).read_text()))
+
+    # -- replay ------------------------------------------------------------
+
+    def _scenario(self) -> Scenario:
+        return get_scenario(self.scenario)
+
+    def _mutation(self):
+        if self.mutation is None:
+            return None
+        from repro.mc.mutations import get_mutation
+
+        return get_mutation(self.mutation)
+
+    def replay(self, *, keep_sim: bool = False, obs=None) -> ScheduleOutcome:
+        """Re-run the recorded schedule; returns the outcome (which
+        should reproduce :attr:`failure`)."""
+        return run_schedule(
+            self._scenario(), self.protocol, self.schedule,
+            mutation=self._mutation(), keep_sim=keep_sim, obs=obs,
+        )
+
+    def reproduces(self) -> bool:
+        """Whether replaying still produces the recorded failure kind."""
+        outcome = self.replay()
+        return (outcome.failure is not None
+                and outcome.failure.kind == self.failure.kind)
+
+    def to_chrome_trace(self) -> dict:
+        """Replay under the observability sampler and export the run as
+        a Chrome/Perfetto trace payload."""
+        from repro.obs.core import Observability
+        from repro.obs.export import chrome_trace
+
+        obs = Observability(interval=1)
+        outcome = self.replay(obs=obs)
+        payload = chrome_trace(obs.result())
+        payload.setdefault("otherData", {})["counterexample"] = {
+            "scenario": self.scenario,
+            "protocol": self.protocol,
+            "mutation": self.mutation,
+            "failure": self.failure.to_dict(),
+            "reproduced": outcome.failure is not None,
+        }
+        return payload
+
+
+def from_outcome(
+    scenario: Scenario,
+    protocol: str,
+    schedule: list[int],
+    outcome: ScheduleOutcome,
+    *,
+    mutation: str | None = None,
+    seed: int | None = None,
+) -> Counterexample:
+    """Package a failing run as a :class:`Counterexample`."""
+    assert outcome.failure is not None
+    return Counterexample(
+        protocol=protocol,
+        scenario=scenario.name,
+        schedule=list(schedule),
+        failure=outcome.failure,
+        mutation=mutation,
+        cycles=outcome.cycles,
+        choices=list(outcome.choices),
+        seed=seed,
+    )

@@ -1,0 +1,155 @@
+"""Exhaustive schedule-space exploration.
+
+The engine's nondeterminism is fully captured by the sequence of
+choice-point indices a run takes (see :mod:`repro.sim.schedule`), so
+the schedule space is a tree: each decision point with *f* candidates
+fans out into *f* subtrees.  The explorer walks that tree depth-first
+using *stateless replay*: a node is identified by its choice-index
+prefix, and visiting it means re-running the simulator with that prefix
+replayed and every later choice defaulted to index 0.
+
+Each run reports every decision point it passed; for each point at or
+beyond the node's prefix the explorer queues the sibling prefixes
+(``prefix + [1..f-1]``), which visits every tree node exactly once.
+
+Revisited *states* are pruned: after any cycle in which a decision was
+taken, the run's canonical fingerprint (:mod:`repro.mc.hashing`) is
+looked up in a visited set -- two different schedules that converge to
+the same behavioral state share all future behaviour, so the second
+branch is cut.  This is what makes exhaustive enumeration tractable for
+the 2-3 processor scenarios while remaining sound for safety
+properties: every reachable state is still reached by some explored
+schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mc.hashing import fingerprint
+from repro.mc.runner import Failure, PruneRun, run_schedule
+from repro.mc.scenarios import Scenario
+from repro.sim.schedule import SchedulerStats
+
+
+@dataclass
+class ExploreResult:
+    """Outcome of exploring one (scenario, protocol) pair."""
+
+    scenario: str
+    protocol: str
+    mutation: str | None = None
+    #: Schedules actually run (including pruned partial runs).
+    schedules: int = 0
+    #: Runs cut short because they revisited a known state.
+    pruned: int = 0
+    #: Distinct canonical states seen.
+    states: int = 0
+    #: True when the whole tree (modulo state dedup) was covered within
+    #: the budget.
+    complete: bool = False
+    failure: Failure | None = None
+    #: The choice-index schedule that produced ``failure``.
+    failing_schedule: list[int] | None = None
+    #: Decision-point profile of the first (default) schedule.
+    decision_stats: SchedulerStats = field(default_factory=SchedulerStats)
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "protocol": self.protocol,
+            "mutation": self.mutation,
+            "schedules": self.schedules,
+            "pruned": self.pruned,
+            "states": self.states,
+            "complete": self.complete,
+            "failure": self.failure.to_dict() if self.failure else None,
+            "failing_schedule": self.failing_schedule,
+            "decision_points": self.decision_stats.decision_points,
+            "decisions_by_kind": dict(self.decision_stats.by_kind),
+        }
+
+
+def explore(
+    scenario: Scenario,
+    protocol: str,
+    *,
+    mutation=None,
+    max_schedules: int = 20_000,
+    max_cycles: int | None = None,
+    dedupe: bool = True,
+) -> ExploreResult:
+    """Exhaustively explore ``scenario`` under ``protocol``.
+
+    Stops at the first failure (the shrinker minimizes it afterwards) or
+    when the tree is exhausted; ``max_schedules`` bounds the walk, and a
+    result with ``complete=False`` means the budget ran out first.
+    """
+    result = ExploreResult(
+        scenario=scenario.name,
+        protocol=protocol,
+        mutation=mutation.name if mutation is not None else None,
+    )
+    visited: set[int] = set()
+    run_kwargs: dict = {"mutation": mutation}
+    if max_cycles is not None:
+        run_kwargs["max_cycles"] = max_cycles
+
+    def make_observer(prefix_len: int):
+        seen_choices = 0
+
+        def observer(sim, recorder) -> None:
+            nonlocal seen_choices
+            if not dedupe:
+                return
+            taken = len(recorder.choices)
+            if taken > seen_choices:
+                seen_choices = taken
+                # States along the replayed prefix were fingerprinted by
+                # the ancestor run that first took them; checking them
+                # here would prune every non-root replay at its first
+                # decision.  Dedup starts at the divergent choice (the
+                # prefix's last entry) -- everything from there on is
+                # this branch's own territory.
+                if taken < prefix_len:
+                    return
+                fp = fingerprint(sim)
+                if fp in visited:
+                    raise PruneRun()
+                visited.add(fp)
+
+        return observer
+
+    stack: list[list[int]] = [[]]
+    while stack:
+        if result.schedules >= max_schedules:
+            return result  # budget exhausted; complete stays False
+        prefix = stack.pop()
+        outcome = run_schedule(scenario, protocol, prefix,
+                               observer=make_observer(len(prefix)),
+                               **run_kwargs)
+        result.schedules += 1
+        result.states = len(visited)
+        if result.schedules == 1:
+            result.decision_stats = SchedulerStats.of(outcome.choices)
+        if outcome.pruned:
+            result.pruned += 1
+        if outcome.failure is not None:
+            result.failure = outcome.failure
+            result.failing_schedule = outcome.schedule
+            return result
+        # Queue the siblings of every decision at or beyond this node's
+        # prefix.  A pruned run stops recording at the cut, which is
+        # exactly right: the subtree past a revisited state belongs to
+        # the branch that saw the state first.
+        for i in range(len(prefix), len(outcome.choices)):
+            choice = outcome.choices[i]
+            base = [c.chosen for c in outcome.choices[:i]]
+            for alternative in range(1, len(choice.candidates)):
+                stack.append(base + [alternative])
+    result.complete = True
+    return result

@@ -1,0 +1,99 @@
+"""Randomized schedule fuzzing.
+
+Complementary to the exhaustive explorer: where exhaustion is bounded to
+tiny configurations, the fuzzer drives any scenario with seeded random
+schedulers, recording each run's decisions so a failing run can be
+replayed and shrunk into a minimal counterexample.  Seeds make every
+fuzzing session reproducible: ``fuzz(..., seeds=range(100))`` always
+runs the same hundred schedules.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.mc.counterexample import Counterexample, from_outcome
+from repro.mc.runner import run_schedule
+from repro.mc.scenarios import Scenario
+from repro.mc.shrink import shrink
+from repro.sim.schedule import RandomScheduler
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one fuzzing session over one (scenario, protocol)."""
+
+    scenario: str
+    protocol: str
+    mutation: str | None = None
+    runs: int = 0
+    #: Seed that produced the failure, if any.
+    failing_seed: int | None = None
+    counterexample: Counterexample | None = None
+    #: Re-runs the shrinker spent minimizing.
+    shrink_runs: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.counterexample is None
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "protocol": self.protocol,
+            "mutation": self.mutation,
+            "runs": self.runs,
+            "failing_seed": self.failing_seed,
+            "counterexample": (self.counterexample.to_dict()
+                               if self.counterexample else None),
+            "shrink_runs": self.shrink_runs,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+        }
+
+
+def fuzz(
+    scenario: Scenario,
+    protocol: str,
+    *,
+    seeds: Iterable[int] = range(64),
+    time_budget: float | None = None,
+    mutation=None,
+    max_cycles: int | None = None,
+    shrink_failures: bool = True,
+) -> FuzzResult:
+    """Run ``scenario`` under random schedules until a failure, the seed
+    list, or the time budget (seconds) runs out."""
+    result = FuzzResult(
+        scenario=scenario.name,
+        protocol=protocol,
+        mutation=mutation.name if mutation is not None else None,
+    )
+    run_kwargs: dict = {"mutation": mutation}
+    if max_cycles is not None:
+        run_kwargs["max_cycles"] = max_cycles
+    started = time.monotonic()
+    for seed in seeds:
+        if time_budget is not None and time.monotonic() - started > time_budget:
+            break
+        outcome = run_schedule(scenario, protocol,
+                               scheduler=RandomScheduler(seed), **run_kwargs)
+        result.runs += 1
+        if outcome.failure is None:
+            continue
+        result.failing_seed = seed
+        schedule = outcome.schedule
+        if shrink_failures:
+            shrunk = shrink(scenario, protocol, schedule,
+                            mutation=mutation, max_cycles=max_cycles)
+            result.shrink_runs = shrunk.runs
+            schedule, outcome = shrunk.schedule, shrunk.outcome
+        result.counterexample = from_outcome(
+            scenario, protocol, schedule, outcome,
+            mutation=result.mutation, seed=seed,
+        )
+        break
+    result.elapsed_seconds = time.monotonic() - started
+    return result

@@ -1,0 +1,188 @@
+"""Seeded protocol bugs for mutation-testing the checker.
+
+Each mutation re-introduces a *classic* coherence/synchronization bug --
+the kind the paper's design rules exist to exclude -- as a reversible
+monkey-patch over the protocol/bus classes.  The mutation harness then
+asserts that the model checker finds a counterexample for every one of
+them, which is the evidence that the checker's invariants, oracle, and
+liveness watchdog actually have teeth.
+
+Every mutation names the protocol and scenario it targets, so the
+harness knows where the bug is observable (e.g. a dropped unlock
+broadcast needs lock contention to matter).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, ContextManager
+
+from repro.bus.signals import BusResponse, SnoopReply
+from repro.bus.transaction import BusOp
+from repro.cache.state import CacheState
+from repro.core.lock_protocol import BitarDespainProtocol
+from repro.protocols.base import CoherenceProtocol
+
+
+@contextmanager
+def _patched(owner, attr: str, value):
+    """Temporarily replace ``owner.attr``, restoring the exact original
+    class dict entry afterwards (including *absence*, so patched base
+    methods do not get frozen onto subclasses)."""
+    had = attr in owner.__dict__
+    original = owner.__dict__.get(attr)
+    setattr(owner, attr, value)
+    try:
+        yield
+    finally:
+        if had:
+            setattr(owner, attr, original)
+        else:
+            delattr(owner, attr)
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One seeded bug: a name, where it bites, and how to apply it."""
+
+    name: str
+    description: str
+    #: Protocol the bug is seeded into / observable on.
+    protocol: str
+    #: Scenario whose schedule space exposes it.
+    scenario: str
+    #: Which check is expected to catch it (documentation for reports).
+    caught_by: str
+    apply: Callable[[], ContextManager]
+
+
+# -- the bugs ---------------------------------------------------------------
+
+
+def _drop_unlock_broadcast() -> ContextManager:
+    """The unlock 'forgets' to broadcast even when a waiter was recorded
+    (Section E.4's handoff silently dropped): waiters sleep forever."""
+
+    def broken_release(self, line) -> None:
+        line.state = CacheState.WRITE_DIRTY
+
+    return _patched(BitarDespainProtocol, "_release", broken_release)
+
+
+def _ignore_lock_refusal() -> ContextManager:
+    """A locked holder replies 'miss' instead of refusing (Figure 7
+    dropped): memory services the second lock fetch and two caches both
+    believe they hold the lock."""
+    original = BitarDespainProtocol.snoop
+
+    def broken_snoop(self, line, txn) -> SnoopReply:
+        if line.state.locked and (txn.op.fetches_block
+                                  or txn.op is BusOp.UPGRADE):
+            return SnoopReply.miss()
+        return original(self, line, txn)
+
+    return _patched(BitarDespainProtocol, "snoop", broken_snoop)
+
+
+def _skip_invalidate_on_upgrade() -> ContextManager:
+    """Snooped write-privilege upgrades no longer invalidate the local
+    copy (Feature 4 broken): a stale readable copy survives next to a
+    writer."""
+    original = CoherenceProtocol.snoop_exclusive
+
+    def broken_snoop_exclusive(self, line, txn) -> SnoopReply:
+        if txn.op is BusOp.UPGRADE:
+            return SnoopReply(hit=True)  # keeps the copy valid
+        return original(self, line, txn)
+
+    return _patched(CoherenceProtocol, "snoop_exclusive",
+                    broken_snoop_exclusive)
+
+
+def _stale_memory_supply() -> ContextManager:
+    """The bus ignores cache suppliers and always services fetches from
+    memory (Feature 7's dirty hand-off lost): under a no-flush protocol
+    the fetcher reads stale data."""
+    original = BusResponse.combine
+
+    def broken_combine(replies, choose=None) -> BusResponse:
+        response = original(replies, choose=choose)
+        response.supplier = None
+        response.supplier_dirty = False
+        return response
+
+    return _patched(BusResponse, "combine", staticmethod(broken_combine))
+
+
+def _lost_dirty_purge() -> ContextManager:
+    """Dirty victims are purged without the write-back flush: the only
+    up-to-date copy of the block is silently dropped."""
+
+    def broken_purge_needs_flush(self, line) -> bool:
+        return False
+
+    return _patched(CoherenceProtocol, "purge_needs_flush",
+                    broken_purge_needs_flush)
+
+
+#: Registry of every seeded bug, by name.
+MUTATIONS: dict[str, Mutation] = {
+    mutation.name: mutation
+    for mutation in [
+        Mutation(
+            name="drop-unlock-broadcast",
+            description="Unlock never broadcasts; recorded waiters are "
+                        "stranded on their busy-wait registers.",
+            protocol="bitar-despain",
+            scenario="lock-handoff",
+            caught_by="waiter-liveness invariant / deadlock watchdog",
+            apply=_drop_unlock_broadcast,
+        ),
+        Mutation(
+            name="ignore-lock-refusal",
+            description="A locked holder answers 'miss' instead of "
+                        "refusing, letting a second cache take the lock.",
+            protocol="bitar-despain",
+            scenario="lock-handoff",
+            caught_by="single-writer invariant / write oracle",
+            apply=_ignore_lock_refusal,
+        ),
+        Mutation(
+            name="skip-invalidate-on-upgrade",
+            description="Snooped upgrades keep the local copy valid, "
+                        "leaving a stale reader beside a writer.",
+            protocol="illinois",
+            scenario="shared-upgrade",
+            caught_by="single-writer invariant / write oracle",
+            apply=_skip_invalidate_on_upgrade,
+        ),
+        Mutation(
+            name="stale-memory-supply",
+            description="Fetches are always serviced by memory even when "
+                        "a cache holds the block dirty (no-flush "
+                        "hand-off lost).",
+            protocol="bitar-despain",
+            scenario="racing-writes",
+            caught_by="write oracle (stale read)",
+            apply=_stale_memory_supply,
+        ),
+        Mutation(
+            name="lost-dirty-purge",
+            description="Evicting a dirty block skips the write-back "
+                        "flush, dropping the latest version.",
+            protocol="bitar-despain",
+            scenario="evict-writeback",
+            caught_by="latest-version-reachable invariant",
+            apply=_lost_dirty_purge,
+        ),
+    ]
+}
+
+
+def get_mutation(name: str) -> Mutation:
+    try:
+        return MUTATIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(MUTATIONS))
+        raise KeyError(f"unknown mutation {name!r} (known: {known})") from None

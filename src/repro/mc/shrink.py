@@ -1,0 +1,113 @@
+"""Delta-debugging shrinker for failing schedules.
+
+A schedule is a list of choice indices; index 0 is always the engine's
+legacy tie-break, and a replay past the end of the list defaults to 0.
+That gives two natural reduction moves that always yield *valid*
+schedules:
+
+* **truncate** -- drop a suffix (the tail reverts to default choices);
+* **zero** -- set a chunk of entries to 0 (those decisions revert to the
+  default without renumbering later positions, which matters because a
+  schedule is positional).
+
+The shrinker alternates ddmin-style passes of both moves until neither
+makes progress, re-running the scenario each time and keeping any
+variant that still fails (any failure counts -- a smaller schedule that
+trips a *different* check is still a minimal counterexample of the
+mutation or bug under study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mc.runner import ScheduleOutcome, run_schedule
+from repro.mc.scenarios import Scenario
+
+
+@dataclass
+class ShrinkResult:
+    schedule: list[int]
+    outcome: ScheduleOutcome
+    #: Re-runs spent shrinking.
+    runs: int
+
+
+def _strip_trailing_zeros(schedule: list[int]) -> list[int]:
+    end = len(schedule)
+    while end > 0 and schedule[end - 1] == 0:
+        end -= 1
+    return schedule[:end]
+
+
+def shrink(
+    scenario: Scenario,
+    protocol: str,
+    schedule: list[int],
+    *,
+    mutation=None,
+    max_runs: int = 400,
+    max_cycles: int | None = None,
+) -> ShrinkResult:
+    """Minimize a failing ``schedule``; returns the smallest variant
+    found and the outcome of its final confirming run."""
+    run_kwargs: dict = {"mutation": mutation}
+    if max_cycles is not None:
+        run_kwargs["max_cycles"] = max_cycles
+    runs = 0
+
+    def fails(candidate: list[int]) -> ScheduleOutcome | None:
+        nonlocal runs
+        runs += 1
+        outcome = run_schedule(scenario, protocol, candidate, **run_kwargs)
+        return outcome if outcome.failure is not None else None
+
+    current = _strip_trailing_zeros(list(schedule))
+    best = fails(current)
+    if best is None:
+        # The caller's schedule does not fail (e.g. trailing non-default
+        # entries were load-bearing); fall back to the original.
+        current = list(schedule)
+        best = fails(current)
+        if best is None:
+            raise ValueError("shrink() requires a failing schedule")
+
+    progress = True
+    while progress and runs < max_runs:
+        progress = False
+        # Pass 1: truncate suffixes, largest first.
+        chunk = max(1, len(current) // 2)
+        while chunk >= 1 and runs < max_runs:
+            if len(current) > 0:
+                candidate = _strip_trailing_zeros(current[:-chunk])
+                if len(candidate) < len(current):
+                    outcome = fails(candidate)
+                    if outcome is not None:
+                        current, best = candidate, outcome
+                        progress = True
+                        chunk = max(1, len(current) // 2)
+                        continue
+            chunk //= 2
+        # Pass 2: zero out chunks (positions are significant, so entries
+        # are defaulted in place rather than deleted).
+        chunk = max(1, len(current) // 2)
+        while chunk >= 1 and runs < max_runs:
+            changed = False
+            start = 0
+            while start < len(current) and runs < max_runs:
+                if any(current[start:start + chunk]):
+                    candidate = list(current)
+                    candidate[start:start + chunk] = [0] * len(
+                        candidate[start:start + chunk])
+                    candidate = _strip_trailing_zeros(candidate)
+                    outcome = fails(candidate)
+                    if outcome is not None:
+                        current, best = candidate, outcome
+                        progress = True
+                        changed = True
+                        start = 0
+                        continue
+                start += chunk
+            if not changed:
+                chunk //= 2
+    return ShrinkResult(schedule=current, outcome=best, runs=runs)

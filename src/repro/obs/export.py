@@ -19,6 +19,8 @@ import io
 import json
 from typing import TYPE_CHECKING, Any
 
+from repro.common.schema import stamp
+
 if TYPE_CHECKING:
     from repro.obs.core import Observability, ObsResult
 
@@ -39,8 +41,8 @@ def _result(obs: "Observability | ObsResult") -> "ObsResult":
 def samples_jsonl(obs: "Observability | ObsResult") -> str:
     """One sample per line; a leading header line carries run metadata."""
     result = _result(obs)
-    lines = [json.dumps({"kind": "header", "interval": result.interval,
-                         "cycles": result.cycles})]
+    lines = [json.dumps(stamp({"kind": "header", "interval": result.interval,
+                               "cycles": result.cycles}))]
     lines.extend(
         json.dumps({"kind": "sample", **sample}) for sample in result.samples
     )
@@ -68,7 +70,7 @@ def samples_csv(obs: "Observability | ObsResult") -> str:
 def metrics_json(obs: "Observability | ObsResult", *,
                  indent: int | None = 2) -> str:
     """The full registry snapshot plus the sample series as one JSON doc."""
-    return json.dumps(_result(obs).to_dict(), indent=indent)
+    return json.dumps(stamp(_result(obs).to_dict()), indent=indent)
 
 
 def write_samples(obs: "Observability | ObsResult", path: str) -> None:
@@ -128,12 +130,12 @@ def chrome_trace(obs: "Observability | ObsResult") -> dict:
             "ts": s["start"], "dur": max(s["dur"], 0),
             "args": s.get("args", {}),
         })
-    return {
+    return stamp({
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {"cycles": result.cycles,
                       "sample_interval": result.interval},
-    }
+    })
 
 
 def write_chrome_trace(obs: "Observability | ObsResult", path: str) -> None:

@@ -51,10 +51,12 @@ class Heatmap:
         return top[0][0] if top else None
 
     def to_dict(self) -> dict:
-        return {
+        from repro.common.schema import stamp
+
+        return stamp({
             metric: {str(block): count for block, count in sorted(counts.items())}
             for metric, counts in self.per_metric.items()
-        }
+        })
 
     def render(self, n: int = 10) -> str:
         """A per-block table of every attribution metric, hottest blocks

@@ -36,6 +36,7 @@ from repro.obs.core import NULL_OBS, Observability
 from repro.protocols import get_protocol
 from repro.sim.clock import Clock, StampClock
 from repro.sim.events import NULL_TRACE, TraceLog
+from repro.sim.schedule import ChoiceKind, Scheduler
 from repro.sim.stats import SimStats
 from repro.verify.invariants import InvariantChecker
 from repro.verify.oracle import WriteOracle
@@ -66,6 +67,7 @@ class Simulator:
         check_interval: int = 0,
         fast_forward: bool | None = None,
         obs: Observability | None = None,
+        scheduler: "Scheduler | None" = None,
     ) -> None:
         if len(programs) != config.num_processors:
             raise ConfigError(
@@ -79,6 +81,10 @@ class Simulator:
         self.config = config
         #: None defers to the module-level FAST_FORWARD_DEFAULT at run().
         self.fast_forward = fast_forward
+        #: Resolves the engine's nondeterministic tie-breaks (bus
+        #: arbitration, issue order, read source, waiter wake); ``None``
+        #: keeps the built-in deterministic choices on the fast path.
+        self.scheduler = scheduler
         self.clock = Clock()
         self.stamp_clock = StampClock()
         self.stats = SimStats()
@@ -100,6 +106,7 @@ class Simulator:
         else:
             self.bus = Bus(self.memory, config.timing, self.clock,
                            self.stats, self.trace, obs=self.obs)
+        self.bus.scheduler = scheduler
         self.oracle = WriteOracle(self.stats, strict=config.strict_verify)
 
         protocol_cls = get_protocol(config.protocol)
@@ -183,8 +190,11 @@ class Simulator:
             directory.begin_cycle()
         self.bus.step()
         cycle = self.clock.cycle
-        for processor in self.processors:
-            processor.tick(cycle)
+        if self.scheduler is None:
+            for processor in self.processors:
+                processor.tick(cycle)
+        else:
+            self._tick_scheduled(cycle)
         self.stats.cycles += 1
         self.clock.cycle = cycle + 1
         obs = self.obs
@@ -192,6 +202,31 @@ class Simulator:
             obs.on_advance(self.stats.cycles)
         if self._check_interval and self.stats.cycles % self._check_interval == 0:
             self.checker.check_all()
+
+    def _tick_scheduled(self, cycle: int) -> None:
+        """Tick the processors with the issue order as a choice point.
+
+        Only processors that will *act* this cycle (issue, retire, or
+        collect -- ``next_event_cycle() == cycle``) are permuted; the
+        rest merely account idle/compute cycles, which commutes.  The
+        default order (ascending pid) is candidate 0, so the base
+        scheduler reproduces the unscheduled engine exactly.
+        """
+        scheduler = self.scheduler
+        assert scheduler is not None
+        active = [p for p in self.processors
+                  if p.next_event_cycle(cycle) == cycle]
+        passive = [p for p in self.processors if p not in active]
+        while active:
+            index = 0
+            if len(active) > 1:
+                index = scheduler.choose(
+                    ChoiceKind.ISSUE_ORDER,
+                    [p.pid for p in active], cycle=cycle,
+                )
+            active.pop(index).tick(cycle)
+        for processor in passive:
+            processor.tick(cycle)
 
     def run(self, max_cycles: int | None = None,
             fast_forward: bool | None = None) -> SimStats:

@@ -1,0 +1,169 @@
+"""Explicit scheduling of the engine's nondeterministic choices.
+
+The simulator is deterministic by construction: bus arbitration is
+round-robin, processors tick in pid order, and read-source arbitration
+picks the lowest cache id.  Each of those tie-breaks is a point where
+real hardware may legitimately go another way, so every one is routed
+through a :class:`Scheduler`:
+
+* ``BUS_ARB`` -- which of several standing bus requests is granted;
+* ``WAITER_WAKE`` -- which busy-wait register's high-priority request
+  wins the arbitration following an unlock broadcast (Section E.4);
+* ``ISSUE_ORDER`` -- which of several simultaneously-actionable
+  processors ticks first within a cycle (this orders their write
+  stamps, i.e. their serialization);
+* ``READ_SOURCE`` -- which of several arbitrating read sources supplies
+  the block (Illinois, Feature 8 ``ARB``).
+
+Candidate lists are ordered with the engine's historical tie-break
+first, so the base :class:`Scheduler` (always index 0) reproduces the
+default run bit-for-bit -- and a simulator built without a scheduler
+never calls these hooks at all.  The model checker (:mod:`repro.mc`)
+enumerates or fuzzes the indices; :class:`ReplayScheduler` replays a
+recorded index sequence, which is what makes counterexample traces
+exactly reproducible.
+
+Only *real* branch points reach a scheduler: callers skip the hook when
+a single candidate exists, so a recorded schedule is precisely the list
+of free choices taken, in order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Sequence
+
+
+class ChoiceKind(Enum):
+    """The four nondeterministic choice points of the engine."""
+
+    BUS_ARB = "bus-arb"
+    WAITER_WAKE = "waiter-wake"
+    ISSUE_ORDER = "issue-order"
+    READ_SOURCE = "read-source"
+
+
+@dataclass(frozen=True)
+class Choice:
+    """One decision taken at a choice point (a schedule is a list of
+    these; replaying just the ``chosen`` indices reproduces the run)."""
+
+    kind: ChoiceKind
+    #: Candidate identities (cache/processor ids), default tie-break first.
+    candidates: tuple[int, ...]
+    #: Index into ``candidates`` that was taken.
+    chosen: int
+    #: Bus cycle at which the decision was made.
+    cycle: int
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "candidates": list(self.candidates),
+            "chosen": self.chosen,
+            "cycle": self.cycle,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Choice":
+        return Choice(
+            kind=ChoiceKind(data["kind"]),
+            candidates=tuple(data["candidates"]),
+            chosen=int(data["chosen"]),
+            cycle=int(data["cycle"]),
+        )
+
+
+class Scheduler:
+    """Base scheduler: always takes the default tie-break (index 0).
+
+    Installing this scheduler on a simulator reproduces the unscheduled
+    run exactly (asserted in the test suite), which is what anchors the
+    model checker's exploration to the reference semantics.
+    """
+
+    def choose(self, kind: ChoiceKind, candidates: Sequence[int], *,
+               cycle: int) -> int:
+        """Return an index into ``candidates``.  Called only with two or
+        more candidates."""
+        return 0
+
+
+class RecordingScheduler(Scheduler):
+    """Wraps another scheduler and records every decision taken."""
+
+    def __init__(self, inner: Scheduler | None = None) -> None:
+        self.inner = inner or Scheduler()
+        self.choices: list[Choice] = []
+
+    def choose(self, kind: ChoiceKind, candidates: Sequence[int], *,
+               cycle: int) -> int:
+        index = self.inner.choose(kind, candidates, cycle=cycle)
+        if not 0 <= index < len(candidates):
+            raise ValueError(
+                f"scheduler chose index {index} of {len(candidates)} "
+                f"candidates at {kind.value} (cycle {cycle})"
+            )
+        self.choices.append(
+            Choice(kind=kind, candidates=tuple(candidates),
+                   chosen=index, cycle=cycle)
+        )
+        return index
+
+    @property
+    def trace(self) -> list[int]:
+        """The bare index sequence (the replayable schedule)."""
+        return [choice.chosen for choice in self.choices]
+
+
+class ReplayScheduler(Scheduler):
+    """Replays a recorded index sequence; past its end, defaults to 0.
+
+    Out-of-range indices (the schedule was recorded against a different
+    candidate set, e.g. while shrinking) clamp to the last candidate so
+    every index sequence is a valid schedule.
+    """
+
+    def __init__(self, trace: Sequence[int]) -> None:
+        self.trace = list(trace)
+        self.position = 0
+
+    def choose(self, kind: ChoiceKind, candidates: Sequence[int], *,
+               cycle: int) -> int:
+        if self.position >= len(self.trace):
+            return 0
+        index = self.trace[self.position]
+        self.position += 1
+        return min(max(index, 0), len(candidates) - 1)
+
+
+class RandomScheduler(Scheduler):
+    """Uniform random choices from a seeded PRNG (the fuzzer's driver)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, kind: ChoiceKind, candidates: Sequence[int], *,
+               cycle: int) -> int:
+        return self._rng.randrange(len(candidates))
+
+
+@dataclass
+class SchedulerStats:
+    """Summary of the decision points one run exposed (used by the
+    explorer to size the search and by reports)."""
+
+    decision_points: int = 0
+    by_kind: dict = field(default_factory=dict)
+
+    @staticmethod
+    def of(choices: Sequence[Choice]) -> "SchedulerStats":
+        stats = SchedulerStats(decision_points=len(choices))
+        for choice in choices:
+            stats.by_kind[choice.kind.value] = (
+                stats.by_kind.get(choice.kind.value, 0) + 1
+            )
+        return stats

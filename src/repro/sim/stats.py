@@ -169,9 +169,16 @@ class SimStats:
 
     def to_json(self, *, indent: int | None = 2) -> str:
         """Full JSON dump: headline counters, per-transaction breakdown,
-        and per-processor cycle accounting."""
+        and per-processor cycle accounting -- stamped with the artifact
+        ``schema_version``."""
         import json
 
+        from repro.common.schema import stamp
+
+        return json.dumps(stamp(self.to_payload()), indent=indent)
+
+    def to_payload(self) -> dict:
+        """The :meth:`to_json` document as plain data (unstamped)."""
         payload = dict(self.to_dict())
         payload["txn_counts"] = dict(self.txn_counts)
         payload["txn_cycles"] = dict(self.txn_cycles)
@@ -195,7 +202,7 @@ class SimStats:
             }
             for pid, p in sorted(self.processors.items())
         }
-        return json.dumps(payload, indent=indent)
+        return payload
 
     def to_dict(self) -> dict:
         """Flatten the headline counters for reporting."""

@@ -1,0 +1,65 @@
+"""Named workload registry shared by the CLI and :mod:`repro.api`.
+
+Each entry maps a CLI-friendly name to a builder taking the system
+config and a lock style (workloads that generate explicit lock/unlock
+ops honor it; reference-stream workloads ignore it).  Protocol-dependent
+defaults (block size, lock style) live here too so every entry point
+resolves them identically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.config import SystemConfig
+from repro.processor.program import LockStyle, Program
+from repro.workloads import (
+    interleaved_sharing,
+    lock_contention,
+    migration,
+    process_switch,
+    producer_consumer,
+    prolog_and_parallel,
+    request_queue,
+    sleep_wait,
+    smith_stream,
+)
+
+
+def _lowered(programs, style: LockStyle):
+    return [p.lowered(style) for p in programs]
+
+
+WORKLOADS: dict[str, Callable[[SystemConfig, LockStyle], list[Program]]] = {
+    "lock-contention": lambda cfg, style: lock_contention(cfg, lock_style=style),
+    "producer-consumer": lambda cfg, style: producer_consumer(cfg, lock_style=style),
+    "request-queue": lambda cfg, style: request_queue(cfg, lock_style=style),
+    "sharing": lambda cfg, style: interleaved_sharing(cfg),
+    "migration": lambda cfg, style: migration(cfg),
+    "process-switch": lambda cfg, style: process_switch(cfg),
+    "smith": lambda cfg, style: smith_stream(cfg),
+    "prolog": lambda cfg, style: _lowered(prolog_and_parallel(cfg), style),
+    "sleep-wait": lambda cfg, style: _lowered(sleep_wait(cfg), style),
+}
+
+
+def default_words_per_block(protocol: str) -> int:
+    """The paper's four-word blocks, except Rudolph-Segall's one-word."""
+    return 1 if protocol == "rudolph-segall" else 4
+
+
+def default_lock_style(protocol: str) -> LockStyle:
+    """Cache-lock on the proposal, test-and-test-and-set elsewhere."""
+    return (LockStyle.CACHE_LOCK if protocol == "bitar-despain"
+            else LockStyle.TTAS)
+
+
+def build_workload(name: str, config: SystemConfig,
+                   style: LockStyle | None = None) -> list[Program]:
+    """Instantiate a registered workload for ``config``."""
+    try:
+        builder = WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise KeyError(f"unknown workload {name!r} (known: {known})") from None
+    return builder(config, style or default_lock_style(config.protocol))

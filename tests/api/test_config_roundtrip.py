@@ -1,0 +1,72 @@
+"""Config serialization: to_dict()/from_dict() round-trips and the
+field-naming validation errors."""
+
+import json
+
+import pytest
+
+from repro.common.config import (CacheConfig, DirectoryKind, RmwMethod,
+                                 SystemConfig, TimingConfig, WaitMode)
+from repro.common.errors import ConfigError
+
+
+class TestRoundTrip:
+    def test_default_system_config(self):
+        config = SystemConfig()
+        assert SystemConfig.from_dict(config.to_dict()) == config
+
+    def test_non_default_everything(self):
+        config = SystemConfig(
+            num_processors=7,
+            protocol="illinois",
+            num_buses=2,
+            cache=CacheConfig(words_per_block=8, num_blocks=32, assoc=4,
+                              transfer_unit_words=2,
+                              directory=DirectoryKind.NON_IDENTICAL_DUAL),
+            timing=TimingConfig(memory_latency=9, flush_concurrent=False),
+            rmw_method=RmwMethod.BUS_HOLD,
+            wait_mode=WaitMode.WORK,
+            with_io=True,
+            strict_verify=False,
+            deadlock_horizon=123,
+            seed=5,
+        )
+        assert SystemConfig.from_dict(config.to_dict()) == config
+
+    def test_dict_is_plain_json(self):
+        data = SystemConfig().to_dict()
+        assert json.loads(json.dumps(data)) == data
+        assert data["wait_mode"] == "spin"
+        assert data["cache"]["directory"] == "ID"
+
+    def test_nested_configs_round_trip_alone(self):
+        cache = CacheConfig(assoc=2, num_blocks=8)
+        assert CacheConfig.from_dict(cache.to_dict()) == cache
+        timing = TimingConfig(memory_latency=3)
+        assert TimingConfig.from_dict(timing.to_dict()) == timing
+
+
+class TestValidationNamesTheField:
+    def test_unknown_field(self):
+        with pytest.raises(ConfigError, match="bogus"):
+            SystemConfig.from_dict({**SystemConfig().to_dict(), "bogus": 1})
+
+    def test_bad_enum_value(self):
+        data = {**SystemConfig().to_dict(), "rmw_method": "teleport"}
+        with pytest.raises(ConfigError, match="rmw_method"):
+            SystemConfig.from_dict(data)
+
+    def test_nested_constraint_violation(self):
+        data = SystemConfig().to_dict()
+        data["cache"] = {"num_blocks": 8, "assoc": 3}
+        with pytest.raises(ConfigError, match="assoc"):
+            SystemConfig.from_dict(data)
+
+    def test_top_level_constraint_violation(self):
+        data = {**SystemConfig().to_dict(), "num_processors": -1}
+        with pytest.raises(ConfigError, match="num_processors"):
+            SystemConfig.from_dict(data)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigError, match="system"):
+            SystemConfig.from_dict("nope")  # type: ignore[arg-type]

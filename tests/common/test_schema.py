@@ -1,0 +1,67 @@
+"""Artifact schema versioning: stamp() and check()."""
+
+import pytest
+
+from repro.common.schema import SCHEMA_VERSION, SchemaError, check, stamp
+
+
+class TestStamp:
+    def test_stamp_adds_version_in_place(self):
+        payload = {"a": 1}
+        assert stamp(payload) is payload
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_check_accepts_stamped(self):
+        assert check(stamp({}), where="x") == SCHEMA_VERSION
+
+    def test_check_accepts_older(self):
+        assert check({"schema_version": 1}, where="x") == 1
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(SchemaError, match="x"):
+            check({}, where="x")
+
+    def test_newer_version_rejected(self):
+        with pytest.raises(SchemaError):
+            check({"schema_version": SCHEMA_VERSION + 1}, where="x")
+
+    @pytest.mark.parametrize("bad", ["1", 1.5, True, None])
+    def test_non_int_version_rejected(self, bad):
+        with pytest.raises(SchemaError):
+            check({"schema_version": bad}, where="x")
+
+
+class TestArtifactsAreStamped:
+    """Every JSON artifact the repo produces carries schema_version."""
+
+    def test_sim_stats_json(self):
+        import json
+
+        from repro import api
+
+        payload = json.loads(api.simulate(processors=2).stats.to_json())
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_observability_artifacts(self):
+        import json
+
+        from repro import api
+        from repro.obs import build_heatmap
+        from repro.obs.export import chrome_trace, metrics_json, samples_jsonl
+
+        result = api.simulate(processors=2, sample_interval=10)
+        header = json.loads(samples_jsonl(result.obs).splitlines()[0])
+        assert header["schema_version"] == SCHEMA_VERSION
+        assert json.loads(metrics_json(result.obs))["schema_version"] == \
+            SCHEMA_VERSION
+        assert chrome_trace(result.obs)["schema_version"] == SCHEMA_VERSION
+        assert build_heatmap(result.obs).to_dict()["schema_version"] == \
+            SCHEMA_VERSION
+
+    def test_facade_results(self):
+        from repro import api
+
+        assert api.simulate(processors=2).to_dict()["schema_version"] == \
+            SCHEMA_VERSION
+        assert api.conform("illinois").to_dict()["schema_version"] == \
+            SCHEMA_VERSION

@@ -1,0 +1,37 @@
+"""The check() orchestration and its report."""
+
+import json
+
+import repro.mc as mc
+
+
+class TestCheck:
+    def test_single_protocol_clean(self):
+        report = mc.check(["bitar-despain"], fuzz_seeds=4)
+        assert report.ok
+        assert len(report.explorations) == len(
+            [s for s in mc.SCENARIOS.values() if s.exhaustive])
+        assert report.counterexamples == []
+
+    def test_mutation_pass_included(self, tmp_path):
+        report = mc.check(["bitar-despain"], scenarios=["lock-handoff"],
+                          fuzz_seeds=2,
+                          mutations=["drop-unlock-broadcast"],
+                          counterexample_dir=tmp_path)
+        assert report.ok  # mutations caught == ok
+        assert len(report.mutation_results) == 1
+        assert report.mutation_results[0].caught
+        assert len(report.saved_paths) == 1
+        saved = json.loads(open(report.saved_paths[0]).read())
+        assert saved["schema_version"] == 1
+
+    def test_report_is_stamped_json(self):
+        report = mc.check(["illinois"], scenarios=["tas-race"], fuzz_seeds=2)
+        data = report.to_dict()
+        assert data["schema_version"] == 1
+        json.dumps(data)
+
+    def test_fuzz_budget_zero_skips_fuzzing(self):
+        report = mc.check(["bitar-despain"], scenarios=["read-share"],
+                          fuzz_budget=0.0)
+        assert report.fuzz_sessions == []

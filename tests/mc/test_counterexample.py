@@ -1,0 +1,80 @@
+"""Counterexample traces: serialization, replay, and the committed fixture."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.mc as mc
+from repro.common.schema import SchemaError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _fresh_counterexample() -> mc.Counterexample:
+    result = mc.test_mutation(mc.get_mutation("lost-dirty-purge"))
+    return result.counterexample
+
+
+class TestSerialization:
+    def test_save_load_round_trip(self, tmp_path):
+        ce = _fresh_counterexample()
+        path = ce.save(tmp_path / "ce.json")
+        loaded = mc.Counterexample.load(path)
+        assert loaded.schedule == ce.schedule
+        assert loaded.failure == ce.failure
+        assert loaded.protocol == ce.protocol
+        assert [c.to_dict() for c in loaded.choices] == \
+            [c.to_dict() for c in ce.choices]
+
+    def test_trace_is_stamped(self, tmp_path):
+        ce = _fresh_counterexample()
+        data = json.loads(ce.save(tmp_path / "ce.json").read_text())
+        assert data["schema_version"] == 1
+
+    def test_unstamped_trace_rejected(self):
+        ce = _fresh_counterexample()
+        data = ce.to_dict()
+        del data["schema_version"]
+        with pytest.raises(SchemaError):
+            mc.Counterexample.from_dict(data)
+
+    def test_newer_schema_rejected(self):
+        ce = _fresh_counterexample()
+        data = ce.to_dict()
+        data["schema_version"] = 999
+        with pytest.raises(SchemaError):
+            mc.Counterexample.from_dict(data)
+
+
+class TestReplay:
+    def test_chrome_trace_export(self):
+        from repro.obs.export import validate_chrome_trace
+
+        ce = _fresh_counterexample()
+        payload = ce.to_chrome_trace()
+        assert validate_chrome_trace(payload) == []
+        meta = payload["otherData"]["counterexample"]
+        assert meta["reproduced"] is True
+        assert meta["failure"]["kind"] == ce.failure.kind
+
+
+class TestCommittedFixture:
+    """Regression: the repository ships a shrunk trace that must keep
+    reproducing its failure end to end."""
+
+    def test_fixture_replays_end_to_end(self):
+        ce = mc.Counterexample.load(FIXTURES / "lost-dirty-purge.json")
+        assert ce.mutation == "lost-dirty-purge"
+        assert len(ce.schedule) <= 40
+        outcome = ce.replay()
+        assert outcome.failure is not None
+        assert outcome.failure.kind == ce.failure.kind
+
+    def test_fixture_is_mutation_specific(self):
+        """Without the seeded bug the same schedule runs clean -- the
+        failure really is the mutation's, not the scenario's."""
+        ce = mc.Counterexample.load(FIXTURES / "lost-dirty-purge.json")
+        clean = mc.run_schedule(mc.get_scenario(ce.scenario), ce.protocol,
+                                ce.schedule)
+        assert clean.failure is None

@@ -1,0 +1,75 @@
+"""Exhaustive schedule-space exploration over the scenario battery."""
+
+import pytest
+
+import repro.mc as mc
+from tests.conftest import ALL_PROTOCOLS
+
+PROTOCOL_IDS = [p for p, _, _ in ALL_PROTOCOLS]
+EXHAUSTIVE_SCENARIOS = [name for name, s in mc.SCENARIOS.items()
+                        if s.exhaustive]
+
+
+class TestExploreClean:
+    @pytest.mark.parametrize("protocol", PROTOCOL_IDS)
+    @pytest.mark.parametrize("scenario", EXHAUSTIVE_SCENARIOS)
+    def test_every_protocol_explores_clean(self, protocol, scenario):
+        """Acceptance: exhaustive exploration passes for all ten
+        protocols on every small scenario."""
+        result = mc.explore(mc.get_scenario(scenario), protocol)
+        assert result.failure is None, result.failure
+        assert result.complete, "exploration should finish within budget"
+        assert result.schedules >= 1
+        assert result.states >= 1
+
+    def test_exploration_is_deterministic(self):
+        scenario = mc.get_scenario("racing-writes")
+        a = mc.explore(scenario, "bitar-despain")
+        b = mc.explore(scenario, "bitar-despain")
+        assert (a.schedules, a.pruned, a.states) == \
+            (b.schedules, b.pruned, b.states)
+
+    def test_dedupe_prunes_converged_branches(self):
+        scenario = mc.get_scenario("lock-handoff")
+        deduped = mc.explore(scenario, "bitar-despain", dedupe=True)
+        raw = mc.explore(scenario, "bitar-despain", dedupe=False)
+        assert deduped.failure is None and raw.failure is None
+        assert deduped.schedules <= raw.schedules
+        assert deduped.pruned > 0 or deduped.schedules == raw.schedules
+
+    def test_budget_exhaustion_reported(self):
+        result = mc.explore(mc.get_scenario("racing-writes"),
+                            "bitar-despain", max_schedules=2)
+        assert not result.complete
+        assert result.schedules == 2
+
+    def test_report_serializes(self):
+        import json
+
+        result = mc.explore(mc.get_scenario("tas-race"), "illinois")
+        json.dumps(result.to_dict())
+
+
+class TestStateHashing:
+    def test_fingerprint_stable_within_cycle(self):
+        scenario = mc.get_scenario("lock-handoff")
+        sim = mc.build_sim(scenario, "bitar-despain", None)
+        sim.step()
+        assert mc.fingerprint(sim) == mc.fingerprint(sim)
+
+    def test_fingerprint_tracks_behavioral_state(self):
+        scenario = mc.get_scenario("lock-handoff")
+        sim = mc.build_sim(scenario, "bitar-despain", None)
+        seen = [mc.fingerprint(sim)]
+        for _ in range(8):
+            sim.step()
+            seen.append(mc.fingerprint(sim))
+        assert len(set(seen)) > 1, "stepping must change the signature"
+
+    def test_signature_excludes_statistics(self):
+        scenario = mc.get_scenario("lock-handoff")
+        sim = mc.build_sim(scenario, "bitar-despain", None)
+        sim.step()
+        before = mc.state_signature(sim)
+        sim.stats.read_hits += 100  # stats are not behavioral state
+        assert mc.state_signature(sim) == before

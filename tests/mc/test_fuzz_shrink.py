@@ -1,0 +1,67 @@
+"""Randomized schedule fuzzing and delta-debugging shrinking."""
+
+import repro.mc as mc
+
+
+class TestFuzz:
+    def test_clean_protocol_fuzzes_clean(self):
+        result = mc.fuzz(mc.get_scenario("three-way-lock"), "bitar-despain",
+                         seeds=range(16))
+        assert result.ok
+        assert result.runs == 16
+
+    def test_fuzz_finds_seeded_bug(self):
+        result = mc.fuzz(mc.get_scenario("lock-handoff"), "bitar-despain",
+                         mutation=mc.get_mutation("drop-unlock-broadcast"),
+                         seeds=range(16))
+        assert not result.ok
+        assert result.failing_seed is not None
+        assert result.counterexample is not None
+        assert result.counterexample.reproduces()
+
+    def test_fuzz_is_reproducible(self):
+        kwargs = dict(mutation=mc.get_mutation("lost-dirty-purge"),
+                      seeds=range(16))
+        scenario = mc.get_scenario("evict-writeback")
+        a = mc.fuzz(scenario, "bitar-despain", **kwargs)
+        b = mc.fuzz(scenario, "bitar-despain", **kwargs)
+        assert a.failing_seed == b.failing_seed
+        assert a.counterexample.schedule == b.counterexample.schedule
+
+    def test_time_budget_respected(self):
+        result = mc.fuzz(mc.get_scenario("read-share"), "illinois",
+                         seeds=range(10_000), time_budget=0.5)
+        assert result.elapsed_seconds < 5.0
+        assert result.runs < 10_000
+
+
+class TestShrink:
+    def test_shrunk_schedule_still_fails(self):
+        mutation = mc.get_mutation("lost-dirty-purge")
+        scenario = mc.get_scenario(mutation.scenario)
+        exploration = mc.explore(scenario, mutation.protocol,
+                                 mutation=mutation)
+        assert exploration.failing_schedule is not None
+        result = mc.shrink(scenario, mutation.protocol,
+                           exploration.failing_schedule, mutation=mutation)
+        assert result.outcome.failure is not None
+        assert len(result.schedule) <= len(exploration.failing_schedule)
+
+    def test_shrink_drops_padding(self):
+        """Junk appended to a failing schedule shrinks back out (a replay
+        past the recorded choices just takes defaults)."""
+        mutation = mc.get_mutation("lost-dirty-purge")
+        scenario = mc.get_scenario(mutation.scenario)
+        exploration = mc.explore(scenario, mutation.protocol,
+                                 mutation=mutation)
+        padded = list(exploration.failing_schedule) + [0] * 64
+        result = mc.shrink(scenario, mutation.protocol, padded,
+                           mutation=mutation)
+        assert len(result.schedule) <= len(exploration.failing_schedule)
+
+    def test_shrink_requires_a_failing_schedule(self):
+        import pytest
+
+        scenario = mc.get_scenario("lock-handoff")
+        with pytest.raises(ValueError):
+            mc.shrink(scenario, "bitar-despain", [0, 0, 0])

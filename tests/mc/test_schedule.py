@@ -1,0 +1,89 @@
+"""Scheduler plumbing: explicit choice points leave defaults bit-identical."""
+
+import pytest
+
+from repro import CacheConfig, SystemConfig, run_workload
+from repro.sim.engine import Simulator
+from repro.sim.schedule import (Choice, ChoiceKind, RandomScheduler,
+                                RecordingScheduler, ReplayScheduler,
+                                Scheduler)
+from repro.workloads.registry import build_workload, default_words_per_block
+
+
+def _config(protocol: str, n: int = 4) -> SystemConfig:
+    return SystemConfig(
+        num_processors=n,
+        protocol=protocol,
+        strict_verify=protocol != "write-through",
+        cache=CacheConfig(words_per_block=default_words_per_block(protocol),
+                          num_blocks=16),
+    )
+
+
+def _run(protocol: str, scheduler) -> dict:
+    config = _config(protocol)
+    programs = build_workload("lock-contention", config)
+    sim = Simulator(config, programs, scheduler=scheduler)
+    return sim.run().to_payload()
+
+
+class TestDefaultEquivalence:
+    """A scheduler that always picks index 0 is the legacy tie-break."""
+
+    @pytest.mark.parametrize("protocol", ["bitar-despain", "illinois",
+                                          "write-through"])
+    def test_base_scheduler_matches_no_scheduler(self, protocol):
+        assert _run(protocol, None) == _run(protocol, Scheduler())
+
+    def test_recording_scheduler_is_transparent(self):
+        recorder = RecordingScheduler(Scheduler())
+        assert _run("bitar-despain", None) == _run("bitar-despain", recorder)
+        assert recorder.choices, "contended run must hit choice points"
+        kinds = {c.kind for c in recorder.choices}
+        assert ChoiceKind.BUS_ARB in kinds or ChoiceKind.ISSUE_ORDER in kinds
+
+    def test_run_workload_unchanged(self):
+        """The public entry point never consults a scheduler."""
+        config = _config("bitar-despain")
+        programs = build_workload("lock-contention", config)
+        baseline = run_workload(config, programs).to_payload()
+        programs = build_workload("lock-contention", config)
+        assert Simulator(config, programs).run().to_payload() == baseline
+
+
+class TestReplay:
+    def test_random_run_replays_bit_identically(self):
+        config = _config("bitar-despain")
+        recorder = RecordingScheduler(RandomScheduler(7))
+        programs = build_workload("lock-contention", config)
+        first = Simulator(config, programs, scheduler=recorder).run()
+
+        replayer = ReplayScheduler([c.chosen for c in recorder.choices])
+        confirm = RecordingScheduler(replayer)
+        programs = build_workload("lock-contention", config)
+        second = Simulator(config, programs, scheduler=confirm).run()
+
+        assert first.to_payload() == second.to_payload()
+        assert [c.chosen for c in confirm.choices] == \
+            [c.chosen for c in recorder.choices]
+
+    def test_replay_defaults_past_end_and_clamps(self):
+        scheduler = ReplayScheduler([99])
+        assert scheduler.choose(ChoiceKind.BUS_ARB, [10, 20], cycle=0) == 1
+        assert scheduler.choose(ChoiceKind.BUS_ARB, [10, 20], cycle=1) == 0
+
+    def test_random_scheduler_is_seeded(self):
+        def picks(seed):
+            scheduler = RandomScheduler(seed)
+            return [scheduler.choose(ChoiceKind.BUS_ARB, [0, 1, 2], cycle=c)
+                    for c in range(32)]
+
+        assert picks(3) == picks(3)
+        assert picks(3) != picks(4)
+
+
+class TestChoice:
+    def test_choice_round_trips(self):
+        choice = Choice(kind=ChoiceKind.WAITER_WAKE, candidates=(1, 2),
+                        chosen=1, cycle=17)
+        assert Choice.from_dict(choice.to_dict()) == choice

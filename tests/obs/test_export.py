@@ -26,7 +26,7 @@ class TestSampleExport:
         lines = samples_jsonl(obs).splitlines()
         header = json.loads(lines[0])
         assert header == {"kind": "header", "interval": obs.sampler.interval,
-                          "cycles": stats.cycles}
+                          "cycles": stats.cycles, "schema_version": 1}
         rows = [json.loads(line) for line in lines[1:]]
         assert len(rows) == len(obs.sampler.samples) > 0
         assert all(row["kind"] == "sample" for row in rows)
@@ -46,7 +46,7 @@ class TestSampleExport:
         doc = json.loads(metrics_json(obs))
         assert doc["cycles"] == stats.cycles
         assert set(doc) == {"interval", "cycles", "samples", "metrics",
-                            "slices"}
+                            "slices", "schema_version"}
         assert "lock_acquisitions_total" in doc["metrics"]
 
     def test_write_samples_dispatches_on_extension(self, observed, tmp_path):

@@ -114,3 +114,62 @@ class TestCommands:
 
     def test_conformance_write_through(self, capsys):
         assert main(["conformance", "--protocol", "write-through"]) == 0
+
+
+class TestDeprecatedFlags:
+    def test_verify_every_still_works_with_warning(self, capsys):
+        assert main(["run", "-n", "2", "--verify-every", "16"]) == 0
+        err = capsys.readouterr().err
+        assert "--verify-every is deprecated" in err
+        assert "--check-interval" in err
+
+    def test_cache_blocks_still_works_with_warning(self, capsys):
+        assert main(["run", "-n", "2", "--cache-blocks", "32"]) == 0
+        err = capsys.readouterr().err
+        assert "--cache-blocks is deprecated" in err
+        assert "--num-blocks" in err
+
+    def test_new_spellings_do_not_warn(self, capsys):
+        assert main(["run", "-n", "2", "--check-interval", "16",
+                     "--num-blocks", "32"]) == 0
+        assert "deprecated" not in capsys.readouterr().err
+
+    def test_new_spelling_wins_over_old(self, capsys):
+        # Both given: the replacement flag takes precedence.
+        assert main(["run", "-n", "2", "--num-blocks", "32",
+                     "--cache-blocks", "8"]) == 0
+
+
+class TestCheckCommand:
+    def test_check_single_protocol(self, capsys):
+        assert main(["check", "--protocol", "bitar-despain",
+                     "--scenario", "lock-handoff", "--fuzz-seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "explore" in out and "OK" in out
+
+    def test_check_json_report(self, capsys):
+        import json
+
+        assert main(["check", "--protocol", "illinois",
+                     "--scenario", "tas-race", "--fuzz-seeds", "2",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["schema_version"] == 1
+
+    def test_check_mutation_harness(self, capsys, tmp_path):
+        assert main(["check", "--protocol", "bitar-despain",
+                     "--scenario", "lock-handoff", "--fuzz-seeds", "2",
+                     "--mutate", "drop-unlock-broadcast",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "caught" in out
+        assert list(tmp_path.glob("*.json")), "counterexample not saved"
+
+    def test_check_replay_fixture(self, capsys):
+        from pathlib import Path
+
+        fixture = (Path(__file__).parent / "mc" / "fixtures"
+                   / "lost-dirty-purge.json")
+        assert main(["check", "--replay", str(fixture)]) == 0
+        assert "reproduced" in capsys.readouterr().out

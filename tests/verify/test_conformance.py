@@ -14,6 +14,18 @@ def test_builtin_protocols_conform(protocol, wpb, strict):
     assert findings == [], [str(f) for f in findings]
 
 
+@pytest.mark.parametrize("serializing", [True, False],
+                         ids=["serializing", "non-serializing"])
+@pytest.mark.parametrize("protocol", [p for p, _, _ in ALL_PROTOCOLS])
+def test_conformance_property_both_modes(protocol, serializing):
+    """Property: the battery is finding-free for every built-in protocol
+    under BOTH serializing modes (non-serializing skips the checks the
+    classic write-through scheme legitimately fails; serializing mode
+    must also pass because every built-in serializes correctly)."""
+    findings = check_conformance(protocol, serializing=serializing)
+    assert findings == [], [str(f) for f in findings]
+
+
 def test_broken_protocol_is_flagged(monkeypatch):
     """Sanity: a protocol that refuses to invalidate fails the battery."""
     from repro.protocols.illinois import IllinoisProtocol
