@@ -63,6 +63,17 @@ def main(argv: list[str] | None = None) -> int:
         print(f"perf_guard: {RESULT.name} has no engine.speedup entry; run "
               f"'pytest benchmarks/bench_engine.py' first", file=sys.stderr)
         return 2
+    # Schema v2: a result produced under a degraded (keep-going) run
+    # carries per-point statuses.  Retried/timed-out points measured
+    # recovery machinery, not the engine -- refuse to guard on them.
+    statuses = result_data.get("point_status", [])
+    degraded = [p for p in statuses if p.get("status") != "ok"
+                or p.get("attempts", 1) > 1]
+    if degraded:
+        print(f"perf_guard: {RESULT.name} came from a degraded run "
+              f"({len(degraded)} of {len(statuses)} points retried or "
+              f"failed); re-measure on a clean run", file=sys.stderr)
+        return 2
 
     if args.update or not BASELINE.exists():
         BASELINE.write_text(

@@ -1,11 +1,18 @@
 #!/usr/bin/env python
-"""Validate Chrome trace-event JSON files produced by ``repro run --timeline``.
+"""Validate JSON artifacts produced by the repro CLI.
 
-Checks each file against the schema subset Perfetto/chrome://tracing
-actually require (see :func:`repro.obs.export.validate_chrome_trace`):
-a ``traceEvents`` list whose entries carry the mandatory ``ph``/``name``/
-``pid``/``tid`` fields, non-negative timestamps on complete events, and
-an ``args`` dict on metadata events.
+Two artifact shapes are understood:
+
+* Chrome trace-event files (``repro run --timeline``) are checked
+  against the schema subset Perfetto/chrome://tracing actually require
+  (see :func:`repro.obs.export.validate_chrome_trace`): a
+  ``traceEvents`` list whose entries carry the mandatory ``ph``/
+  ``name``/``pid``/``tid`` fields, non-negative timestamps on complete
+  events, and an ``args`` dict on metadata events.
+* Sweep results (``kind == "sweep-result"``, schema v2) are checked for
+  coherent resilience fields: one ``point_status`` verdict per point
+  with a known status, and ``null`` ``points`` entries only where the
+  verdict says the point did not finish OK.
 
 Usage::
 
@@ -27,8 +34,53 @@ except ModuleNotFoundError:  # running from a checkout without install
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
     from repro.common.schema import SchemaError
 
+from repro.analysis.resilient import POINT_STATUSES
 from repro.common.schema import check as check_schema
 from repro.obs.export import validate_chrome_trace
+
+
+def validate_sweep_result(payload: dict) -> list[str]:
+    """Schema-v2 resilience checks for a ``sweep-result`` payload."""
+    errors: list[str] = []
+    xs = payload.get("xs", [])
+    statuses = payload.get("point_status", [])
+    points = payload.get("points", [])
+    if len(statuses) != len(xs):
+        errors.append(f"expected {len(xs)} point_status entries, "
+                      f"got {len(statuses)}")
+    if len(points) != len(xs):
+        errors.append(f"expected {len(xs)} points entries, "
+                      f"got {len(points)}")
+    for i, entry in enumerate(statuses):
+        status = entry.get("status")
+        if status not in POINT_STATUSES:
+            errors.append(f"point_status[{i}]: unknown status {status!r}")
+        if entry.get("index") != i:
+            errors.append(f"point_status[{i}]: index {entry.get('index')!r} "
+                          f"out of order")
+        if not isinstance(entry.get("attempts"), int) or entry["attempts"] < 1:
+            errors.append(f"point_status[{i}]: bad attempts "
+                          f"{entry.get('attempts')!r}")
+        if status == "ok" and entry.get("error") is not None:
+            errors.append(f"point_status[{i}]: ok point carries an error")
+        if i < len(points):
+            if status == "ok" and points[i] is None:
+                errors.append(f"points[{i}]: null for an ok point")
+            if status != "ok" and points[i] is not None:
+                errors.append(f"points[{i}]: stats present for a "
+                              f"{status} point")
+    resilience = payload.get("resilience")
+    if not isinstance(resilience, dict):
+        errors.append("missing resilience counters")
+    return errors
+
+
+def _describe(payload: dict) -> str:
+    if "traceEvents" in payload:
+        return f"{len(payload['traceEvents'])} trace events"
+    statuses = [p.get("status") for p in payload.get("point_status", [])]
+    ok = sum(1 for s in statuses if s == "ok")
+    return f"sweep result, {ok}/{len(statuses)} points ok"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -45,7 +97,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{path}: unreadable: {exc}", file=sys.stderr)
             failures += 1
             continue
-        errors = validate_chrome_trace(payload)
+        if isinstance(payload, dict) and payload.get("kind") == "sweep-result":
+            errors = validate_sweep_result(payload)
+        else:
+            errors = validate_chrome_trace(payload)
         try:
             check_schema(payload, where=path)
         except SchemaError as exc:
@@ -55,8 +110,7 @@ def main(argv: list[str] | None = None) -> int:
             for error in errors:
                 print(f"{path}: {error}", file=sys.stderr)
         else:
-            n = len(payload["traceEvents"])
-            print(f"{path}: OK ({n} trace events)")
+            print(f"{path}: OK ({_describe(payload)})")
     return 1 if failures else 0
 
 

@@ -23,6 +23,11 @@ from repro.analysis.queueing import (
     md1_mean_wait,
 )
 from repro.analysis.report import format_ratio, render_series, render_table
+from repro.analysis.resilient import (
+    POINT_STATUSES,
+    ExecutionPolicy,
+    PointOutcome,
+)
 from repro.analysis.sweeps import (
     SeedStatistics,
     Sweep,
@@ -41,7 +46,10 @@ from repro.analysis.transitions import (
 
 __all__ = [
     "BusQueueingPoint",
+    "ExecutionPolicy",
     "LockMetrics",
+    "POINT_STATUSES",
+    "PointOutcome",
     "SeedStatistics",
     "Sweep",
     "run_sweep_parallel",

@@ -18,16 +18,28 @@ Per-point observability: a ``run`` callable may return an
 timeline).  ``ObsResult`` is plain data, so it survives pickling back
 from the worker processes; after ``execute()`` the per-point results are
 on :attr:`Sweep.observations` in sweep order.
+
+Execution is resilient (see :mod:`repro.analysis.resilient`): pass an
+:class:`~repro.analysis.resilient.ExecutionPolicy` to ``execute()`` for
+per-point timeouts, bounded seeded retries, broken-pool recovery, fault
+injection, and ``keep_going`` partial results.  A failed point's series
+value is ``NaN``; its verdict is on :attr:`Sweep.outcomes`.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.analysis.resilient import (
+    ExecutionPolicy,
+    ExecutionReport,
+    PointOutcome,
+    execute_points,
+)
 from repro.obs.core import ObsResult
 from repro.sim.stats import SimStats
 
@@ -52,8 +64,14 @@ class SweepSeries:
         if not np.array_equal(self.xs, other.xs):
             raise ValueError("series sampled at different points")
         with np.errstate(divide="ignore", invalid="ignore"):
-            return np.where(other.values != 0,
-                            self.values / other.values, np.inf)
+            # x/0 is a signed infinity, 0/0 is NaN -- not +inf, which
+            # used to smuggle a "ratio" out of two empty measurements.
+            return np.where(
+                other.values != 0,
+                self.values / other.values,
+                np.where(self.values == 0, np.nan,
+                         np.sign(self.values) * np.inf),
+            )
 
     @property
     def monotone_increasing(self) -> bool:
@@ -74,23 +92,46 @@ class Sweep:
     #: Per-point ObsResults (sweep order) after execute(); None for points
     #: whose run callable returned bare stats.
     observations: list = field(default_factory=list, init=False, repr=False)
-    #: Per-point SimStats (sweep order) after execute().
+    #: Per-point SimStats (sweep order) after execute(); None for points
+    #: that did not finish OK under a ``keep_going`` policy.
     results: list = field(default_factory=list, init=False, repr=False)
+    #: Per-point :class:`~repro.analysis.resilient.PointOutcome` verdicts.
+    outcomes: list = field(default_factory=list, init=False, repr=False)
+    #: Plain-data retry/timeout/restart counters from the last execute().
+    resilience: dict = field(default_factory=dict, init=False, repr=False)
+    #: The executor's MetricRegistry from the last execute().
+    registry: object = field(default=None, init=False, repr=False)
 
-    def execute(self, jobs: int = 1) -> dict[str, SweepSeries]:
+    def execute(self, jobs: int = 1,
+                policy: ExecutionPolicy | None = None) -> dict[str, SweepSeries]:
+        """Run every point (resiliently) and collect the metric series.
+
+        ``policy`` configures retries, per-point timeouts, fault
+        injection, and the ``keep_going`` partial-results mode; the
+        default policy preserves the historical behaviour of failing the
+        sweep on the first bad point -- except the failure is now a
+        :class:`~repro.common.errors.SweepPointError` naming the point.
+        """
         if not self.metrics:
             raise ValueError("no metrics to collect")
-        if jobs > 1:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                results = list(pool.map(self.run, self.xs))
-        else:
-            results = [self.run(x) for x in self.xs]
-        return self._collect(results)
+        report = execute_points(self.run, self.xs, jobs=jobs, policy=policy)
+        return self._collect_report(report)
+
+    def _collect_report(self, report: ExecutionReport) -> dict[str, SweepSeries]:
+        self.outcomes = list(report.outcomes)
+        self.resilience = report.summary()
+        self.registry = report.registry
+        return self._collect(report.payloads)
 
     def _collect(
-        self, results: "Sequence[SimStats | ObservedPoint]"
+        self, results: "Sequence[SimStats | ObservedPoint | None]"
     ) -> dict[str, SweepSeries]:
-        """Extract every metric from the per-point stats, in sweep order."""
+        """Extract every metric from the per-point stats, in sweep order.
+
+        ``None`` entries (points that failed under ``keep_going``)
+        yield ``NaN`` series values -- a partial series downstream code
+        can mask rather than an aborted sweep.
+        """
         stats_list = [
             r.stats if isinstance(r, ObservedPoint) else r for r in results
         ]
@@ -103,6 +144,7 @@ class Sweep:
             name: SweepSeries(
                 name=name, xs=xs,
                 values=np.asarray([float(extract(stats))
+                                   if stats is not None else math.nan
                                    for stats in stats_list],
                                   dtype=float),
             )
@@ -110,7 +152,9 @@ class Sweep:
         }
 
 
-def run_sweep_parallel(sweep: Sweep, jobs: int) -> dict[str, SweepSeries]:
+def run_sweep_parallel(sweep: Sweep, jobs: int,
+                       policy: ExecutionPolicy | None = None
+                       ) -> dict[str, SweepSeries]:
     """Execute ``sweep`` with its points distributed over ``jobs`` worker
     processes (serial when ``jobs <= 1``).
 
@@ -118,7 +162,7 @@ def run_sweep_parallel(sweep: Sweep, jobs: int) -> dict[str, SweepSeries]:
     deterministic, independent simulation, and the series preserve sweep
     order regardless of completion order.
     """
-    return sweep.execute(jobs=jobs)
+    return sweep.execute(jobs=jobs, policy=policy)
 
 
 @dataclass(frozen=True)

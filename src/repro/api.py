@@ -82,16 +82,31 @@ class RunResult:
 
 @dataclass
 class SweepResult:
-    """A workload swept over processor counts."""
+    """A workload swept over processor counts.
+
+    Under a ``keep_going`` policy the sweep is *partial-result
+    tolerant*: a failed point contributes ``NaN`` series values and a
+    ``None`` stats entry, and its verdict (status, attempts, error) is
+    in :attr:`point_status`.  :attr:`resilience` carries the executor's
+    retry/timeout/pool-restart counters (schema v2)."""
 
     protocol: str
     workload: str
     xs: list[int]
-    #: Metric name -> one value per sweep point.
+    #: Metric name -> one value per sweep point (NaN for failed points).
     series: dict[str, list[float]]
-    stats: list[SimStats] = field(default_factory=list)
+    #: Per-point stats; ``None`` for points that did not finish OK.
+    stats: list[SimStats | None] = field(default_factory=list)
     #: Per-point observability, when sampled.
     observations: list[ObsResult] | None = None
+    #: Per-point {index, x, status, attempts, error} verdicts.
+    point_status: list[dict] = field(default_factory=list)
+    #: Plain-data retry/timeout/restart counters.
+    resilience: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(p.get("status") == "ok" for p in self.point_status)
 
     def to_dict(self) -> dict:
         return stamp({
@@ -101,7 +116,10 @@ class SweepResult:
             "xs": list(self.xs),
             "series": {name: list(values)
                        for name, values in self.series.items()},
-            "points": [s.to_payload() for s in self.stats],
+            "points": [s.to_payload() if s is not None else None
+                       for s in self.stats],
+            "point_status": [dict(p) for p in self.point_status],
+            "resilience": dict(self.resilience),
         })
 
 
@@ -175,6 +193,7 @@ def simulate(
     check_interval: int = 0,
     fast_forward: bool = False,
     sample_interval: int = 0,
+    max_wall_seconds: float | None = None,
 ) -> RunResult:
     """Run one workload on one protocol.
 
@@ -183,7 +202,9 @@ def simulate(
     (four-word blocks except Rudolph-Segall, strict verification except
     classic write-through, cache-lock style on the proposal).
     ``sample_interval > 0`` attaches the observability layer and returns
-    its result alongside the statistics.
+    its result alongside the statistics.  ``max_wall_seconds`` arms the
+    engine watchdog: a wedged run is aborted with a
+    :class:`~repro.common.errors.WatchdogTimeout` carrying diagnostics.
     """
     from repro.sim.engine import run_workload
 
@@ -203,7 +224,8 @@ def simulate(
 
         obs = Observability(interval=sample_interval)
     stats = run_workload(config, programs, check_interval=check_interval,
-                         fast_forward=fast_forward, obs=obs)
+                         fast_forward=fast_forward, obs=obs,
+                         max_wall_seconds=max_wall_seconds)
     return RunResult(
         protocol=protocol,
         workload=workload,
@@ -222,24 +244,28 @@ _SWEEP_METRICS = {
 
 
 def _sweep_point(n, *, protocol: str, workload: str,
-                 fast_forward: bool = False, sample_interval: int = 0):
+                 fast_forward: bool = False, sample_interval: int = 0,
+                 max_wall_seconds: float | None = None):
     """One sweep point; module-level so ``jobs > 1`` can pickle it (the
     workload is looked up by name inside the worker process).  With a
     ``sample_interval``, the point runs observed and returns an
     :class:`~repro.analysis.sweeps.ObservedPoint` whose plain-data
-    ObsResult pickles back from the worker."""
+    ObsResult pickles back from the worker.  ``max_wall_seconds`` arms
+    the engine watchdog inside the point, so a wedged simulation aborts
+    with diagnostics even on the serial path."""
     from repro.sim.engine import run_workload
 
     config = _build_config(protocol, processors=int(n))
     programs = build_workload(workload, config)
     if not sample_interval:
-        return run_workload(config, programs, fast_forward=fast_forward)
+        return run_workload(config, programs, fast_forward=fast_forward,
+                            max_wall_seconds=max_wall_seconds)
     from repro.analysis.sweeps import ObservedPoint
     from repro.obs import Observability
 
     obs = Observability(interval=sample_interval)
     stats = run_workload(config, programs, fast_forward=fast_forward,
-                         obs=obs)
+                         obs=obs, max_wall_seconds=max_wall_seconds)
     return ObservedPoint(stats=stats, obs=obs.result())
 
 
@@ -251,19 +277,46 @@ def sweep(
     fast_forward: bool = False,
     jobs: int = 1,
     sample_interval: int = 0,
+    timeout: float | None = None,
+    max_attempts: int = 2,
+    keep_going: bool = False,
+    faults: "str | object | None" = None,
+    fault_seed: int = 0,
 ) -> SweepResult:
     """Run ``workload`` at each processor count (optionally in parallel
-    worker processes) and collect the scaling series."""
+    worker processes) and collect the scaling series.
+
+    Resilience knobs (see :mod:`repro.analysis.resilient`):
+    ``timeout`` bounds each point's wall-clock seconds (enforced by the
+    executor with ``jobs > 1`` and by the engine watchdog inside every
+    point); ``max_attempts`` bounds retries; ``keep_going`` returns
+    partial results (per-point statuses on the result) instead of
+    raising on the first bad point; ``faults`` injects a chaos plan --
+    either a :class:`~repro.faults.FaultPlan` or a spec string like
+    ``"kill@1,hang@2"`` seeded by ``fault_seed``.
+    """
     import functools
 
+    from repro.analysis.resilient import ExecutionPolicy
     from repro.analysis.sweeps import Sweep
+    from repro.faults import FaultPlan
 
+    if isinstance(faults, str):
+        faults = FaultPlan.parse(faults, seed=fault_seed)
     run = functools.partial(
         _sweep_point, protocol=protocol, workload=workload,
         fast_forward=fast_forward, sample_interval=sample_interval,
+        max_wall_seconds=timeout,
+    )
+    policy = ExecutionPolicy(
+        max_attempts=max_attempts,
+        timeout=timeout,
+        keep_going=keep_going,
+        faults=faults,
+        seed=fault_seed,
     )
     plan = Sweep(xs=list(processors), run=run, metrics=dict(_SWEEP_METRICS))
-    series = plan.execute(jobs=jobs)
+    series = plan.execute(jobs=jobs, policy=policy)
     return SweepResult(
         protocol=protocol,
         workload=workload,
@@ -271,6 +324,8 @@ def sweep(
         series={name: list(s.values) for name, s in series.items()},
         stats=list(plan.results),
         observations=(list(plan.observations) if sample_interval else None),
+        point_status=[outcome.to_dict() for outcome in plan.outcomes],
+        resilience=dict(plan.resilience),
     )
 
 

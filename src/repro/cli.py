@@ -102,6 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sample-interval", type=int, default=100, metavar="N",
                      help="observability sampling interval in cycles "
                           "(default 100)")
+    run.add_argument("--max-wall-seconds", type=float, default=None,
+                     metavar="SECONDS",
+                     help="abort a wedged run after this much wall-clock "
+                          "time, printing bus/cache/lock diagnostics")
 
     sweep = sub.add_parser(
         "sweep", help="sweep processor count and print cycles/utilization"
@@ -123,6 +127,23 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="observability sampling interval in cycles "
                             "(default 100)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-point wall-clock budget; a point that "
+                            "exceeds it is retried, then marked timeout")
+    sweep.add_argument("--retries", type=int, default=1, metavar="N",
+                       help="retries per point after the first attempt "
+                            "(default 1)")
+    sweep.add_argument("--keep-going", action="store_true",
+                       help="finish the sweep past bad points and report "
+                            "per-point statuses instead of aborting")
+    sweep.add_argument("--inject-faults", metavar="SPEC", default=None,
+                       help="chaos mode: seeded fault plan, e.g. "
+                            "'kill@1,hang@2' or 'raise@*%%25' "
+                            "(see docs/resilience.md)")
+    sweep.add_argument("--fault-seed", type=int, default=0, metavar="N",
+                       help="seed for fault-plan draws and retry jitter "
+                            "(default 0)")
 
     compare = sub.add_parser(
         "compare", help="run one workload across the whole protocol field"
@@ -189,19 +210,30 @@ def _warn_deprecated(old: str, new: str) -> None:
           file=sys.stderr)
 
 
+def _conflict(old: str, new: str) -> None:
+    print(f"repro: error: {old} is a deprecated alias of {new}; "
+          f"both were given -- pass only {new}", file=sys.stderr)
+    raise SystemExit(2)
+
+
 def _resolve_renamed(args: argparse.Namespace) -> None:
-    """Fold deprecated flag spellings into their replacements (new
-    spelling wins when both are given)."""
+    """Fold deprecated flag spellings into their replacements.
+
+    Passing an alias alongside its replacement is an error: silently
+    preferring one spelling hid real mistakes (the ignored flag looked
+    accepted), so the conflict now exits naming both flags."""
     if args.verify_every is not None:
+        if args.check_interval is not None:
+            _conflict("--verify-every", "--check-interval")
         _warn_deprecated("--verify-every", "--check-interval")
-        if args.check_interval is None:
-            args.check_interval = args.verify_every
+        args.check_interval = args.verify_every
     if args.check_interval is None:
         args.check_interval = 0
     if args.cache_blocks is not None:
+        if args.num_blocks is not None:
+            _conflict("--cache-blocks", "--num-blocks")
         _warn_deprecated("--cache-blocks", "--num-blocks")
-        if args.num_blocks is None:
-            args.num_blocks = args.cache_blocks
+        args.num_blocks = args.cache_blocks
     if args.num_blocks is None:
         args.num_blocks = 64
 
@@ -230,21 +262,28 @@ def command_run(args: argparse.Namespace) -> int:
         with open(args.dump_trace, "w", encoding="utf-8") as handle:
             handle.write(dump_trace(programs))
     observe = bool(args.metrics_out or args.timeline or args.heatmap)
-    result = api.simulate(
-        args.protocol,
-        args.workload,
-        processors=args.processors,
-        programs=programs,
-        lock_style=style,
-        buses=args.buses,
-        words_per_block=args.words_per_block,
-        num_blocks=args.num_blocks,
-        work_while_waiting=args.work_while_waiting,
-        seed=args.seed,
-        check_interval=args.check_interval,
-        fast_forward=args.fast_forward,
-        sample_interval=args.sample_interval if observe else 0,
-    )
+    from repro.common.errors import WatchdogTimeout
+
+    try:
+        result = api.simulate(
+            args.protocol,
+            args.workload,
+            processors=args.processors,
+            programs=programs,
+            lock_style=style,
+            buses=args.buses,
+            words_per_block=args.words_per_block,
+            num_blocks=args.num_blocks,
+            work_while_waiting=args.work_while_waiting,
+            seed=args.seed,
+            check_interval=args.check_interval,
+            fast_forward=args.fast_forward,
+            sample_interval=args.sample_interval if observe else 0,
+            max_wall_seconds=args.max_wall_seconds,
+        )
+    except WatchdogTimeout as exc:
+        _print_watchdog(exc)
+        return 1
     stats = result.stats
     if result.obs is not None:
         _write_observability(result.obs, args)
@@ -264,6 +303,29 @@ def command_run(args: argparse.Namespace) -> int:
     traffic = traffic_metrics(stats)
     print(f"bus cycles/reference    : {traffic.cycles_per_reference:.2f}")
     return 0
+
+
+def _print_watchdog(exc) -> None:
+    """Render a watchdog abort: the budget, then where the machine was
+    stuck (bus, per-cache busy-waits, lock queue)."""
+    print(f"repro: error: {exc}", file=sys.stderr)
+    diag = exc.diagnostics or {}
+    if not diag:
+        return
+    bus = diag.get("bus", {})
+    print(f"  cycle {diag.get('cycle')}  bus busy={bus.get('busy')} "
+          f"next_event={bus.get('next_event_cycle')} "
+          f"requests_pending={diag.get('bus_requests_pending')}",
+          file=sys.stderr)
+    for entry in diag.get("lock_queue", ()):
+        print(f"  lock-queue: cache {entry.get('cache')} block "
+              f"{entry.get('block')} phase {entry.get('phase')}",
+              file=sys.stderr)
+    for proc in diag.get("processors", ()):
+        if not proc.get("done"):
+            print(f"  P{proc.get('pid')}: state={proc.get('state')} "
+                  f"pc={proc.get('pc')} ops={proc.get('ops_completed')}",
+                  file=sys.stderr)
 
 
 def _write_observability(obs, args: argparse.Namespace) -> None:
@@ -290,15 +352,27 @@ def _write_observability(obs, args: argparse.Namespace) -> None:
 
 def command_sweep(args: argparse.Namespace) -> int:
     from repro import api
+    from repro.common.errors import SweepPointError
 
-    result = api.sweep(
-        args.protocol,
-        args.workload,
-        processors=args.processors,
-        fast_forward=args.fast_forward,
-        jobs=args.jobs,
-        sample_interval=args.sample_interval if args.metrics_out else 0,
-    )
+    try:
+        result = api.sweep(
+            args.protocol,
+            args.workload,
+            processors=args.processors,
+            fast_forward=args.fast_forward,
+            jobs=args.jobs,
+            sample_interval=args.sample_interval if args.metrics_out else 0,
+            timeout=args.timeout,
+            max_attempts=1 + max(0, args.retries),
+            keep_going=args.keep_going,
+            faults=args.inject_faults,
+            fault_seed=args.fault_seed,
+        )
+    except SweepPointError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        print("repro: (use --keep-going for partial results)",
+              file=sys.stderr)
+        return 1
     if args.metrics_out:
         import os
 
@@ -310,20 +384,49 @@ def command_sweep(args: argparse.Namespace) -> int:
             with open(path, "w", encoding="utf-8") as handle:
                 handle.write(samples_jsonl(point))
         print(f"per-point sample series written to {args.metrics_out}/")
-    rows = [
-        [n,
-         int(result.series["cycles"][i]),
-         f"{result.series['bus utilization'][i]:.0%}",
-         int(result.series["failed lock attempts"][i])]
-        for i, n in enumerate(result.xs)
-    ]
+    degraded = not result.ok
+    statuses = {p["index"]: p for p in result.point_status}
+    rows = []
+    for i, n in enumerate(result.xs):
+        point = statuses.get(i, {})
+        if result.stats and i < len(result.stats) and result.stats[i] is None:
+            row = [n, "-", "-", "-"]
+        else:
+            row = [n,
+                   int(result.series["cycles"][i]),
+                   f"{result.series['bus utilization'][i]:.0%}",
+                   int(result.series["failed lock attempts"][i])]
+        if degraded:
+            row.append(point.get("status", "ok"))
+        rows.append(row)
+    headers = ["processors", "cycles", "bus utilization", "failed attempts"]
+    if degraded:
+        headers.append("status")
     print(render_table(
-        ["processors", "cycles", "bus utilization", "failed attempts"],
+        headers,
         rows,
         title=f"{args.workload} on {args.protocol}",
         align_left_first=False,
     ))
-    return 0
+    if degraded:
+        for p in result.point_status:
+            if p["status"] != "ok":
+                print(f"point x={p['x']}: {p['status']} after "
+                      f"{p['attempts']} attempt(s): {p['error']}")
+    retries = result.resilience.get("retries", {})
+    restarts = result.resilience.get("pool_restarts", {})
+    if retries or restarts:
+        parts = []
+        if retries:
+            parts.append("retries " + ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(retries.items())))
+        if restarts:
+            parts.append("pool restarts " + ", ".join(
+                f"{cause}={count}"
+                for cause, count in sorted(restarts.items())))
+        print("resilience: " + "; ".join(parts))
+    return 0 if result.ok else 1
 
 
 def command_compare(args: argparse.Namespace) -> int:

@@ -42,3 +42,37 @@ class ProgramError(ReproError):
 
 class UnknownProtocolError(ReproError, KeyError):
     """A protocol name is not present in the registry."""
+
+
+class WatchdogTimeout(ReproError):
+    """A run exceeded its wall-clock budget and was aborted mid-flight.
+
+    Carries a ``diagnostics`` dict (bus state, per-cache pending access
+    and busy-wait registers, per-processor progress) snapshotted at the
+    moment the watchdog fired, so a wedged simulation is debuggable from
+    the exception alone.
+    """
+
+    def __init__(self, message: str, *, diagnostics: dict | None = None,
+                 elapsed_seconds: float = 0.0,
+                 budget_seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics or {}
+        self.elapsed_seconds = elapsed_seconds
+        self.budget_seconds = budget_seconds
+
+
+class SweepPointError(ReproError):
+    """One sweep point failed; names the point so a bare worker
+    traceback is never the only evidence."""
+
+    def __init__(self, message: str, *, x: object = None, index: int = -1,
+                 attempts: int = 1) -> None:
+        super().__init__(message)
+        self.x = x
+        self.index = index
+        self.attempts = attempts
+
+
+class FaultInjected(ReproError):
+    """Raised by the fault-injection harness, never by real code paths."""

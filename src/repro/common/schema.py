@@ -9,6 +9,21 @@ understand instead of mis-parsing them.
 
 The version is a single integer bumped on any backwards-incompatible
 change to any exported payload shape.
+
+Version history
+---------------
+
+1. Initial stamped payloads (run/sweep/check results, observability
+   exports, benchmark files).
+2. Resilient sweep execution: ``sweep-result`` payloads gain
+   ``point_status`` (one ``{index, x, status, attempts, error}`` entry
+   per point, ``status`` one of ``ok`` / ``failed`` / ``timeout`` /
+   ``quarantined``) and ``resilience`` (retry/timeout/pool-restart
+   counters); entries of ``points`` may be ``null`` for points that
+   failed under a ``--keep-going`` sweep.  Migration: v1 readers that
+   indexed ``points`` positionally keep working on fully-healthy
+   sweeps; consumers of partial sweeps must skip ``null`` points (the
+   per-point status says why each one is missing).
 """
 
 from __future__ import annotations
@@ -16,7 +31,7 @@ from __future__ import annotations
 from repro.common.errors import ReproError
 
 #: Current version of all exported JSON payload shapes.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Key under which the version is stamped.
 SCHEMA_KEY = "schema_version"

@@ -1,0 +1,23 @@
+"""Fault injection for chaos-testing the execution layer.
+
+See :mod:`repro.faults.plan` for the fault model and the spec grammar
+used by ``repro sweep --inject-faults``.
+"""
+
+from repro.faults.plan import (
+    ALWAYS,
+    CorruptStats,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    apply_fault,
+)
+
+__all__ = [
+    "ALWAYS",
+    "CorruptStats",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "apply_fault",
+]

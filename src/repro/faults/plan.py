@@ -1,0 +1,213 @@
+"""Seeded, deterministic fault plans for chaos-testing the runners.
+
+A :class:`FaultPlan` decides, from nothing but its own configuration,
+whether a given *(point index, attempt)* execution should misbehave and
+how.  Because the decision is a pure function of ``(seed, index,
+attempt)``, two sweeps with the same plan inject exactly the same
+faults -- which is what makes resilient-runner behaviour (retries, pool
+restarts, quarantine) assertable bit-for-bit in tests and in the
+``repro sweep --inject-faults`` chaos mode.
+
+Four fault kinds cover the runner failure surface:
+
+* ``raise``   -- the worker raises :class:`~repro.common.errors.FaultInjected`;
+* ``hang``    -- the worker stalls for :attr:`FaultPlan.hang_seconds`
+  (long enough to trip any per-point timeout);
+* ``kill``    -- the worker SIGKILLs itself, breaking the process pool;
+* ``corrupt`` -- the worker returns garbage instead of statistics.
+
+Spec strings (the CLI surface) are comma-separated ``kind@index`` terms
+with an optional ``:times`` suffix bounding how many attempts fault
+(default 1 -- the first retry succeeds; ``*`` means every attempt)::
+
+    kill@1              point 1's first attempt dies
+    hang@2:2            point 2's first two attempts stall
+    raise@0:*           point 0 never succeeds
+    corrupt@*%25        every point corrupts with prob. 1/4 (seeded)
+
+``kind@*%P`` applies the fault to any point with probability ``P`` %,
+decided by a hash of ``(seed, index, attempt)`` -- deterministic for a
+fixed seed, different across seeds.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import signal
+import time
+import zlib
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError, FaultInjected
+
+
+class FaultKind(str, enum.Enum):
+    """What a faulted execution does instead of running its point."""
+
+    RAISE = "raise"
+    HANG = "hang"
+    KILL = "kill"
+    CORRUPT = "corrupt"
+
+
+#: Attempts are 1-based; ``times=ALWAYS`` faults every attempt.
+ALWAYS: int | None = None
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule: ``kind`` at point ``index`` for ``times`` attempts.
+
+    ``index is None`` targets every point, gated by ``probability``
+    (1.0 = always).  ``times is None`` (:data:`ALWAYS`) never stops
+    faulting -- the point can only end quarantined or failed.
+    """
+
+    kind: FaultKind
+    index: int | None = None
+    times: int | None = 1
+    probability: float = 1.0
+
+    def applies(self, index: int, attempt: int, seed: int) -> bool:
+        if self.index is not None and self.index != index:
+            return False
+        if self.times is not None and attempt > self.times:
+            return False
+        if self.probability >= 1.0:
+            return True
+        return _roll(seed, index, attempt) < self.probability
+
+
+def _roll(seed: int, index: int, attempt: int) -> float:
+    """Stable uniform draw in [0, 1) from ``(seed, index, attempt)``.
+
+    crc32 rather than ``hash()`` so the draw survives hash
+    randomization and is identical across interpreter runs.
+    """
+    data = f"{seed}:{index}:{attempt}".encode()
+    return (zlib.crc32(data) & 0xFFFFFFFF) / 2**32
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of fault rules plus the injection knobs."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    #: How long a ``hang`` fault stalls; the per-point timeout must be
+    #: below this for the hang to be observed as a timeout.
+    hang_seconds: float = 3600.0
+
+    def fault_for(self, index: int, attempt: int) -> FaultKind | None:
+        """The fault (if any) for attempt ``attempt`` of point ``index``."""
+        for spec in self.specs:
+            if spec.applies(index, attempt, self.seed):
+                return spec.kind
+        return None
+
+    def kills(self, index: int, attempt: int) -> bool:
+        """Would this execution SIGKILL its worker?  The parent uses
+        this to attribute a broken process pool to the point that broke
+        it instead of penalizing innocent in-flight points."""
+        return self.fault_for(index, attempt) is FaultKind.KILL
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "hang_seconds": self.hang_seconds,
+            "specs": [
+                {
+                    "kind": spec.kind.value,
+                    "index": spec.index,
+                    "times": spec.times,
+                    "probability": spec.probability,
+                }
+                for spec in self.specs
+            ],
+        }
+
+    @classmethod
+    def parse(cls, text: str, *, seed: int = 0,
+              hang_seconds: float = 3600.0) -> "FaultPlan":
+        """Parse a CLI spec string (see the module docstring)."""
+        specs = []
+        for term in text.split(","):
+            term = term.strip()
+            if not term:
+                continue
+            specs.append(_parse_term(term))
+        if not specs:
+            raise ConfigError(f"empty fault spec: {text!r}")
+        return cls(specs=tuple(specs), seed=seed, hang_seconds=hang_seconds)
+
+
+def _parse_term(term: str) -> FaultSpec:
+    try:
+        kind_text, target = term.split("@", 1)
+        kind = FaultKind(kind_text.strip())
+    except ValueError:
+        choices = ", ".join(k.value for k in FaultKind)
+        raise ConfigError(
+            f"bad fault term {term!r}: expected kind@index[:times] "
+            f"with kind one of {choices}"
+        ) from None
+    times: int | None = 1
+    if ":" in target:
+        target, times_text = target.split(":", 1)
+        times = None if times_text == "*" else _parse_int(times_text, term)
+    probability = 1.0
+    if "%" in target:
+        target, percent = target.split("%", 1)
+        probability = _parse_int(percent, term) / 100.0
+    index = None if target == "*" else _parse_int(target, term)
+    if index is None and probability >= 1.0 and times is None:
+        raise ConfigError(
+            f"fault term {term!r} faults every attempt of every point; "
+            f"no sweep could ever finish -- bound it with :times or %prob"
+        )
+    return FaultSpec(kind=kind, index=index, times=times,
+                     probability=probability)
+
+
+def _parse_int(text: str, term: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise ConfigError(f"bad fault term {term!r}: {text!r} is not an "
+                          f"integer") from None
+    if value < 0:
+        raise ConfigError(f"bad fault term {term!r}: {value} is negative")
+    return value
+
+
+class CorruptStats:
+    """The payload a ``corrupt`` fault returns instead of statistics.
+
+    Deliberately *not* a :class:`~repro.sim.stats.SimStats`; the
+    executor's result validation must reject it.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "CorruptStats()"
+
+
+def apply_fault(kind: FaultKind, *, index: int, attempt: int,
+                hang_seconds: float = 3600.0):
+    """Perform ``kind`` inside a worker; called by the sweep executor.
+
+    Returns a :class:`CorruptStats` for ``corrupt`` (and for ``hang``,
+    after stalling -- by then the parent has timed the attempt out and
+    discards whatever comes back); raises or dies for the others.
+    """
+    if kind is FaultKind.RAISE:
+        raise FaultInjected(
+            f"injected fault: raise at point {index} attempt {attempt}"
+        )
+    if kind is FaultKind.KILL:
+        os.kill(os.getpid(), signal.SIGKILL)
+    if kind is FaultKind.HANG:
+        time.sleep(hang_seconds)
+    return CorruptStats()

@@ -77,6 +77,13 @@ class CheckReport:
             r.runs for r in self.fuzz_sessions
         )
 
+    @property
+    def budget_overshoot_seconds(self) -> float:
+        """Total seconds fuzz sessions ran past their time budgets
+        (each session's watchdog catches its own overshoot; this sums
+        what slipped through before the aborts landed)."""
+        return sum(r.budget_overshoot_seconds for r in self.fuzz_sessions)
+
     def to_dict(self) -> dict:
         return stamp({
             "kind": "check-report",
@@ -84,6 +91,8 @@ class CheckReport:
             "protocols": list(self.protocols),
             "schedules_explored": self.schedules_explored,
             "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "budget_overshoot_seconds": round(
+                self.budget_overshoot_seconds, 3),
             "explorations": [r.to_dict() for r in self.explorations],
             "fuzz_sessions": [r.to_dict() for r in self.fuzz_sessions],
             "mutation_results": [r.to_dict() for r in self.mutation_results],

@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.common.errors import WatchdogTimeout
 from repro.mc.counterexample import Counterexample, from_outcome
 from repro.mc.runner import run_schedule
 from repro.mc.scenarios import Scenario
@@ -35,6 +36,12 @@ class FuzzResult:
     #: Re-runs the shrinker spent minimizing.
     shrink_runs: int = 0
     elapsed_seconds: float = 0.0
+    #: True when the time budget cut the session short (between runs or
+    #: mid-run via the engine watchdog).
+    budget_exhausted: bool = False
+    #: Seconds the session ran past its budget before the watchdog (or
+    #: the between-runs check) stopped it; 0.0 when within budget.
+    budget_overshoot_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -51,6 +58,9 @@ class FuzzResult:
                                if self.counterexample else None),
             "shrink_runs": self.shrink_runs,
             "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "budget_exhausted": self.budget_exhausted,
+            "budget_overshoot_seconds": round(
+                self.budget_overshoot_seconds, 3),
         }
 
 
@@ -65,7 +75,13 @@ def fuzz(
     shrink_failures: bool = True,
 ) -> FuzzResult:
     """Run ``scenario`` under random schedules until a failure, the seed
-    list, or the time budget (seconds) runs out."""
+    list, or the time budget (seconds) runs out.
+
+    The budget is enforced *per run*, not just between runs: each run is
+    handed the remaining budget as its engine-watchdog allowance, so a
+    single slow schedule cannot blow the session's budget unboundedly --
+    the watchdog aborts it and the session stops, reporting how far past
+    the budget it got in :attr:`FuzzResult.budget_overshoot_seconds`."""
     result = FuzzResult(
         scenario=scenario.name,
         protocol=protocol,
@@ -76,10 +92,22 @@ def fuzz(
         run_kwargs["max_cycles"] = max_cycles
     started = time.monotonic()
     for seed in seeds:
-        if time_budget is not None and time.monotonic() - started > time_budget:
+        if time_budget is not None:
+            remaining = time_budget - (time.monotonic() - started)
+            if remaining <= 0:
+                result.budget_exhausted = True
+                break
+            run_kwargs["max_wall_seconds"] = remaining
+        try:
+            outcome = run_schedule(scenario, protocol,
+                                   scheduler=RandomScheduler(seed),
+                                   **run_kwargs)
+        except WatchdogTimeout:
+            # The budget expired mid-run; the aborted run yields no
+            # verdict but still counts as work performed.
+            result.runs += 1
+            result.budget_exhausted = True
             break
-        outcome = run_schedule(scenario, protocol,
-                               scheduler=RandomScheduler(seed), **run_kwargs)
         result.runs += 1
         if outcome.failure is None:
             continue
@@ -96,4 +124,7 @@ def fuzz(
         )
         break
     result.elapsed_seconds = time.monotonic() - started
+    if time_budget is not None and result.elapsed_seconds > time_budget:
+        result.budget_exhausted = True
+        result.budget_overshoot_seconds = result.elapsed_seconds - time_budget
     return result

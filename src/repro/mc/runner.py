@@ -103,6 +103,7 @@ def run_schedule(
     max_cycles: int = DEFAULT_MAX_CYCLES,
     keep_sim: bool = False,
     obs=None,
+    max_wall_seconds: float | None = None,
 ) -> ScheduleOutcome:
     """Run ``scenario`` under one schedule and classify the outcome.
 
@@ -116,6 +117,13 @@ def run_schedule(
     :class:`PruneRun` to abandon the run (the explorer's state-dedup).
     ``mutation`` is a :class:`~repro.mc.mutations.Mutation` applied for
     the duration of the run.
+
+    ``max_wall_seconds`` arms the engine watchdog for this run; a
+    wedged simulation raises
+    :class:`~repro.common.errors.WatchdogTimeout` (which propagates --
+    exceeding a *checker* budget is not a protocol failure), letting
+    the fuzzer enforce its time budget mid-run instead of only between
+    runs.
     """
     recorder = RecordingScheduler(
         scheduler if scheduler is not None else ReplayScheduler(prefix)
@@ -124,6 +132,8 @@ def run_schedule(
     with patch:
         sim = build_sim(scenario, protocol, recorder,
                         **({"obs": obs} if obs is not None else {}))
+        sim.arm_watchdog(max_wall_seconds)
+        watchdog_countdown = 0
         horizon = sim.config.deadlock_horizon
         failure: Failure | None = None
         pruned = False
@@ -134,6 +144,11 @@ def run_schedule(
                         f"scenario {scenario.name!r} did not complete "
                         f"within {max_cycles} cycles"
                     )
+                if max_wall_seconds is not None:
+                    if watchdog_countdown == 0:
+                        watchdog_countdown = 256
+                        sim.check_watchdog()
+                    watchdog_countdown -= 1
                 sim.step()
                 sim._watch_progress(horizon)
                 if observer is not None:

@@ -205,6 +205,27 @@ class MetricRegistry:
     def get(self, name: str) -> _Metric | None:
         return self._metrics.get(name)
 
+    def merge_counter_snapshot(self, name: str, snapshot: dict,
+                               help: str = "") -> Counter:
+        """Fold a counter snapshot (from :meth:`Counter.snapshot`) into
+        this registry, summing values label-set by label-set.
+
+        This is how per-worker counters cross a process boundary: the
+        worker reduces its registry to plain data, and the parent merges
+        the snapshots back -- e.g. the sweep executor folding a retried
+        point's counters into the sweep-level registry.
+        """
+        if snapshot.get("kind") != "counter":
+            raise ValueError(
+                f"metric {name}: can only merge counter snapshots, got "
+                f"{snapshot.get('kind')!r}"
+            )
+        counter = self.counter(name, help or snapshot.get("help", ""),
+                               tuple(snapshot.get("label_names", ())))
+        for entry in snapshot.get("values", ()):
+            counter.inc(entry["value"], **entry["labels"])
+        return counter
+
     def names(self) -> list[str]:
         return sorted(self._metrics)
 

@@ -22,12 +22,13 @@ Two execution modes produce bit-identical statistics:
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 from repro.bus.bus import Bus
 from repro.cache.cache import SnoopingCache
 from repro.common.config import RmwMethod, SystemConfig
-from repro.common.errors import ConfigError, DeadlockError
+from repro.common.errors import ConfigError, DeadlockError, WatchdogTimeout
 from repro.memory.io_processor import IOProcessor
 from repro.memory.main_memory import MainMemory
 from repro.processor.processor import Processor
@@ -53,6 +54,11 @@ def set_fast_forward_default(value: bool) -> bool:
     old = FAST_FORWARD_DEFAULT
     FAST_FORWARD_DEFAULT = bool(value)
     return old
+
+
+#: Stepped-loop iterations between wall-clock watchdog checks; keeps the
+#: hot path at one integer compare per cycle when a watchdog is armed.
+WATCHDOG_STRIDE = 1024
 
 
 class Simulator:
@@ -171,6 +177,9 @@ class Simulator:
         self._last_progress_sig: tuple = ()
         self._last_progress_cycle = 0
         self._directories = [cache.directory for cache in self.caches]
+        self._watchdog_deadline: float | None = None
+        self._watchdog_budget = 0.0
+        self._watchdog_started = 0.0
 
     # -- running ----------------------------------------------------------
 
@@ -229,12 +238,22 @@ class Simulator:
             processor.tick(cycle)
 
     def run(self, max_cycles: int | None = None,
-            fast_forward: bool | None = None) -> SimStats:
+            fast_forward: bool | None = None,
+            max_wall_seconds: float | None = None) -> SimStats:
         """Run to completion (or ``max_cycles``); returns the statistics.
 
         ``fast_forward`` overrides the Simulator's mode for this run; both
         modes produce identical statistics (see the module docstring).
+
+        ``max_wall_seconds`` arms the engine watchdog: a run that is
+        still going after that much wall-clock time is aborted with a
+        :class:`~repro.common.errors.WatchdogTimeout` carrying a
+        :meth:`diagnostics` snapshot (bus, cache, and lock-queue state)
+        so a wedged simulation is debuggable post mortem.  The check
+        runs every :data:`WATCHDOG_STRIDE` cycles, so the overshoot is
+        bounded by the wall time of one stride.
         """
+        self.arm_watchdog(max_wall_seconds)
         if fast_forward is None:
             fast_forward = self.fast_forward
         if fast_forward is None:
@@ -245,12 +264,91 @@ class Simulator:
         step = self.step
         watch = self._watch_progress
         stats = self.stats
+        deadline = self._watchdog_deadline
+        countdown = 0
         while not self.done:
             if max_cycles is not None and stats.cycles >= max_cycles:
                 break
+            if deadline is not None:
+                if countdown == 0:
+                    countdown = WATCHDOG_STRIDE
+                    self.check_watchdog()
+                countdown -= 1
             step()
             watch(horizon)
         return self._finish()
+
+    # -- the wall-clock watchdog ------------------------------------------
+
+    def arm_watchdog(self, max_wall_seconds: float | None) -> None:
+        if max_wall_seconds is None:
+            self._watchdog_deadline = None
+            self._watchdog_budget = 0.0
+            self._watchdog_started = 0.0
+        else:
+            self._watchdog_started = time.monotonic()
+            self._watchdog_budget = float(max_wall_seconds)
+            self._watchdog_deadline = (self._watchdog_started
+                                       + self._watchdog_budget)
+
+    def check_watchdog(self) -> None:
+        now = time.monotonic()
+        if now < self._watchdog_deadline:
+            return
+        elapsed = now - self._watchdog_started
+        diagnostics = self.diagnostics()
+        raise WatchdogTimeout(
+            f"simulation exceeded its {self._watchdog_budget:.3g}s "
+            f"wall-clock budget at cycle {self.stats.cycles} "
+            f"({elapsed:.3g}s elapsed); diagnostics: {diagnostics}",
+            diagnostics=diagnostics,
+            elapsed_seconds=elapsed,
+            budget_seconds=self._watchdog_budget,
+        )
+
+    def diagnostics(self) -> dict:
+        """A plain-data snapshot of where every component stands --
+        what the watchdog dumps when it aborts a wedged run."""
+        bus: dict = {
+            "busy": bool(self.bus.busy),
+            "next_event_cycle": self.bus.next_event_cycle(),
+        }
+        pending_requests = [c.id for c in self.caches
+                            if c.has_bus_request()]
+        caches = []
+        for cache in self.caches:
+            pending = cache.pending
+            register = getattr(cache, "busy_wait", None)
+            caches.append({
+                "cache": cache.id,
+                "pending_op": (str(pending.op) if pending is not None
+                               else None),
+                "busy_wait": (
+                    {"block": register.block,
+                     "phase": register.phase.value,
+                     "armed_at": register.armed_at}
+                    if register is not None and register.active else None
+                ),
+            })
+        processors = [
+            {"pid": p.pid, "done": p.done, "pc": p.pc,
+             "state": p._state.name.lower(),
+             "ops_completed": p.stats.ops_completed}
+            for p in self.processors
+        ]
+        return {
+            "cycle": self.stats.cycles,
+            "done": self.done,
+            "bus": bus,
+            "bus_requests_pending": pending_requests,
+            "caches": caches,
+            "processors": processors,
+            "lock_queue": [
+                {"cache": c.id, "block": c.busy_wait.block,
+                 "phase": c.busy_wait.phase.value}
+                for c in self.caches if c.busy_wait.active
+            ],
+        }
 
     def _run_fast(self, max_cycles: int | None) -> SimStats:
         """The event-skip loop: equivalent to the stepped loop, but quiet
@@ -267,6 +365,11 @@ class Simulator:
             now = stats.cycles
             if max_cycles is not None and now >= max_cycles:
                 break
+            # One wall-clock check per event (each iteration may cover an
+            # arbitrarily long quiet span, so stride batching is wrong
+            # here -- a single iteration is already "many cycles").
+            if self._watchdog_deadline is not None:
+                self.check_watchdog()
             target = bus.next_event_cycle()
             if target > now:
                 for processor in processors:
@@ -357,9 +460,13 @@ def run_workload(
     trace: bool = False,
     fast_forward: bool | None = None,
     obs: Observability | None = None,
+    max_wall_seconds: float | None = None,
 ) -> SimStats:
-    """Build a simulator, run it to completion, and return its stats."""
+    """Build a simulator, run it to completion, and return its stats.
+
+    ``max_wall_seconds`` arms the engine watchdog (see
+    :meth:`Simulator.run`)."""
     sim = Simulator(config, programs, trace=trace,
                     check_interval=check_interval, fast_forward=fast_forward,
                     obs=obs)
-    return sim.run(max_cycles=max_cycles)
+    return sim.run(max_cycles=max_cycles, max_wall_seconds=max_wall_seconds)

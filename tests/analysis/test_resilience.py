@@ -1,0 +1,177 @@
+"""The resilient sweep executor under injected chaos.
+
+Every test drives :func:`repro.analysis.resilient.execute_points` with a
+seeded :class:`~repro.faults.FaultPlan`; the assertions are exact
+because the whole fault/retry/backoff pipeline is deterministic for a
+fixed seed.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.resilient import (
+    POINT_STATUSES,
+    ExecutionPolicy,
+    execute_points,
+)
+from repro.common.errors import SweepPointError
+from repro.faults import FaultPlan
+
+
+def _square(x):
+    """Stand-in point runner; module-level so worker pools can pickle
+    it.  Returns real SimStats so the executor's validation passes."""
+    from repro import api
+
+    return api._sweep_point(2, protocol="bitar-despain",
+                            workload="lock-contention")
+
+
+def _policy(**kwargs):
+    defaults = dict(backoff_base=0.01, backoff_max=0.05, poll_interval=0.02)
+    defaults.update(kwargs)
+    return ExecutionPolicy(**defaults)
+
+
+class TestSerial:
+    def test_clean_run(self):
+        report = execute_points(_square, [2, 3], policy=_policy())
+        assert report.ok
+        assert [o.status for o in report.outcomes] == ["ok", "ok"]
+        assert all(p is not None for p in report.payloads)
+
+    def test_raise_retried_to_success(self):
+        plan = FaultPlan.parse("raise@1")
+        report = execute_points(_square, [2, 3, 4],
+                                policy=_policy(faults=plan))
+        assert report.ok
+        assert report.outcomes[1].attempts == 2
+        assert report.summary()["retries"] == {"raise": 1}
+
+    def test_corrupt_stats_rejected_and_retried(self):
+        plan = FaultPlan.parse("corrupt@0")
+        report = execute_points(_square, [2, 3],
+                                policy=_policy(faults=plan))
+        assert report.ok
+        assert report.summary()["retries"] == {"corrupt": 1}
+
+    def test_exhausted_point_raises_sweep_point_error(self):
+        plan = FaultPlan.parse("raise@1:*")
+        with pytest.raises(SweepPointError) as info:
+            execute_points(_square, [2, 3], policy=_policy(
+                faults=plan, max_attempts=2))
+        assert info.value.index == 1
+        assert info.value.x == 3
+        assert info.value.attempts == 2
+
+    def test_keep_going_returns_partial_results(self):
+        plan = FaultPlan.parse("raise@1:*")
+        report = execute_points(_square, [2, 3, 4], policy=_policy(
+            faults=plan, max_attempts=2, keep_going=True))
+        assert not report.ok
+        assert [o.status for o in report.outcomes] == ["ok", "failed", "ok"]
+        assert report.payloads[0] is not None
+        assert report.payloads[1] is None
+        assert report.outcomes[1].error is not None
+        assert report.summary()["statuses"] == {"ok": 2, "failed": 1}
+
+    def test_serial_kill_degrades_to_raise(self):
+        # Killing the orchestrator's own process would end the test
+        # run; the serial path must degrade KILL to RAISE instead.
+        plan = FaultPlan.parse("kill@0")
+        report = execute_points(_square, [2], policy=_policy(faults=plan))
+        assert report.ok
+        assert report.outcomes[0].attempts == 2
+
+
+class TestParallelChaos:
+    def test_kill_breaks_and_respawns_the_pool(self):
+        plan = FaultPlan.parse("kill@1")
+        report = execute_points(_square, [2, 3, 4, 5], jobs=2,
+                                policy=_policy(faults=plan))
+        assert report.ok
+        summary = report.summary()
+        assert summary["retries"] == {"kill": 1}
+        assert summary["pool_restarts"] == {"broken": 1}
+
+    def test_hang_times_out_and_recovers(self):
+        plan = FaultPlan.parse("hang@2", hang_seconds=60.0)
+        report = execute_points(_square, [2, 3, 4], jobs=2,
+                                policy=_policy(faults=plan, timeout=1.0))
+        assert report.ok
+        summary = report.summary()
+        assert summary["retries"] == {"timeout": 1}
+        assert summary["pool_restarts"] == {"timeout": 1}
+
+    def test_persistent_killer_quarantined_others_survive(self):
+        plan = FaultPlan.parse("kill@1:*")
+        report = execute_points(_square, [2, 3, 4], jobs=2, policy=_policy(
+            faults=plan, max_attempts=2, keep_going=True))
+        assert [o.status for o in report.outcomes] == \
+            ["ok", "quarantined", "ok"]
+        assert report.payloads[1] is None
+
+    def test_acceptance_kill_plus_hang(self):
+        # The ISSUE acceptance scenario: one SIGKILL, one hang, four
+        # points, two workers -- everything recovers, exactly one pool
+        # restart per cause.
+        plan = FaultPlan.parse("kill@1,hang@2", hang_seconds=60.0)
+        report = execute_points(_square, [2, 3, 4, 5], jobs=2,
+                                policy=_policy(faults=plan, timeout=2.0,
+                                               keep_going=True))
+        assert report.ok
+        assert report.summary() == {
+            "statuses": {"ok": 4},
+            "retries": {"kill": 1, "timeout": 1},
+            "pool_restarts": {"broken": 1, "timeout": 1},
+        }
+
+
+class TestDeterminism:
+    def test_backoff_schedule_is_seeded(self):
+        policy = _policy(max_attempts=4, seed=9)
+        again = _policy(max_attempts=4, seed=9)
+        assert policy.backoff_schedule(3) == again.backoff_schedule(3)
+        assert policy.backoff_schedule(3) != policy.backoff_schedule(4)
+
+    def test_backoff_is_bounded(self):
+        policy = _policy(max_attempts=6, seed=1)
+        for delay in policy.backoff_schedule(0):
+            assert 0.0 < delay <= policy.backoff_max * (
+                1.0 + policy.backoff_jitter)
+
+    def test_chaos_outcomes_bit_identical(self):
+        def serialize(report):
+            return json.dumps({
+                "outcomes": [o.to_dict() for o in report.outcomes],
+                "summary": report.summary(),
+            }, sort_keys=True)
+
+        plan = FaultPlan.parse("kill@1,raise@0", seed=5, hang_seconds=60.0)
+        runs = [
+            execute_points(_square, [2, 3, 4, 5], jobs=2,
+                           policy=_policy(faults=plan, timeout=5.0,
+                                          seed=5, keep_going=True))
+            for _ in range(2)
+        ]
+        assert serialize(runs[0]) == serialize(runs[1])
+
+
+class TestRegistry:
+    def test_counters_exported(self):
+        plan = FaultPlan.parse("raise@0")
+        report = execute_points(_square, [2, 3],
+                                policy=_policy(faults=plan))
+        snapshot = report.registry.snapshot()
+        assert "sweep_point_retries_total" in snapshot
+        assert "sweep_points_total" in snapshot
+        values = snapshot["sweep_points_total"]["values"]
+        assert sum(entry["value"] for entry in values) == 2
+
+    def test_statuses_are_known(self):
+        plan = FaultPlan.parse("raise@0:*")
+        report = execute_points(_square, [2], policy=_policy(
+            faults=plan, max_attempts=2, keep_going=True))
+        for outcome in report.outcomes:
+            assert outcome.status in POINT_STATUSES

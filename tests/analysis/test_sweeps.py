@@ -83,6 +83,22 @@ class TestSweepSeries:
         b = SweepSeries("b", xs, np.array([0.0]))
         assert a.ratio_to(b)[0] == np.inf
 
+    def test_ratio_zero_over_zero_is_nan(self):
+        # 0/0 used to come out as +inf, smuggling a "ratio" out of two
+        # empty measurements.
+        xs = np.array([1.0])
+        a = SweepSeries("a", xs, np.array([0.0]))
+        b = SweepSeries("b", xs, np.array([0.0]))
+        assert np.isnan(a.ratio_to(b)[0])
+
+    def test_ratio_negative_over_zero_is_negative_inf(self):
+        xs = np.array([1.0, 2.0])
+        a = SweepSeries("a", xs, np.array([-2.0, 3.0]))
+        b = SweepSeries("b", xs, np.array([0.0, 0.0]))
+        ratios = a.ratio_to(b)
+        assert ratios[0] == -np.inf
+        assert ratios[1] == np.inf
+
     def test_mismatched_xs_rejected(self):
         a = SweepSeries("a", np.array([1.0]), np.array([2.0]))
         b = SweepSeries("b", np.array([2.0]), np.array([2.0]))

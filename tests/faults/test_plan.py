@@ -1,0 +1,118 @@
+"""The fault plan: parsing, determinism, and application semantics."""
+
+import pytest
+
+from repro.common.errors import ConfigError, FaultInjected
+from repro.faults import (
+    ALWAYS,
+    CorruptStats,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    apply_fault,
+)
+from repro.faults.plan import _roll
+
+
+class TestParse:
+    def test_single_spec(self):
+        plan = FaultPlan.parse("raise@1")
+        assert len(plan.specs) == 1
+        spec = plan.specs[0]
+        assert spec.kind is FaultKind.RAISE
+        assert spec.index == 1
+        assert spec.times == 1
+
+    def test_all_kinds(self):
+        plan = FaultPlan.parse("raise@0,hang@1,kill@2,corrupt@3")
+        kinds = [s.kind for s in plan.specs]
+        assert kinds == [FaultKind.RAISE, FaultKind.HANG,
+                         FaultKind.KILL, FaultKind.CORRUPT]
+
+    def test_times_suffix(self):
+        plan = FaultPlan.parse("kill@1:3")
+        assert plan.specs[0].times == 3
+
+    def test_every_attempt(self):
+        plan = FaultPlan.parse("kill@1:*")
+        assert plan.specs[0].times == ALWAYS
+        assert plan.kills(1, 1) and plan.kills(1, 5)
+
+    def test_wildcard_index_with_probability(self):
+        plan = FaultPlan.parse("raise@*%25", seed=3)
+        assert plan.specs[0].index == ALWAYS
+        assert plan.specs[0].probability == pytest.approx(0.25)
+
+    def test_unbounded_everywhere_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse("raise@*:*")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse("explode@1")
+        with pytest.raises(ConfigError):
+            FaultPlan.parse("raise")
+
+    def test_round_trips_to_dict(self):
+        plan = FaultPlan.parse("kill@1,hang@2", seed=7)
+        payload = plan.to_dict()
+        assert payload["seed"] == 7
+        assert len(payload["specs"]) == 2
+
+
+class TestDeterminism:
+    def test_roll_is_stable(self):
+        assert _roll(3, 1, 2) == _roll(3, 1, 2)
+        assert 0.0 <= _roll(3, 1, 2) < 1.0
+
+    def test_roll_varies_with_inputs(self):
+        draws = {_roll(seed, index, attempt)
+                 for seed in range(3) for index in range(3)
+                 for attempt in range(1, 3)}
+        assert len(draws) > 1
+
+    def test_probabilistic_spec_is_deterministic(self):
+        plan = FaultPlan.parse("raise@*%50", seed=11)
+        first = [plan.fault_for(i, 1) for i in range(32)]
+        second = [plan.fault_for(i, 1) for i in range(32)]
+        assert first == second
+        assert any(k is FaultKind.RAISE for k in first)
+        assert any(k is None for k in first)
+
+    def test_seed_changes_the_draws(self):
+        a = FaultPlan.parse("raise@*%50", seed=0)
+        b = FaultPlan.parse("raise@*%50", seed=1)
+        assert ([a.fault_for(i, 1) for i in range(64)]
+                != [b.fault_for(i, 1) for i in range(64)])
+
+
+class TestFaultFor:
+    def test_fires_on_configured_attempts_only(self):
+        plan = FaultPlan(specs=(FaultSpec(FaultKind.RAISE, index=2, times=2),))
+        assert plan.fault_for(2, 1) is FaultKind.RAISE
+        assert plan.fault_for(2, 2) is FaultKind.RAISE
+        assert plan.fault_for(2, 3) is None
+        assert plan.fault_for(1, 1) is None
+
+    def test_kills_helper(self):
+        plan = FaultPlan.parse("kill@1")
+        assert plan.kills(1, 1)
+        assert not plan.kills(1, 2)
+        assert not plan.kills(0, 1)
+
+
+class TestApply:
+    def test_raise(self):
+        with pytest.raises(FaultInjected):
+            apply_fault(FaultKind.RAISE, index=0, attempt=1)
+
+    def test_corrupt(self):
+        result = apply_fault(FaultKind.CORRUPT, index=0, attempt=1)
+        assert isinstance(result, CorruptStats)
+
+    def test_hang_sleeps(self):
+        import time
+
+        start = time.monotonic()
+        apply_fault(FaultKind.HANG, index=0, attempt=1, hang_seconds=0.05)
+        assert time.monotonic() - start >= 0.05

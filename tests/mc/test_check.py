@@ -3,6 +3,7 @@
 import json
 
 import repro.mc as mc
+from repro.common.schema import SCHEMA_VERSION
 
 
 class TestCheck:
@@ -23,12 +24,12 @@ class TestCheck:
         assert report.mutation_results[0].caught
         assert len(report.saved_paths) == 1
         saved = json.loads(open(report.saved_paths[0]).read())
-        assert saved["schema_version"] == 1
+        assert saved["schema_version"] == SCHEMA_VERSION
 
     def test_report_is_stamped_json(self):
         report = mc.check(["illinois"], scenarios=["tas-race"], fuzz_seeds=2)
         data = report.to_dict()
-        assert data["schema_version"] == 1
+        assert data["schema_version"] == SCHEMA_VERSION
         json.dumps(data)
 
     def test_fuzz_budget_zero_skips_fuzzing(self):

@@ -6,7 +6,7 @@ from pathlib import Path
 import pytest
 
 import repro.mc as mc
-from repro.common.schema import SchemaError
+from repro.common.schema import SCHEMA_VERSION, SchemaError
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -30,7 +30,7 @@ class TestSerialization:
     def test_trace_is_stamped(self, tmp_path):
         ce = _fresh_counterexample()
         data = json.loads(ce.save(tmp_path / "ce.json").read_text())
-        assert data["schema_version"] == 1
+        assert data["schema_version"] == SCHEMA_VERSION
 
     def test_unstamped_trace_rejected(self):
         ce = _fresh_counterexample()

@@ -1,0 +1,54 @@
+"""Per-run time-budget enforcement in the fuzzer."""
+
+from repro.mc.check import CheckReport
+from repro.mc.fuzz import fuzz
+from repro.mc.scenarios import SCENARIOS
+
+
+def _scenario():
+    return next(iter(SCENARIOS.values()))
+
+
+class TestFuzzBudget:
+    def test_generous_budget_runs_everything(self):
+        result = fuzz(_scenario(), "bitar-despain", seeds=range(3),
+                      time_budget=60.0)
+        assert result.runs == 3
+        assert result.ok
+        assert not result.budget_exhausted
+        assert result.budget_overshoot_seconds == 0.0
+
+    def test_no_budget_means_no_watchdog(self):
+        result = fuzz(_scenario(), "bitar-despain", seeds=range(2))
+        assert result.runs == 2
+        assert not result.budget_exhausted
+
+    def test_tiny_budget_aborts_mid_run(self):
+        # A budget far below one run's cost: the first run gets the
+        # whole (tiny) remainder as its watchdog allowance and is
+        # aborted mid-run -- not after completing, as the old
+        # between-runs check would have allowed.
+        result = fuzz(_scenario(), "bitar-despain", seeds=range(10_000),
+                      time_budget=1e-6)
+        assert result.budget_exhausted
+        assert result.runs <= 1
+        assert result.ok  # an aborted run is not a counterexample
+        assert result.budget_overshoot_seconds >= 0.0
+
+    def test_overshoot_is_reported(self):
+        result = fuzz(_scenario(), "bitar-despain", seeds=range(10_000),
+                      time_budget=1e-6)
+        payload = result.to_dict()
+        assert payload["budget_exhausted"] is True
+        assert payload["budget_overshoot_seconds"] >= 0.0
+
+    def test_check_report_aggregates_overshoot(self):
+        sessions = [
+            fuzz(_scenario(), "bitar-despain", seeds=range(10_000),
+                 time_budget=1e-6)
+            for _ in range(2)
+        ]
+        report = CheckReport(fuzz_sessions=sessions)
+        assert report.budget_overshoot_seconds == sum(
+            s.budget_overshoot_seconds for s in sessions)
+        assert "budget_overshoot_seconds" in report.to_dict()

@@ -6,6 +6,8 @@ import csv
 import io
 import json
 
+from repro.common.schema import SCHEMA_VERSION
+
 import pytest
 
 from repro.obs import (
@@ -26,7 +28,8 @@ class TestSampleExport:
         lines = samples_jsonl(obs).splitlines()
         header = json.loads(lines[0])
         assert header == {"kind": "header", "interval": obs.sampler.interval,
-                          "cycles": stats.cycles, "schema_version": 1}
+                          "cycles": stats.cycles,
+                          "schema_version": SCHEMA_VERSION}
         rows = [json.loads(line) for line in lines[1:]]
         assert len(rows) == len(obs.sampler.samples) > 0
         assert all(row["kind"] == "sample" for row in rows)

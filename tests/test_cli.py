@@ -134,10 +134,63 @@ class TestDeprecatedFlags:
                      "--num-blocks", "32"]) == 0
         assert "deprecated" not in capsys.readouterr().err
 
-    def test_new_spelling_wins_over_old(self, capsys):
-        # Both given: the replacement flag takes precedence.
-        assert main(["run", "-n", "2", "--num-blocks", "32",
-                     "--cache-blocks", "8"]) == 0
+    def test_alias_plus_replacement_is_an_error(self, capsys):
+        # Both spellings at once used to silently prefer one of them,
+        # hiding the mistake; now the conflict exits naming both flags.
+        with pytest.raises(SystemExit) as info:
+            main(["run", "-n", "2", "--num-blocks", "32",
+                  "--cache-blocks", "8"])
+        assert info.value.code == 2
+        err = capsys.readouterr().err
+        assert "--cache-blocks" in err and "--num-blocks" in err
+
+    def test_verify_every_conflict_is_an_error(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["run", "-n", "2", "--verify-every", "4",
+                  "--check-interval", "8"])
+        assert info.value.code == 2
+        err = capsys.readouterr().err
+        assert "--verify-every" in err and "--check-interval" in err
+
+
+class TestResilienceFlags:
+    def test_chaos_sweep_recovers(self, capsys):
+        assert main(["sweep", "--processors", "2", "3",
+                     "--inject-faults", "raise@1", "--keep-going"]) == 0
+        out = capsys.readouterr().out
+        assert "resilience: retries raise=1" in out
+
+    def test_exhausted_point_fails_the_sweep(self, capsys):
+        assert main(["sweep", "--processors", "2", "3",
+                     "--inject-faults", "raise@1:*", "--retries", "1"]) == 1
+        err = capsys.readouterr().err
+        assert "--keep-going" in err
+
+    def test_keep_going_prints_statuses(self, capsys):
+        assert main(["sweep", "--processors", "2", "3", "4",
+                     "--inject-faults", "raise@1:*", "--retries", "1",
+                     "--keep-going"]) == 1
+        out = capsys.readouterr().out
+        assert "status" in out
+        assert "failed" in out
+        # The healthy points still report their metrics.
+        assert out.count("66%") == 2
+
+    def test_bad_fault_spec_rejected(self, capsys):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["sweep", "--processors", "2",
+                  "--inject-faults", "explode@1"])
+
+    def test_run_watchdog_flag(self, capsys):
+        assert main(["run", "-n", "2", "--max-wall-seconds", "300"]) == 0
+
+    def test_run_watchdog_abort_prints_diagnostics(self, capsys):
+        assert main(["run", "-n", "2", "--max-wall-seconds", "0"]) == 1
+        err = capsys.readouterr().err
+        assert "wall-clock" in err
+        assert "bus busy=" in err
 
 
 class TestCheckCommand:
@@ -153,9 +206,11 @@ class TestCheckCommand:
         assert main(["check", "--protocol", "illinois",
                      "--scenario", "tas-race", "--fuzz-seeds", "2",
                      "--json"]) == 0
+        from repro.common.schema import SCHEMA_VERSION
+
         payload = json.loads(capsys.readouterr().out)
         assert payload["ok"] is True
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == SCHEMA_VERSION
 
     def test_check_mutation_harness(self, capsys, tmp_path):
         assert main(["check", "--protocol", "bitar-despain",
