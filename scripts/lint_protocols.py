@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""CI gate: lint every protocol table and prove the linter has teeth.
+
+Two phases:
+
+1. **Clean pass** -- every registered protocol's transition table must
+   come through ``repro lint`` with zero findings.
+2. **Mutation pass** -- every seeded *table-row* mutation from the
+   model checker's registry (``repro.mc.mutations``) must be flagged by
+   the lint check it names.  A linter that passes clean tables but
+   misses seeded classics (dropped snoop row, skipped invalidation,
+   shared fill landing write privilege, lost unlock broadcast, ignored
+   lock refusal) proves nothing.
+
+Optionally writes the schema-stamped lint report with ``--out`` so CI
+can archive it and feed it to ``scripts/validate_trace.py``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/lint_protocols.py [--out report.json]
+
+Exit status 0 when both phases pass, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+try:
+    from repro.lint import build_report, lint_all, lint_table
+except ModuleNotFoundError:  # running from a checkout without install
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.lint import build_report, lint_all, lint_table
+
+from repro.mc.mutations import MUTATIONS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write the JSON lint report here")
+    args = parser.parse_args(argv)
+
+    failures = 0
+
+    findings = lint_all()
+    for name in sorted(findings):
+        complaints = findings[name]
+        if complaints:
+            failures += 1
+            print(f"FAIL {name}: {len(complaints)} finding(s)")
+            for finding in complaints:
+                print(f"     {finding}")
+        else:
+            print(f"ok   {name}")
+
+    table_mutations = [m for m in MUTATIONS.values()
+                       if m.table_builder is not None]
+    for mutation in table_mutations:
+        flagged = lint_table(mutation.table_builder())
+        checks = sorted({f.check for f in flagged})
+        if mutation.lint_check in checks:
+            print(f"ok   mutation {mutation.name} flagged by "
+                  f"{mutation.lint_check}")
+        else:
+            failures += 1
+            print(f"FAIL mutation {mutation.name}: expected a "
+                  f"{mutation.lint_check} finding, got {checks or 'none'}")
+
+    if args.out:
+        report = build_report(findings)
+        Path(args.out).write_text(json.dumps(report, indent=2,
+                                             sort_keys=True) + "\n",
+                                  encoding="utf-8")
+        print(f"report written to {args.out}")
+
+    print(f"{len(findings)} protocols linted, "
+          f"{len(table_mutations)} seeded mutations checked, "
+          f"{failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

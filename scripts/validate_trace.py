@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Validate JSON artifacts produced by the repro CLI.
 
-Two artifact shapes are understood:
+Three artifact shapes are understood:
 
 * Chrome trace-event files (``repro run --timeline``) are checked
   against the schema subset Perfetto/chrome://tracing actually require
@@ -13,6 +13,10 @@ Two artifact shapes are understood:
   coherent resilience fields: one ``point_status`` verdict per point
   with a known status, and ``null`` ``points`` entries only where the
   verdict says the point did not finish OK.
+* Protocol lint reports (``kind == "lint-report"``, from ``repro lint
+  --json``) are checked for a coherent verdict: the top-level ``ok``
+  must agree with the per-protocol entries, every finding must name a
+  known check, and finding-free protocols must be marked ok.
 
 Usage::
 
@@ -36,6 +40,7 @@ except ModuleNotFoundError:  # running from a checkout without install
 
 from repro.analysis.resilient import POINT_STATUSES
 from repro.common.schema import check as check_schema
+from repro.lint import CHECKS as LINT_CHECKS
 from repro.obs.export import validate_chrome_trace
 
 
@@ -75,9 +80,40 @@ def validate_sweep_result(payload: dict) -> list[str]:
     return errors
 
 
+def validate_lint_report(payload: dict) -> list[str]:
+    """Coherence checks for a ``repro lint --json`` report."""
+    errors: list[str] = []
+    protocols = payload.get("protocols")
+    if not isinstance(protocols, dict) or not protocols:
+        return ["missing per-protocol lint entries"]
+    known_checks = set(LINT_CHECKS) | {"structure"}
+    for name, entry in sorted(protocols.items()):
+        findings = entry.get("findings")
+        if not isinstance(findings, list):
+            errors.append(f"protocols[{name}]: missing findings list")
+            continue
+        if entry.get("ok") is not (not findings):
+            errors.append(f"protocols[{name}]: ok flag disagrees with "
+                          f"{len(findings)} finding(s)")
+        for i, finding in enumerate(findings):
+            if finding.get("check") not in known_checks:
+                errors.append(f"protocols[{name}].findings[{i}]: unknown "
+                              f"check {finding.get('check')!r}")
+            if not finding.get("detail"):
+                errors.append(f"protocols[{name}].findings[{i}]: empty detail")
+    expected_ok = all(not entry.get("findings") for entry in protocols.values())
+    if payload.get("ok") is not expected_ok:
+        errors.append("top-level ok flag disagrees with per-protocol entries")
+    return errors
+
+
 def _describe(payload: dict) -> str:
     if "traceEvents" in payload:
         return f"{len(payload['traceEvents'])} trace events"
+    if payload.get("kind") == "lint-report":
+        protocols = payload.get("protocols", {})
+        clean = sum(1 for entry in protocols.values() if entry.get("ok"))
+        return f"lint report, {clean}/{len(protocols)} protocols clean"
     statuses = [p.get("status") for p in payload.get("point_status", [])]
     ok = sum(1 for s in statuses if s == "ok")
     return f"sweep result, {ok}/{len(statuses)} points ok"
@@ -99,6 +135,8 @@ def main(argv: list[str] | None = None) -> int:
             continue
         if isinstance(payload, dict) and payload.get("kind") == "sweep-result":
             errors = validate_sweep_result(payload)
+        elif isinstance(payload, dict) and payload.get("kind") == "lint-report":
+            errors = validate_lint_report(payload)
         else:
             errors = validate_chrome_trace(payload)
         try:

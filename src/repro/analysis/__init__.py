@@ -16,6 +16,7 @@ from repro.analysis.metrics import (
     speedup,
     traffic_metrics,
 )
+from repro.analysis.diagram import render_diagram, to_dot, to_mermaid
 from repro.analysis.encoding import state_bits, transfer_unit_encoding
 from repro.analysis.queueing import (
     BusQueueingPoint,
@@ -70,6 +71,7 @@ __all__ = [
     "lock_metrics",
     "md1_mean_wait",
     "processor_utilization",
+    "render_diagram",
     "render_figure10",
     "render_series",
     "over_seeds",
@@ -78,6 +80,8 @@ __all__ = [
     "smith_frequency_range",
     "speedup",
     "state_bits",
+    "to_dot",
+    "to_mermaid",
     "transfer_unit_encoding",
     "traffic_metrics",
     "verify_figure10",

@@ -1,0 +1,87 @@
+"""State-diagram emitters for table-driven protocols.
+
+Because every protocol is a declarative
+:class:`~repro.protocols.table.TransitionTable`, its state diagram --
+the figure the paper draws for each scheme -- can be *generated* rather
+than drawn.  ``to_dot`` emits Graphviz and ``to_mermaid`` emits a
+Mermaid ``stateDiagram-v2`` block (the form embedded in
+``docs/protocols.md``).
+
+Edge labels read ``event [guard] / actions``; transient machinery
+states are drawn dashed; processor documentation rows whose transition
+is carried by machinery (``pr-rmw`` under memory-hold, for instance)
+are included, since they are part of the table's story.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.table import Rule, TransitionTable
+
+#: Events whose rows do not move the block between states and would only
+#: clutter a diagram with self-loops (pure hits and no-op snoops are
+#: still listed when they carry actions).
+_SELF_LOOP_ACTIONS_ONLY = frozenset({"hit"})
+
+
+def _edge_label(r: Rule) -> str:
+    label = r.event.value
+    if r.guard:
+        label += " [" + ",".join(sorted(r.guard)) + "]"
+    if r.actions:
+        label += " / " + ",".join(r.actions)
+    return label
+
+
+def _edges(table: TransitionTable) -> list[tuple[str, str, str]]:
+    """(src, dst, label) per rule, dropping label-free self-loops."""
+    edges = []
+    for r in table.rules:
+        if r.state is r.next_state and (
+                not r.actions or set(r.actions) <= _SELF_LOOP_ACTIONS_ONLY):
+            continue
+        edges.append((r.state.value, r.next_state.value, _edge_label(r)))
+    return edges
+
+
+def to_dot(table: TransitionTable) -> str:
+    """Graphviz digraph for one protocol table."""
+    lines = [
+        f'digraph "{table.name}" {{',
+        "  rankdir=LR;",
+        '  node [shape=circle, fontname="Helvetica"];',
+        '  edge [fontsize=10, fontname="Helvetica"];',
+        '  __start [shape=point, label=""];',
+        "  __start -> I;",
+    ]
+    for state in sorted(table.states_mentioned(), key=lambda s: s.value):
+        style = ', style=dashed' if state in table.transient_states else ""
+        lines.append(f'  {state.value} [label="{state.value}"{style}];')
+    for src, dst, label in _edges(table):
+        escaped = label.replace('"', '\\"')
+        lines.append(f'  {src} -> {dst} [label="{escaped}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def to_mermaid(table: TransitionTable) -> str:
+    """Mermaid ``stateDiagram-v2`` block for one protocol table."""
+    lines = ["stateDiagram-v2", "    [*] --> I"]
+    for state in sorted(table.states_mentioned(), key=lambda s: s.value):
+        if state in table.transient_states:
+            lines.append(f"    {state.value}: {state.value} (transient)")
+    for src, dst, label in _edges(table):
+        # Mermaid treats the first colon as the label delimiter but
+        # chokes on further ones inside the label text.
+        safe = label.replace(":", "·")
+        lines.append(f"    {src} --> {dst}: {safe}")
+    return "\n".join(lines) + "\n"
+
+
+def render_diagram(table: TransitionTable, fmt: str = "dot") -> str:
+    """Dispatch on ``fmt`` (``dot`` or ``mermaid``)."""
+    if fmt == "dot":
+        return to_dot(table)
+    if fmt == "mermaid":
+        return to_mermaid(table)
+    raise ValueError(f"unknown diagram format {fmt!r} "
+                     "(expected 'dot' or 'mermaid')")

@@ -47,6 +47,52 @@ class Table1:
         bottom = render_table(headers2, rows2, title="Table 1 (features)")
         return top + "\n\n" + bottom
 
+    def _halves(self) -> tuple[list[tuple[str, list[str]]],
+                               list[tuple[str, list[str]]]]:
+        """(label, cells) rows for the states and features halves."""
+        state_rows = [
+            (TABLE1_STATE_LABELS[state], self.states[i])
+            for i, state in enumerate(TABLE1_STATE_ROWS)
+        ]
+        feature_rows = [
+            (self.feature_labels[i], self.feature_rows[i])
+            for i in range(len(self.feature_labels))
+        ]
+        return state_rows, feature_rows
+
+    def render_markdown(self) -> str:
+        """Both halves as GitHub-flavored Markdown tables."""
+        citations = [f.citation for f in self.features]
+        state_rows, feature_rows = self._halves()
+
+        def table(first: str, rows: list[tuple[str, list[str]]]) -> str:
+            head = "| " + " | ".join([first] + citations) + " |"
+            sep = "|" + "---|" * (len(citations) + 1)
+            body = ["| " + " | ".join([label] + cells) + " |"
+                    for label, cells in rows]
+            return "\n".join([head, sep] + body)
+
+        return ("### Table 1 (states)\n\n"
+                "N = non-source, S = source, - = unused\n\n"
+                + table("State", state_rows)
+                + "\n\n### Table 1 (features)\n\n"
+                + table("Feature", feature_rows) + "\n")
+
+    def render_csv(self) -> str:
+        """Both halves as one CSV, tagged by a ``section`` column."""
+        import csv
+        import io
+
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(["section", "label", *self.columns])
+        state_rows, feature_rows = self._halves()
+        for label, cells in state_rows:
+            writer.writerow(["states", label, *cells])
+        for label, cells in feature_rows:
+            writer.writerow(["features", label, *cells])
+        return out.getvalue()
+
 
 FEATURE_LABELS = [
     "1. Cache-to-cache transfer; serialization",

@@ -51,6 +51,7 @@ __all__ = [
     "sweep",
     "conform",
     "check",
+    "lint",
     "WORKLOADS",
 ]
 
@@ -349,3 +350,19 @@ def check(protocols=None, **kwargs) -> CheckReport:
     scenarios, fuzzing of the rest, optional mutation testing.  See
     :func:`repro.mc.check.check` for the keyword reference."""
     return _mc_check(protocols, **kwargs)
+
+
+def lint(protocols=None) -> dict:
+    """Statically lint protocol transition tables.
+
+    Runs the five rule families (completeness, determinism,
+    reachability, write-serialization, lock-state sanity) over the named
+    protocols (default: all ten) and returns the schema-stamped lint
+    report -- the same payload as ``repro lint --json``.
+    """
+    from repro.lint import build_report, lint_protocol
+
+    from repro.protocols import PROTOCOLS
+
+    names = sorted(PROTOCOLS) if protocols is None else list(protocols)
+    return build_report({name: lint_protocol(name) for name in names})

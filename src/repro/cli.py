@@ -193,7 +193,34 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--json", action="store_true",
                        help="emit the full check report as JSON")
 
-    sub.add_parser("table1", help="print the regenerated Table 1")
+    lint = sub.add_parser(
+        "lint",
+        help="statically lint protocol transition tables (completeness, "
+             "determinism, reachability, write-serialization, lock-state)",
+    )
+    lint_target = lint.add_mutually_exclusive_group(required=True)
+    lint_target.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                             help="lint one protocol's table")
+    lint_target.add_argument("--all", action="store_true",
+                             help="lint every registered protocol")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the schema-stamped lint report as JSON")
+
+    diagram = sub.add_parser(
+        "diagram",
+        help="emit a protocol's state diagram generated from its "
+             "transition table",
+    )
+    diagram.add_argument("protocol", choices=sorted(PROTOCOLS))
+    diagram.add_argument("--format", choices=("dot", "mermaid"),
+                         default="dot",
+                         help="Graphviz DOT (default) or Mermaid "
+                              "stateDiagram-v2")
+
+    table1 = sub.add_parser("table1", help="print the regenerated Table 1")
+    table1.add_argument("--format", choices=("text", "md", "csv"),
+                        default="text",
+                        help="plain text (default), Markdown, or CSV")
     sub.add_parser("table2", help="print the regenerated Table 2")
     sub.add_parser("figure10", help="print the state-transition enumeration")
     sub.add_parser("protocols", help="list the implemented protocols")
@@ -545,6 +572,53 @@ def command_protocols(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.lint import build_report, lint_all, lint_protocol
+
+    if args.all:
+        findings = lint_all()
+    else:
+        findings = {args.protocol: lint_protocol(args.protocol)}
+    report = build_report(findings)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for name in sorted(findings):
+            complaints = findings[name]
+            status = "ok" if not complaints else f"{len(complaints)} finding(s)"
+            print(f"{name}: {status}")
+            for finding in complaints:
+                print(f"  {finding}")
+    return 0 if report["ok"] else 1
+
+
+def command_diagram(args: argparse.Namespace) -> int:
+    from repro.analysis.diagram import render_diagram
+    from repro.protocols import get_protocol
+    from repro.protocols.table import TableProtocol
+
+    cls = get_protocol(args.protocol)
+    if not issubclass(cls, TableProtocol):
+        print(f"repro: error: {args.protocol} is not table-driven",
+              file=sys.stderr)
+        return 2
+    print(render_diagram(cls.table, args.format), end="")
+    return 0
+
+
+def command_table1(args: argparse.Namespace) -> int:
+    table = build_table1()
+    if args.format == "md":
+        print(table.render_markdown(), end="")
+    elif args.format == "csv":
+        print(table.render_csv(), end="")
+    else:
+        print(table.render())
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -557,9 +631,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return command_conformance(args)
     if args.command == "check":
         return command_check(args)
+    if args.command == "lint":
+        return command_lint(args)
+    if args.command == "diagram":
+        return command_diagram(args)
     if args.command == "table1":
-        print(build_table1().render())
-        return 0
+        return command_table1(args)
     if args.command == "table2":
         print(render_table2())
         return 0

@@ -1,32 +1,29 @@
 """The paper's proposed protocol (Sections E and F, Table 1 last column).
 
-Eight states (Section E.1), cache-state locking in zero time (E.3),
-efficient busy wait via the lock-waiter state and busy-wait register
-(E.4), dynamic fetch-for-write on read miss (Figure 1, Feature 5 ``D``),
-no flush on cache-to-cache transfer with status carried along (Feature 7
-``NF,S``), last-fetcher-becomes-source (Feature 8 ``LRU,MEM``), and
-write-without-fetch (Feature 9).
+Eight states (Section E.1), cache-state locking in zero time (E.3, the
+``lock-in-place`` action), efficient busy wait via the lock-waiter state
+and busy-wait register (E.4, the ``refuse-lock`` action and the
+``won-wait`` guard), dynamic fetch-for-write on read miss (Figure 1, the
+``unshared`` guard -- Feature 5 ``D``), no flush on cache-to-cache
+transfer with status carried along (Feature 7 ``NF,S``),
+last-fetcher-becomes-source (Feature 8 ``LRU,MEM``), and
+write-without-fetch (Feature 9, ``bus:write-no-fetch``).
+
+A lock whose block was purged spills its lock tag to memory (E.3); the
+``mem-owner``/``mem-waiter`` guards on the fill rows re-establish the
+in-cache lock state when the owner touches the block again.  The only
+procedural remnant on top of the table is the multi-phase unlock of a
+spilled lock: refetch with lock, then apply the final write and release
+(the :meth:`~BitarDespainProtocol.after_fill` override).
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import TYPE_CHECKING
 
-from repro.bus.signals import SnoopReply
-from repro.bus.transaction import BusOp, BusTransaction
 from repro.cache.state import CacheState
-from repro.common.errors import ProgramError
-from repro.common.types import Stamp, WordAddr
 from repro.processor.isa import OpKind
-from repro.protocols.base import (
-    Action,
-    CoherenceProtocol,
-    Done,
-    NeedBus,
-    Outcome,
-    TxnResult,
-)
+from repro.protocols.base import NeedBus
 from repro.protocols.features import (
     DirectoryDuality,
     FlushPolicy,
@@ -34,6 +31,8 @@ from repro.protocols.features import (
     ReadSourcePolicy,
     SharingDetermination,
 )
+from repro.protocols.table import Event, TableProtocol, TransitionTable, rule
+from repro.bus.transaction import BusOp
 from repro.sim.events import EventKind
 
 if TYPE_CHECKING:
@@ -65,61 +64,188 @@ _FEATURES = ProtocolFeatures(
     },
 )
 
+_I = CacheState.INVALID
+_R = CacheState.READ
+_RSC = CacheState.READ_SOURCE_CLEAN
+_RSD = CacheState.READ_SOURCE_DIRTY
+_WC = CacheState.WRITE_CLEAN
+_WD = CacheState.WRITE_DIRTY
+_L = CacheState.LOCK
+_LW = CacheState.LOCK_WAITER
 
-class BitarDespainProtocol(CoherenceProtocol):
+_TABLE = TransitionTable(
+    "bitar-despain",
+    [
+        # processor reads
+        rule(_L, Event.PR_READ, _L, ["hit"]),
+        rule(_LW, Event.PR_READ, _LW, ["hit"]),
+        rule(_WD, Event.PR_READ, _WD, ["hit"]),
+        rule(_WC, Event.PR_READ, _WC, ["hit"]),
+        rule(_RSD, Event.PR_READ, _RSD, ["hit"]),
+        rule(_RSC, Event.PR_READ, _RSC, ["hit"]),
+        rule(_R, Event.PR_READ, _R, ["hit"]),
+        rule(_I, Event.PR_READ, _I, ["bus:read"]),
+        # processor writes
+        rule(_L, Event.PR_WRITE, _L, ["hit"]),
+        rule(_LW, Event.PR_WRITE, _LW, ["hit"]),
+        rule(_WD, Event.PR_WRITE, _WD, ["hit"]),
+        rule(_WC, Event.PR_WRITE, _WD, ["hit"]),
+        rule(_RSD, Event.PR_WRITE, _RSD, ["bus:upgrade"]),
+        rule(_RSC, Event.PR_WRITE, _RSC, ["bus:upgrade"]),
+        rule(_R, Event.PR_WRITE, _R, ["bus:upgrade"]),
+        rule(_I, Event.PR_WRITE, _I, ["bus:read-excl"]),
+        # the lock instruction (Figure 6): zero-time with write privilege
+        rule(_L, Event.PR_LOCK, _L, ["error:nested-lock"]),
+        rule(_LW, Event.PR_LOCK, _LW, ["error:nested-lock"]),
+        rule(_WD, Event.PR_LOCK, _L, ["lock-in-place"]),
+        rule(_WC, Event.PR_LOCK, _L, ["lock-in-place"]),
+        rule(_RSD, Event.PR_LOCK, _RSD, ["bus:upgrade"]),
+        rule(_RSC, Event.PR_LOCK, _RSC, ["bus:upgrade"]),
+        rule(_R, Event.PR_LOCK, _R, ["bus:upgrade"]),
+        rule(_I, Event.PR_LOCK, _I, ["bus:read-lock"]),
+        # the unlock instruction (Figure 8): the final write to the
+        # locked block; broadcast only if a waiter was recorded.  A
+        # spilled lock refetches with lock, then unlocks (multi-phase).
+        rule(_L, Event.PR_UNLOCK, _WD, ["apply-write", "trace-unlock"]),
+        rule(_LW, Event.PR_UNLOCK, _WD,
+             ["apply-write", "broadcast-unlock", "trace-unlock"]),
+        rule(_WD, Event.PR_UNLOCK, _WD, ["error:not-locked"]),
+        rule(_WC, Event.PR_UNLOCK, _WC, ["error:not-locked"]),
+        rule(_RSD, Event.PR_UNLOCK, _RSD, ["error:not-locked"]),
+        rule(_RSC, Event.PR_UNLOCK, _RSC, ["error:not-locked"]),
+        rule(_R, Event.PR_UNLOCK, _R, ["error:not-locked"]),
+        rule(_I, Event.PR_UNLOCK, _I, ["bus:read-lock"]),
+        # block writes: write-without-fetch on a miss (Feature 9)
+        rule(_L, Event.PR_WRITE_BLOCK, _L, ["hit"]),
+        rule(_LW, Event.PR_WRITE_BLOCK, _LW, ["hit"]),
+        rule(_WD, Event.PR_WRITE_BLOCK, _WD, ["hit"]),
+        rule(_WC, Event.PR_WRITE_BLOCK, _WD, ["hit"]),
+        rule(_RSD, Event.PR_WRITE_BLOCK, _RSD, ["bus:write-no-fetch"]),
+        rule(_RSC, Event.PR_WRITE_BLOCK, _RSC, ["bus:write-no-fetch"]),
+        rule(_R, Event.PR_WRITE_BLOCK, _R, ["bus:write-no-fetch"]),
+        rule(_I, Event.PR_WRITE_BLOCK, _I, ["bus:write-no-fetch"]),
+        # atomic RMW (Feature 6, lock-state method): documentation rows
+        # -- the engine lowers RMW to the lock/unlock instruction pair.
+        rule(_WD, Event.PR_RMW, _L, ["lock-in-place"]),
+        rule(_WC, Event.PR_RMW, _L, ["lock-in-place"]),
+        rule(_RSD, Event.PR_RMW, _RSD, ["bus:upgrade"]),
+        rule(_RSC, Event.PR_RMW, _RSC, ["bus:upgrade"]),
+        rule(_R, Event.PR_RMW, _R, ["bus:upgrade"]),
+        rule(_I, Event.PR_RMW, _I, ["bus:read-lock"]),
+        # read fills (Figure 1): the owner of a spilled lock
+        # re-establishes the lock state; otherwise no other holder means
+        # write privilege, and the last fetcher becomes the source
+        # (Feature 8 LRU) with status carried along.
+        rule(_I, Event.FILL_READ, _LW, when=["mem-owner", "mem-waiter"]),
+        rule(_I, Event.FILL_READ, _L, when=["mem-owner", "no-mem-waiter"]),
+        rule(_I, Event.FILL_READ, _WC, when=["mem-other", "unshared"]),
+        rule(_I, Event.FILL_READ, _RSD,
+             when=["mem-other", "shared", "dirty-supplier"]),
+        rule(_I, Event.FILL_READ, _RSC,
+             when=["mem-other", "shared", "clean-supplier"]),
+        # exclusive fills: dirtiness survives (no flush on transfer)
+        rule(_I, Event.FILL_EXCL, _LW, when=["mem-owner", "mem-waiter"]),
+        rule(_I, Event.FILL_EXCL, _L, when=["mem-owner", "no-mem-waiter"]),
+        rule(_I, Event.FILL_EXCL, _WD, when=["mem-other", "dirty-supplier"]),
+        rule(_I, Event.FILL_EXCL, _WC, when=["mem-other", "clean-supplier"]),
+        # lock fills (Figure 9): a busy-wait win or a recorded memory
+        # waiter means more waiters probably exist -- enter lock-waiter,
+        # "since that will probably be appropriate".
+        rule(_I, Event.FILL_LOCK, _LW, when=["mem-owner", "mem-waiter"]),
+        rule(_I, Event.FILL_LOCK, _L, when=["mem-owner", "no-mem-waiter"]),
+        rule(_I, Event.FILL_LOCK, _LW, when=["mem-other", "won-wait"]),
+        rule(_I, Event.FILL_LOCK, _LW,
+             when=["mem-other", "not-won-wait", "mem-waiter"]),
+        rule(_I, Event.FILL_LOCK, _L,
+             when=["mem-other", "not-won-wait", "no-mem-waiter"]),
+        # upgrade completion: a one-cycle invalidation; with lock intent
+        # the copy locks as it upgrades.
+        rule(_RSD, Event.DONE_UPGRADE, _L, when=["lock-intent"]),
+        rule(_RSC, Event.DONE_UPGRADE, _L, when=["lock-intent"]),
+        rule(_R, Event.DONE_UPGRADE, _L, when=["lock-intent"]),
+        rule(_RSD, Event.DONE_UPGRADE, _WC, when=["no-lock-intent"]),
+        rule(_RSC, Event.DONE_UPGRADE, _WC, when=["no-lock-intent"]),
+        rule(_R, Event.DONE_UPGRADE, _WC, when=["no-lock-intent"]),
+        rule(_I, Event.DONE_UPGRADE, _I, ["rebus:read-lock"],
+             when=["lock-intent"]),
+        rule(_I, Event.DONE_UPGRADE, _I, ["rebus:read-excl"],
+             when=["no-lock-intent"]),
+        # write-without-fetch completion: overwrites everywhere
+        rule(_RSD, Event.DONE_WRITE_NO_FETCH, _WC),
+        rule(_RSC, Event.DONE_WRITE_NO_FETCH, _WC),
+        rule(_R, Event.DONE_WRITE_NO_FETCH, _WC),
+        rule(_I, Event.DONE_WRITE_NO_FETCH, _WC),
+        # snooping a foreign read: a locked holder refuses and records
+        # the waiter (Figure 7); sources supply without flushing and the
+        # fetcher takes over source status (LRU across caches).
+        rule(_L, Event.SN_READ, _LW, ["refuse-lock"]),
+        rule(_LW, Event.SN_READ, _LW, ["refuse-lock"]),
+        rule(_WD, Event.SN_READ, _R, ["supply"]),
+        rule(_WC, Event.SN_READ, _R, ["supply"]),
+        rule(_RSD, Event.SN_READ, _R, ["supply"]),
+        rule(_RSC, Event.SN_READ, _R, ["supply"]),
+        rule(_R, Event.SN_READ, _R),
+        # snooping a foreign exclusive or lock fetch
+        rule(_L, Event.SN_EXCL, _LW, ["refuse-lock"]),
+        rule(_LW, Event.SN_EXCL, _LW, ["refuse-lock"]),
+        rule(_WD, Event.SN_EXCL, _I, ["supply"]),
+        rule(_WC, Event.SN_EXCL, _I, ["supply"]),
+        rule(_RSD, Event.SN_EXCL, _I, ["supply"]),
+        rule(_RSC, Event.SN_EXCL, _I, ["supply"]),
+        rule(_R, Event.SN_EXCL, _I),
+        # snooping a foreign upgrade
+        rule(_L, Event.SN_UPGRADE, _LW, ["refuse-lock"]),
+        rule(_LW, Event.SN_UPGRADE, _LW, ["refuse-lock"]),
+        rule(_WD, Event.SN_UPGRADE, _I),
+        rule(_WC, Event.SN_UPGRADE, _I),
+        rule(_RSD, Event.SN_UPGRADE, _I),
+        rule(_RSC, Event.SN_UPGRADE, _I),
+        rule(_R, Event.SN_UPGRADE, _I),
+        # snooping a foreign write-without-fetch: not a fetch and not an
+        # upgrade, so a locked holder does NOT refuse -- invalidating a
+        # locked line is a protocol error the machinery reports.
+        rule(_L, Event.SN_WRITE_NO_FETCH, _I),
+        rule(_LW, Event.SN_WRITE_NO_FETCH, _I),
+        rule(_WD, Event.SN_WRITE_NO_FETCH, _I),
+        rule(_WC, Event.SN_WRITE_NO_FETCH, _I),
+        rule(_RSD, Event.SN_WRITE_NO_FETCH, _I),
+        rule(_RSC, Event.SN_WRITE_NO_FETCH, _I),
+        rule(_R, Event.SN_WRITE_NO_FETCH, _I),
+    ],
+    errors={
+        "nested-lock": (
+            "cache {cache}: lock of already-locked block {block} "
+            "(nested locks on one block are not supported)"
+        ),
+        "not-locked": (
+            "cache {cache}: unlock of block {block} which is not locked "
+            "here (state {state})"
+        ),
+    },
+)
+
+
+class BitarDespainProtocol(TableProtocol):
     """Full-broadcast write-in protocol with lock and lock-waiter states."""
 
     name = "bitar-despain"
+    table = _TABLE
 
     @classmethod
     def features(cls) -> ProtocolFeatures:
         return _FEATURES
 
-    # -- processor side ---------------------------------------------------
+    # -- procedural remnant: multi-phase unlock of a spilled lock ---------
 
-    def processor_read(
-        self, line: "CacheLine | None", addr: WordAddr, private_hint: bool = False
-    ) -> Action:
-        if line is not None and line.state.readable:
-            return Done(value=line.read_word(self.cache.offset(addr)))
-        # Figure 1: the fill state is decided dynamically by the hit line.
-        return NeedBus(op=BusOp.READ_BLOCK)
-
-    def processor_lock(self, line: "CacheLine | None", addr: WordAddr) -> Action:
-        """The lock instruction: a special read that locks the block
-        (Figure 6).  With write privilege in hand, locking is zero-time."""
-        if line is not None and line.state.locked:
-            raise ProgramError(
-                f"cache {self.cache.id}: lock of already-locked block "
-                f"{line.block} (nested locks on one block are not supported)"
-            )
-        if line is not None and line.state.writable:
-            line.state = CacheState.LOCK
-            self.cache.trace.emit(self.cache.now(), EventKind.LOCK,
-                                  cache=self.cache.id, block=line.block,
-                                  action="locked-in-place")
-            return Done(value=line.read_word(self.cache.offset(addr)))
-        if line is not None and line.state.readable:
-            return NeedBus(op=BusOp.UPGRADE, lock_intent=True)
-        return NeedBus(op=BusOp.READ_LOCK, lock_intent=True)
-
-    def processor_unlock(
-        self, line: "CacheLine | None", addr: WordAddr, stamp: Stamp
-    ) -> Action:
-        """The unlock instruction: the final write to the locked block
-        (Figure 8).  Broadcasts the unlock only if a waiter was recorded."""
-        if line is None:
-            # The locked block was purged; its lock tag is in memory.
-            # Refetch with lock, then unlock (multi-phase).
-            return NeedBus(op=BusOp.READ_LOCK, lock_intent=True)
-        if not line.state.locked:
-            raise ProgramError(
-                f"cache {self.cache.id}: unlock of block {line.block} "
-                f"which is not locked here (state {line.state})"
-            )
-        self.cache.apply_write(line, addr, stamp)
+    def after_fill(self, pending: "PendingAccess",
+                   line: "CacheLine") -> None:
+        if pending.op.kind is not OpKind.UNLOCK:
+            return
+        # Refetched a spilled lock in order to unlock it.
+        assert pending.op.stamp is not None and pending.op.addr is not None
+        self.cache.apply_write(line, pending.op.addr, pending.op.stamp)
         self._release(line)
-        return Done(write_applied=True)
+        pending.write_applied = True
 
     def _release(self, line: "CacheLine") -> None:
         if line.state is CacheState.LOCK_WAITER:
@@ -130,99 +256,3 @@ class BitarDespainProtocol(CoherenceProtocol):
         self.cache.trace.emit(self.cache.now(), EventKind.LOCK,
                               cache=self.cache.id, block=line.block,
                               action="unlocked")
-
-    def processor_write_block(self, line: "CacheLine | None", addr: WordAddr) -> Action:
-        """Feature 9: write-without-fetch on a write miss (save state)."""
-        if line is not None and line.state.writable:
-            return Done()
-        return NeedBus(op=BusOp.WRITE_NO_FETCH)
-
-    # -- requester side -----------------------------------------------------
-
-    def after_txn(
-        self,
-        pending: "PendingAccess",
-        txn: BusTransaction,
-        response,
-        data: list[Stamp] | None,
-    ) -> TxnResult:
-        if txn.op is BusOp.WRITE_NO_FETCH:
-            blank = [0] * self.cache.config.words_per_block
-            self.cache.install_block(txn.block, CacheState.WRITE_CLEAN, blank)
-            return TxnResult(Outcome.DONE)
-
-        if txn.op is BusOp.UPGRADE:
-            line = self.cache.line_for(txn.block)
-            if line is None:
-                op = BusOp.READ_LOCK if txn.lock_intent else BusOp.READ_EXCL
-                return TxnResult(
-                    Outcome.REBUS, NeedBus(op=op, lock_intent=txn.lock_intent)
-                )
-            if response.locked:  # cannot happen: we held a valid copy
-                return TxnResult(Outcome.WAIT_LOCK)
-            line.state = CacheState.LOCK if txn.lock_intent else CacheState.WRITE_CLEAN
-            return TxnResult(Outcome.DONE)
-
-        if txn.op.fetches_block:
-            if response.locked or response.memory_locked:
-                return TxnResult(Outcome.WAIT_LOCK)
-            assert data is not None
-            state = self.fill_state(txn, response)
-            line = self.cache.install_block(txn.block, state, data)
-            if pending.op.kind is OpKind.UNLOCK:
-                # Refetched a spilled lock in order to unlock it.
-                assert pending.op.stamp is not None and pending.op.addr is not None
-                self.cache.apply_write(line, pending.op.addr, pending.op.stamp)
-                self._release(line)
-                pending.write_applied = True
-            return TxnResult(Outcome.DONE)
-
-        return super().after_txn(pending, txn, response, data)
-
-    def fill_state(self, txn: BusTransaction, response) -> CacheState:
-        if response.memory_lock_owner:
-            # The owner touched a block whose lock had been spilled to
-            # memory (E.3): re-establish the in-cache lock state.
-            return (
-                CacheState.LOCK_WAITER
-                if response.memory_lock_waiter
-                else CacheState.LOCK
-            )
-        if txn.op is BusOp.READ_LOCK:
-            # A busy-wait win or a recorded memory waiter means more waiters
-            # probably exist: enter lock-waiter (Figure 9, "since that will
-            # probably be appropriate").
-            if txn.high_priority or response.memory_lock_waiter:
-                return CacheState.LOCK_WAITER
-            return CacheState.LOCK
-        if txn.op is BusOp.READ_EXCL:
-            return (
-                CacheState.WRITE_DIRTY
-                if response.supplier_dirty
-                else CacheState.WRITE_CLEAN
-            )
-        # READ_BLOCK: Figure 1 -- no other holder means take write privilege.
-        if not response.shared_hit:
-            return CacheState.WRITE_CLEAN
-        # The last fetcher becomes the source (Feature 8 LRU).
-        if response.supplier_dirty:
-            return CacheState.READ_SOURCE_DIRTY
-        return CacheState.READ_SOURCE_CLEAN
-
-    # -- snooper side ----------------------------------------------------------
-
-    def snoop(self, line: "CacheLine", txn: BusTransaction) -> SnoopReply:
-        if line.state.locked and (
-            txn.op.fetches_block or txn.op is BusOp.UPGRADE
-        ):
-            # Figure 7: refuse and record the waiter.
-            line.state = CacheState.LOCK_WAITER
-            self.cache.trace.emit(self.cache.now(), EventKind.LOCK,
-                                  cache=self.cache.id, block=line.block,
-                                  action="waiter-recorded")
-            return SnoopReply(hit=True, locked=True)
-        return super().snoop(line, txn)
-
-    def read_downgrade_state(self, line: "CacheLine", flushed: bool) -> CacheState:
-        # The fetcher takes over source status (LRU across caches).
-        return CacheState.READ

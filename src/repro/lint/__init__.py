@@ -1,0 +1,28 @@
+"""Static linter for table-driven coherence protocols.
+
+``lint_table`` runs the five rule families (completeness, determinism,
+reachability, write-serialization, lock-state sanity) over one
+:class:`~repro.protocols.table.TransitionTable`; ``lint_all`` runs them
+over every registered protocol and ``build_report`` renders the
+schema-stamped JSON consumed by CI and ``scripts/validate_trace.py``.
+"""
+
+from repro.lint.report import build_report, lint_all, lint_protocol
+from repro.lint.rules import (
+    CHECKS,
+    EXCLUSIVE_SEEKING_EVENTS,
+    INVALIDATING_SNOOP_EVENTS,
+    Finding,
+    lint_table,
+)
+
+__all__ = [
+    "CHECKS",
+    "EXCLUSIVE_SEEKING_EVENTS",
+    "INVALIDATING_SNOOP_EVENTS",
+    "Finding",
+    "build_report",
+    "lint_all",
+    "lint_protocol",
+    "lint_table",
+]

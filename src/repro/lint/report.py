@@ -1,0 +1,46 @@
+"""Protocol lint runners and the machine-readable lint report."""
+
+from __future__ import annotations
+
+from repro.common import schema
+from repro.lint.rules import Finding, lint_table
+from repro.protocols import PROTOCOLS, get_protocol
+from repro.protocols.table import TableProtocol
+
+
+def lint_protocol(name: str) -> list[Finding]:
+    """Lint one registered protocol's transition table."""
+    cls = get_protocol(name)
+    if not (isinstance(cls, type) and issubclass(cls, TableProtocol)):
+        return [Finding(
+            check="structure", protocol=name,
+            detail="protocol is not table-driven; nothing to lint",
+        )]
+    return lint_table(cls.table)
+
+
+def lint_all() -> dict[str, list[Finding]]:
+    """Lint every registered protocol, keyed by registry name."""
+    return {name: lint_protocol(name) for name in sorted(PROTOCOLS)}
+
+
+def build_report(findings_by_protocol: dict[str, list[Finding]]) -> dict:
+    """Schema-stamped JSON payload for ``repro lint --json``."""
+    protocols = {}
+    for name in sorted(findings_by_protocol):
+        findings = findings_by_protocol[name]
+        entry: dict = {"ok": not findings,
+                       "findings": [f.to_dict() for f in findings]}
+        cls = PROTOCOLS.get(name)
+        if isinstance(cls, type) and issubclass(cls, TableProtocol):
+            table = cls.table
+            entry["rules"] = len(table.rules)
+            entry["states"] = sorted(
+                s.value for s in table.states_mentioned())
+        protocols[name] = entry
+    payload = {
+        "kind": "lint-report",
+        "ok": all(entry["ok"] for entry in protocols.values()),
+        "protocols": protocols,
+    }
+    return schema.stamp(payload)

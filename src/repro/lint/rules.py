@@ -1,0 +1,403 @@
+"""Static checks over protocol transition tables.
+
+Five rule families, mirroring what the paper lets a reader check by
+staring at a protocol's state diagram:
+
+* **determinism** -- guards are well-formed (known atoms, one atom per
+  family, families legal for the event class, actions drawn from the
+  catalog) and no two rows of a bucket match the same context without a
+  unique most-specific winner.
+* **completeness** -- for every bus operation the protocol can issue,
+  every reachable state has a row for the corresponding snoop / fill /
+  completion event, under *every* guard combination; processor events
+  are covered at every reachable state.
+* **reachability** -- no unreachable states or dead rows.
+* **write-serialization** -- Section C's invariants: a snooped foreign
+  access never leaves a second writable copy, exclusive-seeking events
+  end in invalidation (or a lock refusal), dirty data is never dropped
+  silently, and a shared read fill never lands write privilege.
+* **lock-state** -- lock states are entered only through lock
+  instructions, lock fills, refusals or spilled-lock recovery, and a
+  protocol that records waiters must wake them on unlock.
+
+Update-style snoop events (``sn-update-word``) are exempt from the
+write-serialization rules: write-update protocols deliberately keep
+every copy valid and current.  Whether a *locked* holder refuses a
+foreign fetch is a liveness property, left to the model checker.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.cache.state import CacheState
+from repro.protocols.table import (
+    ATOM_FAMILY,
+    BUS_REQUESTS,
+    DONE_EVENT,
+    FILL_EVENT,
+    FILL_EVENTS,
+    GUARD_FAMILIES,
+    PROCESSOR_EVENTS,
+    SNOOP_EVENT,
+    SNOOP_EVENTS,
+    Event,
+    Rule,
+    TransitionTable,
+    action_kind,
+    guard_families_for,
+    known_actions_for,
+)
+
+#: Snoop events subject to the write-serialization rules (update-style
+#: events deliberately keep copies valid).
+INVALIDATING_SNOOP_EVENTS = frozenset({
+    Event.SN_READ, Event.SN_EXCL, Event.SN_UPGRADE, Event.SN_WRITE_WORD,
+    Event.SN_WRITE_NO_FETCH,
+})
+
+#: Events that seek exclusive access: after they are snooped, at most
+#: the requester may hold the block.
+EXCLUSIVE_SEEKING_EVENTS = frozenset({
+    Event.SN_EXCL, Event.SN_UPGRADE, Event.SN_WRITE_NO_FETCH,
+})
+
+_LOCKED = frozenset({CacheState.LOCK, CacheState.LOCK_WAITER})
+
+#: Actions that hand dirty data somewhere safe when snooped.
+_DIRTY_SAFE_ACTIONS = frozenset({
+    "supply", "supply-clean", "flush", "flush-clean", "refuse-lock",
+})
+
+CHECKS = ("determinism", "completeness", "reachability",
+          "write-serialization", "lock-state")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One linter complaint about one table."""
+
+    check: str
+    protocol: str
+    detail: str
+    state: str | None = None
+    event: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "protocol": self.protocol,
+            "state": self.state,
+            "event": self.event,
+            "detail": self.detail,
+        }
+
+    def __str__(self) -> str:
+        where = "/".join(p for p in (self.state, self.event) if p)
+        prefix = f"[{self.check}] {self.protocol}"
+        return f"{prefix} {where}: {self.detail}" if where else \
+            f"{prefix}: {self.detail}"
+
+
+def lint_table(table: TransitionTable) -> list[Finding]:
+    """Run every rule family over one table."""
+    findings: list[Finding] = []
+    findings.extend(_check_determinism(table))
+    findings.extend(_check_completeness(table))
+    findings.extend(_check_reachability(table))
+    findings.extend(_check_write_serialization(table))
+    findings.extend(_check_lock_sanity(table))
+    return findings
+
+
+# -- shared helpers ---------------------------------------------------------
+
+
+def _buckets(table: TransitionTable) -> dict[tuple[CacheState, Event],
+                                             list[Rule]]:
+    buckets: dict[tuple[CacheState, Event], list[Rule]] = {}
+    for r in table.rules:
+        buckets.setdefault((r.state, r.event), []).append(r)
+    return buckets
+
+
+def _combos(rules: Iterable[Rule]) -> tuple[tuple[str, ...],
+                                            list[frozenset[str]]]:
+    """All full contexts over the guard families the bucket mentions."""
+    families = sorted({ATOM_FAMILY[a] for r in rules for a in r.guard
+                       if a in ATOM_FAMILY})
+    atom_choices = [GUARD_FAMILIES[f] for f in families]
+    return tuple(families), [frozenset(c)
+                             for c in itertools.product(*atom_choices)]
+
+
+def _coverage_gaps(table: TransitionTable, state: CacheState,
+                   event: Event) -> tuple[list[frozenset[str]],
+                                          list[frozenset[str]]]:
+    """(unmatched contexts, ambiguous contexts) for one bucket."""
+    rules = table.rules_for(state, event)
+    _, combos = _combos(rules)
+    missing, ambiguous = [], []
+    for ctx in combos:
+        matches = [r for r in rules if r.matches(ctx)]
+        if not matches:
+            missing.append(ctx)
+            continue
+        best = max(len(r.guard) for r in matches)
+        if sum(1 for r in matches if len(r.guard) == best) > 1:
+            ambiguous.append(ctx)
+    return missing, ambiguous
+
+
+def _fmt_ctx(ctx: frozenset[str]) -> str:
+    return "{" + ",".join(sorted(ctx)) + "}" if ctx else "{}"
+
+
+def _finding(check: str, table: TransitionTable, detail: str,
+             state: CacheState | None = None,
+             event: Event | None = None) -> Finding:
+    return Finding(check=check, protocol=table.name, detail=detail,
+                   state=state.value if state is not None else None,
+                   event=event.value if event is not None else None)
+
+
+def _coverable_states(table: TransitionTable) -> list[CacheState]:
+    """Reachable, non-transient states (the ones rows must cover)."""
+    return [s for s in sorted(table.reachable_states(), key=lambda s: s.value)
+            if s not in table.transient_states]
+
+
+# -- determinism ------------------------------------------------------------
+
+
+def _check_determinism(table: TransitionTable) -> list[Finding]:
+    findings = []
+    for r in table.rules:
+        findings.extend(_check_rule_shape(table, r))
+    for (state, event), _rules in sorted(
+            _buckets(table).items(),
+            key=lambda item: (item[0][0].value, item[0][1].value)):
+        _missing, ambiguous = _coverage_gaps(table, state, event)
+        for ctx in ambiguous:
+            findings.append(_finding(
+                "determinism", table,
+                f"two equally-specific rows match {_fmt_ctx(ctx)}",
+                state, event))
+    return findings
+
+
+def _check_rule_shape(table: TransitionTable, r: Rule) -> list[Finding]:
+    findings = []
+    allowed_families = guard_families_for(r.event)
+    seen_families: set[str] = set()
+    for atom in sorted(r.guard):
+        family = ATOM_FAMILY.get(atom)
+        if family is None:
+            findings.append(_finding(
+                "determinism", table, f"unknown guard atom {atom!r}",
+                r.state, r.event))
+            continue
+        if family in seen_families:
+            findings.append(_finding(
+                "determinism", table,
+                f"two atoms of guard family {family!r}", r.state, r.event))
+        seen_families.add(family)
+        if family not in allowed_families:
+            findings.append(_finding(
+                "determinism", table,
+                f"guard family {family!r} is not observable on "
+                f"{r.event.value} rows", r.state, r.event))
+    plain_catalog = known_actions_for(r.event)
+    for action in r.actions:
+        kind = action_kind(action)
+        if kind in ("bus", "rebus"):
+            suffix = action.split(":", 1)[1]
+            if suffix not in BUS_REQUESTS:
+                findings.append(_finding(
+                    "determinism", table,
+                    f"unknown bus request {action!r}", r.state, r.event))
+            elif kind == "bus" and r.event not in PROCESSOR_EVENTS:
+                findings.append(_finding(
+                    "determinism", table,
+                    f"{action!r} is only legal on processor rows",
+                    r.state, r.event))
+            elif kind == "rebus" and r.event in (PROCESSOR_EVENTS
+                                                 | SNOOP_EVENTS):
+                findings.append(_finding(
+                    "determinism", table,
+                    f"{action!r} is only legal on fill/completion rows",
+                    r.state, r.event))
+        elif kind == "error":
+            if action.split(":", 1)[1] not in table.errors:
+                findings.append(_finding(
+                    "determinism", table,
+                    f"error action {action!r} has no message template",
+                    r.state, r.event))
+        elif action not in plain_catalog:
+            findings.append(_finding(
+                "determinism", table,
+                f"unknown action {action!r} for {r.event.value} rows",
+                r.state, r.event))
+    return findings
+
+
+# -- completeness -----------------------------------------------------------
+
+
+def _required_events(table: TransitionTable) -> tuple[set[Event], set[Event],
+                                                      set[Event]]:
+    """(snoop, fill, done) events the issued-operation alphabet implies."""
+    ops = table.issued_ops()
+    snoop = {SNOOP_EVENT[op] for op in ops if op in SNOOP_EVENT}
+    fill = {FILL_EVENT[op] for op in ops if op in FILL_EVENT}
+    done = {DONE_EVENT[op] for op in ops if op in DONE_EVENT}
+    return snoop, fill, done
+
+
+def _check_completeness(table: TransitionTable) -> list[Finding]:
+    findings = []
+    states = _coverable_states(table)
+    valid_states = [s for s in states if s is not CacheState.INVALID]
+    completion_states = [CacheState.INVALID] + [
+        s for s in valid_states if s.readable and not s.writable]
+    snoop_req, fill_req, done_req = _required_events(table)
+
+    processor_req = [Event.PR_READ, Event.PR_WRITE, Event.PR_WRITE_BLOCK]
+    if table.has_lock_rows:
+        processor_req += [Event.PR_LOCK, Event.PR_UNLOCK]
+
+    def require(state: CacheState, event: Event) -> None:
+        rules = table.rules_for(state, event)
+        if not rules:
+            findings.append(_finding(
+                "completeness", table,
+                f"no transition for {event.value} at {state.value}",
+                state, event))
+            return
+        missing, _ambiguous = _coverage_gaps(table, state, event)
+        for ctx in missing:
+            findings.append(_finding(
+                "completeness", table,
+                f"no row matches context {_fmt_ctx(ctx)}", state, event))
+
+    for event in sorted(processor_req, key=lambda e: e.value):
+        for state in states:
+            require(state, event)
+    for event in sorted(snoop_req, key=lambda e: e.value):
+        for state in valid_states:
+            require(state, event)
+    for event in sorted(fill_req, key=lambda e: e.value):
+        require(CacheState.INVALID, event)
+    for event in sorted(done_req, key=lambda e: e.value):
+        for state in completion_states:
+            require(state, event)
+    return findings
+
+
+# -- reachability -----------------------------------------------------------
+
+
+def _check_reachability(table: TransitionTable) -> list[Finding]:
+    findings = []
+    reachable = table.reachable_states()
+    for state in sorted(table.states_mentioned() - reachable,
+                        key=lambda s: s.value):
+        findings.append(_finding(
+            "reachability", table,
+            f"state {state.value} is never reached from INVALID", state))
+    for r in table.rules:
+        if r.state not in reachable:
+            findings.append(_finding(
+                "reachability", table,
+                f"dead row (state unreachable): {r.describe()}",
+                r.state, r.event))
+    return findings
+
+
+# -- write serialization (Section C) ----------------------------------------
+
+
+def _check_write_serialization(table: TransitionTable) -> list[Finding]:
+    findings = []
+    for r in table.rules:
+        refused = "refuse-lock" in r.actions
+        if r.event in INVALIDATING_SNOOP_EVENTS:
+            if (r.state.writable and r.next_state.writable and not refused):
+                findings.append(_finding(
+                    "write-serialization", table,
+                    "a foreign access leaves this writable copy writable "
+                    "(two writers possible)", r.state, r.event))
+            if (r.event in EXCLUSIVE_SEEKING_EVENTS
+                    and r.state is not CacheState.INVALID
+                    and r.next_state is not CacheState.INVALID
+                    and not refused):
+                findings.append(_finding(
+                    "write-serialization", table,
+                    "an exclusive-seeking access leaves this copy valid "
+                    "(stale data beside the new writer)",
+                    r.state, r.event))
+            if (r.state.dirty and r.event in (Event.SN_READ, Event.SN_EXCL)
+                    and not any(a in _DIRTY_SAFE_ACTIONS
+                                for a in r.actions)):
+                findings.append(_finding(
+                    "write-serialization", table,
+                    "dirty data is neither supplied nor flushed when the "
+                    "block is taken", r.state, r.event))
+        if r.event is Event.FILL_READ:
+            if (r.next_state.writable and "unshared" not in r.guard
+                    and "mem-owner" not in r.guard):
+                findings.append(_finding(
+                    "write-serialization", table,
+                    "a possibly-shared read fill lands write privilege",
+                    r.state, r.event))
+        if r.event is Event.FILL_EXCL:
+            if ("dirty-supplier" in r.guard and "mem-owner" not in r.guard
+                    and not r.next_state.dirty):
+                findings.append(_finding(
+                    "write-serialization", table,
+                    "dirtiness from the supplier is dropped on an "
+                    "exclusive fill", r.state, r.event))
+    return findings
+
+
+# -- lock-state sanity ------------------------------------------------------
+
+
+def _lock_entry_sanctioned(r: Rule) -> bool:
+    return (r.state in _LOCKED
+            or r.event in (Event.PR_LOCK, Event.FILL_LOCK, Event.PR_RMW)
+            or "refuse-lock" in r.actions
+            or "lock-in-place" in r.actions
+            or "mem-owner" in r.guard
+            or (r.event is Event.DONE_UPGRADE and "lock-intent" in r.guard))
+
+
+def _check_lock_sanity(table: TransitionTable) -> list[Finding]:
+    findings = []
+    has_lock_instr = table.has_event(Event.PR_LOCK)
+    for r in table.rules:
+        touches_lock = r.state in _LOCKED or r.next_state in _LOCKED
+        if touches_lock and not has_lock_instr:
+            findings.append(_finding(
+                "lock-state", table,
+                "lock states appear but the protocol has no lock "
+                "instruction rows", r.state, r.event))
+            continue
+        if r.next_state in _LOCKED and not _lock_entry_sanctioned(r):
+            findings.append(_finding(
+                "lock-state", table,
+                "a lock state is entered outside the lock instruction, "
+                "lock fill, refusal, or spilled-lock recovery paths",
+                r.state, r.event))
+    refuses = any("refuse-lock" in r.actions for r in table.rules)
+    if refuses:
+        wakeup = table.rules_for(CacheState.LOCK_WAITER, Event.PR_UNLOCK)
+        if not any("broadcast-unlock" in r.actions for r in wakeup):
+            findings.append(_finding(
+                "lock-state", table,
+                "waiters are recorded (refuse-lock) but unlocking a "
+                "LOCK_WAITER block never broadcasts the wakeup",
+                CacheState.LOCK_WAITER, Event.PR_UNLOCK))
+    return findings

@@ -35,6 +35,9 @@ class MutationResult:
     counterexample: Counterexample | None = None
     schedules: int = 0
     shrink_runs: int = 0
+    #: Static-linter complaints about the mutated table (empty for
+    #: procedural mutations, which no table expresses).
+    lint_findings: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -44,6 +47,7 @@ class MutationResult:
             "caught": self.caught,
             "schedules": self.schedules,
             "shrink_runs": self.shrink_runs,
+            "lint_findings": [f.to_dict() for f in self.lint_findings],
             "counterexample": (self.counterexample.to_dict()
                                if self.counterexample else None),
         }
@@ -120,16 +124,27 @@ def _shrunk_counterexample(scenario: Scenario, protocol: str,
 
 def test_mutation(mutation: Mutation, *, max_schedules: int = 2_000,
                   shrink_failures: bool = True) -> MutationResult:
-    """Seed one bug and check that exploration finds a counterexample."""
+    """Seed one bug and check that it is caught.
+
+    Table-row mutations first go through the static protocol linter
+    (``repro lint``); every mutation is then model-checked so a concrete
+    counterexample backs the catch.  ``caught`` means *either* defense
+    fired.
+    """
+    from repro.lint import lint_table  # local import: lint is optional here
+
     scenario = get_scenario(mutation.scenario)
+    lint_findings = (lint_table(mutation.table_builder())
+                     if mutation.table_builder is not None else [])
     exploration = explore(scenario, mutation.protocol, mutation=mutation,
                           max_schedules=max_schedules)
     result = MutationResult(
         mutation=mutation.name,
         protocol=mutation.protocol,
         scenario=mutation.scenario,
-        caught=exploration.failure is not None,
+        caught=bool(lint_findings) or exploration.failure is not None,
         schedules=exploration.schedules,
+        lint_findings=lint_findings,
     )
     if exploration.failure is not None and exploration.failing_schedule is not None:
         if shrink_failures:

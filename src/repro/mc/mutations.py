@@ -1,11 +1,18 @@
-"""Seeded protocol bugs for mutation-testing the checker.
+"""Seeded protocol bugs for mutation-testing the checker and linter.
 
 Each mutation re-introduces a *classic* coherence/synchronization bug --
-the kind the paper's design rules exist to exclude -- as a reversible
-monkey-patch over the protocol/bus classes.  The mutation harness then
-asserts that the model checker finds a counterexample for every one of
-them, which is the evidence that the checker's invariants, oracle, and
-liveness watchdog actually have teeth.
+the kind the paper's design rules exist to exclude.  Since the protocols
+are transition tables, most bugs are seeded the way a real one would
+arrive: by editing a table row (dropping a row, keeping a copy valid,
+granting write privilege to shared data, forgetting a handoff action).
+The two remaining mutations patch genuinely procedural machinery (the
+bus response combine, the purge flush) that no table row expresses.
+
+The harness then asserts that every seeded bug is caught: table-row
+mutations must additionally be flagged by the static protocol linter
+(``repro lint``), and *all* mutations must produce a model-checker
+counterexample -- the evidence that the linter's rules and the checker's
+invariants, oracle, and liveness watchdog actually have teeth.
 
 Every mutation names the protocol and scenario it targets, so the
 harness knows where the bug is observable (e.g. a dropped unlock
@@ -18,11 +25,12 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, ContextManager
 
-from repro.bus.signals import BusResponse, SnoopReply
-from repro.bus.transaction import BusOp
+from repro.bus.signals import BusResponse
 from repro.cache.state import CacheState
 from repro.core.lock_protocol import BitarDespainProtocol
 from repro.protocols.base import CoherenceProtocol
+from repro.protocols.illinois import IllinoisProtocol
+from repro.protocols.table import Event, TransitionTable
 
 
 @contextmanager
@@ -55,49 +63,65 @@ class Mutation:
     #: Which check is expected to catch it (documentation for reports).
     caught_by: str
     apply: Callable[[], ContextManager]
+    #: For table-row mutations: build the mutated table, so the harness
+    #: can run the static linter over it.  None for procedural bugs.
+    table_builder: Callable[[], TransitionTable] | None = None
+    #: Lint check expected to flag the mutated table (None: the bug is
+    #: invisible to static lint and only dynamic checking can find it).
+    lint_check: str | None = None
+
+
+def _table_patch(cls, builder: Callable[[], TransitionTable]):
+    return lambda: _patched(cls, "table", builder())
 
 
 # -- the bugs ---------------------------------------------------------------
 
 
-def _drop_unlock_broadcast() -> ContextManager:
-    """The unlock 'forgets' to broadcast even when a waiter was recorded
-    (Section E.4's handoff silently dropped): waiters sleep forever."""
-
-    def broken_release(self, line) -> None:
-        line.state = CacheState.WRITE_DIRTY
-
-    return _patched(BitarDespainProtocol, "_release", broken_release)
+def _drop_snoop_upgrade_row() -> TransitionTable:
+    """The (READ, sn-upgrade) row is simply missing: a snooped upgrade
+    reaches a reader and the protocol has no answer."""
+    return IllinoisProtocol.table.without(CacheState.READ, Event.SN_UPGRADE)
 
 
-def _ignore_lock_refusal() -> ContextManager:
-    """A locked holder replies 'miss' instead of refusing (Figure 7
-    dropped): memory services the second lock fetch and two caches both
-    believe they hold the lock."""
-    original = BitarDespainProtocol.snoop
-
-    def broken_snoop(self, line, txn) -> SnoopReply:
-        if line.state.locked and (txn.op.fetches_block
-                                  or txn.op is BusOp.UPGRADE):
-            return SnoopReply.miss()
-        return original(self, line, txn)
-
-    return _patched(BitarDespainProtocol, "snoop", broken_snoop)
-
-
-def _skip_invalidate_on_upgrade() -> ContextManager:
+def _skip_invalidate_on_upgrade() -> TransitionTable:
     """Snooped write-privilege upgrades no longer invalidate the local
     copy (Feature 4 broken): a stale readable copy survives next to a
     writer."""
-    original = CoherenceProtocol.snoop_exclusive
+    return IllinoisProtocol.table.rewrite(
+        CacheState.READ, Event.SN_UPGRADE, next_state=CacheState.READ
+    )
 
-    def broken_snoop_exclusive(self, line, txn) -> SnoopReply:
-        if txn.op is BusOp.UPGRADE:
-            return SnoopReply(hit=True)  # keeps the copy valid
-        return original(self, line, txn)
 
-    return _patched(CoherenceProtocol, "snoop_exclusive",
-                    broken_snoop_exclusive)
+def _shared_fill_write_privilege() -> TransitionTable:
+    """A read miss that hit in another cache still lands with write
+    privilege (Feature 5's determination inverted): the writer never
+    announces its writes to the other holders."""
+    return IllinoisProtocol.table.rewrite(
+        CacheState.INVALID, Event.FILL_READ, when="shared",
+        next_state=CacheState.WRITE_CLEAN,
+    )
+
+
+def _drop_unlock_broadcast() -> TransitionTable:
+    """The unlock 'forgets' to broadcast even when a waiter was recorded
+    (Section E.4's handoff silently dropped): waiters sleep forever."""
+    return BitarDespainProtocol.table.rewrite(
+        CacheState.LOCK_WAITER, Event.PR_UNLOCK,
+        drop_actions=["broadcast-unlock"],
+    )
+
+
+def _ignore_lock_refusal() -> TransitionTable:
+    """A locked holder answers like a plain reader instead of refusing
+    (Figure 7 dropped): memory services the second lock fetch and two
+    caches both believe they hold the lock."""
+    table = BitarDespainProtocol.table
+    for event in (Event.SN_READ, Event.SN_EXCL, Event.SN_UPGRADE):
+        for state in (CacheState.LOCK, CacheState.LOCK_WAITER):
+            table = table.rewrite(state, event, actions=(),
+                                  next_state=state)
+    return table
 
 
 def _stale_memory_supply() -> ContextManager:
@@ -131,22 +155,16 @@ MUTATIONS: dict[str, Mutation] = {
     mutation.name: mutation
     for mutation in [
         Mutation(
-            name="drop-unlock-broadcast",
-            description="Unlock never broadcasts; recorded waiters are "
-                        "stranded on their busy-wait registers.",
-            protocol="bitar-despain",
-            scenario="lock-handoff",
-            caught_by="waiter-liveness invariant / deadlock watchdog",
-            apply=_drop_unlock_broadcast,
-        ),
-        Mutation(
-            name="ignore-lock-refusal",
-            description="A locked holder answers 'miss' instead of "
-                        "refusing, letting a second cache take the lock.",
-            protocol="bitar-despain",
-            scenario="lock-handoff",
-            caught_by="single-writer invariant / write oracle",
-            apply=_ignore_lock_refusal,
+            name="drop-snoop-upgrade-row",
+            description="The reader's snoop-upgrade row is missing; the "
+                        "interpreter has no transition for a snooped "
+                        "upgrade at READ.",
+            protocol="illinois",
+            scenario="shared-upgrade",
+            caught_by="lint completeness / interpreter lookup error",
+            apply=_table_patch(IllinoisProtocol, _drop_snoop_upgrade_row),
+            table_builder=_drop_snoop_upgrade_row,
+            lint_check="completeness",
         ),
         Mutation(
             name="skip-invalidate-on-upgrade",
@@ -154,8 +172,45 @@ MUTATIONS: dict[str, Mutation] = {
                         "leaving a stale reader beside a writer.",
             protocol="illinois",
             scenario="shared-upgrade",
-            caught_by="single-writer invariant / write oracle",
-            apply=_skip_invalidate_on_upgrade,
+            caught_by="lint write-serialization / write oracle",
+            apply=_table_patch(IllinoisProtocol, _skip_invalidate_on_upgrade),
+            table_builder=_skip_invalidate_on_upgrade,
+            lint_check="write-serialization",
+        ),
+        Mutation(
+            name="shared-fill-write-privilege",
+            description="A shared read miss still fills with write "
+                        "privilege; the writer then writes locally "
+                        "without telling the other holders.",
+            protocol="illinois",
+            scenario="shared-upgrade",
+            caught_by="lint write-serialization / write oracle",
+            apply=_table_patch(IllinoisProtocol, _shared_fill_write_privilege),
+            table_builder=_shared_fill_write_privilege,
+            lint_check="write-serialization",
+        ),
+        Mutation(
+            name="drop-unlock-broadcast",
+            description="Unlock never broadcasts; recorded waiters are "
+                        "stranded on their busy-wait registers.",
+            protocol="bitar-despain",
+            scenario="lock-handoff",
+            caught_by="lint lock-state / deadlock watchdog",
+            apply=_table_patch(BitarDespainProtocol, _drop_unlock_broadcast),
+            table_builder=_drop_unlock_broadcast,
+            lint_check="lock-state",
+        ),
+        Mutation(
+            name="ignore-lock-refusal",
+            description="A locked holder answers like a plain reader "
+                        "instead of refusing, letting a second cache "
+                        "take the lock.",
+            protocol="bitar-despain",
+            scenario="lock-handoff",
+            caught_by="lint write-serialization / write oracle",
+            apply=_table_patch(BitarDespainProtocol, _ignore_lock_refusal),
+            table_builder=_ignore_lock_refusal,
+            lint_check="write-serialization",
         ),
         Mutation(
             name="stale-memory-supply",

@@ -7,20 +7,16 @@ status travels with the block) and converts write-dirty-source to
 read-dirty-source, keeping ownership.  A single dual-ported-read directory
 (Feature 3 ``DPR``).  If the single source purges the block, the next
 fetch is serviced by memory (Feature 8 ``MEM``).  Unshared status is
-determined statically (Feature 5 ``S``).  The clean write state carries
-source status -- entered only on a read miss to unshared data -- which the
-paper notes is inconsistent (no clean *read* source state exists), so its
-source status is lost as soon as the block is shared.
+determined statically (Feature 5 ``S`` -- the ``hint`` guard).  The clean
+write state carries source status -- entered only on a read miss to
+unshared data -- which the paper notes is inconsistent (no clean *read*
+source state exists), so its source status is lost as soon as the block
+is shared (the ``sn-read`` row at WRITE_CLEAN lands plain READ).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
-
-from repro.bus.transaction import BusOp, BusTransaction
 from repro.cache.state import CacheState
-from repro.common.types import WordAddr
-from repro.protocols.base import Action, CoherenceProtocol, Done, NeedBus
 from repro.protocols.features import (
     DirectoryDuality,
     FlushPolicy,
@@ -28,9 +24,7 @@ from repro.protocols.features import (
     ReadSourcePolicy,
     SharingDetermination,
 )
-
-if TYPE_CHECKING:
-    from repro.cache.line import CacheLine
+from repro.protocols.table import Event, TableProtocol, TransitionTable, rule
 
 _FEATURES = ProtocolFeatures(
     name="Katz et al. (Berkeley)",
@@ -52,52 +46,85 @@ _FEATURES = ProtocolFeatures(
     },
 )
 
+_I = CacheState.INVALID
+_R = CacheState.READ
+_RSD = CacheState.READ_SOURCE_DIRTY
+_WC = CacheState.WRITE_CLEAN
+_WD = CacheState.WRITE_DIRTY
 
-class BerkeleyProtocol(CoherenceProtocol):
+_TABLE = TransitionTable(
+    "berkeley",
+    [
+        # processor reads: static hint fetches for write privilege
+        rule(_WD, Event.PR_READ, _WD, ["hit"]),
+        rule(_WC, Event.PR_READ, _WC, ["hit"]),
+        rule(_RSD, Event.PR_READ, _RSD, ["hit"]),
+        rule(_R, Event.PR_READ, _R, ["hit"]),
+        rule(_I, Event.PR_READ, _I, ["bus:read-excl"], when=["hint"]),
+        rule(_I, Event.PR_READ, _I, ["bus:read"], when=["no-hint"]),
+        # processor writes
+        rule(_WD, Event.PR_WRITE, _WD, ["hit"]),
+        rule(_WC, Event.PR_WRITE, _WD, ["hit"]),
+        rule(_RSD, Event.PR_WRITE, _RSD, ["bus:upgrade"]),
+        rule(_R, Event.PR_WRITE, _R, ["bus:upgrade"]),
+        rule(_I, Event.PR_WRITE, _I, ["bus:read-excl"]),
+        # block writes
+        rule(_WD, Event.PR_WRITE_BLOCK, _WD, ["hit"]),
+        rule(_WC, Event.PR_WRITE_BLOCK, _WD, ["hit"]),
+        rule(_RSD, Event.PR_WRITE_BLOCK, _RSD, ["bus:read-excl"]),
+        rule(_R, Event.PR_WRITE_BLOCK, _R, ["bus:read-excl"]),
+        rule(_I, Event.PR_WRITE_BLOCK, _I, ["bus:read-excl"]),
+        # atomic RMW (Feature 6): documentation rows for the cache-hold
+        # machinery's bus operations.
+        rule(_WD, Event.PR_RMW, _WD, ["hit"]),
+        rule(_WC, Event.PR_RMW, _WD, ["hit"]),
+        rule(_RSD, Event.PR_RMW, _RSD, ["bus:upgrade"]),
+        rule(_R, Event.PR_RMW, _R, ["bus:upgrade"]),
+        rule(_I, Event.PR_RMW, _I, ["bus:read-excl"]),
+        # fills: the owner keeps ownership on a read fetch, the requester
+        # is a plain reader regardless of the hit line (static
+        # determination); on an exclusive fetch dirtiness must survive
+        # (no flush on transfer).
+        rule(_I, Event.FILL_READ, _R),
+        rule(_I, Event.FILL_EXCL, _WD, when=["dirty-supplier"]),
+        rule(_I, Event.FILL_EXCL, _WC, when=["clean-supplier"]),
+        # upgrade completion: the invalidated owner may have been dirty;
+        # memory was never updated, so the writer takes dirty ownership.
+        rule(_RSD, Event.DONE_UPGRADE, _WD),
+        rule(_R, Event.DONE_UPGRADE, _WD),
+        rule(_I, Event.DONE_UPGRADE, _I, ["rebus:read-excl"]),
+        # snooping a foreign read: dirty sources supply without flushing
+        # and keep ownership; the clean write state's source status is
+        # lost (the paper's noted inconsistency).
+        rule(_WD, Event.SN_READ, _RSD, ["supply"]),
+        rule(_RSD, Event.SN_READ, _RSD, ["supply"]),
+        rule(_WC, Event.SN_READ, _R, ["supply"]),
+        rule(_R, Event.SN_READ, _R),
+        # snooping a foreign exclusive fetch
+        rule(_WD, Event.SN_EXCL, _I, ["supply"]),
+        rule(_RSD, Event.SN_EXCL, _I, ["supply"]),
+        rule(_WC, Event.SN_EXCL, _I, ["supply"]),
+        rule(_R, Event.SN_EXCL, _I),
+        # snooping a foreign upgrade
+        rule(_WD, Event.SN_UPGRADE, _I),
+        rule(_WC, Event.SN_UPGRADE, _I),
+        rule(_RSD, Event.SN_UPGRADE, _I),
+        rule(_R, Event.SN_UPGRADE, _I),
+        # snooping a foreign word write
+        rule(_WD, Event.SN_WRITE_WORD, _I, ["flush"]),
+        rule(_RSD, Event.SN_WRITE_WORD, _I, ["flush"]),
+        rule(_WC, Event.SN_WRITE_WORD, _I),
+        rule(_R, Event.SN_WRITE_WORD, _I),
+    ],
+)
+
+
+class BerkeleyProtocol(TableProtocol):
     """Berkeley ownership protocol with the dirty-read state."""
 
     name = "berkeley"
+    table = _TABLE
 
     @classmethod
     def features(cls) -> ProtocolFeatures:
         return _FEATURES
-
-    # -- processor side ---------------------------------------------------
-
-    def processor_read(
-        self, line: "CacheLine | None", addr: WordAddr, private_hint: bool = False
-    ) -> Action:
-        if line is not None and line.state.readable:
-            return Done(value=line.read_word(self.cache.offset(addr)))
-        if private_hint:
-            return NeedBus(op=BusOp.READ_EXCL)
-        return NeedBus(op=BusOp.READ_BLOCK)
-
-    # -- requester side ------------------------------------------------------
-
-    def read_fill_state(self, txn: BusTransaction, response) -> CacheState:
-        # The owner keeps ownership on a read fetch; the requester is a
-        # plain reader regardless of the hit line (static determination).
-        return CacheState.READ
-
-    def fill_state(self, txn: BusTransaction, response) -> CacheState:
-        if txn.op is BusOp.READ_BLOCK:
-            return self.read_fill_state(txn, response)
-        # Exclusive fetch: dirtiness must survive (no flush on transfer).
-        if response.supplier_dirty:
-            return CacheState.WRITE_DIRTY
-        return CacheState.WRITE_CLEAN
-
-    def upgrade_state(self, txn: BusTransaction, response) -> CacheState:
-        # The invalidated owner may have been dirty; memory was never
-        # updated, so the writer must take dirty ownership.
-        return CacheState.WRITE_DIRTY
-
-    # -- snooper side -----------------------------------------------------------
-
-    def read_downgrade_state(self, line: "CacheLine", flushed: bool) -> CacheState:
-        if line.state in (CacheState.WRITE_DIRTY, CacheState.READ_SOURCE_DIRTY):
-            return CacheState.READ_SOURCE_DIRTY  # ownership retained
-        # WRITE_CLEAN: source status is lost (the paper's noted
-        # inconsistency -- there is no clean read source state).
-        return CacheState.READ

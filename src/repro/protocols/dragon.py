@@ -1,30 +1,18 @@
 """The Xerox Dragon write-update protocol (McCreight 1984; Section D.1).
 
 Write-in for unshared data, write-through *to other caches* for actively
-shared data: a write to a shared block broadcasts the word, updating every
-valid copy; main memory is not updated (the writer becomes the shared-
-dirty owner).  Shared status is determined dynamically by the bus hit
-line.  This is the family the paper's Section D argues against for
+shared data: a write to a shared block broadcasts the word
+(``bus:update-word``), updating every valid copy; main memory is not
+updated (the writer becomes the shared-dirty owner).  Shared status is
+determined dynamically by the bus hit line (the ``shared``/``unshared``
+guards).  This is the family the paper's Section D argues against for
 atom-style sharing: word granularity, on every write, to all copies.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
-
-from repro.bus.signals import SnoopReply
-from repro.bus.transaction import BusOp, BusTransaction
+from repro.bus.transaction import BusOp
 from repro.cache.state import CacheState
-from repro.common.types import Stamp, WordAddr
-from repro.processor.isa import OpKind
-from repro.protocols.base import (
-    Action,
-    CoherenceProtocol,
-    Done,
-    NeedBus,
-    Outcome,
-    TxnResult,
-)
 from repro.protocols.features import (
     DirectoryDuality,
     FlushPolicy,
@@ -32,10 +20,7 @@ from repro.protocols.features import (
     ReadSourcePolicy,
     SharingDetermination,
 )
-
-if TYPE_CHECKING:
-    from repro.cache.cache import PendingAccess
-    from repro.cache.line import CacheLine
+from repro.protocols.table import Event, TableProtocol, TransitionTable, rule
 
 _FEATURES = ProtocolFeatures(
     name="Dragon (write-update)",
@@ -57,103 +42,101 @@ _FEATURES = ProtocolFeatures(
     },
 )
 
+_I = CacheState.INVALID
+_R = CacheState.READ
+_RSD = CacheState.READ_SOURCE_DIRTY
+_WC = CacheState.WRITE_CLEAN
+_WD = CacheState.WRITE_DIRTY
 
-class DragonProtocol(CoherenceProtocol):
+_TABLE = TransitionTable(
+    "dragon",
+    [
+        # processor reads
+        rule(_WD, Event.PR_READ, _WD, ["hit"]),
+        rule(_WC, Event.PR_READ, _WC, ["hit"]),
+        rule(_RSD, Event.PR_READ, _RSD, ["hit"]),
+        rule(_R, Event.PR_READ, _R, ["hit"]),
+        rule(_I, Event.PR_READ, _I, ["bus:read"]),
+        # processor writes: a shared block broadcasts the word
+        # (write-through to caches); a miss fetches first.
+        rule(_WD, Event.PR_WRITE, _WD, ["hit"]),
+        rule(_WC, Event.PR_WRITE, _WD, ["hit"]),
+        rule(_RSD, Event.PR_WRITE, _RSD, ["bus:update-word"]),
+        rule(_R, Event.PR_WRITE, _R, ["bus:update-word"]),
+        rule(_I, Event.PR_WRITE, _I, ["bus:read"]),
+        # block writes
+        rule(_WD, Event.PR_WRITE_BLOCK, _WD, ["hit"]),
+        rule(_WC, Event.PR_WRITE_BLOCK, _WD, ["hit"]),
+        rule(_RSD, Event.PR_WRITE_BLOCK, _RSD, ["bus:read-excl"]),
+        rule(_R, Event.PR_WRITE_BLOCK, _R, ["bus:read-excl"]),
+        rule(_I, Event.PR_WRITE_BLOCK, _I, ["bus:read-excl"]),
+        # fills: unshared data arrives exclusive and clean; a write miss
+        # to a still-shared block chains the word broadcast.
+        rule(_I, Event.FILL_READ, _WC, when=["readish", "unshared"]),
+        rule(_I, Event.FILL_READ, _R, when=["readish", "shared"]),
+        rule(_I, Event.FILL_READ, _WC, when=["writish", "unshared"]),
+        rule(_I, Event.FILL_READ, _R, ["rebus:update-word"],
+             when=["writish", "shared"]),
+        rule(_I, Event.FILL_EXCL, _WD, when=["dirty-supplier"]),
+        rule(_I, Event.FILL_EXCL, _WC, when=["clean-supplier"]),
+        # word-broadcast completion: the writer becomes the shared-dirty
+        # owner; with no copies left it reverts to write-in.  A copy
+        # purged while the update waited refetches.
+        rule(_R, Event.DONE_UPDATE_WORD, _RSD,
+             ["apply-word", "oracle-write"], when=["shared"]),
+        rule(_R, Event.DONE_UPDATE_WORD, _WD,
+             ["apply-word", "oracle-write"], when=["unshared"]),
+        rule(_RSD, Event.DONE_UPDATE_WORD, _RSD,
+             ["apply-word", "oracle-write"], when=["shared"]),
+        rule(_RSD, Event.DONE_UPDATE_WORD, _WD,
+             ["apply-word", "oracle-write"], when=["unshared"]),
+        rule(_I, Event.DONE_UPDATE_WORD, _I, ["rebus:read"]),
+        # upgrade completion (machinery-issued)
+        rule(_RSD, Event.DONE_UPGRADE, _WC),
+        rule(_R, Event.DONE_UPGRADE, _WC),
+        rule(_I, Event.DONE_UPGRADE, _I, ["rebus:read-excl"]),
+        # snooping a foreign read: dirty owners supply without flushing
+        # and keep shared-dirty ownership; status travels with the block.
+        rule(_WD, Event.SN_READ, _RSD, ["supply"]),
+        rule(_RSD, Event.SN_READ, _RSD, ["supply"]),
+        rule(_WC, Event.SN_READ, _R, ["supply"]),
+        rule(_R, Event.SN_READ, _R),
+        # snooping a foreign exclusive fetch
+        rule(_WD, Event.SN_EXCL, _I, ["supply"]),
+        rule(_RSD, Event.SN_EXCL, _I, ["supply"]),
+        rule(_WC, Event.SN_EXCL, _I, ["supply"]),
+        rule(_R, Event.SN_EXCL, _I),
+        # snooping a foreign upgrade (machinery-issued)
+        rule(_WD, Event.SN_UPGRADE, _I),
+        rule(_WC, Event.SN_UPGRADE, _I),
+        rule(_RSD, Event.SN_UPGRADE, _I),
+        rule(_R, Event.SN_UPGRADE, _I),
+        # snooping a word broadcast: every copy updates in place;
+        # ownership moves to the writer.
+        rule(_R, Event.SN_UPDATE_WORD, _R, ["apply-update"]),
+        rule(_RSD, Event.SN_UPDATE_WORD, _R, ["apply-update"]),
+        rule(_WC, Event.SN_UPDATE_WORD, _R, ["apply-update"]),
+        rule(_WD, Event.SN_UPDATE_WORD, _R, ["apply-update"]),
+        # snooping a foreign word write (memory-hold RMW traffic)
+        rule(_WD, Event.SN_WRITE_WORD, _I, ["flush"]),
+        rule(_RSD, Event.SN_WRITE_WORD, _I, ["flush"]),
+        rule(_WC, Event.SN_WRITE_WORD, _I),
+        rule(_R, Event.SN_WRITE_WORD, _I),
+    ],
+    # Purged while the word broadcast waited for the bus: refetch.
+    lost_copy={BusOp.UPDATE_WORD: BusOp.READ_BLOCK},
+    # The test-and-set / cache-hold lowering issues UPGRADE / READ_EXCL
+    # through the shared miss machinery.
+    machinery_ops=[BusOp.UPGRADE, BusOp.READ_EXCL],
+)
+
+
+class DragonProtocol(TableProtocol):
     """Write-update; memory not updated on shared writes."""
 
     name = "dragon"
+    table = _TABLE
 
     @classmethod
     def features(cls) -> ProtocolFeatures:
         return _FEATURES
-
-    #: Whether a shared write also updates main memory (Firefly overrides).
-    updates_memory = False
-
-    # -- processor side -----------------------------------------------------
-
-    def processor_write(
-        self, line: "CacheLine | None", addr: WordAddr, stamp: Stamp
-    ) -> Action:
-        if line is not None and line.state.writable:
-            return Done()
-        if line is not None and line.state.readable:
-            # Shared block: broadcast the word (write-through to caches).
-            return NeedBus(op=BusOp.UPDATE_WORD, word=addr, stamp=stamp)
-        # Write miss: fetch first, then update if still shared.
-        return NeedBus(op=BusOp.READ_BLOCK)
-
-    # -- requester side ----------------------------------------------------------
-
-    def after_txn(self, pending: "PendingAccess", txn: BusTransaction,
-                  response, data) -> TxnResult:
-        writish = pending.op.kind in (OpKind.WRITE, OpKind.RELEASE)
-        if txn.op is BusOp.READ_BLOCK and writish:
-            assert data is not None
-            state = self.read_fill_state(txn, response)
-            self.cache.install_block(txn.block, state, data)
-            if response.shared_hit:
-                assert pending.op.addr is not None and pending.op.stamp is not None
-                return TxnResult(
-                    Outcome.REBUS,
-                    NeedBus(op=BusOp.UPDATE_WORD, word=pending.op.addr,
-                            stamp=pending.op.stamp),
-                )
-            return TxnResult(Outcome.DONE)  # exclusive: plain local write
-        if txn.op is BusOp.UPDATE_WORD:
-            return self._complete_update(pending, txn, response)
-        return super().after_txn(pending, txn, response, data)
-
-    def _complete_update(self, pending: "PendingAccess", txn: BusTransaction,
-                         response) -> TxnResult:
-        line = self.cache.line_for(txn.block)
-        assert txn.word is not None and txn.stamp is not None
-        if line is None:
-            # Purged while the update waited; refetch.
-            return TxnResult(Outcome.REBUS, NeedBus(op=BusOp.READ_BLOCK))
-        line.write_word(self.cache.offset(txn.word), txn.stamp)
-        if self.cache.oracle is not None:
-            self.cache.oracle.record_write(txn.word, txn.stamp)
-        if response.shared_hit:
-            line.state = self.shared_writer_state()
-        else:
-            # No copies left: revert to write-in.
-            line.state = CacheState.WRITE_DIRTY
-        if self.updates_memory and self.cache.memory is not None:
-            offset = txn.word - txn.block
-            self.cache.memory.write_word(txn.block, offset, txn.stamp)
-        pending.write_applied = True
-        return TxnResult(Outcome.DONE)
-
-    def shared_writer_state(self) -> CacheState:
-        return CacheState.READ_SOURCE_DIRTY  # Dragon's SharedDirty owner
-
-    def read_fill_state(self, txn: BusTransaction, response) -> CacheState:
-        if not response.shared_hit:
-            return CacheState.WRITE_CLEAN  # valid exclusive
-        if response.supplier_dirty:
-            return CacheState.READ  # owner keeps shared-dirty ownership
-        return CacheState.READ
-
-    def revalidate_request(self, need: NeedBus, block) -> NeedBus:
-        if need.op is BusOp.UPDATE_WORD and self.cache.line_for(block) is None:
-            return NeedBus(op=BusOp.READ_BLOCK)
-        return super().revalidate_request(need, block)
-
-    # -- snooper side ----------------------------------------------------------------
-
-    def snoop_word_write(self, line: "CacheLine", txn: BusTransaction) -> SnoopReply:
-        if txn.op is BusOp.UPDATE_WORD:
-            assert txn.word is not None and txn.stamp is not None
-            self.cache.apply_foreign_update(line, txn.word, txn.stamp)
-            if line.state in (CacheState.READ_SOURCE_DIRTY, CacheState.WRITE_DIRTY,
-                              CacheState.WRITE_CLEAN):
-                # Ownership moves to the writer.
-                line.state = CacheState.READ
-            return SnoopReply(hit=True)
-        return super().snoop_word_write(line, txn)
-
-    def read_downgrade_state(self, line: "CacheLine", flushed: bool) -> CacheState:
-        if line.state in (CacheState.WRITE_DIRTY, CacheState.READ_SOURCE_DIRTY):
-            return CacheState.READ_SOURCE_DIRTY if not flushed else CacheState.READ
-        return CacheState.READ

@@ -1,16 +1,15 @@
 """The DEC Firefly write-update protocol (Section D.1).
 
-Like Dragon, but a shared write updates *main memory* as well as the other
-caches, so shared blocks are always clean and there is no shared-dirty
-state.  When the hit line shows no sharers remain, the writer reverts to
-write-in.
+Like Dragon, but a shared write updates *main memory* as well as the
+other caches (the ``write-memory`` action on ``done-update-word``), so
+shared blocks are always clean and there is no shared-dirty state.  When
+the hit line shows no sharers remain, the writer reverts to write-in.
 """
 
 from __future__ import annotations
 
-from repro.bus.transaction import BusTransaction
+from repro.bus.transaction import BusOp
 from repro.cache.state import CacheState
-from repro.protocols.dragon import DragonProtocol
 from repro.protocols.features import (
     DirectoryDuality,
     FlushPolicy,
@@ -18,6 +17,7 @@ from repro.protocols.features import (
     ReadSourcePolicy,
     SharingDetermination,
 )
+from repro.protocols.table import Event, TableProtocol, TransitionTable, rule
 
 _FEATURES = ProtocolFeatures(
     name="Firefly (write-update)",
@@ -38,19 +38,82 @@ _FEATURES = ProtocolFeatures(
     },
 )
 
+_I = CacheState.INVALID
+_R = CacheState.READ
+_WC = CacheState.WRITE_CLEAN
+_WD = CacheState.WRITE_DIRTY
 
-class FireflyProtocol(DragonProtocol):
+_TABLE = TransitionTable(
+    "firefly",
+    [
+        # processor reads
+        rule(_WD, Event.PR_READ, _WD, ["hit"]),
+        rule(_WC, Event.PR_READ, _WC, ["hit"]),
+        rule(_R, Event.PR_READ, _R, ["hit"]),
+        rule(_I, Event.PR_READ, _I, ["bus:read"]),
+        # processor writes
+        rule(_WD, Event.PR_WRITE, _WD, ["hit"]),
+        rule(_WC, Event.PR_WRITE, _WD, ["hit"]),
+        rule(_R, Event.PR_WRITE, _R, ["bus:update-word"]),
+        rule(_I, Event.PR_WRITE, _I, ["bus:read"]),
+        # block writes
+        rule(_WD, Event.PR_WRITE_BLOCK, _WD, ["hit"]),
+        rule(_WC, Event.PR_WRITE_BLOCK, _WD, ["hit"]),
+        rule(_R, Event.PR_WRITE_BLOCK, _R, ["bus:read-excl"]),
+        rule(_I, Event.PR_WRITE_BLOCK, _I, ["bus:read-excl"]),
+        # fills
+        rule(_I, Event.FILL_READ, _WC, when=["readish", "unshared"]),
+        rule(_I, Event.FILL_READ, _R, when=["readish", "shared"]),
+        rule(_I, Event.FILL_READ, _WC, when=["writish", "unshared"]),
+        rule(_I, Event.FILL_READ, _R, ["rebus:update-word"],
+             when=["writish", "shared"]),
+        rule(_I, Event.FILL_EXCL, _WD, when=["dirty-supplier"]),
+        rule(_I, Event.FILL_EXCL, _WC, when=["clean-supplier"]),
+        # word-broadcast completion: memory is updated too, so the
+        # shared writer stays a clean reader.
+        rule(_R, Event.DONE_UPDATE_WORD, _R,
+             ["apply-word", "oracle-write", "write-memory"],
+             when=["shared"]),
+        rule(_R, Event.DONE_UPDATE_WORD, _WD,
+             ["apply-word", "oracle-write", "write-memory"],
+             when=["unshared"]),
+        rule(_I, Event.DONE_UPDATE_WORD, _I, ["rebus:read"]),
+        # upgrade completion (machinery-issued)
+        rule(_R, Event.DONE_UPGRADE, _WC),
+        rule(_I, Event.DONE_UPGRADE, _I, ["rebus:read-excl"]),
+        # snooping a foreign read: only the dirty state is a source and
+        # it flushes on transfer.
+        rule(_WD, Event.SN_READ, _R, ["supply", "flush"]),
+        rule(_WC, Event.SN_READ, _R),
+        rule(_R, Event.SN_READ, _R),
+        # snooping a foreign exclusive fetch
+        rule(_WD, Event.SN_EXCL, _I, ["supply", "flush-clean"]),
+        rule(_WC, Event.SN_EXCL, _I),
+        rule(_R, Event.SN_EXCL, _I),
+        # snooping a foreign upgrade (machinery-issued)
+        rule(_WD, Event.SN_UPGRADE, _I),
+        rule(_WC, Event.SN_UPGRADE, _I),
+        rule(_R, Event.SN_UPGRADE, _I),
+        # snooping a word broadcast
+        rule(_R, Event.SN_UPDATE_WORD, _R, ["apply-update"]),
+        rule(_WC, Event.SN_UPDATE_WORD, _R, ["apply-update"]),
+        rule(_WD, Event.SN_UPDATE_WORD, _R, ["apply-update"]),
+        # snooping a foreign word write
+        rule(_WD, Event.SN_WRITE_WORD, _I, ["flush"]),
+        rule(_WC, Event.SN_WRITE_WORD, _I),
+        rule(_R, Event.SN_WRITE_WORD, _I),
+    ],
+    lost_copy={BusOp.UPDATE_WORD: BusOp.READ_BLOCK},
+    machinery_ops=[BusOp.UPGRADE, BusOp.READ_EXCL],
+)
+
+
+class FireflyProtocol(TableProtocol):
     """Write-update with memory updated on shared writes."""
 
     name = "firefly"
-    updates_memory = True
+    table = _TABLE
 
     @classmethod
     def features(cls) -> ProtocolFeatures:
         return _FEATURES
-
-    def shared_writer_state(self) -> CacheState:
-        return CacheState.READ  # memory was updated: shared and clean
-
-    def read_downgrade_state(self, line, flushed: bool) -> CacheState:
-        return CacheState.READ

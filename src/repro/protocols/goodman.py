@@ -7,24 +7,19 @@ fetching, so the first write to a block goes *through* to memory
 (invalidating other copies) and leaves the block clean ("Reserved"); only
 the second write makes it dirty, at which point the cache becomes the
 block's source (Section F.2).
+
+A write miss fetches for read and then writes through -- two
+transactions, since the Multibus allowed no invalidation during the
+fetch (the guarded ``fill-read`` rows and the ``rebus:write-word``
+chain).  A buffered write-through whose copy was invalidated while
+queued converts back to a miss (``lost_copy`` and the ``done-write-word``
+row at INVALID).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
-
-from repro.bus.transaction import BusOp, BusTransaction
+from repro.bus.transaction import BusOp
 from repro.cache.state import CacheState
-from repro.common.types import Stamp, WordAddr
-from repro.processor.isa import OpKind
-from repro.protocols.base import (
-    Action,
-    CoherenceProtocol,
-    Done,
-    NeedBus,
-    Outcome,
-    TxnResult,
-)
 from repro.protocols.features import (
     DirectoryDuality,
     FlushPolicy,
@@ -32,10 +27,7 @@ from repro.protocols.features import (
     ReadSourcePolicy,
     SharingDetermination,
 )
-
-if TYPE_CHECKING:
-    from repro.cache.cache import PendingAccess
-    from repro.cache.line import CacheLine
+from repro.protocols.table import Event, TableProtocol, TransitionTable, rule
 
 _FEATURES = ProtocolFeatures(
     name="Goodman (write-once)",
@@ -56,76 +48,79 @@ _FEATURES = ProtocolFeatures(
     },
 )
 
+_I = CacheState.INVALID
+_R = CacheState.READ
+_WC = CacheState.WRITE_CLEAN
+_WD = CacheState.WRITE_DIRTY
 
-class GoodmanProtocol(CoherenceProtocol):
+_TABLE = TransitionTable(
+    "goodman",
+    [
+        # processor reads
+        rule(_WD, Event.PR_READ, _WD, ["hit"]),
+        rule(_WC, Event.PR_READ, _WC, ["hit"]),
+        rule(_R, Event.PR_READ, _R, ["hit"]),
+        rule(_I, Event.PR_READ, _I, ["bus:read"]),
+        # processor writes: second and later writes are purely local and
+        # make the block dirty; the first goes through to memory.
+        rule(_WD, Event.PR_WRITE, _WD, ["hit"]),
+        rule(_WC, Event.PR_WRITE, _WD, ["hit"]),
+        rule(_R, Event.PR_WRITE, _R, ["bus:write-word"]),
+        rule(_I, Event.PR_WRITE, _I, ["bus:read"]),
+        # block writes overwrite without fetching useful data, so they
+        # may take exclusive ownership directly.
+        rule(_WD, Event.PR_WRITE_BLOCK, _WD, ["hit"]),
+        rule(_WC, Event.PR_WRITE_BLOCK, _WD, ["hit"]),
+        rule(_R, Event.PR_WRITE_BLOCK, _R, ["bus:read-excl"]),
+        rule(_I, Event.PR_WRITE_BLOCK, _I, ["bus:read-excl"]),
+        # fills: a write-miss fetch lands Valid and chains the buffered
+        # write-through (no invalidation possible during the fetch).
+        rule(_I, Event.FILL_READ, _R, when=["readish"]),
+        rule(_I, Event.FILL_READ, _R, ["rebus:write-word"],
+             when=["writish"]),
+        rule(_I, Event.FILL_EXCL, _WD, when=["dirty-supplier"]),
+        rule(_I, Event.FILL_EXCL, _WC, when=["clean-supplier"]),
+        # write-through completion: Reserved (memory current again); a
+        # lost copy converts the buffered write back to a miss.
+        rule(_R, Event.DONE_WRITE_WORD, _WC,
+             ["apply-word", "write-memory", "oracle-write"]),
+        rule(_I, Event.DONE_WRITE_WORD, _I, ["rebus:read"]),
+        # test-and-set lowering upgrades (machinery-issued)
+        rule(_R, Event.DONE_UPGRADE, _WC),
+        rule(_I, Event.DONE_UPGRADE, _I, ["rebus:read-excl"]),
+        # snooping a foreign read: the dirty source supplies and flushes
+        rule(_WD, Event.SN_READ, _R, ["supply", "flush"]),
+        rule(_WC, Event.SN_READ, _R),
+        rule(_R, Event.SN_READ, _R),
+        # snooping a foreign exclusive fetch
+        rule(_WD, Event.SN_EXCL, _I, ["supply", "flush-clean"]),
+        rule(_WC, Event.SN_EXCL, _I),
+        rule(_R, Event.SN_EXCL, _I),
+        # snooping a foreign upgrade (machinery-issued)
+        rule(_WD, Event.SN_UPGRADE, _I),
+        rule(_WC, Event.SN_UPGRADE, _I),
+        rule(_R, Event.SN_UPGRADE, _I),
+        # snooping a foreign write-through: the address broadcast
+        # invalidates; a dirty copy must reach memory first.
+        rule(_WD, Event.SN_WRITE_WORD, _I, ["flush"]),
+        rule(_WC, Event.SN_WRITE_WORD, _I),
+        rule(_R, Event.SN_WRITE_WORD, _I),
+    ],
+    # The copy vanished while the write-through was queued: the buffered
+    # write converts to a miss (fetch, then write through).
+    lost_copy={BusOp.WRITE_WORD: BusOp.READ_BLOCK},
+    # The test-and-set lowering of LOCK issues UPGRADE / READ_EXCL
+    # through the shared miss machinery.
+    machinery_ops=[BusOp.UPGRADE, BusOp.READ_EXCL],
+)
+
+
+class GoodmanProtocol(TableProtocol):
     """Write-once."""
 
     name = "goodman"
+    table = _TABLE
 
     @classmethod
     def features(cls) -> ProtocolFeatures:
         return _FEATURES
-
-    # -- processor side -----------------------------------------------------
-
-    def processor_write(
-        self, line: "CacheLine | None", addr: WordAddr, stamp: Stamp
-    ) -> Action:
-        if line is not None and line.state.writable:
-            # Second or later write: purely local, block becomes dirty.
-            return Done()
-        if line is not None and line.state.readable:
-            # First write: write through to memory; the broadcast of the
-            # written address invalidates other copies.
-            return NeedBus(op=BusOp.WRITE_WORD, word=addr, stamp=stamp)
-        # Write miss: fetch for read, then write through (two transactions;
-        # the Multibus allowed no invalidation during the fetch).
-        return NeedBus(op=BusOp.READ_BLOCK)
-
-    # -- requester side --------------------------------------------------------
-
-    def after_txn(
-        self,
-        pending: "PendingAccess",
-        txn: BusTransaction,
-        response,
-        data: list[Stamp] | None,
-    ) -> TxnResult:
-        writish = pending.op.kind in (OpKind.WRITE, OpKind.RELEASE)
-        if txn.op is BusOp.READ_BLOCK and writish:
-            assert data is not None
-            self.cache.install_block(txn.block, CacheState.READ, data)
-            assert pending.op.addr is not None and pending.op.stamp is not None
-            return TxnResult(
-                Outcome.REBUS,
-                NeedBus(op=BusOp.WRITE_WORD, word=pending.op.addr,
-                        stamp=pending.op.stamp),
-            )
-        if txn.op is BusOp.WRITE_WORD:
-            line = self.cache.line_for(txn.block)
-            if line is None:
-                # Invalidated while waiting for the bus: the buffered
-                # write-through converts to a miss -- refetch and retry.
-                return TxnResult(Outcome.REBUS, NeedBus(op=BusOp.READ_BLOCK))
-            assert txn.word is not None and txn.stamp is not None
-            line.write_word(self.cache.offset(txn.word), txn.stamp)
-            line.state = CacheState.WRITE_CLEAN  # Reserved; memory has it too
-            if self.cache.memory is not None:
-                self.cache.memory.write_word(
-                    txn.block, self.cache.offset(txn.word), txn.stamp
-                )
-            if self.cache.oracle is not None:
-                self.cache.oracle.record_write(txn.word, txn.stamp)
-            pending.write_applied = True
-            return TxnResult(Outcome.DONE)
-        return super().after_txn(pending, txn, response, data)
-
-    def read_fill_state(self, txn: BusTransaction, response) -> CacheState:
-        return CacheState.READ
-
-    def revalidate_request(self, need: NeedBus, block) -> NeedBus:
-        if need.op is BusOp.WRITE_WORD and self.cache.line_for(block) is None:
-            # The copy vanished while the write-through was queued: the
-            # buffered write converts to a miss (fetch, then write through).
-            return NeedBus(op=BusOp.READ_BLOCK)
-        return super().revalidate_request(need, block)

@@ -2,20 +2,17 @@
 
 Every cache holding a copy is a potential source: if a block is in any
 cache it is fetched from a cache, with read-privilege holders arbitrating
-to pick the actual supplier (Feature 8 ``ARB``).  Unshared data is fetched
-for write privilege on a read miss, determined dynamically by the bus hit
-line (Feature 5 ``D``); the clean write state avoids a flush if the block
-is never written.  Dirty blocks are flushed on transfer (Feature 7 ``F``).
+to pick the actual supplier (Feature 8 ``ARB`` -- the ``arbitrate`` snoop
+action).  Unshared data is fetched for write privilege on a read miss,
+determined dynamically by the bus hit line (Feature 5 ``D`` -- the
+``unshared`` guard on ``fill-read``); the clean write state avoids a
+flush if the block is never written.  Dirty blocks are flushed on
+transfer (Feature 7 ``F``).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
-
-from repro.bus.signals import SnoopReply
-from repro.bus.transaction import BusOp, BusTransaction
 from repro.cache.state import CacheState
-from repro.protocols.base import CoherenceProtocol
 from repro.protocols.features import (
     DirectoryDuality,
     FlushPolicy,
@@ -23,9 +20,7 @@ from repro.protocols.features import (
     ReadSourcePolicy,
     SharingDetermination,
 )
-
-if TYPE_CHECKING:
-    from repro.cache.line import CacheLine
+from repro.protocols.table import Event, TableProtocol, TransitionTable, rule
 
 _FEATURES = ProtocolFeatures(
     name="Papamarcos & Patel (Illinois)",
@@ -47,45 +42,72 @@ _FEATURES = ProtocolFeatures(
     notes=("Directory duality assumed; the article does not say (note 2).",),
 )
 
+_I = CacheState.INVALID
+_R = CacheState.READ
+_WC = CacheState.WRITE_CLEAN
+_WD = CacheState.WRITE_DIRTY
 
-class IllinoisProtocol(CoherenceProtocol):
+_TABLE = TransitionTable(
+    "illinois",
+    [
+        # processor reads
+        rule(_WD, Event.PR_READ, _WD, ["hit"]),
+        rule(_WC, Event.PR_READ, _WC, ["hit"]),
+        rule(_R, Event.PR_READ, _R, ["hit"]),
+        rule(_I, Event.PR_READ, _I, ["bus:read"]),
+        # processor writes: a one-cycle invalidation upgrades a read copy
+        rule(_WD, Event.PR_WRITE, _WD, ["hit"]),
+        rule(_WC, Event.PR_WRITE, _WD, ["hit"]),
+        rule(_R, Event.PR_WRITE, _R, ["bus:upgrade"]),
+        rule(_I, Event.PR_WRITE, _I, ["bus:read-excl"]),
+        # block writes
+        rule(_WD, Event.PR_WRITE_BLOCK, _WD, ["hit"]),
+        rule(_WC, Event.PR_WRITE_BLOCK, _WD, ["hit"]),
+        rule(_R, Event.PR_WRITE_BLOCK, _R, ["bus:read-excl"]),
+        rule(_I, Event.PR_WRITE_BLOCK, _I, ["bus:read-excl"]),
+        # atomic RMW (Feature 6): documentation rows -- the cache-hold
+        # machinery holds the block and issues these operations itself.
+        rule(_WD, Event.PR_RMW, _WD, ["hit"]),
+        rule(_WC, Event.PR_RMW, _WD, ["hit"]),
+        rule(_R, Event.PR_RMW, _R, ["bus:upgrade"]),
+        rule(_I, Event.PR_RMW, _I, ["bus:read-excl"]),
+        # fills: unshared data arrives with write privilege, clean
+        # (Feature 5, dynamic determination via the bus hit line).
+        rule(_I, Event.FILL_READ, _WC, when=["unshared"]),
+        rule(_I, Event.FILL_READ, _R, when=["shared"]),
+        rule(_I, Event.FILL_EXCL, _WD, when=["dirty-supplier"]),
+        rule(_I, Event.FILL_EXCL, _WC, when=["clean-supplier"]),
+        # upgrade completion
+        rule(_R, Event.DONE_UPGRADE, _WC),
+        rule(_I, Event.DONE_UPGRADE, _I, ["rebus:read-excl"]),
+        # snooping a foreign read: write-privilege holders supply (dirty
+        # blocks flush on transfer, arriving clean); read-privilege
+        # holders are potential sources and arbitrate.
+        rule(_WD, Event.SN_READ, _R, ["supply-clean", "flush"]),
+        rule(_WC, Event.SN_READ, _R, ["supply-clean"]),
+        rule(_R, Event.SN_READ, _R, ["arbitrate"]),
+        # snooping a foreign exclusive fetch: any holder supplies
+        rule(_WD, Event.SN_EXCL, _I, ["supply", "flush-clean"]),
+        rule(_WC, Event.SN_EXCL, _I, ["supply"]),
+        rule(_R, Event.SN_EXCL, _I, ["supply"]),
+        # snooping a foreign upgrade
+        rule(_WD, Event.SN_UPGRADE, _I),
+        rule(_WC, Event.SN_UPGRADE, _I),
+        rule(_R, Event.SN_UPGRADE, _I),
+        # snooping a foreign word write (memory-hold RMW traffic)
+        rule(_WD, Event.SN_WRITE_WORD, _I, ["flush"]),
+        rule(_WC, Event.SN_WRITE_WORD, _I),
+        rule(_R, Event.SN_WRITE_WORD, _I),
+    ],
+)
+
+
+class IllinoisProtocol(TableProtocol):
     """Illinois / MESI ancestor."""
 
     name = "illinois"
+    table = _TABLE
 
     @classmethod
     def features(cls) -> ProtocolFeatures:
         return _FEATURES
-
-    # -- requester side -------------------------------------------------------
-
-    def read_fill_state(self, txn: BusTransaction, response) -> CacheState:
-        if not response.shared_hit:
-            # Feature 5 (dynamic): unshared data arrives with write
-            # privilege, clean.
-            return CacheState.WRITE_CLEAN
-        return CacheState.READ
-
-    # -- snooper side -----------------------------------------------------------
-
-    def snoop_read(self, line: "CacheLine", txn: BusTransaction) -> SnoopReply:
-        if line.state in (CacheState.WRITE_CLEAN, CacheState.WRITE_DIRTY):
-            reply = SnoopReply(
-                hit=True,
-                supplies=True,
-                dirty=False,  # flushed on transfer, arrives clean
-                data=line.snapshot(),
-                supply_words_moved=self.cache.supply_words_moved(line),
-            )
-            if line.state is CacheState.WRITE_DIRTY:
-                reply.flush_words = line.snapshot()
-            line.state = CacheState.READ
-            return reply
-        # Read-privilege holder: potential source, must arbitrate.
-        return SnoopReply(
-            hit=True,
-            arbitrates=True,
-            dirty=False,
-            data=line.snapshot(),
-            supply_words_moved=self.cache.supply_words_moved(line),
-        )

@@ -6,9 +6,16 @@ accessed it is a write-through (an UPDATE that also updates *invalid*
 copies -- the mechanism that notifies spinning test-and-set waiters,
 Section E.4); subsequent writes with no intervening foreign access are
 write-in (the copy turns exclusive-dirty after a one-cycle invalidation).
+The interleaving tracker is the ``wrote-last``/``first-write`` guard,
+set by the ``mark-wrote`` action and reset by any foreign snoop.
 Atomic read-modify-writes hold the memory unit throughout (Feature 6,
 first method) -- the engine configures ``RmwMethod.MEMORY_HOLD`` for this
-protocol.
+protocol, so the ``pr-rmw`` rows document the MEMORY_RMW bus operation
+that machinery issues (the requester's own copy is invalidated).
+
+WRITE_CLEAN is a transient machinery state: an exclusive fetch from a
+clean supplier lands there for the instant before the pending write
+marks it dirty; it is never observable on a snoop.
 """
 
 from __future__ import annotations
@@ -18,16 +25,6 @@ from typing import TYPE_CHECKING
 from repro.bus.signals import SnoopReply
 from repro.bus.transaction import BusOp, BusTransaction
 from repro.cache.state import CacheState
-from repro.common.types import Stamp, WordAddr
-from repro.processor.isa import OpKind
-from repro.protocols.base import (
-    Action,
-    CoherenceProtocol,
-    Done,
-    NeedBus,
-    Outcome,
-    TxnResult,
-)
 from repro.protocols.features import (
     DirectoryDuality,
     FlushPolicy,
@@ -35,9 +32,9 @@ from repro.protocols.features import (
     ReadSourcePolicy,
     SharingDetermination,
 )
+from repro.protocols.table import Event, TableProtocol, TransitionTable, rule
 
 if TYPE_CHECKING:
-    from repro.cache.cache import PendingAccess
     from repro.cache.line import CacheLine
 
 _FEATURES = ProtocolFeatures(
@@ -59,95 +56,83 @@ _FEATURES = ProtocolFeatures(
     notes=("One-word blocks; write-throughs update invalid copies too.",),
 )
 
+_I = CacheState.INVALID
+_R = CacheState.READ
+_WC = CacheState.WRITE_CLEAN
+_WD = CacheState.WRITE_DIRTY
 
-class RudolphSegallProtocol(CoherenceProtocol):
+_TABLE = TransitionTable(
+    "rudolph-segall",
+    [
+        # processor reads
+        rule(_WD, Event.PR_READ, _WD, ["hit"]),
+        rule(_R, Event.PR_READ, _R, ["hit"]),
+        rule(_I, Event.PR_READ, _I, ["bus:read"]),
+        # processor writes: interleaving decides write-through vs
+        # write-in -- a second consecutive write invalidates instead.
+        rule(_WD, Event.PR_WRITE, _WD, ["hit"]),
+        rule(_R, Event.PR_WRITE, _R, ["bus:upgrade"], when=["wrote-last"]),
+        rule(_R, Event.PR_WRITE, _R, ["bus:update-word-inval"],
+             when=["first-write"]),
+        rule(_I, Event.PR_WRITE, _I, ["bus:read"]),
+        # block writes
+        rule(_WD, Event.PR_WRITE_BLOCK, _WD, ["hit"]),
+        rule(_R, Event.PR_WRITE_BLOCK, _R, ["bus:read-excl"]),
+        rule(_I, Event.PR_WRITE_BLOCK, _I, ["bus:read-excl"]),
+        # atomic RMW: memory-hold documentation rows -- the memory unit
+        # is held for the whole RMW and the local copy is invalidated.
+        rule(_WD, Event.PR_RMW, _I, ["bus:mem-rmw"]),
+        rule(_R, Event.PR_RMW, _I, ["bus:mem-rmw"]),
+        rule(_I, Event.PR_RMW, _I, ["bus:mem-rmw"]),
+        # fills: a write miss fetches for read and chains the
+        # invalid-updating write-through.
+        rule(_I, Event.FILL_READ, _R, when=["readish"]),
+        rule(_I, Event.FILL_READ, _R, ["rebus:update-word-inval"],
+             when=["writish"]),
+        rule(_I, Event.FILL_EXCL, _WD, when=["dirty-supplier"]),
+        rule(_I, Event.FILL_EXCL, _WC, when=["clean-supplier"]),
+        # write-through completion: memory and all copies updated; the
+        # interleaving tracker arms write-in for the next write.
+        rule(_R, Event.DONE_UPDATE_WORD, _R,
+             ["apply-word", "oracle-write", "write-memory", "mark-wrote"]),
+        rule(_I, Event.DONE_UPDATE_WORD, _I, ["rebus:read"]),
+        # upgrade completion: write-in mode, exclusive and dirty
+        rule(_R, Event.DONE_UPGRADE, _WD),
+        rule(_I, Event.DONE_UPGRADE, _I, ["rebus:read-excl"]),
+        # snooping a foreign read
+        rule(_WD, Event.SN_READ, _R, ["supply", "flush"]),
+        rule(_R, Event.SN_READ, _R),
+        # snooping a foreign exclusive fetch
+        rule(_WD, Event.SN_EXCL, _I, ["supply", "flush-clean"]),
+        rule(_R, Event.SN_EXCL, _I),
+        # snooping a foreign upgrade
+        rule(_WD, Event.SN_UPGRADE, _I),
+        rule(_R, Event.SN_UPGRADE, _I),
+        # snooping a foreign write-through: copies update in place
+        rule(_R, Event.SN_UPDATE_WORD, _R, ["apply-update"]),
+        rule(_WD, Event.SN_UPDATE_WORD, _WD, ["apply-update"]),
+        # snooping a foreign word write (memory-hold RMW traffic)
+        rule(_WD, Event.SN_WRITE_WORD, _I, ["flush"]),
+        rule(_R, Event.SN_WRITE_WORD, _I),
+    ],
+    lost_copy={BusOp.UPDATE_WORD: BusOp.READ_BLOCK},
+    transient_states=[CacheState.WRITE_CLEAN],
+)
+
+
+class RudolphSegallProtocol(TableProtocol):
     """Interleaving-determined write-through/write-in hybrid."""
 
     name = "rudolph-segall"
+    table = _TABLE
 
     @classmethod
     def features(cls) -> ProtocolFeatures:
         return _FEATURES
 
-    # -- scratch bookkeeping ---------------------------------------------------
-
-    def _wrote_last(self, block) -> bool:
-        return self.cache.scratch.get(("rs-wrote", block), False)
-
-    def _set_wrote(self, block, value: bool) -> None:
-        self.cache.scratch[("rs-wrote", block)] = value
-
-    # -- processor side ------------------------------------------------------
-
-    def processor_write(
-        self, line: "CacheLine | None", addr: WordAddr, stamp: Stamp
-    ) -> Action:
-        block = self.cache.block_of(addr)
-        if line is not None and line.state.writable:
-            return Done()  # already exclusive: write-in continues
-        if line is not None and line.state.readable:
-            if self._wrote_last(block):
-                # Second consecutive write: switch to write-in (invalidate).
-                return NeedBus(op=BusOp.UPGRADE)
-            # First write after a foreign access: write through, updating
-            # valid *and invalid* copies.
-            return NeedBus(
-                op=BusOp.UPDATE_WORD, word=addr, stamp=stamp, update_invalid=True
-            )
-        return NeedBus(op=BusOp.READ_BLOCK)
-
-    # -- requester side ------------------------------------------------------------
-
-    def after_txn(self, pending: "PendingAccess", txn: BusTransaction,
-                  response, data) -> TxnResult:
-        writish = pending.op.kind in (OpKind.WRITE, OpKind.RELEASE)
-        if txn.op is BusOp.READ_BLOCK and writish:
-            assert data is not None
-            self.cache.install_block(txn.block, CacheState.READ, data)
-            assert pending.op.addr is not None and pending.op.stamp is not None
-            return TxnResult(
-                Outcome.REBUS,
-                NeedBus(op=BusOp.UPDATE_WORD, word=pending.op.addr,
-                        stamp=pending.op.stamp, update_invalid=True),
-            )
-        if txn.op is BusOp.UPDATE_WORD:
-            line = self.cache.line_for(txn.block)
-            if line is None:
-                return TxnResult(Outcome.REBUS, NeedBus(op=BusOp.READ_BLOCK))
-            assert txn.word is not None and txn.stamp is not None
-            line.write_word(self.cache.offset(txn.word), txn.stamp)
-            if self.cache.oracle is not None:
-                self.cache.oracle.record_write(txn.word, txn.stamp)
-            if self.cache.memory is not None:
-                self.cache.memory.write_word(
-                    txn.block, txn.word - txn.block, txn.stamp
-                )
-            self._set_wrote(txn.block, True)
-            pending.write_applied = True
-            return TxnResult(Outcome.DONE)
-        return super().after_txn(pending, txn, response, data)
-
-    def upgrade_state(self, txn: BusTransaction, response) -> CacheState:
-        return CacheState.WRITE_DIRTY  # write-in mode: exclusive and dirty
-
-    def read_fill_state(self, txn: BusTransaction, response) -> CacheState:
-        return CacheState.READ
-
-    def revalidate_request(self, need: NeedBus, block) -> NeedBus:
-        if need.op is BusOp.UPDATE_WORD and self.cache.line_for(block) is None:
-            return NeedBus(op=BusOp.READ_BLOCK)
-        return super().revalidate_request(need, block)
-
-    # -- snooper side -----------------------------------------------------------------
-
     def snoop(self, line: "CacheLine", txn: BusTransaction) -> SnoopReply:
-        # Any foreign access to the block resets the interleaving tracker.
-        self._set_wrote(line.block, False)
+        # Any foreign access to the block resets the interleaving tracker
+        # (procedural remnant: the tracker lives in cache scratch space,
+        # not in the line state).
+        self.cache.scratch[("rs-wrote", line.block)] = False
         return super().snoop(line, txn)
-
-    def snoop_word_write(self, line: "CacheLine", txn: BusTransaction) -> SnoopReply:
-        if txn.op is BusOp.UPDATE_WORD:
-            assert txn.word is not None and txn.stamp is not None
-            self.cache.apply_foreign_update(line, txn.word, txn.stamp)
-            return SnoopReply(hit=True)
-        return super().snoop_word_write(line, txn)

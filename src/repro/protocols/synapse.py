@@ -3,8 +3,9 @@
 A proprietary bus provides an explicit invalidate signal, so invalidation
 is concurrent with a block fetch and the clean write state disappears
 (Section F.2).  Source status is *not* fully distributed: main memory
-keeps a per-block source bit (Feature 2: ``RWD``).  A dirty source
-supplies data only for a write-privilege request (Table 1 note 1); a
+keeps a per-block source bit (Feature 2: ``RWD`` -- the
+``mem-source-on``/``mem-source-off`` actions).  A dirty source supplies
+data only for a write-privilege request (Table 1 note 1); a
 *read*-privilege request to a dirty-elsewhere block forces the holder to
 flush, after which memory services the request -- the expensive path the
 paper contrasts with Goodman's.  No flush on cache-to-cache transfer
@@ -15,11 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.bus.signals import SnoopReply
-from repro.bus.transaction import BusOp, BusTransaction
 from repro.cache.state import CacheState
-from repro.common.types import Stamp, WordAddr
-from repro.protocols.base import CoherenceProtocol, TxnResult
 from repro.protocols.features import (
     DirectoryDuality,
     FlushPolicy,
@@ -27,9 +24,9 @@ from repro.protocols.features import (
     ReadSourcePolicy,
     SharingDetermination,
 )
+from repro.protocols.table import Event, TableProtocol, TransitionTable, rule
 
 if TYPE_CHECKING:
-    from repro.cache.cache import PendingAccess
     from repro.cache.line import CacheLine
 
 _FEATURES = ProtocolFeatures(
@@ -54,55 +51,65 @@ _FEATURES = ProtocolFeatures(
     ),
 )
 
+_I = CacheState.INVALID
+_R = CacheState.READ
+_WD = CacheState.WRITE_DIRTY
 
-class SynapseProtocol(CoherenceProtocol):
+_TABLE = TransitionTable(
+    "synapse",
+    [
+        # processor reads
+        rule(_WD, Event.PR_READ, _WD, ["hit"]),
+        rule(_R, Event.PR_READ, _R, ["hit"]),
+        rule(_I, Event.PR_READ, _I, ["bus:read"]),
+        # processor writes: no clean write state to upgrade into
+        rule(_WD, Event.PR_WRITE, _WD, ["hit"]),
+        rule(_R, Event.PR_WRITE, _R, ["bus:upgrade"]),
+        rule(_I, Event.PR_WRITE, _I, ["bus:read-excl"]),
+        # block writes
+        rule(_WD, Event.PR_WRITE_BLOCK, _WD, ["hit"]),
+        rule(_R, Event.PR_WRITE_BLOCK, _R, ["bus:read-excl"]),
+        rule(_I, Event.PR_WRITE_BLOCK, _I, ["bus:read-excl"]),
+        # atomic RMW (Feature 6): documentation rows for the cache-hold
+        # machinery's bus operations.
+        rule(_WD, Event.PR_RMW, _WD, ["hit"]),
+        rule(_R, Event.PR_RMW, _R, ["bus:upgrade"]),
+        rule(_I, Event.PR_RMW, _I, ["bus:read-excl"]),
+        # fills: any exclusive fetch lands dirty, and this cache is now
+        # the source -- clear memory's source bit.
+        rule(_I, Event.FILL_READ, _R),
+        rule(_I, Event.FILL_EXCL, _WD, ["mem-source-off"]),
+        # upgrade completion: dirty ownership taken from memory
+        rule(_R, Event.DONE_UPGRADE, _WD, ["mem-source-off"]),
+        rule(_I, Event.DONE_UPGRADE, _I, ["rebus:read-excl"]),
+        # snooping a foreign read: note 1 -- do not supply for a
+        # read-privilege request; flush so memory can service it
+        # (charged as flush + memory fetch), memory becomes the source.
+        rule(_WD, Event.SN_READ, _R, ["flush", "mem-source-on"]),
+        rule(_R, Event.SN_READ, _R),
+        # snooping a foreign exclusive fetch: dirty status travels
+        rule(_WD, Event.SN_EXCL, _I, ["supply"]),
+        rule(_R, Event.SN_EXCL, _I),
+        # snooping a foreign upgrade
+        rule(_WD, Event.SN_UPGRADE, _I),
+        rule(_R, Event.SN_UPGRADE, _I),
+    ],
+)
+
+
+class SynapseProtocol(TableProtocol):
     """Synapse N+1 style protocol."""
 
     name = "synapse"
+    table = _TABLE
 
     @classmethod
     def features(cls) -> ProtocolFeatures:
         return _FEATURES
 
-    # -- requester side -------------------------------------------------------
-
-    def fill_state(self, txn: BusTransaction, response) -> CacheState:
-        if txn.op is BusOp.READ_BLOCK:
-            return CacheState.READ
-        # No clean write state: any exclusive fetch lands dirty.
-        return CacheState.WRITE_DIRTY
-
-    def upgrade_state(self, txn: BusTransaction, response) -> CacheState:
-        return CacheState.WRITE_DIRTY
-
-    def after_txn(self, pending: "PendingAccess", txn: BusTransaction,
-                  response, data) -> TxnResult:
-        result = super().after_txn(pending, txn, response, data)
-        self._maintain_memory_source_bit(txn)
-        return result
-
-    def _maintain_memory_source_bit(self, txn: BusTransaction) -> None:
-        memory = self.cache.memory
-        if memory is None:
-            return
-        line = self.cache.line_for(txn.block)
-        if line is not None and line.state is CacheState.WRITE_DIRTY:
-            memory.set_memory_source(txn.block, False)
-
-    # -- snooper side -----------------------------------------------------------
-
-    def snoop_read(self, line: "CacheLine", txn: BusTransaction) -> SnoopReply:
-        if line.state is CacheState.WRITE_DIRTY:
-            # Note 1: do not supply for a read-privilege request.  Flush so
-            # memory can service it (charged as flush + memory fetch).
-            reply = SnoopReply(hit=True, flush_words=line.snapshot())
-            line.state = CacheState.READ
-            if self.cache.memory is not None:
-                self.cache.memory.set_memory_source(line.block, True)
-            return reply
-        return SnoopReply(hit=True)
-
     def purge_needs_flush(self, line: "CacheLine") -> bool:
+        # Procedural remnant: purging the dirty source hands source
+        # status back to memory along with the flushed block.
         needs = line.state is CacheState.WRITE_DIRTY
         if needs and self.cache.memory is not None:
             self.cache.memory.set_memory_source(line.block, True)

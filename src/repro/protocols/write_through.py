@@ -7,25 +7,23 @@ guarantee that conflicting single reads and writes are serialized: the
 writer's own copy (and the written value) is visible locally before the
 invalidation is serialized on the bus, so another processor can read a
 stale copy in the window.  The simulator reproduces that window: the
-local write applies (and the oracle records it) at issue time, while
-other caches are invalidated only at bus grant -- runs under this
-protocol therefore use ``strict_verify=False`` and *count* stale reads.
+local write applies (and the oracle records it) at issue time
+(``apply-local-write``), while other caches are invalidated only at bus
+grant -- runs under this protocol therefore use ``strict_verify=False``
+and *count* stale reads.
+
+The buffered write-through also reproduces the write-write conflict:
+memory takes the write in bus order, so a write whose copy was
+invalidated while queued can regress memory past a newer write; the
+oracle counts it as a lost update instead of re-ordering (the
+``done-write-word`` row at INVALID serializes the write there rather
+than refetching).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
-
-from repro.bus.transaction import BusOp, BusTransaction
+from repro.bus.transaction import BusOp
 from repro.cache.state import CacheState
-from repro.common.types import Stamp, WordAddr
-from repro.protocols.base import (
-    Action,
-    CoherenceProtocol,
-    NeedBus,
-    Outcome,
-    TxnResult,
-)
 from repro.protocols.features import (
     DirectoryDuality,
     FlushPolicy,
@@ -33,10 +31,7 @@ from repro.protocols.features import (
     ReadSourcePolicy,
     SharingDetermination,
 )
-
-if TYPE_CHECKING:
-    from repro.cache.cache import PendingAccess
-    from repro.cache.line import CacheLine
+from repro.protocols.table import Event, TableProtocol, TransitionTable, rule
 
 _FEATURES = ProtocolFeatures(
     name="Classic write-through",
@@ -56,62 +51,53 @@ _FEATURES = ProtocolFeatures(
     },
 )
 
+_I = CacheState.INVALID
+_R = CacheState.READ
 
-class ClassicWriteThroughProtocol(CoherenceProtocol):
+_TABLE = TransitionTable(
+    "write-through",
+    [
+        # processor reads
+        rule(_R, Event.PR_READ, _R, ["hit"]),
+        rule(_I, Event.PR_READ, _I, ["bus:read"]),
+        # processor writes: apply locally at issue (the non-serialization
+        # window), then write through on the bus.
+        rule(_R, Event.PR_WRITE, _R, ["apply-local-write", "bus:write-word"]),
+        rule(_I, Event.PR_WRITE, _I, ["bus:write-word"]),
+        # no block-write operation in the classic scheme
+        rule(_R, Event.PR_WRITE_BLOCK, _R, ["error:no-block-write"]),
+        rule(_I, Event.PR_WRITE_BLOCK, _I, ["error:no-block-write"]),
+        # fills
+        rule(_I, Event.FILL_READ, _R),
+        # write-through completion: memory takes the write in bus order;
+        # if the local copy was invalidated while queued, the write still
+        # serializes here (write miss -- no allocation on write).
+        rule(_R, Event.DONE_WRITE_WORD, _R, ["write-memory"]),
+        rule(_I, Event.DONE_WRITE_WORD, _I,
+             ["write-memory", "oracle-write"]),
+        # snooping: reads never disturb a copy; a foreign write's address
+        # broadcast invalidates it.
+        rule(_R, Event.SN_READ, _R),
+        rule(_R, Event.SN_WRITE_WORD, _I),
+    ],
+    # The engine lowers RMW to memory-hold for this protocol, which puts
+    # MEMORY_RMW on the bus (snooped as a word write).
+    machinery_ops=[BusOp.MEMORY_RMW],
+    errors={
+        "no-block-write": (
+            "the classic write-through scheme has no block-write operation; "
+            "lower SAVE_BLOCK to per-word writes for this protocol"
+        ),
+    },
+)
+
+
+class ClassicWriteThroughProtocol(TableProtocol):
     """Dual-directory write-through with invalidation broadcast."""
 
     name = "write-through"
+    table = _TABLE
 
     @classmethod
     def features(cls) -> ProtocolFeatures:
         return _FEATURES
-
-    # -- processor side ---------------------------------------------------
-
-    def processor_write(
-        self, line: "CacheLine | None", addr: WordAddr, stamp: Stamp
-    ) -> Action:
-        if line is not None and line.state.readable:
-            # The write is visible locally (and to the oracle) before the
-            # bus serializes the invalidation: the non-serialization window.
-            line.write_word(self.cache.offset(addr), stamp)
-            if self.cache.oracle is not None:
-                self.cache.oracle.record_write(addr, stamp)
-        need = NeedBus(op=BusOp.WRITE_WORD, word=addr, stamp=stamp)
-        return need
-
-    # -- requester side ------------------------------------------------------
-
-    def after_txn(self, pending: "PendingAccess", txn: BusTransaction,
-                  response, data) -> TxnResult:
-        if txn.op is BusOp.WRITE_WORD:
-            assert txn.word is not None and txn.stamp is not None
-            # Memory takes the write in bus order -- a buffered write whose
-            # copy was invalidated can regress memory past a newer write
-            # (the write-write conflict Censier & Feautrier describe); the
-            # oracle counts it as a lost update instead of re-ordering.
-            if self.cache.memory is not None:
-                self.cache.memory.write_word(
-                    txn.block, self.cache.offset(txn.word), txn.stamp
-                )
-            line = self.cache.line_for(txn.block)
-            if line is None and self.cache.oracle is not None:
-                # Write miss (no allocation on write): serializes here.
-                self.cache.oracle.record_write(txn.word, txn.stamp)
-            pending.write_applied = True
-            return TxnResult(Outcome.DONE)
-        return super().after_txn(pending, txn, response, data)
-
-    def read_fill_state(self, txn: BusTransaction, response) -> CacheState:
-        return CacheState.READ
-
-    def processor_write_block(self, line, addr: WordAddr):
-        from repro.common.errors import ProgramError
-
-        raise ProgramError(
-            "the classic write-through scheme has no block-write operation; "
-            "lower SAVE_BLOCK to per-word writes for this protocol"
-        )
-
-    def purge_needs_flush(self, line: "CacheLine") -> bool:
-        return False  # memory is always current

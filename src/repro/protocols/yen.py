@@ -3,19 +3,16 @@
 The states are Goodman's, but with an explicit bus invalidate signal
 (Feature 4) and *static* determination of unshared data: the compiler
 emits a read-for-write-privilege instruction for reads of unshared data,
-which takes effect on a miss (Feature 5 ``S``).  The clean write state is
-non-source -- memory remains the source of a clean block (Table 1).
-Dirty blocks are flushed on transfer (Feature 7 ``F``).
+which takes effect on a miss (Feature 5 ``S`` -- the ``hint`` guard on
+the ``pr-read`` miss row).  The clean write state is non-source -- memory
+remains the source of a clean block (Table 1).  Dirty blocks are flushed
+on transfer (Feature 7 ``F``).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
-
-from repro.bus.transaction import BusOp, BusTransaction
+from repro.bus.transaction import BusOp
 from repro.cache.state import CacheState
-from repro.common.types import WordAddr
-from repro.protocols.base import Action, CoherenceProtocol, Done, NeedBus
 from repro.protocols.features import (
     DirectoryDuality,
     FlushPolicy,
@@ -23,9 +20,7 @@ from repro.protocols.features import (
     ReadSourcePolicy,
     SharingDetermination,
 )
-
-if TYPE_CHECKING:
-    from repro.cache.line import CacheLine
+from repro.protocols.table import Event, TableProtocol, TransitionTable, rule
 
 _FEATURES = ProtocolFeatures(
     name="Yen, Yen & Fu",
@@ -46,26 +41,67 @@ _FEATURES = ProtocolFeatures(
     },
 )
 
+_I = CacheState.INVALID
+_R = CacheState.READ
+_WC = CacheState.WRITE_CLEAN
+_WD = CacheState.WRITE_DIRTY
 
-class YenProtocol(CoherenceProtocol):
+_TABLE = TransitionTable(
+    "yen",
+    [
+        # processor reads: the compiler's private hint fetches unshared
+        # data with write privilege (takes effect only on a miss).
+        rule(_WD, Event.PR_READ, _WD, ["hit"]),
+        rule(_WC, Event.PR_READ, _WC, ["hit"]),
+        rule(_R, Event.PR_READ, _R, ["hit"]),
+        rule(_I, Event.PR_READ, _I, ["bus:read-excl"], when=["hint"]),
+        rule(_I, Event.PR_READ, _I, ["bus:read"], when=["no-hint"]),
+        # processor writes: one-cycle invalidation upgrade
+        rule(_WD, Event.PR_WRITE, _WD, ["hit"]),
+        rule(_WC, Event.PR_WRITE, _WD, ["hit"]),
+        rule(_R, Event.PR_WRITE, _R, ["bus:upgrade"]),
+        rule(_I, Event.PR_WRITE, _I, ["bus:read-excl"]),
+        # block writes
+        rule(_WD, Event.PR_WRITE_BLOCK, _WD, ["hit"]),
+        rule(_WC, Event.PR_WRITE_BLOCK, _WD, ["hit"]),
+        rule(_R, Event.PR_WRITE_BLOCK, _R, ["bus:read-excl"]),
+        rule(_I, Event.PR_WRITE_BLOCK, _I, ["bus:read-excl"]),
+        # fills
+        rule(_I, Event.FILL_READ, _R),
+        rule(_I, Event.FILL_EXCL, _WD, when=["dirty-supplier"]),
+        rule(_I, Event.FILL_EXCL, _WC, when=["clean-supplier"]),
+        # upgrade completion
+        rule(_R, Event.DONE_UPGRADE, _WC),
+        rule(_I, Event.DONE_UPGRADE, _I, ["rebus:read-excl"]),
+        # snooping a foreign read: only the dirty state is a source
+        rule(_WD, Event.SN_READ, _R, ["supply", "flush"]),
+        rule(_WC, Event.SN_READ, _R),
+        rule(_R, Event.SN_READ, _R),
+        # snooping a foreign exclusive fetch
+        rule(_WD, Event.SN_EXCL, _I, ["supply", "flush-clean"]),
+        rule(_WC, Event.SN_EXCL, _I),
+        rule(_R, Event.SN_EXCL, _I),
+        # snooping a foreign upgrade
+        rule(_WD, Event.SN_UPGRADE, _I),
+        rule(_WC, Event.SN_UPGRADE, _I),
+        rule(_R, Event.SN_UPGRADE, _I),
+        # snooping a foreign word write
+        rule(_WD, Event.SN_WRITE_WORD, _I, ["flush"]),
+        rule(_WC, Event.SN_WRITE_WORD, _I),
+        rule(_R, Event.SN_WRITE_WORD, _I),
+    ],
+    # The test-and-set / cache-hold lowering issues UPGRADE / READ_EXCL
+    # through the shared miss machinery.
+    machinery_ops=[BusOp.UPGRADE, BusOp.READ_EXCL],
+)
+
+
+class YenProtocol(TableProtocol):
     """Goodman states + invalidate signal + static fetch-for-write."""
 
     name = "yen"
+    table = _TABLE
 
     @classmethod
     def features(cls) -> ProtocolFeatures:
         return _FEATURES
-
-    def processor_read(
-        self, line: "CacheLine | None", addr: WordAddr, private_hint: bool = False
-    ) -> Action:
-        if line is not None and line.state.readable:
-            return Done(value=line.read_word(self.cache.offset(addr)))
-        if private_hint:
-            # The compiler declared this data unshared: fetch for write
-            # privilege (affects the access only on a miss).
-            return NeedBus(op=BusOp.READ_EXCL)
-        return NeedBus(op=BusOp.READ_BLOCK)
-
-    def read_fill_state(self, txn: BusTransaction, response) -> CacheState:
-        return CacheState.READ

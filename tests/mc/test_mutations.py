@@ -1,13 +1,16 @@
 """Mutation testing: every seeded protocol bug must be caught.
 
-This is the evidence the checker has teeth: each mutation re-introduces
-a classic coherence/synchronization bug, and exploration must find a
-counterexample that shrinks to a short, replayable schedule.
+This is the evidence the tooling has teeth: each mutation re-introduces
+a classic coherence/synchronization bug.  Table-row mutations must be
+flagged by the static protocol linter, and *every* mutation must also
+yield a model-checker counterexample that shrinks to a short,
+replayable schedule.
 """
 
 import pytest
 
 import repro.mc as mc
+from repro.lint import lint_table
 
 #: Acceptance bound on shrunk counterexample length (scheduler steps).
 MAX_SHRUNK_STEPS = 40
@@ -23,6 +26,21 @@ def test_mutation_is_caught_and_shrinks(name):
     assert ce.failure.kind in {"CoherenceViolation", "SerializationViolation",
                                "DeadlockError", "ProtocolError",
                                "ProgramError", "ExpectationError"}
+
+
+@pytest.mark.parametrize(
+    "name",
+    sorted(n for n, m in mc.MUTATIONS.items() if m.table_builder is not None),
+)
+def test_table_mutation_is_flagged_by_lint(name):
+    """Every table-row mutation trips exactly the lint check it names."""
+    mutation = mc.get_mutation(name)
+    findings = lint_table(mutation.table_builder())
+    assert findings, f"linter missed seeded table bug {name}"
+    assert mutation.lint_check in {f.check for f in findings}, (
+        f"{name}: expected a {mutation.lint_check} finding, got "
+        f"{sorted({f.check for f in findings})}"
+    )
 
 
 @pytest.mark.parametrize("name", sorted(mc.MUTATIONS))
@@ -46,6 +64,13 @@ def test_registry_covers_distinct_bugs():
     """Acceptance: at least four distinct seeded bugs, each naming the
     check expected to catch it."""
     assert len(mc.MUTATIONS) >= 4
+    table_mutations = [m for m in mc.MUTATIONS.values()
+                       if m.table_builder is not None]
+    assert len(table_mutations) >= 5, "need >= 5 seeded table-row bugs"
     for mutation in mc.MUTATIONS.values():
         assert mutation.caught_by
         assert mutation.scenario in mc.SCENARIOS
+    for mutation in table_mutations:
+        assert mutation.lint_check in ("completeness", "determinism",
+                                       "reachability", "write-serialization",
+                                       "lock-state")

@@ -1,0 +1,240 @@
+"""Unit tests for the transition-table IR, its derived features, the
+static linter's clean pass, and the diagram emitters.
+
+The behavioral equivalence of the table port is covered by the golden
+regression (``test_table_golden.py``); this file covers the IR itself.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.diagram import render_diagram, to_dot, to_mermaid
+from repro.cache.state import CacheState
+from repro.common.errors import ProtocolError
+from repro.lint import lint_all, lint_table
+from repro.protocols import PROTOCOLS, get_protocol
+from repro.protocols.table import (
+    Event,
+    TableProtocol,
+    TransitionTable,
+    derive_atomic_rmw,
+    derive_bus_invalidate_signal,
+    derive_states,
+    rule,
+)
+
+_I = CacheState.INVALID
+_R = CacheState.READ
+_WD = CacheState.WRITE_DIRTY
+
+TABLE_PROTOCOLS = sorted(PROTOCOLS)
+
+
+def _toy_table() -> TransitionTable:
+    return TransitionTable(
+        "toy",
+        [
+            rule(_I, Event.PR_READ, _I, ["bus:read"]),
+            rule(_R, Event.PR_READ, _R, ["hit"]),
+            rule(_I, Event.FILL_READ, _R, when=["shared"]),
+            rule(_I, Event.FILL_READ, _WD, when=["unshared"]),
+            rule(_R, Event.SN_EXCL, _I),
+            rule(_WD, Event.SN_READ, _R, ["supply", "flush"]),
+        ],
+    )
+
+
+class TestAllProtocolsAreTables:
+    @pytest.mark.parametrize("name", TABLE_PROTOCOLS)
+    def test_table_driven(self, name):
+        cls = get_protocol(name)
+        assert issubclass(cls, TableProtocol)
+        assert cls.table.name == name
+        assert cls.table.rules
+
+
+class TestLookup:
+    def test_most_specific_guard_wins(self):
+        table = _toy_table()
+        assert table.lookup(_I, Event.FILL_READ,
+                            frozenset({"shared"})).next_state is _R
+        assert table.lookup(_I, Event.FILL_READ,
+                            frozenset({"unshared"})).next_state is _WD
+
+    def test_missing_transition_raises_protocol_error(self):
+        table = _toy_table()
+        with pytest.raises(ProtocolError, match="no transition"):
+            table.lookup(_WD, Event.SN_UPGRADE, frozenset())
+
+    def test_rule_describe_mentions_all_parts(self):
+        r = rule(_I, Event.FILL_READ, _R, ["supply"], when=["shared"])
+        text = r.describe()
+        for part in ("I", "fill-read", "R", "supply", "shared"):
+            assert part in text
+
+
+class TestMutationHelpers:
+    def test_without_removes_the_row(self):
+        table = _toy_table().without(_R, Event.SN_EXCL)
+        assert not table.rules_for(_R, Event.SN_EXCL)
+
+    def test_rewrite_changes_next_state(self):
+        table = _toy_table().rewrite(_R, Event.SN_EXCL, next_state=_R)
+        assert table.lookup(_R, Event.SN_EXCL, frozenset()).next_state is _R
+
+    def test_rewrite_drops_actions(self):
+        table = _toy_table().rewrite(_WD, Event.SN_READ,
+                                     drop_actions=["flush"])
+        assert table.lookup(_WD, Event.SN_READ,
+                            frozenset()).actions == ("supply",)
+
+    def test_rewrite_by_guard_atom(self):
+        table = _toy_table().rewrite(_I, Event.FILL_READ, when="shared",
+                                     next_state=_WD)
+        assert table.lookup(_I, Event.FILL_READ,
+                            frozenset({"shared"})).next_state is _WD
+        assert table.lookup(_I, Event.FILL_READ,
+                            frozenset({"unshared"})).next_state is _WD
+
+    def test_missing_target_raises(self):
+        with pytest.raises(ValueError):
+            _toy_table().without(_WD, Event.SN_UPGRADE)
+        with pytest.raises(ValueError):
+            _toy_table().rewrite(_R, Event.SN_EXCL, when="shared",
+                                 next_state=_R)
+
+    def test_original_is_unchanged(self):
+        original = _toy_table()
+        original.without(_R, Event.SN_EXCL)
+        assert original.rules_for(_R, Event.SN_EXCL)
+
+
+class TestReachability:
+    def test_toy_reaches_everything(self):
+        assert _toy_table().reachable_states() == {_I, _R, _WD}
+
+    @pytest.mark.parametrize("name", TABLE_PROTOCOLS)
+    def test_every_mentioned_state_is_reachable(self, name):
+        table = get_protocol(name).table
+        assert table.states_mentioned() == table.reachable_states()
+
+
+class TestDerivedFeatures:
+    """Satellite: features inferable from the table must agree with the
+    hand-declared Table-1 descriptors."""
+
+    @pytest.mark.parametrize("name", TABLE_PROTOCOLS)
+    def test_states_match_declared(self, name):
+        cls = get_protocol(name)
+        assert derive_states(cls.table) == cls.states(), (
+            f"{name}: table states disagree with features().state_roles"
+        )
+
+    @pytest.mark.parametrize("name", TABLE_PROTOCOLS)
+    def test_bus_invalidate_signal_matches_declared(self, name):
+        cls = get_protocol(name)
+        assert (derive_bus_invalidate_signal(cls.table)
+                is cls.features().bus_invalidate_signal), (
+            f"{name}: Feature 4 derived from the table disagrees with "
+            f"the declared descriptor"
+        )
+
+    @pytest.mark.parametrize("name", TABLE_PROTOCOLS)
+    def test_atomic_rmw_matches_declared(self, name):
+        cls = get_protocol(name)
+        assert derive_atomic_rmw(cls.table) is cls.features().atomic_rmw, (
+            f"{name}: Feature 6 derived from the table disagrees with "
+            f"the declared descriptor"
+        )
+
+
+class TestLintCleanPass:
+    def test_all_shipped_tables_lint_clean(self):
+        findings = lint_all()
+        dirty = {name: [str(f) for f in fs]
+                 for name, fs in findings.items() if fs}
+        assert not dirty
+
+    def test_linter_objects_to_a_gutted_table(self):
+        gutted = TransitionTable("gutted", [
+            rule(_I, Event.PR_READ, _I, ["bus:read"]),
+        ])
+        assert lint_table(gutted)
+
+
+class TestLintReport:
+    def test_api_lint_is_stamped_and_ok(self):
+        from repro import api
+        from repro.common import schema
+
+        report = api.lint()
+        assert report["kind"] == "lint-report"
+        assert report["ok"] is True
+        assert sorted(report["protocols"]) == sorted(PROTOCOLS)
+        schema.check(report, where="api.lint()")
+
+    def test_lint_gate_script_and_validator(self, tmp_path):
+        """scripts/lint_protocols.py passes and emits a report that
+        scripts/validate_trace.py accepts."""
+        repo = Path(__file__).resolve().parents[2]
+        env = {**os.environ,
+               "PYTHONPATH": str(repo / "src")}
+        out = tmp_path / "lint-report.json"
+        gate = subprocess.run(
+            [sys.executable, str(repo / "scripts" / "lint_protocols.py"),
+             "--out", str(out)],
+            capture_output=True, text=True, env=env)
+        assert gate.returncode == 0, gate.stdout + gate.stderr
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["ok"] is True
+        validate = subprocess.run(
+            [sys.executable, str(repo / "scripts" / "validate_trace.py"),
+             str(out)],
+            capture_output=True, text=True, env=env)
+        assert validate.returncode == 0, validate.stdout + validate.stderr
+
+    def test_validator_rejects_incoherent_report(self, tmp_path):
+        from repro import api
+
+        repo = Path(__file__).resolve().parents[2]
+        report = api.lint(["illinois"])
+        report["ok"] = False  # disagrees with the clean entries
+        bad = tmp_path / "bad-report.json"
+        bad.write_text(json.dumps(report), encoding="utf-8")
+        env = {**os.environ, "PYTHONPATH": str(repo / "src")}
+        validate = subprocess.run(
+            [sys.executable, str(repo / "scripts" / "validate_trace.py"),
+             str(bad)],
+            capture_output=True, text=True, env=env)
+        assert validate.returncode == 1
+        assert "disagrees" in validate.stderr
+
+
+class TestDiagrams:
+    @pytest.mark.parametrize("name", TABLE_PROTOCOLS)
+    def test_dot_mentions_every_state(self, name):
+        table = get_protocol(name).table
+        dot = to_dot(table)
+        assert dot.startswith(f'digraph "{name}"')
+        assert dot.count("{") == dot.count("}")
+        for state in table.states_mentioned():
+            assert f"{state.value} [label=" in dot
+
+    @pytest.mark.parametrize("name", TABLE_PROTOCOLS)
+    def test_mermaid_has_no_stray_colons(self, name):
+        mermaid = to_mermaid(get_protocol(name).table)
+        assert mermaid.startswith("stateDiagram-v2")
+        for line in mermaid.splitlines()[1:]:
+            assert line.count(":") <= 1, line
+
+    def test_render_diagram_dispatch(self):
+        table = get_protocol("illinois").table
+        assert render_diagram(table, "dot") == to_dot(table)
+        assert render_diagram(table, "mermaid") == to_mermaid(table)
+        with pytest.raises(ValueError):
+            render_diagram(table, "svg")
