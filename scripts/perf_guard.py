@@ -1,12 +1,26 @@
 #!/usr/bin/env python
 """Guard against engine performance regressions.
 
-Compares the fast-forward speedup just measured by ``pytest
-benchmarks/bench_engine.py`` (written to ``BENCH_engine.json``) against
-the recorded baseline (``benchmarks/BENCH_engine.baseline.json``) and
-fails if it fell below ``RATIO_FLOOR`` of the baseline.  Wall-clock
-numbers vary with the host, but the *ratio* of the two engines on the
-same host is stable -- that is what is guarded.
+Reads the measurements ``pytest benchmarks/bench_engine.py`` just wrote
+to ``BENCH_engine.json`` (schema v3) and enforces four machine-honest
+checks.  Absolute wall-clock varies with the host, so every guard is a
+*ratio* measured on the same host in the same run:
+
+1. **Fast-forward speedup** (``engine.speedup``, the event-skip engine
+   vs the cycle-stepped reference) must stay within ``RATIO_FLOOR`` of
+   the recorded baseline (``benchmarks/BENCH_engine.baseline.json``).
+2. **Compiled lookup** (``lookup.speedup``, dense-table dispatch vs the
+   interpreted IR scan over the same probes) must beat
+   ``LOOKUP_FLOOR`` outright -- both cores run back to back, so no
+   baseline is needed.
+3. **Compiled core end to end**: the compiled core's fast-forward
+   throughput must reach ``DISPATCH_FLOOR`` of the interpreted core's
+   (``engine.dispatch.*``) -- compiling must never cost wall clock.
+4. **Sweep scaling** (``sweep.scaling`` at ``sweep.jobs`` workers) must
+   beat ``SCALING_FLOOR`` -- but only when ``sweep.available_cpus``
+   says the machine can actually parallelize.  With fewer cpus the
+   check prints an explicit ``SKIPPED (N cpus)`` line: it neither
+   passes vacuously nor fails on hardware the code cannot control.
 
 Usage::
 
@@ -33,49 +47,33 @@ from repro.common.schema import SchemaError  # noqa: E402
 from repro.common.schema import check as check_schema  # noqa: E402
 from repro.common.schema import stamp  # noqa: E402
 
-#: Current speedup may drop to this fraction of the baseline before the
-#: guard fails.
+#: Current fast-forward speedup may drop to this fraction of the
+#: baseline before the guard fails.
 RATIO_FLOOR = 0.8
+#: Compiled table lookups must beat the interpreter by at least this
+#: factor (same-run, same-host ratio).
+LOOKUP_FLOOR = 1.2
+#: The compiled core's fast-forward throughput must reach this fraction
+#: of the interpreted core's.
+DISPATCH_FLOOR = 0.9
+#: Required sweep scaling at 4 jobs -- enforced only at >= 4 cpus.
+SCALING_FLOOR = 1.5
+#: Weaker scaling bar applied between 2 and 3 cpus.
+SCALING_FLOOR_2CPU = 1.0
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--update", action="store_true",
-                        help="record the current measurement as baseline")
-    args = parser.parse_args(argv)
+def _fail_missing(what: str) -> int:
+    print(f"perf_guard: {RESULT.name} has no {what}; run "
+          f"'pytest benchmarks/bench_engine.py' first", file=sys.stderr)
+    return 2
 
-    if not RESULT.exists():
-        print(f"perf_guard: no {RESULT.name}; run "
-              f"'pytest benchmarks/bench_engine.py' first", file=sys.stderr)
-        return 2
-    # Both files may carry keys beyond the guarded ratio (wall times, new
-    # bench metrics); tolerate their absence rather than KeyError so a
-    # half-populated result file yields a diagnosable exit.
-    result_data = json.loads(RESULT.read_text())
-    try:
-        check_schema(result_data, where=RESULT.name)
-    except SchemaError as exc:
-        print(f"perf_guard: {exc}; re-run "
-              f"'pytest benchmarks/bench_engine.py'", file=sys.stderr)
-        return 2
-    current = result_data.get("engine", {}).get("speedup")
+
+def _check_engine_baseline(engine: dict, update: bool) -> int:
+    current = engine.get("speedup")
     if current is None:
-        print(f"perf_guard: {RESULT.name} has no engine.speedup entry; run "
-              f"'pytest benchmarks/bench_engine.py' first", file=sys.stderr)
-        return 2
-    # Schema v2: a result produced under a degraded (keep-going) run
-    # carries per-point statuses.  Retried/timed-out points measured
-    # recovery machinery, not the engine -- refuse to guard on them.
-    statuses = result_data.get("point_status", [])
-    degraded = [p for p in statuses if p.get("status") != "ok"
-                or p.get("attempts", 1) > 1]
-    if degraded:
-        print(f"perf_guard: {RESULT.name} came from a degraded run "
-              f"({len(degraded)} of {len(statuses)} points retried or "
-              f"failed); re-measure on a clean run", file=sys.stderr)
-        return 2
+        return _fail_missing("engine.speedup entry")
 
-    if args.update or not BASELINE.exists():
+    if update or not BASELINE.exists():
         BASELINE.write_text(
             json.dumps(stamp({"speedup": current}), indent=2) + "\n")
         print(f"perf_guard: baseline recorded (speedup {current:.1f}x)")
@@ -94,10 +92,102 @@ def main(argv: list[str] | None = None) -> int:
               f"rerun with --update to record one", file=sys.stderr)
         return 2
     floor = RATIO_FLOOR * baseline
-    verdict = "OK" if current >= floor else "FAIL"
-    print(f"perf_guard: speedup {current:.1f}x vs baseline {baseline:.1f}x "
-          f"(floor {floor:.1f}x) -- {verdict}")
-    return 0 if current >= floor else 1
+    ok = current >= floor
+    print(f"perf_guard: fast-forward speedup {current:.1f}x vs baseline "
+          f"{baseline:.1f}x (floor {floor:.1f}x) -- "
+          f"{'OK' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def _check_lookup(data: dict) -> int:
+    lookup = data.get("lookup", {})
+    speedup = lookup.get("speedup")
+    if speedup is None:
+        return _fail_missing("lookup.speedup entry")
+    ok = speedup >= LOOKUP_FLOOR
+    print(f"perf_guard: compiled lookup {speedup:.1f}x vs interpreter "
+          f"(floor {LOOKUP_FLOOR:.1f}x) -- {'OK' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def _check_dispatch(engine: dict) -> int:
+    cores = engine.get("dispatch", {})
+    compiled = cores.get("compiled", {}).get("fast_forward_cycles_per_sec")
+    interpreted = cores.get("interpreted", {}).get(
+        "fast_forward_cycles_per_sec")
+    if compiled is None or interpreted is None:
+        return _fail_missing("engine.dispatch per-core timings")
+    ok = compiled >= DISPATCH_FLOOR * interpreted
+    print(f"perf_guard: compiled ff {compiled:,.0f} cyc/s vs interpreted "
+          f"{interpreted:,.0f} cyc/s (floor {DISPATCH_FLOOR:.0%}) -- "
+          f"{'OK' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def _check_scaling(data: dict) -> int:
+    sweep = data.get("sweep", {})
+    scaling = sweep.get("scaling")
+    cpus = sweep.get("available_cpus")
+    if scaling is None or cpus is None:
+        return _fail_missing("sweep.scaling / sweep.available_cpus entries")
+    if cpus >= 4:
+        floor = SCALING_FLOOR
+    elif cpus >= 2:
+        floor = SCALING_FLOOR_2CPU
+    else:
+        print(f"perf_guard: sweep scaling {scaling:.2f}x at "
+              f"{sweep.get('jobs')} jobs -- SKIPPED ({cpus} cpu"
+              f"{'s' if cpus != 1 else ''} available, need >= 2 to "
+              f"measure parallelism)")
+        return 0
+    ok = scaling >= floor
+    print(f"perf_guard: sweep scaling {scaling:.2f}x at "
+          f"{sweep.get('jobs')} jobs on {cpus} cpus "
+          f"(floor {floor:.1f}x) -- {'OK' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="record the current measurement as baseline")
+    args = parser.parse_args(argv)
+
+    if not RESULT.exists():
+        print(f"perf_guard: no {RESULT.name}; run "
+              f"'pytest benchmarks/bench_engine.py' first", file=sys.stderr)
+        return 2
+    result_data = json.loads(RESULT.read_text())
+    try:
+        check_schema(result_data, where=RESULT.name)
+    except SchemaError as exc:
+        print(f"perf_guard: {exc}; re-run "
+              f"'pytest benchmarks/bench_engine.py'", file=sys.stderr)
+        return 2
+    # A result produced under a degraded (keep-going) run carries
+    # per-point statuses.  Retried/timed-out points measured recovery
+    # machinery, not the engine -- refuse to guard on them.
+    statuses = result_data.get("point_status", [])
+    degraded = [p for p in statuses if p.get("status") != "ok"
+                or p.get("attempts", 1) > 1]
+    if degraded:
+        print(f"perf_guard: {RESULT.name} came from a degraded run "
+              f"({len(degraded)} of {len(statuses)} points retried or "
+              f"failed); re-measure on a clean run", file=sys.stderr)
+        return 2
+
+    engine = result_data.get("engine", {})
+    codes = [
+        _check_engine_baseline(engine, args.update),
+        _check_lookup(result_data),
+        _check_dispatch(engine),
+        _check_scaling(result_data),
+    ]
+    # A hard failure (1) outranks a missing-data complaint (2): both fail
+    # CI, but "regressed" is the more actionable verdict.
+    if 1 in codes:
+        return 1
+    return max(codes)
 
 
 if __name__ == "__main__":

@@ -17,6 +17,11 @@ Three artifact shapes are understood:
   --json``) are checked for a coherent verdict: the top-level ``ok``
   must agree with the per-protocol entries, every finding must name a
   known check, and finding-free protocols must be marked ok.
+* Engine benchmark results (``BENCH_engine.json``, schema v3, detected
+  by an ``engine`` section) are checked for the keys
+  ``scripts/perf_guard.py`` guards: per-core ``engine.dispatch``
+  timings for both dispatch cores, the ``lookup`` microbenchmark
+  ratio, and an honest integer ``sweep.available_cpus``.
 
 Usage::
 
@@ -107,6 +112,67 @@ def validate_lint_report(payload: dict) -> list[str]:
     return errors
 
 
+#: Timing keys every ``engine.dispatch`` core entry must carry.
+_CORE_TIMING_KEYS = (
+    "cycles", "stepped_seconds", "stepped_cycles_per_sec",
+    "fast_forward_seconds", "fast_forward_cycles_per_sec", "speedup",
+)
+
+
+def validate_bench_engine(payload: dict) -> list[str]:
+    """Schema-v3 shape checks for a ``BENCH_engine.json`` payload."""
+    errors: list[str] = []
+
+    engine = payload.get("engine")
+    if not isinstance(engine, dict):
+        errors.append("missing engine section")
+    else:
+        cores = engine.get("dispatch")
+        if not isinstance(cores, dict):
+            errors.append("engine.dispatch: missing per-core timings")
+        else:
+            for core in ("compiled", "interpreted"):
+                entry = cores.get(core)
+                if not isinstance(entry, dict):
+                    errors.append(f"engine.dispatch.{core}: missing")
+                    continue
+                for key in _CORE_TIMING_KEYS:
+                    value = entry.get(key)
+                    if not isinstance(value, (int, float)) or value <= 0:
+                        errors.append(f"engine.dispatch.{core}.{key}: "
+                                      f"bad value {value!r}")
+        for key in ("speedup", "fast_forward_cycles_per_sec"):
+            if not isinstance(engine.get(key), (int, float)):
+                errors.append(f"engine.{key}: bad value {engine.get(key)!r}")
+
+    lookup = payload.get("lookup")
+    if not isinstance(lookup, dict):
+        errors.append("missing lookup section")
+    else:
+        for key in ("speedup", "probes", "lookups",
+                    "interpreted_seconds", "compiled_seconds"):
+            value = lookup.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                errors.append(f"lookup.{key}: bad value {value!r}")
+
+    sweep = payload.get("sweep")
+    if not isinstance(sweep, dict):
+        errors.append("missing sweep section")
+    else:
+        cpus = sweep.get("available_cpus")
+        if not isinstance(cpus, int) or isinstance(cpus, bool) or cpus < 1:
+            errors.append(f"sweep.available_cpus: bad value {cpus!r}")
+        for key in ("scaling", "serial_seconds", "parallel_seconds"):
+            value = sweep.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                errors.append(f"sweep.{key}: bad value {value!r}")
+        for key in ("points", "jobs"):
+            value = sweep.get(key)
+            if not isinstance(value, int) or value < 1:
+                errors.append(f"sweep.{key}: bad value {value!r}")
+    return errors
+
+
 def _describe(payload: dict) -> str:
     if "traceEvents" in payload:
         return f"{len(payload['traceEvents'])} trace events"
@@ -114,6 +180,11 @@ def _describe(payload: dict) -> str:
         protocols = payload.get("protocols", {})
         clean = sum(1 for entry in protocols.values() if entry.get("ok"))
         return f"lint report, {clean}/{len(protocols)} protocols clean"
+    if "engine" in payload and "kind" not in payload:
+        engine = payload.get("engine", {})
+        lookup = payload.get("lookup", {})
+        return (f"engine bench, ff {engine.get('speedup', 0):.1f}x, "
+                f"lookup {lookup.get('speedup', 0):.1f}x")
     statuses = [p.get("status") for p in payload.get("point_status", [])]
     ok = sum(1 for s in statuses if s == "ok")
     return f"sweep result, {ok}/{len(statuses)} points ok"
@@ -137,6 +208,9 @@ def main(argv: list[str] | None = None) -> int:
             errors = validate_sweep_result(payload)
         elif isinstance(payload, dict) and payload.get("kind") == "lint-report":
             errors = validate_lint_report(payload)
+        elif (isinstance(payload, dict) and "engine" in payload
+              and "kind" not in payload):
+            errors = validate_bench_engine(payload)
         else:
             errors = validate_chrome_trace(payload)
         try:

@@ -152,6 +152,42 @@ class _WorkerFailure:
     message: str
 
 
+#: The point callable, installed once per worker by :func:`_init_worker`
+#: so it is pickled once per process instead of once per submitted point.
+_WORKER_RUN: Callable | None = None
+
+
+def _init_worker(run: Callable, warmup: Callable | None) -> None:
+    """Process-pool initializer: install the point callable and run the
+    optional warmup (config/protocol construction, heavy imports) so the
+    first point of every worker pays no cold-start cost."""
+    global _WORKER_RUN
+    _WORKER_RUN = run
+    if warmup is not None:
+        try:
+            warmup()
+        except Exception:  # noqa: BLE001 - warmup is best-effort
+            pass
+
+
+def _pool_point(x: object, index: int, attempt: int,
+                faults: FaultPlan | None):
+    """Worker-side wrapper over the initializer-installed callable."""
+    assert _WORKER_RUN is not None
+    return _execute_point(_WORKER_RUN, x, index, attempt, faults)
+
+
+def _pool_chunk(items: "list[tuple[int, object, int]]"):
+    """Run several ``(index, x, attempt)`` points in one worker call.
+
+    Used only by the fault-free, timeout-free fast path, where per-point
+    preemption and attribution are unnecessary -- one submission per
+    chunk removes most of the executor's IPC and future overhead."""
+    assert _WORKER_RUN is not None
+    return [_execute_point(_WORKER_RUN, x, index, attempt, None)
+            for index, x, attempt in items]
+
+
 def _execute_point(run: Callable, x: object, index: int, attempt: int,
                    faults: FaultPlan | None, in_worker: bool = True):
     """Run one point (module-level so the pool can pickle it).
@@ -255,21 +291,28 @@ def execute_points(
     *,
     jobs: int = 1,
     policy: ExecutionPolicy | None = None,
+    warmup: Callable | None = None,
 ) -> ExecutionReport:
     """Execute every point of ``xs`` under ``policy``; the entry point
-    used by :meth:`repro.analysis.sweeps.Sweep.execute`."""
+    used by :meth:`repro.analysis.sweeps.Sweep.execute`.
+
+    ``warmup`` (picklable, no arguments) runs once in every worker
+    process before its first point -- the place for config/protocol
+    construction and heavy imports."""
     policy = policy or ExecutionPolicy()
-    executor = _Executor(run, xs, policy, jobs)
+    executor = _Executor(run, xs, policy, jobs, warmup=warmup)
     return executor.execute()
 
 
 class _Executor:
     def __init__(self, run: Callable, xs: Sequence,
-                 policy: ExecutionPolicy, jobs: int) -> None:
+                 policy: ExecutionPolicy, jobs: int,
+                 warmup: Callable | None = None) -> None:
         self.run = run
         self.xs = list(xs)
         self.policy = policy
         self.jobs = jobs
+        self.warmup = warmup
         self.registry = MetricRegistry()
         self._retries = self.registry.counter(
             "sweep_point_retries_total",
@@ -354,10 +397,117 @@ class _Executor:
     def execute(self) -> ExecutionReport:
         if self.jobs <= 1:
             return self._execute_serial()
+        if self.policy.timeout is None and self.policy.faults is None:
+            # Nothing needs per-point preemption or kill attribution:
+            # take the chunked fast path (one future per chunk of
+            # points, not one per point).
+            return self._execute_chunked()
         return self._execute_parallel()
 
     def _new_pool(self) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(max_workers=self.jobs)
+        return ProcessPoolExecutor(max_workers=self.jobs,
+                                   initializer=_init_worker,
+                                   initargs=(self.run, self.warmup))
+
+    # -- chunked fast path (no timeout, no faults) -------------------------
+
+    def _execute_chunked(self) -> ExecutionReport:
+        """One future per *chunk* of points instead of one per point.
+
+        Eligible only when the policy carries no per-point timeout and no
+        fault plan, so a chunk never needs to be preempted or its worker
+        death attributed to one point.  Chunks are dealt round-robin
+        (``tasks[i::n]``), balancing mixed point sizes across workers;
+        retries of failing points are resubmitted as single-point chunks.
+        A broken pool is rebuilt (bounded by ``max_pool_restarts``) with
+        every in-flight point requeued and charged one pool failure,
+        matching the per-point path's quarantine accounting."""
+        policy = self.policy
+        pool = self._new_pool()
+        restarts = 0
+        try:
+            tasks = [_Task(index=i, x=x) for i, x in enumerate(self.xs)]
+            nchunks = max(1, min(len(tasks), self.jobs * 2))
+            pending: dict = {}
+            for chunk in (tasks[i::nchunks] for i in range(nchunks)):
+                if not chunk:
+                    continue
+                future = pool.submit(
+                    _pool_chunk,
+                    [(t.index, t.x, t.attempt) for t in chunk])
+                pending[future] = chunk
+            while pending:
+                if self._abort is not None:
+                    break
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                retry_tasks: list[_Task] = []
+                broken = False
+                for future in done:
+                    chunk = pending.pop(future)
+                    try:
+                        results = future.result()
+                    except (BrokenProcessPool, RuntimeError):
+                        broken = True
+                        retry_tasks.extend(self._survive_chunk_break(chunk))
+                        continue
+                    except Exception as exc:  # noqa: BLE001
+                        for task in chunk:
+                            retry, _ = self._record_failure(
+                                task, _REASON_RAISE,
+                                f"point {task.index} (x={task.x!r}) "
+                                f"failed in the pool: {exc}")
+                            if retry:
+                                retry_tasks.append(task)
+                        continue
+                    for task, result in zip(chunk, results):
+                        retry, delay = self._handle_result(task, result)
+                        if retry:
+                            if delay > 0:
+                                time.sleep(delay)
+                            retry_tasks.append(task)
+                if broken:
+                    restarts += 1
+                    self._restarts.inc(cause="broken")
+                    for future, chunk in list(pending.items()):
+                        retry_tasks.extend(self._survive_chunk_break(chunk))
+                    pending.clear()
+                    self._kill_pool(pool)
+                    if restarts > policy.max_pool_restarts:
+                        for task in retry_tasks:
+                            task.last_error = (
+                                task.last_error or
+                                "worker pool kept breaking; sweep gave up")
+                            self._finalize(task, STATUS_FAILED)
+                        break
+                    pool = self._new_pool()
+                for task in retry_tasks:
+                    future = pool.submit(
+                        _pool_chunk, [(task.index, task.x, task.attempt)])
+                    pending[future] = [task]
+        finally:
+            self._kill_pool(pool)
+        if self._abort is not None:
+            raise self._abort
+        return ExecutionReport(outcomes=list(self.outcomes),
+                               payloads=list(self.payloads),
+                               registry=self.registry)
+
+    def _survive_chunk_break(self, chunk: "list[_Task]") -> "list[_Task]":
+        """Charge each point of a chunk caught in a pool death one pool
+        failure; returns the points still eligible for requeue."""
+        survivors = []
+        for task in chunk:
+            if self.outcomes[task.index] is not None:
+                continue  # already finalized before the break
+            task.pool_failures += 1
+            if task.pool_failures >= self.policy.max_attempts:
+                task.last_error = (
+                    f"point {task.index} (x={task.x!r}) was in flight for "
+                    f"{task.pool_failures} worker-pool deaths")
+                self._finalize(task, STATUS_QUARANTINED)
+                continue
+            survivors.append(task)
+        return survivors
 
     @staticmethod
     def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -434,7 +584,7 @@ class _Executor:
                     task = queue.popleft()
                     try:
                         future = pool.submit(
-                            _execute_point, self.run, task.x, task.index,
+                            _pool_point, task.x, task.index,
                             task.attempt, policy.faults)
                     except (BrokenProcessPool, RuntimeError):
                         queue.appendleft(task)

@@ -103,7 +103,8 @@ class Sweep:
     registry: object = field(default=None, init=False, repr=False)
 
     def execute(self, jobs: int = 1,
-                policy: ExecutionPolicy | None = None) -> dict[str, SweepSeries]:
+                policy: ExecutionPolicy | None = None,
+                warmup: Callable | None = None) -> dict[str, SweepSeries]:
         """Run every point (resiliently) and collect the metric series.
 
         ``policy`` configures retries, per-point timeouts, fault
@@ -111,10 +112,15 @@ class Sweep:
         default policy preserves the historical behaviour of failing the
         sweep on the first bad point -- except the failure is now a
         :class:`~repro.common.errors.SweepPointError` naming the point.
+
+        ``warmup`` (picklable, no arguments) runs once per worker
+        process before its first point -- use it to hoist config and
+        protocol construction out of the per-point path.
         """
         if not self.metrics:
             raise ValueError("no metrics to collect")
-        report = execute_points(self.run, self.xs, jobs=jobs, policy=policy)
+        report = execute_points(self.run, self.xs, jobs=jobs, policy=policy,
+                                warmup=warmup)
         return self._collect_report(report)
 
     def _collect_report(self, report: ExecutionReport) -> dict[str, SweepSeries]:
@@ -153,7 +159,8 @@ class Sweep:
 
 
 def run_sweep_parallel(sweep: Sweep, jobs: int,
-                       policy: ExecutionPolicy | None = None
+                       policy: ExecutionPolicy | None = None,
+                       warmup: Callable | None = None
                        ) -> dict[str, SweepSeries]:
     """Execute ``sweep`` with its points distributed over ``jobs`` worker
     processes (serial when ``jobs <= 1``).
@@ -162,7 +169,7 @@ def run_sweep_parallel(sweep: Sweep, jobs: int,
     deterministic, independent simulation, and the series preserve sweep
     order regardless of completion order.
     """
-    return sweep.execute(jobs=jobs, policy=policy)
+    return sweep.execute(jobs=jobs, policy=policy, warmup=warmup)
 
 
 @dataclass(frozen=True)

@@ -69,12 +69,16 @@ class RunResult:
     stats: SimStats
     #: Present when the run was observed (``sample_interval > 0``).
     obs: ObsResult | None = None
+    #: Which execution core drove the protocol: ``compiled`` (dense
+    #: dispatch tables) or ``interpreted`` (the transition-table IR).
+    dispatch: str = "compiled"
 
     def to_dict(self) -> dict:
         return stamp({
             "kind": "run-result",
             "protocol": self.protocol,
             "workload": self.workload,
+            "dispatch": self.dispatch,
             "config": self.config.to_dict(),
             "stats": self.stats.to_payload(),
             "obs": self.obs.to_dict() if self.obs is not None else None,
@@ -104,6 +108,8 @@ class SweepResult:
     point_status: list[dict] = field(default_factory=list)
     #: Plain-data retry/timeout/restart counters.
     resilience: dict = field(default_factory=dict)
+    #: Which execution core drove every point (compiled/interpreted).
+    dispatch: str = "compiled"
 
     @property
     def ok(self) -> bool:
@@ -114,6 +120,7 @@ class SweepResult:
             "kind": "sweep-result",
             "protocol": self.protocol,
             "workload": self.workload,
+            "dispatch": self.dispatch,
             "xs": list(self.xs),
             "series": {name: list(values)
                        for name, values in self.series.items()},
@@ -175,6 +182,18 @@ def _build_config(
     )
 
 
+def _resolve_dispatch(dispatch: "str | None") -> str:
+    """Resolve and validate a dispatch-mode choice (None = the
+    ``REPRO_DISPATCH``/compiled default)."""
+    from repro.protocols import DISPATCH_MODES, default_dispatch
+
+    mode = dispatch if dispatch is not None else default_dispatch()
+    if mode not in DISPATCH_MODES:
+        raise ValueError(f"unknown dispatch mode {mode!r}; "
+                         f"expected one of {', '.join(DISPATCH_MODES)}")
+    return mode
+
+
 # -- the verbs --------------------------------------------------------------
 
 
@@ -195,8 +214,14 @@ def simulate(
     fast_forward: bool = False,
     sample_interval: int = 0,
     max_wall_seconds: float | None = None,
+    dispatch: str | None = None,
 ) -> RunResult:
     """Run one workload on one protocol.
+
+    ``dispatch`` selects the protocol execution core -- ``"compiled"``
+    (dense dispatch tables) or ``"interpreted"`` (the transition-table
+    IR); the default follows ``REPRO_DISPATCH`` (else compiled).  Both
+    cores produce bit-identical statistics.
 
     Pass ``config`` and/or ``programs`` for full control; otherwise the
     convenience keywords assemble them with the CLI's defaulting rules
@@ -209,6 +234,7 @@ def simulate(
     """
     from repro.sim.engine import run_workload
 
+    dispatch = _resolve_dispatch(dispatch)
     if config is None:
         config = _build_config(
             protocol, processors=processors, buses=buses,
@@ -226,13 +252,15 @@ def simulate(
         obs = Observability(interval=sample_interval)
     stats = run_workload(config, programs, check_interval=check_interval,
                          fast_forward=fast_forward, obs=obs,
-                         max_wall_seconds=max_wall_seconds)
+                         max_wall_seconds=max_wall_seconds,
+                         dispatch=dispatch)
     return RunResult(
         protocol=protocol,
         workload=workload,
         config=config,
         stats=stats,
         obs=obs.result() if obs is not None else None,
+        dispatch=dispatch,
     )
 
 
@@ -246,7 +274,8 @@ _SWEEP_METRICS = {
 
 def _sweep_point(n, *, protocol: str, workload: str,
                  fast_forward: bool = False, sample_interval: int = 0,
-                 max_wall_seconds: float | None = None):
+                 max_wall_seconds: float | None = None,
+                 dispatch: str | None = None):
     """One sweep point; module-level so ``jobs > 1`` can pickle it (the
     workload is looked up by name inside the worker process).  With a
     ``sample_interval``, the point runs observed and returns an
@@ -260,14 +289,32 @@ def _sweep_point(n, *, protocol: str, workload: str,
     programs = build_workload(workload, config)
     if not sample_interval:
         return run_workload(config, programs, fast_forward=fast_forward,
-                            max_wall_seconds=max_wall_seconds)
+                            max_wall_seconds=max_wall_seconds,
+                            dispatch=dispatch)
     from repro.analysis.sweeps import ObservedPoint
     from repro.obs import Observability
 
     obs = Observability(interval=sample_interval)
     stats = run_workload(config, programs, fast_forward=fast_forward,
-                         obs=obs, max_wall_seconds=max_wall_seconds)
+                         obs=obs, max_wall_seconds=max_wall_seconds,
+                         dispatch=dispatch)
     return ObservedPoint(stats=stats, obs=obs.result())
+
+
+def _warm_sweep_worker(*, protocol: str, dispatch: str | None = None) -> None:
+    """Worker-process warmup: pay the heavy imports and compile the
+    protocol's dispatch table once per worker instead of once per point
+    (the compiled form is cached on the table object, which every point
+    in the process then reuses)."""
+    import repro.sim.engine  # noqa: F401 - heavy import, once per worker
+    from repro.protocols import get_protocol
+
+    cls = get_protocol(protocol, dispatch)
+    table = getattr(cls, "table", None)
+    if table is not None and cls.dispatch == "compiled":
+        from repro.protocols.compiled import compile_table
+
+        compile_table(table)
 
 
 def sweep(
@@ -283,6 +330,7 @@ def sweep(
     keep_going: bool = False,
     faults: "str | object | None" = None,
     fault_seed: int = 0,
+    dispatch: str | None = None,
 ) -> SweepResult:
     """Run ``workload`` at each processor count (optionally in parallel
     worker processes) and collect the scaling series.
@@ -304,10 +352,11 @@ def sweep(
 
     if isinstance(faults, str):
         faults = FaultPlan.parse(faults, seed=fault_seed)
+    dispatch = _resolve_dispatch(dispatch)
     run = functools.partial(
         _sweep_point, protocol=protocol, workload=workload,
         fast_forward=fast_forward, sample_interval=sample_interval,
-        max_wall_seconds=timeout,
+        max_wall_seconds=timeout, dispatch=dispatch,
     )
     policy = ExecutionPolicy(
         max_attempts=max_attempts,
@@ -317,7 +366,10 @@ def sweep(
         seed=fault_seed,
     )
     plan = Sweep(xs=list(processors), run=run, metrics=dict(_SWEEP_METRICS))
-    series = plan.execute(jobs=jobs, policy=policy)
+    series = plan.execute(jobs=jobs, policy=policy,
+                          warmup=functools.partial(
+                              _warm_sweep_worker, protocol=protocol,
+                              dispatch=dispatch))
     return SweepResult(
         protocol=protocol,
         workload=workload,
@@ -327,6 +379,7 @@ def sweep(
         observations=(list(plan.observations) if sample_interval else None),
         point_status=[outcome.to_dict() for outcome in plan.outcomes],
         resilience=dict(plan.resilience),
+        dispatch=dispatch,
     )
 
 

@@ -38,6 +38,8 @@ class BusPort(Protocol):
 
     def has_bus_request(self) -> bool: ...
 
+    def has_request_hint(self) -> bool: ...
+
     def bus_request_priority(self) -> bool: ...
 
     def take_bus_transaction(self) -> BusTransaction: ...
@@ -76,6 +78,8 @@ class Bus:
         #: Position in a multi-bus system (labels this bus's metrics).
         self.index = index
         self._ports: dict[CacheId, BusPort] = {}
+        #: Snapshot of the port list for allocation-free scans.
+        self._port_list: tuple[BusPort, ...] = ()
         self._arbiter: Arbiter | None = None
         self._busy_until = 0
         self._active_port: BusPort | None = None
@@ -88,6 +92,7 @@ class Bus:
         if port.id in self._ports:
             raise ValueError(f"port {port.id} already attached")
         self._ports[port.id] = port
+        self._port_list = tuple(self._ports.values())
         self._arbiter = Arbiter(list(self._ports))
 
     def port(self, cache_id: CacheId) -> BusPort:
@@ -117,8 +122,11 @@ class Bus:
             return self._busy_until
         if self._active_port is not None:
             return now
-        for port in self._ports.values():
-            if port.has_bus_request():
+        # The hint may be optimistic (a request revalidation would
+        # clear), which only costs a stepped cycle in which arbitration
+        # finds nothing -- exactly what the stepped engine would do.
+        for port in self._port_list:
+            if port.has_request_hint():
                 return now
         return NEVER
 
@@ -142,13 +150,31 @@ class Bus:
 
     def _arbitrate(self) -> CacheId | None:
         assert self._arbiter is not None
-        requests = {
-            cid: _PriorityProbe(port.bus_request_priority())
-            for cid, port in self._ports.items()
-            if port.has_bus_request()
-        }
-        if not requests:
+        # Hint-gated scan: a port without even a hinted request cannot
+        # have a grantable one, and revalidation (inside the real
+        # ``has_bus_request``) only ever runs when a request is posted --
+        # the same cycles it ran on before the gate.
+        first: BusPort | None = None
+        requests: dict[CacheId, _PriorityProbe] | None = None
+        for port in self._port_list:
+            if port.has_request_hint() and port.has_bus_request():
+                if first is None:
+                    first = port
+                elif requests is None:
+                    requests = {
+                        first.id: _PriorityProbe(first.bus_request_priority()),
+                        port.id: _PriorityProbe(port.bus_request_priority()),
+                    }
+                else:
+                    requests[port.id] = _PriorityProbe(
+                        port.bus_request_priority())
+        if first is None:
             return None
+        if requests is None:
+            # Sole requester: it wins whatever its priority class, and
+            # commit advances the round-robin pointer exactly as the
+            # general path would.
+            return self._arbiter.commit(first.id)
         candidates = self._arbiter.ordered_candidates(requests)  # type: ignore[arg-type]
         index = 0
         if self.scheduler is not None and len(candidates) > 1:

@@ -51,6 +51,14 @@ class _BusPortView:
             return self._bus_index == 0
         return self._system.bus_of(block) == self._bus_index
 
+    def has_request_hint(self) -> bool:
+        if not self._port.has_request_hint():
+            return False
+        block = getattr(self._port, "current_request_block", lambda: None)()
+        if block is None:
+            return self._bus_index == 0
+        return self._system.bus_of(block) == self._bus_index
+
     def bus_request_priority(self) -> bool:
         return self._port.bus_request_priority()
 

@@ -40,6 +40,11 @@ if TYPE_CHECKING:
     from repro.verify.oracle import WriteOracle
 
 
+#: Shared miss reply for the snoop fast path.  The bus treats replies as
+#: read-only once returned, so one instance can serve every fast miss.
+_SNOOP_MISS = SnoopReply()
+
+
 class AccessStatus(enum.Enum):
     DONE = "done"  # completed this cycle (hit); result in op.result
     PENDING = "pending"  # bus transaction(s) required; processor stalls
@@ -156,7 +161,7 @@ class SnoopingCache:
         block = self.block_of(op.addr)  # type: ignore[arg-type]
         line = self.array.lookup(block)
         if line is not None:
-            self.array.touch(line, self.now())
+            line.last_used = self.clock.cycle
 
         action = self._dispatch(op, line)
 
@@ -165,7 +170,8 @@ class SnoopingCache:
             self._finish_local(op, line, action)
             return AccessStatus.DONE
         self._count_miss(op, line)
-        self._pending = PendingAccess(op=op, request=action, posted_at=self.now())
+        self._pending = PendingAccess(op=op, request=action,
+                                      posted_at=self.clock.cycle)
         return AccessStatus.PENDING
 
     def _dispatch(self, op: Op, line: CacheLine | None) -> Done | NeedBus:
@@ -321,6 +327,19 @@ class SnoopingCache:
             return False
         self._revalidate_pending(pending)
         return pending.request is not None
+
+    def has_request_hint(self) -> bool:
+        """Cheap over-approximation of :meth:`has_bus_request`: may say
+        True for a request revalidation would clear (optimistic-RMW
+        abort), never False for a grantable one.  Idle-scan paths (bus
+        ``next_event_cycle``, the engine's ``done`` test) use this to
+        avoid re-running revalidation; arbitration still goes through
+        :meth:`has_bus_request`, which settles the truth before any
+        grant."""
+        if self._detached:
+            return True
+        pending = self._pending
+        return pending is not None and pending.request is not None
 
     def current_request_block(self) -> BlockAddr | None:
         """Block the cache's current bus request targets (the detached
@@ -551,7 +570,20 @@ class SnoopingCache:
     def snoop(self, txn: BusTransaction) -> SnoopReply:
         """React to another cache's granted transaction."""
         assert self.protocol is not None
-        self.directory.record_snoop()
+        self.directory.record_snoop(self.clock.cycle)
+
+        # Fast miss: nothing here can care about this transaction -- no
+        # frame is tagged with the block (valid or invalid, which also
+        # covers the update-invalid revalidation scan), the busy-wait
+        # register watches a different block (or none), and no RMW hold
+        # matches.  Unlock broadcasts always take the full path.  The
+        # shared reply is never mutated: the bus only reads replies.
+        if (txn.block not in self.array._tagged
+                and txn.op is not BusOp.UNLOCK_BROADCAST
+                and self._held_block != txn.block
+                and (self.busy_wait.phase is WaitPhase.IDLE
+                     or self.busy_wait.block != txn.block)):
+            return _SNOOP_MISS
 
         if txn.op is BusOp.UNLOCK_BROADCAST:
             return self._snoop_unlock_broadcast(txn)
@@ -695,7 +727,7 @@ class SnoopingCache:
         if state is CacheState.WRITE_CLEAN:
             line.state = CacheState.WRITE_DIRTY
             self.stats.write_hits_to_clean += 1
-            self.directory.record_status_write()
+            self.directory.record_status_write(self.clock.cycle)
         elif state in (CacheState.WRITE_DIRTY, CacheState.LOCK, CacheState.LOCK_WAITER):
             pass  # already dirty
         elif state in (CacheState.READ, CacheState.READ_SOURCE_CLEAN,

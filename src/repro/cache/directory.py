@@ -27,40 +27,56 @@ from repro.common.config import DirectoryKind
 
 @dataclass
 class DirectoryModel:
-    """Tracks processor-side status writes and charges interference."""
+    """Tracks processor-side status writes and charges interference.
+
+    Coincidence detection is stamp-based: each record carries the cycle
+    it happened in (``now``), and a collision is two records stamped
+    with the same cycle.  This keeps the simulator's per-cycle cost at
+    zero -- nothing needs resetting on quiet cycles.  Callers without a
+    clock (unit tests, standalone use) omit ``now`` and drive the
+    internal counter with :meth:`begin_cycle` instead.
+    """
 
     kind: DirectoryKind
     status_writes: int = 0
     snoops: int = 0
     interference_cycles: int = 0
-    _status_write_this_cycle: bool = False
-    _snooped_this_cycle: bool = False
+    #: Cycle stamps of the latest write/snoop (no real cycle is ever -1).
+    _written_at: int = -1
+    _snooped_at: int = -1
+    #: Internal clock for stamp-less callers, advanced by begin_cycle().
+    _cycle: int = 0
+    #: Whether this directory kind charges interference (cached: the
+    #: record paths run once per snoop, the hottest simulator rate).
+    _interferes: bool = False
 
-    def begin_cycle(self) -> None:
-        self._status_write_this_cycle = False
-        self._snooped_this_cycle = False
-
-    @property
-    def _interferes(self) -> bool:
-        return self.kind in (
+    def __post_init__(self) -> None:
+        self._interferes = self.kind in (
             DirectoryKind.IDENTICAL_DUAL,
             DirectoryKind.DUAL_PORTED_READ,
         )
 
-    def record_status_write(self) -> None:
+    def begin_cycle(self) -> None:
+        self._cycle += 1
+
+    def record_status_write(self, now: int | None = None) -> None:
         """A processor write changed clean->dirty (or set waiter status).
         Colliding with a same-cycle snoop costs an interference cycle
         (either side may arrive first within the cycle)."""
+        if now is None:
+            now = self._cycle
         self.status_writes += 1
-        self._status_write_this_cycle = True
-        if self._snooped_this_cycle and self._interferes:
+        self._written_at = now
+        if self._snooped_at == now and self._interferes:
             self.interference_cycles += 1
 
-    def record_snoop(self) -> None:
+    def record_snoop(self, now: int | None = None) -> None:
         """The bus controller consulted the directory this cycle."""
+        if now is None:
+            now = self._cycle
         self.snoops += 1
-        self._snooped_this_cycle = True
-        if self._status_write_this_cycle and self._interferes:
+        self._snooped_at = now
+        if self._written_at == now and self._interferes:
             self.interference_cycles += 1
 
     @property

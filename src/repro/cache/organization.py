@@ -45,7 +45,7 @@ class CacheArray:
         if lines is None:
             return None
         for line in lines:
-            if line.state.valid:
+            if line.state is not CacheState.INVALID:
                 return line
         return None
 

@@ -31,7 +31,7 @@ from repro.analysis import (
     render_table2,
     traffic_metrics,
 )
-from repro.protocols import PROTOCOLS
+from repro.protocols import DISPATCH_ENV, DISPATCH_MODES, PROTOCOLS
 from repro.workloads.registry import (WORKLOADS, default_lock_style,
                                       default_words_per_block)
 
@@ -84,6 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the generated workload to a trace file")
     run.add_argument("--json", action="store_true",
                      help="emit the full statistics as JSON")
+    run.add_argument("--dispatch", choices=DISPATCH_MODES, default=None,
+                     help="protocol execution core (default: compiled, or "
+                          f"the {DISPATCH_ENV} environment variable)")
     run.add_argument("--fast-forward", action="store_true",
                      help="event-skip execution (identical statistics, "
                           "much faster on workloads with quiet spans)")
@@ -116,6 +119,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="lock-contention")
     sweep.add_argument("--processors", nargs="+", type=int,
                        default=[2, 4, 8])
+    sweep.add_argument("--dispatch", choices=DISPATCH_MODES, default=None,
+                       help="protocol execution core (default: compiled, or "
+                            f"the {DISPATCH_ENV} environment variable)")
     sweep.add_argument("--fast-forward", action="store_true",
                        help="event-skip execution for every sweep point")
     sweep.add_argument("-j", "--jobs", type=int, default=1,
@@ -305,6 +311,7 @@ def command_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             check_interval=args.check_interval,
             fast_forward=args.fast_forward,
+            dispatch=args.dispatch,
             sample_interval=args.sample_interval if observe else 0,
             max_wall_seconds=args.max_wall_seconds,
         )
@@ -387,6 +394,7 @@ def command_sweep(args: argparse.Namespace) -> int:
             args.workload,
             processors=args.processors,
             fast_forward=args.fast_forward,
+            dispatch=args.dispatch,
             jobs=args.jobs,
             sample_interval=args.sample_interval if args.metrics_out else 0,
             timeout=args.timeout,

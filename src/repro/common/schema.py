@@ -24,6 +24,17 @@ Version history
    indexed ``points`` positionally keep working on fully-healthy
    sweeps; consumers of partial sweeps must skip ``null`` points (the
    per-point status says why each one is missing).
+3. Compiled dispatch core: ``run-result`` and ``sweep-result`` payloads
+   gain a top-level ``dispatch`` key (``"compiled"`` or
+   ``"interpreted"``, the execution core that drove the protocol).
+   ``BENCH_engine.json`` gains ``engine.dispatch`` (per-core
+   stepped/fast-forward timings), a ``lookup`` section (the
+   interpreted-vs-compiled table-lookup microbenchmark), and the
+   ``sweep`` section's ``available_cpus`` is authoritative for whether
+   the scaling assertion ran (see ``scripts/perf_guard.py``).
+   Migration: v2 readers that ignore unknown keys keep working; the
+   pre-existing ``engine.*`` timing keys still describe the default
+   (compiled) core.
 """
 
 from __future__ import annotations
@@ -31,7 +42,7 @@ from __future__ import annotations
 from repro.common.errors import ReproError
 
 #: Current version of all exported JSON payload shapes.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Key under which the version is stamped.
 SCHEMA_KEY = "schema_version"

@@ -73,6 +73,10 @@ class IOProcessor:
     def has_bus_request(self) -> bool:
         return bool(self._queue) and self._in_flight is None
 
+    def has_request_hint(self) -> bool:
+        """I/O requests need no revalidation; the hint is exact."""
+        return bool(self._queue) and self._in_flight is None
+
     def bus_request_priority(self) -> bool:
         return False
 

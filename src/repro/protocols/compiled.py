@@ -1,0 +1,360 @@
+"""Compiler lowering :class:`~repro.protocols.table.TransitionTable` IR
+to dense integer-indexed dispatch.
+
+The interpreter (:class:`~repro.protocols.table.TableProtocol`) pays for
+every cache event twice: it materializes a ``frozenset`` guard context,
+then linearly scans the ``(state, event)`` rule bucket testing guard
+subsets until one matches.  This module precomputes that entire search.
+
+**Guard bitmask.**  Each event class consults a fixed, ordered tuple of
+two-valued guard families (:data:`PROCESSOR_BIT_FAMILIES`,
+:data:`COMPLETION_BIT_FAMILIES`; snoop events consult none).  Bit ``i``
+of ``guard_bits`` is 1 when the context carries the *first* atom of
+family ``i`` (``GUARD_FAMILIES[f][0]``, e.g. ``hint``/``shared``) and 0
+for the second (``no-hint``/``unshared``).  A full context is therefore
+one integer in ``range(2 ** len(families))``.
+
+**The dense table.**  For every ``(state_idx, event_idx, guard_bits)``
+triple the compiler runs the interpreter's most-specific-first match
+once, at compile time, and records the triple
+``(rule_idx, next_state_idx, action_bitmap)``:
+
+* ``rule_idx`` -- index into :attr:`CompiledTable.rules` of the winning
+  row, or ``-1`` when no row matches (the interpreter would raise);
+* ``next_state_idx`` -- index into :data:`STATES` of the row's
+  ``next_state`` (``-1`` for missing entries);
+* ``action_bitmap`` -- OR of ``1 << CompiledTable.action_index[atom]``
+  over the row's actions (execution order still comes from the row's
+  ``actions`` tuple; the bitmap answers "does this entry flush/supply/
+  go-to-bus" without touching the row).
+
+The arrays are ``numpy`` ``int32`` of shape ``(n_states, n_events,
+max_contexts)`` when numpy is importable, flat Python lists with the
+same indexing otherwise (see :meth:`CompiledTable.entry`).  Scalar
+dispatch deliberately goes through plain Python lists either way --
+CPython scalar indexing into an ``ndarray`` boxes the element and is
+*slower* than a list probe; the ndarrays are the canonical dense
+encoding for vectorized consumers and tests.
+
+**Missing transitions.**  A mutated or deliberately incomplete table
+(the mc mutation harness runs those) compiles fine: missing entries
+raise a :class:`~repro.common.errors.ProtocolError` with *exactly* the
+interpreter's message, reconstructed from the guard bits.
+
+**Dispatch.**  :func:`compile_protocol_class` wraps a concrete
+:class:`TableProtocol` subclass with :class:`CompiledDispatchMixin`,
+which overrides the three lookup seams (``_lookup_processor``,
+``_lookup_completion``, ``_lookup_snoop``) with guard-bit probes.  The
+compiled table is resolved per *instance* from ``self.table`` so the mc
+harness's class-level table patches keep working; compilation is cached
+on the table object itself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar, Type
+
+from repro.cache.state import CacheState
+from repro.common.errors import ProtocolError
+from repro.processor.isa import OpKind
+from repro.protocols.table import (
+    COMPLETION_GUARD_FAMILIES,
+    GUARD_FAMILIES,
+    PROCESSOR_GUARD_FAMILIES,
+    Event,
+    Rule,
+    TableProtocol,
+    TransitionTable,
+    guard_families_for,
+)
+
+if TYPE_CHECKING:
+    from repro.bus.transaction import BusTransaction
+    from repro.cache.cache import PendingAccess
+    from repro.common.types import WordAddr
+
+try:  # numpy is optional: the dense arrays degrade to flat lists.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
+#: Dense index spaces (the full union vocabularies, not per-protocol
+#: subsets, so indices are comparable across tables).
+STATES: tuple[CacheState, ...] = tuple(CacheState)
+EVENTS: tuple[Event, ...] = tuple(Event)
+STATE_INDEX: dict[CacheState, int] = {s: i for i, s in enumerate(STATES)}
+EVENT_INDEX: dict[Event, int] = {e: i for i, e in enumerate(EVENTS)}
+N_STATES = len(STATES)
+N_EVENTS = len(EVENTS)
+
+#: Bit order of the processor-event guard families.  Bit ``i`` set means
+#: the context carries ``GUARD_FAMILIES[family][0]``.
+PROCESSOR_BIT_FAMILIES: tuple[str, ...] = ("hint", "interleave")
+#: Bit order of the completion-event guard families, matching the seven
+#: booleans of ``TableProtocol._completion_ctx`` in declaration order.
+COMPLETION_BIT_FAMILIES: tuple[str, ...] = (
+    "intent", "sharing", "supplier", "lock-intent", "mem-lock",
+    "mem-waiter", "wait-win",
+)
+
+assert frozenset(PROCESSOR_BIT_FAMILIES) == PROCESSOR_GUARD_FAMILIES
+assert frozenset(COMPLETION_BIT_FAMILIES) == COMPLETION_GUARD_FAMILIES
+
+#: Widest guard alphabet of any event class; sizes the context axis.
+MAX_CONTEXTS = 2 ** len(COMPLETION_BIT_FAMILIES)
+
+
+def bit_families_for(event: Event) -> tuple[str, ...]:
+    """The ordered guard-bit families of ``event``'s class."""
+    families = guard_families_for(event)
+    if families is PROCESSOR_GUARD_FAMILIES:
+        return PROCESSOR_BIT_FAMILIES
+    if families is COMPLETION_GUARD_FAMILIES:
+        return COMPLETION_BIT_FAMILIES
+    return ()
+
+
+def context_of_bits(event: Event, bits: int) -> frozenset[str]:
+    """The full guard context encoded by ``bits`` for ``event``."""
+    atoms = []
+    for i, family in enumerate(bit_families_for(event)):
+        positive, negative = GUARD_FAMILIES[family]
+        atoms.append(positive if bits & (1 << i) else negative)
+    return frozenset(atoms)
+
+
+def bits_of_context(event: Event, ctx: frozenset[str]) -> int | None:
+    """Encode a *full* context (one atom per family) as guard bits;
+    ``None`` when ``ctx`` is partial or carries foreign atoms (callers
+    fall back to the interpreter for those)."""
+    families = bit_families_for(event)
+    if len(ctx) != len(families):
+        return None
+    bits = 0
+    for i, family in enumerate(families):
+        positive, negative = GUARD_FAMILIES[family]
+        if positive in ctx:
+            bits |= 1 << i
+        elif negative not in ctx:
+            return None
+    return bits
+
+
+class CompiledTable:
+    """A :class:`TransitionTable` lowered to dense dispatch arrays.
+
+    The hot probe is :meth:`row_for`: two list indexes resolve the
+    winning :class:`Rule` (or ``None``), replacing the interpreter's
+    context construction and guard scan.  ``rule_idx`` /
+    ``next_state_idx`` / ``action_bits`` are the canonical dense
+    encoding (numpy ``int32`` when available, flat lists otherwise).
+    """
+
+    def __init__(self, source: TransitionTable) -> None:
+        self.source = source
+        self.name = source.name
+        self.rules: tuple[Rule, ...] = source.rules
+        rule_index = {id(r): i for i, r in enumerate(source.rules)}
+        #: Every action atom the table uses, in first-appearance order.
+        alphabet: list[str] = []
+        seen = set()
+        for r in source.rules:
+            for action in r.actions:
+                if action not in seen:
+                    seen.add(action)
+                    alphabet.append(action)
+        self.action_alphabet: tuple[str, ...] = tuple(alphabet)
+        self.action_index: dict[str, int] = {
+            a: i for i, a in enumerate(alphabet)}
+
+        size = N_STATES * N_EVENTS * MAX_CONTEXTS
+        rule_idx = [-1] * size
+        next_state_idx = [-1] * size
+        action_bits = [0] * size
+        #: ``_rows[s_idx * N_EVENTS + e_idx]`` -> list over guard bits of
+        #: the winning Rule (or None); the scalar dispatch path.
+        self._rows: list[list[Rule | None] | None] = [None] * (
+            N_STATES * N_EVENTS)
+        #: Context-axis width per event index (2 ** #families).
+        self._contexts_per_event = [
+            2 ** len(bit_families_for(e)) for e in EVENTS]
+
+        for e_idx, event in enumerate(EVENTS):
+            n_ctx = self._contexts_per_event[e_idx]
+            for s_idx, state in enumerate(STATES):
+                bucket = source.rules_for(state, event)
+                row_cell: list[Rule | None] = [None] * n_ctx
+                base = (s_idx * N_EVENTS + e_idx) * MAX_CONTEXTS
+                for bits in range(n_ctx):
+                    ctx = context_of_bits(event, bits)
+                    winner: Rule | None = None
+                    for r in bucket:  # most-specific-first, like lookup()
+                        if r.guard <= ctx:
+                            winner = r
+                            break
+                    if winner is None:
+                        continue
+                    row_cell[bits] = winner
+                    flat = base + bits
+                    rule_idx[flat] = rule_index[id(winner)]
+                    next_state_idx[flat] = STATE_INDEX[winner.next_state]
+                    bitmap = 0
+                    for action in winner.actions:
+                        bitmap |= 1 << self.action_index[action]
+                    action_bits[flat] = bitmap
+                if bucket:
+                    self._rows[s_idx * N_EVENTS + e_idx] = row_cell
+        if _np is not None:
+            shape = (N_STATES, N_EVENTS, MAX_CONTEXTS)
+            self.rule_idx = _np.asarray(
+                rule_idx, dtype=_np.int32).reshape(shape)
+            self.next_state_idx = _np.asarray(
+                next_state_idx, dtype=_np.int32).reshape(shape)
+            self.action_bits = _np.asarray(
+                action_bits, dtype=_np.int64).reshape(shape)
+        else:
+            self.rule_idx = rule_idx
+            self.next_state_idx = next_state_idx
+            self.action_bits = action_bits
+
+    def entry(self, s_idx: int, e_idx: int, bits: int) -> tuple[int, int, int]:
+        """The dense ``(rule_idx, next_state_idx, action_bitmap)`` triple
+        (shape-agnostic: works on the numpy and the flat-list encoding)."""
+        if _np is not None and not isinstance(self.rule_idx, list):
+            return (int(self.rule_idx[s_idx, e_idx, bits]),
+                    int(self.next_state_idx[s_idx, e_idx, bits]),
+                    int(self.action_bits[s_idx, e_idx, bits]))
+        flat = (s_idx * N_EVENTS + e_idx) * MAX_CONTEXTS + bits
+        return (self.rule_idx[flat], self.next_state_idx[flat],
+                self.action_bits[flat])
+
+    # -- dispatch --------------------------------------------------------
+
+    def row_for(self, state: CacheState, event: Event,
+                bits: int) -> Rule | None:
+        """The winning rule for a full guard context, or ``None``."""
+        cell = self._rows[STATE_INDEX[state] * N_EVENTS + EVENT_INDEX[event]]
+        if cell is None:
+            return None
+        return cell[bits]
+
+    def lookup_bits(self, state: CacheState, event: Event, bits: int) -> Rule:
+        """:meth:`TransitionTable.lookup` over guard bits -- same result,
+        same :class:`ProtocolError` for missing transitions."""
+        cell = self._rows[STATE_INDEX[state] * N_EVENTS + EVENT_INDEX[event]]
+        row = cell[bits] if cell is not None else None
+        if row is not None:
+            return row
+        self._raise_missing(state, event, context_of_bits(event, bits))
+
+    def lookup(self, state: CacheState, event: Event,
+               ctx: frozenset[str]) -> Rule:
+        """Drop-in for :meth:`TransitionTable.lookup`.  Full contexts go
+        through the compiled arrays; partial contexts (possible for
+        callers probing the table directly) fall back to the
+        interpreter's scan for identical semantics."""
+        bits = bits_of_context(event, ctx)
+        if bits is None:
+            return self.source.lookup(state, event, ctx)
+        cell = self._rows[STATE_INDEX[state] * N_EVENTS + EVENT_INDEX[event]]
+        row = cell[bits] if cell is not None else None
+        if row is not None:
+            return row
+        self._raise_missing(state, event, ctx)
+
+    def _raise_missing(self, state: CacheState, event: Event,
+                       ctx: frozenset[str]) -> None:
+        atoms = "{" + ",".join(sorted(ctx)) + "}"
+        raise ProtocolError(
+            f"{self.name}: no transition for state {state.value!r} on "
+            f"{event.value} under {atoms}"
+        )
+
+
+def compile_table(table: TransitionTable) -> CompiledTable:
+    """Compile ``table``, caching the result on the table object (tables
+    are immutable: the mutation helpers return fresh instances)."""
+    cached = table.__dict__.get("_compiled_form")
+    if cached is None:
+        cached = CompiledTable(table)
+        table.__dict__["_compiled_form"] = cached
+    return cached
+
+
+#: Op kinds whose completion context carries the ``writish`` atom
+#: (mirrors ``TableProtocol._completion_ctx``).
+_WRITISH_KINDS = frozenset({OpKind.WRITE, OpKind.RELEASE})
+
+
+class CompiledDispatchMixin:
+    """Overrides the :class:`TableProtocol` lookup seams with guard-bit
+    probes into the compiled table.  Everything else -- action execution,
+    rebus sequencing, errors -- stays in the interpreter base class, so
+    behaviour (including failure behaviour) is identical by construction.
+    """
+
+    #: Stamped into results for reproducibility.
+    dispatch: ClassVar[str] = "compiled"
+
+    def __init__(self, cache) -> None:  # type: ignore[no-untyped-def]
+        super().__init__(cache)
+        # Resolved per instance so a class-level ``table`` patch (the mc
+        # mutation harness) is honoured by instances created under it.
+        self._compiled = compile_table(self.table)
+
+    # -- seam overrides --------------------------------------------------
+
+    def _lookup_processor(self, state: CacheState, event: Event,
+                          addr: "WordAddr", private_hint: bool) -> Rule:
+        cache = self.cache
+        bits = 1 if private_hint else 0
+        if cache.scratch and cache.scratch.get(
+                ("rs-wrote", cache.block_of(addr)), False):
+            bits |= 2
+        return self._compiled.lookup_bits(state, event, bits)
+
+    def _lookup_completion(self, state: CacheState, event: Event,
+                           pending: "PendingAccess", txn: "BusTransaction",
+                           response) -> Rule:
+        bits = 0
+        if pending.op.kind in _WRITISH_KINDS:
+            bits |= 1
+        if response.shared_hit:
+            bits |= 2
+        if response.supplier_dirty:
+            bits |= 4
+        if txn.lock_intent:
+            bits |= 8
+        if response.memory_lock_owner:
+            bits |= 16
+        if response.memory_lock_waiter:
+            bits |= 32
+        if txn.high_priority:
+            bits |= 64
+        return self._compiled.lookup_bits(state, event, bits)
+
+    def _lookup_snoop(self, state: CacheState, event: Event) -> Rule:
+        return self._compiled.lookup_bits(state, event, 0)
+
+
+_CLASS_CACHE: dict[type, type] = {}
+
+
+def compile_protocol_class(cls: Type) -> Type:
+    """The compiled-dispatch variant of a protocol class.
+
+    Table-driven protocols get a cached mixin subclass (same ``name``,
+    ``features()``, and hook overrides; only the three lookup seams
+    change).  Non-table protocols are returned unchanged -- there is
+    nothing to compile.
+    """
+    if not (isinstance(cls, type) and issubclass(cls, TableProtocol)):
+        return cls
+    if issubclass(cls, CompiledDispatchMixin):
+        return cls
+    cached = _CLASS_CACHE.get(cls)
+    if cached is None:
+        cached = type("Compiled" + cls.__name__,
+                      (CompiledDispatchMixin, cls), {})
+        _CLASS_CACHE[cls] = cached
+    return cached

@@ -27,11 +27,11 @@ from typing import Sequence
 
 from repro.bus.bus import Bus
 from repro.cache.cache import SnoopingCache
-from repro.common.config import RmwMethod, SystemConfig
+from repro.common.config import RmwMethod, SystemConfig, WaitMode
 from repro.common.errors import ConfigError, DeadlockError, WatchdogTimeout
 from repro.memory.io_processor import IOProcessor
 from repro.memory.main_memory import MainMemory
-from repro.processor.processor import Processor
+from repro.processor.processor import Processor, _State
 from repro.processor.program import Program
 from repro.obs.core import NULL_OBS, Observability
 from repro.protocols import get_protocol
@@ -74,6 +74,7 @@ class Simulator:
         fast_forward: bool | None = None,
         obs: Observability | None = None,
         scheduler: "Scheduler | None" = None,
+        dispatch: str | None = None,
     ) -> None:
         if len(programs) != config.num_processors:
             raise ConfigError(
@@ -115,7 +116,11 @@ class Simulator:
         self.bus.scheduler = scheduler
         self.oracle = WriteOracle(self.stats, strict=config.strict_verify)
 
-        protocol_cls = get_protocol(config.protocol)
+        protocol_cls = get_protocol(config.protocol, dispatch)
+        #: The dispatch core actually driving the caches ("compiled" or
+        #: "interpreted"), resolved from the argument / env default and
+        #: what the protocol supports -- stamped into result artifacts.
+        self.dispatch: str = protocol_cls.dispatch
         effective_rmw = config.rmw_method
         if (
             config.rmw_method is RmwMethod.LOCK_STATE
@@ -185,9 +190,13 @@ class Simulator:
 
     @property
     def done(self) -> bool:
-        if not all(p.done for p in self.processors):
-            return False
-        if self.bus.busy or any(c.has_bus_request() for c in self.caches):
+        for p in self.processors:
+            if p._state is not _State.DONE:
+                return False
+        # The request hint is exact once every processor is done: a
+        # pending op would keep its processor stalled, so only detached
+        # requests (which the hint reports faithfully) can remain.
+        if self.bus.busy or any(c.has_request_hint() for c in self.caches):
             return False
         if self.io is not None and not self.io.idle:
             return False
@@ -195,13 +204,52 @@ class Simulator:
 
     def step(self) -> None:
         """Advance the whole system by one bus cycle."""
-        for directory in self._directories:
-            directory.begin_cycle()
         self.bus.step()
+        self._finish_cycle()
+
+    def _finish_cycle(self) -> None:
+        """The processor half of :meth:`step`.  The fast-forward loop
+        calls this directly on cycles where the bus is provably inert
+        (not busy, no release owed, no request hint posted), skipping the
+        no-op arbitration scan."""
         cycle = self.clock.cycle
         if self.scheduler is None:
-            for processor in self.processors:
-                processor.tick(cycle)
+            # Inlined passive-processor accounting.  A processor that
+            # cannot act this cycle (mid-compute, parked on the cache/
+            # lock, or finished) only increments one counter; handling
+            # that here skips the tick dispatch for the common case.
+            # The branches mirror Processor.tick exactly, and anything
+            # that might act falls through to the real tick().  tick()
+            # stamps _now first, but _now is only read on acting paths,
+            # which always go through tick() -- the same contract
+            # advance_quiet() relies on.
+            for p in self.processors:
+                state = p._state
+                if state is _State.STALLED:
+                    if p._crossbar_op is None:
+                        pend = p.cache.pending
+                        if pend is None or not pend.completed:
+                            if pend is not None and pend.lock_wait:
+                                if (p.wait_mode is WaitMode.WORK
+                                        and p._ready_work_left > 0):
+                                    p._ready_work_left -= 1
+                                    p.stats.wait_work_cycles += 1
+                                else:
+                                    p.stats.wait_idle_cycles += 1
+                            else:
+                                p.stats.stall_cycles += 1
+                            continue
+                    p.tick(cycle)
+                elif state is _State.COMPUTING:
+                    if p._compute_left > 1:
+                        p._compute_left -= 1
+                        p.stats.compute_cycles += 1
+                    else:
+                        p.tick(cycle)
+                elif state is _State.DONE:
+                    p.stats.done_cycles += 1
+                else:
+                    p.tick(cycle)
         else:
             self._tick_scheduled(cycle)
         self.stats.cycles += 1
@@ -370,10 +418,29 @@ class Simulator:
             # here -- a single iteration is already "many cycles").
             if self._watchdog_deadline is not None:
                 self.check_watchdog()
-            target = bus.next_event_cycle()
+            bus_next = bus.next_event_cycle()
+            target = bus_next
             if target > now:
-                for processor in processors:
-                    t = processor.next_event_cycle(now)
+                # Inlined Processor.next_event_cycle over all processors
+                # (the scan runs once per event and dominates the loop's
+                # bookkeeping; branch-for-branch identical to the method).
+                for p in processors:
+                    state = p._state
+                    if state is _State.DONE:
+                        continue  # NEVER
+                    if state is _State.COMPUTING:
+                        t = now + p._compute_left - 1
+                    elif state is _State.STALLED:
+                        if p._crossbar_op is not None:
+                            u = p._crossbar_until
+                            t = u if u > now else now
+                        else:
+                            pend = p.cache.pending
+                            if pend is None or not pend.completed:
+                                continue  # NEVER
+                            t = now
+                    else:
+                        t = now
                     if t < target:
                         target = t
             # Never jump past a cycle where the stepped engine would act:
@@ -419,7 +486,14 @@ class Simulator:
                 if self.done:
                     break
             # Execute the event cycle (or the capped boundary) normally.
-            step()
+            # When the bus's own next event lies beyond this cycle it is
+            # provably inert here (processors acting now post requests
+            # that arbitrate next cycle, exactly as in the stepped
+            # engine), so its step can be skipped outright.
+            if bus_next > stats.cycles:
+                self._finish_cycle()
+            else:
+                step()
             watch(horizon)
         return self._finish()
 
@@ -434,10 +508,18 @@ class Simulator:
         return self.stats
 
     def _watch_progress(self, horizon: int) -> None:
+        ops = compute = 0
+        for p in self.processors:
+            stats = p.stats
+            ops += stats.ops_completed
+            compute += stats.compute_cycles
+        # bus_busy_cycles moves exactly when a transaction is recorded
+        # (every duration is >= 1), so it is interchangeable with the
+        # transaction count as a progress signal -- and O(1) to read.
         signature = (
-            sum(p.stats.ops_completed for p in self.processors),
-            sum(p.stats.compute_cycles for p in self.processors),
-            self.stats.total_transactions,
+            ops,
+            compute,
+            self.stats.bus_busy_cycles,
             self.stats.read_hits + self.stats.write_hits,
         )
         if signature != self._last_progress_sig:
@@ -461,6 +543,7 @@ def run_workload(
     fast_forward: bool | None = None,
     obs: Observability | None = None,
     max_wall_seconds: float | None = None,
+    dispatch: str | None = None,
 ) -> SimStats:
     """Build a simulator, run it to completion, and return its stats.
 
@@ -468,5 +551,5 @@ def run_workload(
     :meth:`Simulator.run`)."""
     sim = Simulator(config, programs, trace=trace,
                     check_interval=check_interval, fast_forward=fast_forward,
-                    obs=obs)
+                    obs=obs, dispatch=dispatch)
     return sim.run(max_cycles=max_cycles, max_wall_seconds=max_wall_seconds)

@@ -7,7 +7,7 @@ meaning of each number is defined in exactly one place.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -28,6 +28,18 @@ class ProcessorStats:
     done_cycles: int = 0
     lock_acquisitions: int = 0
     lock_hold_cycles: int = 0
+
+    # Compact pickle transport: a bare value tuple instead of the
+    # instance ``__dict__``.  Sweep workers ship one SimStats (with one
+    # ProcessorStats per processor) back per point, so the transport
+    # size scales with the sweep -- dropping the per-field key strings
+    # keeps the IPC payload lean.
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in _PROCESSOR_STATS_FIELDS)
+
+    def __setstate__(self, state) -> None:
+        for name, value in zip(_PROCESSOR_STATS_FIELDS, state):
+            setattr(self, name, value)
 
     @property
     def busy_cycles(self) -> int:
@@ -109,6 +121,20 @@ class SimStats:
         if pid not in self.processors:
             self.processors[pid] = ProcessorStats()
         return self.processors[pid]
+
+    # Compact pickle transport (see ProcessorStats.__getstate__): the
+    # Counters travel as plain dicts and are rebuilt on load.
+    def __getstate__(self):
+        return tuple(
+            dict(value) if isinstance(value, Counter) else value
+            for value in (getattr(self, name) for name in _SIM_STATS_FIELDS)
+        )
+
+    def __setstate__(self, state) -> None:
+        for name, value in zip(_SIM_STATS_FIELDS, state):
+            if name in ("txn_counts", "txn_cycles"):
+                value = Counter(value)
+            setattr(self, name, value)
 
     # Derived quantities -----------------------------------------------
 
@@ -225,3 +251,9 @@ class SimStats:
             "unlock_broadcasts": self.unlock_broadcasts,
             "stale_reads": self.stale_reads,
         }
+
+
+#: Field orders for the compact pickle transport (dataclass field order
+#: is stable across processes running the same code).
+_PROCESSOR_STATS_FIELDS = tuple(f.name for f in fields(ProcessorStats))
+_SIM_STATS_FIELDS = tuple(f.name for f in fields(SimStats))

@@ -1,0 +1,80 @@
+"""Compiled-dispatch equivalence: the dense tables ARE the interpreter.
+
+For every protocol, every ``(state, event, guard-subset)`` in the full
+cross-product -- each guard family contributing its positive atom, its
+negative atom, or nothing at all -- :meth:`TransitionTable.lookup` and
+the compiled table must agree exactly: the same winning row (hence the
+same ``(next_state, actions)``), or a :class:`ProtocolError` from both
+with the *identical* message naming the missing transition.  Full
+contexts additionally go through :meth:`CompiledTable.lookup_bits`, the
+guard-bit probe the hot seams use.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.cache.state import CacheState
+from repro.common.errors import ProtocolError
+from repro.protocols import PROTOCOLS
+from repro.protocols.compiled import (
+    bit_families_for,
+    bits_of_context,
+    compile_table,
+)
+from repro.protocols.table import Event, GUARD_FAMILIES
+
+STATES = tuple(CacheState)
+EVENTS = tuple(Event)
+
+
+def _contexts(event: Event):
+    """Every guard subset of ``event``'s alphabet: per family the
+    positive atom, the negative atom, or absence."""
+    choices = []
+    for family in bit_families_for(event):
+        positive, negative = GUARD_FAMILIES[family]
+        choices.append((frozenset(), frozenset({positive}),
+                        frozenset({negative})))
+    for combo in itertools.product(*choices):
+        yield frozenset().union(*combo)
+
+
+def _outcome(lookup, state, event, ctx):
+    try:
+        rule = lookup(state, event, ctx)
+    except ProtocolError as exc:
+        return ("error", str(exc))
+    return ("rule", rule.next_state, rule.actions)
+
+
+@pytest.mark.parametrize("name", sorted(PROTOCOLS))
+def test_compiled_matches_interpreter(name):
+    table = PROTOCOLS[name].table
+    compiled = compile_table(table)
+    checked = 0
+    for state, event in itertools.product(STATES, EVENTS):
+        for ctx in _contexts(event):
+            expected = _outcome(table.lookup, state, event, ctx)
+            actual = _outcome(compiled.lookup, state, event, ctx)
+            assert actual == expected, (
+                f"{name}: {state.value} x {event.value} x "
+                f"{sorted(ctx)}: compiled {actual} != "
+                f"interpreted {expected}"
+            )
+            bits = bits_of_context(event, ctx)
+            if bits is not None:  # full context: the hot-path probe too
+                via_bits = _outcome(
+                    lambda s, e, _c: compiled.lookup_bits(s, e, bits),
+                    state, event, ctx)
+                assert via_bits == expected, (
+                    f"{name}: {state.value} x {event.value} x bits "
+                    f"{bits:#x}: lookup_bits {via_bits} != "
+                    f"interpreted {expected}"
+                )
+            checked += 1
+    # 8 states x (6 processor events x 3^2 + 6 snoop events x 3^0 +
+    # 7 fill/done events x 3^7) contexts.
+    assert checked == len(STATES) * (6 * 9 + 6 + 7 * 3 ** 7)
