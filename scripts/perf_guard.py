@@ -2,7 +2,7 @@
 """Guard against engine performance regressions.
 
 Reads the measurements ``pytest benchmarks/bench_engine.py`` just wrote
-to ``BENCH_engine.json`` (schema v3) and enforces four machine-honest
+to ``BENCH_engine.json`` (schema v4) and enforces five machine-honest
 checks.  Absolute wall-clock varies with the host, so every guard is a
 *ratio* measured on the same host in the same run:
 
@@ -21,6 +21,10 @@ checks.  Absolute wall-clock varies with the host, so every guard is a
    says the machine can actually parallelize.  With fewer cpus the
    check prints an explicit ``SKIPPED (N cpus)`` line: it neither
    passes vacuously nor fails on hardware the code cannot control.
+5. **Observability overhead** (``obs.overhead_disabled``, a hooked-but-
+   tracing-disabled run vs the null observer on the same workload) must
+   stay under ``OBS_OVERHEAD_CEILING`` -- instrumenting the engine,
+   bus, cache, and sync layers must be free when nobody is watching.
 
 Usage::
 
@@ -60,6 +64,9 @@ DISPATCH_FLOOR = 0.9
 SCALING_FLOOR = 1.5
 #: Weaker scaling bar applied between 2 and 3 cpus.
 SCALING_FLOOR_2CPU = 1.0
+#: With tracing disabled, the hooked observability layer may cost at
+#: most this fraction of the null-observer wall clock.
+OBS_OVERHEAD_CEILING = 0.03
 
 
 def _fail_missing(what: str) -> int:
@@ -147,6 +154,18 @@ def _check_scaling(data: dict) -> int:
     return 0 if ok else 1
 
 
+def _check_obs_overhead(data: dict) -> int:
+    obs = data.get("obs", {})
+    overhead = obs.get("overhead_disabled")
+    if overhead is None:
+        return _fail_missing("obs.overhead_disabled entry")
+    ok = overhead < OBS_OVERHEAD_CEILING
+    print(f"perf_guard: obs hooks, tracing disabled: {overhead:+.1%} vs "
+          f"null observer (ceiling {OBS_OVERHEAD_CEILING:.0%}) -- "
+          f"{'OK' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true",
@@ -182,6 +201,7 @@ def main(argv: list[str] | None = None) -> int:
         _check_lookup(result_data),
         _check_dispatch(engine),
         _check_scaling(result_data),
+        _check_obs_overhead(result_data),
     ]
     # A hard failure (1) outranks a missing-data complaint (2): both fail
     # CI, but "regressed" is the more actionable verdict.

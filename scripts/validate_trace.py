@@ -1,14 +1,15 @@
 #!/usr/bin/env python
 """Validate JSON artifacts produced by the repro CLI.
 
-Three artifact shapes are understood:
+Six artifact shapes are understood:
 
 * Chrome trace-event files (``repro run --timeline``) are checked
   against the schema subset Perfetto/chrome://tracing actually require
   (see :func:`repro.obs.export.validate_chrome_trace`): a
   ``traceEvents`` list whose entries carry the mandatory ``ph``/
   ``name``/``pid``/``tid`` fields, non-negative timestamps on complete
-  events, and an ``args`` dict on metadata events.
+  events, an ``args`` dict on metadata events, and coherent flow
+  events where span links are exported.
 * Sweep results (``kind == "sweep-result"``, schema v2) are checked for
   coherent resilience fields: one ``point_status`` verdict per point
   with a known status, and ``null`` ``points`` entries only where the
@@ -17,11 +18,21 @@ Three artifact shapes are understood:
   --json``) are checked for a coherent verdict: the top-level ``ok``
   must agree with the per-protocol entries, every finding must name a
   known check, and finding-free protocols must be marked ok.
-* Engine benchmark results (``BENCH_engine.json``, schema v3, detected
+* Causal span traces (``kind == "span-trace"``, from ``repro run
+  --spans-out``, schema v4) are checked for a well-formed DAG: ids are
+  dense and positional, kinds are known, durations non-negative, and
+  every ``parent``/``cause`` link points strictly backward.
+* Attribution reports (``kind == "attribution-report"``, from ``repro
+  run --attribution``, schema v4) are checked for the exhaustive-
+  accounting invariant: every processor carries all eight buckets,
+  every bucket is a non-negative integer, and the buckets sum exactly
+  to the processor's total cycles.
+* Engine benchmark results (``BENCH_engine.json``, schema v4, detected
   by an ``engine`` section) are checked for the keys
   ``scripts/perf_guard.py`` guards: per-core ``engine.dispatch``
   timings for both dispatch cores, the ``lookup`` microbenchmark
-  ratio, and an honest integer ``sweep.available_cpus``.
+  ratio, an honest integer ``sweep.available_cpus``, and the ``obs``
+  hook-overhead timings.
 
 Usage::
 
@@ -46,7 +57,9 @@ except ModuleNotFoundError:  # running from a checkout without install
 from repro.analysis.resilient import POINT_STATUSES
 from repro.common.schema import check as check_schema
 from repro.lint import CHECKS as LINT_CHECKS
+from repro.obs.attribution import BUCKETS
 from repro.obs.export import validate_chrome_trace
+from repro.obs.tracing import SPAN_KINDS
 
 
 def validate_sweep_result(payload: dict) -> list[str]:
@@ -112,6 +125,80 @@ def validate_lint_report(payload: dict) -> list[str]:
     return errors
 
 
+def validate_span_trace(payload: dict) -> list[str]:
+    """Schema-v4 DAG checks for a ``span-trace`` payload."""
+    errors: list[str] = []
+    cycles = payload.get("cycles")
+    if not isinstance(cycles, int) or isinstance(cycles, bool) or cycles < 0:
+        errors.append(f"cycles: bad value {cycles!r}")
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        return [*errors, "missing spans list"]
+    for i, span in enumerate(spans):
+        if not isinstance(span, dict):
+            errors.append(f"spans[{i}]: not an object")
+            continue
+        if span.get("id") != i:
+            errors.append(f"spans[{i}]: id {span.get('id')!r} is not "
+                          f"positional")
+        if span.get("kind") not in SPAN_KINDS:
+            errors.append(f"spans[{i}]: unknown kind {span.get('kind')!r}")
+        for key in ("name", "track"):
+            if not span.get(key) or not isinstance(span[key], str):
+                errors.append(f"spans[{i}].{key}: bad value "
+                              f"{span.get(key)!r}")
+        for key in ("start", "dur"):
+            value = span.get(key)
+            if (not isinstance(value, int) or isinstance(value, bool)
+                    or value < 0):
+                errors.append(f"spans[{i}].{key}: bad value {value!r}")
+        for key in ("parent", "cause"):
+            link = span.get(key)
+            if link is None:
+                continue
+            if not isinstance(link, int) or not 0 <= link < i:
+                errors.append(f"spans[{i}].{key}: link {link!r} does not "
+                              f"point strictly backward")
+    return errors
+
+
+def validate_attribution_report(payload: dict) -> list[str]:
+    """Schema-v4 exhaustive-accounting checks for an
+    ``attribution-report`` payload."""
+    errors: list[str] = []
+    per_pid = payload.get("per_pid")
+    if not isinstance(per_pid, list) or not per_pid:
+        return ["missing per_pid entries"]
+    for entry in per_pid:
+        pid = entry.get("pid")
+        buckets = entry.get("buckets")
+        if not isinstance(buckets, dict):
+            errors.append(f"cpu{pid}: missing buckets")
+            continue
+        if set(buckets) != set(BUCKETS):
+            errors.append(f"cpu{pid}: bucket keys {sorted(buckets)} do not "
+                          f"match the canonical eight")
+            continue
+        for bucket in BUCKETS:
+            value = buckets[bucket]
+            if (not isinstance(value, int) or isinstance(value, bool)
+                    or value < 0):
+                errors.append(f"cpu{pid}.{bucket}: bad value {value!r}")
+        total = entry.get("total")
+        if isinstance(total, int) and sum(buckets.values()) != total:
+            errors.append(f"cpu{pid}: buckets sum to "
+                          f"{sum(buckets.values())}, expected {total}")
+        elif not isinstance(total, int):
+            errors.append(f"cpu{pid}: bad total {total!r}")
+    totals = payload.get("totals")
+    if not isinstance(totals, dict) or set(totals) != set(BUCKETS):
+        errors.append("missing or mis-keyed totals section")
+    for key in ("handoffs", "block_waits"):
+        if not isinstance(payload.get(key), dict):
+            errors.append(f"missing {key} section")
+    return errors
+
+
 #: Timing keys every ``engine.dispatch`` core entry must carry.
 _CORE_TIMING_KEYS = (
     "cycles", "stepped_seconds", "stepped_cycles_per_sec",
@@ -120,7 +207,7 @@ _CORE_TIMING_KEYS = (
 
 
 def validate_bench_engine(payload: dict) -> list[str]:
-    """Schema-v3 shape checks for a ``BENCH_engine.json`` payload."""
+    """Schema-v4 shape checks for a ``BENCH_engine.json`` payload."""
     errors: list[str] = []
 
     engine = payload.get("engine")
@@ -170,6 +257,22 @@ def validate_bench_engine(payload: dict) -> list[str]:
             value = sweep.get(key)
             if not isinstance(value, int) or value < 1:
                 errors.append(f"sweep.{key}: bad value {value!r}")
+
+    obs = payload.get("obs")
+    if not isinstance(obs, dict):
+        errors.append("missing obs section")
+    else:
+        for key in ("null_seconds", "tracing_off_seconds",
+                    "tracing_on_seconds"):
+            value = obs.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                errors.append(f"obs.{key}: bad value {value!r}")
+        # Overheads are same-host ratios minus one; timing jitter can
+        # legitimately make them slightly negative, so only the type is
+        # checked here -- scripts/perf_guard.py owns the ceiling.
+        for key in ("overhead_disabled", "overhead_tracing"):
+            if not isinstance(obs.get(key), (int, float)):
+                errors.append(f"obs.{key}: bad value {obs.get(key)!r}")
     return errors
 
 
@@ -180,6 +283,14 @@ def _describe(payload: dict) -> str:
         protocols = payload.get("protocols", {})
         clean = sum(1 for entry in protocols.values() if entry.get("ok"))
         return f"lint report, {clean}/{len(protocols)} protocols clean"
+    if payload.get("kind") == "span-trace":
+        return (f"span trace, {len(payload.get('spans', []))} spans over "
+                f"{payload.get('cycles')} cycles")
+    if payload.get("kind") == "attribution-report":
+        per_pid = payload.get("per_pid", [])
+        return (f"attribution, {len(per_pid)} cpus, "
+                f"{payload.get('cycles')} cycles, contended block "
+                f"{payload.get('contended_block')}")
     if "engine" in payload and "kind" not in payload:
         engine = payload.get("engine", {})
         lookup = payload.get("lookup", {})
@@ -208,6 +319,11 @@ def main(argv: list[str] | None = None) -> int:
             errors = validate_sweep_result(payload)
         elif isinstance(payload, dict) and payload.get("kind") == "lint-report":
             errors = validate_lint_report(payload)
+        elif isinstance(payload, dict) and payload.get("kind") == "span-trace":
+            errors = validate_span_trace(payload)
+        elif (isinstance(payload, dict)
+              and payload.get("kind") == "attribution-report"):
+            errors = validate_attribution_report(payload)
         elif (isinstance(payload, dict) and "engine" in payload
               and "kind" not in payload):
             errors = validate_bench_engine(payload)

@@ -292,27 +292,36 @@ def execute_points(
     jobs: int = 1,
     policy: ExecutionPolicy | None = None,
     warmup: Callable | None = None,
+    progress: Callable | None = None,
 ) -> ExecutionReport:
     """Execute every point of ``xs`` under ``policy``; the entry point
     used by :meth:`repro.analysis.sweeps.Sweep.execute`.
 
     ``warmup`` (picklable, no arguments) runs once in every worker
     process before its first point -- the place for config/protocol
-    construction and heavy imports."""
+    construction and heavy imports.
+
+    ``progress`` (when given) is called in the orchestrating process as
+    ``progress(done, total, statuses)`` each time a point reaches a
+    terminal status, with ``statuses`` a ``{status: count}`` view of the
+    executor's own counters."""
     policy = policy or ExecutionPolicy()
-    executor = _Executor(run, xs, policy, jobs, warmup=warmup)
+    executor = _Executor(run, xs, policy, jobs, warmup=warmup,
+                         progress=progress)
     return executor.execute()
 
 
 class _Executor:
     def __init__(self, run: Callable, xs: Sequence,
                  policy: ExecutionPolicy, jobs: int,
-                 warmup: Callable | None = None) -> None:
+                 warmup: Callable | None = None,
+                 progress: Callable | None = None) -> None:
         self.run = run
         self.xs = list(xs)
         self.policy = policy
         self.jobs = jobs
         self.warmup = warmup
+        self.progress = progress
         self.registry = MetricRegistry()
         self._retries = self.registry.counter(
             "sweep_point_retries_total",
@@ -340,6 +349,10 @@ class _Executor:
         self.outcomes[task.index] = outcome
         self.payloads[task.index] = payload
         self._points.inc(status=status)
+        if self.progress is not None:
+            statuses = {s: int(self._points.value(status=s))
+                        for s in POINT_STATUSES}
+            self.progress(sum(statuses.values()), len(self.xs), statuses)
         if status != STATUS_OK and not self.policy.keep_going \
                 and self._abort is None:
             self._abort = SweepPointError(

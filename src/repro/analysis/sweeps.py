@@ -104,7 +104,8 @@ class Sweep:
 
     def execute(self, jobs: int = 1,
                 policy: ExecutionPolicy | None = None,
-                warmup: Callable | None = None) -> dict[str, SweepSeries]:
+                warmup: Callable | None = None,
+                progress: Callable | None = None) -> dict[str, SweepSeries]:
         """Run every point (resiliently) and collect the metric series.
 
         ``policy`` configures retries, per-point timeouts, fault
@@ -116,18 +117,30 @@ class Sweep:
         ``warmup`` (picklable, no arguments) runs once per worker
         process before its first point -- use it to hoist config and
         protocol construction out of the per-point path.
+
+        ``progress`` is called in this process as
+        ``progress(done, total, statuses)`` each time a point reaches a
+        terminal status -- the hook behind ``repro sweep --progress``.
         """
         if not self.metrics:
             raise ValueError("no metrics to collect")
         report = execute_points(self.run, self.xs, jobs=jobs, policy=policy,
-                                warmup=warmup)
+                                warmup=warmup, progress=progress)
         return self._collect_report(report)
 
     def _collect_report(self, report: ExecutionReport) -> dict[str, SweepSeries]:
         self.outcomes = list(report.outcomes)
         self.resilience = report.summary()
         self.registry = report.registry
-        return self._collect(report.payloads)
+        series = self._collect(report.payloads)
+        # Fold each observed point's metric snapshot into the sweep-level
+        # registry.  The snapshots are plain data (that is how they cross
+        # the worker-process pickle boundary); counters and histograms
+        # merge additively, gauges stay per-point.
+        for obs in self.observations:
+            if obs is not None and obs.metrics:
+                report.registry.merge_snapshot(obs.metrics)
+        return series
 
     def _collect(
         self, results: "Sequence[SimStats | ObservedPoint | None]"
@@ -160,7 +173,8 @@ class Sweep:
 
 def run_sweep_parallel(sweep: Sweep, jobs: int,
                        policy: ExecutionPolicy | None = None,
-                       warmup: Callable | None = None
+                       warmup: Callable | None = None,
+                       progress: Callable | None = None
                        ) -> dict[str, SweepSeries]:
     """Execute ``sweep`` with its points distributed over ``jobs`` worker
     processes (serial when ``jobs <= 1``).
@@ -169,7 +183,8 @@ def run_sweep_parallel(sweep: Sweep, jobs: int,
     deterministic, independent simulation, and the series preserve sweep
     order regardless of completion order.
     """
-    return sweep.execute(jobs=jobs, policy=policy, warmup=warmup)
+    return sweep.execute(jobs=jobs, policy=policy, warmup=warmup,
+                         progress=progress)
 
 
 @dataclass(frozen=True)

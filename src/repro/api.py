@@ -52,6 +52,8 @@ __all__ = [
     "conform",
     "check",
     "lint",
+    "attribute",
+    "attribute_protocols",
     "WORKLOADS",
 ]
 
@@ -213,6 +215,7 @@ def simulate(
     check_interval: int = 0,
     fast_forward: bool = False,
     sample_interval: int = 0,
+    tracing: bool = False,
     max_wall_seconds: float | None = None,
     dispatch: str | None = None,
 ) -> RunResult:
@@ -228,9 +231,12 @@ def simulate(
     (four-word blocks except Rudolph-Segall, strict verification except
     classic write-through, cache-lock style on the proposal).
     ``sample_interval > 0`` attaches the observability layer and returns
-    its result alongside the statistics.  ``max_wall_seconds`` arms the
-    engine watchdog: a wedged run is aborted with a
-    :class:`~repro.common.errors.WatchdogTimeout` carrying diagnostics.
+    its result alongside the statistics.  ``tracing=True`` additionally
+    records causal spans and the per-processor cycle attribution (see
+    :mod:`repro.obs.tracing`); both land on ``result.obs``.
+    ``max_wall_seconds`` arms the engine watchdog: a wedged run is
+    aborted with a :class:`~repro.common.errors.WatchdogTimeout`
+    carrying diagnostics.
     """
     from repro.sim.engine import run_workload
 
@@ -246,20 +252,26 @@ def simulate(
     if programs is None:
         programs = build_workload(workload, config, lock_style)
     obs = None
-    if sample_interval:
+    if sample_interval or tracing:
         from repro.obs import Observability
 
-        obs = Observability(interval=sample_interval)
+        obs = Observability(interval=sample_interval or 100,
+                            tracing=tracing)
     stats = run_workload(config, programs, check_interval=check_interval,
                          fast_forward=fast_forward, obs=obs,
                          max_wall_seconds=max_wall_seconds,
                          dispatch=dispatch)
+    obs_result = obs.result() if obs is not None else None
+    if obs_result is not None and obs_result.attribution is not None:
+        # The observability layer cannot know the protocol name; stamp it
+        # here so attribution reports are self-describing.
+        obs_result.attribution["protocol"] = protocol
     return RunResult(
         protocol=protocol,
         workload=workload,
         config=config,
         stats=stats,
-        obs=obs.result() if obs is not None else None,
+        obs=obs_result,
         dispatch=dispatch,
     )
 
@@ -331,6 +343,7 @@ def sweep(
     faults: "str | object | None" = None,
     fault_seed: int = 0,
     dispatch: str | None = None,
+    progress=None,
 ) -> SweepResult:
     """Run ``workload`` at each processor count (optionally in parallel
     worker processes) and collect the scaling series.
@@ -343,6 +356,10 @@ def sweep(
     raising on the first bad point; ``faults`` injects a chaos plan --
     either a :class:`~repro.faults.FaultPlan` or a spec string like
     ``"kill@1,hang@2"`` seeded by ``fault_seed``.
+
+    ``progress`` is called as ``progress(done, total, statuses)`` each
+    time a point reaches a terminal status -- the hook behind
+    ``repro sweep --progress``.
     """
     import functools
 
@@ -369,7 +386,8 @@ def sweep(
     series = plan.execute(jobs=jobs, policy=policy,
                           warmup=functools.partial(
                               _warm_sweep_worker, protocol=protocol,
-                              dispatch=dispatch))
+                              dispatch=dispatch),
+                          progress=progress)
     return SweepResult(
         protocol=protocol,
         workload=workload,
@@ -381,6 +399,45 @@ def sweep(
         resilience=dict(plan.resilience),
         dispatch=dispatch,
     )
+
+
+def attribute(
+    protocol: str = "bitar-despain",
+    workload: str = "lock-contention",
+    **kwargs,
+):
+    """Run one traced workload and return its cycle-attribution report.
+
+    A convenience over ``simulate(..., tracing=True)``: every simulated
+    cycle of every processor lands in exactly one of the eight
+    attribution buckets (:data:`repro.obs.attribution.BUCKETS`), the
+    per-processor sums are asserted against the engine's own counters,
+    and the report carries the contended-block and lock-handoff-chain
+    summary.  Returns an
+    :class:`~repro.obs.attribution.AttributionReport`.
+    """
+    from repro.obs.attribution import AttributionReport
+
+    result = simulate(protocol, workload, tracing=True, **kwargs)
+    assert result.obs is not None and result.obs.attribution is not None
+    return AttributionReport.from_dict(result.obs.attribution)
+
+
+def attribute_protocols(
+    protocols,
+    workload: str = "lock-contention",
+    **kwargs,
+) -> dict:
+    """Attribute the same workload under several protocols and return
+    the stamped comparison payload (kind ``attribution-comparison``) --
+    a causal explanation of the Table 1 cycle-count differences: which
+    buckets (miss-wait, invalidation refetch, lock spin, ...) each
+    protocol pays for the same work."""
+    from repro.obs.attribution import compare_attributions
+
+    reports = {name: attribute(name, workload, **kwargs)
+               for name in protocols}
+    return compare_attributions(reports)
 
 
 def conform(protocol: str, *, serializing: bool | None = None) -> ConformanceReport:

@@ -196,6 +196,12 @@ class Bus:
         now = self.clock.cycle
         if self.trace.active:
             self.trace.emit(now, EventKind.BUS_TXN, txn=str(txn))
+        if self.obs.active:
+            # Open the transaction span before snooping so the snoop-time
+            # hooks (invalidations, wakeups, aborts) attach to it as the
+            # cause of whatever they force elsewhere.
+            self.obs.record_txn_begin(now, txn.op.name, txn.block,
+                                      txn.requester, bus=self.index)
 
         replies = self._snoop_all(port, txn)
         response = BusResponse.combine(replies, choose=self._choose_source)
@@ -213,7 +219,8 @@ class Bus:
         self._count_events(txn, response)
         if self.obs.active:
             self.obs.record_bus_txn(now, duration, txn.op.name, txn.block,
-                                    txn.requester, bus=self.index)
+                                    txn.requester, bus=self.index,
+                                    outcome=info.outcome.name)
         self._busy_until = now + duration
         self._active_port = port
 

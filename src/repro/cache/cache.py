@@ -172,6 +172,9 @@ class SnoopingCache:
         self._count_miss(op, line)
         self._pending = PendingAccess(op=op, request=action,
                                       posted_at=self.clock.cycle)
+        if self.obs.active:
+            self.obs.record_request_posted(self.id, op.kind.name, block,
+                                           self.clock.cycle)
         return AccessStatus.PENDING
 
     def _dispatch(self, op: Op, line: CacheLine | None) -> Done | NeedBus:
@@ -369,6 +372,8 @@ class SnoopingCache:
             pending.request = None
             pending.ready = True
             pending.completed = True
+            if self.obs.active:
+                self.obs.record_request_aborted(self.id, self.now())
             return
         block = self.block_of(pending.op.addr)  # type: ignore[arg-type]
         pending.request = self.protocol.revalidate_request(need, block)
@@ -531,6 +536,8 @@ class SnoopingCache:
     def _unlock_after_rmw(self, line: CacheLine) -> None:
         if line.state is CacheState.LOCK_WAITER:
             self.queue_detached(NeedBus(op=BusOp.UNLOCK_BROADCAST), line.block)
+            if self.obs.active:
+                self.obs.record_unlock_queued(self.id, line.block, self.now())
         line.state = CacheState.WRITE_DIRTY
 
     def _apply_memory_rmw(self, pending: PendingAccess, txn: BusTransaction) -> None:
@@ -602,6 +609,8 @@ class SnoopingCache:
             if self._pending is not None and self._pending.lock_wait is False:
                 self._pending.request = None
                 self._pending.lock_wait = True
+                if self.obs.active:
+                    self.obs.record_wait_rearmed(self.id, self.now())
 
         if self._held_block is not None and self._held_block == txn.block:
             return SnoopReply(retry=True)
@@ -620,6 +629,8 @@ class SnoopingCache:
             pending.lock_wait = False
             pending.request = replace(pending.retry_request, high_priority=True)
             pending.posted_at = self.now()  # bus-wait measured from the wakeup
+            if self.obs.active:
+                self.obs.record_wait_wakeup(self.id, txn.block, self.now())
             if self.trace.active:
                 self.trace.emit(self.now(), EventKind.WAIT, cache=self.id,
                                 block=txn.block, action="fired")
@@ -675,6 +686,8 @@ class SnoopingCache:
             self.stats.flushes += 1
             self._install_effects.lock_spilled = True
             self._install_effects.flush_words += self.config.words_per_block
+            if self.obs.active:
+                self.obs.record_lock_spill(self.id, victim.block, self.now())
         elif self.protocol.purge_needs_flush(victim):
             self.memory.write_block(victim.block, victim.snapshot())
             self.stats.flushes += 1

@@ -105,6 +105,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sample-interval", type=int, default=100, metavar="N",
                      help="observability sampling interval in cycles "
                           "(default 100)")
+    run.add_argument("--attribution", nargs="?", const="-", default=None,
+                     metavar="FILE",
+                     help="trace the run causally and print the cycle-"
+                          "attribution report (every cycle in exactly one "
+                          "bucket) plus the critical path; with FILE, also "
+                          "write the stamped report as JSON")
+    run.add_argument("--spans-out", metavar="FILE", default=None,
+                     help="trace the run causally and write the span "
+                          "trace (kind span-trace JSON); spans also show "
+                          "up in the --timeline export with flow arrows")
     run.add_argument("--max-wall-seconds", type=float, default=None,
                      metavar="SECONDS",
                      help="abort a wedged run after this much wall-clock "
@@ -150,6 +160,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--fault-seed", type=int, default=0, metavar="N",
                        help="seed for fault-plan draws and retry jitter "
                             "(default 0)")
+    sweep.add_argument("--progress", action="store_true",
+                       help="live progress line on stderr (points "
+                            "ok/failed/quarantined, ETA); only when stderr "
+                            "is a TTY")
 
     compare = sub.add_parser(
         "compare", help="run one workload across the whole protocol field"
@@ -294,7 +308,9 @@ def command_run(args: argparse.Namespace) -> int:
             programs = api.build_workload(args.workload, config, style)
         with open(args.dump_trace, "w", encoding="utf-8") as handle:
             handle.write(dump_trace(programs))
-    observe = bool(args.metrics_out or args.timeline or args.heatmap)
+    tracing = bool(args.attribution or args.spans_out)
+    observe = bool(args.metrics_out or args.timeline or args.heatmap
+                   or tracing)
     from repro.common.errors import WatchdogTimeout
 
     try:
@@ -313,6 +329,7 @@ def command_run(args: argparse.Namespace) -> int:
             fast_forward=args.fast_forward,
             dispatch=args.dispatch,
             sample_interval=args.sample_interval if observe else 0,
+            tracing=tracing,
             max_wall_seconds=args.max_wall_seconds,
         )
     except WatchdogTimeout as exc:
@@ -372,6 +389,27 @@ def _write_observability(obs, args: argparse.Namespace) -> None:
         write_chrome_trace(obs, args.timeline)
         print(f"timeline written to {args.timeline} "
               f"(load in ui.perfetto.dev)")
+    if args.spans_out:
+        from repro.obs import write_spans
+
+        write_spans(obs, args.spans_out)
+        print(f"span trace written to {args.spans_out}")
+    if args.attribution and obs.attribution is not None:
+        from repro.obs.attribution import (AttributionReport, critical_path,
+                                           render_critical_path)
+
+        report = AttributionReport.from_dict(obs.attribution)
+        print()
+        print(report.render())
+        print()
+        print(render_critical_path(critical_path(obs.spans)))
+        if args.attribution != "-":
+            import json as _json
+
+            with open(args.attribution, "w", encoding="utf-8") as handle:
+                _json.dump(obs.attribution, handle, indent=2)
+                handle.write("\n")
+            print(f"attribution report written to {args.attribution}")
     if args.heatmap:
         heatmap = build_heatmap(obs)
         print()
@@ -384,10 +422,37 @@ def _write_observability(obs, args: argparse.Namespace) -> None:
             print(f"heatmap written to {args.heatmap}")
 
 
+def _sweep_progress_printer():
+    """A ``progress(done, total, statuses)`` callback rendering a live
+    ``\\r`` status line on stderr, fed by the resilient executor's own
+    point counters."""
+    import time as _time
+
+    start = _time.monotonic()
+
+    def render(done: int, total: int, statuses: dict) -> None:
+        elapsed = _time.monotonic() - start
+        eta = elapsed / done * (total - done) if done else 0.0
+        failed = statuses.get("failed", 0) + statuses.get("timeout", 0)
+        sys.stderr.write(
+            f"\rsweep {done}/{total}  ok={statuses.get('ok', 0)} "
+            f"failed={failed} "
+            f"quarantined={statuses.get('quarantined', 0)}  "
+            f"eta {eta:4.0f}s")
+        if done >= total:
+            sys.stderr.write("\n")
+        sys.stderr.flush()
+
+    return render
+
+
 def command_sweep(args: argparse.Namespace) -> int:
     from repro import api
     from repro.common.errors import SweepPointError
 
+    progress = None
+    if args.progress and sys.stderr.isatty():
+        progress = _sweep_progress_printer()
     try:
         result = api.sweep(
             args.protocol,
@@ -402,6 +467,7 @@ def command_sweep(args: argparse.Namespace) -> int:
             keep_going=args.keep_going,
             faults=args.inject_faults,
             fault_seed=args.fault_seed,
+            progress=progress,
         )
     except SweepPointError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)

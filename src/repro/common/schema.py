@@ -35,6 +35,20 @@ Version history
    Migration: v2 readers that ignore unknown keys keep working; the
    pre-existing ``engine.*`` timing keys still describe the default
    (compiled) core.
+4. Causal tracing and cycle attribution: observability results gain
+   ``spans`` (the causal span list) and ``attribution`` (the reduced
+   per-processor cycle-attribution report); two new stamped artifact
+   kinds, ``span-trace`` (``repro run --spans-out``) and
+   ``attribution-report`` (``repro run --attribution FILE``), plus the
+   derived ``attribution-comparison``.  Chrome traces may now carry
+   flow events (``ph`` of ``s``/``t``/``f``) linking span slices.
+   Registry snapshots are unchanged in shape, but histograms now merge
+   across the sweep process boundary like counters (they were silently
+   dropped before).  ``BENCH_engine.json`` gains an ``obs`` section
+   (null-observer vs tracing-off vs tracing-on timings, the input to
+   ``perf_guard``'s obs-overhead ceiling).  Migration: v3 readers that
+   ignore unknown keys keep working; none of the pre-existing payload
+   keys changed meaning.
 """
 
 from __future__ import annotations
@@ -42,7 +56,7 @@ from __future__ import annotations
 from repro.common.errors import ReproError
 
 #: Current version of all exported JSON payload shapes.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Key under which the version is stamped.
 SCHEMA_KEY = "schema_version"

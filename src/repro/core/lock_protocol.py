@@ -252,6 +252,12 @@ class BitarDespainProtocol(TableProtocol):
             self.cache.queue_detached(
                 NeedBus(op=BusOp.UNLOCK_BROADCAST), line.block
             )
+            if self.cache.obs.active:
+                # Ties the upcoming broadcast span back to this release,
+                # so a handoff chain is traceable hold -> broadcast ->
+                # woken waiter's retry -> next hold.
+                self.cache.obs.record_unlock_queued(
+                    self.cache.id, line.block, self.cache.now())
         line.state = CacheState.WRITE_DIRTY
         self.cache.trace.emit(self.cache.now(), EventKind.LOCK,
                               cache=self.cache.id, block=line.block,

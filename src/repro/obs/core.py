@@ -38,6 +38,10 @@ class ObsResult:
     samples: list[dict] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
     slices: list[dict] = field(default_factory=list)
+    #: Causal spans (``tracing=True`` runs only; see repro.obs.tracing).
+    spans: list[dict] = field(default_factory=list)
+    #: Reduced attribution report dict (``tracing=True`` runs only).
+    attribution: dict | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -46,6 +50,8 @@ class ObsResult:
             "samples": self.samples,
             "metrics": self.metrics,
             "slices": self.slices,
+            "spans": self.spans,
+            "attribution": self.attribution,
         }
 
 
@@ -57,6 +63,7 @@ class NullObservability:
     """
 
     active = False
+    next_advance = 0
 
     def bind(self, trace: "TraceLog", stats: "SimStats") -> None:
         raise RuntimeError(
@@ -71,7 +78,12 @@ class NullObservability:
         return None
 
     def record_bus_txn(self, cycle: int, duration: int, op: str,
-                       block: int, requester: int, bus: int = 0) -> None:
+                       block: int, requester: int, bus: int = 0,
+                       *, outcome: str | None = None) -> None:
+        return None
+
+    def record_txn_begin(self, cycle: int, op: str, block: int,
+                         requester: int, bus: int = 0) -> None:
         return None
 
     def record_invalidation(self, block: int, cache: int) -> None:
@@ -99,6 +111,35 @@ class NullObservability:
                              since: int, cycle: int) -> None:
         return None
 
+    def record_request_posted(self, cache: int, op_kind: str, block: int,
+                              cycle: int) -> None:
+        return None
+
+    def record_request_aborted(self, cache: int, cycle: int) -> None:
+        return None
+
+    def record_local_hit(self, pid: int, cycle: int) -> None:
+        return None
+
+    def record_spin_step(self, pid: int, cycle: int) -> None:
+        return None
+
+    def record_wait_wakeup(self, cache: int, block: int, cycle: int) -> None:
+        return None
+
+    def record_wait_rearmed(self, cache: int, cycle: int) -> None:
+        return None
+
+    def record_crossbar(self, pid: int, start: int, until: int) -> None:
+        return None
+
+    def record_unlock_queued(self, cache: int, block: int,
+                             cycle: int) -> None:
+        return None
+
+    def record_lock_spill(self, cache: int, block: int, cycle: int) -> None:
+        return None
+
 
 #: Module-level null object used whenever observability is disabled.
 NULL_OBS = NullObservability()
@@ -109,10 +150,23 @@ class Observability:
 
     active = True
 
-    def __init__(self, interval: int = 100) -> None:
+    def __init__(self, interval: int = 100, *, tracing: bool = False) -> None:
         self.registry = MetricRegistry()
         self.sampler = IntervalSampler(interval)
+        #: The next ``stats.cycles`` value at which :meth:`on_advance`
+        #: has sampling work to do.  The engine checks this plain
+        #: attribute inline so the per-cycle cost of an attached
+        #: observer is one comparison, not a call into the sampler.
+        self.next_advance = self.sampler.next_boundary
         self.slices: list[dict] = []
+        #: Causal span tracer (``tracing=True``); every hook below
+        #: forwards to it, and it only ever sees event cycles, so its
+        #: output is engine- and dispatch-independent.
+        self.tracer = None
+        if tracing:
+            from repro.obs.tracing import SpanTracer
+
+            self.tracer = SpanTracer(self.registry)
         self._stats: "SimStats | None" = None
         self._trace: "TraceLog | None" = None
         self._event_counts: TallyCounter = TallyCounter()
@@ -197,14 +251,18 @@ class Observability:
 
     def on_advance(self, cycles: int) -> None:
         self.sampler.on_advance(cycles)
+        self.next_advance = self.sampler.next_boundary
 
     def on_run_end(self, cycles: int) -> None:
         self.sampler.finalize(cycles)
+        if self.tracer is not None:
+            self.tracer.finalize(cycles)
 
     # -- component publication hooks ---------------------------------------
 
     def record_bus_txn(self, cycle: int, duration: int, op: str,
-                       block: int, requester: int, bus: int = 0) -> None:
+                       block: int, requester: int, bus: int = 0,
+                       *, outcome: str | None = None) -> None:
         self._bus_txns.inc(op=op, bus=bus)
         self._bus_txn_cycles.observe(duration, op=op)
         self.slices.append({
@@ -212,9 +270,19 @@ class Observability:
             "dur": duration,
             "args": {"block": block, "requester": requester},
         })
+        if self.tracer is not None:
+            self.tracer.txn_end(cycle, duration, op, block, requester,
+                                bus=bus, outcome=outcome)
+
+    def record_txn_begin(self, cycle: int, op: str, block: int,
+                         requester: int, bus: int = 0) -> None:
+        if self.tracer is not None:
+            self.tracer.txn_begin(cycle, op, block, requester, bus=bus)
 
     def record_invalidation(self, block: int, cache: int) -> None:
         self._invalidations.inc(block=block)
+        if self.tracer is not None:
+            self.tracer.invalidation(block, cache)
 
     def record_c2c(self, block: int, supplier: int) -> None:
         self._c2c.inc(block=block)
@@ -229,12 +297,16 @@ class Observability:
         # Re-arms (lost post-unlock arbitration) keep the original start.
         if pid not in self._open_waits:
             self._open_waits[pid] = (block, cycle)
+        if self.tracer is not None:
+            self.tracer.wait_start(pid, block, cycle)
 
     def record_wait_cancelled(self, pid: int, cycle: int) -> None:
         open_wait = self._open_waits.pop(pid, None)
         if open_wait is not None:
             block, start = open_wait
             self._close_wait(pid, block, start, cycle, cancelled=True)
+        if self.tracer is not None:
+            self.tracer.wait_cancelled(pid, cycle)
 
     def record_lock_acquired(self, pid: int, block: int, cycle: int) -> None:
         self._lock_acquisitions.inc(block=block)
@@ -246,6 +318,8 @@ class Observability:
         if open_wait is not None:
             wait_block, start = open_wait
             self._close_wait(pid, wait_block, start, cycle, cancelled=False)
+        if self.tracer is not None:
+            self.tracer.lock_acquired(pid, block, cycle)
 
     def _close_wait(self, pid: int, block: int, start: int, cycle: int,
                     cancelled: bool) -> None:
@@ -265,6 +339,48 @@ class Observability:
             "start": since, "dur": cycle - since,
             "args": {"block": block},
         })
+        if self.tracer is not None:
+            self.tracer.lock_released(pid, block, since, cycle)
+
+    # -- tracing-only hooks (no registry work; forwarded verbatim) ---------
+
+    def record_request_posted(self, cache: int, op_kind: str, block: int,
+                              cycle: int) -> None:
+        if self.tracer is not None:
+            self.tracer.request_posted(cache, op_kind, block, cycle)
+
+    def record_request_aborted(self, cache: int, cycle: int) -> None:
+        if self.tracer is not None:
+            self.tracer.request_aborted(cache, cycle)
+
+    def record_local_hit(self, pid: int, cycle: int) -> None:
+        if self.tracer is not None:
+            self.tracer.local_hit(pid, cycle)
+
+    def record_spin_step(self, pid: int, cycle: int) -> None:
+        if self.tracer is not None:
+            self.tracer.spin_step(pid, cycle)
+
+    def record_wait_wakeup(self, cache: int, block: int, cycle: int) -> None:
+        if self.tracer is not None:
+            self.tracer.wait_wakeup(cache, block, cycle)
+
+    def record_wait_rearmed(self, cache: int, cycle: int) -> None:
+        if self.tracer is not None:
+            self.tracer.wait_rearmed(cache, cycle)
+
+    def record_crossbar(self, pid: int, start: int, until: int) -> None:
+        if self.tracer is not None:
+            self.tracer.crossbar(pid, start, until)
+
+    def record_unlock_queued(self, cache: int, block: int,
+                             cycle: int) -> None:
+        if self.tracer is not None:
+            self.tracer.unlock_queued(cache, block, cycle)
+
+    def record_lock_spill(self, cache: int, block: int, cycle: int) -> None:
+        if self.tracer is not None:
+            self.tracer.lock_spill(cache, block, cycle)
 
     # -- results -----------------------------------------------------------
 
@@ -272,12 +388,26 @@ class Observability:
         """Reduce the run to plain data (safe to pickle across the
         process-pool sweep path)."""
         cycles = self._stats.cycles if self._stats is not None else 0
+        spans: list[dict] = []
+        attribution = None
+        if self.tracer is not None:
+            spans = list(self.tracer.spans)
+            # Attribution needs the finalized tallies (open episodes are
+            # closed by on_run_end); a mid-run reduction keeps the spans
+            # but skips the exact accounting.
+            if self._stats is not None and self.tracer.end_cycle is not None:
+                from repro.obs.attribution import compute_attribution
+
+                attribution = compute_attribution(
+                    self.tracer, self._stats).to_dict()
         return ObsResult(
             interval=self.sampler.interval,
             cycles=cycles,
             samples=list(self.sampler.samples),
             metrics=self.registry.snapshot(),
             slices=list(self.slices),
+            spans=spans,
+            attribution=attribution,
         )
 
 

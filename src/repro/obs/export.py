@@ -73,6 +73,45 @@ def metrics_json(obs: "Observability | ObsResult", *,
     return json.dumps(stamp(_result(obs).to_dict()), indent=indent)
 
 
+def spans_json(obs: "Observability | ObsResult", *,
+               indent: int | None = 1) -> str:
+    """The causal span trace as one stamped JSON document.
+
+    A single document (kind ``span-trace``) rather than JSON-lines so
+    ``scripts/validate_trace.py`` can ``json.load`` it like the other
+    schema-stamped artifacts.
+    """
+    result = _result(obs)
+    payload = stamp({"kind": "span-trace", "cycles": result.cycles,
+                     "spans": result.spans})
+    return json.dumps(payload, indent=indent) + "\n"
+
+
+def write_spans(obs: "Observability | ObsResult", path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(spans_json(obs))
+
+
+def folded_stacks(report: Any) -> str:
+    """An attribution report as folded stacks (flamegraph collapse format).
+
+    One line per processor x bucket -- ``cpu0;miss_wait 1234`` -- with
+    every bucket emitted (zeros included) so per-cpu line sums equal the
+    run's total cycles.  Feed to ``flamegraph.pl`` or speedscope.
+    """
+    from repro.obs.attribution import BUCKETS
+
+    per_pid = getattr(report, "per_pid", None)
+    if per_pid is None:
+        per_pid = report["per_pid"]
+    lines = []
+    for entry in sorted(per_pid, key=lambda e: e["pid"]):
+        for bucket in BUCKETS:
+            lines.append(
+                f"cpu{entry['pid']};{bucket} {entry['buckets'][bucket]}")
+    return "\n".join(lines) + "\n"
+
+
 def write_samples(obs: "Observability | ObsResult", path: str) -> None:
     """Write the sample series; format chosen by extension (``.csv`` is
     CSV, ``.json`` the full metrics document, anything else JSON-lines)."""
@@ -107,7 +146,9 @@ def chrome_trace(obs: "Observability | ObsResult") -> dict:
     unit), so Perfetto's time axis reads directly in bus cycles.
     """
     result = _result(obs)
-    tracks = sorted({s["track"] for s in result.slices}, key=_track_order)
+    spans = result.spans
+    tracks = sorted({s["track"] for s in result.slices}
+                    | {s["track"] for s in spans}, key=_track_order)
     tids = {track: index for index, track in enumerate(tracks)}
     events: list[dict] = [{
         "ph": "M", "pid": _TRACE_PID, "tid": 0, "name": "process_name",
@@ -130,6 +171,33 @@ def chrome_trace(obs: "Observability | ObsResult") -> dict:
             "ts": s["start"], "dur": max(s["dur"], 0),
             "args": s.get("args", {}),
         })
+    by_id = {span["id"]: span for span in spans}
+    for span in spans:
+        args = dict(span.get("args") or {})
+        args["span_id"] = span["id"]
+        events.append({
+            "ph": "X", "pid": _TRACE_PID, "tid": tids[span["track"]],
+            "name": span["name"], "cat": f"span.{span['kind']}",
+            "ts": span["start"], "dur": max(span["dur"], 0),
+            "args": args,
+        })
+        # Parent/cause links become flow arrows; span links always point
+        # at earlier span ids, so the flow start never postdates its end.
+        for edge, offset in (("parent", 0), ("cause", 1)):
+            source = by_id.get(span.get(edge))
+            if source is None:
+                continue
+            flow_id = span["id"] * 2 + offset
+            events.append({
+                "ph": "s", "pid": _TRACE_PID, "tid": tids[source["track"]],
+                "name": edge, "cat": "flow", "id": flow_id,
+                "ts": source["start"],
+            })
+            events.append({
+                "ph": "f", "pid": _TRACE_PID, "tid": tids[span["track"]],
+                "name": edge, "cat": "flow", "id": flow_id,
+                "ts": span["start"], "bp": "e",
+            })
     return stamp({
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -163,13 +231,20 @@ def validate_chrome_trace(payload: Any) -> list[str]:
             problems.append(f"{where}: not an object")
             continue
         ph = event.get("ph")
-        if ph not in ("X", "M", "B", "E", "i", "C"):
+        if ph not in ("X", "M", "B", "E", "i", "C", "s", "t", "f"):
             problems.append(f"{where}: unknown phase {ph!r}")
             continue
         for key, types in (("name", str), ("pid", int), ("tid", int)):
             if not isinstance(event.get(key), types):
                 problems.append(f"{where}: missing/invalid {key!r}")
-        if ph == "X":
+        if ph in ("s", "t", "f"):
+            if not isinstance(event.get("id"), int):
+                problems.append(f"{where}: flow event without an 'id'")
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(
+                    f"{where}: 'ts' must be a non-negative number")
+        elif ph == "X":
             for key in ("ts", "dur"):
                 value = event.get(key)
                 if not isinstance(value, (int, float)) or value < 0:

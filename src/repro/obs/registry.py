@@ -226,6 +226,62 @@ class MetricRegistry:
             counter.inc(entry["value"], **entry["labels"])
         return counter
 
+    def merge_histogram_snapshot(self, name: str, snapshot: dict,
+                                 help: str = "") -> Histogram:
+        """Fold a histogram snapshot (from :meth:`Histogram.snapshot`)
+        into this registry, summing bucket counts label-set by label-set.
+
+        The counterpart of :meth:`merge_counter_snapshot` for the sweep
+        process boundary; bucket boundaries must match any existing
+        histogram of the same name.
+        """
+        if snapshot.get("kind") != "histogram":
+            raise ValueError(
+                f"metric {name}: can only merge histogram snapshots, got "
+                f"{snapshot.get('kind')!r}"
+            )
+        buckets = tuple(sorted(snapshot.get("buckets", ())))
+        histogram = self.histogram(name, help or snapshot.get("help", ""),
+                                   tuple(snapshot.get("label_names", ())),
+                                   buckets=buckets)
+        if histogram.buckets != buckets:
+            raise ValueError(
+                f"metric {name}: bucket boundaries {buckets} do not match "
+                f"existing {histogram.buckets}"
+            )
+        for entry in snapshot.get("values", ()):
+            counts = entry["bucket_counts"]
+            if len(counts) != len(histogram.buckets) + 1:
+                raise ValueError(
+                    f"metric {name}: snapshot has {len(counts)} bucket "
+                    f"counts, expected {len(histogram.buckets) + 1}"
+                )
+            key = histogram._key(entry["labels"])
+            series = histogram._series.get(key)
+            if series is None:
+                series = histogram._series[key] = (
+                    [0] * (len(histogram.buckets) + 1) + [0.0, 0])
+            for index, count in enumerate(counts):
+                series[index] += count
+            series[-2] += entry["sum"]
+            series[-1] += entry["count"]
+        return histogram
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a full registry snapshot (from :meth:`snapshot`) into
+        this registry.
+
+        Counters and histograms merge additively.  Gauges are skipped:
+        they are point-in-time readings, and summing them across workers
+        would fabricate a queue depth no single run ever saw.
+        """
+        for name, metric in sorted(snapshot.items()):
+            kind = metric.get("kind")
+            if kind == "counter":
+                self.merge_counter_snapshot(name, metric)
+            elif kind == "histogram":
+                self.merge_histogram_snapshot(name, metric)
+
     def names(self) -> list[str]:
         return sorted(self._metrics)
 

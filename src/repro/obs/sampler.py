@@ -49,7 +49,7 @@ class IntervalSampler:
         self.samples: list[dict] = []
         self._stats: "SimStats | None" = None
         self._gauges: Callable[[], dict] | None = None
-        self._next_boundary = interval
+        self.next_boundary = interval
         self._last_emitted = 0
         self._prev_cycle = 0
         self._prev_busy = 0
@@ -66,9 +66,9 @@ class IntervalSampler:
         a bulk skip lands every spanned boundary here in one call, with
         identical (unchanged) counters for each -- the quiet-span fill.
         """
-        while self._next_boundary <= cycles:
-            self._emit(self._next_boundary)
-            self._next_boundary += self.interval
+        while self.next_boundary <= cycles:
+            self._emit(self.next_boundary)
+            self.next_boundary += self.interval
 
     def finalize(self, cycles: int) -> None:
         """Emit the trailing partial interval at run end (idempotent)."""

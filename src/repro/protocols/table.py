@@ -596,6 +596,9 @@ class TableProtocol(CoherenceProtocol):
             assert line is not None
             cache.queue_detached(NeedBus(op=BusOp.UNLOCK_BROADCAST),
                                  line.block)
+            if cache.obs.active:
+                cache.obs.record_unlock_queued(cache.id, line.block,
+                                               cache.now())
             return
         if action == "trace-unlock":
             assert line is not None

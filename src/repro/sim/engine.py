@@ -255,7 +255,7 @@ class Simulator:
         self.stats.cycles += 1
         self.clock.cycle = cycle + 1
         obs = self.obs
-        if obs.active:
+        if obs.active and self.stats.cycles >= obs.next_advance:
             obs.on_advance(self.stats.cycles)
         if self._check_interval and self.stats.cycles % self._check_interval == 0:
             self.checker.check_all()
@@ -465,7 +465,7 @@ class Simulator:
                 # Quiet-span fill: every interval boundary inside the
                 # span is sampled here with the (unchanged) counters the
                 # stepped engine would have seen on that cycle.
-                if self.obs.active:
+                if self.obs.active and target >= self.obs.next_advance:
                     self.obs.on_advance(target)
                 if check and target % check == 0:
                     self.checker.check_all()

@@ -138,3 +138,66 @@ class TestOverSeeds:
     def test_within(self):
         assert SeedStatistics(5.0, 0.1, 4.9, 5.1, 3).within(4.0, 6.0)
         assert not SeedStatistics(5.0, 0.1, 4.9, 5.1, 3).within(6.0, 7.0)
+
+
+def _observed_point(n):
+    """Module-level observed point with a counter and a histogram; the
+    process pool pickles the reduced ObsResult, not the registry."""
+    from repro.obs.core import ObsResult
+    from repro.obs.registry import MetricRegistry
+
+    config = SystemConfig(num_processors=int(n))
+    stats = run_workload(config, lock_contention(config, rounds=2))
+    reg = MetricRegistry()
+    reg.counter("point_txns").inc(stats.total_transactions)
+    reg.histogram("point_cycles", buckets=(500, 5000)).observe(stats.cycles)
+    from repro.analysis.sweeps import ObservedPoint
+
+    return ObservedPoint(stats=stats, obs=ObsResult(
+        interval=1, cycles=stats.cycles, metrics=reg.snapshot()))
+
+
+class TestObservedMetricMerging:
+    def _sweep(self):
+        return Sweep(xs=[2, 3, 4], run=_observed_point,
+                     metrics={"cycles": lambda s: s.cycles})
+
+    def test_histograms_merge_across_points(self):
+        sweep = self._sweep()
+        sweep.execute()
+        snap = sweep.registry.snapshot()
+        assert snap["point_cycles"]["kind"] == "histogram"
+        merged = snap["point_cycles"]["values"][0]
+        assert merged["count"] == 3
+        assert sum(merged["bucket_counts"]) == 3
+        totals = sum(s.cycles for s in sweep.results)
+        assert merged["sum"] == pytest.approx(totals)
+
+    def test_counters_merge_across_points(self):
+        sweep = self._sweep()
+        sweep.execute()
+        snap = sweep.registry.snapshot()
+        expected = sum(s.total_transactions for s in sweep.results)
+        assert snap["point_txns"]["values"][0]["value"] == expected
+
+    def test_parallel_merge_matches_serial(self):
+        serial = self._sweep()
+        serial.execute()
+        parallel = self._sweep()
+        run_sweep_parallel(parallel, jobs=2)
+        assert (parallel.registry.snapshot()["point_cycles"]
+                == serial.registry.snapshot()["point_cycles"])
+
+
+class TestProgressCallback:
+    def test_progress_reports_every_terminal_point(self):
+        calls = []
+        sweep = Sweep(xs=[2, 3, 4], run=_observed_point,
+                      metrics={"cycles": lambda s: s.cycles})
+        sweep.execute(progress=lambda done, total, statuses:
+                      calls.append((done, total, dict(statuses))))
+        assert [done for done, _, _ in calls] == [1, 2, 3]
+        assert all(total == 3 for _, total, _ in calls)
+        done, total, statuses = calls[-1]
+        assert statuses["ok"] == 3
+        assert sum(statuses.values()) == 3

@@ -49,7 +49,8 @@ class TestSampleExport:
         doc = json.loads(metrics_json(obs))
         assert doc["cycles"] == stats.cycles
         assert set(doc) == {"interval", "cycles", "samples", "metrics",
-                            "slices", "schema_version"}
+                            "slices", "spans", "attribution",
+                            "schema_version"}
         assert "lock_acquisitions_total" in doc["metrics"]
 
     def test_write_samples_dispatches_on_extension(self, observed, tmp_path):

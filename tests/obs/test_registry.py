@@ -135,3 +135,64 @@ class TestMetricRegistry:
         assert json.loads(json.dumps(snap)) == snap
         assert pickle.loads(pickle.dumps(snap)) == snap
         assert set(snap) == {"txns", "lat"}
+
+
+class TestHistogramMerging:
+    def test_merge_sums_bucket_counts_sum_and_count(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.histogram("lat", buckets=(1, 10)).observe(5)
+        b.histogram("lat", buckets=(1, 10)).observe(0.5)
+        b.histogram("lat", buckets=(1, 10)).observe(50)
+        a.merge_histogram_snapshot("lat", b.snapshot()["lat"])
+        merged = a.snapshot()["lat"]["values"][0]
+        assert merged["bucket_counts"] == [1, 1, 1]
+        assert merged["count"] == 3
+        assert merged["sum"] == pytest.approx(55.5)
+
+    def test_merge_preserves_label_sets(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.histogram("lat", label_names=("op",)).observe(3, op="READ")
+        b.histogram("lat", label_names=("op",)).observe(7, op="WRITE")
+        a.merge_histogram_snapshot("lat", b.snapshot()["lat"])
+        values = {tuple(sorted(v["labels"].items())): v["count"]
+                  for v in a.snapshot()["lat"]["values"]}
+        assert values == {(("op", "READ"),): 1, (("op", "WRITE"),): 1}
+
+    def test_merge_into_empty_registry_creates_the_histogram(self):
+        src, dst = MetricRegistry(), MetricRegistry()
+        src.histogram("lat", buckets=(2, 4)).observe(3)
+        dst.merge_histogram_snapshot("lat", src.snapshot()["lat"])
+        assert dst.snapshot()["lat"] == src.snapshot()["lat"]
+
+    def test_mismatched_bucket_boundaries_raise(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.histogram("lat", buckets=(1, 10)).observe(5)
+        b.histogram("lat", buckets=(1, 100)).observe(5)
+        with pytest.raises(ValueError):
+            a.merge_histogram_snapshot("lat", b.snapshot()["lat"])
+
+    def test_non_histogram_snapshot_rejected(self):
+        reg = MetricRegistry()
+        src = MetricRegistry()
+        src.counter("txns").inc()
+        with pytest.raises(ValueError):
+            reg.merge_histogram_snapshot("txns", src.snapshot()["txns"])
+
+
+class TestRegistrySnapshotMerging:
+    def test_merge_snapshot_folds_counters_and_histograms(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.counter("txns").inc(2)
+        a.histogram("lat", buckets=(1,)).observe(0.5)
+        b.counter("txns").inc(3)
+        b.histogram("lat", buckets=(1,)).observe(2)
+        a.merge_snapshot(b.snapshot())
+        snap = a.snapshot()
+        assert snap["txns"]["values"][0]["value"] == 5
+        assert snap["lat"]["values"][0]["bucket_counts"] == [1, 1]
+
+    def test_merge_snapshot_skips_gauges(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        b.gauge("depth").set(7)
+        a.merge_snapshot(b.snapshot())
+        assert a.get("depth") is None

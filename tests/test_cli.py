@@ -228,3 +228,45 @@ class TestCheckCommand:
                    / "lost-dirty-purge.json")
         assert main(["check", "--replay", str(fixture)]) == 0
         assert "reproduced" in capsys.readouterr().out
+
+
+class TestCausalTracing:
+    def test_attribution_to_stdout(self, capsys):
+        assert main(["run", "-n", "2", "--attribution"]) == 0
+        out = capsys.readouterr().out
+        assert "contended lock block:" in out
+        assert "handoff chain:" in out
+        assert "critical path:" in out
+
+    def test_attribution_and_spans_written_to_files(self, tmp_path, capsys):
+        import json
+
+        attr = tmp_path / "attr.json"
+        spans = tmp_path / "spans.json"
+        assert main(["run", "-n", "2", "--fast-forward",
+                     "--attribution", str(attr),
+                     "--spans-out", str(spans)]) == 0
+        attribution = json.loads(attr.read_text())
+        assert attribution["kind"] == "attribution-report"
+        assert attribution["schema_version"] >= 4
+        for entry in attribution["per_pid"]:
+            assert sum(entry["buckets"].values()) == entry["total"]
+        trace = json.loads(spans.read_text())
+        assert trace["kind"] == "span-trace"
+        assert trace["spans"]
+
+    def test_spans_out_alone_enables_tracing(self, tmp_path, capsys):
+        import json
+
+        spans = tmp_path / "spans.json"
+        assert main(["run", "-n", "2", "--spans-out", str(spans)]) == 0
+        assert json.loads(spans.read_text())["spans"]
+
+    def test_sweep_progress_flag_parses(self):
+        args = build_parser().parse_args(["sweep", "--progress"])
+        assert args.progress
+        assert not build_parser().parse_args(["sweep"]).progress
+
+    def test_sweep_progress_silent_when_not_a_tty(self, capsys):
+        assert main(["sweep", "--processors", "2", "3", "--progress"]) == 0
+        assert "eta" not in capsys.readouterr().err
