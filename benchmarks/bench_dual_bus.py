@@ -7,10 +7,16 @@ unchanged but disjoint-partition transactions overlap.
 """
 
 from repro import SystemConfig, run_workload
+from repro.common.config import TopologyConfig
 from repro.analysis.report import render_table
 from repro.workloads import interleaved_sharing, lock_contention
 
 from benchmarks.conftest import bench_run
+
+
+def _topo(buses: int) -> TopologyConfig:
+    return (TopologyConfig() if buses == 1
+            else TopologyConfig(kind="multibus", buses=buses))
 
 
 def run_comparison():
@@ -18,7 +24,7 @@ def run_comparison():
     for n in (4, 8, 12):
         cells = [n]
         for buses in (1, 2):
-            config = SystemConfig(num_processors=n, num_buses=buses)
+            config = SystemConfig(num_processors=n, topology=_topo(buses))
             stats = run_workload(
                 config, interleaved_sharing(config, references=150),
                 check_interval=0,
@@ -49,7 +55,7 @@ def test_dual_bus_throughput(benchmark):
 def run_lock_comparison():
     rows = []
     for buses in (1, 2):
-        config = SystemConfig(num_processors=8, num_buses=buses)
+        config = SystemConfig(num_processors=8, topology=_topo(buses))
         stats = run_workload(config, lock_contention(config, rounds=4),
                              check_interval=0)
         rows.append([buses, stats.cycles, stats.failed_lock_attempts])

@@ -25,8 +25,9 @@ from pathlib import Path
 from repro import CacheConfig, SystemConfig
 from repro.analysis.report import render_table
 from repro.analysis.sweeps import Sweep, run_sweep_parallel
+from repro.common.config import TopologyConfig
 from repro.sim.engine import Simulator
-from repro.workloads import lock_contention
+from repro.workloads import lock_contention, scale_probe
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
@@ -39,6 +40,14 @@ SWEEP_POINTS = [2, 4, 6, 8, 10, 12, 14, 16]
 #: a protocol's rules actually exercise.
 LOOKUP_PROTOCOL = "bitar-despain"
 LOOKUP_ROUNDS = 2000
+#: Fabric-scalability comparison: machine sizes measured for every
+#: fabric kind on the constant-total-work ``scale-probe`` workload.
+TOPOLOGY_SCALES = (64, 256, 1024)
+TOPOLOGY_FABRICS = ("snoop", "clustered", "directory")
+#: The perf-guard ratio compares a small broadcast machine against a
+#: large directory machine: simulator throughput at these two sizes.
+GUARD_SNOOP_N = 16
+GUARD_DIRECTORY_N = 256
 
 
 def _config(n: int) -> SystemConfig:
@@ -239,6 +248,93 @@ def run_obs_overhead() -> dict:
     }
 
 
+def _topology_config(n: int, kind: str) -> SystemConfig:
+    topo = {
+        "snoop": TopologyConfig(),
+        "clustered": TopologyConfig(kind="clustered",
+                                    clusters=max(2, min(8, n // 32))),
+        "directory": TopologyConfig(kind="directory", directory_banks=4),
+    }[kind]
+    return SystemConfig(
+        num_processors=n,
+        protocol="bitar-despain",
+        cache=CacheConfig(words_per_block=4, num_blocks=64),
+        topology=topo,
+    )
+
+
+def _probe_fabric(kind: str, n: int) -> dict:
+    """One fabric at one machine size: wall clock, simulated cycles, and
+    coherence traffic per bus transaction."""
+    config = _topology_config(n, kind)
+    programs = scale_probe(config)
+    sim = Simulator(config, programs, fast_forward=True)
+    t0 = time.perf_counter()
+    stats = sim.run()
+    elapsed = time.perf_counter() - t0
+    txns = sum(stats.txn_counts.values())
+    bus = sim.bus
+    if kind == "snoop":
+        # A broadcast reaches every other port, always.
+        msgs = txns * (len(bus._ports) - 1)
+    elif kind == "clustered":
+        delivered = (txns * (len(bus.buses[0]._ports) - 1)
+                     - bus.filtered_snoops)
+        msgs = delivered + bus.link_messages
+    else:
+        msgs = sum(bus.message_tallies().values())
+    return {
+        "seconds": elapsed,
+        "cycles": stats.cycles,
+        "cycles_per_sec": stats.cycles / elapsed,
+        "txns": txns,
+        "msgs_per_txn": msgs / max(1, txns),
+    }
+
+
+def run_topology_crossover() -> dict:
+    """Measure every fabric at every scale and locate the snoop-vs-
+    directory crossover.
+
+    Broadcast delivery costs N-1 probes per transaction no matter how
+    few caches hold the block; the directory's point-to-point fanout
+    tracks actual sharers and stays flat as the machine grows.  The
+    crossover is the machine size past which the directory moves fewer
+    messages per transaction than the broadcast bus.
+    """
+    points = []
+    for n in TOPOLOGY_SCALES:
+        fabrics = {kind: _probe_fabric(kind, n)
+                   for kind in TOPOLOGY_FABRICS}
+        points.append({"processors": n, "fabrics": fabrics})
+    at_guard = next(p for p in points
+                    if p["processors"] == GUARD_DIRECTORY_N)["fabrics"]
+    snoop_small = _probe_fabric("snoop", GUARD_SNOOP_N)
+    directory_mpt = at_guard["directory"]["msgs_per_txn"]
+    snoop_mpt = at_guard["snoop"]["msgs_per_txn"]
+    # Snoop traffic is exactly N-1 msgs/txn; the directory's is ~flat,
+    # so the crossover is the smallest N whose broadcast exceeds it.
+    crossover_n = int(directory_mpt) + 2
+    dir_cps = at_guard["directory"]["cycles_per_sec"]
+    return {
+        "workload": "scale-probe",
+        "protocol": "bitar-despain",
+        "scales": list(TOPOLOGY_SCALES),
+        "points": points,
+        "crossover": {
+            "at_processors": GUARD_DIRECTORY_N,
+            "snoop_msgs_per_txn": snoop_mpt,
+            "directory_msgs_per_txn": directory_mpt,
+            "crossover_processors": crossover_n,
+        },
+        "guard": {
+            "snoop16_cycles_per_sec": snoop_small["cycles_per_sec"],
+            "directory256_cycles_per_sec": dir_cps,
+            "ratio": dir_cps / snoop_small["cycles_per_sec"],
+        },
+    }
+
+
 def _sweep_run(n) -> object:
     """Module-level so the process pool can pickle it."""
     config = _config(int(n))
@@ -358,6 +454,43 @@ def test_obs_overhead(benchmark):
     # numbers by scripts/perf_guard.py (single-run timings are too noisy
     # for a hard assert here).
     _merge_result("obs", result)
+
+
+def test_topology_crossover(benchmark):
+    result = benchmark.pedantic(run_topology_crossover, rounds=1,
+                                iterations=1, warmup_rounds=0)
+    print("\nFabric scalability: msgs/txn and simulator throughput "
+          "(scale-probe, constant total work)")
+    rows = []
+    for point in result["points"]:
+        n = point["processors"]
+        cells = [n]
+        for kind in TOPOLOGY_FABRICS:
+            f = point["fabrics"][kind]
+            cells.extend([f"{f['msgs_per_txn']:.1f}",
+                          f"{f['cycles_per_sec']:,.0f}"])
+        rows.append(cells)
+    print(render_table(
+        ["procs", "snoop m/t", "snoop cyc/s", "clust m/t", "clust cyc/s",
+         "dir m/t", "dir cyc/s"], rows, align_left_first=False))
+    cx = result["crossover"]
+    print(f"crossover: broadcast outgrows the directory at "
+          f"~{cx['crossover_processors']} processors "
+          f"(at {cx['at_processors']}: snoop {cx['snoop_msgs_per_txn']:.0f} "
+          f"vs directory {cx['directory_msgs_per_txn']:.1f} msgs/txn)")
+    for point in result["points"]:
+        fabrics = point["fabrics"]
+        assert (fabrics["directory"]["msgs_per_txn"]
+                < fabrics["snoop"]["msgs_per_txn"]), (
+            f"directory fanout did not beat broadcast at "
+            f"{point['processors']} processors"
+        )
+        assert (fabrics["clustered"]["msgs_per_txn"]
+                < fabrics["snoop"]["msgs_per_txn"]), (
+            f"cluster filtering did not beat broadcast at "
+            f"{point['processors']} processors"
+        )
+    _merge_result("topology", result)
 
 
 def _merge_result(key: str, value: dict) -> None:

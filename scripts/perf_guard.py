@@ -2,7 +2,7 @@
 """Guard against engine performance regressions.
 
 Reads the measurements ``pytest benchmarks/bench_engine.py`` just wrote
-to ``BENCH_engine.json`` (schema v4) and enforces five machine-honest
+to ``BENCH_engine.json`` (schema v5) and enforces six machine-honest
 checks.  Absolute wall-clock varies with the host, so every guard is a
 *ratio* measured on the same host in the same run:
 
@@ -25,6 +25,13 @@ checks.  Absolute wall-clock varies with the host, so every guard is a
    tracing-disabled run vs the null observer on the same workload) must
    stay under ``OBS_OVERHEAD_CEILING`` -- instrumenting the engine,
    bus, cache, and sync layers must be free when nobody is watching.
+6. **Directory fabric throughput** (``topology.guard.ratio``): the
+   simulator driving the 256-processor directory machine must keep at
+   least ``DIRECTORY_FLOOR`` of the 16-processor snoop machine's
+   cycles/sec -- the point-to-point backend must not make large
+   machines unaffordable to simulate.  The same section's crossover
+   numbers must show the directory moving fewer messages per
+   transaction than broadcast at that scale.
 
 Usage::
 
@@ -67,6 +74,10 @@ SCALING_FLOOR_2CPU = 1.0
 #: With tracing disabled, the hooked observability layer may cost at
 #: most this fraction of the null-observer wall clock.
 OBS_OVERHEAD_CEILING = 0.03
+#: The directory fabric at 256 processors must keep at least this
+#: fraction of the snoop fabric's 16-processor simulator throughput
+#: (same host, same run; measured ~0.15 with wide margin for load).
+DIRECTORY_FLOOR = 0.03
 
 
 def _fail_missing(what: str) -> int:
@@ -166,6 +177,30 @@ def _check_obs_overhead(data: dict) -> int:
     return 0 if ok else 1
 
 
+def _check_topology(data: dict) -> int:
+    topo = data.get("topology", {})
+    guard = topo.get("guard", {})
+    ratio = guard.get("ratio")
+    if ratio is None:
+        return _fail_missing("topology.guard entries")
+    crossover = topo.get("crossover", {})
+    snoop_mpt = crossover.get("snoop_msgs_per_txn")
+    directory_mpt = crossover.get("directory_msgs_per_txn")
+    if snoop_mpt is None or directory_mpt is None:
+        return _fail_missing("topology.crossover entries")
+    ok_ratio = ratio >= DIRECTORY_FLOOR
+    print(f"perf_guard: directory@256 "
+          f"{guard.get('directory256_cycles_per_sec', 0):,.0f} cyc/s vs "
+          f"snoop@16 {guard.get('snoop16_cycles_per_sec', 0):,.0f} cyc/s "
+          f"(ratio {ratio:.3f}, floor {DIRECTORY_FLOOR:.2f}) -- "
+          f"{'OK' if ok_ratio else 'FAIL'}")
+    ok_crossover = directory_mpt < snoop_mpt
+    print(f"perf_guard: msgs/txn at {crossover.get('at_processors')} "
+          f"processors: directory {directory_mpt:.1f} vs broadcast "
+          f"{snoop_mpt:.1f} -- {'OK' if ok_crossover else 'FAIL'}")
+    return 0 if (ok_ratio and ok_crossover) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true",
@@ -202,6 +237,7 @@ def main(argv: list[str] | None = None) -> int:
         _check_dispatch(engine),
         _check_scaling(result_data),
         _check_obs_overhead(result_data),
+        _check_topology(result_data),
     ]
     # A hard failure (1) outranks a missing-data complaint (2): both fail
     # CI, but "regressed" is the more actionable verdict.

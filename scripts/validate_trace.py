@@ -13,7 +13,8 @@ Six artifact shapes are understood:
 * Sweep results (``kind == "sweep-result"``, schema v2) are checked for
   coherent resilience fields: one ``point_status`` verdict per point
   with a known status, and ``null`` ``points`` entries only where the
-  verdict says the point did not finish OK.
+  verdict says the point did not finish OK.  From schema v5 the payload
+  must also stamp ``topology`` with a known fabric kind.
 * Protocol lint reports (``kind == "lint-report"``, from ``repro lint
   --json``) are checked for a coherent verdict: the top-level ``ok``
   must agree with the per-protocol entries, every finding must name a
@@ -31,8 +32,9 @@ Six artifact shapes are understood:
   by an ``engine`` section) are checked for the keys
   ``scripts/perf_guard.py`` guards: per-core ``engine.dispatch``
   timings for both dispatch cores, the ``lookup`` microbenchmark
-  ratio, an honest integer ``sweep.available_cpus``, and the ``obs``
-  hook-overhead timings.
+  ratio, an honest integer ``sweep.available_cpus``, the ``obs``
+  hook-overhead timings, and (schema v5) the ``topology`` section with
+  the snoop-vs-directory traffic crossover and throughput guard.
 
 Usage::
 
@@ -55,6 +57,7 @@ except ModuleNotFoundError:  # running from a checkout without install
     from repro.common.schema import SchemaError
 
 from repro.analysis.resilient import POINT_STATUSES
+from repro.common.config import TOPOLOGY_KINDS
 from repro.common.schema import check as check_schema
 from repro.lint import CHECKS as LINT_CHECKS
 from repro.obs.attribution import BUCKETS
@@ -95,7 +98,23 @@ def validate_sweep_result(payload: dict) -> list[str]:
     resilience = payload.get("resilience")
     if not isinstance(resilience, dict):
         errors.append("missing resilience counters")
+    errors.extend(_check_topology_field(payload))
     return errors
+
+
+def _check_topology_field(payload: dict) -> list[str]:
+    """Schema-v5 ``topology`` stamp on run/sweep results: required from
+    v5 on, and always a known fabric kind when present."""
+    topology = payload.get("topology")
+    version = payload.get("schema_version")
+    if topology is None:
+        if isinstance(version, int) and version >= 5:
+            return [f"missing topology (required since schema v5; "
+                    f"expected one of {', '.join(TOPOLOGY_KINDS)})"]
+        return []
+    if topology not in TOPOLOGY_KINDS:
+        return [f"topology: unknown fabric kind {topology!r}"]
+    return []
 
 
 def validate_lint_report(payload: dict) -> list[str]:
@@ -273,6 +292,56 @@ def validate_bench_engine(payload: dict) -> list[str]:
         for key in ("overhead_disabled", "overhead_tracing"):
             if not isinstance(obs.get(key), (int, float)):
                 errors.append(f"obs.{key}: bad value {obs.get(key)!r}")
+
+    topology = payload.get("topology")
+    version = payload.get("schema_version")
+    if topology is None:
+        if isinstance(version, int) and version >= 5:
+            errors.append("missing topology section (required since "
+                          "schema v5)")
+    elif not isinstance(topology, dict):
+        errors.append(f"topology: expected an object, got "
+                      f"{type(topology).__name__}")
+    else:
+        crossover = topology.get("crossover")
+        if not isinstance(crossover, dict):
+            errors.append("topology.crossover: missing")
+        else:
+            for key in ("snoop_msgs_per_txn", "directory_msgs_per_txn"):
+                value = crossover.get(key)
+                if not isinstance(value, (int, float)) or value <= 0:
+                    errors.append(f"topology.crossover.{key}: "
+                                  f"bad value {value!r}")
+        guard = topology.get("guard")
+        if not isinstance(guard, dict):
+            errors.append("topology.guard: missing")
+        else:
+            for key in ("snoop16_cycles_per_sec",
+                        "directory256_cycles_per_sec", "ratio"):
+                value = guard.get(key)
+                if not isinstance(value, (int, float)) or value <= 0:
+                    errors.append(f"topology.guard.{key}: "
+                                  f"bad value {value!r}")
+        points = topology.get("points")
+        if not isinstance(points, list) or not points:
+            errors.append("topology.points: missing per-scale entries")
+        else:
+            for i, point in enumerate(points):
+                if not isinstance(point, dict):
+                    errors.append(f"topology.points[{i}]: not an object")
+                    continue
+                n = point.get("processors")
+                if not isinstance(n, int) or n < 1:
+                    errors.append(f"topology.points[{i}].processors: "
+                                  f"bad value {n!r}")
+                fabrics = point.get("fabrics")
+                if not isinstance(fabrics, dict) or not fabrics:
+                    errors.append(f"topology.points[{i}].fabrics: missing")
+                    continue
+                for kind in fabrics:
+                    if kind not in TOPOLOGY_KINDS:
+                        errors.append(f"topology.points[{i}]: unknown "
+                                      f"fabric kind {kind!r}")
     return errors
 
 

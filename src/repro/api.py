@@ -31,7 +31,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.common.config import CacheConfig, SystemConfig, WaitMode
+from repro.common.config import (CacheConfig, SystemConfig, TopologyConfig,
+                                 WaitMode)
 from repro.common.schema import stamp
 from repro.mc.check import CheckReport
 from repro.mc.check import check as _mc_check
@@ -74,6 +75,9 @@ class RunResult:
     #: Which execution core drove the protocol: ``compiled`` (dense
     #: dispatch tables) or ``interpreted`` (the transition-table IR).
     dispatch: str = "compiled"
+    #: Which interconnect fabric carried the run (a
+    #: :data:`~repro.common.config.TOPOLOGY_KINDS` name; schema v5).
+    topology: str = "snoop"
 
     def to_dict(self) -> dict:
         return stamp({
@@ -81,6 +85,7 @@ class RunResult:
             "protocol": self.protocol,
             "workload": self.workload,
             "dispatch": self.dispatch,
+            "topology": self.topology,
             "config": self.config.to_dict(),
             "stats": self.stats.to_payload(),
             "obs": self.obs.to_dict() if self.obs is not None else None,
@@ -112,6 +117,8 @@ class SweepResult:
     resilience: dict = field(default_factory=dict)
     #: Which execution core drove every point (compiled/interpreted).
     dispatch: str = "compiled"
+    #: Which interconnect fabric carried every point (schema v5).
+    topology: str = "snoop"
 
     @property
     def ok(self) -> bool:
@@ -123,6 +130,7 @@ class SweepResult:
             "protocol": self.protocol,
             "workload": self.workload,
             "dispatch": self.dispatch,
+            "topology": self.topology,
             "xs": list(self.xs),
             "series": {name: list(values)
                        for name, values in self.series.items()},
@@ -158,11 +166,50 @@ class ConformanceReport:
 # -- config assembly --------------------------------------------------------
 
 
+def _resolve_topology(
+    topology: "TopologyConfig | str | None",
+    *,
+    buses: int = 1,
+    clusters: int | None = None,
+) -> TopologyConfig:
+    """Resolve the facade's fabric keywords into a
+    :class:`TopologyConfig`.
+
+    ``topology`` may be a full config (used as-is), a kind name, or
+    ``None`` -- which follows the ``REPRO_TOPOLOGY`` session default
+    (else ``snoop``).  ``buses > 1`` selects the multi-bus fabric;
+    ``clusters`` sizes the clustered fabric (and doubles as the bank
+    count for ``directory``, matching the CLI's ``--clusters``).
+    """
+    if isinstance(topology, TopologyConfig):
+        return topology
+    kind = topology
+    if kind is None:
+        from repro.bus.fabric import default_topology
+
+        kind = default_topology()
+        if buses > 1 and kind in ("snoop", "multibus"):
+            # The explicit bus count outranks the env default.
+            return TopologyConfig(kind="multibus", buses=buses)
+    if kind == "multibus":
+        return TopologyConfig(kind="multibus", buses=buses)
+    if kind == "clustered":
+        return TopologyConfig(kind="clustered", clusters=clusters or 2)
+    if kind == "directory":
+        return TopologyConfig(kind="directory",
+                              directory_banks=clusters or 1)
+    # "snoop" -- and anything unknown, which TopologyConfig rejects with
+    # the canonical error message.
+    return TopologyConfig(kind=kind)
+
+
 def _build_config(
     protocol: str,
     *,
     processors: int = 4,
     buses: int = 1,
+    topology: "TopologyConfig | str | None" = None,
+    clusters: int | None = None,
     words_per_block: int | None = None,
     num_blocks: int = 64,
     work_while_waiting: bool = False,
@@ -172,7 +219,8 @@ def _build_config(
     return SystemConfig(
         num_processors=processors,
         protocol=protocol,
-        num_buses=buses,
+        topology=_resolve_topology(topology, buses=buses,
+                                   clusters=clusters),
         strict_verify=protocol != "write-through",
         wait_mode=WaitMode.WORK if work_while_waiting else WaitMode.SPIN,
         cache=CacheConfig(
@@ -208,6 +256,8 @@ def simulate(
     programs: list[Program] | None = None,
     lock_style: LockStyle | None = None,
     buses: int = 1,
+    topology: "TopologyConfig | str | None" = None,
+    clusters: int | None = None,
     words_per_block: int | None = None,
     num_blocks: int = 64,
     work_while_waiting: bool = False,
@@ -244,6 +294,7 @@ def simulate(
     if config is None:
         config = _build_config(
             protocol, processors=processors, buses=buses,
+            topology=topology, clusters=clusters,
             words_per_block=words_per_block, num_blocks=num_blocks,
             work_while_waiting=work_while_waiting, seed=seed,
         )
@@ -266,6 +317,7 @@ def simulate(
         # The observability layer cannot know the protocol name; stamp it
         # here so attribution reports are self-describing.
         obs_result.attribution["protocol"] = protocol
+    assert config.topology is not None
     return RunResult(
         protocol=protocol,
         workload=workload,
@@ -273,6 +325,7 @@ def simulate(
         stats=stats,
         obs=obs_result,
         dispatch=dispatch,
+        topology=config.topology.kind,
     )
 
 
@@ -287,7 +340,9 @@ _SWEEP_METRICS = {
 def _sweep_point(n, *, protocol: str, workload: str,
                  fast_forward: bool = False, sample_interval: int = 0,
                  max_wall_seconds: float | None = None,
-                 dispatch: str | None = None):
+                 dispatch: str | None = None,
+                 topology: "TopologyConfig | str | None" = None,
+                 clusters: int | None = None):
     """One sweep point; module-level so ``jobs > 1`` can pickle it (the
     workload is looked up by name inside the worker process).  With a
     ``sample_interval``, the point runs observed and returns an
@@ -297,7 +352,8 @@ def _sweep_point(n, *, protocol: str, workload: str,
     with diagnostics even on the serial path."""
     from repro.sim.engine import run_workload
 
-    config = _build_config(protocol, processors=int(n))
+    config = _build_config(protocol, processors=int(n),
+                           topology=topology, clusters=clusters)
     programs = build_workload(workload, config)
     if not sample_interval:
         return run_workload(config, programs, fast_forward=fast_forward,
@@ -343,6 +399,8 @@ def sweep(
     faults: "str | object | None" = None,
     fault_seed: int = 0,
     dispatch: str | None = None,
+    topology: "TopologyConfig | str | None" = None,
+    clusters: int | None = None,
     progress=None,
 ) -> SweepResult:
     """Run ``workload`` at each processor count (optionally in parallel
@@ -370,10 +428,12 @@ def sweep(
     if isinstance(faults, str):
         faults = FaultPlan.parse(faults, seed=fault_seed)
     dispatch = _resolve_dispatch(dispatch)
+    resolved_topology = _resolve_topology(topology, clusters=clusters)
     run = functools.partial(
         _sweep_point, protocol=protocol, workload=workload,
         fast_forward=fast_forward, sample_interval=sample_interval,
         max_wall_seconds=timeout, dispatch=dispatch,
+        topology=resolved_topology,
     )
     policy = ExecutionPolicy(
         max_attempts=max_attempts,
@@ -398,6 +458,7 @@ def sweep(
         point_status=[outcome.to_dict() for outcome in plan.outcomes],
         resilience=dict(plan.resilience),
         dispatch=dispatch,
+        topology=resolved_topology.kind,
     )
 
 

@@ -98,10 +98,18 @@ class MultiBusSystem:
             raise ValueError("need at least one bus")
         self.n_buses = n_buses
         self.memory = memory
-        self.buses = [
-            Bus(memory, timing, clock, stats, trace, obs=obs, index=i)
-            for i in range(n_buses)
-        ]
+        self.timing = timing
+        self.clock = clock
+        self.stats = stats
+        self.trace = trace
+        self.obs = obs
+        self.buses = [self._make_bus(i) for i in range(n_buses)]
+
+    def _make_bus(self, index: int) -> Bus:
+        """Factory for one serialization domain; subclasses (clustered,
+        directory) substitute their own Bus subclass here."""
+        return Bus(self.memory, self.timing, self.clock, self.stats,
+                   self.trace, obs=self.obs, index=index)
 
     @property
     def scheduler(self):

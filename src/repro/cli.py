@@ -31,16 +31,31 @@ from repro.analysis import (
     render_table2,
     traffic_metrics,
 )
+from repro.bus.fabric import FABRIC_KINDS, TOPOLOGY_ENV
 from repro.protocols import DISPATCH_ENV, DISPATCH_MODES, PROTOCOLS
 from repro.workloads.registry import (WORKLOADS, default_lock_style,
                                       default_words_per_block)
 
-#: Flags renamed in the ``repro.api`` redesign: old spelling -> new
-#: spelling.  The old ones keep working with a deprecation warning.
-DEPRECATED_FLAGS = {
+#: Flags removed after their PR-3 deprecation window: old spelling ->
+#: the replacement named in the exit-2 error.
+REMOVED_FLAGS = {
     "--verify-every": "--check-interval",
     "--cache-blocks": "--num-blocks",
 }
+
+
+class _RemovedFlag(argparse.Action):
+    """A flag that no longer exists: fail fast, naming the replacement.
+
+    Still registered (with ``nargs=1`` so ``--old 32`` parses as a unit)
+    so users get the precise replacement instead of argparse's generic
+    ``unrecognized arguments`` -- but any use is an error."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        replacement = REMOVED_FLAGS[option_string]
+        print(f"repro: error: {option_string} was removed; "
+              f"use {replacement}", file=sys.stderr)
+        raise SystemExit(2)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,22 +76,28 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("-n", "--processors", type=int, default=4)
     run.add_argument("--buses", type=int, default=1,
                      help="broadcast buses (1 or 2; blocks interleave)")
+    run.add_argument("--topology", choices=FABRIC_KINDS, default=None,
+                     help="interconnect fabric (default: snoop, or the "
+                          f"{TOPOLOGY_ENV} environment variable)")
+    run.add_argument("--clusters", type=int, default=None, metavar="K",
+                     help="clusters of the clustered fabric / home banks "
+                          "of the directory fabric")
     run.add_argument("--words-per-block", type=int, default=None,
                      help="block size in words (default 4; 1 for rudolph-segall)")
-    run.add_argument("--num-blocks", type=int, default=None,
+    run.add_argument("--num-blocks", type=int, default=64,
                      help="block frames per cache (default 64)")
-    run.add_argument("--cache-blocks", type=int, default=None,
-                     help="deprecated alias for --num-blocks")
+    run.add_argument("--cache-blocks", action=_RemovedFlag, nargs=1,
+                     help=argparse.SUPPRESS)
     run.add_argument("--lock-style",
                      choices=[s.value for s in LockStyle], default=None,
                      help="defaults to cache-lock on the proposal, ttas elsewhere")
     run.add_argument("--work-while-waiting", action="store_true",
                      help="execute ready sections while busy-waiting (E.4)")
     run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--check-interval", type=int, default=None, metavar="N",
+    run.add_argument("--check-interval", type=int, default=0, metavar="N",
                      help="run the invariant checker every N cycles")
-    run.add_argument("--verify-every", type=int, default=None, metavar="N",
-                     help="deprecated alias for --check-interval")
+    run.add_argument("--verify-every", action=_RemovedFlag, nargs=1,
+                     help=argparse.SUPPRESS)
     run.add_argument("--trace", metavar="FILE", default=None,
                      help="drive the simulator from a trace file instead "
                           "of a named workload")
@@ -129,6 +150,12 @@ def build_parser() -> argparse.ArgumentParser:
                        default="lock-contention")
     sweep.add_argument("--processors", nargs="+", type=int,
                        default=[2, 4, 8])
+    sweep.add_argument("--topology", choices=FABRIC_KINDS, default=None,
+                       help="interconnect fabric for every sweep point "
+                            f"(default: snoop, or {TOPOLOGY_ENV})")
+    sweep.add_argument("--clusters", type=int, default=None, metavar="K",
+                       help="clusters of the clustered fabric / home "
+                            "banks of the directory fabric")
     sweep.add_argument("--dispatch", choices=DISPATCH_MODES, default=None,
                        help="protocol execution core (default: compiled, or "
                             f"the {DISPATCH_ENV} environment variable)")
@@ -252,43 +279,9 @@ _default_wpb = default_words_per_block
 _default_style = default_lock_style
 
 
-def _warn_deprecated(old: str, new: str) -> None:
-    print(f"repro: warning: {old} is deprecated; use {new}",
-          file=sys.stderr)
-
-
-def _conflict(old: str, new: str) -> None:
-    print(f"repro: error: {old} is a deprecated alias of {new}; "
-          f"both were given -- pass only {new}", file=sys.stderr)
-    raise SystemExit(2)
-
-
-def _resolve_renamed(args: argparse.Namespace) -> None:
-    """Fold deprecated flag spellings into their replacements.
-
-    Passing an alias alongside its replacement is an error: silently
-    preferring one spelling hid real mistakes (the ignored flag looked
-    accepted), so the conflict now exits naming both flags."""
-    if args.verify_every is not None:
-        if args.check_interval is not None:
-            _conflict("--verify-every", "--check-interval")
-        _warn_deprecated("--verify-every", "--check-interval")
-        args.check_interval = args.verify_every
-    if args.check_interval is None:
-        args.check_interval = 0
-    if args.cache_blocks is not None:
-        if args.num_blocks is not None:
-            _conflict("--cache-blocks", "--num-blocks")
-        _warn_deprecated("--cache-blocks", "--num-blocks")
-        args.num_blocks = args.cache_blocks
-    if args.num_blocks is None:
-        args.num_blocks = 64
-
-
 def command_run(args: argparse.Namespace) -> int:
     from repro import api
 
-    _resolve_renamed(args)
     programs = None
     if args.trace:
         from repro.workloads.trace import load_trace
@@ -301,6 +294,7 @@ def command_run(args: argparse.Namespace) -> int:
         if programs is None:
             config = api._build_config(
                 args.protocol, processors=args.processors, buses=args.buses,
+                topology=args.topology, clusters=args.clusters,
                 words_per_block=args.words_per_block,
                 num_blocks=args.num_blocks,
                 work_while_waiting=args.work_while_waiting, seed=args.seed,
@@ -321,6 +315,8 @@ def command_run(args: argparse.Namespace) -> int:
             programs=programs,
             lock_style=style,
             buses=args.buses,
+            topology=args.topology,
+            clusters=args.clusters,
             words_per_block=args.words_per_block,
             num_blocks=args.num_blocks,
             work_while_waiting=args.work_while_waiting,
@@ -460,6 +456,8 @@ def command_sweep(args: argparse.Namespace) -> int:
             processors=args.processors,
             fast_forward=args.fast_forward,
             dispatch=args.dispatch,
+            topology=args.topology,
+            clusters=args.clusters,
             jobs=args.jobs,
             sample_interval=args.sample_interval if args.metrics_out else 0,
             timeout=args.timeout,

@@ -11,6 +11,7 @@ occupancy so that block size matters (Sections D.3, F.4).
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field, fields
 
 from repro.common.errors import ConfigError
@@ -238,15 +239,99 @@ class CacheConfig:
         return _config_from_dict(CacheConfig, data, where="cache")
 
 
+#: Interconnect fabric kinds a :class:`TopologyConfig` can name.
+TOPOLOGY_KINDS: tuple[str, ...] = ("snoop", "multibus", "clustered",
+                                  "directory")
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Interconnect geometry: which coherence fabric joins the caches.
+
+    * ``snoop`` -- the paper's single broadcast bus (Section A.2).
+    * ``multibus`` -- ``buses`` independent broadcast buses over
+      block-interleaved address partitions (the dual-bus variant,
+      generalized).
+    * ``clustered`` -- ``clusters`` clusters of ``buses_per_cluster``
+      snooping buses joined by an inter-cluster link; cluster-level
+      coherence filtering keeps snoops out of clusters that never
+      touched a block, and remote-home transactions pay
+      ``inter_cluster_hop_cycles`` on the link.
+    * ``directory`` -- a directory backend: ``directory_banks`` home
+      banks hold per-block owner/sharer vectors and turn broadcasts
+      into point-to-point forward/invalidate/ack messages; every
+      transaction serializes at its home bank and pays
+      ``directory_lookup_cycles`` plus hop latencies.
+    """
+
+    kind: str = "snoop"
+    #: Independent broadcast buses (``multibus`` only).
+    buses: int = 1
+    #: Snooping clusters (``clustered``).
+    clusters: int = 1
+    #: Buses inside each cluster (``clustered``).
+    buses_per_cluster: int = 1
+    #: Home banks of the directory (``directory``).
+    directory_banks: int = 1
+    #: One-way latency of the inter-cluster link / point-to-point
+    #: network, in bus cycles.
+    inter_cluster_hop_cycles: int = 2
+    #: Home-bank directory lookup latency, in bus cycles.
+    directory_lookup_cycles: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOPOLOGY_KINDS:
+            raise ConfigError(
+                f"unknown topology kind {self.kind!r}; expected one of "
+                f"{', '.join(TOPOLOGY_KINDS)}"
+            )
+        for name in ("buses", "clusters", "buses_per_cluster",
+                     "directory_banks"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive, "
+                                  f"got {getattr(self, name)}")
+        for name in ("inter_cluster_hop_cycles", "directory_lookup_cycles"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative, "
+                                  f"got {getattr(self, name)}")
+        if self.kind == "snoop" and self.buses != 1:
+            raise ConfigError("a snoop topology has exactly one bus; "
+                              "use kind='multibus' for more")
+
+    @property
+    def num_buses(self) -> int:
+        """Serialization domains of the fabric (what legacy readers of
+        ``SystemConfig.num_buses`` see)."""
+        if self.kind == "multibus":
+            return self.buses
+        if self.kind == "clustered":
+            return self.clusters * self.buses_per_cluster
+        if self.kind == "directory":
+            return self.directory_banks
+        return 1
+
+    def to_dict(self) -> dict:
+        return _config_to_dict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "TopologyConfig":
+        return _config_from_dict(TopologyConfig, data, where="topology")
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Complete description of a simulated system."""
 
     num_processors: int = 4
     protocol: str = "bitar-despain"
-    #: Broadcast buses (Section A.2: "single or dual bus systems").
-    #: Blocks are interleaved across buses by block number.
-    num_buses: int = 1
+    #: Deprecated alias for ``topology``: ``num_buses=k`` maps to a
+    #: ``snoop`` (k == 1) or ``multibus`` (k > 1) TopologyConfig with a
+    #: DeprecationWarning.  After construction the attribute always
+    #: reads as the effective bus/bank count of the topology, so legacy
+    #: readers keep working.
+    num_buses: int | None = None
+    #: The interconnect fabric (default: the single snooping bus).
+    topology: TopologyConfig | None = None
     cache: CacheConfig = field(default_factory=CacheConfig)
     timing: TimingConfig = field(default_factory=TimingConfig)
     rmw_method: RmwMethod = RmwMethod.LOCK_STATE
@@ -265,15 +350,42 @@ class SystemConfig:
     def __post_init__(self) -> None:
         if self.num_processors <= 0:
             raise ConfigError("num_processors must be positive")
-        if self.num_buses <= 0:
-            raise ConfigError("num_buses must be positive")
         if self.deadlock_horizon <= 0:
             raise ConfigError("deadlock_horizon must be positive")
+        topology = self.topology
+        if self.num_buses is not None:
+            if self.num_buses <= 0:
+                raise ConfigError("num_buses must be positive")
+            warnings.warn(
+                "SystemConfig.num_buses is deprecated; pass "
+                "topology=TopologyConfig(kind='multibus', buses=k) instead",
+                DeprecationWarning, stacklevel=3,
+            )
+            if topology is None:
+                topology = (TopologyConfig() if self.num_buses == 1 else
+                            TopologyConfig(kind="multibus",
+                                           buses=self.num_buses))
+            elif topology.num_buses != self.num_buses:
+                raise ConfigError(
+                    f"num_buses ({self.num_buses}) conflicts with the "
+                    f"topology ({topology.kind}, {topology.num_buses} "
+                    f"buses); drop the deprecated num_buses"
+                )
+        if topology is None:
+            topology = TopologyConfig()
+        # Normalize: topology is always set, and the deprecated alias
+        # always reads as the effective bus count for legacy readers.
+        object.__setattr__(self, "topology", topology)
+        object.__setattr__(self, "num_buses", topology.num_buses)
 
     def to_dict(self) -> dict:
         """Serialize to plain data (enums by value, nested configs as
-        dicts); :meth:`from_dict` round-trips the result exactly."""
-        return _config_to_dict(self)
+        dicts); :meth:`from_dict` round-trips the result exactly.  The
+        deprecated ``num_buses`` alias is omitted (it is implied by
+        ``topology``); legacy payloads carrying it still load."""
+        out = _config_to_dict(self)
+        del out["num_buses"]
+        return out
 
     @staticmethod
     def from_dict(data: dict) -> "SystemConfig":
@@ -286,7 +398,8 @@ class SystemConfig:
 #: Fields of any config dataclass holding a nested config, and the enum
 #: types referenced by (string) field annotations -- both consumed by
 #: :func:`_config_from_dict` when rebuilding values.
-_NESTED_CONFIG_FIELDS = {"cache": CacheConfig, "timing": TimingConfig}
+_NESTED_CONFIG_FIELDS = {"cache": CacheConfig, "timing": TimingConfig,
+                         "topology": TopologyConfig}
 _ENUM_FIELD_TYPES = {
     "DirectoryKind": DirectoryKind,
     "RmwMethod": RmwMethod,

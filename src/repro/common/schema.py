@@ -49,6 +49,20 @@ Version history
    ``perf_guard``'s obs-overhead ceiling).  Migration: v3 readers that
    ignore unknown keys keep working; none of the pre-existing payload
    keys changed meaning.
+5. Topology-aware fabrics: ``run-result`` and ``sweep-result`` payloads
+   gain a top-level ``topology`` key (one of ``snoop`` / ``multibus`` /
+   ``clustered`` / ``directory``, the interconnect fabric that carried
+   the run).  ``SystemConfig`` serializations replace the bare
+   ``num_buses`` integer with a nested ``topology`` object
+   (``TopologyConfig.to_dict()``); legacy payloads carrying
+   ``num_buses`` still load, mapping to a snoop/multibus topology with
+   a deprecation warning.  ``BENCH_engine.json`` gains a ``topology``
+   section (per-fabric bus/network messages per transaction at several
+   processor counts, the snoop-vs-directory traffic crossover, and the
+   directory@256 / snoop@16 throughput ratio guarded by
+   ``perf_guard``).  Migration: v4 readers that ignore unknown keys
+   keep working; readers of ``config.num_buses`` must switch to
+   ``config.topology``.
 """
 
 from __future__ import annotations
@@ -56,7 +70,7 @@ from __future__ import annotations
 from repro.common.errors import ReproError
 
 #: Current version of all exported JSON payload shapes.
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Key under which the version is stamped.
 SCHEMA_KEY = "schema_version"

@@ -1,0 +1,21 @@
+"""Directory-based coherence backend (the ``directory`` topology kind).
+
+Replaces broadcast snooping with per-block directory state held at home
+banks: every transaction serializes at its block's home bank, which
+forwards it point-to-point only to the caches the directory lists as
+holding (or waiting on) the block, instead of broadcasting to all N.
+The protocols themselves -- their transition tables, the linter, the
+model checker, and compiled dispatch -- apply unchanged: the directory
+is purely a delivery fabric that prunes snoops the filtered caches would
+have answered with a miss anyway.
+"""
+
+from repro.directory_backend.state import DirectoryEntry, DirectoryState
+from repro.directory_backend.system import DirectoryFabric, DirectorySystem
+
+__all__ = [
+    "DirectoryEntry",
+    "DirectoryState",
+    "DirectoryFabric",
+    "DirectorySystem",
+]

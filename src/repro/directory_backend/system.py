@@ -1,0 +1,210 @@
+"""The directory fabric: home banks, sharer vectors, point-to-point
+delivery.
+
+Blocks interleave across ``directory_banks`` home banks exactly as they
+interleave across buses in the multi-bus system, so every transaction on
+a block serializes at its home bank -- the same single-writer argument,
+with the bank in the bus's role.  Instead of broadcasting, the bank
+consults the block's :class:`~repro.directory_backend.state.DirectoryEntry`
+and probes only the listed sharers.
+
+**Why pruning is sound.**  A cache reacts to a snoop only when the block
+is tagged in a frame, its busy-wait register is armed on the block, or
+an RMW hold matches (the fast-miss test in ``Cache.snoop``).  Every one
+of those conditions is created exclusively by that cache's *own* bus
+transaction on the same block -- installs happen in ``on_txn_granted``,
+the busy-wait arms when the cache's own READ_LOCK is refused, the hold
+is set by the cache's own fetch.  The directory therefore (1) enrolls
+every requester into the block's sharer vector at its transaction and
+(2) after each transaction re-probes exactly the caches whose condition
+could have changed -- the requester and the probed set -- dropping the
+ones that no longer care.  A cache outside the vector would have
+answered miss; pruning it changes no replies, only traffic.
+
+Timing: on top of the bus occupancy model, every transaction pays the
+home-bank ``directory_lookup_cycles`` and a request/response round trip
+(``2 * inter_cluster_hop_cycles``); a cache-to-cache supply adds the
+third hop of the classic forwarded transfer; a nonzero probe fanout adds
+an invalidate/ack round trip.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.bus.bus import Bus, BusPort
+from repro.bus.multibus import MultiBusSystem
+from repro.bus.signals import SnoopReply
+from repro.bus.transaction import BusTransaction
+from repro.cache.busy_wait import WaitPhase
+from repro.common.config import TimingConfig, TopologyConfig
+from repro.common.types import CacheId
+from repro.directory_backend.state import DirectoryEntry, DirectoryState
+
+if TYPE_CHECKING:
+    from repro.memory.main_memory import MainMemory
+    from repro.obs.core import Observability
+    from repro.sim.clock import Clock
+    from repro.sim.events import TraceLog
+    from repro.sim.stats import SimStats
+
+
+def _underlying(port: BusPort):
+    """Unwrap a multi-bus port view down to the attached component."""
+    return getattr(port, "_port", port)
+
+
+def _cache_cares(cache, block) -> bool:
+    """The fast-miss test of ``Cache.snoop``, asked from outside: would
+    this cache react to a transaction on ``block``?"""
+    if block in cache.array._tagged:
+        return True
+    if cache._held_block == block:
+        return True
+    wait = cache.busy_wait
+    return wait.phase is not WaitPhase.IDLE and wait.block == block
+
+
+class DirectoryFabric(Bus):
+    """One home bank: serializes its blocks' transactions and probes
+    only the caches its directory lists for the block."""
+
+    def __init__(self, system: "DirectorySystem", index: int) -> None:
+        super().__init__(system.memory, system.timing, system.clock,
+                         system.stats, system.trace, obs=system.obs,
+                         index=index)
+        self._system = system
+        self.directory = DirectoryState(index)
+        self._last_probed: set[CacheId] = set()
+
+    # -- delivery -----------------------------------------------------------
+
+    def _entry_of(self, txn: BusTransaction) -> DirectoryEntry:
+        block_number = txn.block // self.memory.words_per_block
+        return self.directory.entry(block_number)
+
+    def _snoop_all(
+        self, requester: BusPort, txn: BusTransaction
+    ) -> dict[CacheId, SnoopReply]:
+        entry = self._entry_of(txn)
+        entry.sharers.add(requester.id)
+        self.directory.requests += 1
+        replies: dict[CacheId, SnoopReply] = {}
+        # Port order (not sharer-set order) keeps reply combination and
+        # read-source arbitration deterministic and bus-identical.
+        for cid, port in self._ports.items():
+            if cid == requester.id or cid not in entry.sharers:
+                continue
+            replies[cid] = port.snoop(txn)
+        self._last_probed = set(replies)
+        return replies
+
+    def _execute(self, port: BusPort, txn: BusTransaction) -> None:
+        self._last_probed = set()
+        super()._execute(port, txn)
+        self._refresh(txn, {txn.requester} | self._last_probed)
+
+    def _refresh(self, txn: BusTransaction, probed: set[CacheId]) -> None:
+        """Re-derive directory membership for the caches this
+        transaction could have changed (requester + probed set)."""
+        entry = self._entry_of(txn)
+        for cid in probed:
+            view = self._ports.get(cid)
+            if view is None:
+                continue
+            cache = _underlying(view)
+            if not hasattr(cache, "array"):
+                # Cacheless ports (I/O) answer every snoop with a miss;
+                # the directory never needs to list them.
+                entry.sharers.discard(cid)
+                continue
+            if _cache_cares(cache, txn.block):
+                entry.sharers.add(cid)
+                line = cache.line_for(txn.block)
+                if line is not None and line.state.dirty:
+                    entry.owner = cid
+                elif entry.owner == cid:
+                    entry.owner = None
+            else:
+                entry.sharers.discard(cid)
+                if entry.owner == cid:
+                    entry.owner = None
+
+    # -- timing and traffic --------------------------------------------------
+
+    def _duration(self, txn, response, replies, info) -> int:
+        cycles = super()._duration(txn, response, replies, info)
+        topo = self._system.topology
+        hop = topo.inter_cluster_hop_cycles
+        # Home-bank lookup plus the request/response round trip.
+        cycles += topo.directory_lookup_cycles + 2 * hop
+        directory = self.directory
+        directory.responses += 1
+        probes = len(replies)
+        if response.supplier is not None:
+            # Three-hop forwarded supply: home -> owner -> requester.
+            directory.forwards += 1
+            directory.invalidations += probes - 1
+            cycles += hop
+        else:
+            directory.invalidations += probes
+        directory.acks += probes
+        if probes:
+            # The slowest probe's invalidate/ack round trip.
+            cycles += 2 * hop
+        if self.obs.active:
+            self.obs.record_directory_msgs(
+                self.clock.cycle, "request", txn.block, self.index)
+            self.obs.record_directory_msgs(
+                self.clock.cycle, "response", txn.block, self.index)
+            if response.supplier is not None:
+                self.obs.record_directory_msgs(
+                    self.clock.cycle, "forward", txn.block, self.index)
+            if probes:
+                self.obs.record_directory_msgs(
+                    self.clock.cycle, "invalidation", txn.block,
+                    self.index, max(0, probes - (1 if response.supplier
+                                                 is not None else 0)))
+                self.obs.record_directory_msgs(
+                    self.clock.cycle, "ack", txn.block, self.index, probes)
+        return cycles
+
+
+class DirectorySystem(MultiBusSystem):
+    """``directory_banks`` home banks over block-interleaved partitions."""
+
+    def __init__(
+        self,
+        topology: TopologyConfig,
+        memory: "MainMemory",
+        timing: TimingConfig,
+        clock: "Clock",
+        stats: "SimStats",
+        trace: "TraceLog",
+        obs: "Observability" = None,  # type: ignore[assignment]
+    ) -> None:
+        from repro.obs.core import NULL_OBS
+
+        self.topology = topology
+        super().__init__(topology.directory_banks, memory, timing, clock,
+                         stats, trace, obs if obs is not None else NULL_OBS)
+
+    def _make_bus(self, index: int) -> Bus:
+        return DirectoryFabric(self, index)
+
+    @property
+    def banks(self) -> list[DirectoryState]:
+        return [bus.directory for bus in self.buses]
+
+    def message_tallies(self) -> dict[str, int]:
+        """Point-to-point message counts summed over all home banks."""
+        total = {"requests": 0, "responses": 0, "forwards": 0,
+                 "invalidations": 0, "acks": 0}
+        for bank in self.banks:
+            for key, value in bank.tallies().items():
+                total[key] += value
+        return total
+
+    @property
+    def messages(self) -> int:
+        return sum(bank.messages for bank in self.banks)

@@ -139,6 +139,24 @@ def _stale_memory_supply() -> ContextManager:
     return _patched(BusResponse, "combine", staticmethod(broken_combine))
 
 
+def _drop_directory_ack() -> ContextManager:
+    """The directory loses an invalidation ack: after each transaction's
+    membership refresh the home bank drops the highest-numbered sharer
+    from the block's entry, so later transactions never probe that cache
+    and its stale copy keeps answering local reads."""
+    from repro.directory_backend.system import DirectoryFabric
+
+    original = DirectoryFabric._refresh
+
+    def broken_refresh(self, txn, probed):
+        original(self, txn, probed)
+        entry = self._entry_of(txn)
+        if len(entry.sharers) > 1:
+            entry.sharers.discard(max(entry.sharers))
+
+    return _patched(DirectoryFabric, "_refresh", broken_refresh)
+
+
 def _lost_dirty_purge() -> ContextManager:
     """Dirty victims are purged without the write-back flush: the only
     up-to-date copy of the block is silently dropped."""
@@ -221,6 +239,17 @@ MUTATIONS: dict[str, Mutation] = {
             scenario="racing-writes",
             caught_by="write oracle (stale read)",
             apply=_stale_memory_supply,
+        ),
+        Mutation(
+            name="drop-directory-ack",
+            description="The home bank drops a live sharer from the "
+                        "block's directory entry (a lost invalidation "
+                        "ack); later upgrades never probe that cache and "
+                        "its stale copy survives.",
+            protocol="bitar-despain",
+            scenario="directory-upgrade",
+            caught_by="write oracle (stale read)",
+            apply=_drop_directory_ack,
         ),
         Mutation(
             name="lost-dirty-purge",

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.common.config import CacheConfig, SystemConfig
+from repro.common.config import CacheConfig, SystemConfig, TopologyConfig
 from repro.common.errors import ReproError
 from repro.processor.isa import lock, read, rmw, test_and_set, unlock, write
 from repro.processor.program import LockStyle, Program
@@ -64,7 +64,8 @@ def lock_style_for(protocol: str) -> LockStyle:
 
 
 def _config(protocol: str, n: int, *, num_blocks: int = 8,
-            assoc: int | None = None, horizon: int = 2_000) -> SystemConfig:
+            assoc: int | None = None, horizon: int = 2_000,
+            topology: TopologyConfig | None = None) -> SystemConfig:
     wpb = 1 if protocol == "rudolph-segall" else 4
     return SystemConfig(
         num_processors=n,
@@ -75,6 +76,7 @@ def _config(protocol: str, n: int, *, num_blocks: int = 8,
         # (Section F.1); everything else must serialize.
         strict_verify=protocol != "write-through",
         deadlock_horizon=horizon,
+        topology=topology,
     )
 
 
@@ -177,6 +179,20 @@ def _read_share(protocol: str):
     ]
 
 
+def _directory_upgrade(protocol: str):
+    # The shared-upgrade access pattern served by the directory fabric
+    # instead of a broadcast bus: the home bank must keep the reader in
+    # the block's sharer vector for as long as its copy is live, or the
+    # upgrade never reaches it.
+    config = _config(protocol, 2,
+                     topology=TopologyConfig(kind="directory"))
+    return config, [
+        Program(ops=[read(DATA_WORD), write(DATA_WORD, value=7)],
+                name="upgrader"),
+        Program(ops=[read(DATA_WORD), read(DATA_WORD)], name="reader"),
+    ]
+
+
 def _evict_writeback(protocol: str):
     # Two direct-mapped frames: the second and third reads evict the
     # dirty first block, forcing the write-back path.
@@ -220,6 +236,14 @@ SCENARIOS: dict[str, Scenario] = {
             description="Write privilege upgraded over a shared copy "
                         "(Feature 4); the other copy must not go stale.",
             build=_shared_upgrade,
+        ),
+        Scenario(
+            name="directory-upgrade",
+            description="Write privilege upgraded over a shared copy, with "
+                        "the directory fabric routing the probes: the home "
+                        "bank's sharer vector must still reach every live "
+                        "copy.",
+            build=_directory_upgrade,
         ),
         Scenario(
             name="evict-writeback",

@@ -140,6 +140,14 @@ class NullObservability:
     def record_lock_spill(self, cache: int, block: int, cycle: int) -> None:
         return None
 
+    def record_cluster_hop(self, cycle: int, block: int,
+                           src_cluster: int, dst_cluster: int) -> None:
+        return None
+
+    def record_directory_msgs(self, cycle: int, kind: str, block: int,
+                              bank: int, count: int = 1) -> None:
+        return None
+
 
 #: Module-level null object used whenever observability is disabled.
 NULL_OBS = NullObservability()
@@ -207,6 +215,14 @@ class Observability:
         self._lock_wait = reg.histogram(
             "lock_wait_cycles", "lock wait/spin time (cycles)",
             label_names=("block",))
+        self._cluster_hops = reg.counter(
+            "cluster_hops_total",
+            "inter-cluster link crossings, by (src, dst) cluster",
+            label_names=("src", "dst"))
+        self._directory_msgs = reg.counter(
+            "directory_msgs_total",
+            "directory point-to-point messages, by kind and home bank",
+            label_names=("kind", "bank"))
 
     # -- wiring (called by the Simulator) ----------------------------------
 
@@ -292,6 +308,20 @@ class Observability:
 
     def record_unlock_broadcast(self, block: int, spurious: bool) -> None:
         self._unlock_broadcasts.inc(block=block, spurious=spurious)
+
+    def record_cluster_hop(self, cycle: int, block: int,
+                           src_cluster: int, dst_cluster: int) -> None:
+        self._cluster_hops.inc(src=src_cluster, dst=dst_cluster)
+        self.slices.append({
+            "track": "link", "name": f"hop {src_cluster}->{dst_cluster}",
+            "start": cycle, "dur": 1,
+            "args": {"block": block, "src": src_cluster,
+                     "dst": dst_cluster},
+        })
+
+    def record_directory_msgs(self, cycle: int, kind: str, block: int,
+                              bank: int, count: int = 1) -> None:
+        self._directory_msgs.inc(count, kind=kind, bank=bank)
 
     def record_wait_start(self, pid: int, block: int, cycle: int) -> None:
         # Re-arms (lost post-unlock arbitration) keep the original start.

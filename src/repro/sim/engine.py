@@ -103,16 +103,11 @@ class Simulator:
         if self.obs.active and self.trace is NULL_TRACE:
             self.trace = TraceLog(enabled=False)
         self.memory = MainMemory(config.cache.words_per_block)
-        if config.num_buses > 1:
-            from repro.bus.multibus import MultiBusSystem
+        from repro.bus.fabric import build_fabric
 
-            self.bus = MultiBusSystem(
-                config.num_buses, self.memory, config.timing,
-                self.clock, self.stats, self.trace, obs=self.obs,
-            )
-        else:
-            self.bus = Bus(self.memory, config.timing, self.clock,
-                           self.stats, self.trace, obs=self.obs)
+        assert config.topology is not None
+        self.bus = build_fabric(config.topology, self.memory, config.timing,
+                                self.clock, self.stats, self.trace, self.obs)
         self.bus.scheduler = scheduler
         self.oracle = WriteOracle(self.stats, strict=config.strict_verify)
 

@@ -10,7 +10,8 @@ from repro.workloads.process_switch import process_switch
 from repro.workloads.producer_consumer import producer_consumer
 from repro.workloads.prolog import prolog_and_parallel
 from repro.workloads.request_queue import request_queue
-from repro.workloads.sharing import interleaved_sharing, migration
+from repro.workloads.sharing import (interleaved_sharing, migration,
+                                     scale_probe)
 from repro.workloads.sleep_wait import sleep_wait
 from repro.workloads.synthetic import SmithParameters, smith_stream
 from repro.workloads.trace import dump_trace, load_trace
@@ -26,6 +27,7 @@ __all__ = [
     "sleep_wait",
     "lock_contention",
     "migration",
+    "scale_probe",
     "multiprogram",
     "multiprogrammed_contention",
     "process_switch",

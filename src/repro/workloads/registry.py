@@ -21,6 +21,7 @@ from repro.workloads import (
     producer_consumer,
     prolog_and_parallel,
     request_queue,
+    scale_probe,
     sleep_wait,
     smith_stream,
 )
@@ -35,6 +36,7 @@ WORKLOADS: dict[str, Callable[[SystemConfig, LockStyle], list[Program]]] = {
     "producer-consumer": lambda cfg, style: producer_consumer(cfg, lock_style=style),
     "request-queue": lambda cfg, style: request_queue(cfg, lock_style=style),
     "sharing": lambda cfg, style: interleaved_sharing(cfg),
+    "scale-probe": lambda cfg, style: scale_probe(cfg),
     "migration": lambda cfg, style: migration(cfg),
     "process-switch": lambda cfg, style: process_switch(cfg),
     "smith": lambda cfg, style: smith_stream(cfg),

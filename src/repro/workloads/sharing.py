@@ -60,6 +60,39 @@ def interleaved_sharing(
     return programs
 
 
+def scale_probe(
+    config: SystemConfig,
+    *,
+    total_references: int = 4096,
+    shared_blocks: int = 32,
+    private_blocks: int = 2,
+    write_fraction: float = 0.35,
+    shared_fraction: float = 0.5,
+    zipf_skew: float = 0.8,
+    seed: int | None = None,
+) -> list[Program]:
+    """Constant-total-work sharing stream for interconnect-scale sweeps.
+
+    ``total_references`` is divided across the processors, so sweeping
+    the processor count holds the offered load fixed and measures how
+    the *fabric* copes with more snoopers -- the regime of the paper's
+    Section A.2 scalability discussion.  (A per-processor stream like
+    :func:`interleaved_sharing` instead grows the workload with N, which
+    conflates fabric cost with offered load.)
+    """
+    per = max(2, total_references // max(1, config.num_processors))
+    return interleaved_sharing(
+        config,
+        references=per,
+        shared_blocks=shared_blocks,
+        private_blocks=private_blocks,
+        write_fraction=write_fraction,
+        shared_fraction=shared_fraction,
+        zipf_skew=zipf_skew,
+        seed=seed,
+    )
+
+
 def migration(
     config: SystemConfig,
     *,

@@ -6,7 +6,8 @@ import json
 import pytest
 
 from repro.common.config import (CacheConfig, DirectoryKind, RmwMethod,
-                                 SystemConfig, TimingConfig, WaitMode)
+                                 SystemConfig, TimingConfig, TopologyConfig,
+                                 WaitMode)
 from repro.common.errors import ConfigError
 
 
@@ -19,7 +20,7 @@ class TestRoundTrip:
         config = SystemConfig(
             num_processors=7,
             protocol="illinois",
-            num_buses=2,
+            topology=TopologyConfig(kind="multibus", buses=2),
             cache=CacheConfig(words_per_block=8, num_blocks=32, assoc=4,
                               transfer_unit_words=2,
                               directory=DirectoryKind.NON_IDENTICAL_DUAL),

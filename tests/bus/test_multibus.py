@@ -4,13 +4,16 @@ import pytest
 
 from repro import CacheConfig, Program, Simulator, SystemConfig, run_workload
 from repro.bus.multibus import MultiBusSystem
+from repro.common.config import TopologyConfig
 from repro.common.errors import ConfigError
 from repro.processor import isa
 from repro.workloads import interleaved_sharing, lock_contention
 
 
 def dual(n=4, **kwargs) -> SystemConfig:
-    return SystemConfig(num_processors=n, num_buses=2, **kwargs)
+    return SystemConfig(num_processors=n,
+                        topology=TopologyConfig(kind="multibus", buses=2),
+                        **kwargs)
 
 
 class TestConstruction:
@@ -20,6 +23,8 @@ class TestConstruction:
         assert len(sim.bus.buses) == 2
 
     def test_zero_buses_rejected(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(kind="multibus", buses=0)
         with pytest.raises(ConfigError):
             SystemConfig(num_buses=0)
 

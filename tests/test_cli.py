@@ -37,7 +37,7 @@ class TestCommands:
     @pytest.mark.parametrize("workload", sorted(WORKLOADS))
     def test_every_workload_runs(self, workload, capsys):
         assert main(["run", "-n", "2", "--workload", workload,
-                     "--verify-every", "32"]) == 0
+                     "--check-interval", "32"]) == 0
 
     def test_run_write_through(self, capsys):
         assert main(["run", "--protocol", "write-through", "-n", "2"]) == 0
@@ -116,41 +116,59 @@ class TestCommands:
         assert main(["conformance", "--protocol", "write-through"]) == 0
 
 
-class TestDeprecatedFlags:
-    def test_verify_every_still_works_with_warning(self, capsys):
-        assert main(["run", "-n", "2", "--verify-every", "16"]) == 0
+class TestRemovedFlags:
+    # The PR-3 aliases finished their deprecation window: each now exits
+    # with code 2 and an error naming the replacement flag.
+    def test_verify_every_is_removed(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["run", "-n", "2", "--verify-every", "16"])
+        assert info.value.code == 2
         err = capsys.readouterr().err
-        assert "--verify-every is deprecated" in err
+        assert "--verify-every was removed" in err
         assert "--check-interval" in err
 
-    def test_cache_blocks_still_works_with_warning(self, capsys):
-        assert main(["run", "-n", "2", "--cache-blocks", "32"]) == 0
+    def test_cache_blocks_is_removed(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["run", "-n", "2", "--cache-blocks", "32"])
+        assert info.value.code == 2
         err = capsys.readouterr().err
-        assert "--cache-blocks is deprecated" in err
+        assert "--cache-blocks was removed" in err
         assert "--num-blocks" in err
 
-    def test_new_spellings_do_not_warn(self, capsys):
+    def test_new_spellings_work(self, capsys):
         assert main(["run", "-n", "2", "--check-interval", "16",
                      "--num-blocks", "32"]) == 0
-        assert "deprecated" not in capsys.readouterr().err
-
-    def test_alias_plus_replacement_is_an_error(self, capsys):
-        # Both spellings at once used to silently prefer one of them,
-        # hiding the mistake; now the conflict exits naming both flags.
-        with pytest.raises(SystemExit) as info:
-            main(["run", "-n", "2", "--num-blocks", "32",
-                  "--cache-blocks", "8"])
-        assert info.value.code == 2
         err = capsys.readouterr().err
-        assert "--cache-blocks" in err and "--num-blocks" in err
+        assert "removed" not in err and "deprecated" not in err
 
-    def test_verify_every_conflict_is_an_error(self, capsys):
-        with pytest.raises(SystemExit) as info:
-            main(["run", "-n", "2", "--verify-every", "4",
-                  "--check-interval", "8"])
-        assert info.value.code == 2
-        err = capsys.readouterr().err
-        assert "--verify-every" in err and "--check-interval" in err
+
+class TestTopologyFlags:
+    def test_clustered_run(self, capsys):
+        assert main(["run", "-n", "4", "--topology", "clustered",
+                     "--clusters", "2", "--workload", "sharing"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_directory_run(self, capsys):
+        assert main(["run", "-n", "4", "--topology", "directory",
+                     "--clusters", "2", "--workload", "sharing"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--topology", "mesh"])
+
+    def test_sweep_with_topology(self, capsys):
+        assert main(["sweep", "--processors", "2", "4",
+                     "--topology", "directory"]) == 0
+        assert "processors" in capsys.readouterr().out
+
+    def test_env_override_selects_fabric(self, monkeypatch, capsys):
+        from repro.bus.fabric import TOPOLOGY_ENV, default_topology
+
+        monkeypatch.setenv(TOPOLOGY_ENV, "clustered")
+        assert default_topology() == "clustered"
+        monkeypatch.setenv(TOPOLOGY_ENV, "not-a-fabric")
+        assert default_topology() == "snoop"
 
 
 class TestResilienceFlags:
