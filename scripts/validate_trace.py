@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Validate JSON artifacts produced by the repro CLI.
 
-Six artifact shapes are understood:
+Eight artifact shapes are understood:
 
 * Chrome trace-event files (``repro run --timeline``) are checked
   against the schema subset Perfetto/chrome://tracing actually require
@@ -28,6 +28,12 @@ Six artifact shapes are understood:
   accounting invariant: every processor carries all eight buckets,
   every bucket is a non-negative integer, and the buckets sum exactly
   to the processor's total cycles.
+* Saved scenarios (``kind == "scenario"``, schema v6, the
+  ``scenarios/*.json`` corpus) must rebuild into a validating
+  :class:`repro.scenario.model.ScenarioSpec`.
+* Scenario-fuzzer fixtures (``kind == "scenario-failure"``, schema v6)
+  must carry a validating embedded spec, a well-formed choice-index
+  schedule, and a named failure.
 * Engine benchmark results (``BENCH_engine.json``, schema v4, detected
   by an ``engine`` section) are checked for the keys
   ``scripts/perf_guard.py`` guards: per-core ``engine.dispatch``
@@ -345,6 +351,47 @@ def validate_bench_engine(payload: dict) -> list[str]:
     return errors
 
 
+def validate_scenario(payload: dict) -> list[str]:
+    """Structural checks for a saved declarative scenario (kind
+    ``scenario``, schema v6): the payload must rebuild into a
+    *validating* :class:`repro.scenario.model.ScenarioSpec`."""
+    from repro.common.errors import ScenarioError
+    from repro.scenario.model import ScenarioSpec
+
+    try:
+        spec = ScenarioSpec.from_dict(payload)
+    except (ScenarioError, KeyError, TypeError, ValueError) as exc:
+        return [f"invalid scenario: {exc}"]
+    errors: list[str] = []
+    if not spec.steps:
+        errors.append("scenario has no steps")
+    if not spec.roles:
+        errors.append("scenario has no roles")
+    return errors
+
+
+def validate_scenario_failure(payload: dict) -> list[str]:
+    """Checks for a shrunk scenario-fuzzer fixture (kind
+    ``scenario-failure``, schema v6): the embedded spec must validate,
+    the schedule must be a list of non-negative choice indices, and the
+    failure must name a kind."""
+    from repro.common.errors import ScenarioError
+    from repro.scenario.fuzz import ScenarioFailure
+
+    try:
+        fixture = ScenarioFailure.from_dict(payload)
+    except (ScenarioError, KeyError, TypeError, ValueError) as exc:
+        return [f"invalid scenario-failure: {exc}"]
+    errors: list[str] = []
+    if any(i < 0 for i in fixture.schedule):
+        errors.append("schedule carries a negative choice index")
+    if not fixture.failure.kind:
+        errors.append("failure kind is empty")
+    if fixture.processors < 1:
+        errors.append(f"bad processors {fixture.processors!r}")
+    return errors
+
+
 def _describe(payload: dict) -> str:
     if "traceEvents" in payload:
         return f"{len(payload['traceEvents'])} trace events"
@@ -355,6 +402,16 @@ def _describe(payload: dict) -> str:
     if payload.get("kind") == "span-trace":
         return (f"span trace, {len(payload.get('spans', []))} spans over "
                 f"{payload.get('cycles')} cycles")
+    if payload.get("kind") == "scenario":
+        return (f"scenario {payload.get('name')!r}, "
+                f"{len(payload.get('steps', []))} steps, "
+                f"{len(payload.get('roles', []))} roles")
+    if payload.get("kind") == "scenario-failure":
+        failure = payload.get("failure", {})
+        return (f"scenario failure, {failure.get('kind')} on "
+                f"{payload.get('protocol')}"
+                + (f" (mutation {payload['mutation']})"
+                   if payload.get("mutation") else ""))
     if payload.get("kind") == "attribution-report":
         per_pid = payload.get("per_pid", [])
         return (f"attribution, {len(per_pid)} cpus, "
@@ -393,6 +450,11 @@ def main(argv: list[str] | None = None) -> int:
         elif (isinstance(payload, dict)
               and payload.get("kind") == "attribution-report"):
             errors = validate_attribution_report(payload)
+        elif isinstance(payload, dict) and payload.get("kind") == "scenario":
+            errors = validate_scenario(payload)
+        elif (isinstance(payload, dict)
+              and payload.get("kind") == "scenario-failure"):
+            errors = validate_scenario_failure(payload)
         elif (isinstance(payload, dict) and "engine" in payload
               and "kind" not in payload):
             errors = validate_bench_engine(payload)

@@ -41,7 +41,8 @@ from repro.processor.program import LockStyle, Program
 from repro.sim.stats import SimStats
 from repro.workloads.registry import (WORKLOADS, build_workload,
                                       default_lock_style,
-                                      default_words_per_block)
+                                      default_words_per_block,
+                                      effective_lock_style)
 
 __all__ = [
     "RunResult",
@@ -78,6 +79,10 @@ class RunResult:
     #: Which interconnect fabric carried the run (a
     #: :data:`~repro.common.config.TOPOLOGY_KINDS` name; schema v5).
     topology: str = "snoop"
+    #: The lock style the run's programs actually used (a
+    #: :class:`~repro.processor.program.LockStyle` value), or ``None``
+    #: for style-blind reference streams with no locks (schema v6).
+    lock_style: str | None = None
 
     def to_dict(self) -> dict:
         return stamp({
@@ -86,6 +91,7 @@ class RunResult:
             "workload": self.workload,
             "dispatch": self.dispatch,
             "topology": self.topology,
+            "lock_style": self.lock_style,
             "config": self.config.to_dict(),
             "stats": self.stats.to_payload(),
             "obs": self.obs.to_dict() if self.obs is not None else None,
@@ -300,8 +306,13 @@ def simulate(
         )
     else:
         protocol = config.protocol
+    style_label: str | None = None
     if programs is None:
         programs = build_workload(workload, config, lock_style)
+        effective = effective_lock_style(workload, protocol, lock_style)
+        style_label = effective.value if effective is not None else None
+    elif lock_style is not None:
+        style_label = lock_style.value
     obs = None
     if sample_interval or tracing:
         from repro.obs import Observability
@@ -326,6 +337,7 @@ def simulate(
         obs=obs_result,
         dispatch=dispatch,
         topology=config.topology.kind,
+        lock_style=style_label,
     )
 
 

@@ -33,7 +33,8 @@ from repro.analysis import (
 )
 from repro.bus.fabric import FABRIC_KINDS, TOPOLOGY_ENV
 from repro.protocols import DISPATCH_ENV, DISPATCH_MODES, PROTOCOLS
-from repro.workloads.registry import (WORKLOADS, default_lock_style,
+from repro.workloads.registry import (WORKLOADS, canonical_workload_name,
+                                      default_lock_style,
                                       default_words_per_block)
 
 #: Flags removed after their PR-3 deprecation window: old spelling ->
@@ -58,6 +59,18 @@ class _RemovedFlag(argparse.Action):
         raise SystemExit(2)
 
 
+def _workload_name(value: str) -> str:
+    """``--workload`` validator: accepts hyphenated or underscore
+    spellings; an unknown name exits 2 listing the valid names (the
+    CLI's flag-error convention)."""
+    try:
+        return canonical_workload_name(value)
+    except KeyError:
+        raise argparse.ArgumentTypeError(
+            f"unknown workload {value!r}; valid names: "
+            f"{', '.join(sorted(WORKLOADS))}") from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -71,8 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run a workload and print statistics")
     run.add_argument("--protocol", choices=sorted(PROTOCOLS),
                      default="bitar-despain")
-    run.add_argument("--workload", choices=sorted(WORKLOADS),
-                     default="lock-contention")
+    run.add_argument("--workload", type=_workload_name,
+                     default="lock-contention", metavar="NAME",
+                     help="registered workload name (see 'repro "
+                          "protocols' docs; underscore spellings accepted)")
     run.add_argument("-n", "--processors", type=int, default=4)
     run.add_argument("--buses", type=int, default=1,
                      help="broadcast buses (1 or 2; blocks interleave)")
@@ -146,8 +161,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--protocol", choices=sorted(PROTOCOLS),
                        default="bitar-despain")
-    sweep.add_argument("--workload", choices=sorted(WORKLOADS),
-                       default="lock-contention")
+    sweep.add_argument("--workload", type=_workload_name,
+                       default="lock-contention", metavar="NAME")
     sweep.add_argument("--processors", nargs="+", type=int,
                        default=[2, 4, 8])
     sweep.add_argument("--topology", choices=FABRIC_KINDS, default=None,
@@ -195,8 +210,8 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser(
         "compare", help="run one workload across the whole protocol field"
     )
-    compare.add_argument("--workload", choices=sorted(WORKLOADS),
-                         default="lock-contention")
+    compare.add_argument("--workload", type=_workload_name,
+                         default="lock-contention", metavar="NAME")
     compare.add_argument("-n", "--processors", type=int, default=4)
     compare.add_argument("--protocols", nargs="+", default=None,
                          choices=sorted(PROTOCOLS),
@@ -263,6 +278,70 @@ def build_parser() -> argparse.ArgumentParser:
                          default="dot",
                          help="Graphviz DOT (default) or Mermaid "
                               "stateDiagram-v2")
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="declarative scenario tools: list, export, run, fuzz, "
+             "replay (see docs/scenarios.md)",
+    )
+    scen_sub = scenario.add_subparsers(dest="scenario_command",
+                                       required=True)
+
+    scen_sub.add_parser("list", help="list the named scenario library")
+
+    s_export = scen_sub.add_parser(
+        "export", help="write a named scenario as schema-stamped JSON")
+    s_export.add_argument("name", help="library scenario name")
+    s_export.add_argument("--out", metavar="FILE", default=None,
+                          help="output path (default: stdout)")
+
+    s_run = scen_sub.add_parser(
+        "run", help="compile a scenario (library name or saved JSON "
+                    "file) and simulate it")
+    s_run.add_argument("scenario",
+                       help="library name or path to a scenarios/*.json file")
+    s_run.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                       default="bitar-despain")
+    s_run.add_argument("-n", "--processors", type=int, default=4)
+    s_run.add_argument("--lock-style",
+                       choices=[s.value for s in LockStyle], default=None,
+                       help="defaults to cache-lock on the proposal, "
+                            "ttas elsewhere")
+    s_run.add_argument("--fast-forward", action="store_true")
+    s_run.add_argument("--json", action="store_true",
+                       help="emit the full statistics as JSON")
+
+    s_fuzz = scen_sub.add_parser(
+        "fuzz", help="fuzz scenarios through the model-checker battery "
+                     "(seeded alterations; shrunk failures are saved)")
+    s_fuzz.add_argument("--scenario", nargs="+", default=None,
+                        metavar="NAME",
+                        help="library scenario(s) to fuzz (default: all)")
+    s_fuzz.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                        default="bitar-despain")
+    s_fuzz.add_argument("-n", "--processors", type=int, default=3)
+    s_fuzz.add_argument("--seed", type=int, default=0)
+    s_fuzz.add_argument("--probes", type=int, default=24, metavar="N",
+                        help="altered-scenario probes per scenario "
+                             "(default 24)")
+    s_fuzz.add_argument("--schedules", type=int, default=3, metavar="N",
+                        help="random schedules per probe (default 3)")
+    s_fuzz.add_argument("--budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock cap shared by all scenarios")
+    s_fuzz.add_argument("--mutate", metavar="NAME", default=None,
+                        help="fuzz against a seeded protocol mutation; "
+                             "the session then *expects* to catch it")
+    s_fuzz.add_argument("--out", metavar="DIR", default=None,
+                        help="write shrunk scenario-failure fixtures "
+                             "into DIR")
+    s_fuzz.add_argument("--json", action="store_true",
+                        help="emit the session results as JSON")
+
+    s_replay = scen_sub.add_parser(
+        "replay", help="replay a saved scenario-failure fixture")
+    s_replay.add_argument("file", help="scenario-failure JSON file")
+    s_replay.add_argument("--json", action="store_true")
 
     table1 = sub.add_parser("table1", help="print the regenerated Table 1")
     table1.add_argument("--format", choices=("text", "md", "csv"),
@@ -635,6 +714,176 @@ def command_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _load_scenario_spec(name_or_path: str):
+    """A library scenario by name, or a saved spec from a JSON file."""
+    from pathlib import Path
+
+    from repro.scenario import SCENARIOS, ScenarioSpec, build_scenario
+
+    if name_or_path in SCENARIOS:
+        return build_scenario(name_or_path)
+    if name_or_path.endswith(".json") or Path(name_or_path).exists():
+        return ScenarioSpec.load(name_or_path)
+    print(f"repro: error: unknown scenario {name_or_path!r}; known: "
+          f"{', '.join(sorted(SCENARIOS))} (or a path to a saved "
+          f"scenario JSON)", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def command_scenario(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.scenario import SCENARIOS, build_scenario, compile_scenario
+
+    if args.scenario_command == "list":
+        rows = []
+        for name in sorted(SCENARIOS):
+            spec = build_scenario(name)
+            rows.append([name, len(spec.roles), len(spec.steps),
+                         spec.description])
+        print(render_table(["name", "roles", "steps", "description"], rows))
+        return 0
+
+    if args.scenario_command == "export":
+        spec = _load_scenario_spec(args.name)
+        payload = _json.dumps(spec.to_dict(), indent=2) + "\n"
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            print(f"scenario written to {args.out}")
+        else:
+            print(payload, end="")
+        return 0
+
+    if args.scenario_command == "run":
+        from repro import api
+
+        spec = _load_scenario_spec(args.scenario)
+        style = LockStyle(args.lock_style) if args.lock_style \
+            else default_lock_style(args.protocol)
+        config = api._build_config(args.protocol,
+                                   processors=args.processors)
+        programs = compile_scenario(spec, config, lock_style=style)
+        result = api.simulate(args.protocol, workload=spec.name,
+                              config=config, programs=programs,
+                              lock_style=style,
+                              fast_forward=args.fast_forward)
+        if args.json:
+            print(result.stats.to_json())
+            return 0
+        rows = [[k, v] for k, v in result.stats.to_dict().items()]
+        print(render_table(["metric", "value"], rows,
+                           title=f"scenario {spec.name} on {args.protocol} "
+                                 f"({args.processors} processors)"))
+        return 0
+
+    if args.scenario_command == "fuzz":
+        return _command_scenario_fuzz(args)
+
+    if args.scenario_command == "replay":
+        from repro.scenario.fuzz import ScenarioFailure
+
+        fixture = ScenarioFailure.load(args.file)
+        outcome = fixture.replay()
+        reproduced = (outcome.failure is not None
+                      and outcome.failure.kind == fixture.failure.kind)
+        if args.json:
+            print(_json.dumps({
+                **fixture.to_dict(),
+                "replayed_failure": (outcome.failure.to_dict()
+                                     if outcome.failure else None),
+                "reproduced": reproduced,
+            }, indent=2))
+        else:
+            where = f"{fixture.spec.name} on {fixture.protocol}"
+            if fixture.mutation:
+                where += f" (mutation {fixture.mutation})"
+            print(f"replaying {where}: {len(fixture.schedule)}-choice "
+                  f"schedule")
+            if outcome.failure is None:
+                print("no failure reproduced "
+                      "(was the bug fixed since the fixture was saved?)")
+            else:
+                print(f"{outcome.failure.kind}: {outcome.failure.message}")
+            print("reproduced" if reproduced else "NOT reproduced")
+        return 0 if reproduced else 1
+
+    return 1  # pragma: no cover
+
+
+def _command_scenario_fuzz(args: argparse.Namespace) -> int:
+    import json as _json
+    import time as _time
+
+    from repro.scenario import SCENARIOS, build_scenario
+    from repro.scenario.fuzz import fuzz_scenario
+
+    mutation = None
+    if args.mutate:
+        from repro.mc.mutations import get_mutation
+
+        mutation = get_mutation(args.mutate)
+    names = args.scenario or sorted(SCENARIOS)
+    for name in names:
+        if name not in SCENARIOS:
+            print(f"repro: error: unknown scenario {name!r}; known: "
+                  f"{', '.join(sorted(SCENARIOS))}", file=sys.stderr)
+            return 2
+    started = _time.monotonic()
+    results = []
+    saved: list[str] = []
+    for name in names:
+        budget = None
+        if args.budget is not None:
+            budget = args.budget - (_time.monotonic() - started)
+            if budget <= 0:
+                break
+        result = fuzz_scenario(
+            build_scenario(name), args.protocol,
+            seed=args.seed, probes=args.probes,
+            schedules_per_probe=args.schedules,
+            mutation=mutation, processors=args.processors,
+            time_budget=budget, base_name=name,
+        )
+        results.append(result)
+        if result.failure is not None and args.out:
+            import os
+
+            os.makedirs(args.out, exist_ok=True)
+            suffix = f"-{result.mutation}" if result.mutation else ""
+            path = os.path.join(args.out,
+                                f"scenario-failure-{name}{suffix}.json")
+            result.failure.save(path)
+            saved.append(path)
+    found = [r for r in results if r.failure is not None]
+    # Without a mutation, a failure is a real bug (session fails);
+    # with one, the session *must* catch the seeded bug.
+    ok = (not found) if mutation is None else bool(found)
+    if args.json:
+        print(_json.dumps({
+            "results": [r.to_dict() for r in results],
+            "saved": saved,
+            "ok": ok,
+        }, indent=2))
+        return 0 if ok else 1
+    for r in results:
+        status = "ok" if r.failure is None \
+            else f"FAIL ({r.failure.failure.kind})"
+        extra = " [budget hit]" if r.budget_exhausted else ""
+        print(f"fuzz {r.scenario:20s} {r.probes:3d} probes "
+              f"{r.runs:4d} runs {r.rejected:3d} rejected: "
+              f"{status}{extra}")
+        if r.lint_findings:
+            print(f"     linter flags the mutated table "
+                  f"({len(r.lint_findings)} finding(s))")
+    for path in saved:
+        print(f"scenario failure written to {path}")
+    if mutation is not None:
+        print(f"mutation {mutation.name}: "
+              f"{'caught' if found else 'MISSED'}")
+    return 0 if ok else 1
+
+
 def command_protocols(args: argparse.Namespace) -> int:
     rows = [
         [name, cls.features().citation, len(cls.states())]
@@ -703,6 +952,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return command_conformance(args)
     if args.command == "check":
         return command_check(args)
+    if args.command == "scenario":
+        return command_scenario(args)
     if args.command == "lint":
         return command_lint(args)
     if args.command == "diagram":

@@ -76,3 +76,15 @@ class SweepPointError(ReproError):
 
 class FaultInjected(ReproError):
     """Raised by the fault-injection harness, never by real code paths."""
+
+
+class ScenarioError(ReproError):
+    """A declarative scenario is structurally invalid, or its compilation
+    to per-processor programs failed (bad expression, unknown step,
+    non-terminating step graph)."""
+
+
+class LockStyleIgnoredWarning(UserWarning):
+    """An explicit lock style was requested for a reference-stream
+    workload that contains no lock/unlock operations, so the style
+    cannot change the generated programs."""

@@ -63,6 +63,15 @@ Version history
    ``perf_guard``).  Migration: v4 readers that ignore unknown keys
    keep working; readers of ``config.num_buses`` must switch to
    ``config.topology``.
+6. Declarative scenarios: two new stamped artifact kinds, ``scenario``
+   (a saved scenario spec, the ``scenarios/*.json`` corpus) and
+   ``scenario-failure`` (a shrunk scenario-fuzzer counterexample:
+   the failing spec, its alterations, system shape, schedule seed, and
+   failure).  ``run-result`` payloads gain a top-level ``lock_style``
+   key (the lock style the run's programs actually used, ``null`` for
+   style-blind reference streams) -- previously an explicitly requested
+   style could be silently discarded with no record in the artifact.
+   Migration: v5 readers that ignore unknown keys keep working.
 """
 
 from __future__ import annotations
@@ -70,7 +79,7 @@ from __future__ import annotations
 from repro.common.errors import ReproError
 
 #: Current version of all exported JSON payload shapes.
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: Key under which the version is stamped.
 SCHEMA_KEY = "schema_version"

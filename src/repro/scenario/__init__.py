@@ -1,0 +1,25 @@
+"""Declarative scenario language for workload definition and fuzzing.
+
+Scenarios are pure-data state machines (steps of abstract operations,
+guarded transitions, per-pid roles) that compile down to the existing
+:class:`~repro.processor.program.Program` objects -- the engine, caches,
+and protocols are untouched.  See ``docs/scenarios.md``.
+"""
+
+from repro.scenario.compile import AtomView, compile_scenario
+from repro.scenario.library import SCENARIOS, build_scenario
+from repro.scenario.model import (AtomSpec, OpSpec, RoleSpec, ScenarioSpec,
+                                  StepSpec, TransitionSpec)
+
+__all__ = [
+    "AtomSpec",
+    "AtomView",
+    "OpSpec",
+    "RoleSpec",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "StepSpec",
+    "TransitionSpec",
+    "build_scenario",
+    "compile_scenario",
+]

@@ -1,0 +1,229 @@
+"""Compile a declarative scenario down to per-processor programs.
+
+The pipeline is: validate the spec, allocate its atoms block-aligned in
+declaration order, assign each processor to at most one role, then walk
+each processor's state machine -- emitting the ops of every visited step
+and following the first transition whose guard holds -- until no
+transition fires.  The result is a plain ``list[Program]``, one per
+processor (processors outside every role get an empty ``idle-p{pid}``
+program), optionally lowered to a busy-wait lock style.  The engine,
+caches, and protocols never see the scenario.
+
+Atom allocation order is the contract that makes ported scenarios
+address-identical to their imperative originals: families allocate
+instance 0 first, atoms in declaration order, exactly as the generator
+functions call ``Atom.allocate``.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ScenarioError
+from repro.common.layout import Atom, layout_for
+from repro.common.rng import derive_rng
+from repro.processor import isa
+from repro.processor.program import LockStyle, Program
+from repro.scenario.expr import evaluate
+from repro.scenario.model import RoleSpec, ScenarioSpec, StepSpec
+
+__all__ = ["AtomView", "compile_scenario", "role_assignment"]
+
+#: Ceiling on step visits per processor; a walk that exceeds it is
+#: declared non-terminating (fuzzed transition graphs can easily loop).
+DEFAULT_MAX_VISITS = 100_000
+
+
+class AtomView:
+    """Expression-facing handle for one allocated atom.
+
+    ``EXPR_ATTRS`` is the whitelist honored by the expression walker:
+    ``.lock`` is the lock word's address, ``.data`` the tuple of data
+    word addresses (so ``cell.data[i % len(cell.data)]`` works).
+    """
+
+    EXPR_ATTRS = ("lock", "data")
+    __slots__ = ("lock", "data")
+
+    def __init__(self, atom: Atom) -> None:
+        self.lock = atom.lock_word
+        self.data = tuple(atom.data_words())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AtomView(lock={self.lock}, data={self.data})"
+
+
+def _require_int(value, what: str, spec: ScenarioSpec):
+    if isinstance(value, bool):
+        value = int(value)
+    if not isinstance(value, int):
+        raise ScenarioError(
+            f"scenario {spec.name!r}: {what} must evaluate to an integer, "
+            f"got {type(value).__name__} (atom handles need .lock or "
+            f".data[i])")
+    return value
+
+
+def _allocate_atoms(spec: ScenarioSpec, config: SystemConfig,
+                    env: dict) -> None:
+    layout = layout_for(config)
+    for atom_spec in spec.atoms:
+        words = _require_int(evaluate(atom_spec.words, env),
+                             f"atom {atom_spec.name!r} words", spec)
+        count = _require_int(evaluate(atom_spec.count, env),
+                             f"atom {atom_spec.name!r} count", spec)
+        if words < 1:
+            raise ScenarioError(f"scenario {spec.name!r}: atom "
+                                f"{atom_spec.name!r} needs at least one word")
+        if count < 0:
+            raise ScenarioError(f"scenario {spec.name!r}: atom "
+                                f"{atom_spec.name!r} count is negative")
+        views = [AtomView(Atom.allocate(layout, words)) for _ in range(count)]
+        # A literal ``count: 1`` binds the handle directly; a count
+        # *expression* always binds the indexable family, even when it
+        # evaluates to 1, so ``queue[0]`` works at every system size.
+        env[atom_spec.name] = views[0] if atom_spec.count == 1 else views
+
+
+def role_assignment(spec: ScenarioSpec, config: SystemConfig,
+                    base_env: dict) -> dict[int, RoleSpec]:
+    """Map each pid to its role (pids matching no role are idle).
+
+    A pid matching two roles is an error: the scenario would be
+    ambiguous about which program that processor runs.
+    """
+    assignment: dict[int, RoleSpec] = {}
+    for pid in range(config.num_processors):
+        env = {**base_env, "pid": pid}
+        for role in spec.roles:
+            member = (role.pids == "all") or bool(evaluate(role.pids, env))
+            if not member:
+                continue
+            if pid in assignment:
+                raise ScenarioError(
+                    f"scenario {spec.name!r}: pid {pid} matches both role "
+                    f"{assignment[pid].name!r} and role {role.name!r}")
+            assignment[pid] = role
+    return assignment
+
+
+def _emit_step(spec: ScenarioSpec, step: StepSpec, env: dict,
+               ops: list[isa.Op]) -> None:
+    for op_spec in step.ops:
+        repeat = _require_int(evaluate(op_spec.repeat, env),
+                              f"step {step.name!r} repeat", spec)
+        for i in range(repeat):
+            env["i"] = i
+            kind = op_spec.op
+            if kind == "compute":
+                cycles = _require_int(evaluate(op_spec.cycles, env),
+                                      f"step {step.name!r} cycles", spec)
+                if cycles < 0:
+                    raise ScenarioError(f"scenario {spec.name!r}: step "
+                                        f"{step.name!r} computes a negative "
+                                        f"cycle count")
+                if cycles:
+                    ops.append(isa.compute(cycles))
+                continue
+            addr = _require_int(evaluate(op_spec.addr, env),
+                                f"step {step.name!r} addr", spec)
+            if kind == "read":
+                ops.append(isa.read(addr, private=op_spec.private))
+            elif kind == "write":
+                value = _require_int(evaluate(op_spec.value, env),
+                                     f"step {step.name!r} value", spec)
+                ops.append(isa.write(addr, value=value))
+            elif kind == "lock":
+                ready = _require_int(evaluate(op_spec.ready_work, env),
+                                     f"step {step.name!r} ready_work", spec)
+                ops.append(isa.lock(addr, ready_work=ready))
+            elif kind == "unlock":
+                value = _require_int(evaluate(op_spec.value, env),
+                                     f"step {step.name!r} value", spec)
+                ops.append(isa.unlock(addr, value=value))
+            else:  # barrier: all-arrive serialization on the barrier word
+                value = _require_int(evaluate(op_spec.value, env),
+                                     f"step {step.name!r} value", spec)
+                ops.append(isa.lock(addr))
+                ops.append(isa.unlock(addr, value=value))
+    env.pop("i", None)
+
+
+def _walk_role(spec: ScenarioSpec, role: RoleSpec, pid: int, env: dict,
+               max_visits: int) -> list[isa.Op]:
+    for var, init in role.vars.items():
+        env[var] = evaluate(init, env)
+    jitter_rng = derive_rng(spec.jitter_seed, "scenario-jitter",
+                            spec.name, pid)
+    ops: list[isa.Op] = []
+    current = spec.entry_step(role)
+    visits = 0
+    while current is not None:
+        visits += 1
+        if visits > max_visits:
+            raise ScenarioError(
+                f"scenario {spec.name!r}: role {role.name!r} (pid {pid}) "
+                f"exceeded {max_visits} step visits -- the transition "
+                f"graph does not terminate")
+        _emit_step(spec, current, env, ops)
+        amplitude = current.jitter if current.jitter is not None \
+            else spec.jitter
+        amplitude = _require_int(evaluate(amplitude, env),
+                                 f"step {current.name!r} jitter", spec)
+        if amplitude > 0:
+            ops.append(isa.compute(jitter_rng.randint(1, amplitude)))
+        next_step = None
+        for transition in spec.transitions_from(current.name):
+            if transition.guard is not None \
+                    and not evaluate(transition.guard, env):
+                continue
+            # Simultaneous assignment: every right-hand side sees the
+            # pre-transition environment.
+            updates = {var: evaluate(expr, env)
+                       for var, expr in transition.updates.items()}
+            env.update(updates)
+            next_step = spec.step(transition.target)
+            break
+        current = next_step
+    return ops
+
+
+def compile_scenario(
+    spec: ScenarioSpec,
+    config: SystemConfig,
+    *,
+    lock_style: LockStyle = LockStyle.CACHE_LOCK,
+    max_visits: int = DEFAULT_MAX_VISITS,
+) -> list[Program]:
+    """Build one :class:`Program` per processor from ``spec``."""
+    spec.validate()
+    n = config.num_processors
+    base_env: dict = {"n": n, **spec.params}
+    for requirement in spec.requires:
+        if not evaluate(requirement, base_env):
+            raise ScenarioError(
+                f"scenario {spec.name!r} requires {requirement!r} "
+                f"(n={n}, params={spec.params})")
+    _allocate_atoms(spec, config, base_env)
+    assignment = role_assignment(spec, config, base_env)
+
+    role_pids: dict[str, list[int]] = {}
+    for pid in sorted(assignment):
+        role_pids.setdefault(assignment[pid].name, []).append(pid)
+
+    programs: list[Program] = []
+    for pid in range(n):
+        role = assignment.get(pid)
+        if role is None:
+            programs.append(Program(ops=[], name=f"idle-p{pid}"))
+            continue
+        members = role_pids[role.name]
+        env = {**base_env, "pid": pid,
+               "role_index": members.index(pid),
+               "role_size": len(members)}
+        ops = _walk_role(spec, role, pid, env, max_visits)
+        template = role.program or f"{role.name}-p{{pid}}"
+        name = template.format(pid=pid, role=role.name)
+        program = Program(ops=ops, name=name)
+        program.validate()
+        programs.append(program.lowered(lock_style))
+    return programs

@@ -1,0 +1,179 @@
+"""A tiny, safe expression language for scenario guards and operands.
+
+Scenario specifications are pure data (JSON-serializable), so anywhere a
+scenario needs a *computed* value -- a transition guard, a word address,
+a written value, a repeat count -- it carries a string expression instead
+of Python code.  Expressions are evaluated against a small environment
+(``pid``, ``n``, role-local variables, scenario parameters, atom
+handles) by walking a whitelisted ``ast`` subset; there is no access to
+builtins, attributes starting with an underscore, or function calls
+other than ``len``/``min``/``max``.
+
+The whitelist keeps fuzzer-generated and corpus-loaded scenarios safe to
+evaluate: a scenario file can compute addresses and loop bounds, but it
+cannot reach into the interpreter.
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+
+from repro.common.errors import ScenarioError
+
+__all__ = ["Expr", "ExprError", "compile_expr", "evaluate"]
+
+
+class ExprError(ScenarioError):
+    """An expression failed to parse, used a forbidden construct, or
+    raised while evaluating."""
+
+
+_BIN_OPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod,
+}
+
+_CMP_OPS = {
+    ast.Eq: operator.eq,
+    ast.NotEq: operator.ne,
+    ast.Lt: operator.lt,
+    ast.LtE: operator.le,
+    ast.Gt: operator.gt,
+    ast.GtE: operator.ge,
+}
+
+_UNARY_OPS = {
+    ast.USub: operator.neg,
+    ast.Not: operator.not_,
+}
+
+#: The only callables an expression may invoke, by name.
+_FUNCTIONS = {"len": len, "min": min, "max": max}
+
+
+class Expr:
+    """One compiled expression, reusable across environments."""
+
+    __slots__ = ("source", "_tree")
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        try:
+            self._tree = ast.parse(source, mode="eval").body
+        except SyntaxError as exc:
+            raise ExprError(f"bad expression {source!r}: {exc.msg}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Expr({self.source!r})"
+
+    def evaluate(self, env: dict):
+        try:
+            return self._eval(self._tree, env)
+        except ExprError:
+            raise
+        except (IndexError, KeyError, ZeroDivisionError, TypeError) as exc:
+            raise ExprError(
+                f"expression {self.source!r} failed: {exc}") from None
+
+    def _eval(self, node: ast.AST, env: dict):
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or isinstance(node.value, int):
+                return node.value
+            raise ExprError(f"expression {self.source!r}: only integer and "
+                            f"boolean literals are allowed, "
+                            f"got {node.value!r}")
+        if isinstance(node, ast.Name):
+            try:
+                return env[node.id]
+            except KeyError:
+                raise ExprError(f"expression {self.source!r}: unknown name "
+                                f"{node.id!r}") from None
+        if isinstance(node, ast.BinOp):
+            op = _BIN_OPS.get(type(node.op))
+            if op is None:
+                raise ExprError(f"expression {self.source!r}: operator "
+                                f"{type(node.op).__name__} not allowed")
+            return op(self._eval(node.left, env), self._eval(node.right, env))
+        if isinstance(node, ast.UnaryOp):
+            op = _UNARY_OPS.get(type(node.op))
+            if op is None:
+                raise ExprError(f"expression {self.source!r}: operator "
+                                f"{type(node.op).__name__} not allowed")
+            return op(self._eval(node.operand, env))
+        if isinstance(node, ast.BoolOp):
+            if isinstance(node.op, ast.And):
+                result = True
+                for value in node.values:
+                    result = self._eval(value, env)
+                    if not result:
+                        return result
+                return result
+            result = False
+            for value in node.values:
+                result = self._eval(value, env)
+                if result:
+                    return result
+            return result
+        if isinstance(node, ast.Compare):
+            left = self._eval(node.left, env)
+            for op_node, right_node in zip(node.ops, node.comparators):
+                op = _CMP_OPS.get(type(op_node))
+                if op is None:
+                    raise ExprError(f"expression {self.source!r}: comparison "
+                                    f"{type(op_node).__name__} not allowed")
+                right = self._eval(right_node, env)
+                if not op(left, right):
+                    return False
+                left = right
+            return True
+        if isinstance(node, ast.IfExp):
+            if self._eval(node.test, env):
+                return self._eval(node.body, env)
+            return self._eval(node.orelse, env)
+        if isinstance(node, ast.Subscript):
+            target = self._eval(node.value, env)
+            index = self._eval(node.slice, env)
+            return target[index]
+        if isinstance(node, ast.Attribute):
+            target = self._eval(node.value, env)
+            allowed = getattr(type(target), "EXPR_ATTRS", ())
+            if node.attr not in allowed:
+                raise ExprError(
+                    f"expression {self.source!r}: attribute {node.attr!r} "
+                    f"not allowed on {type(target).__name__}")
+            return getattr(target, node.attr)
+        if isinstance(node, ast.Call):
+            if (not isinstance(node.func, ast.Name)
+                    or node.func.id not in _FUNCTIONS
+                    or node.keywords):
+                raise ExprError(f"expression {self.source!r}: only "
+                                f"{', '.join(sorted(_FUNCTIONS))} may be "
+                                f"called")
+            args = [self._eval(arg, env) for arg in node.args]
+            return _FUNCTIONS[node.func.id](*args)
+        raise ExprError(f"expression {self.source!r}: "
+                        f"{type(node).__name__} not allowed")
+
+
+#: Compiled-expression cache: scenario compilation evaluates the same
+#: small expressions once per pid per loop iteration, and parsing
+#: dominates otherwise.
+_CACHE: dict[str, Expr] = {}
+
+
+def compile_expr(source: str) -> Expr:
+    expr = _CACHE.get(source)
+    if expr is None:
+        expr = _CACHE[source] = Expr(source)
+    return expr
+
+
+def evaluate(value, env: dict):
+    """Evaluate a spec field that is either a literal or an expression."""
+    if isinstance(value, str):
+        return compile_expr(value).evaluate(env)
+    return value

@@ -1,0 +1,484 @@
+"""Scenario fuzzing: seeded alterations, checker oracles, shrinking.
+
+Where the PR-3 fuzzer varies *schedules* of fixed programs, this one
+varies the *workload itself*: each probe applies a few seeded
+alterations to a declarative scenario (op reordering, timing
+perturbation, op/step dropping, role swapping, parameter nudges),
+compiles it, and drives it through the model checker's full battery --
+optionally with a seeded protocol mutation active, which is how the
+harness proves workload fuzzing has teeth.  The static protocol linter
+runs as a second oracle when a mutation is active.
+
+A failing probe is shrunk on three axes (fewest alterations, smallest
+parameters, shortest schedule) and packaged as a replayable
+:class:`ScenarioFailure` -- a schema-stamped JSON fixture (kind
+``scenario-failure``) carrying the complete altered spec, so replay
+needs no access to the original builder.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable
+
+from repro.common.errors import ProgramError, ScenarioError, WatchdogTimeout
+from repro.common.rng import derive_rng
+from repro.common.schema import check as check_schema
+from repro.common.schema import stamp
+from repro.mc.runner import Failure, ScheduleOutcome, run_schedule
+from repro.mc.shrink import shrink as shrink_schedule
+from repro.processor.program import LockStyle
+from repro.scenario.check import mc_scenario
+from repro.scenario.model import ScenarioSpec
+from repro.sim.schedule import RandomScheduler
+
+__all__ = [
+    "ALTERATION_KINDS",
+    "ScenarioFailure",
+    "ScenarioFuzzResult",
+    "apply_alteration",
+    "apply_alterations",
+    "draw_alteration",
+    "fuzz_scenario",
+]
+
+#: Alteration kinds the fuzzer draws from.
+ALTERATION_KINDS = ("reorder-ops", "drop-op", "drop-step",
+                    "perturb-timing", "swap-roles", "perturb-param")
+
+#: Compile-time failures that mean an alteration produced an *invalid*
+#: scenario (rejected probe), not a protocol bug.
+INVALID_SCENARIO = (ScenarioError, ProgramError, ValueError)
+
+
+# -- alterations ------------------------------------------------------------
+
+
+def _steps_with_ops(spec: ScenarioSpec, minimum: int = 1):
+    return [s for s in spec.steps if len(s.ops) >= minimum]
+
+
+def draw_alteration(spec: ScenarioSpec, rng) -> dict | None:
+    """Draw one random alteration applicable to ``spec`` (or ``None``
+    when the drawn kind has no target, e.g. role swapping on a
+    single-role scenario)."""
+    kind = rng.choice(ALTERATION_KINDS)
+    if kind == "reorder-ops":
+        steps = _steps_with_ops(spec, minimum=2)
+        if not steps:
+            return None
+        step = rng.choice(steps)
+        i, j = rng.sample(range(len(step.ops)), 2)
+        return {"kind": kind, "step": step.name,
+                "i": min(i, j), "j": max(i, j)}
+    if kind == "drop-op":
+        steps = _steps_with_ops(spec)
+        if not steps:
+            return None
+        step = rng.choice(steps)
+        return {"kind": kind, "step": step.name,
+                "index": rng.randrange(len(step.ops))}
+    if kind == "drop-step":
+        steps = _steps_with_ops(spec)
+        if not steps:
+            return None
+        return {"kind": kind, "step": rng.choice(steps).name}
+    if kind == "perturb-timing":
+        return {"kind": kind, "amplitude": rng.randint(1, 6),
+                "seed": rng.randrange(1 << 16)}
+    if kind == "swap-roles":
+        if len(spec.roles) < 2:
+            return None
+        a, b = rng.sample([r.name for r in spec.roles], 2)
+        return {"kind": kind, "a": a, "b": b}
+    # perturb-param
+    params = [(k, v) for k, v in spec.params.items()
+              if isinstance(v, int) and not isinstance(v, bool)]
+    if not params:
+        return None
+    name, value = rng.choice(params)
+    return {"kind": kind, "param": name,
+            "value": max(0, value + rng.choice((-1, 1)))}
+
+
+def apply_alteration(spec: ScenarioSpec, alt: dict) -> ScenarioSpec:
+    """Apply one serialized alteration; deterministic, so saved fixtures
+    can name what was changed.  Raises :class:`ScenarioError` when the
+    alteration no longer fits the spec (e.g. after earlier drops)."""
+    kind = alt["kind"]
+    if kind in ("reorder-ops", "drop-op", "drop-step"):
+        step = spec.step(alt["step"])
+        ops = list(step.ops)
+        if kind == "reorder-ops":
+            i, j = alt["i"], alt["j"]
+            if j >= len(ops):
+                raise ScenarioError(f"reorder-ops out of range on "
+                                    f"step {step.name!r}")
+            ops[i], ops[j] = ops[j], ops[i]
+        elif kind == "drop-op":
+            if alt["index"] >= len(ops):
+                raise ScenarioError(f"drop-op out of range on "
+                                    f"step {step.name!r}")
+            del ops[alt["index"]]
+        else:
+            ops = []
+        steps = tuple(replace(s, ops=tuple(ops)) if s.name == step.name
+                      else s for s in spec.steps)
+        return replace(spec, steps=steps)
+    if kind == "perturb-timing":
+        return replace(spec, jitter=int(alt["amplitude"]),
+                       jitter_seed=int(alt["seed"]))
+    if kind == "swap-roles":
+        a, b = spec.role(alt["a"]), spec.role(alt["b"])
+        roles = tuple(
+            replace(r, pids=b.pids) if r.name == a.name
+            else replace(r, pids=a.pids) if r.name == b.name
+            else r
+            for r in spec.roles)
+        return replace(spec, roles=roles)
+    if kind == "perturb-param":
+        return spec.with_params(**{alt["param"]: int(alt["value"])})
+    raise ScenarioError(f"unknown alteration kind {kind!r}")
+
+
+def apply_alterations(spec: ScenarioSpec,
+                      alts: Iterable[dict]) -> ScenarioSpec:
+    for alt in alts:
+        spec = apply_alteration(spec, alt)
+    return spec
+
+
+# -- replayable failures ----------------------------------------------------
+
+
+@dataclass
+class ScenarioFailure:
+    """One shrunk failing probe, self-contained and replayable.
+
+    Carries the *complete altered spec* (not a diff), the system shape
+    it ran under, the choice-index schedule, and the failure -- enough
+    to replay bit-for-bit with no access to the scenario library.
+    """
+
+    spec: ScenarioSpec
+    protocol: str
+    schedule: list[int]
+    failure: Failure
+    #: Name of the base library scenario the spec was derived from.
+    base: str | None = None
+    #: The (minimized) alterations that got from base to ``spec``.
+    alterations: list[dict] = field(default_factory=list)
+    mutation: str | None = None
+    processors: int = 3
+    num_blocks: int = 16
+    #: Pinned lock style (a LockStyle value), or ``None`` = per-protocol.
+    lock_style: str | None = None
+    #: Schedule seed that first found the failure.
+    seed: int | None = None
+    cycles: int = 0
+
+    def to_dict(self) -> dict:
+        return stamp({
+            "kind": "scenario-failure",
+            "protocol": self.protocol,
+            "base": self.base,
+            "mutation": self.mutation,
+            "processors": self.processors,
+            "num_blocks": self.num_blocks,
+            "lock_style": self.lock_style,
+            "alterations": [dict(a) for a in self.alterations],
+            "spec": self.spec.to_dict(),
+            "schedule": list(self.schedule),
+            "failure": self.failure.to_dict(),
+            "seed": self.seed,
+            "cycles": self.cycles,
+        })
+
+    @staticmethod
+    def from_dict(data: dict) -> "ScenarioFailure":
+        check_schema(data, where="scenario-failure")
+        if data.get("kind") != "scenario-failure":
+            raise ScenarioError(f"expected kind 'scenario-failure', "
+                                f"got {data.get('kind')!r}")
+        return ScenarioFailure(
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            protocol=data["protocol"],
+            schedule=[int(i) for i in data["schedule"]],
+            failure=Failure.from_dict(data["failure"]),
+            base=data.get("base"),
+            alterations=[dict(a) for a in data.get("alterations", [])],
+            mutation=data.get("mutation"),
+            processors=int(data.get("processors", 3)),
+            num_blocks=int(data.get("num_blocks", 16)),
+            lock_style=data.get("lock_style"),
+            seed=data.get("seed"),
+            cycles=int(data.get("cycles", 0)),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @staticmethod
+    def load(path: str | Path) -> "ScenarioFailure":
+        return ScenarioFailure.from_dict(json.loads(Path(path).read_text()))
+
+    def _mc_scenario(self):
+        style = LockStyle(self.lock_style) if self.lock_style else None
+        return mc_scenario(self.spec, processors=self.processors,
+                           num_blocks=self.num_blocks, lock_style=style)
+
+    def _mutation(self):
+        if self.mutation is None:
+            return None
+        from repro.mc.mutations import get_mutation
+
+        return get_mutation(self.mutation)
+
+    def replay(self) -> ScheduleOutcome:
+        """Re-run the saved schedule over the saved spec."""
+        return run_schedule(self._mc_scenario(), self.protocol,
+                            self.schedule, mutation=self._mutation())
+
+    def reproduces(self) -> bool:
+        outcome = self.replay()
+        return (outcome.failure is not None
+                and outcome.failure.kind == self.failure.kind)
+
+
+@dataclass
+class ScenarioFuzzResult:
+    """Outcome of one scenario-fuzzing session."""
+
+    scenario: str
+    protocol: str
+    mutation: str | None = None
+    probes: int = 0
+    runs: int = 0
+    #: Probes whose alterations produced an invalid scenario/program.
+    rejected: int = 0
+    failure: ScenarioFailure | None = None
+    shrink_runs: int = 0
+    #: Findings of the static linter oracle over the (mutated) protocol
+    #: table; only collected when a mutation is active.
+    lint_findings: list[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    budget_exhausted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "protocol": self.protocol,
+            "mutation": self.mutation,
+            "probes": self.probes,
+            "runs": self.runs,
+            "rejected": self.rejected,
+            "failure": (self.failure.to_dict()
+                        if self.failure is not None else None),
+            "shrink_runs": self.shrink_runs,
+            "lint_findings": list(self.lint_findings),
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "budget_exhausted": self.budget_exhausted,
+        }
+
+
+# -- the fuzzing loop -------------------------------------------------------
+
+
+def _compiles(spec: ScenarioSpec, protocol: str, processors: int,
+              num_blocks: int, lock_style: LockStyle | None) -> bool:
+    """Pre-flight: does the altered spec build valid programs?"""
+    try:
+        mc_scenario(spec, processors=processors, num_blocks=num_blocks,
+                    lock_style=lock_style).build(protocol)
+    except INVALID_SCENARIO:
+        return False
+    return True
+
+
+def fuzz_scenario(
+    spec: ScenarioSpec,
+    protocol: str,
+    *,
+    seed: int = 0,
+    probes: int = 48,
+    schedules_per_probe: int = 3,
+    max_alterations: int = 2,
+    mutation=None,
+    processors: int = 3,
+    num_blocks: int = 16,
+    lock_style: LockStyle | None = None,
+    max_cycles: int = 8_000,
+    time_budget: float | None = None,
+    shrink: bool = True,
+    base_name: str | None = None,
+) -> ScenarioFuzzResult:
+    """Fuzz ``spec`` on ``protocol`` until a failure or the budget ends.
+
+    Probe 0 always runs the unaltered spec (a smoke baseline); each
+    later probe applies up to ``max_alterations`` seeded alterations,
+    discards invalid results, and drives the survivor under
+    ``schedules_per_probe`` random schedules through the checker
+    battery.  Everything derives from ``seed``, so a session is exactly
+    reproducible.
+    """
+    result = ScenarioFuzzResult(
+        scenario=spec.name, protocol=protocol,
+        mutation=mutation.name if mutation is not None else None,
+    )
+    if mutation is not None:
+        # Second oracle: the static linter over the mutated table.
+        from repro.lint import lint_protocol
+
+        with mutation.apply():
+            result.lint_findings = [str(f)
+                                    for f in lint_protocol(protocol)]
+    started = time.monotonic()
+
+    def out_of_budget() -> bool:
+        return (time_budget is not None
+                and time.monotonic() - started >= time_budget)
+
+    for probe in range(probes):
+        if out_of_budget():
+            result.budget_exhausted = True
+            break
+        result.probes += 1
+        rng = derive_rng(seed, "scenario-fuzz", spec.name, protocol, probe)
+        alterations: list[dict] = []
+        if probe > 0:
+            for _ in range(rng.randint(1, max_alterations)):
+                alt = draw_alteration(spec, rng)
+                if alt is not None:
+                    alterations.append(alt)
+        try:
+            altered = apply_alterations(spec, alterations)
+            altered.validate()
+        except INVALID_SCENARIO:
+            result.rejected += 1
+            continue
+        if not _compiles(altered, protocol, processors, num_blocks,
+                         lock_style):
+            result.rejected += 1
+            continue
+        scenario = mc_scenario(altered, processors=processors,
+                               num_blocks=num_blocks, lock_style=lock_style)
+        for _ in range(schedules_per_probe):
+            if out_of_budget():
+                result.budget_exhausted = True
+                break
+            schedule_seed = rng.randrange(1 << 32)
+            try:
+                outcome = run_schedule(
+                    scenario, protocol,
+                    scheduler=RandomScheduler(schedule_seed),
+                    mutation=mutation, max_cycles=max_cycles,
+                    max_wall_seconds=(
+                        time_budget - (time.monotonic() - started)
+                        if time_budget is not None else None),
+                )
+            except WatchdogTimeout:
+                result.runs += 1
+                result.budget_exhausted = True
+                break
+            result.runs += 1
+            if outcome.failure is None:
+                continue
+            result.failure = _package(
+                spec, altered, alterations, protocol, outcome,
+                outcome.schedule, mutation=mutation,
+                processors=processors, num_blocks=num_blocks,
+                lock_style=lock_style, max_cycles=max_cycles,
+                schedule_seed=schedule_seed, shrink_it=shrink,
+                result=result, base_name=base_name,
+            )
+            break
+        if result.failure is not None or result.budget_exhausted:
+            break
+    result.elapsed_seconds = time.monotonic() - started
+    return result
+
+
+def _package(base_spec, altered, alterations, protocol, outcome, schedule,
+             *, mutation, processors, num_blocks, lock_style, max_cycles,
+             schedule_seed, shrink_it, result, base_name) -> ScenarioFailure:
+    """Shrink a failing probe (fewest alterations, smallest params,
+    shortest schedule) and package it as a replayable fixture."""
+    style_label = lock_style.value if lock_style is not None else None
+
+    def still_fails(candidate: ScenarioSpec) -> ScheduleOutcome | None:
+        if not _compiles(candidate, protocol, processors, num_blocks,
+                         lock_style):
+            return None
+        result.shrink_runs += 1
+        probe = run_schedule(
+            mc_scenario(candidate, processors=processors,
+                        num_blocks=num_blocks, lock_style=lock_style),
+            protocol, scheduler=RandomScheduler(schedule_seed),
+            mutation=mutation, max_cycles=max_cycles)
+        return probe if probe.failure is not None else None
+
+    kept = list(alterations)
+    if shrink_it:
+        # Axis 1: drop alterations that are not load-bearing.
+        index = 0
+        while index < len(kept):
+            trial = kept[:index] + kept[index + 1:]
+            try:
+                candidate = apply_alterations(base_spec, trial)
+            except INVALID_SCENARIO:
+                index += 1
+                continue
+            probe = still_fails(candidate)
+            if probe is not None:
+                kept, altered, outcome = trial, candidate, probe
+                schedule = probe.schedule
+            else:
+                index += 1
+        # Axis 2: walk integer parameters down (halving, then to 1).
+        for name in sorted(altered.params):
+            value = altered.params[name]
+            if not isinstance(value, int) or value <= 1:
+                continue
+            while value > 1:
+                smaller = max(1, value // 2)
+                try:
+                    candidate = altered.with_params(**{name: smaller})
+                except INVALID_SCENARIO:
+                    break
+                probe = still_fails(candidate)
+                if probe is None:
+                    break
+                altered, outcome, value = candidate, probe, smaller
+                schedule = probe.schedule
+        # Axis 3: minimize the schedule itself (ddmin truncate/zero).
+        shrunk = shrink_schedule(
+            mc_scenario(altered, processors=processors,
+                        num_blocks=num_blocks, lock_style=lock_style),
+            protocol, list(schedule), mutation=mutation,
+            max_cycles=max_cycles)
+        result.shrink_runs += shrunk.runs
+        schedule, outcome = shrunk.schedule, shrunk.outcome
+    assert outcome.failure is not None
+    return ScenarioFailure(
+        spec=altered,
+        protocol=protocol,
+        schedule=list(schedule),
+        failure=outcome.failure,
+        base=base_name or base_spec.name,
+        alterations=kept,
+        mutation=mutation.name if mutation is not None else None,
+        processors=processors,
+        num_blocks=num_blocks,
+        lock_style=style_label,
+        seed=schedule_seed,
+        cycles=outcome.cycles,
+    )

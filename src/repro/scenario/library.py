@@ -1,0 +1,230 @@
+"""Ported scenario definitions and the named-scenario registry.
+
+Each builder returns a :class:`ScenarioSpec` that compiles to programs
+*bit-identical* to its imperative generator (same atoms in the same
+allocation order, same op sequence per processor, same program names) --
+asserted by ``tests/scenario/test_ports.py``.  The specs double as the
+seed corpus for the scenario fuzzer and as the source of the saved
+``scenarios/*.json`` files CI replays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.scenario.model import (AtomSpec, OpSpec, RoleSpec, ScenarioSpec,
+                                  StepSpec, TransitionSpec)
+
+__all__ = ["SCENARIOS", "build_scenario",
+           "lock_contention_scenario", "producer_consumer_scenario",
+           "request_queue_scenario"]
+
+
+def lock_contention_scenario(
+    *,
+    rounds: int = 8,
+    critical_reads: int = 1,
+    critical_writes: int = 2,
+    think_cycles: int = 4,
+    atom_words: int = 4,
+    ready_work: int = 0,
+) -> ScenarioSpec:
+    """Port of :func:`repro.workloads.lock_contention.lock_contention`:
+    every processor loops lock / critical section / unlock on one shared
+    atom."""
+    return ScenarioSpec(
+        name="lock-contention",
+        description="All processors contend for one lock-protected atom "
+                    "(Sections E.3/E.4).",
+        params={"rounds": rounds, "critical_reads": critical_reads,
+                "critical_writes": critical_writes,
+                "think_cycles": think_cycles, "atom_words": atom_words,
+                "ready_work": ready_work},
+        atoms=(AtomSpec(name="cell", words="atom_words"),),
+        roles=(RoleSpec(name="worker", pids="all", entry="start",
+                        vars={"r": 0},
+                        program="lock-contention-p{pid}"),),
+        steps=(
+            StepSpec(name="start", role="worker"),  # decision node
+            StepSpec(name="critical", role="worker", ops=(
+                OpSpec(op="lock", addr="cell.lock", ready_work="ready_work"),
+                OpSpec(op="read",
+                       addr="cell.data[i % len(cell.data)] "
+                            "if len(cell.data) > 0 else cell.lock",
+                       repeat="critical_reads"),
+                OpSpec(op="write",
+                       addr="cell.data[i % len(cell.data)] "
+                            "if len(cell.data) > 0 else cell.lock",
+                       value="pid + 1", repeat="critical_writes"),
+                # The unlock doubles as the final write (Figure 8).
+                OpSpec(op="unlock", addr="cell.lock", value="pid + 1"),
+                OpSpec(op="compute", cycles="think_cycles"),
+            )),
+        ),
+        transitions=(
+            TransitionSpec(source="start", target="critical",
+                           guard="r < rounds"),
+            TransitionSpec(source="critical", target="start",
+                           updates={"r": "r + 1"}),
+        ),
+    )
+
+
+def producer_consumer_scenario(
+    *,
+    items: int = 16,
+    item_words: int = 2,
+    think_cycles: int = 3,
+) -> ScenarioSpec:
+    """Port of
+    :func:`repro.workloads.producer_consumer.producer_consumer`:
+    processors pair up around per-pair channel atoms; odd counts leave
+    the last processor idle."""
+    return ScenarioSpec(
+        name="producer-consumer",
+        description="Paired processors exchange items through "
+                    "lock-protected channel atoms (Section B.1).",
+        params={"items": items, "item_words": item_words,
+                "think_cycles": think_cycles},
+        atoms=(AtomSpec(name="channel", words="1 + item_words",
+                        count="n // 2"),),
+        roles=(
+            RoleSpec(name="producer", pids="pid % 2 == 0 and pid + 1 < n",
+                     entry="p_start", vars={"item": 0},
+                     program="producer-p{pid}"),
+            RoleSpec(name="consumer", pids="pid % 2 == 1",
+                     entry="c_start", vars={"item": 0},
+                     program="consumer-p{pid}"),
+        ),
+        steps=(
+            StepSpec(name="p_start", role="producer"),
+            StepSpec(name="p_produce", role="producer", ops=(
+                OpSpec(op="lock", addr="channel[pid // 2].lock"),
+                OpSpec(op="write", addr="channel[pid // 2].data[i]",
+                       value="item + 1", repeat="item_words"),
+                OpSpec(op="unlock", addr="channel[pid // 2].lock",
+                       value="item + 1"),
+                OpSpec(op="compute", cycles="think_cycles"),
+            )),
+            StepSpec(name="c_start", role="consumer"),
+            StepSpec(name="c_consume", role="consumer", ops=(
+                OpSpec(op="lock", addr="channel[pid // 2].lock"),
+                OpSpec(op="read", addr="channel[pid // 2].data[i]",
+                       repeat="item_words"),
+                OpSpec(op="unlock", addr="channel[pid // 2].lock",
+                       value="item + 1"),
+                OpSpec(op="compute", cycles="think_cycles"),
+            )),
+        ),
+        transitions=(
+            TransitionSpec(source="p_start", target="p_produce",
+                           guard="item < items"),
+            TransitionSpec(source="p_produce", target="p_start",
+                           updates={"item": "item + 1"}),
+            TransitionSpec(source="c_start", target="c_consume",
+                           guard="item < items"),
+            TransitionSpec(source="c_consume", target="c_start",
+                           updates={"item": "item + 1"}),
+        ),
+    )
+
+
+def request_queue_scenario(
+    *,
+    servers: int = 1,
+    requests_per_client: int = 6,
+    descriptor_words: int = 4,
+    service_cycles: int = 8,
+) -> ScenarioSpec:
+    """Port of :func:`repro.workloads.request_queue.request_queue`:
+    clients round-robin lock-protected request descriptors over the
+    servers' queues (Sections B.1/B.2/E.4).
+
+    The server's state machine re-walks the clients' ``(c, r)`` loop
+    nest with decision nodes, serving exactly the requests addressed to
+    its queue -- declaratively reproducing the imperative generator's
+    ``per_queue`` precomputation.
+    """
+    return ScenarioSpec(
+        name="request-queue",
+        description="Clients post lock-protected request descriptors to "
+                    "server queues (Sections B.1/B.2/E.4).",
+        params={"servers": servers,
+                "requests_per_client": requests_per_client,
+                "descriptor_words": descriptor_words,
+                "service_cycles": service_cycles},
+        requires=("n > servers",),
+        atoms=(AtomSpec(name="queue", words="descriptor_words",
+                        count="servers"),),
+        roles=(
+            RoleSpec(name="server", pids="pid < servers", entry="s_scan",
+                     vars={"c": 0, "r": 0}, program="server-p{pid}"),
+            RoleSpec(name="client", pids="pid >= servers", entry="c_start",
+                     vars={"r": 0}, program="client-p{pid}"),
+        ),
+        steps=(
+            StepSpec(name="s_scan", role="server"),
+            StepSpec(name="s_serve", role="server", ops=(
+                OpSpec(op="lock", addr="queue[pid].lock"),
+                OpSpec(op="read", addr="queue[pid].data[i]",
+                       repeat="descriptor_words - 1"),
+                OpSpec(op="unlock", addr="queue[pid].lock", value=0),
+                OpSpec(op="compute", cycles="service_cycles"),
+            )),
+            StepSpec(name="s_skip", role="server"),
+            StepSpec(name="c_start", role="client"),
+            StepSpec(name="c_send", role="client", ops=(
+                OpSpec(op="lock",
+                       addr="queue[(pid - servers + r) % servers].lock"),
+                OpSpec(op="write",
+                       addr="queue[(pid - servers + r) % servers].data[i]",
+                       value="pid * 100 + r", repeat="descriptor_words - 1"),
+                OpSpec(op="unlock",
+                       addr="queue[(pid - servers + r) % servers].lock",
+                       value="pid * 100 + r"),
+                OpSpec(op="compute", cycles=2),
+            )),
+        ),
+        transitions=(
+            # Server: walk client (c) x request (r) in posting order,
+            # serving requests that round-robin onto this queue.
+            TransitionSpec(source="s_scan", target="s_serve",
+                           guard="c < n - servers "
+                                 "and (c + r) % servers == pid"),
+            TransitionSpec(source="s_scan", target="s_skip",
+                           guard="c < n - servers"),
+            TransitionSpec(
+                source="s_serve", target="s_scan",
+                updates={"r": "(r + 1) % requests_per_client",
+                         "c": "c + (r + 1) // requests_per_client"}),
+            TransitionSpec(
+                source="s_skip", target="s_scan",
+                updates={"r": "(r + 1) % requests_per_client",
+                         "c": "c + (r + 1) // requests_per_client"}),
+            # Client: one request per round.
+            TransitionSpec(source="c_start", target="c_send",
+                           guard="r < requests_per_client"),
+            TransitionSpec(source="c_send", target="c_start",
+                           updates={"r": "r + 1"}),
+        ),
+    )
+
+
+#: Named scenario builders -- keys are the registry-facing names.
+SCENARIOS: dict[str, Callable[..., ScenarioSpec]] = {
+    "lock-contention": lock_contention_scenario,
+    "producer-consumer": producer_consumer_scenario,
+    "request-queue": request_queue_scenario,
+}
+
+
+def build_scenario(name: str, **params) -> ScenarioSpec:
+    """Build a named scenario, optionally overriding its parameters."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        from repro.common.errors import ScenarioError
+        known = ", ".join(sorted(SCENARIOS))
+        raise ScenarioError(f"unknown scenario {name!r} "
+                            f"(known: {known})") from None
+    return builder(**params)

@@ -1,0 +1,418 @@
+"""The declarative scenario data model.
+
+A scenario is a state machine per *role* (modeled on fuddly's Scenario
+infrastructure): steps are the nodes, each carrying a block of abstract
+operations (read/write/lock/unlock/compute/barrier); guarded transitions
+are the edges, with variable updates providing loop counters.  Roles map
+processor ids to state machines; atoms declare the lock-protected
+shared objects the steps reference symbolically.
+
+Everything here is pure data -- integers, strings (expressions, see
+:mod:`repro.scenario.expr`), and nested specs -- so a scenario
+round-trips through JSON (kind ``scenario``, schema-stamped).  That is
+what makes scenarios fuzzable (alterations edit the data), shrinkable,
+and storable as a regression corpus under ``scenarios/``.
+
+Compilation to per-processor :class:`~repro.processor.program.Program`
+objects lives in :mod:`repro.scenario.compile`; the engine, caches, and
+protocols never see a scenario.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.common.errors import ScenarioError
+from repro.common.schema import check as check_schema
+from repro.common.schema import stamp
+
+__all__ = [
+    "OP_KINDS",
+    "AtomSpec",
+    "OpSpec",
+    "RoleSpec",
+    "StepSpec",
+    "TransitionSpec",
+    "ScenarioSpec",
+]
+
+#: Abstract operation kinds a step block may contain.  ``barrier`` is a
+#: synchronization block: it compiles to a lock/unlock pair on the named
+#: barrier word (straight-line programs cannot spin on a count, so the
+#: barrier models the all-arrive serialization traffic, not the wait).
+OP_KINDS = ("read", "write", "lock", "unlock", "compute", "barrier")
+
+#: Names the compiler injects into the expression environment; specs may
+#: not shadow them with params, atoms, or role variables.
+RESERVED_NAMES = frozenset({"pid", "n", "i", "role_index", "role_size"})
+
+
+def _expr_field(value):
+    """Normalize a spec field that may be an int literal or expression."""
+    if isinstance(value, bool) or isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        return value
+    raise ScenarioError(f"expected an integer or expression string, "
+                        f"got {value!r}")
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One abstract operation inside a step block.
+
+    ``addr``/``value``/``cycles``/``ready_work``/``repeat`` are integer
+    literals or expression strings.  ``repeat`` expands the operation
+    that many times with ``i`` bound to the expansion index (0-based).
+    A ``compute`` whose cycle count evaluates to zero is elided, so
+    "think time" parameters can be turned off without editing the graph.
+    """
+
+    op: str
+    addr: str | int | None = None
+    value: str | int = 1
+    cycles: str | int = 0
+    ready_work: str | int = 0
+    repeat: str | int = 1
+    private: bool = False
+
+    def __post_init__(self) -> None:
+        if self.op not in OP_KINDS:
+            raise ScenarioError(f"unknown op kind {self.op!r} "
+                                f"(known: {', '.join(OP_KINDS)})")
+        if self.op != "compute" and self.addr is None:
+            raise ScenarioError(f"op {self.op!r} requires an addr")
+
+    def to_dict(self) -> dict:
+        data: dict = {"op": self.op}
+        if self.addr is not None:
+            data["addr"] = self.addr
+        for key, default in (("value", 1), ("cycles", 0),
+                             ("ready_work", 0), ("repeat", 1)):
+            value = getattr(self, key)
+            if value != default:
+                data[key] = value
+        if self.private:
+            data["private"] = True
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "OpSpec":
+        return OpSpec(
+            op=data["op"],
+            addr=data.get("addr"),
+            value=_expr_field(data.get("value", 1)),
+            cycles=_expr_field(data.get("cycles", 0)),
+            ready_work=_expr_field(data.get("ready_work", 0)),
+            repeat=_expr_field(data.get("repeat", 1)),
+            private=bool(data.get("private", False)),
+        )
+
+
+@dataclass(frozen=True)
+class StepSpec:
+    """One node of a role's state machine: a named block of operations.
+
+    ``jitter`` (amplitude in cycles, literal or expression) overrides
+    the scenario-level timing jitter for this step; ``None`` inherits.
+    A step with no operations is a pure decision node (fuddly's
+    ``NoDataStep``): it emits nothing and exists for its transitions.
+    """
+
+    name: str
+    role: str
+    ops: tuple[OpSpec, ...] = ()
+    jitter: str | int | None = None
+
+    def to_dict(self) -> dict:
+        data: dict = {"name": self.name, "role": self.role,
+                      "ops": [op.to_dict() for op in self.ops]}
+        if self.jitter is not None:
+            data["jitter"] = self.jitter
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "StepSpec":
+        return StepSpec(
+            name=data["name"],
+            role=data["role"],
+            ops=tuple(OpSpec.from_dict(op) for op in data.get("ops", [])),
+            jitter=data.get("jitter"),
+        )
+
+
+@dataclass(frozen=True)
+class TransitionSpec:
+    """One guarded edge between two steps of the same role.
+
+    Out of a step, transitions are tried in declaration order; the first
+    whose guard evaluates true is taken (``guard=None`` always fires).
+    ``updates`` assigns role variables; all right-hand sides are
+    evaluated against the *pre-transition* environment, so updates are
+    simultaneous (``{"r": "(r + 1) % R", "c": "c + (r + 1) // R"}``
+    advances a nested loop).  When no transition fires, the role's
+    program ends.
+    """
+
+    source: str
+    target: str
+    guard: str | None = None
+    updates: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        data: dict = {"from": self.source, "to": self.target}
+        if self.guard is not None:
+            data["guard"] = self.guard
+        if self.updates:
+            data["updates"] = dict(self.updates)
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "TransitionSpec":
+        return TransitionSpec(
+            source=data["from"],
+            target=data["to"],
+            guard=data.get("guard"),
+            updates=dict(data.get("updates", {})),
+        )
+
+
+@dataclass(frozen=True)
+class RoleSpec:
+    """A named group of processors sharing one state machine.
+
+    ``pids`` is a membership predicate over ``{pid, n}`` plus the
+    scenario parameters ("all" is shorthand for every processor).
+    ``vars`` declares role-local variables with initializing
+    expressions, evaluated once per pid before the walk starts.
+    ``program`` is the generated program's name template (``{pid}`` and
+    ``{role}`` are substituted); it defaults to ``<role>-p{pid}``.
+    """
+
+    name: str
+    pids: str = "all"
+    entry: str | None = None
+    vars: dict = field(default_factory=dict)
+    program: str | None = None
+
+    def to_dict(self) -> dict:
+        data: dict = {"name": self.name, "pids": self.pids}
+        if self.entry is not None:
+            data["entry"] = self.entry
+        if self.vars:
+            data["vars"] = dict(self.vars)
+        if self.program is not None:
+            data["program"] = self.program
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "RoleSpec":
+        return RoleSpec(
+            name=data["name"],
+            pids=data.get("pids", "all"),
+            entry=data.get("entry"),
+            vars=dict(data.get("vars", {})),
+            program=data.get("program"),
+        )
+
+
+@dataclass(frozen=True)
+class AtomSpec:
+    """A family of lock-protected shared objects (Section D.2 atoms).
+
+    ``count`` instances of ``words`` words each are allocated
+    block-aligned, in declaration order, instance 0 first -- the same
+    order the imperative generators allocate, which is what makes the
+    ported scenarios address-identical.  With ``count`` 1 the name binds
+    the atom handle directly; otherwise it binds the indexable family
+    (``queue[pid % servers].lock``).
+    """
+
+    name: str
+    words: str | int = 2
+    count: str | int = 1
+
+    def to_dict(self) -> dict:
+        data: dict = {"name": self.name, "words": self.words}
+        if self.count != 1:
+            data["count"] = self.count
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "AtomSpec":
+        return AtomSpec(
+            name=data["name"],
+            words=_expr_field(data.get("words", 2)),
+            count=_expr_field(data.get("count", 1)),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete declarative scenario.
+
+    ``params`` are named integers available to every expression and
+    overridable via :meth:`with_params` (the fuzzer shrinks them);
+    ``requires`` are predicates over ``{n}`` + params that must hold for
+    the scenario to be buildable (e.g. ``"n > servers"``).  ``jitter``
+    adds a seeded pseudo-random compute pad (1..amplitude cycles) after
+    every step visit; 0 (the default) emits nothing, which is what keeps
+    the ported scenarios bit-identical to their imperative originals.
+    """
+
+    name: str
+    description: str = ""
+    params: dict = field(default_factory=dict)
+    atoms: tuple[AtomSpec, ...] = ()
+    roles: tuple[RoleSpec, ...] = ()
+    steps: tuple[StepSpec, ...] = ()
+    transitions: tuple[TransitionSpec, ...] = ()
+    requires: tuple[str, ...] = ()
+    jitter: int = 0
+    jitter_seed: int = 0
+
+    # -- derived views ------------------------------------------------------
+
+    def role(self, name: str) -> RoleSpec:
+        for role in self.roles:
+            if role.name == name:
+                return role
+        raise ScenarioError(f"scenario {self.name!r}: unknown role {name!r}")
+
+    def step(self, name: str) -> StepSpec:
+        for step in self.steps:
+            if step.name == name:
+                return step
+        raise ScenarioError(f"scenario {self.name!r}: unknown step {name!r}")
+
+    def role_steps(self, role: str) -> list[StepSpec]:
+        return [step for step in self.steps if step.role == role]
+
+    def transitions_from(self, step: str) -> list[TransitionSpec]:
+        return [t for t in self.transitions if t.source == step]
+
+    def entry_step(self, role: RoleSpec) -> StepSpec | None:
+        if role.entry is not None:
+            return self.step(role.entry)
+        steps = self.role_steps(role.name)
+        return steps[0] if steps else None
+
+    def with_params(self, **overrides) -> "ScenarioSpec":
+        """A copy with ``params`` updated (unknown names are an error,
+        so fuzzers and callers cannot silently typo a knob)."""
+        unknown = set(overrides) - set(self.params)
+        if unknown:
+            raise ScenarioError(
+                f"scenario {self.name!r} has no parameter(s) "
+                f"{', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(self.params))})")
+        return replace(self, params={**self.params, **overrides})
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Structural sanity; raises :class:`ScenarioError`."""
+        if not self.name:
+            raise ScenarioError("scenario needs a name")
+        seen: set[str] = set()
+        for atom in self.atoms:
+            if not atom.name.isidentifier():
+                raise ScenarioError(f"atom name {atom.name!r} is not an "
+                                    f"identifier")
+            if atom.name in seen or atom.name in self.params:
+                raise ScenarioError(f"duplicate name {atom.name!r}")
+            if atom.name in RESERVED_NAMES:
+                raise ScenarioError(f"atom name {atom.name!r} is reserved")
+            seen.add(atom.name)
+        for param in self.params:
+            if param in RESERVED_NAMES:
+                raise ScenarioError(f"parameter {param!r} shadows a "
+                                    f"reserved name")
+        role_names = [role.name for role in self.roles]
+        if len(set(role_names)) != len(role_names):
+            raise ScenarioError("duplicate role names")
+        step_names = [step.name for step in self.steps]
+        if len(set(step_names)) != len(step_names):
+            raise ScenarioError("duplicate step names")
+        known_roles = set(role_names)
+        for step in self.steps:
+            if step.role not in known_roles:
+                raise ScenarioError(f"step {step.name!r} references "
+                                    f"unknown role {step.role!r}")
+        for role in self.roles:
+            for var in role.vars:
+                if var in RESERVED_NAMES or var in self.params:
+                    raise ScenarioError(f"role {role.name!r} variable "
+                                        f"{var!r} shadows an existing name")
+            if role.entry is not None:
+                entry = self.step(role.entry)
+                if entry.role != role.name:
+                    raise ScenarioError(
+                        f"role {role.name!r} entry step {role.entry!r} "
+                        f"belongs to role {entry.role!r}")
+            elif not self.role_steps(role.name):
+                raise ScenarioError(f"role {role.name!r} has no steps")
+        known_steps = set(step_names)
+        for t in self.transitions:
+            for end in (t.source, t.target):
+                if end not in known_steps:
+                    raise ScenarioError(f"transition references unknown "
+                                        f"step {end!r}")
+            if self.step(t.source).role != self.step(t.target).role:
+                raise ScenarioError(
+                    f"transition {t.source!r} -> {t.target!r} crosses "
+                    f"roles")
+            for var in t.updates:
+                if var in RESERVED_NAMES or var in self.params:
+                    raise ScenarioError(f"transition update {var!r} "
+                                        f"shadows an existing name")
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return stamp({
+            "kind": "scenario",
+            "name": self.name,
+            "description": self.description,
+            "params": dict(self.params),
+            "atoms": [atom.to_dict() for atom in self.atoms],
+            "roles": [role.to_dict() for role in self.roles],
+            "steps": [step.to_dict() for step in self.steps],
+            "transitions": [t.to_dict() for t in self.transitions],
+            "requires": list(self.requires),
+            "jitter": self.jitter,
+            "jitter_seed": self.jitter_seed,
+        })
+
+    @staticmethod
+    def from_dict(data: dict) -> "ScenarioSpec":
+        check_schema(data, where="scenario")
+        if data.get("kind") != "scenario":
+            raise ScenarioError(f"expected kind 'scenario', "
+                                f"got {data.get('kind')!r}")
+        spec = ScenarioSpec(
+            name=data["name"],
+            description=data.get("description", ""),
+            params=dict(data.get("params", {})),
+            atoms=tuple(AtomSpec.from_dict(a) for a in data.get("atoms", [])),
+            roles=tuple(RoleSpec.from_dict(r) for r in data.get("roles", [])),
+            steps=tuple(StepSpec.from_dict(s) for s in data.get("steps", [])),
+            transitions=tuple(TransitionSpec.from_dict(t)
+                              for t in data.get("transitions", [])),
+            requires=tuple(data.get("requires", [])),
+            jitter=int(data.get("jitter", 0)),
+            jitter_seed=int(data.get("jitter_seed", 0)),
+        )
+        spec.validate()
+        return spec
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @staticmethod
+    def load(path: str | Path) -> "ScenarioSpec":
+        return ScenarioSpec.from_dict(json.loads(Path(path).read_text()))

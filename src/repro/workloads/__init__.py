@@ -1,4 +1,12 @@
-"""Workload generators: one per scenario the paper motivates."""
+"""Workload generators: one per scenario the paper motivates.
+
+Naming: this module exports importable *underscore* names
+(``scale_probe``); the CLI-facing registry keys the same workloads
+under *hyphenated* names (``scale-probe``).
+:func:`repro.workloads.registry.canonical_workload_name` accepts either
+spelling, and ``tests/workloads/test_registry_matrix.py`` asserts the
+two namespaces stay reconciled.
+"""
 
 from repro.workloads.base import Atom, Layout, layout_for
 from repro.workloads.lock_contention import lock_contention, uncontended_locks
@@ -24,16 +32,16 @@ __all__ = [
     "interleaved_sharing",
     "layout_for",
     "load_trace",
-    "sleep_wait",
     "lock_contention",
     "migration",
-    "scale_probe",
     "multiprogram",
     "multiprogrammed_contention",
     "process_switch",
-    "prolog_and_parallel",
     "producer_consumer",
+    "prolog_and_parallel",
     "request_queue",
+    "scale_probe",
+    "sleep_wait",
     "smith_stream",
     "uncontended_locks",
 ]

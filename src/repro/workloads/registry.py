@@ -1,18 +1,30 @@
 """Named workload registry shared by the CLI and :mod:`repro.api`.
 
 Each entry maps a CLI-friendly name to a builder taking the system
-config and a lock style (workloads that generate explicit lock/unlock
-ops honor it; reference-stream workloads ignore it).  Protocol-dependent
-defaults (block size, lock style) live here too so every entry point
-resolves them identically.
+config and a lock style.  Workloads that generate explicit lock/unlock
+ops honor the style; *style-blind* reference-stream workloads
+(:data:`STYLE_BLIND_WORKLOADS`) contain no synchronization at all, and
+passing an explicit style to one raises a
+:class:`~repro.common.errors.LockStyleIgnoredWarning` instead of being
+silently dropped.  Protocol-dependent defaults (block size, lock style)
+live here too so every entry point resolves them identically.
+
+Scenario-built entries (``scenario:*``) compile declarative
+:mod:`repro.scenario` specs to programs at build time; they are ordinary
+registry citizens, so the CLI, :mod:`repro.api`, and sweep worker
+processes pick them up with no special casing.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable
 
 from repro.common.config import SystemConfig
+from repro.common.errors import LockStyleIgnoredWarning
 from repro.processor.program import LockStyle, Program
+from repro.scenario.compile import compile_scenario
+from repro.scenario.library import SCENARIOS
 from repro.workloads import (
     interleaved_sharing,
     lock_contention,
@@ -44,6 +56,24 @@ WORKLOADS: dict[str, Callable[[SystemConfig, LockStyle], list[Program]]] = {
     "sleep-wait": lambda cfg, style: _lowered(sleep_wait(cfg), style),
 }
 
+#: Reference-stream workloads that contain no lock/unlock ops: a lock
+#: style cannot change what they generate.
+STYLE_BLIND_WORKLOADS = frozenset(
+    {"sharing", "scale-probe", "migration", "process-switch", "smith"})
+
+
+def _scenario_builder(name: str):
+    def build(cfg: SystemConfig, style: LockStyle) -> list[Program]:
+        return compile_scenario(SCENARIOS[name](), cfg, lock_style=style)
+    return build
+
+
+# Scenario-built twins of the ported workloads: bit-identical programs,
+# built from the declarative specs instead of the generator functions.
+# Registered at import time so CLI choices and sweep workers see them.
+for _name in sorted(SCENARIOS):
+    WORKLOADS[f"scenario:{_name}"] = _scenario_builder(_name)
+
 
 def default_words_per_block(protocol: str) -> int:
     """The paper's four-word blocks, except Rudolph-Segall's one-word."""
@@ -56,12 +86,55 @@ def default_lock_style(protocol: str) -> LockStyle:
             else LockStyle.TTAS)
 
 
+def canonical_workload_name(name: str) -> str:
+    """Resolve ``name`` to its registry key.
+
+    Registry keys are hyphenated (``scale-probe``) while the Python API
+    exports the same workloads under importable underscore names
+    (``scale_probe``); accept either spelling so the two namespaces
+    cannot drift apart for callers.  Raises ``KeyError`` listing the
+    valid names for anything else.
+    """
+    if name in WORKLOADS:
+        return name
+    hyphenated = name.replace("_", "-")
+    if hyphenated in WORKLOADS:
+        return hyphenated
+    known = ", ".join(sorted(WORKLOADS))
+    raise KeyError(f"unknown workload {name!r} (known: {known})")
+
+
+def effective_lock_style(name: str, protocol: str,
+                         style: LockStyle | None = None) -> LockStyle | None:
+    """The lock style a run of ``name`` actually uses.
+
+    ``None`` for style-blind workloads (there are no locks to style);
+    otherwise the explicit ``style``, defaulted per protocol.  Unknown
+    names fall through to the styled path so result stamping never
+    raises.
+    """
+    try:
+        name = canonical_workload_name(name)
+    except KeyError:
+        pass
+    if name in STYLE_BLIND_WORKLOADS:
+        return None
+    return style or default_lock_style(protocol)
+
+
 def build_workload(name: str, config: SystemConfig,
                    style: LockStyle | None = None) -> list[Program]:
-    """Instantiate a registered workload for ``config``."""
-    try:
-        builder = WORKLOADS[name]
-    except KeyError:
-        known = ", ".join(sorted(WORKLOADS))
-        raise KeyError(f"unknown workload {name!r} (known: {known})") from None
+    """Instantiate a registered workload for ``config``.
+
+    Accepts hyphenated or underscore names.  An explicit ``style`` on a
+    style-blind workload warns (:class:`LockStyleIgnoredWarning`) --
+    the request is misleading, not wrong, so the run proceeds.
+    """
+    name = canonical_workload_name(name)
+    if style is not None and name in STYLE_BLIND_WORKLOADS:
+        warnings.warn(
+            f"workload {name!r} is a reference stream with no lock/unlock "
+            f"operations; the requested lock style {style.value!r} has no "
+            f"effect", LockStyleIgnoredWarning, stacklevel=2)
+    builder = WORKLOADS[name]
     return builder(config, style or default_lock_style(config.protocol))

@@ -1,0 +1,101 @@
+"""The scenario fuzzer, its shrinker, and the committed corpus."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.common.rng import derive_rng
+from repro.mc.mutations import get_mutation
+from repro.scenario import ScenarioSpec, build_scenario
+from repro.scenario.fuzz import (
+    ALTERATION_KINDS,
+    ScenarioFailure,
+    apply_alteration,
+    draw_alteration,
+    fuzz_scenario,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+CORPUS = REPO / "scenarios"
+
+SMALL = dict(rounds=2, think_cycles=1)
+
+
+class TestAlterations:
+    def test_draw_is_serializable_and_deterministic(self):
+        spec = build_scenario("lock-contention")
+        for seed in range(20):
+            rng = derive_rng(seed, "test-alt")
+            alt = draw_alteration(spec, rng)
+            if alt is None:
+                continue
+            assert alt["kind"] in ALTERATION_KINDS
+            first = apply_alteration(spec, alt)
+            second = apply_alteration(spec, alt)
+            assert first == second
+            assert first != spec or alt["kind"] == "reorder-ops"
+
+    def test_perturb_param_respects_known_params(self):
+        spec = build_scenario("lock-contention")
+        rng = derive_rng(0, "test-alt-param")
+        for _ in range(50):
+            alt = draw_alteration(spec, rng)
+            if alt and alt["kind"] == "perturb-param":
+                assert alt["param"] in spec.params
+                apply_alteration(spec, alt)
+                return
+        pytest.skip("no perturb-param drawn in 50 tries")
+
+
+class TestFuzz:
+    def test_clean_protocol_survives(self):
+        result = fuzz_scenario(
+            build_scenario("lock-contention", **SMALL), "bitar-despain",
+            seed=3, probes=4, schedules_per_probe=2)
+        assert result.ok
+        assert result.failure is None
+        assert result.runs >= result.probes - result.rejected
+
+    def test_seeded_mutation_is_caught_and_shrunk(self):
+        result = fuzz_scenario(
+            build_scenario("lock-contention", **SMALL),
+            "bitar-despain", seed=1, probes=6,
+            schedules_per_probe=2,
+            mutation=get_mutation("drop-unlock-broadcast"))
+        assert not result.ok
+        failure = result.failure
+        assert failure is not None
+        assert failure.failure  # non-empty failure kind
+        assert result.lint_findings  # the linter flags the mutated table
+        # Shrinking keeps the counterexample replayable.
+        assert failure.reproduces()
+        # And the shrunk spec is itself a valid scenario.
+        failure.spec.validate()
+
+    def test_failure_round_trips(self, tmp_path):
+        result = fuzz_scenario(
+            build_scenario("lock-contention", **SMALL),
+            "bitar-despain", seed=1, probes=4,
+            schedules_per_probe=2,
+            mutation=get_mutation("drop-unlock-broadcast"))
+        failure = result.failure
+        assert failure is not None
+        path = failure.save(tmp_path / "cex.json")
+        loaded = ScenarioFailure.load(path)
+        assert loaded.failure == failure.failure
+        assert loaded.reproduces()
+
+
+class TestCommittedCorpus:
+    @pytest.mark.parametrize("name", ["lock-contention",
+                                      "producer-consumer",
+                                      "request-queue"])
+    def test_corpus_matches_library(self, name):
+        saved = ScenarioSpec.load(CORPUS / f"{name}.json")
+        assert saved == build_scenario(name)
+
+    def test_committed_fixture_reproduces(self):
+        fixture = CORPUS / "fixtures" / "drop-unlock-broadcast.json"
+        failure = ScenarioFailure.load(fixture)
+        assert failure.mutation == "drop-unlock-broadcast"
+        assert failure.reproduces()

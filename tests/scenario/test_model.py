@@ -1,0 +1,165 @@
+"""The declarative scenario data model and expression language."""
+
+import pytest
+
+from repro.common.errors import ScenarioError
+from repro.common.schema import SCHEMA_VERSION, SchemaError
+from repro.scenario import (
+    AtomSpec,
+    OpSpec,
+    RoleSpec,
+    SCENARIOS,
+    ScenarioSpec,
+    StepSpec,
+    TransitionSpec,
+    build_scenario,
+)
+from repro.scenario.expr import ExprError, compile_expr, evaluate
+
+
+class TestExpr:
+    def test_arithmetic(self):
+        env = {"a": 7, "b": 3}
+        assert evaluate("a + b", env) == 10
+        assert evaluate("a % b", env) == 1
+        assert evaluate("a // b", env) == 2
+        assert evaluate("-a", env) == -7
+
+    def test_non_string_passthrough(self):
+        assert evaluate(5, {}) == 5
+        assert evaluate(True, {}) is True
+
+    def test_conditional_and_boolean(self):
+        assert evaluate("a if a > 0 else b", {"a": 2, "b": 9}) == 2
+        assert evaluate("a > 0 and b > 0", {"a": 1, "b": 0}) is False
+
+    def test_whitelisted_calls_only(self):
+        assert evaluate("max(1, 2)", {}) == 2
+        assert evaluate("len(xs)", {"xs": (1, 2, 3)}) == 3
+        with pytest.raises(ExprError):
+            evaluate("open('x')", {"open": open})
+
+    def test_unknown_name(self):
+        with pytest.raises(ExprError):
+            evaluate("nope + 1", {})
+
+    def test_attribute_access_is_class_gated(self):
+        class Gated:
+            EXPR_ATTRS = ("lock",)
+
+            lock = 4
+            secret = 5
+
+        assert evaluate("g.lock", {"g": Gated()}) == 4
+        with pytest.raises(ExprError):
+            evaluate("g.secret", {"g": Gated()})
+
+    def test_non_integer_literals_rejected(self):
+        with pytest.raises(ExprError):
+            evaluate("1.5", {})
+        with pytest.raises(ExprError):
+            evaluate("2 ** 60", {})
+
+    def test_statements_and_dunder_calls_rejected(self):
+        with pytest.raises(ExprError):
+            evaluate("__import__", {})
+        with pytest.raises(ExprError):
+            compile_expr("a = 1")
+
+
+def _minimal(**overrides) -> ScenarioSpec:
+    base = dict(
+        name="tiny",
+        atoms=(AtomSpec(name="cell", words=2),),
+        roles=(RoleSpec(name="worker", pids="all", entry="only"),),
+        steps=(StepSpec(name="only", role="worker",
+                        ops=(OpSpec(op="lock", addr="cell.lock"),
+                             OpSpec(op="unlock", addr="cell.lock"))),),
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestValidation:
+    def test_minimal_validates(self):
+        _minimal().validate()
+
+    def test_op_requires_addr(self):
+        with pytest.raises(ScenarioError):
+            OpSpec(op="read")
+
+    def test_compute_needs_no_addr(self):
+        OpSpec(op="compute", cycles=3)
+
+    def test_unknown_op_kind(self):
+        with pytest.raises(ScenarioError):
+            OpSpec(op="cas", addr="cell.lock")
+
+    def test_duplicate_step_names(self):
+        spec = _minimal()
+        spec = ScenarioSpec(**{**spec.__dict__,
+                               "steps": spec.steps + spec.steps})
+        with pytest.raises(ScenarioError, match="duplicate step"):
+            spec.validate()
+
+    def test_reserved_param_name(self):
+        with pytest.raises(ScenarioError, match="reserved"):
+            _minimal(params={"pid": 3}).validate()
+
+    def test_role_var_shadowing_param(self):
+        spec = _minimal(
+            params={"rounds": 2},
+            roles=(RoleSpec(name="worker", entry="only",
+                            vars={"rounds": 0}),),
+        )
+        with pytest.raises(ScenarioError, match="shadows"):
+            spec.validate()
+
+    def test_cross_role_transition(self):
+        spec = _minimal(
+            roles=(RoleSpec(name="worker", entry="a"),
+                   RoleSpec(name="other", entry="b")),
+            steps=(StepSpec(name="a", role="worker"),
+                   StepSpec(name="b", role="other")),
+            transitions=(TransitionSpec(source="a", target="b"),),
+        )
+        with pytest.raises(ScenarioError, match="crosses"):
+            spec.validate()
+
+    def test_unknown_role_on_step(self):
+        spec = _minimal(steps=(StepSpec(name="only", role="ghost"),))
+        with pytest.raises(ScenarioError, match="unknown role"):
+            spec.validate()
+
+    def test_with_params_rejects_unknown(self):
+        spec = build_scenario("lock-contention")
+        with pytest.raises(ScenarioError, match="no parameter"):
+            spec.with_params(roundz=3)
+        assert spec.with_params(rounds=3).params["rounds"] == 3
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_round_trip(self, name):
+        spec = build_scenario(name)
+        data = spec.to_dict()
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["kind"] == "scenario"
+        assert ScenarioSpec.from_dict(data) == spec
+
+    def test_missing_schema_rejected(self):
+        data = _minimal().to_dict()
+        del data["schema_version"]
+        with pytest.raises(SchemaError):
+            ScenarioSpec.from_dict(data)
+
+    def test_wrong_kind_rejected(self):
+        data = _minimal().to_dict()
+        data["kind"] = "run-result"
+        with pytest.raises(ScenarioError, match="kind"):
+            ScenarioSpec.from_dict(data)
+
+    def test_save_load(self, tmp_path):
+        spec = build_scenario("request-queue", servers=2)
+        path = spec.save(tmp_path / "rq.json")
+        assert ScenarioSpec.load(path) == spec

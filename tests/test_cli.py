@@ -288,3 +288,68 @@ class TestCausalTracing:
     def test_sweep_progress_silent_when_not_a_tty(self, capsys):
         assert main(["sweep", "--processors", "2", "3", "--progress"]) == 0
         assert "eta" not in capsys.readouterr().err
+
+
+class TestWorkloadNameValidation:
+    def test_unknown_workload_exits_2_listing_names(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["run", "-n", "2", "--workload", "totally-bogus"])
+        assert info.value.code == 2
+        err = capsys.readouterr().err
+        assert "totally-bogus" in err
+        for name in sorted(WORKLOADS):
+            assert name in err
+
+    def test_underscore_spelling_accepted(self, capsys):
+        assert main(["run", "-n", "2", "--workload", "scale_probe"]) == 0
+
+    def test_sweep_and_compare_validate_too(self, capsys):
+        for argv in (["sweep", "--workload", "nope"],
+                     ["compare", "--workload", "nope"]):
+            with pytest.raises(SystemExit) as info:
+                main(argv)
+            assert info.value.code == 2
+            assert "valid names" in capsys.readouterr().err
+
+
+class TestScenarioCommands:
+    def test_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lock-contention", "producer-consumer",
+                     "request-queue"):
+            assert name in out
+
+    def test_export_and_run_from_file(self, tmp_path, capsys):
+        out = tmp_path / "lc.json"
+        assert main(["scenario", "export", "lock-contention",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["scenario", "run", str(out), "-n", "2"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_run_by_library_name(self, capsys):
+        assert main(["scenario", "run", "producer-consumer", "-n", "2",
+                     "--fast-forward"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["scenario", "run", "no-such-scenario"])
+        assert info.value.code == 2
+
+    def test_fuzz_clean_exits_0(self, capsys):
+        assert main(["scenario", "fuzz", "--scenario", "lock-contention",
+                     "--probes", "2", "--schedules", "1"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_fuzz_mutation_caught_and_replayable(self, tmp_path, capsys):
+        assert main(["scenario", "fuzz", "--scenario", "lock-contention",
+                     "--probes", "4", "--schedules", "2",
+                     "--mutate", "drop-unlock-broadcast",
+                     "--out", str(tmp_path)]) == 0
+        assert "caught" in capsys.readouterr().out
+        fixtures = list(tmp_path.glob("*.json"))
+        assert fixtures, "shrunk counterexample not saved"
+        assert main(["scenario", "replay", str(fixtures[0])]) == 0
+        assert "reproduced" in capsys.readouterr().out
