@@ -48,6 +48,20 @@ TOPOLOGY_FABRICS = ("snoop", "clustered", "directory")
 #: large directory machine: simulator throughput at these two sizes.
 GUARD_SNOOP_N = 16
 GUARD_DIRECTORY_N = 256
+#: Sharer-set representations measured on the directory fabric.
+REPRESENTATIONS = ("full-bit-vector", "limited-pointer", "coarse-vector")
+#: Dir-N-B pointer provisioning for the representation probe.
+REPRESENTATION_POINTERS = 16
+#: The representation probe runs scale-probe in the limited-pointer
+#: design regime: write-heavy, low-skew sharing keeps the typical
+#: sharer degree near the pointer count, so pointer overflow happens
+#: (the broadcast path is exercised) but stays rare.  The stock
+#: scale-probe mix accumulates up to ~80 sharers on hot blocks between
+#: writes, which would force *every* representation but the full
+#: vector into permanent broadcast and make the traffic guard
+#: meaningless.
+REPRESENTATION_WORKLOAD = dict(write_fraction=0.6, shared_blocks=64,
+                               zipf_skew=0.2)
 
 
 def _config(n: int) -> SystemConfig:
@@ -292,6 +306,73 @@ def _probe_fabric(kind: str, n: int) -> dict:
     }
 
 
+def _probe_representation(entry: str, n: int) -> dict:
+    """One sharer-set representation at one machine size: directory
+    traffic per transaction and directory storage per block."""
+    from repro.directory_backend.representations import bits_per_block
+
+    topo = TopologyConfig(kind="directory", directory_banks=4,
+                          directory_entry=entry,
+                          directory_pointers=REPRESENTATION_POINTERS)
+    config = SystemConfig(
+        num_processors=n,
+        protocol="bitar-despain",
+        cache=CacheConfig(words_per_block=4, num_blocks=64),
+        topology=topo,
+    )
+    programs = scale_probe(config, **REPRESENTATION_WORKLOAD)
+    sim = Simulator(config, programs, fast_forward=True)
+    t0 = time.perf_counter()
+    stats = sim.run()
+    elapsed = time.perf_counter() - t0
+    txns = sum(stats.txn_counts.values())
+    msgs = sum(sim.bus.message_tallies().values())
+    return {
+        "seconds": elapsed,
+        "cycles": stats.cycles,
+        "txns": txns,
+        "msgs_per_txn": msgs / max(1, txns),
+        "bits_per_block": bits_per_block(topo, n),
+    }
+
+
+def run_representation_comparison() -> dict:
+    """Measure every sharer-set representation at every scale.
+
+    The tension the section records: the full bit vector moves the
+    fewest messages but its entry grows linearly with the machine;
+    Dir-N-B limited pointers hold storage near-logarithmic but fall off
+    a broadcast cliff once typical sharer degree passes the pointer
+    count; the coarse vector caps storage at a fixed region count and
+    pays a constant over-probe factor instead.  The guard ratio pins
+    limited-pointer traffic to the full vector's at the scale the
+    pointer budget is provisioned for.
+    """
+    points = []
+    for n in TOPOLOGY_SCALES:
+        entries = {entry: _probe_representation(entry, n)
+                   for entry in REPRESENTATIONS}
+        points.append({"processors": n, "entries": entries})
+    at_guard = next(p for p in points
+                    if p["processors"] == GUARD_DIRECTORY_N)["entries"]
+    full_mpt = at_guard["full-bit-vector"]["msgs_per_txn"]
+    limited_mpt = at_guard["limited-pointer"]["msgs_per_txn"]
+    return {
+        "workload": "scale-probe",
+        "workload_params": dict(REPRESENTATION_WORKLOAD),
+        "protocol": "bitar-despain",
+        "directory_pointers": REPRESENTATION_POINTERS,
+        "scales": list(TOPOLOGY_SCALES),
+        "points": points,
+        "guard": {
+            "at_processors": GUARD_DIRECTORY_N,
+            "full_vector_msgs_per_txn": full_mpt,
+            "limited_pointer_msgs_per_txn": limited_mpt,
+            "ratio": limited_mpt / full_mpt,
+        },
+    }
+
+
 def run_topology_crossover() -> dict:
     """Measure every fabric at every scale and locate the snoop-vs-
     directory crossover.
@@ -300,7 +381,10 @@ def run_topology_crossover() -> dict:
     few caches hold the block; the directory's point-to-point fanout
     tracks actual sharers and stays flat as the machine grows.  The
     crossover is the machine size past which the directory moves fewer
-    messages per transaction than the broadcast bus.
+    messages per transaction than the broadcast bus.  The nested
+    ``representations`` section measures the same fabric under each
+    sharer-set representation (see
+    :func:`run_representation_comparison`).
     """
     points = []
     for n in TOPOLOGY_SCALES:
@@ -332,6 +416,7 @@ def run_topology_crossover() -> dict:
             "directory256_cycles_per_sec": dir_cps,
             "ratio": dir_cps / snoop_small["cycles_per_sec"],
         },
+        "representations": run_representation_comparison(),
     }
 
 
@@ -489,6 +574,42 @@ def test_topology_crossover(benchmark):
                 < fabrics["snoop"]["msgs_per_txn"]), (
             f"cluster filtering did not beat broadcast at "
             f"{point['processors']} processors"
+        )
+    reps = result["representations"]
+    print("\nDirectory entry representations: msgs/txn and bits/block "
+          f"(scale-probe, {REPRESENTATION_POINTERS} pointers)")
+    rows = []
+    for point in reps["points"]:
+        cells = [point["processors"]]
+        for entry in REPRESENTATIONS:
+            e = point["entries"][entry]
+            cells.extend([f"{e['msgs_per_txn']:.1f}",
+                          f"{e['bits_per_block']}"])
+        rows.append(cells)
+    print(render_table(
+        ["procs", "full m/t", "full bits", "lptr m/t", "lptr bits",
+         "coarse m/t", "coarse bits"], rows, align_left_first=False))
+    rg = reps["guard"]
+    print(f"limited-pointer traffic at {rg['at_processors']} processors: "
+          f"{rg['limited_pointer_msgs_per_txn']:.1f} vs full vector "
+          f"{rg['full_vector_msgs_per_txn']:.1f} msgs/txn "
+          f"({rg['ratio']:.2f}x; ceiling enforced by perf_guard)")
+    for point in reps["points"]:
+        n = point["processors"]
+        entries = point["entries"]
+        if n <= REPRESENTATION_POINTERS * 8:
+            continue
+        # Past the pointer break-even the compact entries must actually
+        # be compact -- the whole point of trading traffic for storage.
+        assert (entries["limited-pointer"]["bits_per_block"]
+                < entries["full-bit-vector"]["bits_per_block"]), (
+            f"limited-pointer entry not smaller than the bit vector "
+            f"at {n} processors"
+        )
+        assert (entries["coarse-vector"]["bits_per_block"]
+                < entries["full-bit-vector"]["bits_per_block"]), (
+            f"coarse-vector entry not smaller than the bit vector "
+            f"at {n} processors"
         )
     _merge_result("topology", result)
 

@@ -2,9 +2,9 @@
 """Guard against engine performance regressions.
 
 Reads the measurements ``pytest benchmarks/bench_engine.py`` just wrote
-to ``BENCH_engine.json`` (schema v5) and enforces six machine-honest
-checks.  Absolute wall-clock varies with the host, so every guard is a
-*ratio* measured on the same host in the same run:
+to ``BENCH_engine.json`` and enforces seven machine-honest checks.
+Absolute wall-clock varies with the host, so every guard is a *ratio*
+measured on the same host in the same run:
 
 1. **Fast-forward speedup** (``engine.speedup``, the event-skip engine
    vs the cycle-stepped reference) must stay within ``RATIO_FLOOR`` of
@@ -32,6 +32,14 @@ checks.  Absolute wall-clock varies with the host, so every guard is a
    machines unaffordable to simulate.  The same section's crossover
    numbers must show the directory moving fewer messages per
    transaction than broadcast at that scale.
+7. **Limited-pointer traffic** (``topology.representations.guard``):
+   at the 256-processor guard scale the Dir-N-B limited-pointer entry
+   must move at most ``REPRESENTATION_CEILING`` times the full bit
+   vector's messages per transaction.  The probe provisions the
+   pointer count for its workload's sharer degree, so overflow
+   broadcasts happen but stay rare; a regression here means the
+   overflow policy started broadcasting where precise probes suffice
+   (or the entry stopped collapsing back out of overflow).
 
 Usage::
 
@@ -78,6 +86,10 @@ OBS_OVERHEAD_CEILING = 0.03
 #: fraction of the snoop fabric's 16-processor simulator throughput
 #: (same host, same run; measured ~0.15 with wide margin for load).
 DIRECTORY_FLOOR = 0.03
+#: Limited-pointer directory traffic at the 256-processor guard scale
+#: may cost at most this factor of the full bit vector's msgs/txn
+#: (measured ~1.15 in the pointer budget's design regime).
+REPRESENTATION_CEILING = 1.25
 
 
 def _fail_missing(what: str) -> int:
@@ -201,6 +213,22 @@ def _check_topology(data: dict) -> int:
     return 0 if (ok_ratio and ok_crossover) else 1
 
 
+def _check_representation(data: dict) -> int:
+    reps = data.get("topology", {}).get("representations", {})
+    guard = reps.get("guard", {})
+    ratio = guard.get("ratio")
+    if ratio is None:
+        return _fail_missing("topology.representations.guard entries")
+    ok = ratio <= REPRESENTATION_CEILING
+    print(f"perf_guard: limited-pointer msgs/txn at "
+          f"{guard.get('at_processors')} processors: "
+          f"{guard.get('limited_pointer_msgs_per_txn', 0):.1f} vs full "
+          f"vector {guard.get('full_vector_msgs_per_txn', 0):.1f} "
+          f"(ratio {ratio:.2f}x, ceiling {REPRESENTATION_CEILING:.2f}x) "
+          f"-- {'OK' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true",
@@ -238,6 +266,7 @@ def main(argv: list[str] | None = None) -> int:
         _check_scaling(result_data),
         _check_obs_overhead(result_data),
         _check_topology(result_data),
+        _check_representation(result_data),
     ]
     # A hard failure (1) outranks a missing-data complaint (2): both fail
     # CI, but "regressed" is the more actionable verdict.

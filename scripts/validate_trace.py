@@ -14,7 +14,9 @@ Eight artifact shapes are understood:
   coherent resilience fields: one ``point_status`` verdict per point
   with a known status, and ``null`` ``points`` entries only where the
   verdict says the point did not finish OK.  From schema v5 the payload
-  must also stamp ``topology`` with a known fabric kind.
+  must also stamp ``topology`` with a known fabric kind, and from v7
+  ``directory_entry`` -- a known sharer-set representation on the
+  directory fabric, ``null`` everywhere else.
 * Protocol lint reports (``kind == "lint-report"``, from ``repro lint
   --json``) are checked for a coherent verdict: the top-level ``ok``
   must agree with the per-protocol entries, every finding must name a
@@ -39,8 +41,11 @@ Eight artifact shapes are understood:
   ``scripts/perf_guard.py`` guards: per-core ``engine.dispatch``
   timings for both dispatch cores, the ``lookup`` microbenchmark
   ratio, an honest integer ``sweep.available_cpus``, the ``obs``
-  hook-overhead timings, and (schema v5) the ``topology`` section with
-  the snoop-vs-directory traffic crossover and throughput guard.
+  hook-overhead timings, (schema v5) the ``topology`` section with
+  the snoop-vs-directory traffic crossover and throughput guard, and
+  (schema v7) the nested ``topology.representations`` section with
+  per-representation msgs/txn + bits/block points and the
+  limited-pointer traffic guard.
 
 Usage::
 
@@ -64,6 +69,7 @@ except ModuleNotFoundError:  # running from a checkout without install
 
 from repro.analysis.resilient import POINT_STATUSES
 from repro.common.config import TOPOLOGY_KINDS
+from repro.directory_backend import DIRECTORY_ENTRY_KINDS
 from repro.common.schema import check as check_schema
 from repro.lint import CHECKS as LINT_CHECKS
 from repro.obs.attribution import BUCKETS
@@ -109,18 +115,34 @@ def validate_sweep_result(payload: dict) -> list[str]:
 
 
 def _check_topology_field(payload: dict) -> list[str]:
-    """Schema-v5 ``topology`` stamp on run/sweep results: required from
-    v5 on, and always a known fabric kind when present."""
+    """Schema-v5 ``topology`` and schema-v7 ``directory_entry`` stamps
+    on run/sweep results: required from their introducing versions on,
+    and always coherent when present."""
+    errors: list[str] = []
     topology = payload.get("topology")
     version = payload.get("schema_version")
     if topology is None:
         if isinstance(version, int) and version >= 5:
-            return [f"missing topology (required since schema v5; "
-                    f"expected one of {', '.join(TOPOLOGY_KINDS)})"]
-        return []
+            errors.append(f"missing topology (required since schema v5; "
+                          f"expected one of {', '.join(TOPOLOGY_KINDS)})")
+        return errors
     if topology not in TOPOLOGY_KINDS:
         return [f"topology: unknown fabric kind {topology!r}"]
-    return []
+    entry = payload.get("directory_entry")
+    if isinstance(version, int) and version >= 7:
+        if "directory_entry" not in payload:
+            errors.append("missing directory_entry (required since "
+                          "schema v7)")
+        elif topology == "directory":
+            if entry not in DIRECTORY_ENTRY_KINDS:
+                errors.append(
+                    f"directory_entry: unknown representation {entry!r} "
+                    f"(expected one of {', '.join(DIRECTORY_ENTRY_KINDS)})")
+        elif entry is not None:
+            errors.append(f"directory_entry: {entry!r} stamped on the "
+                          f"{topology} fabric (must be null off the "
+                          f"directory)")
+    return errors
 
 
 def validate_lint_report(payload: dict) -> list[str]:
@@ -348,6 +370,60 @@ def validate_bench_engine(payload: dict) -> list[str]:
                     if kind not in TOPOLOGY_KINDS:
                         errors.append(f"topology.points[{i}]: unknown "
                                       f"fabric kind {kind!r}")
+        errors.extend(_check_bench_representations(topology, version))
+    return errors
+
+
+def _check_bench_representations(topology: dict, version) -> list[str]:
+    """Schema-v7 ``topology.representations`` checks: every point
+    carries all three sharer-set representations with positive traffic
+    and storage numbers, and the guard section carries the ratio
+    ``scripts/perf_guard.py`` enforces."""
+    reps = topology.get("representations")
+    if reps is None:
+        if isinstance(version, int) and version >= 7:
+            return ["topology.representations: missing (required since "
+                    "schema v7)"]
+        return []
+    errors: list[str] = []
+    if not isinstance(reps, dict):
+        return [f"topology.representations: expected an object, got "
+                f"{type(reps).__name__}"]
+    points = reps.get("points")
+    if not isinstance(points, list) or not points:
+        errors.append("topology.representations.points: missing "
+                      "per-scale entries")
+    else:
+        for i, point in enumerate(points):
+            where = f"topology.representations.points[{i}]"
+            if not isinstance(point, dict):
+                errors.append(f"{where}: not an object")
+                continue
+            entries = point.get("entries")
+            if not isinstance(entries, dict):
+                errors.append(f"{where}.entries: missing")
+                continue
+            if set(entries) != set(DIRECTORY_ENTRY_KINDS):
+                errors.append(f"{where}.entries: keys {sorted(entries)} "
+                              f"do not match the representation kinds")
+                continue
+            for kind, entry in entries.items():
+                for key in ("msgs_per_txn", "bits_per_block"):
+                    value = entry.get(key) if isinstance(entry, dict) \
+                        else None
+                    if not isinstance(value, (int, float)) or value <= 0:
+                        errors.append(f"{where}.entries[{kind}].{key}: "
+                                      f"bad value {value!r}")
+    guard = reps.get("guard")
+    if not isinstance(guard, dict):
+        errors.append("topology.representations.guard: missing")
+    else:
+        for key in ("full_vector_msgs_per_txn",
+                    "limited_pointer_msgs_per_txn", "ratio"):
+            value = guard.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                errors.append(f"topology.representations.guard.{key}: "
+                              f"bad value {value!r}")
     return errors
 
 

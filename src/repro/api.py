@@ -29,7 +29,7 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.common.config import (CacheConfig, SystemConfig, TopologyConfig,
                                  WaitMode)
@@ -83,6 +83,10 @@ class RunResult:
     #: :class:`~repro.processor.program.LockStyle` value), or ``None``
     #: for style-blind reference streams with no locks (schema v6).
     lock_style: str | None = None
+    #: Sharer-set representation of the directory fabric (a
+    #: :data:`~repro.directory_backend.representations.DIRECTORY_ENTRY_KINDS`
+    #: name), or ``None`` on non-directory topologies (schema v7).
+    directory_entry: str | None = None
 
     def to_dict(self) -> dict:
         return stamp({
@@ -91,6 +95,7 @@ class RunResult:
             "workload": self.workload,
             "dispatch": self.dispatch,
             "topology": self.topology,
+            "directory_entry": self.directory_entry,
             "lock_style": self.lock_style,
             "config": self.config.to_dict(),
             "stats": self.stats.to_payload(),
@@ -125,6 +130,9 @@ class SweepResult:
     dispatch: str = "compiled"
     #: Which interconnect fabric carried every point (schema v5).
     topology: str = "snoop"
+    #: Directory sharer-set representation, or ``None`` off the
+    #: directory fabric (schema v7).
+    directory_entry: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -137,6 +145,7 @@ class SweepResult:
             "workload": self.workload,
             "dispatch": self.dispatch,
             "topology": self.topology,
+            "directory_entry": self.directory_entry,
             "xs": list(self.xs),
             "series": {name: list(values)
                        for name, values in self.series.items()},
@@ -172,23 +181,63 @@ class ConformanceReport:
 # -- config assembly --------------------------------------------------------
 
 
+def _topology_overrides(
+    directory_banks: int | None,
+    directory_entry: str | None,
+    directory_pointers: int | None,
+    directory_region_size: int | None,
+    hop_cycles: int | None,
+    lookup_cycles: int | None,
+) -> dict:
+    """The TopologyConfig field overrides of the facade's fabric knobs
+    (only the knobs actually given)."""
+    overrides: dict = {}
+    if directory_banks is not None:
+        overrides["directory_banks"] = directory_banks
+    if directory_entry is not None:
+        overrides["directory_entry"] = directory_entry
+    if directory_pointers is not None:
+        overrides["directory_pointers"] = directory_pointers
+    if directory_region_size is not None:
+        overrides["directory_region_size"] = directory_region_size
+    if hop_cycles is not None:
+        overrides["inter_cluster_hop_cycles"] = hop_cycles
+    if lookup_cycles is not None:
+        overrides["directory_lookup_cycles"] = lookup_cycles
+    return overrides
+
+
 def _resolve_topology(
     topology: "TopologyConfig | str | None",
     *,
     buses: int = 1,
     clusters: int | None = None,
+    directory_banks: int | None = None,
+    directory_entry: str | None = None,
+    directory_pointers: int | None = None,
+    directory_region_size: int | None = None,
+    hop_cycles: int | None = None,
+    lookup_cycles: int | None = None,
 ) -> TopologyConfig:
     """Resolve the facade's fabric keywords into a
     :class:`TopologyConfig`.
 
-    ``topology`` may be a full config (used as-is), a kind name, or
-    ``None`` -- which follows the ``REPRO_TOPOLOGY`` session default
-    (else ``snoop``).  ``buses > 1`` selects the multi-bus fabric;
-    ``clusters`` sizes the clustered fabric (and doubles as the bank
-    count for ``directory``, matching the CLI's ``--clusters``).
+    ``topology`` may be a full config (used as-is, with any explicit
+    knobs applied on top), a kind name, or ``None`` -- which follows
+    the ``REPRO_TOPOLOGY`` session default (else ``snoop``).
+    ``buses > 1`` selects the multi-bus fabric; ``clusters`` sizes the
+    clustered fabric (and doubles as the bank count for ``directory``
+    when ``directory_banks`` is not given, matching the CLI's
+    deprecated overload).  ``directory_entry`` /
+    ``directory_pointers`` / ``directory_region_size`` select the
+    sharer-set representation; ``hop_cycles`` / ``lookup_cycles``
+    override the link and home-bank timing.
     """
+    overrides = _topology_overrides(
+        directory_banks, directory_entry, directory_pointers,
+        directory_region_size, hop_cycles, lookup_cycles)
     if isinstance(topology, TopologyConfig):
-        return topology
+        return replace(topology, **overrides) if overrides else topology
     kind = topology
     if kind is None:
         from repro.bus.fabric import default_topology
@@ -198,15 +247,19 @@ def _resolve_topology(
             # The explicit bus count outranks the env default.
             return TopologyConfig(kind="multibus", buses=buses)
     if kind == "multibus":
-        return TopologyConfig(kind="multibus", buses=buses)
-    if kind == "clustered":
-        return TopologyConfig(kind="clustered", clusters=clusters or 2)
-    if kind == "directory":
-        return TopologyConfig(kind="directory",
-                              directory_banks=clusters or 1)
-    # "snoop" -- and anything unknown, which TopologyConfig rejects with
-    # the canonical error message.
-    return TopologyConfig(kind=kind)
+        base = TopologyConfig(kind="multibus", buses=buses)
+    elif kind == "clustered":
+        base = TopologyConfig(kind="clustered", clusters=clusters or 2)
+    elif kind == "directory":
+        base = TopologyConfig(
+            kind="directory",
+            directory_banks=directory_banks or clusters or 1)
+        overrides.pop("directory_banks", None)
+    else:
+        # "snoop" -- and anything unknown, which TopologyConfig rejects
+        # with the canonical error message.
+        base = TopologyConfig(kind=kind)
+    return replace(base, **overrides) if overrides else base
 
 
 def _build_config(
@@ -216,6 +269,12 @@ def _build_config(
     buses: int = 1,
     topology: "TopologyConfig | str | None" = None,
     clusters: int | None = None,
+    directory_banks: int | None = None,
+    directory_entry: str | None = None,
+    directory_pointers: int | None = None,
+    directory_region_size: int | None = None,
+    hop_cycles: int | None = None,
+    lookup_cycles: int | None = None,
     words_per_block: int | None = None,
     num_blocks: int = 64,
     work_while_waiting: bool = False,
@@ -225,8 +284,13 @@ def _build_config(
     return SystemConfig(
         num_processors=processors,
         protocol=protocol,
-        topology=_resolve_topology(topology, buses=buses,
-                                   clusters=clusters),
+        topology=_resolve_topology(
+            topology, buses=buses, clusters=clusters,
+            directory_banks=directory_banks,
+            directory_entry=directory_entry,
+            directory_pointers=directory_pointers,
+            directory_region_size=directory_region_size,
+            hop_cycles=hop_cycles, lookup_cycles=lookup_cycles),
         strict_verify=protocol != "write-through",
         wait_mode=WaitMode.WORK if work_while_waiting else WaitMode.SPIN,
         cache=CacheConfig(
@@ -264,6 +328,12 @@ def simulate(
     buses: int = 1,
     topology: "TopologyConfig | str | None" = None,
     clusters: int | None = None,
+    directory_banks: int | None = None,
+    directory_entry: str | None = None,
+    directory_pointers: int | None = None,
+    directory_region_size: int | None = None,
+    hop_cycles: int | None = None,
+    lookup_cycles: int | None = None,
     words_per_block: int | None = None,
     num_blocks: int = 64,
     work_while_waiting: bool = False,
@@ -281,6 +351,12 @@ def simulate(
     (dense dispatch tables) or ``"interpreted"`` (the transition-table
     IR); the default follows ``REPRO_DISPATCH`` (else compiled).  Both
     cores produce bit-identical statistics.
+
+    The fabric knobs mirror the CLI: ``directory_banks`` sizes the
+    directory fabric's home banks, ``directory_entry`` (plus
+    ``directory_pointers`` / ``directory_region_size``) selects the
+    sharer-set representation, and ``hop_cycles`` / ``lookup_cycles``
+    override the network-hop and home-bank-lookup latencies.
 
     Pass ``config`` and/or ``programs`` for full control; otherwise the
     convenience keywords assemble them with the CLI's defaulting rules
@@ -301,6 +377,11 @@ def simulate(
         config = _build_config(
             protocol, processors=processors, buses=buses,
             topology=topology, clusters=clusters,
+            directory_banks=directory_banks,
+            directory_entry=directory_entry,
+            directory_pointers=directory_pointers,
+            directory_region_size=directory_region_size,
+            hop_cycles=hop_cycles, lookup_cycles=lookup_cycles,
             words_per_block=words_per_block, num_blocks=num_blocks,
             work_while_waiting=work_while_waiting, seed=seed,
         )
@@ -338,6 +419,8 @@ def simulate(
         dispatch=dispatch,
         topology=config.topology.kind,
         lock_style=style_label,
+        directory_entry=(config.topology.directory_entry
+                         if config.topology.kind == "directory" else None),
     )
 
 
@@ -413,6 +496,12 @@ def sweep(
     dispatch: str | None = None,
     topology: "TopologyConfig | str | None" = None,
     clusters: int | None = None,
+    directory_banks: int | None = None,
+    directory_entry: str | None = None,
+    directory_pointers: int | None = None,
+    directory_region_size: int | None = None,
+    hop_cycles: int | None = None,
+    lookup_cycles: int | None = None,
     progress=None,
 ) -> SweepResult:
     """Run ``workload`` at each processor count (optionally in parallel
@@ -440,7 +529,12 @@ def sweep(
     if isinstance(faults, str):
         faults = FaultPlan.parse(faults, seed=fault_seed)
     dispatch = _resolve_dispatch(dispatch)
-    resolved_topology = _resolve_topology(topology, clusters=clusters)
+    resolved_topology = _resolve_topology(
+        topology, clusters=clusters, directory_banks=directory_banks,
+        directory_entry=directory_entry,
+        directory_pointers=directory_pointers,
+        directory_region_size=directory_region_size,
+        hop_cycles=hop_cycles, lookup_cycles=lookup_cycles)
     run = functools.partial(
         _sweep_point, protocol=protocol, workload=workload,
         fast_forward=fast_forward, sample_interval=sample_interval,
@@ -471,6 +565,8 @@ def sweep(
         resilience=dict(plan.resilience),
         dispatch=dispatch,
         topology=resolved_topology.kind,
+        directory_entry=(resolved_topology.directory_entry
+                         if resolved_topology.kind == "directory" else None),
     )
 
 

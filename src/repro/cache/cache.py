@@ -574,22 +574,35 @@ class SnoopingCache:
 
     # -- bus interface: snooping ----------------------------------------------
 
+    def cares_about(self, block: int) -> bool:
+        """Would this cache react to a transaction on ``block``?
+
+        True when a frame is tagged with the block (valid or invalid,
+        which also covers the update-invalid revalidation scan), the
+        busy-wait register watches the block, or an RMW hold matches.
+        This is the fast-miss test of :meth:`snoop` (which additionally
+        exempts unlock broadcasts, always taking the full path), and the
+        membership predicate the directory fabric uses to keep sharer
+        sets honest -- the two must stay identical for directory pruning
+        to be sound.
+        """
+        if block in self.array._tagged:
+            return True
+        if self._held_block == block:
+            return True
+        wait = self.busy_wait
+        return wait.phase is not WaitPhase.IDLE and wait.block == block
+
     def snoop(self, txn: BusTransaction) -> SnoopReply:
         """React to another cache's granted transaction."""
         assert self.protocol is not None
         self.directory.record_snoop(self.clock.cycle)
 
-        # Fast miss: nothing here can care about this transaction -- no
-        # frame is tagged with the block (valid or invalid, which also
-        # covers the update-invalid revalidation scan), the busy-wait
-        # register watches a different block (or none), and no RMW hold
-        # matches.  Unlock broadcasts always take the full path.  The
-        # shared reply is never mutated: the bus only reads replies.
-        if (txn.block not in self.array._tagged
-                and txn.op is not BusOp.UNLOCK_BROADCAST
-                and self._held_block != txn.block
-                and (self.busy_wait.phase is WaitPhase.IDLE
-                     or self.busy_wait.block != txn.block)):
+        # Fast miss: see cares_about.  Unlock broadcasts always take the
+        # full path.  The shared reply is never mutated: the bus only
+        # reads replies.
+        if (txn.op is not BusOp.UNLOCK_BROADCAST
+                and not self.cares_about(txn.block)):
             return _SNOOP_MISS
 
         if txn.op is BusOp.UNLOCK_BROADCAST:

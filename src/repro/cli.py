@@ -59,6 +59,47 @@ class _RemovedFlag(argparse.Action):
         raise SystemExit(2)
 
 
+def _add_fabric_flags(parser: argparse.ArgumentParser) -> None:
+    """The directory-fabric knobs shared by ``run`` and ``sweep``."""
+    from repro.directory_backend import DIRECTORY_ENTRY_KINDS
+
+    parser.add_argument("--directory-banks", type=int, default=None,
+                        metavar="K",
+                        help="home banks of the directory fabric "
+                             "(replaces overloading --clusters)")
+    parser.add_argument("--directory-entry", choices=DIRECTORY_ENTRY_KINDS,
+                        default=None,
+                        help="sharer-set representation of the directory "
+                             "fabric (default full-bit-vector)")
+    parser.add_argument("--directory-pointers", type=int, default=None,
+                        metavar="N",
+                        help="pointers per entry of the limited-pointer "
+                             "representation (default 2)")
+    parser.add_argument("--directory-region-size", type=int, default=None,
+                        metavar="K",
+                        help="caches per region bit of the coarse-vector "
+                             "representation (default 4)")
+    parser.add_argument("--hop-cycles", type=int, default=None,
+                        metavar="N",
+                        help="inter-cluster / network hop latency in "
+                             "cycles")
+    parser.add_argument("--lookup-cycles", type=int, default=None,
+                        metavar="N",
+                        help="directory home-bank lookup latency in "
+                             "cycles")
+
+
+def _reject_fabric_conflicts(args: argparse.Namespace) -> None:
+    """``--clusters`` still names the clustered fabric's clusters (and,
+    for compatibility, directory banks), but giving it alongside the
+    explicit ``--directory-banks`` is ambiguous: exit 2 naming both."""
+    if args.clusters is not None and args.directory_banks is not None:
+        print("repro: error: --clusters and --directory-banks cannot be "
+              "combined; use --directory-banks for the directory fabric "
+              "and --clusters for the clustered fabric", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def _workload_name(value: str) -> str:
     """``--workload`` validator: accepts hyphenated or underscore
     spellings; an unknown name exits 2 listing the valid names (the
@@ -95,8 +136,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="interconnect fabric (default: snoop, or the "
                           f"{TOPOLOGY_ENV} environment variable)")
     run.add_argument("--clusters", type=int, default=None, metavar="K",
-                     help="clusters of the clustered fabric / home banks "
-                          "of the directory fabric")
+                     help="clusters of the clustered fabric")
+    _add_fabric_flags(run)
     run.add_argument("--words-per-block", type=int, default=None,
                      help="block size in words (default 4; 1 for rudolph-segall)")
     run.add_argument("--num-blocks", type=int, default=64,
@@ -169,8 +210,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="interconnect fabric for every sweep point "
                             f"(default: snoop, or {TOPOLOGY_ENV})")
     sweep.add_argument("--clusters", type=int, default=None, metavar="K",
-                       help="clusters of the clustered fabric / home "
-                            "banks of the directory fabric")
+                       help="clusters of the clustered fabric")
+    _add_fabric_flags(sweep)
     sweep.add_argument("--dispatch", choices=DISPATCH_MODES, default=None,
                        help="protocol execution core (default: compiled, or "
                             f"the {DISPATCH_ENV} environment variable)")
@@ -361,6 +402,16 @@ _default_style = default_lock_style
 def command_run(args: argparse.Namespace) -> int:
     from repro import api
 
+    _reject_fabric_conflicts(args)
+    fabric = dict(
+        clusters=args.clusters,
+        directory_banks=args.directory_banks,
+        directory_entry=args.directory_entry,
+        directory_pointers=args.directory_pointers,
+        directory_region_size=args.directory_region_size,
+        hop_cycles=args.hop_cycles,
+        lookup_cycles=args.lookup_cycles,
+    )
     programs = None
     if args.trace:
         from repro.workloads.trace import load_trace
@@ -373,7 +424,7 @@ def command_run(args: argparse.Namespace) -> int:
         if programs is None:
             config = api._build_config(
                 args.protocol, processors=args.processors, buses=args.buses,
-                topology=args.topology, clusters=args.clusters,
+                topology=args.topology, **fabric,
                 words_per_block=args.words_per_block,
                 num_blocks=args.num_blocks,
                 work_while_waiting=args.work_while_waiting, seed=args.seed,
@@ -395,7 +446,7 @@ def command_run(args: argparse.Namespace) -> int:
             lock_style=style,
             buses=args.buses,
             topology=args.topology,
-            clusters=args.clusters,
+            **fabric,
             words_per_block=args.words_per_block,
             num_blocks=args.num_blocks,
             work_while_waiting=args.work_while_waiting,
@@ -525,6 +576,7 @@ def command_sweep(args: argparse.Namespace) -> int:
     from repro import api
     from repro.common.errors import SweepPointError
 
+    _reject_fabric_conflicts(args)
     progress = None
     if args.progress and sys.stderr.isatty():
         progress = _sweep_progress_printer()
@@ -537,6 +589,12 @@ def command_sweep(args: argparse.Namespace) -> int:
             dispatch=args.dispatch,
             topology=args.topology,
             clusters=args.clusters,
+            directory_banks=args.directory_banks,
+            directory_entry=args.directory_entry,
+            directory_pointers=args.directory_pointers,
+            directory_region_size=args.directory_region_size,
+            hop_cycles=args.hop_cycles,
+            lookup_cycles=args.lookup_cycles,
             jobs=args.jobs,
             sample_interval=args.sample_interval if args.metrics_out else 0,
             timeout=args.timeout,

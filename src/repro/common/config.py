@@ -278,15 +278,29 @@ class TopologyConfig:
     inter_cluster_hop_cycles: int = 2
     #: Home-bank directory lookup latency, in bus cycles.
     directory_lookup_cycles: int = 2
+    #: Sharer-set representation of directory entries (``directory``
+    #: only): ``full-bit-vector`` (exact, one bit per cache),
+    #: ``limited-pointer`` (Dir-n-B, broadcast on overflow), or
+    #: ``coarse-vector`` (one bit per region of caches).
+    directory_entry: str = "full-bit-vector"
+    #: Exact cache pointers per entry (``limited-pointer`` only).
+    directory_pointers: int = 2
+    #: Caches per presence bit (``coarse-vector`` only).
+    directory_region_size: int = 4
 
     def __post_init__(self) -> None:
+        from repro.directory_backend.representations import (
+            DIRECTORY_ENTRY_KINDS,
+        )
+
         if self.kind not in TOPOLOGY_KINDS:
             raise ConfigError(
                 f"unknown topology kind {self.kind!r}; expected one of "
                 f"{', '.join(TOPOLOGY_KINDS)}"
             )
         for name in ("buses", "clusters", "buses_per_cluster",
-                     "directory_banks"):
+                     "directory_banks", "directory_pointers",
+                     "directory_region_size"):
             if getattr(self, name) <= 0:
                 raise ConfigError(f"{name} must be positive, "
                                   f"got {getattr(self, name)}")
@@ -294,6 +308,11 @@ class TopologyConfig:
             if getattr(self, name) < 0:
                 raise ConfigError(f"{name} must be non-negative, "
                                   f"got {getattr(self, name)}")
+        if self.directory_entry not in DIRECTORY_ENTRY_KINDS:
+            raise ConfigError(
+                f"unknown directory entry kind {self.directory_entry!r}; "
+                f"expected one of {', '.join(DIRECTORY_ENTRY_KINDS)}"
+            )
         if self.kind == "snoop" and self.buses != 1:
             raise ConfigError("a snoop topology has exactly one bus; "
                               "use kind='multibus' for more")

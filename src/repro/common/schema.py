@@ -72,6 +72,19 @@ Version history
    style-blind reference streams) -- previously an explicitly requested
    style could be silently discarded with no record in the artifact.
    Migration: v5 readers that ignore unknown keys keep working.
+7. Directory-entry representations: ``run-result`` and ``sweep-result``
+   payloads gain a top-level ``directory_entry`` key (the sharer-set
+   representation of the directory fabric -- ``full-bit-vector`` /
+   ``limited-pointer`` / ``coarse-vector`` -- or ``null`` on
+   non-directory topologies).  ``TopologyConfig`` serializations gain
+   ``directory_entry`` / ``directory_pointers`` /
+   ``directory_region_size``; older payloads without them load with the
+   full-bit-vector defaults.  ``BENCH_engine.json``'s ``topology``
+   section gains ``representations`` (per-representation msgs/txn and
+   directory bits/block at each processor scale, the input to
+   ``perf_guard``'s limited-pointer traffic ceiling).  Migration: v6
+   readers that ignore unknown keys keep working; none of the
+   pre-existing keys changed meaning.
 """
 
 from __future__ import annotations
@@ -79,7 +92,7 @@ from __future__ import annotations
 from repro.common.errors import ReproError
 
 #: Current version of all exported JSON payload shapes.
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 #: Key under which the version is stamped.
 SCHEMA_KEY = "schema_version"

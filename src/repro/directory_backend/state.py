@@ -11,22 +11,29 @@ starve a cache of a message it needed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.common.types import BlockAddr, CacheId
+from repro.directory_backend.representations import FullBitVector, SharerSet
 
 
 @dataclass
 class DirectoryEntry:
     """Directory state for one block at its home bank."""
 
-    #: Caches that may hold or be waiting on the block.
-    sharers: set[CacheId] = field(default_factory=set)
+    #: Caches that may hold or be waiting on the block, behind one of
+    #: the pluggable representations (full bit vector by default).
+    sharers: SharerSet = field(default_factory=FullBitVector)
     #: The cache holding the block dirty, if any (always also a sharer).
     owner: CacheId | None = None
 
 
 class DirectoryState:
     """All directory entries of one home bank, plus message tallies.
+
+    ``representation`` is the zero-arg sharer-set constructor new
+    entries are built with (see
+    :mod:`repro.directory_backend.representations`).
 
     The tallies model the point-to-point traffic a real directory fabric
     would put on the network: one request and one response per
@@ -35,8 +42,11 @@ class DirectoryState:
     back from every probed cache.
     """
 
-    def __init__(self, bank: int) -> None:
+    def __init__(self, bank: int,
+                 representation: Callable[[], SharerSet] = FullBitVector,
+                 ) -> None:
         self.bank = bank
+        self.representation = representation
         self._entries: dict[int, DirectoryEntry] = {}
         self.requests = 0
         self.responses = 0
@@ -47,7 +57,8 @@ class DirectoryState:
     def entry(self, block_number: int) -> DirectoryEntry:
         found = self._entries.get(block_number)
         if found is None:
-            found = self._entries[block_number] = DirectoryEntry()
+            found = self._entries[block_number] = DirectoryEntry(
+                sharers=self.representation())
         return found
 
     def entries(self) -> dict[int, DirectoryEntry]:

@@ -5,27 +5,31 @@ Blocks interleave across ``directory_banks`` home banks exactly as they
 interleave across buses in the multi-bus system, so every transaction on
 a block serializes at its home bank -- the same single-writer argument,
 with the bank in the bus's role.  Instead of broadcasting, the bank
-consults the block's :class:`~repro.directory_backend.state.DirectoryEntry`
-and probes only the listed sharers.
+dispatches the request through the home-bank
+:class:`~repro.directory_backend.table.DirectoryTable` (compiled to
+dense dispatch like any protocol table) and executes the matched row's
+actions: probe-set selection, membership refresh, message tallies, and
+hop/lookup timing.
 
-**Why pruning is sound.**  A cache reacts to a snoop only when the block
-is tagged in a frame, its busy-wait register is armed on the block, or
-an RMW hold matches (the fast-miss test in ``Cache.snoop``).  Every one
-of those conditions is created exclusively by that cache's *own* bus
-transaction on the same block -- installs happen in ``on_txn_granted``,
-the busy-wait arms when the cache's own READ_LOCK is refused, the hold
-is set by the cache's own fetch.  The directory therefore (1) enrolls
-every requester into the block's sharer vector at its transaction and
-(2) after each transaction re-probes exactly the caches whose condition
-could have changed -- the requester and the probed set -- dropping the
-ones that no longer care.  A cache outside the vector would have
-answered miss; pruning it changes no replies, only traffic.
+**Why pruning is sound.**  A cache reacts to a snoop only when
+:meth:`~repro.cache.cache.Cache.cares_about` holds -- the block is
+tagged in a frame, the busy-wait register is armed on the block, or an
+RMW hold matches.  Every one of those conditions is created exclusively
+by that cache's *own* bus transaction on the same block, so a cache
+outside the sharer set would have answered miss; pruning it changes no
+replies, only traffic.  The obligations that keep the sharer set honest
+are lint rules over the table rather than prose: every delivery row
+must ``enroll`` the requester, probe, and ``refresh`` the caches the
+transaction could have changed (``directory-sharer-drop``), and rows
+meeting an overflowed -- imprecise -- representation must broadcast
+(``directory-overflow-policy``).  See
+:mod:`repro.directory_backend.table`.
 
-Timing: on top of the bus occupancy model, every transaction pays the
-home-bank ``directory_lookup_cycles`` and a request/response round trip
-(``2 * inter_cluster_hop_cycles``); a cache-to-cache supply adds the
-third hop of the classic forwarded transfer; a nonzero probe fanout adds
-an invalidate/ack round trip.
+Timing: on top of the bus occupancy model, the matched row's ``pay-*``
+atoms charge the home-bank ``directory_lookup_cycles``, a
+request/response round trip (``2 * inter_cluster_hop_cycles``), the
+third hop of a cache-to-cache forwarded supply, and an invalidate/ack
+round trip when the probe fanout is nonzero.
 """
 
 from __future__ import annotations
@@ -36,10 +40,19 @@ from repro.bus.bus import Bus, BusPort
 from repro.bus.multibus import MultiBusSystem
 from repro.bus.signals import SnoopReply
 from repro.bus.transaction import BusTransaction
-from repro.cache.busy_wait import WaitPhase
 from repro.common.config import TimingConfig, TopologyConfig
 from repro.common.types import CacheId
+from repro.directory_backend.representations import representation_factory
 from repro.directory_backend.state import DirectoryEntry, DirectoryState
+from repro.directory_backend.table import (
+    DIR_EVENT_OF,
+    HOME_BANK_TABLE,
+    DirectoryTable,
+    guard_bits_of,
+    home_state_of,
+)
+from repro.protocols.compiled import compile_table
+from repro.protocols.table import Rule
 
 if TYPE_CHECKING:
     from repro.memory.main_memory import MainMemory
@@ -54,28 +67,26 @@ def _underlying(port: BusPort):
     return getattr(port, "_port", port)
 
 
-def _cache_cares(cache, block) -> bool:
-    """The fast-miss test of ``Cache.snoop``, asked from outside: would
-    this cache react to a transaction on ``block``?"""
-    if block in cache.array._tagged:
-        return True
-    if cache._held_block == block:
-        return True
-    wait = cache.busy_wait
-    return wait.phase is not WaitPhase.IDLE and wait.block == block
-
-
 class DirectoryFabric(Bus):
-    """One home bank: serializes its blocks' transactions and probes
-    only the caches its directory lists for the block."""
+    """One home bank: serializes its blocks' transactions and executes
+    the home-bank table's actions to deliver them."""
+
+    #: The home-bank policy.  A class attribute so the mc mutation
+    #: harness can patch it exactly like a protocol table.
+    table: DirectoryTable = HOME_BANK_TABLE
 
     def __init__(self, system: "DirectorySystem", index: int) -> None:
         super().__init__(system.memory, system.timing, system.clock,
                          system.stats, system.trace, obs=system.obs,
                          index=index)
         self._system = system
-        self.directory = DirectoryState(index)
+        self.directory = DirectoryState(
+            index, representation_factory(system.topology))
         self._last_probed: set[CacheId] = set()
+        # Resolved per instance so a class-level ``table`` patch (the mc
+        # mutation harness) is honoured by instances created under it.
+        self._dispatch = compile_table(self.table)
+        self._active_row: Rule | None = None
 
     # -- delivery -----------------------------------------------------------
 
@@ -87,27 +98,51 @@ class DirectoryFabric(Bus):
         self, requester: BusPort, txn: BusTransaction
     ) -> dict[CacheId, SnoopReply]:
         entry = self._entry_of(txn)
-        entry.sharers.add(requester.id)
-        self.directory.requests += 1
-        replies: dict[CacheId, SnoopReply] = {}
+        sharers = entry.sharers
+        rid = requester.id
         # Port order (not sharer-set order) keeps reply combination and
         # read-source arbitration deterministic and bus-identical.
-        for cid, port in self._ports.items():
-            if cid == requester.id or cid not in entry.sharers:
-                continue
-            replies[cid] = port.snoop(txn)
+        ports = self._ports
+        peers = any(cid != rid and sharers.listed(cid) for cid in ports)
+        row = self._dispatch.lookup_bits(
+            home_state_of(entry), DIR_EVENT_OF[txn.op],
+            guard_bits_of(entry, rid, peers))
+        self._active_row = row
+        replies: dict[CacheId, SnoopReply] = {}
+        for action in row.actions:
+            if action == "enroll":
+                sharers.enroll(rid)
+            elif action == "count-request":
+                self.directory.requests += 1
+            elif action == "probe-listed":
+                for cid, port in ports.items():
+                    if cid != rid and sharers.listed(cid):
+                        replies[cid] = port.snoop(txn)
+            elif action == "probe-all":
+                for cid, port in ports.items():
+                    if cid != rid:
+                        replies[cid] = port.snoop(txn)
         self._last_probed = set(replies)
         return replies
 
     def _execute(self, port: BusPort, txn: BusTransaction) -> None:
+        self._active_row = None
         self._last_probed = set()
         super()._execute(port, txn)
-        self._refresh(txn, {txn.requester} | self._last_probed)
+        row = self._active_row
+        if row is not None and "refresh" in row.actions:
+            self._refresh(txn, {txn.requester} | self._last_probed)
 
     def _refresh(self, txn: BusTransaction, probed: set[CacheId]) -> None:
         """Re-derive directory membership for the caches this
-        transaction could have changed (requester + probed set)."""
+        transaction could have changed (requester + probed set).
+
+        A ``probe-all`` round covered every port, so the refresh is
+        *complete* and a lossy representation may rebuild its tracking
+        exactly (Dir-n-B collapsing out of broadcast mode)."""
         entry = self._entry_of(txn)
+        keep: list[CacheId] = []
+        drop: list[CacheId] = []
         for cid in probed:
             view = self._ports.get(cid)
             if view is None:
@@ -116,57 +151,75 @@ class DirectoryFabric(Bus):
             if not hasattr(cache, "array"):
                 # Cacheless ports (I/O) answer every snoop with a miss;
                 # the directory never needs to list them.
-                entry.sharers.discard(cid)
+                drop.append(cid)
                 continue
-            if _cache_cares(cache, txn.block):
-                entry.sharers.add(cid)
+            if cache.cares_about(txn.block):
+                keep.append(cid)
                 line = cache.line_for(txn.block)
                 if line is not None and line.state.dirty:
                     entry.owner = cid
                 elif entry.owner == cid:
                     entry.owner = None
             else:
-                entry.sharers.discard(cid)
+                drop.append(cid)
                 if entry.owner == cid:
                     entry.owner = None
+        row = self._active_row
+        complete = row is not None and "probe-all" in row.actions
+        entry.sharers.refresh(keep, drop, complete=complete)
 
     # -- timing and traffic --------------------------------------------------
 
     def _duration(self, txn, response, replies, info) -> int:
         cycles = super()._duration(txn, response, replies, info)
+        row = self._active_row
+        if row is None:
+            return cycles
         topo = self._system.topology
         hop = topo.inter_cluster_hop_cycles
-        # Home-bank lookup plus the request/response round trip.
-        cycles += topo.directory_lookup_cycles + 2 * hop
         directory = self.directory
-        directory.responses += 1
         probes = len(replies)
-        if response.supplier is not None:
+        supplied = response.supplier is not None
+        actions = row.actions
+        if "pay-lookup" in actions:
+            cycles += topo.directory_lookup_cycles
+        if "pay-round-trip" in actions:
+            cycles += 2 * hop
+        if supplied and "pay-forward-hop" in actions:
             # Three-hop forwarded supply: home -> owner -> requester.
-            directory.forwards += 1
-            directory.invalidations += probes - 1
             cycles += hop
-        else:
-            directory.invalidations += probes
-        directory.acks += probes
-        if probes:
+        if probes and "pay-inval-round-trip" in actions:
             # The slowest probe's invalidate/ack round trip.
             cycles += 2 * hop
-        if self.obs.active:
+        obs_active = self.obs.active
+        if obs_active and "count-request" in actions:
             self.obs.record_directory_msgs(
                 self.clock.cycle, "request", txn.block, self.index)
-            self.obs.record_directory_msgs(
-                self.clock.cycle, "response", txn.block, self.index)
-            if response.supplier is not None:
+        if "count-response" in actions:
+            directory.responses += 1
+            if obs_active:
                 self.obs.record_directory_msgs(
-                    self.clock.cycle, "forward", txn.block, self.index)
-            if probes:
-                self.obs.record_directory_msgs(
-                    self.clock.cycle, "invalidation", txn.block,
-                    self.index, max(0, probes - (1 if response.supplier
-                                                 is not None else 0)))
-                self.obs.record_directory_msgs(
-                    self.clock.cycle, "ack", txn.block, self.index, probes)
+                    self.clock.cycle, "response", txn.block, self.index)
+        if "tally-traffic" in actions:
+            # Single source for the network message counts: the same
+            # forward/invalidation/ack arithmetic feeds the bank's
+            # tallies and the observability counters.
+            forwards = 1 if supplied else 0
+            invalidations = probes - forwards
+            directory.forwards += forwards
+            directory.invalidations += invalidations
+            directory.acks += probes
+            if obs_active:
+                if supplied:
+                    self.obs.record_directory_msgs(
+                        self.clock.cycle, "forward", txn.block, self.index)
+                if probes:
+                    self.obs.record_directory_msgs(
+                        self.clock.cycle, "invalidation", txn.block,
+                        self.index, invalidations)
+                    self.obs.record_directory_msgs(
+                        self.clock.cycle, "ack", txn.block, self.index,
+                        probes)
         return cycles
 
 
@@ -197,12 +250,14 @@ class DirectorySystem(MultiBusSystem):
         return [bus.directory for bus in self.buses]
 
     def message_tallies(self) -> dict[str, int]:
-        """Point-to-point message counts summed over all home banks."""
-        total = {"requests": 0, "responses": 0, "forwards": 0,
-                 "invalidations": 0, "acks": 0}
+        """Point-to-point message counts summed over all home banks.
+
+        Keys come from the banks themselves, so a bank growing a new
+        tally kind shows up here instead of raising."""
+        total: dict[str, int] = {}
         for bank in self.banks:
             for key, value in bank.tallies().items():
-                total[key] += value
+                total[key] = total.get(key, 0) + value
         return total
 
     @property

@@ -1,28 +1,38 @@
 """Static linter for table-driven coherence protocols.
 
-``lint_table`` runs the five rule families (completeness, determinism,
-reachability, write-serialization, lock-state sanity) over one
-:class:`~repro.protocols.table.TransitionTable`; ``lint_all`` runs them
-over every registered protocol and ``build_report`` renders the
-schema-stamped JSON consumed by CI and ``scripts/validate_trace.py``.
+``lint_table`` runs the five cache rule families (completeness,
+determinism, reachability, write-serialization, lock-state sanity) over
+one :class:`~repro.protocols.table.TransitionTable` -- or, for tables
+with ``table_kind == "directory"``, the three directory home-bank
+families (directory-completeness, directory-sharer-drop,
+directory-overflow-policy).  ``lint_all`` runs them over every
+registered protocol plus the directory home-bank policy, and
+``build_report`` renders the schema-stamped JSON consumed by CI and
+``scripts/validate_trace.py``.
 """
 
 from repro.lint.report import build_report, lint_all, lint_protocol
 from repro.lint.rules import (
+    CACHE_CHECKS,
     CHECKS,
+    DIRECTORY_CHECKS,
     EXCLUSIVE_SEEKING_EVENTS,
     INVALIDATING_SNOOP_EVENTS,
     Finding,
+    lint_directory_table,
     lint_table,
 )
 
 __all__ = [
+    "CACHE_CHECKS",
     "CHECKS",
+    "DIRECTORY_CHECKS",
     "EXCLUSIVE_SEEKING_EVENTS",
     "INVALIDATING_SNOOP_EVENTS",
     "Finding",
     "build_report",
     "lint_all",
+    "lint_directory_table",
     "lint_protocol",
     "lint_table",
 ]

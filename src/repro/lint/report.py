@@ -20,8 +20,13 @@ def lint_protocol(name: str) -> list[Finding]:
 
 
 def lint_all() -> dict[str, list[Finding]]:
-    """Lint every registered protocol, keyed by registry name."""
-    return {name: lint_protocol(name) for name in sorted(PROTOCOLS)}
+    """Lint every registered protocol plus the directory home-bank
+    policy, keyed by registry name."""
+    from repro.directory_backend.table import HOME_BANK_TABLE
+
+    findings = {name: lint_protocol(name) for name in sorted(PROTOCOLS)}
+    findings[HOME_BANK_TABLE.name] = lint_table(HOME_BANK_TABLE)
+    return findings
 
 
 def build_report(findings_by_protocol: dict[str, list[Finding]]) -> dict:
@@ -32,8 +37,15 @@ def build_report(findings_by_protocol: dict[str, list[Finding]]) -> dict:
         entry: dict = {"ok": not findings,
                        "findings": [f.to_dict() for f in findings]}
         cls = PROTOCOLS.get(name)
+        table = None
         if isinstance(cls, type) and issubclass(cls, TableProtocol):
             table = cls.table
+        elif cls is None:
+            from repro.directory_backend.table import HOME_BANK_TABLE
+
+            if name == HOME_BANK_TABLE.name:
+                table = HOME_BANK_TABLE
+        if table is not None:
             entry["rules"] = len(table.rules)
             entry["states"] = sorted(
                 s.value for s in table.states_mentioned())

@@ -71,8 +71,16 @@ _DIRTY_SAFE_ACTIONS = frozenset({
     "supply", "supply-clean", "flush", "flush-clean", "refuse-lock",
 })
 
-CHECKS = ("determinism", "completeness", "reachability",
-          "write-serialization", "lock-state")
+#: The cache-side rule families.
+CACHE_CHECKS = ("determinism", "completeness", "reachability",
+                "write-serialization", "lock-state")
+
+#: The directory home-bank rule families (tables with
+#: ``table_kind == "directory"``).
+DIRECTORY_CHECKS = ("directory-completeness", "directory-sharer-drop",
+                    "directory-overflow-policy")
+
+CHECKS = CACHE_CHECKS + DIRECTORY_CHECKS
 
 
 @dataclass(frozen=True)
@@ -102,7 +110,13 @@ class Finding:
 
 
 def lint_table(table: TransitionTable) -> list[Finding]:
-    """Run every rule family over one table."""
+    """Run every rule family over one table.
+
+    Dispatches on the table's vocabulary: directory home-bank tables
+    (``table_kind == "directory"``) get the directory rule families,
+    everything else the five cache-side families."""
+    if getattr(table, "table_kind", "cache") == "directory":
+        return lint_directory_table(table)
     findings: list[Finding] = []
     findings.extend(_check_determinism(table))
     findings.extend(_check_completeness(table))
@@ -400,4 +414,142 @@ def _check_lock_sanity(table: TransitionTable) -> list[Finding]:
                 "waiters are recorded (refuse-lock) but unlocking a "
                 "LOCK_WAITER block never broadcasts the wakeup",
                 CacheState.LOCK_WAITER, Event.PR_UNLOCK))
+    return findings
+
+
+# -- directory home-bank tables ---------------------------------------------
+#
+# The home bank prunes broadcasts down to the sharer set, so its table
+# carries the soundness burden the snoop bus got for free.  Three rule
+# families (see repro.directory_backend.table):
+#
+# * directory-completeness -- every bus operation maps to a directory
+#   event (DIR_EVENT_OF is total), every (state, event) bucket has a
+#   unique most-specific row under every guard combination, and actions
+#   come from the directory catalog.
+# * directory-sharer-drop -- every delivery row must ``enroll`` the
+#   requester and ``refresh`` membership afterwards, and rows at
+#   sharer-bearing states must probe: any of those dropped silently
+#   loses a sharer, which later reads stale data.
+# * directory-overflow-policy -- once the representation is imprecise
+#   (the OVERFLOW state, or a ``dir-overflowed``-guarded row), probing
+#   only the listed sharers is unsound; the row must ``probe-all``.
+
+
+#: Home states whose entries may list other caches: their rows must
+#: probe, or an invalidation never reaches the listed copies.
+_SHARER_BEARING = ("home-shared", "home-owned", "home-overflow")
+
+
+def lint_directory_table(table: TransitionTable) -> list[Finding]:
+    """Run the directory rule families over one home-bank table."""
+    findings: list[Finding] = []
+    findings.extend(_check_directory_completeness(table))
+    findings.extend(_check_directory_sharer_drop(table))
+    findings.extend(_check_directory_overflow_policy(table))
+    return findings
+
+
+def _dir_combos(rules: Iterable[Rule], families_map) -> list[frozenset[str]]:
+    """All full guard contexts over the families the bucket mentions."""
+    atom_family = {atom: family for family, atoms in families_map.items()
+                   for atom in atoms}
+    families = sorted({atom_family[a] for r in rules for a in r.guard
+                       if a in atom_family})
+    return [frozenset(c) for c in
+            itertools.product(*[families_map[f] for f in families])]
+
+
+def _check_directory_completeness(table: TransitionTable) -> list[Finding]:
+    from repro.bus.transaction import BusOp
+    from repro.directory_backend.table import (DIR_ACTIONS, DIR_EVENT_OF,
+                                               DIR_GUARD_FAMILIES, DirEvent,
+                                               HomeState)
+
+    findings: list[Finding] = []
+    for op in BusOp:
+        if op not in DIR_EVENT_OF:
+            findings.append(Finding(
+                "directory-completeness", table.name,
+                f"bus operation {op.value} maps to no directory event "
+                f"(DIR_EVENT_OF is not total)"))
+    dir_atoms = {atom for atoms in DIR_GUARD_FAMILIES.values()
+                 for atom in atoms}
+    for r in table.rules:
+        for atom in sorted(r.guard):
+            if atom not in dir_atoms:
+                findings.append(_finding(
+                    "directory-completeness", table,
+                    f"unknown directory guard atom {atom!r}",
+                    r.state, r.event))
+        for action in r.actions:
+            if action not in DIR_ACTIONS:
+                findings.append(_finding(
+                    "directory-completeness", table,
+                    f"unknown directory action {action!r}",
+                    r.state, r.event))
+    for state in HomeState:
+        for event in DirEvent:
+            rules = table.rules_for(state, event)
+            if not rules:
+                findings.append(_finding(
+                    "directory-completeness", table,
+                    f"no transition for {event.value} at {state.value}",
+                    state, event))
+                continue
+            for ctx in _dir_combos(rules, DIR_GUARD_FAMILIES):
+                matches = [r for r in rules if r.matches(ctx)]
+                if not matches:
+                    findings.append(_finding(
+                        "directory-completeness", table,
+                        f"no row matches context {_fmt_ctx(ctx)}",
+                        state, event))
+                    continue
+                best = max(len(r.guard) for r in matches)
+                if sum(1 for r in matches if len(r.guard) == best) > 1:
+                    findings.append(_finding(
+                        "directory-completeness", table,
+                        f"two equally-specific rows match {_fmt_ctx(ctx)}",
+                        state, event))
+    return findings
+
+
+def _check_directory_sharer_drop(table: TransitionTable) -> list[Finding]:
+    from repro.directory_backend.table import PROBE_ACTIONS
+
+    findings: list[Finding] = []
+    for r in table.rules:
+        actions = set(r.actions)
+        if "enroll" not in actions:
+            findings.append(_finding(
+                "directory-sharer-drop", table,
+                "the requester is never enrolled; its copy is untracked "
+                "and later invalidations miss it", r.state, r.event))
+        if "refresh" not in actions:
+            findings.append(_finding(
+                "directory-sharer-drop", table,
+                "membership is never refreshed; caches this transaction "
+                "changed keep their stale listing", r.state, r.event))
+        if (r.state.value in _SHARER_BEARING
+                and not actions & PROBE_ACTIONS):
+            findings.append(_finding(
+                "directory-sharer-drop", table,
+                "a sharer-bearing state is never probed; listed copies "
+                "go stale silently", r.state, r.event))
+    return findings
+
+
+def _check_directory_overflow_policy(table: TransitionTable) -> list[Finding]:
+    from repro.directory_backend.table import HomeState
+
+    findings: list[Finding] = []
+    for r in table.rules:
+        imprecise = (r.state is HomeState.OVERFLOW
+                     or "dir-overflowed" in r.guard)
+        if imprecise and "probe-all" not in r.actions:
+            findings.append(_finding(
+                "directory-overflow-policy", table,
+                "an overflowed (imprecise) entry is not probed by "
+                "broadcast; untracked sharers keep stale copies",
+                r.state, r.event))
     return findings

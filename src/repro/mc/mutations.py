@@ -75,6 +75,17 @@ def _table_patch(cls, builder: Callable[[], TransitionTable]):
     return lambda: _patched(cls, "table", builder())
 
 
+def _directory_table_patch(builder: Callable[[], TransitionTable]):
+    """Patch the home-bank policy on the directory fabric class (the
+    fabric resolves its compiled dispatch per instance, so instances
+    created under the patch honour it)."""
+    def apply():
+        from repro.directory_backend.system import DirectoryFabric
+
+        return _patched(DirectoryFabric, "table", builder())
+    return apply
+
+
 # -- the bugs ---------------------------------------------------------------
 
 
@@ -155,6 +166,56 @@ def _drop_directory_ack() -> ContextManager:
             entry.sharers.discard(max(entry.sharers))
 
     return _patched(DirectoryFabric, "_refresh", broken_refresh)
+
+
+def _directory_lost_requester() -> TransitionTable:
+    """A fetch at a shared entry neither enrolls the requester nor
+    refreshes membership: the new copy is untracked, so a later upgrade
+    never probes it and the stale copy keeps answering local reads."""
+    from repro.directory_backend.table import (HOME_BANK_TABLE, DirEvent,
+                                               HomeState)
+
+    return HOME_BANK_TABLE.rewrite(
+        HomeState.SHARED, DirEvent.REQ_FETCH,
+        drop_actions=("enroll", "refresh"),
+    )
+
+
+def _directory_skip_probe() -> TransitionTable:
+    """Upgrades at a shared entry skip the probe: the listed readers are
+    never invalidated (membership itself stays correct -- the refresh
+    only covers the requester), so their copies silently go stale."""
+    from repro.directory_backend.table import (HOME_BANK_TABLE, DirEvent,
+                                               HomeState)
+
+    return HOME_BANK_TABLE.rewrite(
+        HomeState.SHARED, DirEvent.REQ_UPGRADE,
+        drop_actions=("probe-listed",),
+    )
+
+
+def _directory_narrow_probe() -> TransitionTable:
+    """An overflowed entry is probed as if it were precise: upgrades
+    only reach the sharers still listed, and the untracked copy the
+    overflow lost keeps reading stale data."""
+    from repro.directory_backend.table import (HOME_BANK_TABLE, DirEvent,
+                                               HomeState)
+
+    row = HOME_BANK_TABLE.rules_for(HomeState.OVERFLOW,
+                                    DirEvent.REQ_UPGRADE)[0]
+    narrowed = tuple("probe-listed" if action == "probe-all" else action
+                     for action in row.actions)
+    return HOME_BANK_TABLE.rewrite(HomeState.OVERFLOW,
+                                   DirEvent.REQ_UPGRADE, actions=narrowed)
+
+
+def _directory_drop_row() -> TransitionTable:
+    """The (SHARED, req-upgrade) row is simply missing: an upgrade
+    reaches a shared entry and the home bank has no answer."""
+    from repro.directory_backend.table import (HOME_BANK_TABLE, DirEvent,
+                                               HomeState)
+
+    return HOME_BANK_TABLE.without(HomeState.SHARED, DirEvent.REQ_UPGRADE)
 
 
 def _lost_dirty_purge() -> ContextManager:
@@ -250,6 +311,54 @@ MUTATIONS: dict[str, Mutation] = {
             scenario="directory-upgrade",
             caught_by="write oracle (stale read)",
             apply=_drop_directory_ack,
+        ),
+        Mutation(
+            name="directory-lost-requester",
+            description="A fetch at a shared entry neither enrolls the "
+                        "requester nor refreshes membership; the new "
+                        "copy is untracked and later upgrades miss it.",
+            protocol="bitar-despain",
+            scenario="directory-upgrade",
+            caught_by="lint directory-sharer-drop / write oracle",
+            apply=_directory_table_patch(_directory_lost_requester),
+            table_builder=_directory_lost_requester,
+            lint_check="directory-sharer-drop",
+        ),
+        Mutation(
+            name="directory-skip-probe",
+            description="Upgrades at a shared entry never probe the "
+                        "listed readers; their copies silently go "
+                        "stale.",
+            protocol="bitar-despain",
+            scenario="directory-upgrade",
+            caught_by="lint directory-sharer-drop / write oracle",
+            apply=_directory_table_patch(_directory_skip_probe),
+            table_builder=_directory_skip_probe,
+            lint_check="directory-sharer-drop",
+        ),
+        Mutation(
+            name="directory-narrow-probe",
+            description="An overflowed (imprecise) entry is probed as "
+                        "if it were precise; the copy the overflow lost "
+                        "keeps reading stale data.",
+            protocol="bitar-despain",
+            scenario="directory-overflow",
+            caught_by="lint directory-overflow-policy / write oracle",
+            apply=_directory_table_patch(_directory_narrow_probe),
+            table_builder=_directory_narrow_probe,
+            lint_check="directory-overflow-policy",
+        ),
+        Mutation(
+            name="directory-drop-row",
+            description="The home bank's (SHARED, req-upgrade) row is "
+                        "missing; dispatch has no transition for an "
+                        "upgrade at a shared entry.",
+            protocol="bitar-despain",
+            scenario="directory-upgrade",
+            caught_by="lint directory-completeness / dispatch lookup error",
+            apply=_directory_table_patch(_directory_drop_row),
+            table_builder=_directory_drop_row,
+            lint_check="directory-completeness",
         ),
         Mutation(
             name="lost-dirty-purge",

@@ -193,6 +193,22 @@ def _directory_upgrade(protocol: str):
     ]
 
 
+def _directory_overflow(protocol: str):
+    # The same upgrade-over-shared-copy pattern, but the home bank tracks
+    # sharers with a one-pointer limited-pointer entry: the second reader
+    # overflows it, and from then on only a broadcast probe (the OVERFLOW
+    # rows' probe-all) can reach the untracked copy.
+    config = _config(protocol, 2,
+                     topology=TopologyConfig(kind="directory",
+                                             directory_entry="limited-pointer",
+                                             directory_pointers=1))
+    return config, [
+        Program(ops=[read(DATA_WORD), write(DATA_WORD, value=7)],
+                name="upgrader"),
+        Program(ops=[read(DATA_WORD), read(DATA_WORD)], name="reader"),
+    ]
+
+
 def _evict_writeback(protocol: str):
     # Two direct-mapped frames: the second and third reads evict the
     # dirty first block, forcing the write-back path.
@@ -244,6 +260,14 @@ SCENARIOS: dict[str, Scenario] = {
                         "bank's sharer vector must still reach every live "
                         "copy.",
             build=_directory_upgrade,
+        ),
+        Scenario(
+            name="directory-overflow",
+            description="Upgrade over a shared copy with a one-pointer "
+                        "limited-pointer directory entry: once the entry "
+                        "overflows, only the OVERFLOW rows' broadcast probe "
+                        "reaches the untracked copy.",
+            build=_directory_overflow,
         ),
         Scenario(
             name="evict-writeback",

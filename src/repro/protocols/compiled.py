@@ -114,30 +114,71 @@ def bit_families_for(event: Event) -> tuple[str, ...]:
     return ()
 
 
+class DispatchVocabulary:
+    """The index spaces one :class:`CompiledTable` compiles against.
+
+    The compiler itself is table-kind agnostic: it only needs the dense
+    state/event tuples, the two-valued guard families, and the ordered
+    bit families each event consults.  The cache-side protocols compile
+    against :data:`CACHE_VOCABULARY`; the directory home-bank table
+    (:mod:`repro.directory_backend.table`) supplies its own vocabulary
+    via the table's ``vocabulary`` attribute and reuses this whole
+    module unchanged.
+    """
+
+    def __init__(self, states, events, guard_families,
+                 bit_families_for) -> None:
+        self.states = tuple(states)
+        self.events = tuple(events)
+        self.guard_families = dict(guard_families)
+        self.bit_families_for = bit_families_for
+        self.state_index = {s: i for i, s in enumerate(self.states)}
+        self.event_index = {e: i for i, e in enumerate(self.events)}
+        self.n_states = len(self.states)
+        self.n_events = len(self.events)
+        self.max_contexts = max(
+            2 ** len(bit_families_for(e)) for e in self.events)
+
+    def context_of_bits(self, event, bits: int) -> frozenset[str]:
+        """The full guard context encoded by ``bits`` for ``event``."""
+        atoms = []
+        for i, family in enumerate(self.bit_families_for(event)):
+            positive, negative = self.guard_families[family]
+            atoms.append(positive if bits & (1 << i) else negative)
+        return frozenset(atoms)
+
+    def bits_of_context(self, event, ctx: frozenset[str]) -> int | None:
+        """Encode a *full* context (one atom per family) as guard bits;
+        ``None`` when ``ctx`` is partial or carries foreign atoms
+        (callers fall back to the interpreter for those)."""
+        families = self.bit_families_for(event)
+        if len(ctx) != len(families):
+            return None
+        bits = 0
+        for i, family in enumerate(families):
+            positive, negative = self.guard_families[family]
+            if positive in ctx:
+                bits |= 1 << i
+            elif negative not in ctx:
+                return None
+        return bits
+
+
+#: The cache-side protocol vocabulary (the default).
+CACHE_VOCABULARY = DispatchVocabulary(
+    STATES, EVENTS, GUARD_FAMILIES, bit_families_for)
+assert CACHE_VOCABULARY.max_contexts == MAX_CONTEXTS
+
+
 def context_of_bits(event: Event, bits: int) -> frozenset[str]:
     """The full guard context encoded by ``bits`` for ``event``."""
-    atoms = []
-    for i, family in enumerate(bit_families_for(event)):
-        positive, negative = GUARD_FAMILIES[family]
-        atoms.append(positive if bits & (1 << i) else negative)
-    return frozenset(atoms)
+    return CACHE_VOCABULARY.context_of_bits(event, bits)
 
 
 def bits_of_context(event: Event, ctx: frozenset[str]) -> int | None:
-    """Encode a *full* context (one atom per family) as guard bits;
-    ``None`` when ``ctx`` is partial or carries foreign atoms (callers
-    fall back to the interpreter for those)."""
-    families = bit_families_for(event)
-    if len(ctx) != len(families):
-        return None
-    bits = 0
-    for i, family in enumerate(families):
-        positive, negative = GUARD_FAMILIES[family]
-        if positive in ctx:
-            bits |= 1 << i
-        elif negative not in ctx:
-            return None
-    return bits
+    """Encode a *full* cache-vocabulary context as guard bits (``None``
+    for partial or foreign contexts)."""
+    return CACHE_VOCABULARY.bits_of_context(event, ctx)
 
 
 class CompiledTable:
@@ -150,7 +191,11 @@ class CompiledTable:
     encoding (numpy ``int32`` when available, flat lists otherwise).
     """
 
-    def __init__(self, source: TransitionTable) -> None:
+    def __init__(self, source: TransitionTable,
+                 vocab: DispatchVocabulary | None = None) -> None:
+        if vocab is None:
+            vocab = getattr(source, "vocabulary", None) or CACHE_VOCABULARY
+        self.vocab = vocab
         self.source = source
         self.name = source.name
         self.rules: tuple[Rule, ...] = source.rules
@@ -167,26 +212,28 @@ class CompiledTable:
         self.action_index: dict[str, int] = {
             a: i for i, a in enumerate(alphabet)}
 
-        size = N_STATES * N_EVENTS * MAX_CONTEXTS
+        n_states, n_events = vocab.n_states, vocab.n_events
+        max_contexts = vocab.max_contexts
+        size = n_states * n_events * max_contexts
         rule_idx = [-1] * size
         next_state_idx = [-1] * size
         action_bits = [0] * size
-        #: ``_rows[s_idx * N_EVENTS + e_idx]`` -> list over guard bits of
+        #: ``_rows[s_idx * n_events + e_idx]`` -> list over guard bits of
         #: the winning Rule (or None); the scalar dispatch path.
         self._rows: list[list[Rule | None] | None] = [None] * (
-            N_STATES * N_EVENTS)
+            n_states * n_events)
         #: Context-axis width per event index (2 ** #families).
         self._contexts_per_event = [
-            2 ** len(bit_families_for(e)) for e in EVENTS]
+            2 ** len(vocab.bit_families_for(e)) for e in vocab.events]
 
-        for e_idx, event in enumerate(EVENTS):
+        for e_idx, event in enumerate(vocab.events):
             n_ctx = self._contexts_per_event[e_idx]
-            for s_idx, state in enumerate(STATES):
+            for s_idx, state in enumerate(vocab.states):
                 bucket = source.rules_for(state, event)
                 row_cell: list[Rule | None] = [None] * n_ctx
-                base = (s_idx * N_EVENTS + e_idx) * MAX_CONTEXTS
+                base = (s_idx * n_events + e_idx) * max_contexts
                 for bits in range(n_ctx):
-                    ctx = context_of_bits(event, bits)
+                    ctx = vocab.context_of_bits(event, bits)
                     winner: Rule | None = None
                     for r in bucket:  # most-specific-first, like lookup()
                         if r.guard <= ctx:
@@ -197,15 +244,16 @@ class CompiledTable:
                     row_cell[bits] = winner
                     flat = base + bits
                     rule_idx[flat] = rule_index[id(winner)]
-                    next_state_idx[flat] = STATE_INDEX[winner.next_state]
+                    next_state_idx[flat] = vocab.state_index[
+                        winner.next_state]
                     bitmap = 0
                     for action in winner.actions:
                         bitmap |= 1 << self.action_index[action]
                     action_bits[flat] = bitmap
                 if bucket:
-                    self._rows[s_idx * N_EVENTS + e_idx] = row_cell
+                    self._rows[s_idx * n_events + e_idx] = row_cell
         if _np is not None:
-            shape = (N_STATES, N_EVENTS, MAX_CONTEXTS)
+            shape = (n_states, n_events, max_contexts)
             self.rule_idx = _np.asarray(
                 rule_idx, dtype=_np.int32).reshape(shape)
             self.next_state_idx = _np.asarray(
@@ -224,7 +272,8 @@ class CompiledTable:
             return (int(self.rule_idx[s_idx, e_idx, bits]),
                     int(self.next_state_idx[s_idx, e_idx, bits]),
                     int(self.action_bits[s_idx, e_idx, bits]))
-        flat = (s_idx * N_EVENTS + e_idx) * MAX_CONTEXTS + bits
+        flat = ((s_idx * self.vocab.n_events + e_idx)
+                * self.vocab.max_contexts + bits)
         return (self.rule_idx[flat], self.next_state_idx[flat],
                 self.action_bits[flat])
 
@@ -233,7 +282,9 @@ class CompiledTable:
     def row_for(self, state: CacheState, event: Event,
                 bits: int) -> Rule | None:
         """The winning rule for a full guard context, or ``None``."""
-        cell = self._rows[STATE_INDEX[state] * N_EVENTS + EVENT_INDEX[event]]
+        vocab = self.vocab
+        cell = self._rows[vocab.state_index[state] * vocab.n_events
+                          + vocab.event_index[event]]
         if cell is None:
             return None
         return cell[bits]
@@ -241,11 +292,13 @@ class CompiledTable:
     def lookup_bits(self, state: CacheState, event: Event, bits: int) -> Rule:
         """:meth:`TransitionTable.lookup` over guard bits -- same result,
         same :class:`ProtocolError` for missing transitions."""
-        cell = self._rows[STATE_INDEX[state] * N_EVENTS + EVENT_INDEX[event]]
+        vocab = self.vocab
+        cell = self._rows[vocab.state_index[state] * vocab.n_events
+                          + vocab.event_index[event]]
         row = cell[bits] if cell is not None else None
         if row is not None:
             return row
-        self._raise_missing(state, event, context_of_bits(event, bits))
+        self._raise_missing(state, event, vocab.context_of_bits(event, bits))
 
     def lookup(self, state: CacheState, event: Event,
                ctx: frozenset[str]) -> Rule:
@@ -253,10 +306,12 @@ class CompiledTable:
         through the compiled arrays; partial contexts (possible for
         callers probing the table directly) fall back to the
         interpreter's scan for identical semantics."""
-        bits = bits_of_context(event, ctx)
+        vocab = self.vocab
+        bits = vocab.bits_of_context(event, ctx)
         if bits is None:
             return self.source.lookup(state, event, ctx)
-        cell = self._rows[STATE_INDEX[state] * N_EVENTS + EVENT_INDEX[event]]
+        cell = self._rows[vocab.state_index[state] * vocab.n_events
+                          + vocab.event_index[event]]
         row = cell[bits] if cell is not None else None
         if row is not None:
             return row

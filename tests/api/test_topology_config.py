@@ -167,6 +167,35 @@ class TestResultStamping:
         result = api.simulate("bitar-despain", "sharing", processors=2)
         assert result.to_dict()["topology"] == "snoop"
 
+    def test_run_result_stamps_the_representation(self):
+        result = api.simulate(
+            "bitar-despain", "sharing", processors=2,
+            topology="directory", directory_entry="coarse-vector",
+            directory_region_size=2)
+        payload = result.to_dict()
+        assert payload["topology"] == "directory"
+        assert payload["directory_entry"] == "coarse-vector"
+        assert payload["schema_version"] >= 7
+
+    def test_directory_default_entry_is_full_bit_vector(self):
+        result = api.simulate("bitar-despain", "sharing", processors=2,
+                              topology="directory")
+        assert result.to_dict()["directory_entry"] == "full-bit-vector"
+
+    def test_non_directory_entry_stamp_is_null(self):
+        result = api.simulate("bitar-despain", "sharing", processors=2,
+                              topology="clustered", clusters=2)
+        assert result.to_dict()["directory_entry"] is None
+
+    def test_sweep_result_stamps_the_representation(self):
+        result = api.sweep(
+            "bitar-despain", "sharing", processors=(2, 3),
+            topology="directory", directory_banks=2,
+            directory_entry="limited-pointer", directory_pointers=1)
+        payload = result.to_dict()
+        assert payload["directory_entry"] == "limited-pointer"
+        assert result.ok
+
     def test_validator_accepts_stamped_sweep(self, tmp_path):
         import json
         import subprocess

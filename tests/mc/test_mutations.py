@@ -71,6 +71,8 @@ def test_registry_covers_distinct_bugs():
         assert mutation.caught_by
         assert mutation.scenario in mc.SCENARIOS
     for mutation in table_mutations:
-        assert mutation.lint_check in ("completeness", "determinism",
-                                       "reachability", "write-serialization",
-                                       "lock-state")
+        assert mutation.lint_check in (
+            "completeness", "determinism", "reachability",
+            "write-serialization", "lock-state",
+            "directory-completeness", "directory-sharer-drop",
+            "directory-overflow-policy")

@@ -171,6 +171,51 @@ class TestTopologyFlags:
         assert default_topology() == "snoop"
 
 
+class TestFabricFlags:
+    def test_directory_banks_and_entry(self, capsys):
+        assert main(["run", "-n", "4", "--topology", "directory",
+                     "--directory-banks", "2",
+                     "--directory-entry", "limited-pointer",
+                     "--directory-pointers", "1",
+                     "--workload", "sharing"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_coarse_vector_with_latency_knobs(self, capsys):
+        assert main(["run", "-n", "4", "--topology", "directory",
+                     "--directory-entry", "coarse-vector",
+                     "--directory-region-size", "2",
+                     "--hop-cycles", "3", "--lookup-cycles", "1",
+                     "--workload", "sharing"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_run_rejects_clusters_with_directory_banks(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "-n", "4", "--clusters", "2",
+                  "--directory-banks", "2"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--clusters" in err and "--directory-banks" in err
+
+    def test_sweep_rejects_clusters_with_directory_banks(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--processors", "2", "--clusters", "2",
+                  "--directory-banks", "2"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--clusters" in err and "--directory-banks" in err
+
+    def test_sweep_entry_flags(self, capsys):
+        assert main(["sweep", "--processors", "2", "4",
+                     "--topology", "directory",
+                     "--directory-banks", "2",
+                     "--directory-entry", "coarse-vector"]) == 0
+        assert "processors" in capsys.readouterr().out
+
+    def test_entry_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--directory-entry", "sparse"])
+
+
 class TestResilienceFlags:
     def test_chaos_sweep_recovers(self, capsys):
         assert main(["sweep", "--processors", "2", "3",
